@@ -1,0 +1,38 @@
+"""Shared benchmark fixtures.
+
+Each benchmark regenerates one paper artifact at the ``default`` workload
+scale (a ~1/8-scale BU-like trace; see ``repro.experiments.workload``) and
+writes the rendered table under ``results/`` so EXPERIMENTS.md can quote it.
+Experiment regeneration is deterministic, so every benchmark runs its body
+exactly once (``benchmark.pedantic(rounds=1, iterations=1)``) — the timing
+recorded is the cost of regenerating that artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.workload import workload_trace
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def default_trace():
+    """The default-scale experiment trace, generated once per session."""
+    return workload_trace("default")
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    """Directory collecting rendered experiment artifacts."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def save_report(results_dir: Path, report) -> None:
+    """Persist a rendered ExperimentReport for EXPERIMENTS.md."""
+    path = results_dir / f"{report.experiment_id}.txt"
+    path.write_text(report.render() + "\n", encoding="utf-8")

@@ -1,0 +1,34 @@
+"""Ablation benchmark: the EA scheme under non-LRU replacement policies.
+
+The paper claims the scheme "works well with various document replacement
+algorithms" but only evaluates LRU. This ablation reruns the comparison
+under LFU and GDSF (whose trackers use the LFU-style expiration-age
+formula). Expected: the EA-minus-ad-hoc hit-rate delta stays non-negative in
+the contended region for every policy.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.ablations import run_policy_ablation
+
+
+def test_bench_ablation_policy(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_policy_ablation,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    policies = [header[len("delta_"):] for header in report.headers[1:]]
+    for policy in policies:
+        deltas = report.column(f"delta_{policy}")
+        assert max(deltas) > 0, f"EA should help somewhere under {policy}"
+        # Allow small noise-level losses, but nothing structural.
+        assert min(deltas) > -0.02, (
+            f"EA degrades badly under {policy}: {deltas}"
+        )

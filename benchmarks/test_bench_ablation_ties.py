@@ -1,0 +1,32 @@
+"""Ablation benchmark: EA tie-break rule (equal expiration ages).
+
+Requester-wins (default) makes a cold group behave exactly like ad-hoc
+(both caches report infinite age, requester stores); responder-wins
+suppresses replication during cold start. Expected: requester-wins is at
+least as good early and the two converge once caches warm up.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.ablations import run_tie_break_ablation
+
+
+def test_bench_ablation_ties(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_tie_break_ablation,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    for row in report.rows:
+        requester, responder = row[1], row[2]
+        assert 0.0 <= requester <= 1.0 and 0.0 <= responder <= 1.0
+        # Ties are rare once ages are finite, so the rules should land close.
+        assert abs(requester - responder) < 0.05, (
+            f"tie-break rules diverge unexpectedly at {row[0]}"
+        )

@@ -1,0 +1,95 @@
+"""Benchmarks for the extension studies (beyond the paper's evaluation).
+
+Each regenerates one extension artifact at default scale on a reduced
+capacity grid (the contended region, where the comparisons are
+informative) and records the rendered table under ``results/``.
+"""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.extensions import (
+    run_baseline_comparison,
+    run_locator_comparison,
+    run_loss_resilience,
+    run_prefetch_study,
+)
+from repro.experiments.multiseed import run_multi_seed_comparison
+from repro.experiments.workload import capacities_for
+
+CONTENDED = capacities_for("default")[:3]  # 100KB / 1MB / 10MB
+
+
+def test_bench_ext_locator(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_locator_comparison,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        # Digests can never beat ICP on hit rate (they only lose remote
+        # hits to staleness) but must cut protocol traffic.
+        assert row[2] <= row[1] + 1e-9
+        assert row[4] < row[3]
+
+
+def test_bench_ext_baselines(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_baseline_comparison,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    # Hash routing has no replication, so at equal aggregate capacity its
+    # *hit rate* should be at least ad-hoc's once contention bites…
+    label, adhoc_hit, ea_hit, hash_hit = report.rows[1][:4]
+    assert hash_hit >= adhoc_hit - 0.05
+    # …but its latency suffers: nearly every hit pays the remote hop.
+    assert report.rows[1][6] >= report.rows[1][5] - 50.0
+
+
+def test_bench_ext_prefetch(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_prefetch_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED[1:2]},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        assert 0.0 <= row[4] <= 1.0
+
+
+def test_bench_ext_loss(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_loss_resilience,
+        kwargs={"trace": default_trace, "loss_rates": (0.0, 0.1, 0.3)},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    lossless, *_rest, heavy = report.rows
+    assert heavy[1] <= lossless[1] + 0.01
+    assert heavy[2] <= lossless[2] + 0.01
+
+
+def test_bench_multiseed(benchmark, results_dir):
+    report = benchmark.pedantic(
+        run_multi_seed_comparison,
+        kwargs={"scale": "tiny", "num_seeds": 5},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    # EA's advantage should be statistically significant somewhere in the
+    # contended region across seeds.
+    assert any(row[4] for row in report.rows)

@@ -1,0 +1,97 @@
+"""Benchmarks for the second-wave extension studies."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.extensions2 import (
+    run_admission_study,
+    run_coherence_study,
+    run_demotion_study,
+    run_heterogeneity_study,
+    run_replica_cap_study,
+)
+from repro.experiments.workload import capacities_for
+
+CONTENDED = capacities_for("default")[:3]  # 100KB / 1MB / 10MB
+
+
+def test_bench_ext_coherence(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_coherence_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED[1:]},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    # EA must keep beating ad-hoc with the consistency layer on both.
+    by_cap = {}
+    for row in report.rows:
+        by_cap.setdefault(row[0], {})[row[1]] = row[2]
+    for label, rates in by_cap.items():
+        assert rates["ea"] >= rates["adhoc"] - 0.01, f"EA loses under coherence at {label}"
+
+
+def test_bench_ext_demotion(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_demotion_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        _, plain, naive, filtered, *_counts = row
+        # Filtered demotion must not lose meaningfully to plain EA; naive
+        # demotion is allowed to lose (that is the study's finding).
+        assert filtered >= plain - 0.02
+
+
+def test_bench_ext_admission(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_admission_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        for rate in row[1:]:
+            assert 0.0 <= rate <= 1.0
+        # The size gate should be roughly neutral-or-better (huge bodies
+        # rarely earn their keep at contended sizes).
+        assert row[2] >= row[1] - 0.02
+
+
+def test_bench_ext_replica_cap(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_replica_cap_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        label, ea_hit, capped_hit, ea_byte, capped_byte = row
+        # The cap must never collapse performance; it trades at the margin.
+        assert capped_hit >= ea_hit - 0.02, f"cap collapses hit rate at {label}"
+        assert capped_byte >= ea_byte - 0.02, f"cap collapses byte hits at {label}"
+
+
+def test_bench_ext_heterogeneous(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        run_heterogeneity_study,
+        kwargs={"trace": default_trace, "capacities": CONTENDED},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+    for row in report.rows:
+        label, delta_equal, delta_skewed, ea_equal, ea_skewed = row
+        # EA must stay ahead of ad-hoc on skewed splits too.
+        assert delta_skewed >= -0.01, f"EA loses on skewed shares at {label}"

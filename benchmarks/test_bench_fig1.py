@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 1 (document hit rates, 4-cache group)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import fig1_document_hit_rates
+
+
+def test_bench_fig1_document_hit_rates(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        fig1_document_hit_rates.run,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    # Shape assertions mirroring the paper: EA >= ad-hoc at every size, with
+    # the largest advantage at the smaller (contended) cache sizes.
+    deltas = report.column("ea_minus_adhoc")
+    assert all(delta >= -1e-9 for delta in deltas), "EA must not lose to ad-hoc"
+    assert max(deltas[:3]) >= max(deltas[3:]) - 1e-9, (
+        "EA's advantage should be concentrated at small cache sizes"
+    )
+    assert max(deltas) > 0, "EA should strictly beat ad-hoc somewhere"

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 2 (byte hit rates, 4-cache group)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import fig2_byte_hit_rates
+
+
+def test_bench_fig2_byte_hit_rates(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        fig2_byte_hit_rates.run,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    # "Byte hit rate patterns are similar to those of document hit rates":
+    # EA ahead overall, and clearly ahead in the contended region.
+    deltas = report.column("ea_minus_adhoc")
+    assert max(deltas) > 0, "EA should improve byte hit rate somewhere"
+    contended = deltas[:3]
+    assert max(contended) > 0.005, (
+        "EA's byte-hit advantage should be visible at small cache sizes"
+    )
+    ea_rates = report.column("ea_byte_hit_rate")
+    assert all(0.0 <= rate <= 1.0 for rate in ea_rates)

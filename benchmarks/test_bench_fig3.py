@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 3 (estimated average latency, Eq. 6)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import fig3_latency
+
+
+def test_bench_fig3_latency(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        fig3_latency.run,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    # Paper shape: EA clearly faster while misses dominate (small caches);
+    # at the largest size the schemes converge and EA may be slightly
+    # *slower* (remote hits cost more than local hits) — the 1 GB crossover.
+    ea = report.column("ea_latency_ms")
+    adhoc = report.column("adhoc_latency_ms")
+    assert ea[0] < adhoc[0], "EA should win at the most contended size"
+    assert all(latency > 0 for latency in ea + adhoc)
+    # Latency must fall as capacity grows (more hits = fewer 2784 ms misses).
+    assert ea[0] > ea[-1]
+    assert adhoc[0] > adhoc[-1]
+    # Convergence at the top: gap at the largest size is a small fraction of
+    # the gap at the smallest.
+    assert abs(ea[-1] - adhoc[-1]) <= abs(ea[0] - adhoc[0]) + 1e-9

@@ -1,0 +1,31 @@
+"""Benchmark: Che-model bounds vs simulated hit rates (IRM workload)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments.model_validation import run
+from repro.experiments.workload import capacities_for
+
+
+def test_bench_model_validation(benchmark, results_dir):
+    report = benchmark.pedantic(
+        run,
+        kwargs={"scale": "default", "capacities": capacities_for("default")[:3]},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    for row in report.rows:
+        label, replicated, adhoc, ea, shared, _position = row
+        assert shared >= replicated - 1e-9, f"bounds inverted at {label}"
+        assert ea >= adhoc - 1e-9, f"EA loses at {label}"
+    # At the mid (1 MB) capacity the story must be clean: simulated rates
+    # inside the analytical bracket (small-cache and near-saturation rows
+    # carry known Che/finite-trace error) and EA in its upper half.
+    _, replicated, adhoc, ea, shared, position = report.rows[1]
+    assert replicated - 0.03 <= adhoc <= shared + 0.03
+    assert replicated - 0.03 <= ea <= shared + 0.03
+    assert position > 0.5, "EA should sit closer to the shared-cache bound"

@@ -1,0 +1,37 @@
+"""Benchmark: regenerate Table 1 (average cache expiration age)."""
+
+from __future__ import annotations
+
+import math
+
+from conftest import save_report
+
+from repro.experiments import table1_expiration_age
+
+
+def test_bench_table1_expiration_age(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        table1_expiration_age.run,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    # Paper shape: EA's average cache expiration age exceeds ad-hoc's at
+    # every contended size ("with EA scheme the documents stay for much
+    # longer"), and ages grow with capacity for both schemes.
+    adhoc = report.column("adhoc_exp_age_s")
+    ea = report.column("ea_exp_age_s")
+    finite_pairs = [
+        (a, e) for a, e in zip(adhoc, ea) if not (math.isinf(a) or math.isinf(e))
+    ]
+    assert finite_pairs, "at least one capacity must produce evictions"
+    assert all(e >= a for a, e in finite_pairs), (
+        "EA must reduce contention (higher expiration age) at every size"
+    )
+    finite_adhoc = [a for a in adhoc if not math.isinf(a)]
+    assert finite_adhoc == sorted(finite_adhoc), (
+        "expiration age should grow with capacity"
+    )

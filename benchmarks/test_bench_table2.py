@@ -1,0 +1,34 @@
+"""Benchmark: regenerate Table 2 (local/remote hit breakdown + latency)."""
+
+from __future__ import annotations
+
+from conftest import save_report
+
+from repro.experiments import table2_hit_breakdown
+
+
+def test_bench_table2_hit_breakdown(benchmark, default_trace, results_dir):
+    report = benchmark.pedantic(
+        table2_hit_breakdown.run,
+        kwargs={"trace": default_trace},
+        rounds=1,
+        iterations=1,
+    )
+    save_report(results_dir, report)
+    print("\n" + report.render())
+
+    # Paper shape: "the remote hit rates in the EA scheme are higher than
+    # that of the ad-hoc scheme" at every capacity (EA declines short-lived
+    # local copies, so more requests are served by siblings).
+    ea_remote = report.column("ea_remote_%")
+    adhoc_remote = report.column("adhoc_remote_%")
+    assert all(e >= a for e, a in zip(ea_remote, adhoc_remote)), (
+        "EA must raise the remote-hit rate"
+    )
+    # And correspondingly EA's local hit rate does not exceed ad-hoc's.
+    ea_local = report.column("ea_local_%")
+    adhoc_local = report.column("adhoc_local_%")
+    assert all(e <= a + 1e-6 for e, a in zip(ea_local, adhoc_local))
+    # Total hit rate (local + remote) must still favour EA.
+    for e_l, e_r, a_l, a_r in zip(ea_local, ea_remote, adhoc_local, adhoc_remote):
+        assert e_l + e_r >= a_l + a_r - 1e-6

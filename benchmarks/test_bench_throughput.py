@@ -1,0 +1,71 @@
+"""Microbenchmarks for the simulator's hot paths.
+
+Unlike the artifact-regeneration benchmarks (one deterministic round each),
+these use pytest-benchmark's normal repeated timing to track the throughput
+of the operations that dominate a simulation: cache lookup/admit cycles,
+ICP encode/decode, and end-to-end request processing for both schemes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import Document, LRUPolicy, ProxyCache
+from repro.protocol import icp
+from repro.simulation import CooperativeSimulator, SimulationConfig
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def micro_trace():
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=5_000, num_documents=800, num_clients=16, seed=11
+        )
+    )
+
+
+def test_bench_cache_lookup_admit_cycle(benchmark):
+    """Throughput of the ProxyCache miss-admit-evict loop."""
+    documents = [Document(f"http://bench/doc{i}", 4096) for i in range(512)]
+
+    def run_cycle():
+        cache = ProxyCache(64 * 4096, policy=LRUPolicy())
+        now = 0.0
+        for doc in documents:
+            now += 1.0
+            if cache.lookup(doc.url, now) is None:
+                cache.admit(doc, now)
+        return cache
+
+    cache = benchmark(run_cycle)
+    assert len(cache) == 64
+
+
+def test_bench_icp_roundtrip(benchmark):
+    """ICP encode/decode round-trip cost per datagram."""
+    message = icp.query(7, "http://bench.example.com/some/long/path/doc", icp.pack_cache_address(3))
+
+    def roundtrip():
+        return icp.decode(icp.encode(message))
+
+    decoded = benchmark(roundtrip)
+    assert decoded.url == message.url
+
+
+@pytest.mark.parametrize("scheme", ["adhoc", "ea"])
+def test_bench_simulator_requests_per_second(benchmark, micro_trace, scheme):
+    """End-to-end request processing throughput per scheme.
+
+    EA adds two expiration-age reads per remote hit; this benchmark bounds
+    the overhead and backs the paper's 'no extra cost' implementation claim.
+    """
+    config = SimulationConfig(
+        scheme=scheme, num_caches=4, aggregate_capacity=1 << 20, seed=5
+    )
+
+    def run():
+        return CooperativeSimulator(config).run(micro_trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.requests == len(micro_trace)

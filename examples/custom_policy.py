@@ -1,0 +1,122 @@
+"""Extending the library: plug a custom replacement policy into the EA scheme.
+
+The paper claims the EA scheme is replacement-policy independent: any policy
+can participate as long as a document expiration age can be defined for its
+victims. This example implements **Segmented LRU (SLRU)** — a protected
+segment for re-referenced documents and a probationary segment for new ones
+— subclasses nothing but the ``ReplacementPolicy`` interface, and runs the
+full EA-vs-ad-hoc comparison on top of it.
+
+Run:  python examples/custom_policy.py
+"""
+
+from collections import OrderedDict
+
+from repro.analysis.tables import percent, render_table
+from repro.architecture import DistributedGroup
+from repro.cache import (
+    CacheEntry,
+    ExpirationAgeTracker,
+    ProxyCache,
+    ReplacementPolicy,
+)
+from repro.core import AdHocScheme, EAScheme
+from repro.trace import HashPartitioner, SyntheticTraceConfig, generate_trace
+from repro.trace.record import patch_zero_sizes
+
+
+class SegmentedLRUPolicy(ReplacementPolicy):
+    """Two-segment LRU: victims come from the probationary segment first.
+
+    New documents enter probation; a hit promotes to the protected segment
+    (evicting the protected LRU back to probation when the segment is
+    full). Victim order: probationary LRU, then protected LRU.
+    """
+
+    expiration_age_kind = "lru"
+
+    def __init__(self, protected_fraction: float = 0.5, capacity_hint: int = 64):
+        self._probation: "OrderedDict[str, None]" = OrderedDict()
+        self._protected: "OrderedDict[str, None]" = OrderedDict()
+        self._max_protected = max(1, int(capacity_hint * protected_fraction))
+
+    def on_admit(self, entry: CacheEntry) -> None:
+        self._probation[entry.url] = None
+
+    def on_hit(self, entry: CacheEntry) -> None:
+        if entry.url in self._probation:
+            del self._probation[entry.url]
+            self._protected[entry.url] = None
+            while len(self._protected) > self._max_protected:
+                demoted, _ = self._protected.popitem(last=False)
+                self._probation[demoted] = None
+        elif entry.url in self._protected:
+            self._protected.move_to_end(entry.url)
+
+    def select_victim(self) -> str:
+        if self._probation:
+            return next(iter(self._probation))
+        return next(iter(self._protected))
+
+    def on_evict(self, entry: CacheEntry) -> None:
+        self._probation.pop(entry.url, None)
+        self._protected.pop(entry.url, None)
+
+    def clear(self) -> None:
+        self._probation.clear()
+        self._protected.clear()
+
+
+def build_group(scheme, num_caches=4, aggregate=1 << 20):
+    per_cache = aggregate // num_caches
+    caches = [
+        ProxyCache(
+            per_cache,
+            policy=SegmentedLRUPolicy(capacity_hint=per_cache // 4096),
+            tracker=ExpirationAgeTracker(kind="lru"),
+            name=f"slru{i}",
+        )
+        for i in range(num_caches)
+    ]
+    return DistributedGroup(caches, scheme)
+
+
+def main() -> None:
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            num_requests=25_000, num_documents=3_000, num_clients=48, seed=41
+        )
+    )
+    print(f"workload: {len(trace)} requests, {trace.unique_urls} unique documents\n")
+
+    rows = []
+    for name, scheme in [("adhoc", AdHocScheme()), ("ea", EAScheme())]:
+        group = build_group(scheme)
+        partitioner = HashPartitioner(len(group.caches))
+        hits = 0
+        records = list(patch_zero_sizes(iter(trace)))
+        for index, record in partitioner.split(records):
+            if group.process(index, record).is_hit:
+                hits += 1
+        rows.append(
+            [
+                name,
+                percent(hits / len(records)),
+                f"{group.replication_factor():.3f}",
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "group hit rate", "copies per document"],
+            rows,
+            title="EA vs ad-hoc on a custom Segmented-LRU policy (4 caches, 1 MB)",
+        )
+    )
+    print(
+        "\nThe EA machinery only needed SLRU's victims to have LRU-style "
+        "expiration ages — no placement code changed."
+    )
+
+
+if __name__ == "__main__":
+    main()

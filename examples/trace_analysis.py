@@ -1,0 +1,78 @@
+"""Trace tooling: generate, persist, re-read, and characterise a workload.
+
+Shows the round-trip the library supports for real traces: write a synthetic
+workload in the Boston University condensed-log format, parse it back with
+the same reader that would ingest the genuine BU traces, and print the
+standard workload characterisation (Zipf fit, one-timers, working-set
+growth, size percentiles, infinite-cache ceiling).
+
+Run:  python examples/trace_analysis.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro.analysis.tables import percent, render_table
+from repro.trace import (
+    SyntheticTraceConfig,
+    compute_stats,
+    fit_zipf_alpha,
+    generate_trace,
+    read_trace,
+    size_percentiles,
+    working_set_curve,
+    write_bu_trace,
+)
+
+
+def main() -> None:
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            num_requests=25_000,
+            num_documents=3_500,
+            num_clients=50,
+            zero_size_fraction=0.02,
+            seed=31,
+        )
+    )
+
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "campus.bu"
+        count = write_bu_trace(iter(trace), path)
+        print(f"wrote {count} records to {path.name} (BU condensed format)")
+        reloaded = read_trace(path, fmt="bu")
+        assert len(reloaded) == len(trace)
+        print(f"re-read {len(reloaded)} records through BUTraceReader\n")
+
+    stats = compute_stats(trace)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["requests", stats.num_requests],
+                ["unique documents", stats.num_unique_urls],
+                ["clients", stats.num_clients],
+                ["mean size (B)", round(stats.mean_size)],
+                ["one-timer fraction", percent(stats.one_timer_fraction)],
+                ["infinite-cache hit ceiling", percent(stats.max_hit_rate)],
+                ["infinite-cache byte ceiling", percent(stats.max_byte_hit_rate)],
+                ["fitted Zipf alpha", f"{fit_zipf_alpha(trace):.3f}"],
+            ],
+            title="Workload characterisation",
+        )
+    )
+
+    print("\nWorking-set growth (requests seen -> unique documents):")
+    for seen, unique in working_set_curve(trace, num_points=8):
+        bar = "#" * (unique * 40 // stats.num_unique_urls)
+        print(f"  {seen:>7} -> {unique:>6} {bar}")
+
+    percentiles = size_percentiles(trace, percentiles=(50.0, 90.0, 99.0))
+    print(
+        "\nDocument size percentiles: "
+        + ", ".join(f"p{int(p)}={size}B" for p, size in sorted(percentiles.items()))
+    )
+
+
+if __name__ == "__main__":
+    main()

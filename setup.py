@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All metadata lives in pyproject.toml. This file exists so that
+``pip install -e .`` works in offline environments lacking the ``wheel``
+package (pip falls back to the legacy ``setup.py develop`` path with
+``--no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

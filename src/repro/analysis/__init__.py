@@ -1,0 +1,29 @@
+"""Analysis helpers: analytical models, replication reports, ASCII tables."""
+
+from repro.analysis.che import (
+    GroupBounds,
+    ModelError,
+    characteristic_time,
+    group_hit_rate_bounds,
+    lru_byte_hit_rate,
+    lru_hit_rate,
+    popularity_from_trace,
+)
+from repro.analysis.replication import ReplicationReport, replication_report
+from repro.analysis.tables import format_cell, percent, render_records, render_table
+
+__all__ = [
+    "GroupBounds",
+    "ModelError",
+    "ReplicationReport",
+    "characteristic_time",
+    "format_cell",
+    "group_hit_rate_bounds",
+    "lru_byte_hit_rate",
+    "lru_hit_rate",
+    "percent",
+    "popularity_from_trace",
+    "render_records",
+    "render_table",
+    "replication_report",
+]

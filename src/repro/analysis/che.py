@@ -1,0 +1,179 @@
+"""Analytical LRU model (Che approximation) for cooperative groups.
+
+The paper defers its mathematical analysis of aggregate-disk utilisation to
+a technical report; this module provides the standard analytical machinery
+that analysis rests on — the Che approximation for LRU hit rates under the
+independent reference model (IRM) — and uses it to bracket a cooperative
+group's achievable hit rate:
+
+* **Replicated bound** (ad-hoc worst case, every document cached at every
+  proxy): each proxy behaves as an independent LRU of its X/N share facing
+  the full popularity law, so the group hit rate equals the single-cache
+  hit rate at capacity X/N (the IRM hit rate is invariant to uniform
+  request-rate scaling).
+* **Shared bound** (perfect placement, zero replication): the group behaves
+  as one logical LRU of the full aggregate X.
+
+Ad-hoc and EA simulations should land between these bounds, with EA closer
+to the shared one — exactly the paper's "effective disk space" argument,
+made quantitative.
+
+The Che approximation: a document of request probability ``p_i`` is in an
+LRU cache iff it was referenced in the last ``T`` requests, so its hit rate
+is ``1 - exp(-p_i * T)`` where the characteristic time ``T`` solves the
+capacity constraint ``sum_i s_i * (1 - exp(-p_i * T)) = C`` (byte-capacity
+form). Accuracy is remarkable for Zipf-like laws (Che et al. 2002;
+Fricker et al. 2012).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ReproError
+from repro.trace.record import Trace
+
+
+class ModelError(ReproError):
+    """The analytical model received unusable inputs."""
+
+
+def popularity_from_trace(trace: Trace) -> Tuple[List[float], List[int]]:
+    """Empirical popularity weights and sizes from a trace.
+
+    Returns ``(weights, sizes)`` aligned by document, weights summing to 1.
+    Zero-size records contribute their patched 4 KB only if pre-patched;
+    raw zero sizes are floored at 1 byte to keep the constraint solvable.
+    """
+    counts: Counter = Counter()
+    sizes: Dict[str, int] = {}
+    for record in trace:
+        counts[record.url] += 1
+        sizes[record.url] = max(record.size, 1)
+    total = sum(counts.values())
+    if total == 0:
+        raise ModelError("cannot build a popularity law from an empty trace")
+    weights = []
+    size_list = []
+    for url, count in counts.items():
+        weights.append(count / total)
+        size_list.append(sizes[url])
+    return weights, size_list
+
+
+def _expected_bytes(weights: Sequence[float], sizes: Sequence[int], t: float) -> float:
+    return math.fsum(
+        size * (1.0 - math.exp(-weight * t))
+        for weight, size in zip(weights, sizes)
+    )
+
+
+def characteristic_time(
+    weights: Sequence[float],
+    sizes: Sequence[int],
+    capacity_bytes: int,
+    tolerance: float = 1e-6,
+    max_iterations: int = 200,
+) -> float:
+    """Solve Che's capacity constraint for the characteristic time T.
+
+    Bisection on ``f(T) = sum_i s_i (1 - e^{-p_i T}) - C``; ``f`` is
+    monotone increasing from 0 toward ``sum(sizes)``, so a root exists iff
+    the cache cannot hold every document. Returns ``inf`` when it can
+    (every document resident — hit rate is the compulsory-miss ceiling).
+    """
+    if len(weights) != len(sizes):
+        raise ModelError("weights and sizes must align")
+    if not weights:
+        raise ModelError("need at least one document")
+    if capacity_bytes <= 0:
+        raise ModelError("capacity must be positive")
+    if any(w < 0 for w in weights) or any(s <= 0 for s in sizes):
+        raise ModelError("weights must be >= 0 and sizes > 0")
+    total_bytes = sum(sizes)
+    if capacity_bytes >= total_bytes:
+        return math.inf
+
+    low, high = 0.0, 1.0
+    while _expected_bytes(weights, sizes, high) < capacity_bytes:
+        high *= 2.0
+        if high > 1e18:
+            raise ModelError("characteristic time search diverged")
+    for _ in range(max_iterations):
+        mid = (low + high) / 2.0
+        if _expected_bytes(weights, sizes, mid) < capacity_bytes:
+            low = mid
+        else:
+            high = mid
+        if high - low <= tolerance * max(high, 1.0):
+            break
+    return (low + high) / 2.0
+
+
+def lru_hit_rate(
+    weights: Sequence[float], sizes: Sequence[int], capacity_bytes: int
+) -> float:
+    """Che-approximate steady-state LRU hit rate at byte capacity ``C``.
+
+    ``sum_i p_i (1 - e^{-p_i T})`` — the probability a random request finds
+    its document resident.
+    """
+    t = characteristic_time(weights, sizes, capacity_bytes)
+    if math.isinf(t):
+        return 1.0
+    return math.fsum(
+        weight * (1.0 - math.exp(-weight * t)) for weight in weights
+    )
+
+
+def lru_byte_hit_rate(
+    weights: Sequence[float], sizes: Sequence[int], capacity_bytes: int
+) -> float:
+    """Byte-weighted analogue of :func:`lru_hit_rate`."""
+    t = characteristic_time(weights, sizes, capacity_bytes)
+    if math.isinf(t):
+        return 1.0
+    traffic = math.fsum(w * s for w, s in zip(weights, sizes))
+    hit_bytes = math.fsum(
+        w * s * (1.0 - math.exp(-w * t)) for w, s in zip(weights, sizes)
+    )
+    return hit_bytes / traffic if traffic else 0.0
+
+
+@dataclass(frozen=True)
+class GroupBounds:
+    """Analytical bracket for a cooperative group's hit rate.
+
+    Attributes:
+        replicated: Full-replication (ad-hoc worst case) hit rate — each
+            proxy an independent LRU of X/N bytes.
+        shared: Zero-replication hit rate — one logical LRU of X bytes.
+        ceiling: The IRM steady-state has no compulsory misses; finite
+            traces do, so simulated rates are additionally capped by
+            ``1 - unique/requests`` (reported for context).
+    """
+
+    replicated: float
+    shared: float
+    ceiling: float
+
+
+def group_hit_rate_bounds(
+    trace: Trace, num_caches: int, aggregate_capacity: int
+) -> GroupBounds:
+    """Che bounds for a group of ``num_caches`` sharing ``aggregate_capacity``."""
+    if num_caches <= 0:
+        raise ModelError("num_caches must be positive")
+    weights, sizes = popularity_from_trace(trace)
+    per_cache = aggregate_capacity // num_caches
+    if per_cache <= 0:
+        raise ModelError("aggregate capacity too small for the group")
+    replicated = lru_hit_rate(weights, sizes, per_cache)
+    shared = lru_hit_rate(weights, sizes, aggregate_capacity)
+    unique = len(weights)
+    requests = len(trace)
+    ceiling = (requests - unique) / requests if requests else 0.0
+    return GroupBounds(replicated=replicated, shared=shared, ceiling=ceiling)

@@ -1,0 +1,74 @@
+"""Replication and disk-efficiency analysis of a cache group.
+
+The paper's argument hinges on the ad-hoc scheme's "uncontrolled replication
+of documents" reducing the *effective* aggregate disk space. These helpers
+quantify that directly from a group's end state: how many copies of each
+document exist, how many bytes are spent on replicas, and the effective
+fraction of the aggregate disk that holds unique content.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.architecture.base import CooperativeGroup
+
+
+@dataclass(frozen=True)
+class ReplicationReport:
+    """Snapshot of replication across a group.
+
+    Attributes:
+        unique_documents: Distinct URLs cached anywhere.
+        total_copies: Entries across all caches (each replica counts).
+        replicated_documents: URLs with more than one copy.
+        replication_factor: Mean copies per distinct document.
+        unique_bytes: Bytes of distinct content.
+        total_bytes: Bytes across all caches including replicas.
+        effective_space_fraction: ``unique_bytes / total_bytes`` — 1.0 means
+            every cached byte is unique content (the paper's ideal); the
+            hypothetical worst case of full replication across N caches
+            gives 1/N.
+        copy_histogram: Copy-count -> number of documents with that count.
+    """
+
+    unique_documents: int
+    total_copies: int
+    replicated_documents: int
+    replication_factor: float
+    unique_bytes: int
+    total_bytes: int
+    effective_space_fraction: float
+    copy_histogram: Dict[int, int]
+
+
+def replication_report(group: CooperativeGroup) -> ReplicationReport:
+    """Compute a :class:`ReplicationReport` from the group's current contents."""
+    copy_counts: Counter = Counter()
+    sizes: Dict[str, int] = {}
+    total_bytes = 0
+    for cache in group.caches:
+        for url in cache.urls():
+            entry = cache.get_entry(url)
+            assert entry is not None
+            copy_counts[url] += 1
+            sizes[url] = entry.size
+            total_bytes += entry.size
+    unique_documents = len(copy_counts)
+    total_copies = sum(copy_counts.values())
+    unique_bytes = sum(sizes.values())
+    histogram: Dict[int, int] = {}
+    for count in copy_counts.values():
+        histogram[count] = histogram.get(count, 0) + 1
+    return ReplicationReport(
+        unique_documents=unique_documents,
+        total_copies=total_copies,
+        replicated_documents=sum(1 for c in copy_counts.values() if c > 1),
+        replication_factor=(total_copies / unique_documents) if unique_documents else 0.0,
+        unique_bytes=unique_bytes,
+        total_bytes=total_bytes,
+        effective_space_fraction=(unique_bytes / total_bytes) if total_bytes else 1.0,
+        copy_histogram=histogram,
+    )

@@ -1,0 +1,75 @@
+"""ASCII table rendering for experiment reports.
+
+No plotting dependencies are assumed; every experiment renders its figure
+or table as a monospace grid suitable for terminals, logs, and
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def format_cell(value: Any) -> str:
+    """Render one cell: floats get 4 significant-looking decimals, infinities
+    render as ``inf``, everything else via ``str``."""
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if math.isinf(value):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.4f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[Any]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a monospace grid with a header rule.
+
+    Example::
+
+        Aggregate | Ad-hoc | EA
+        ----------+--------+-------
+        100KB     | 0.1563 | 0.1593
+    """
+    formatted = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in formatted:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in formatted:
+        lines.append(" | ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_records(
+    records: Sequence[Dict[str, Any]],
+    columns: Optional[Sequence[str]] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render a list of dicts as a table; columns default to first record's keys."""
+    if not records:
+        return title or "(no rows)"
+    cols = list(columns) if columns is not None else list(records[0].keys())
+    rows = [[record.get(col, "") for col in cols] for record in records]
+    return render_table(cols, rows, title=title)
+
+
+def percent(value: float, digits: int = 2) -> str:
+    """Format a rate as a percentage string (0.1563 -> '15.63%')."""
+    return f"{value * 100:.{digits}f}%"

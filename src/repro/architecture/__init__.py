@@ -1,0 +1,21 @@
+"""Cooperative cache group architectures: distributed (flat) and hierarchical."""
+
+from repro.architecture.base import (
+    RESPONDER_STRATEGIES,
+    CooperativeGroup,
+    RemoteHitAudit,
+    build_caches,
+)
+from repro.architecture.distributed import DistributedGroup
+from repro.architecture.hashrouted import HashRoutedGroup
+from repro.architecture.hierarchical import HierarchicalGroup
+
+__all__ = [
+    "CooperativeGroup",
+    "DistributedGroup",
+    "HashRoutedGroup",
+    "HierarchicalGroup",
+    "RESPONDER_STRATEGIES",
+    "RemoteHitAudit",
+    "build_caches",
+]

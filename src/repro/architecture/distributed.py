@@ -1,0 +1,101 @@
+"""Distributed (flat) cooperative caching — the paper's evaluated setup.
+
+"Cooperative caching architecture of these cache groups is distributed
+cooperative caching. So all the caches in the group are at the same level of
+hierarchy. For any misses in the cache group, it is assumed that the cache
+where the request originated retrieves the document from the origin server."
+(Section 4.1)
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.architecture.base import CooperativeGroup
+from repro.cache.store import ProxyCache
+from repro.core.outcomes import RequestOutcome
+from repro.core.placement import PlacementScheme
+from repro.errors import SimulationError
+from repro.network.bus import MessageBus
+from repro.network.latency import LatencyModel, ServiceKind
+from repro.network.topology import StarTopology
+from repro.trace.record import TraceRecord
+
+
+class DistributedGroup(CooperativeGroup):
+    """Flat group of sibling caches probed via ICP on every local miss."""
+
+    def __init__(
+        self,
+        caches: Sequence[ProxyCache],
+        scheme: PlacementScheme,
+        latency_model: Optional[LatencyModel] = None,
+        bus: Optional[MessageBus] = None,
+        responder_strategy: str = "first",
+        seed: int = 0,
+        icp_loss_rate: float = 0.0,
+    ):
+        super().__init__(
+            caches=caches,
+            scheme=scheme,
+            topology=StarTopology(len(caches)),
+            latency_model=latency_model,
+            bus=bus,
+            responder_strategy=responder_strategy,
+            seed=seed,
+            icp_loss_rate=icp_loss_rate,
+        )
+
+    def process(self, index: int, record: TraceRecord) -> RequestOutcome:
+        """Resolve one client request at cache ``index``.
+
+        Local hit → serve. Local miss → ICP-probe every sibling; a positive
+        reply triggers the remote-hit exchange (with the scheme's placement
+        decisions); all-negative triggers an origin fetch stored locally.
+        """
+        if record.size <= 0:
+            raise SimulationError(
+                f"record for {record.url!r} has non-positive size; patch the trace first"
+            )
+        now = record.timestamp
+        cache = self.caches[index]
+
+        entry = cache.lookup(record.url, now)
+        if entry is not None:
+            return RequestOutcome(
+                timestamp=now,
+                requester=index,
+                url=record.url,
+                size=entry.size,
+                kind=ServiceKind.LOCAL_HIT,
+                latency=self._latency(ServiceKind.LOCAL_HIT, entry.size),
+            )
+
+        holders = self._icp_probe(index, self.topology.siblings_of(index), record.url)
+        if holders:
+            responder = self._choose_responder(holders, now)
+            document, audit = self._remote_fetch(index, responder, record.url, now)
+            return RequestOutcome(
+                timestamp=now,
+                requester=index,
+                url=record.url,
+                size=document.size,
+                kind=ServiceKind.REMOTE_HIT,
+                responder=responder,
+                latency=self._latency(ServiceKind.REMOTE_HIT, document.size),
+                stored_at_requester=audit.stored_at_requester,
+                responder_refreshed=audit.responder_refreshed,
+                requester_age=audit.requester_age,
+                responder_age=audit.responder_age,
+            )
+
+        stored = self._origin_fetch(index, record.url, record.size, now)
+        return RequestOutcome(
+            timestamp=now,
+            requester=index,
+            url=record.url,
+            size=record.size,
+            kind=ServiceKind.MISS,
+            latency=self._latency(ServiceKind.MISS, record.size),
+            stored_at_requester=stored,
+        )

@@ -1,0 +1,110 @@
+"""Documents and per-cache entry metadata.
+
+A :class:`Document` is the immutable identity of a web object (URL + size).
+A :class:`CacheEntry` is the mutable bookkeeping a proxy keeps for a cached
+copy of a document: entry time, last-hit time, and hit counter — exactly the
+state the paper observes LRU and LFU proxies already maintain and from which
+document expiration ages are computed (Sections 3.2.1 and 3.2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import CacheConfigurationError
+
+
+@dataclass(frozen=True)
+class Document:
+    """An immutable web document: identity (URL) plus body size in bytes."""
+
+    url: str
+    size: int
+
+    def __post_init__(self) -> None:
+        if not self.url:
+            raise CacheConfigurationError("document requires a non-empty URL")
+        if self.size <= 0:
+            raise CacheConfigurationError(
+                f"document size must be positive, got {self.size} for {self.url!r}"
+            )
+
+
+@dataclass
+class CacheEntry:
+    """Metadata for one cached document copy.
+
+    Attributes:
+        document: The cached document.
+        entry_time: Simulation time the copy entered this cache (T0).
+        last_hit_time: Time of the most recent *refreshing* hit; initialised
+            to the entry time (admission counts as the first reference).
+        hit_count: LFU HIT-COUNTER, "initialized to 1 when the document
+            enters the cache" and incremented on every refreshing hit.
+    """
+
+    document: Document
+    entry_time: float
+    last_hit_time: float = field(default=0.0)
+    hit_count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.last_hit_time == 0.0:
+            self.last_hit_time = self.entry_time
+        if self.hit_count < 1:
+            raise CacheConfigurationError("hit_count starts at 1")
+
+    @property
+    def url(self) -> str:
+        """URL of the cached document."""
+        return self.document.url
+
+    @property
+    def size(self) -> int:
+        """Size in bytes of the cached document."""
+        return self.document.size
+
+    def record_hit(self, now: float) -> None:
+        """Register a refreshing hit: bump the counter, update recency.
+
+        The EA scheme deliberately *skips* this for remote hits served by a
+        responder whose expiration age is not greater than the requester's
+        (the entry is "left unaltered at its current position", Section 3.3).
+        """
+        self.last_hit_time = now
+        self.hit_count += 1
+
+    def lifetime(self, now: float) -> float:
+        """Seconds this copy has been resident as of ``now``."""
+        return now - self.entry_time
+
+
+@dataclass(frozen=True)
+class EvictionRecord:
+    """Audit record emitted when a cache evicts a document.
+
+    Captures everything needed to compute the document expiration age under
+    either replacement family (Eq. 2 and the LFU ratio of Section 3.2.2).
+    """
+
+    url: str
+    size: int
+    entry_time: float
+    last_hit_time: float
+    hit_count: int
+    evict_time: float
+
+    @property
+    def life_time(self) -> float:
+        """Paper Section 3.1: Life Time = (T1 - T0)."""
+        return self.evict_time - self.entry_time
+
+    @property
+    def lru_expiration_age(self) -> float:
+        """Paper Eq. 2: DocExpAge_LRU = (T1 - T0') with T0' the last hit."""
+        return self.evict_time - self.last_hit_time
+
+    @property
+    def lfu_expiration_age(self) -> float:
+        """Paper Section 3.2.2: DocExpAge_LFU = (TR - T0) / HIT_COUNTER."""
+        return (self.evict_time - self.entry_time) / self.hit_count

@@ -1,0 +1,65 @@
+"""Per-cache counters.
+
+These track what happens *at one proxy*; group-level metrics (cumulative hit
+rate, remote hits, latency) are assembled by :mod:`repro.simulation.metrics`
+from the per-proxy counters plus the simulator's request decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CacheStats:
+    """Mutable counter block for a single proxy cache.
+
+    Attributes:
+        lookups: Local lookups performed (client requests arriving here).
+        local_hits: Lookups satisfied from this cache.
+        local_misses: Lookups that missed here (may still be remote hits).
+        remote_hits_served: Requests from *sibling* proxies this cache
+            satisfied (it acted as the responder).
+        admissions: Documents stored (first-time placements).
+        rejections: Admissions refused (document larger than capacity).
+        evictions: Documents removed to make room.
+        bytes_served_local: Body bytes served to local clients from cache.
+        bytes_served_remote: Body bytes served to sibling proxies.
+        bytes_admitted: Body bytes written into the cache.
+        bytes_evicted: Body bytes removed from the cache.
+    """
+
+    lookups: int = 0
+    local_hits: int = 0
+    local_misses: int = 0
+    remote_hits_served: int = 0
+    admissions: int = 0
+    rejections: int = 0
+    evictions: int = 0
+    bytes_served_local: int = 0
+    bytes_served_remote: int = 0
+    bytes_admitted: int = 0
+    bytes_evicted: int = 0
+
+    @property
+    def local_hit_rate(self) -> float:
+        """Fraction of local lookups that hit (0.0 when no lookups)."""
+        if self.lookups == 0:
+            return 0.0
+        return self.local_hits / self.lookups
+
+    def merge(self, other: "CacheStats") -> "CacheStats":
+        """Return a new CacheStats with counters summed element-wise."""
+        return CacheStats(
+            lookups=self.lookups + other.lookups,
+            local_hits=self.local_hits + other.local_hits,
+            local_misses=self.local_misses + other.local_misses,
+            remote_hits_served=self.remote_hits_served + other.remote_hits_served,
+            admissions=self.admissions + other.admissions,
+            rejections=self.rejections + other.rejections,
+            evictions=self.evictions + other.evictions,
+            bytes_served_local=self.bytes_served_local + other.bytes_served_local,
+            bytes_served_remote=self.bytes_served_remote + other.bytes_served_remote,
+            bytes_admitted=self.bytes_admitted + other.bytes_admitted,
+            bytes_evicted=self.bytes_evicted + other.bytes_evicted,
+        )

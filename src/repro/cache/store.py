@@ -1,0 +1,225 @@
+"""The proxy cache store: bounded byte capacity + pluggable replacement.
+
+:class:`ProxyCache` is the single-proxy substrate everything above it builds
+on. It owns the entry table, enforces the byte budget, drives the
+replacement policy's hooks, and feeds every eviction into an
+:class:`~repro.cache.expiration.ExpirationAgeTracker` so the EA scheme can
+read the cache's contention level at any time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.cache.document import CacheEntry, Document, EvictionRecord
+from repro.cache.expiration import ExpirationAgeTracker
+from repro.cache.replacement import LRUPolicy, ReplacementPolicy
+from repro.cache.stats import CacheStats
+from repro.errors import CacheConfigurationError
+
+
+@dataclass(frozen=True)
+class AdmitOutcome:
+    """Result of :meth:`ProxyCache.admit`.
+
+    Attributes:
+        admitted: Whether the document was stored.
+        already_present: The document was cached before the call (refreshed
+            instead of re-admitted).
+        evicted: Victims removed to make room, in eviction order.
+    """
+
+    admitted: bool
+    already_present: bool = False
+    evicted: List[EvictionRecord] = field(default_factory=list)
+
+
+class ProxyCache:
+    """A single proxy cache with a byte budget.
+
+    Args:
+        capacity_bytes: Total disk budget for document bodies.
+        policy: Replacement policy; defaults to a fresh :class:`LRUPolicy`
+            (what the paper's experiments use).
+        tracker: Expiration-age tracker; defaults to one whose formula kind
+            matches the policy (LRU-style vs LFU-style victims).
+        name: Identifier used in logs, metrics, and protocol messages.
+        admission: Optional admission gate consulted before storing a new
+            document; ``None`` admits everything (the paper's behaviour).
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        policy: Optional[ReplacementPolicy] = None,
+        tracker: Optional[ExpirationAgeTracker] = None,
+        name: str = "cache",
+        admission=None,
+    ):
+        if capacity_bytes <= 0:
+            raise CacheConfigurationError(
+                f"capacity_bytes must be positive, got {capacity_bytes}"
+            )
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.tracker = (
+            tracker
+            if tracker is not None
+            else ExpirationAgeTracker(kind=self.policy.expiration_age_kind)
+        )
+        self.name = name
+        self.admission = admission
+        self.stats = CacheStats()
+        #: Optional callback invoked with each EvictionRecord right after
+        #: an eviction (used e.g. by the demotion extension to rescue the
+        #: group's last copy of a document).
+        self.eviction_listener = None
+        self._entries: Dict[str, CacheEntry] = {}
+        self._used_bytes = 0
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, url: str) -> bool:
+        return url in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes currently occupied by cached bodies."""
+        return self._used_bytes
+
+    @property
+    def free_bytes(self) -> int:
+        """Remaining byte budget."""
+        return self.capacity_bytes - self._used_bytes
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of capacity in use, in [0, 1]."""
+        return self._used_bytes / self.capacity_bytes
+
+    def urls(self) -> List[str]:
+        """URLs currently cached (unspecified order)."""
+        return list(self._entries)
+
+    def get_entry(self, url: str) -> Optional[CacheEntry]:
+        """The live entry for ``url``, or None — no side effects."""
+        return self._entries.get(url)
+
+    def expiration_age(self, now: Optional[float] = None) -> float:
+        """This cache's expiration age (paper Eq. 5) — the EA scheme input."""
+        return self.tracker.cache_expiration_age(now)
+
+    # ------------------------------------------------------------------ #
+    # Request-path operations
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, url: str, now: float, refresh: bool = True) -> Optional[CacheEntry]:
+        """Local-client lookup: counts a local hit or miss.
+
+        Args:
+            url: Requested document.
+            now: Simulation time.
+            refresh: Whether a hit refreshes recency/frequency state (true
+                for every client-facing lookup in both schemes).
+        """
+        self.stats.lookups += 1
+        entry = self._entries.get(url)
+        if entry is None:
+            self.stats.local_misses += 1
+            return None
+        self.stats.local_hits += 1
+        self.stats.bytes_served_local += entry.size
+        if refresh:
+            entry.record_hit(now)
+            self.policy.on_hit(entry)
+        return entry
+
+    def serve_remote(self, url: str, now: float, refresh: bool) -> Optional[CacheEntry]:
+        """Serve a sibling proxy's request (this cache is the responder).
+
+        Under the ad-hoc scheme every remote serve refreshes the entry (the
+        document "is given a fresh lease of life"); under the EA scheme the
+        caller passes ``refresh=True`` only when this cache's expiration age
+        exceeds the requester's (Section 3.3).
+        """
+        entry = self._entries.get(url)
+        if entry is None:
+            return None
+        self.stats.remote_hits_served += 1
+        self.stats.bytes_served_remote += entry.size
+        if refresh:
+            entry.record_hit(now)
+            self.policy.on_hit(entry)
+        return entry
+
+    def admit(self, document: Document, now: float) -> AdmitOutcome:
+        """Store ``document``, evicting victims until it fits.
+
+        A document larger than the whole cache is rejected (no evictions are
+        wasted on it). Admitting an already-cached URL refreshes the entry
+        instead of duplicating it.
+        """
+        if document.url in self._entries:
+            entry = self._entries[document.url]
+            entry.record_hit(now)
+            self.policy.on_hit(entry)
+            return AdmitOutcome(admitted=True, already_present=True)
+        if document.size > self.capacity_bytes:
+            self.stats.rejections += 1
+            return AdmitOutcome(admitted=False)
+        if self.admission is not None and not self.admission.admit(document, now):
+            self.stats.rejections += 1
+            return AdmitOutcome(admitted=False)
+        evicted: List[EvictionRecord] = []
+        while self._used_bytes + document.size > self.capacity_bytes:
+            evicted.append(self.evict_victim(now))
+        entry = CacheEntry(document=document, entry_time=now)
+        self._entries[document.url] = entry
+        self._used_bytes += document.size
+        self.policy.on_admit(entry)
+        self.stats.admissions += 1
+        self.stats.bytes_admitted += document.size
+        if self.admission is not None:
+            self.admission.on_admitted(document, now)
+        return AdmitOutcome(admitted=True, evicted=evicted)
+
+    def evict_victim(self, now: float) -> EvictionRecord:
+        """Evict the policy's chosen victim; returns its audit record."""
+        victim_url = self.policy.select_victim()
+        return self.evict(victim_url, now)
+
+    def evict(self, url: str, now: float) -> EvictionRecord:
+        """Evict a specific URL (policy victim or explicit invalidation)."""
+        entry = self._entries.pop(url, None)
+        if entry is None:
+            raise CacheConfigurationError(
+                f"cannot evict {url!r}: not present in cache {self.name!r}"
+            )
+        self._used_bytes -= entry.size
+        self.policy.on_evict(entry)
+        record = EvictionRecord(
+            url=entry.url,
+            size=entry.size,
+            entry_time=entry.entry_time,
+            last_hit_time=entry.last_hit_time,
+            hit_count=entry.hit_count,
+            evict_time=now,
+        )
+        self.tracker.record_eviction(record)
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.size
+        if self.eviction_listener is not None:
+            self.eviction_listener(record)
+        return record
+
+    def clear(self) -> None:
+        """Drop every entry without recording evictions (fresh start)."""
+        self._entries.clear()
+        self._used_bytes = 0
+        self.policy.clear()

@@ -1,0 +1,184 @@
+"""Victim-buffer cache: a second-chance tier for fresh evictions.
+
+A classic single-node optimisation orthogonal to cooperative placement:
+evicted documents move into a small FIFO *victim buffer* instead of
+vanishing; a lookup that misses the main store but hits the buffer promotes
+the document back (a "second-chance hit"), converting near-miss eviction
+mistakes into hits at the cost of reserving part of the disk for the
+buffer.
+
+Interesting against the EA scheme because both attack the same waste —
+documents dying too early — one locally (victim buffer) and one globally
+(placement). The buffer participates in expiration-age accounting only
+when a document finally falls out of it, which is when it truly leaves the
+cache.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, List, Optional, Tuple
+
+from repro.cache.document import CacheEntry, Document, EvictionRecord
+from repro.cache.expiration import ExpirationAgeTracker
+from repro.cache.replacement import ReplacementPolicy
+from repro.cache.store import AdmitOutcome, ProxyCache
+from repro.errors import CacheConfigurationError
+
+
+class VictimBufferCache(ProxyCache):
+    """ProxyCache with a FIFO victim buffer carved out of its capacity.
+
+    Args:
+        capacity_bytes: Total disk budget (main store + buffer).
+        victim_fraction: Fraction of the budget reserved for the buffer.
+        (remaining args as for ProxyCache)
+    """
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        victim_fraction: float = 0.1,
+        policy: Optional[ReplacementPolicy] = None,
+        tracker: Optional[ExpirationAgeTracker] = None,
+        name: str = "victim-cache",
+        admission=None,
+    ):
+        if not 0.0 < victim_fraction < 1.0:
+            raise CacheConfigurationError("victim_fraction must be in (0, 1)")
+        buffer_bytes = int(capacity_bytes * victim_fraction)
+        main_bytes = capacity_bytes - buffer_bytes
+        if main_bytes <= 0 or buffer_bytes <= 0:
+            raise CacheConfigurationError(
+                f"capacity {capacity_bytes} too small to split at {victim_fraction}"
+            )
+        super().__init__(
+            main_bytes, policy=policy, tracker=tracker, name=name, admission=admission
+        )
+        self.buffer_capacity = buffer_bytes
+        self._buffer: "OrderedDict[str, CacheEntry]" = OrderedDict()
+        self._buffer_bytes = 0
+        #: Lookups served by promoting a buffered victim back.
+        self.second_chance_hits = 0
+
+    # ------------------------------------------------------------------ #
+    # Buffer mechanics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def buffer_used_bytes(self) -> int:
+        """Bytes currently held in the victim buffer."""
+        return self._buffer_bytes
+
+    def buffer_urls(self) -> List[str]:
+        """URLs in the buffer, oldest first."""
+        return list(self._buffer)
+
+    def _buffer_insert(self, entry: CacheEntry, now: float) -> None:
+        if entry.size > self.buffer_capacity:
+            # Too big to buffer: this is the document's true departure.
+            self._record_final_eviction(entry, now)
+            return
+        while self._buffer_bytes + entry.size > self.buffer_capacity:
+            _, oldest = self._buffer.popitem(last=False)
+            self._buffer_bytes -= oldest.size
+            self._record_final_eviction(oldest, now)
+        self._buffer[entry.url] = entry
+        self._buffer_bytes += entry.size
+
+    def _buffer_remove(self, url: str) -> Optional[CacheEntry]:
+        entry = self._buffer.pop(url, None)
+        if entry is not None:
+            self._buffer_bytes -= entry.size
+        return entry
+
+    def _record_final_eviction(self, entry: CacheEntry, now: float) -> None:
+        record = EvictionRecord(
+            url=entry.url,
+            size=entry.size,
+            entry_time=entry.entry_time,
+            last_hit_time=entry.last_hit_time,
+            hit_count=entry.hit_count,
+            evict_time=now,
+        )
+        self.tracker.record_eviction(record)
+        if self.eviction_listener is not None:
+            self.eviction_listener(record)
+
+    # ------------------------------------------------------------------ #
+    # Overridden request path
+    # ------------------------------------------------------------------ #
+
+    def evict(self, url: str, now: float) -> EvictionRecord:
+        """Evict from the main store into the buffer (not out of the cache).
+
+        The returned record documents the main-store departure, but the
+        expiration-age tracker is only fed when the document leaves the
+        buffer too (the buffer *is* still cache residency).
+        """
+        entry = self._entries.pop(url, None)
+        if entry is None:
+            raise CacheConfigurationError(
+                f"cannot evict {url!r}: not present in cache {self.name!r}"
+            )
+        self._used_bytes -= entry.size
+        self.policy.on_evict(entry)
+        self.stats.evictions += 1
+        self.stats.bytes_evicted += entry.size
+        self._buffer_insert(entry, now)
+        return EvictionRecord(
+            url=entry.url,
+            size=entry.size,
+            entry_time=entry.entry_time,
+            last_hit_time=entry.last_hit_time,
+            hit_count=entry.hit_count,
+            evict_time=now,
+        )
+
+    def lookup(self, url: str, now: float, refresh: bool = True) -> Optional[CacheEntry]:
+        """Main-store lookup with second-chance fallback to the buffer."""
+        entry = self._entries.get(url)
+        if entry is not None:
+            return super().lookup(url, now, refresh=refresh)
+        buffered = self._buffer_remove(url)
+        if buffered is None:
+            return super().lookup(url, now, refresh=refresh)  # counts the miss
+        # Second chance: promote back into the main store.
+        self.stats.lookups += 1
+        self.stats.local_hits += 1
+        self.stats.bytes_served_local += buffered.size
+        self.second_chance_hits += 1
+        if refresh:
+            buffered.record_hit(now)
+        self._readmit(buffered)
+        return buffered
+
+    def _readmit(self, entry: CacheEntry) -> None:
+        while self._used_bytes + entry.size > self.capacity_bytes:
+            victim_url = self.policy.select_victim()
+            self.evict(victim_url, entry.last_hit_time)
+        self._entries[entry.url] = entry
+        self._used_bytes += entry.size
+        self.policy.on_admit(entry)
+
+    def __contains__(self, url: str) -> bool:
+        # Buffered documents are still resident (ICP replies positively and
+        # serve_remote can deliver them after a promote-on-lookup path).
+        return url in self._entries or url in self._buffer
+
+    def serve_remote(self, url: str, now: float, refresh: bool) -> Optional[CacheEntry]:
+        if url not in self._entries and url in self._buffer:
+            buffered = self._buffer_remove(url)
+            assert buffered is not None
+            self.stats.remote_hits_served += 1
+            self.stats.bytes_served_remote += buffered.size
+            if refresh:
+                buffered.record_hit(now)
+            self._readmit(buffered)
+            return buffered
+        return super().serve_remote(url, now, refresh)
+
+    def clear(self) -> None:
+        super().clear()
+        self._buffer.clear()
+        self._buffer_bytes = 0

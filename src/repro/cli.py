@@ -1,0 +1,237 @@
+"""Command-line interface.
+
+Three subcommands cover the library's workflows::
+
+    repro generate-trace --scale default --out trace.bu
+    repro simulate --scheme ea --caches 4 --capacity 10MB --trace trace.bu
+    repro experiment fig1 --scale tiny
+
+``repro experiment all`` regenerates every paper artifact in sequence and
+prints the rendered tables (this is what EXPERIMENTS.md quotes).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.errors import ReproError
+from repro.experiments import EXPERIMENTS
+from repro.experiments.workload import WORKLOAD_SCALES, workload_config, workload_trace
+from repro.simulation.simulator import (
+    ARCHITECTURES,
+    PARTITIONERS,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.trace.readers import read_trace
+from repro.trace.synthetic import generate_trace
+from repro.trace.writers import write_bu_trace
+
+_SIZE_SUFFIXES = {"kb": 1024, "mb": 1024 ** 2, "gb": 1024 ** 3, "b": 1}
+
+
+def parse_size(text: str) -> int:
+    """Parse '100KB' / '10MB' / '1GB' / plain byte counts."""
+    lowered = text.strip().lower()
+    for suffix, multiplier in sorted(_SIZE_SUFFIXES.items(), key=lambda kv: -len(kv[0])):
+        if lowered.endswith(suffix):
+            number = lowered[: -len(suffix)].strip()
+            return int(float(number) * multiplier)
+    return int(lowered)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="EA-scheme cooperative web caching simulator (ICDCS 2002 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    gen = sub.add_parser("generate-trace", help="write a synthetic BU-like trace")
+    gen.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    gen.add_argument("--seed", type=int, default=42)
+    gen.add_argument("--out", required=True, help="output path (BU condensed format)")
+
+    sim = sub.add_parser("simulate", help="run one simulation and print the result")
+    sim.add_argument("--scheme", choices=("adhoc", "ea"), default="ea")
+    sim.add_argument("--caches", type=int, default=4)
+    sim.add_argument("--capacity", default="10MB", help="aggregate size, e.g. 100KB / 10MB")
+    sim.add_argument("--policy", default="lru")
+    sim.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
+    sim.add_argument("--partitioner", choices=PARTITIONERS, default="hash")
+    sim.add_argument("--trace", help="trace file (BU format); synthetic if omitted")
+    sim.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    sim.add_argument("--scale", choices=WORKLOAD_SCALES, default="default",
+                     help="synthetic workload scale when --trace is omitted")
+    sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--json", action="store_true", help="emit the full result as JSON")
+
+    exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
+    exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
+    exp.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    exp.add_argument("--seed", type=int, default=42)
+    exp.add_argument("--json", action="store_true", help="emit the report as JSON")
+    exp.add_argument("--save-json", metavar="DIR",
+                     help="also persist the report(s) into an ExperimentStore directory")
+
+    ana = sub.add_parser("analyze", help="characterise a trace (or a synthetic one)")
+    ana.add_argument("--trace", help="trace file; synthetic if omitted")
+    ana.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    ana.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    ana.add_argument("--seed", type=int, default=42)
+
+    cmp_parser = sub.add_parser(
+        "compare", help="run ad-hoc and EA side by side at one capacity"
+    )
+    cmp_parser.add_argument("--caches", type=int, default=4)
+    cmp_parser.add_argument("--capacity", default="1MB")
+    cmp_parser.add_argument("--policy", default="lru")
+    cmp_parser.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    cmp_parser.add_argument("--seed", type=int, default=42)
+    cmp_parser.add_argument("--trace", help="trace file; synthetic if omitted")
+    cmp_parser.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    return parser
+
+
+def _cmd_generate_trace(args: argparse.Namespace) -> int:
+    trace = generate_trace(workload_config(args.scale, args.seed))
+    count = write_bu_trace(iter(trace), args.out)
+    print(f"wrote {count} records ({trace.unique_urls} unique documents) to {args.out}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    if args.trace:
+        trace = read_trace(args.trace, fmt=args.trace_format)
+    else:
+        trace = workload_trace(args.scale, args.seed)
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_caches=args.caches,
+        aggregate_capacity=parse_size(args.capacity),
+        policy=args.policy,
+        architecture=args.architecture,
+        partitioner=args.partitioner,
+        seed=args.seed,
+    )
+    result = run_simulation(config, trace)
+    if args.json:
+        print(result.to_json())
+    else:
+        print(result.summary())
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments.store import ExperimentStore
+
+    names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
+    store = ExperimentStore(args.save_json) if args.save_json else None
+    for name in names:
+        report = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        if store is not None:
+            store.save(report)
+        if args.json:
+            print(report.to_json())
+        else:
+            print(report.render())
+            print()
+    return 0
+
+
+def _load_or_generate(args: argparse.Namespace):
+    if args.trace:
+        return read_trace(args.trace, fmt=args.trace_format)
+    return workload_trace(args.scale, args.seed)
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.trace.stats import compute_stats, fit_zipf_alpha
+
+    trace = _load_or_generate(args)
+    stats = compute_stats(trace)
+    print(
+        render_table(
+            ["metric", "value"],
+            [
+                ["requests", stats.num_requests],
+                ["unique documents", stats.num_unique_urls],
+                ["clients", stats.num_clients],
+                ["total MB requested", round(stats.total_bytes / (1 << 20), 1)],
+                ["unique-content MB", round(stats.unique_bytes / (1 << 20), 1)],
+                ["mean size (B)", round(stats.mean_size)],
+                ["one-timer fraction", round(stats.one_timer_fraction, 4)],
+                ["max hit rate (infinite cache)", round(stats.max_hit_rate, 4)],
+                ["max byte hit rate", round(stats.max_byte_hit_rate, 4)],
+                ["duration (h)", round(stats.duration / 3600.0, 2)],
+                ["fitted Zipf alpha", round(fit_zipf_alpha(trace), 3)],
+            ],
+            title="Trace characterisation",
+        )
+    )
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+
+    trace = _load_or_generate(args)
+    capacity = parse_size(args.capacity)
+    rows = []
+    for scheme in ("adhoc", "ea"):
+        config = SimulationConfig(
+            scheme=scheme,
+            num_caches=args.caches,
+            aggregate_capacity=capacity,
+            policy=args.policy,
+            seed=args.seed,
+        )
+        result = run_simulation(config, trace)
+        rows.append(
+            [
+                scheme,
+                round(result.metrics.hit_rate, 4),
+                round(result.metrics.byte_hit_rate, 4),
+                round(result.metrics.local_hit_rate, 4),
+                round(result.metrics.remote_hit_rate, 4),
+                round(result.estimated_latency * 1000.0, 1),
+                round(result.replication_factor, 3),
+            ]
+        )
+    print(
+        render_table(
+            ["scheme", "hit", "byte_hit", "local", "remote", "latency_ms", "replication"],
+            rows,
+            title=(
+                f"Ad-hoc vs EA: {args.caches} caches, {args.capacity} aggregate, "
+                f"{args.policy.upper()} replacement"
+            ),
+        )
+    )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate-trace": _cmd_generate_trace,
+        "simulate": _cmd_simulate,
+        "experiment": _cmd_experiment,
+        "analyze": _cmd_analyze,
+        "compare": _cmd_compare,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""Cache coherence substrate: TTL freshness, change models, validation."""
+
+from repro.coherence.group import (
+    DEFAULT_VALIDATION_LATENCY,
+    CoherenceStats,
+    CoherentGroup,
+)
+from repro.coherence.model import ChangeModel, TTLModel
+
+__all__ = [
+    "ChangeModel",
+    "CoherenceStats",
+    "CoherentGroup",
+    "DEFAULT_VALIDATION_LATENCY",
+    "TTLModel",
+]

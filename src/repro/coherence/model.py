@@ -1,0 +1,110 @@
+"""Document freshness models: TTLs and origin-side change processes.
+
+The paper's related work points at "cache coherence mechanisms" as the
+sibling problem to placement; this substrate lets the simulator study
+placement under consistency traffic instead of assuming immutable
+documents.
+
+Two seeded, deterministic models:
+
+* :class:`TTLModel` — how long a cached copy is considered fresh. Either a
+  fixed TTL or a per-document value drawn (stably, from the URL hash) from
+  a lognormal distribution, mimicking heterogeneous Expires headers.
+* :class:`ChangeModel` — when the origin's copy actually changes. Each URL
+  gets a stable change period; the document's *version* at time ``t`` is
+  ``floor(t / period)``, so any two observers agree on versions without
+  shared state.
+
+A validation (If-Modified-Since) compares the cached version against the
+current version: equal → 304 Not Modified; different → 200 with a new body.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Optional
+
+from repro.errors import CacheConfigurationError
+
+
+def _stable_unit(url: str, salt: str) -> float:
+    """Deterministic uniform(0,1) from a URL (stable across processes)."""
+    digest = hashlib.md5(f"{salt}:{url}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class TTLModel:
+    """Freshness lifetimes for cached copies.
+
+    Args:
+        base_ttl: Median TTL in seconds.
+        spread: Lognormal sigma for per-document variation; 0 = fixed TTL.
+    """
+
+    def __init__(self, base_ttl: float = 3600.0, spread: float = 0.0):
+        if base_ttl <= 0:
+            raise CacheConfigurationError("base_ttl must be positive")
+        if spread < 0:
+            raise CacheConfigurationError("spread must be non-negative")
+        self.base_ttl = base_ttl
+        self.spread = spread
+
+    def ttl_for(self, url: str) -> float:
+        """TTL in seconds for ``url`` (stable per URL)."""
+        if self.spread == 0.0:
+            return self.base_ttl
+        # Inverse-normal via a rational approximation is overkill here;
+        # a stable uniform mapped through exp() of a symmetric triangle
+        # gives the intended heavy-ish spread deterministically.
+        unit = _stable_unit(url, "ttl")
+        offset = (unit - 0.5) * 2.0  # [-1, 1]
+        return self.base_ttl * math.exp(self.spread * offset)
+
+
+class ChangeModel:
+    """Origin-side document change process.
+
+    Args:
+        mean_change_interval: Mean seconds between changes of a document.
+        spread: Lognormal-ish per-document variation of the period; 0 =
+            every document changes with the same period.
+        immutable_fraction: Fraction of documents that never change.
+    """
+
+    def __init__(
+        self,
+        mean_change_interval: float = 86_400.0,
+        spread: float = 1.0,
+        immutable_fraction: float = 0.3,
+    ):
+        if mean_change_interval <= 0:
+            raise CacheConfigurationError("mean_change_interval must be positive")
+        if spread < 0:
+            raise CacheConfigurationError("spread must be non-negative")
+        if not 0.0 <= immutable_fraction <= 1.0:
+            raise CacheConfigurationError("immutable_fraction must be in [0, 1]")
+        self.mean_change_interval = mean_change_interval
+        self.spread = spread
+        self.immutable_fraction = immutable_fraction
+
+    def period_for(self, url: str) -> float:
+        """Change period of ``url`` in seconds; ``inf`` for immutable docs."""
+        if _stable_unit(url, "immutable") < self.immutable_fraction:
+            return math.inf
+        if self.spread == 0.0:
+            return self.mean_change_interval
+        unit = _stable_unit(url, "period")
+        offset = (unit - 0.5) * 2.0
+        return self.mean_change_interval * math.exp(self.spread * offset)
+
+    def version_at(self, url: str, now: float) -> int:
+        """Version counter of ``url`` at time ``now`` (0 before any change)."""
+        period = self.period_for(url)
+        if math.isinf(period) or now < 0:
+            return 0
+        return int(now // period)
+
+    def changed_between(self, url: str, fetched_at: float, now: float) -> bool:
+        """Whether the origin copy changed in ``(fetched_at, now]``."""
+        return self.version_at(url, now) != self.version_at(url, fetched_at)

@@ -1,0 +1,24 @@
+"""Core contribution: placement schemes, request outcomes, demotion."""
+
+from repro.core.demotion import DemotionGroup, DemotionStats
+from repro.core.outcomes import RequestOutcome
+from repro.core.placement import (
+    AdHocScheme,
+    EAScheme,
+    OriginFetchDecision,
+    PlacementScheme,
+    RemoteHitDecision,
+    make_scheme,
+)
+
+__all__ = [
+    "AdHocScheme",
+    "DemotionGroup",
+    "DemotionStats",
+    "EAScheme",
+    "OriginFetchDecision",
+    "PlacementScheme",
+    "RemoteHitDecision",
+    "RequestOutcome",
+    "make_scheme",
+]

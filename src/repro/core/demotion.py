@@ -1,0 +1,143 @@
+"""Demotion extension: rescue the group's last copy on eviction.
+
+A natural follow-on to the EA scheme (in the spirit of global-memory
+demotion in serverless file systems, which the paper cites [2, 7]): when a
+cache evicts a document of which the group holds *no other copy*, offer it
+to the peer with the highest cache expiration age — the place it would
+survive longest — instead of dropping it from the group entirely.
+
+Costs one inter-proxy transfer per rescued victim, so the study reports
+demotion traffic next to the hit-rate change. Demotion cascades are cut at
+depth one: a demotion-triggered eviction at the receiving peer is never
+itself demoted (otherwise a full group could thrash documents in a cycle).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.architecture.base import CooperativeGroup
+from repro.cache.document import Document, EvictionRecord
+from repro.core.outcomes import RequestOutcome
+from repro.errors import SimulationError
+from repro.protocol import http as sim_http
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class DemotionStats:
+    """Counters for the demotion layer."""
+
+    candidates: int = 0
+    demoted: int = 0
+    dropped_replicated: int = 0
+    dropped_no_room: int = 0
+    dropped_cold: int = 0
+    bytes_demoted: int = 0
+
+
+class DemotionGroup:
+    """Wraps a cooperative group with last-copy demotion on eviction.
+
+    Args:
+        group: The underlying group (any scheme, any architecture).
+        min_target_age: Only demote to a peer whose expiration age exceeds
+            this (infinitely roomy peers always qualify); avoids shipping
+            bytes into a cache that would evict them immediately.
+        min_hits: Only demote victims whose hit counter reached this value
+            (counter starts at 1 on admission, so 2 means "was re-referenced
+            at least once"). Filters out the one-timer flood that otherwise
+            pollutes the target cache.
+    """
+
+    def __init__(
+        self,
+        group: CooperativeGroup,
+        min_target_age: float = 0.0,
+        min_hits: int = 1,
+    ):
+        if min_target_age < 0:
+            raise SimulationError("min_target_age must be non-negative")
+        if min_hits < 1:
+            raise SimulationError("min_hits must be >= 1")
+        self.group = group
+        self.min_target_age = min_target_age
+        self.min_hits = min_hits
+        self.stats = DemotionStats()
+        self._now = 0.0
+        self._demoting = False
+        self._pending: List[tuple] = []  # (source_index, EvictionRecord)
+        for index, cache in enumerate(group.caches):
+            cache.eviction_listener = self._make_listener(index)
+
+    def _make_listener(self, index: int):
+        def listener(record: EvictionRecord) -> None:
+            if not self._demoting:
+                self._pending.append((index, record))
+        return listener
+
+    def process(self, index: int, record: TraceRecord) -> RequestOutcome:
+        """Serve one request, then demote any last-copy victims it evicted."""
+        self._now = record.timestamp
+        self._pending.clear()
+        outcome = self.group.process(index, record)
+        self._drain_pending()
+        return outcome
+
+    def _drain_pending(self) -> None:
+        pending, self._pending = self._pending, []
+        self._demoting = True
+        try:
+            for source, record in pending:
+                self._maybe_demote(source, record)
+        finally:
+            self._demoting = False
+
+    def _maybe_demote(self, source: int, record: EvictionRecord) -> None:
+        self.stats.candidates += 1
+        if record.hit_count < self.min_hits:
+            self.stats.dropped_cold += 1
+            return
+        url = record.url
+        if any(url in cache for cache in self.group.caches):
+            self.stats.dropped_replicated += 1
+            return
+        target = self._choose_target(source, record.size)
+        if target is None:
+            self.stats.dropped_no_room += 1
+            return
+        # One inter-proxy transfer: source pushes the victim to the target.
+        request = sim_http.HttpRequest(url=url, sender=self.group.caches[source].name)
+        self.group.bus.send_http_request(request)
+        self.group.bus.send_http_response(
+            sim_http.HttpResponse(
+                url=url, body_size=record.size, sender=self.group.caches[source].name
+            )
+        )
+        admitted = self.group.caches[target].admit(Document(url, record.size), self._now)
+        if admitted.admitted:
+            self.stats.demoted += 1
+            self.stats.bytes_demoted += record.size
+        else:
+            self.stats.dropped_no_room += 1
+
+    def _choose_target(self, source: int, size: int) -> Optional[int]:
+        """Peer with the highest expiration age that can hold ``size`` bytes.
+
+        Peers whose age does not exceed ``min_target_age`` are ineligible
+        (cold caches report infinite age and always qualify). Ties go to the
+        lowest index for determinism.
+        """
+        best: Optional[int] = None
+        best_age = float("-inf")
+        for index, cache in enumerate(self.group.caches):
+            if index == source or cache.capacity_bytes < size:
+                continue
+            age = cache.expiration_age(self._now)
+            if age <= self.min_target_age:
+                continue
+            if age > best_age:
+                best = index
+                best_age = age
+        return best

@@ -1,0 +1,56 @@
+"""Per-request outcomes emitted by a cooperative cache group.
+
+Each processed trace record yields one :class:`RequestOutcome` describing
+how the request was served (local hit / remote hit / miss), by whom, at what
+modelled latency, and — for audit — the expiration ages behind any EA
+placement decision. The simulator folds these into group metrics; tests use
+them to assert scheme behaviour request by request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.network.latency import ServiceKind
+
+
+@dataclass(frozen=True)
+class RequestOutcome:
+    """How one client request was resolved by the group.
+
+    Attributes:
+        timestamp: Request arrival time.
+        requester: Index of the proxy the client request arrived at.
+        url: Requested document.
+        size: Served body size in bytes.
+        kind: LOCAL_HIT, REMOTE_HIT, or MISS (origin fetch).
+        responder: Index of the cache that served a remote hit, or None.
+        latency: Modelled service latency in seconds.
+        stored_at_requester: Whether the requester kept a local copy.
+        responder_refreshed: Whether the responder promoted its entry
+            (always true for ad-hoc remote hits; EA-gated otherwise).
+        requester_age: Requester expiration age at decision time (remote
+            hits and hierarchical misses only).
+        responder_age: Responder/parent expiration age at decision time.
+        hops: Upstream hops traversed for hierarchical resolution (0 for
+            local hits and flat-group operations).
+    """
+
+    timestamp: float
+    requester: int
+    url: str
+    size: int
+    kind: ServiceKind
+    responder: Optional[int] = None
+    latency: float = 0.0
+    stored_at_requester: bool = False
+    responder_refreshed: bool = False
+    requester_age: Optional[float] = None
+    responder_age: Optional[float] = None
+    hops: int = 0
+
+    @property
+    def is_hit(self) -> bool:
+        """True when the group served the request without the origin."""
+        return self.kind is not ServiceKind.MISS

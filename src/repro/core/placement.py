@@ -1,0 +1,313 @@
+"""Document placement schemes — the paper's core contribution.
+
+A placement scheme answers, for each way a request can be resolved, two
+questions the conventional "ad-hoc" scheme never asks:
+
+1. Should the requesting cache store a local copy of the document it just
+   obtained from a sibling/parent/origin?
+2. Should the cache that *served* the document treat the remote serve as a
+   hit (refreshing the entry's recency/frequency), giving the copy "a fresh
+   lease of life"?
+
+:class:`AdHocScheme` is the baseline used by existing cooperative caching
+protocols: always store, always refresh. :class:`EAScheme` implements the
+paper's Expiration-Age based algorithm (Section 3.3): compare the two
+caches' expiration ages (Eq. 5) and place/refresh so that exactly one copy
+— the one expected to survive longest — gets the fresh lease of life.
+
+Every decision is returned as an auditable record carrying the ages that
+produced it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.store import ProxyCache
+from repro.errors import CacheConfigurationError
+
+
+@dataclass(frozen=True)
+class RemoteHitDecision:
+    """Outcome of the requester/responder negotiation on a remote hit.
+
+    Attributes:
+        store_at_requester: Requester keeps a local copy.
+        refresh_responder: Responder promotes its entry (LRU head / LFU
+            counter bump); under EA exactly one of these two is normally
+            true, limiting replication to the longer-lived copy.
+        requester_age: Requester's cache expiration age at decision time.
+        responder_age: Responder's cache expiration age at decision time.
+    """
+
+    store_at_requester: bool
+    refresh_responder: bool
+    requester_age: float
+    responder_age: float
+
+
+@dataclass(frozen=True)
+class OriginFetchDecision:
+    """Whether a cache that fetched a document from upstream stores it.
+
+    ``upstream_age`` is the expiration age of the node the document came
+    through (a parent cache), or ``None`` when the fetch went directly to
+    the origin server (which has no cache age).
+    """
+
+    store: bool
+    own_age: float
+    upstream_age: Optional[float] = None
+
+
+class PlacementScheme:
+    """Interface for document placement schemes."""
+
+    #: Human-readable scheme name used in configs and reports.
+    name = "abstract"
+
+    def remote_hit(
+        self,
+        requester: ProxyCache,
+        responder: ProxyCache,
+        now: float,
+        size: Optional[int] = None,
+    ) -> RemoteHitDecision:
+        """Decide placement when ``responder`` serves ``requester``.
+
+        Args:
+            size: Body size of the served document, when the caller knows
+                it; size-aware schemes use it, the paper's schemes ignore it.
+        """
+        raise NotImplementedError
+
+    def origin_fetch(self, requester: ProxyCache, now: float) -> OriginFetchDecision:
+        """Decide placement when ``requester`` fetches from the origin."""
+        raise NotImplementedError
+
+    def serve_refresh(self, responder: ProxyCache, requester_age: float, now: float) -> bool:
+        """Whether ``responder``, serving a downstream cache whose piggybacked
+        expiration age is ``requester_age``, promotes its own entry.
+
+        Used on hierarchical chains where only the requester's *age* (not its
+        cache object) is available at the serving node.
+        """
+        raise NotImplementedError
+
+    def parent_store(
+        self, parent: ProxyCache, requester_age: float, now: float
+    ) -> OriginFetchDecision:
+        """Hierarchical rule: does a parent resolving a child's miss keep a copy?
+
+        Args:
+            parent: The cache that fetched the document on behalf of a child.
+            requester_age: Expiration age the child piggybacked on its
+                HTTP request.
+            now: Decision time.
+        """
+        raise NotImplementedError
+
+    def child_store(
+        self, child: ProxyCache, upstream_age: float, now: float
+    ) -> OriginFetchDecision:
+        """Hierarchical rule: does the child keep a copy of what a parent sent?
+
+        Args:
+            child: The cache that originated the request.
+            upstream_age: Expiration age piggybacked on the parent's
+                HTTP response.
+            now: Decision time.
+        """
+        raise NotImplementedError
+
+
+class AdHocScheme(PlacementScheme):
+    """The conventional scheme: cache everywhere, refresh every serve.
+
+    "When an ad-hoc document request is a miss in the local cache, this
+    document is either served by another nearby cache ... or by the origin
+    server. In either case, this document is added into the proxy cache
+    where it was requested." (Section 1); the responder's copy is "given a
+    fresh lease of life" (Section 2).
+    """
+
+    name = "adhoc"
+
+    def remote_hit(
+        self,
+        requester: ProxyCache,
+        responder: ProxyCache,
+        now: float,
+        size: Optional[int] = None,
+    ) -> RemoteHitDecision:
+        return RemoteHitDecision(
+            store_at_requester=True,
+            refresh_responder=True,
+            requester_age=requester.expiration_age(now),
+            responder_age=responder.expiration_age(now),
+        )
+
+    def origin_fetch(self, requester: ProxyCache, now: float) -> OriginFetchDecision:
+        return OriginFetchDecision(store=True, own_age=requester.expiration_age(now))
+
+    def serve_refresh(self, responder: ProxyCache, requester_age: float, now: float) -> bool:
+        # Ad-hoc: every serve is a hit; the copy gets a fresh lease of life.
+        return True
+
+    def parent_store(
+        self, parent: ProxyCache, requester_age: float, now: float
+    ) -> OriginFetchDecision:
+        return OriginFetchDecision(
+            store=True,
+            own_age=parent.expiration_age(now),
+            upstream_age=requester_age,
+        )
+
+    def child_store(
+        self, child: ProxyCache, upstream_age: float, now: float
+    ) -> OriginFetchDecision:
+        return OriginFetchDecision(
+            store=True,
+            own_age=child.expiration_age(now),
+            upstream_age=upstream_age,
+        )
+
+
+class EAScheme(PlacementScheme):
+    """The Expiration-Age based placement scheme (Section 3.3).
+
+    Remote hit: the requester stores a copy iff its cache expiration age is
+    greater than (or, with the default requester-wins tie break, equal to)
+    the responder's; the responder promotes its entry iff its age is
+    strictly greater than the requester's. Exactly one side extends the
+    document's life, which both limits replication and guarantees the
+    group never loses its last long-lived copy on a hit path.
+
+    Hierarchical miss: a parent that fetched the document for a child keeps
+    a copy iff the parent's age exceeds the child's; the child keeps a copy
+    iff its age is at least the parent's.
+
+    Args:
+        tie_break: ``"requester"`` (default) — on equal ages the requester
+            stores (degenerates to ad-hoc while both caches are cold, i.e.
+            both report infinite age); ``"responder"`` — on equal ages the
+            requester does not store and the responder keeps the lease.
+        max_replica_fraction: Optional size-aware extension (not in the
+            paper): never replicate a document whose body exceeds this
+            fraction of the requester's capacity — one huge replica costs
+            the aggregate more than many small ones. When the cap vetoes a
+            copy, the responder's entry is refreshed instead, preserving
+            the exactly-one-fresh-lease invariant (and therefore the
+            never-worse guarantee).
+    """
+
+    name = "ea"
+
+    _TIE_BREAKS = ("requester", "responder")
+
+    def __init__(
+        self,
+        tie_break: str = "requester",
+        max_replica_fraction: Optional[float] = None,
+    ):
+        if tie_break not in self._TIE_BREAKS:
+            raise CacheConfigurationError(
+                f"tie_break must be one of {self._TIE_BREAKS}, got {tie_break!r}"
+            )
+        if max_replica_fraction is not None and not 0.0 < max_replica_fraction <= 1.0:
+            raise CacheConfigurationError(
+                "max_replica_fraction must be in (0, 1] when given"
+            )
+        self.tie_break = tie_break
+        self.max_replica_fraction = max_replica_fraction
+
+    def _requester_stores(self, requester_age: float, responder_age: float) -> bool:
+        if requester_age > responder_age:
+            return True
+        if requester_age == responder_age:
+            return self.tie_break == "requester"
+        return False
+
+    def remote_hit(
+        self,
+        requester: ProxyCache,
+        responder: ProxyCache,
+        now: float,
+        size: Optional[int] = None,
+    ) -> RemoteHitDecision:
+        requester_age = requester.expiration_age(now)
+        responder_age = responder.expiration_age(now)
+        store = self._requester_stores(requester_age, responder_age)
+        refresh = responder_age > requester_age
+        if (
+            store
+            and self.max_replica_fraction is not None
+            and size is not None
+            and size > self.max_replica_fraction * requester.capacity_bytes
+        ):
+            # Size cap vetoes the replica; hand the fresh lease to the
+            # responder so the group never loses its long-lived copy.
+            store = False
+            refresh = True
+        return RemoteHitDecision(
+            store_at_requester=store,
+            refresh_responder=refresh,
+            requester_age=requester_age,
+            responder_age=responder_age,
+        )
+
+    def origin_fetch(self, requester: ProxyCache, now: float) -> OriginFetchDecision:
+        # Distributed architecture, group-wide miss: "the requestor fetches
+        # the document from the origin server, caches the document and
+        # serves it to its client" — same as ad-hoc.
+        return OriginFetchDecision(store=True, own_age=requester.expiration_age(now))
+
+    def serve_refresh(self, responder: ProxyCache, requester_age: float, now: float) -> bool:
+        # Promote only when this cache's copy is the longer-lived one.
+        return responder.expiration_age(now) > requester_age
+
+    def parent_store(
+        self, parent: ProxyCache, requester_age: float, now: float
+    ) -> OriginFetchDecision:
+        parent_age = parent.expiration_age(now)
+        # "If the Cache Expiration Age of the parent cache is greater than
+        # that of the Requester, it stores a copy ... Otherwise, document is
+        # just served to the Requester" (strict comparison).
+        return OriginFetchDecision(
+            store=parent_age > requester_age,
+            own_age=parent_age,
+            upstream_age=requester_age,
+        )
+
+    def child_store(
+        self, child: ProxyCache, upstream_age: float, now: float
+    ) -> OriginFetchDecision:
+        child_age = child.expiration_age(now)
+        # "The Requester acts in the same fashion as in the case where the
+        # document was obtained from a Responder" — the requester-store rule
+        # including its tie break, so at least one level keeps a copy when
+        # both are cold.
+        return OriginFetchDecision(
+            store=self._requester_stores(child_age, upstream_age),
+            own_age=child_age,
+            upstream_age=upstream_age,
+        )
+
+
+_SCHEMES = {
+    AdHocScheme.name: AdHocScheme,
+    EAScheme.name: EAScheme,
+}
+
+
+def make_scheme(name: str, **kwargs) -> PlacementScheme:
+    """Instantiate a placement scheme by name (``"adhoc"`` or ``"ea"``)."""
+    try:
+        factory = _SCHEMES[name.lower()]
+    except KeyError:
+        raise CacheConfigurationError(
+            f"unknown placement scheme {name!r}; expected one of {sorted(_SCHEMES)}"
+        ) from None
+    return factory(**kwargs)

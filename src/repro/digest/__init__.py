@@ -1,0 +1,13 @@
+"""Digest-based location substrate (Summary Cache, Fan et al. '98)."""
+
+from repro.digest.bloom import BloomFilter, optimal_parameters
+from repro.digest.directory import DigestDirectory, DigestStats
+from repro.digest.group import DigestDistributedGroup
+
+__all__ = [
+    "BloomFilter",
+    "DigestDirectory",
+    "DigestDistributedGroup",
+    "DigestStats",
+    "optimal_parameters",
+]

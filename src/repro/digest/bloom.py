@@ -1,0 +1,120 @@
+"""Bloom filters for cache digests.
+
+Summary Cache (Fan et al., SIGCOMM '98 — cited by the paper as an ICP
+alternative) replaces per-miss ICP queries with periodically exchanged
+compact summaries of each cache's contents. The summary data structure is a
+Bloom filter: k hash functions over an m-bit array, giving membership tests
+with no false negatives (for a fresh filter) and a tunable false-positive
+rate.
+
+This implementation is deterministic across processes: the k indices are
+derived from a SHA-1 double-hashing scheme (Kirsch-Mitzenmacher), not
+Python's randomised ``hash()``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable, Iterator, List
+
+from repro.errors import CacheConfigurationError
+
+
+def optimal_parameters(expected_items: int, false_positive_rate: float) -> "tuple[int, int]":
+    """Classic sizing: (bits, hashes) minimising space for a target FP rate.
+
+    m = -n ln p / (ln 2)^2, k = (m/n) ln 2.
+    """
+    if expected_items <= 0:
+        raise CacheConfigurationError("expected_items must be positive")
+    if not 0.0 < false_positive_rate < 1.0:
+        raise CacheConfigurationError("false_positive_rate must be in (0, 1)")
+    bits = math.ceil(-expected_items * math.log(false_positive_rate) / (math.log(2) ** 2))
+    hashes = max(1, round(bits / expected_items * math.log(2)))
+    return max(8, bits), hashes
+
+
+class BloomFilter:
+    """A fixed-size Bloom filter over strings.
+
+    Args:
+        num_bits: Size of the bit array (m).
+        num_hashes: Number of hash functions (k).
+    """
+
+    def __init__(self, num_bits: int, num_hashes: int):
+        if num_bits <= 0:
+            raise CacheConfigurationError("num_bits must be positive")
+        if num_hashes <= 0:
+            raise CacheConfigurationError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = bytearray((num_bits + 7) // 8)
+        self._count = 0
+
+    @classmethod
+    def for_capacity(cls, expected_items: int, false_positive_rate: float = 0.01) -> "BloomFilter":
+        """Size a filter for ``expected_items`` at the target FP rate."""
+        bits, hashes = optimal_parameters(expected_items, false_positive_rate)
+        return cls(bits, hashes)
+
+    def _indices(self, item: str) -> Iterator[int]:
+        digest = hashlib.sha1(item.encode("utf-8")).digest()
+        h1 = int.from_bytes(digest[:8], "big")
+        h2 = int.from_bytes(digest[8:16], "big") | 1  # odd => full period
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, item: str) -> None:
+        """Insert ``item`` (idempotent for membership purposes)."""
+        for index in self._indices(item):
+            self._bits[index >> 3] |= 1 << (index & 7)
+        self._count += 1
+
+    def __contains__(self, item: str) -> bool:
+        return all(
+            self._bits[index >> 3] & (1 << (index & 7)) for index in self._indices(item)
+        )
+
+    def clear(self) -> None:
+        """Remove everything (fresh filter)."""
+        self._bits = bytearray(len(self._bits))
+        self._count = 0
+
+    def update(self, items: Iterable[str]) -> None:
+        """Insert many items."""
+        for item in items:
+            self.add(item)
+
+    @property
+    def approximate_items(self) -> int:
+        """Number of ``add`` calls since the last clear (upper bound on n)."""
+        return self._count
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set — a saturation indicator."""
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.num_bits
+
+    @property
+    def estimated_false_positive_rate(self) -> float:
+        """(fill_ratio)^k — the standard FP estimate for the current load."""
+        return self.fill_ratio ** self.num_hashes
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size of the bit array (what a digest exchange transfers)."""
+        return len(self._bits)
+
+    def to_bytes(self) -> bytes:
+        """Serialise the bit array (for digest exchange accounting/tests)."""
+        return bytes(self._bits)
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_hashes: int) -> "BloomFilter":
+        """Rebuild a filter from :meth:`to_bytes` output."""
+        bloom = cls(len(data) * 8, num_hashes)
+        bloom._bits = bytearray(data)
+        return bloom

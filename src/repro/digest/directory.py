@@ -1,0 +1,119 @@
+"""Digest directory: Summary-Cache-style content location.
+
+Each cache periodically publishes a Bloom-filter digest of its contents;
+peers answer "who might have this URL?" from their *local copies* of those
+digests instead of sending per-miss ICP queries. Two error modes replace
+ICP's crisp answers:
+
+* **False positives** — the digest says a peer has the document but it does
+  not (Bloom collision, or the peer evicted it since publishing). The
+  requester wastes an inter-proxy HTTP round-trip.
+* **Stale negatives** — a peer acquired the document after publishing its
+  digest, so a real remote hit is missed.
+
+:class:`DigestDirectory` tracks both so experiments can quantify the
+ICP-vs-digest trade (messages saved vs accuracy lost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cache.store import ProxyCache
+from repro.digest.bloom import BloomFilter
+from repro.errors import CacheConfigurationError
+
+
+@dataclass
+class DigestStats:
+    """Accuracy and traffic counters for digest-based location."""
+
+    publishes: int = 0
+    publish_bytes: int = 0
+    lookups: int = 0
+    false_positives: int = 0
+    stale_negatives: int = 0
+
+    @property
+    def false_positive_rate(self) -> float:
+        """False positives per lookup (0 when no lookups)."""
+        return self.false_positives / self.lookups if self.lookups else 0.0
+
+
+class DigestDirectory:
+    """Holds the last-published digest of every cache in a group.
+
+    Args:
+        caches: The group members (digests are indexed by position).
+        rebuild_interval: Simulated seconds between digest publishes per
+            cache (Summary Cache exchanges summaries periodically, not per
+            update).
+        false_positive_rate: Target FP rate used to size each filter.
+    """
+
+    def __init__(
+        self,
+        caches: Sequence[ProxyCache],
+        rebuild_interval: float = 60.0,
+        false_positive_rate: float = 0.01,
+    ):
+        if rebuild_interval <= 0:
+            raise CacheConfigurationError("rebuild_interval must be positive")
+        if not 0.0 < false_positive_rate < 1.0:
+            raise CacheConfigurationError("false_positive_rate must be in (0, 1)")
+        self._caches = list(caches)
+        self.rebuild_interval = rebuild_interval
+        self.false_positive_rate = false_positive_rate
+        self.stats = DigestStats()
+        self._digests: List[Optional[BloomFilter]] = [None] * len(self._caches)
+        self._published_at: List[float] = [-float("inf")] * len(self._caches)
+
+    def _build_digest(self, index: int) -> BloomFilter:
+        cache = self._caches[index]
+        expected = max(64, len(cache) * 2)
+        bloom = BloomFilter.for_capacity(expected, self.false_positive_rate)
+        bloom.update(cache.urls())
+        return bloom
+
+    def publish(self, index: int, now: float) -> BloomFilter:
+        """Force cache ``index`` to publish a fresh digest at time ``now``."""
+        digest = self._build_digest(index)
+        self._digests[index] = digest
+        self._published_at[index] = now
+        self.stats.publishes += 1
+        self.stats.publish_bytes += digest.size_bytes
+        return digest
+
+    def refresh_due(self, now: float) -> None:
+        """Publish fresh digests for every cache whose interval elapsed."""
+        for index in range(len(self._caches)):
+            if now - self._published_at[index] >= self.rebuild_interval:
+                self.publish(index, now)
+
+    def digest_age(self, index: int, now: float) -> float:
+        """Seconds since cache ``index`` last published."""
+        return now - self._published_at[index]
+
+    def candidates(self, url: str, exclude: int, now: float) -> List[int]:
+        """Peers whose (possibly stale) digest claims to hold ``url``.
+
+        Also updates accuracy stats by comparing the digests' answers to
+        ground truth, which the simulator knows but a real deployment would
+        not.
+        """
+        self.refresh_due(now)
+        self.stats.lookups += 1
+        found: List[int] = []
+        for index, digest in enumerate(self._digests):
+            if index == exclude or digest is None:
+                continue
+            claimed = url in digest
+            actual = url in self._caches[index]
+            if claimed:
+                found.append(index)
+                if not actual:
+                    self.stats.false_positives += 1
+            elif actual:
+                self.stats.stale_negatives += 1
+        return found

@@ -1,0 +1,55 @@
+"""Exception hierarchy shared across the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class at an API boundary while still being
+able to discriminate the failure domain (trace parsing, cache configuration,
+protocol encoding, simulation setup).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class TraceError(ReproError):
+    """A trace file or trace record could not be parsed or validated."""
+
+
+class TraceFormatError(TraceError):
+    """A trace line does not conform to the declared log format.
+
+    Carries the offending line and its 1-based line number when available
+    so that callers can report actionable diagnostics.
+    """
+
+    def __init__(self, message: str, line: str = "", lineno: int = 0):
+        detail = message
+        if lineno:
+            detail = f"line {lineno}: {detail}"
+        if line:
+            detail = f"{detail!s} (offending line: {line!r})"
+        super().__init__(detail)
+        self.line = line
+        self.lineno = lineno
+
+
+class CacheConfigurationError(ReproError):
+    """A cache, policy, or tracker was constructed with invalid parameters."""
+
+
+class ProtocolError(ReproError):
+    """An ICP or simulated-HTTP message is malformed or cannot be decoded."""
+
+
+class NetworkError(ReproError):
+    """A network model or topology is misconfigured."""
+
+
+class SimulationError(ReproError):
+    """A simulation was configured inconsistently or driven incorrectly."""
+
+
+class ExperimentError(ReproError):
+    """An experiment driver received invalid parameters."""

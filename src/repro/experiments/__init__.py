@@ -1,0 +1,93 @@
+"""Experiment drivers — one per paper figure/table, plus ablations.
+
+Every driver exposes ``run(scale=..., seed=...) -> ExperimentReport`` and,
+where it projects a plain capacity sweep, ``build_report(sweep)`` so one
+sweep can feed several artifacts without re-simulating.
+"""
+
+from repro.experiments import (
+    ablations,
+    extensions,
+    extensions2,
+    fig1_document_hit_rates,
+    fig2_byte_hit_rates,
+    fig3_latency,
+    group_size_sweep,
+    model_validation,
+    multiseed,
+    table1_expiration_age,
+    table2_hit_breakdown,
+)
+from repro.experiments.report import ExperimentReport
+from repro.experiments.store import CellDiff, ExperimentStore, diff_reports
+from repro.experiments.sweep import (
+    DEFAULT_SCHEMES,
+    SweepPoint,
+    SweepResult,
+    run_capacity_sweep,
+)
+from repro.experiments.workload import (
+    PAPER_CAPACITIES,
+    PAPER_GROUP_SIZES,
+    TABLE1_CAPACITIES,
+    WORKLOAD_SCALES,
+    capacities_for,
+    workload_config,
+    workload_trace,
+)
+
+#: Registry mapping experiment ids to their run() callables (CLI uses this).
+EXPERIMENTS = {
+    "fig1": fig1_document_hit_rates.run,
+    "fig2": fig2_byte_hit_rates.run,
+    "fig3": fig3_latency.run,
+    "table1": table1_expiration_age.run,
+    "table2": table2_hit_breakdown.run,
+    "groupsize": group_size_sweep.run,
+    "ablation-window": ablations.run_window_ablation,
+    "ablation-ties": ablations.run_tie_break_ablation,
+    "ablation-policy": ablations.run_policy_ablation,
+    "ablation-architecture": ablations.run_architecture_ablation,
+    "ablation-measure": ablations.run_measure_ablation,
+    "ext-locator": extensions.run_locator_comparison,
+    "ext-baselines": extensions.run_baseline_comparison,
+    "ext-prefetch": extensions.run_prefetch_study,
+    "ext-loss": extensions.run_loss_resilience,
+    "ext-coherence": extensions2.run_coherence_study,
+    "ext-demotion": extensions2.run_demotion_study,
+    "ext-heterogeneous": extensions2.run_heterogeneity_study,
+    "ext-admission": extensions2.run_admission_study,
+    "ext-replica-cap": extensions2.run_replica_cap_study,
+    "multiseed": multiseed.run_multi_seed_comparison,
+    "model": model_validation.run,
+}
+
+__all__ = [
+    "CellDiff",
+    "DEFAULT_SCHEMES",
+    "EXPERIMENTS",
+    "ExperimentReport",
+    "ExperimentStore",
+    "PAPER_CAPACITIES",
+    "PAPER_GROUP_SIZES",
+    "SweepPoint",
+    "SweepResult",
+    "TABLE1_CAPACITIES",
+    "WORKLOAD_SCALES",
+    "ablations",
+    "capacities_for",
+    "diff_reports",
+    "extensions",
+    "extensions2",
+    "fig1_document_hit_rates",
+    "fig2_byte_hit_rates",
+    "fig3_latency",
+    "group_size_sweep",
+    "model_validation",
+    "multiseed",
+    "run_capacity_sweep",
+    "table1_expiration_age",
+    "table2_hit_breakdown",
+    "workload_config",
+    "workload_trace",
+]

@@ -1,0 +1,80 @@
+"""Experiment report container shared by every figure/table driver."""
+
+from __future__ import annotations
+
+import json
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.tables import render_table
+
+
+@dataclass
+class ExperimentReport:
+    """A regenerated paper artifact (figure series or table).
+
+    Attributes:
+        experiment_id: Short id matching DESIGN.md's experiment index
+            (``fig1``, ``table2``, ...).
+        title: Human-readable description including the paper artifact.
+        headers: Column names.
+        rows: Row cells, column-aligned with ``headers``.
+        notes: Free-form notes (substitutions, saturation warnings, ...).
+    """
+
+    experiment_id: str
+    title: str
+    headers: List[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        """Append one row (must match the header count)."""
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"{self.experiment_id}: row has {len(cells)} cells, "
+                f"expected {len(self.headers)}"
+            )
+        self.rows.append(list(cells))
+
+    def add_note(self, note: str) -> None:
+        """Attach a free-form note rendered under the table."""
+        self.notes.append(note)
+
+    def render(self) -> str:
+        """Monospace rendering: title, grid, notes."""
+        text = render_table(self.headers, self.rows, title=self.title)
+        if self.notes:
+            text += "\n" + "\n".join(f"note: {note}" for note in self.notes)
+        return text
+
+    def column(self, name: str) -> List[Any]:
+        """All values of one column, in row order."""
+        try:
+            index = self.headers.index(name)
+        except ValueError:
+            raise KeyError(
+                f"{self.experiment_id} has no column {name!r}; "
+                f"columns: {self.headers}"
+            ) from None
+        return [row[index] for row in self.rows]
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-safe representation."""
+        def scrub(cell: Any) -> Any:
+            if isinstance(cell, float) and math.isinf(cell):
+                return "inf"
+            return cell
+
+        return {
+            "experiment_id": self.experiment_id,
+            "title": self.title,
+            "headers": self.headers,
+            "rows": [[scrub(c) for c in row] for row in self.rows],
+            "notes": self.notes,
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        """JSON text of :meth:`to_dict`."""
+        return json.dumps(self.to_dict(), indent=indent)

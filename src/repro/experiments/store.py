@@ -1,0 +1,125 @@
+"""Experiment result store: persist, reload, and diff reports.
+
+Regeneration runs leave JSON artifacts under a results directory; later
+runs can be diffed cell-by-cell against them to catch regressions in the
+reproduction (a placement bug shows up as a hit-rate cell drifting).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.errors import ExperimentError
+from repro.experiments.report import ExperimentReport
+
+
+class ExperimentStore:
+    """Directory-backed store of :class:`ExperimentReport` JSON artifacts."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, experiment_id: str) -> Path:
+        if not experiment_id or "/" in experiment_id:
+            raise ExperimentError(f"invalid experiment id {experiment_id!r}")
+        return self.root / f"{experiment_id}.json"
+
+    def save(self, report: ExperimentReport) -> Path:
+        """Persist ``report`` as JSON; returns the file path."""
+        path = self._path(report.experiment_id)
+        path.write_text(report.to_json(), encoding="utf-8")
+        return path
+
+    def load(self, experiment_id: str) -> ExperimentReport:
+        """Load a previously saved report.
+
+        Raises:
+            ExperimentError: when the artifact does not exist or is corrupt.
+        """
+        path = self._path(experiment_id)
+        if not path.exists():
+            raise ExperimentError(f"no stored report for {experiment_id!r} in {self.root}")
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            report = ExperimentReport(
+                experiment_id=payload["experiment_id"],
+                title=payload["title"],
+                headers=list(payload["headers"]),
+            )
+            for row in payload["rows"]:
+                report.add_row(*[_revive(cell) for cell in row])
+            for note in payload.get("notes", []):
+                report.add_note(note)
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ExperimentError(f"corrupt report artifact {path}: {exc}") from exc
+        return report
+
+    def list_ids(self) -> List[str]:
+        """Experiment ids with stored artifacts, sorted."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
+
+    def exists(self, experiment_id: str) -> bool:
+        """Whether an artifact is stored for ``experiment_id``."""
+        return self._path(experiment_id).exists()
+
+
+def _revive(cell: Any) -> Any:
+    if cell == "inf":
+        return float("inf")
+    return cell
+
+
+@dataclass(frozen=True)
+class CellDiff:
+    """One differing cell between two reports."""
+
+    row: int
+    column: str
+    baseline: Any
+    current: Any
+    delta: Optional[float]
+
+
+def diff_reports(
+    baseline: ExperimentReport,
+    current: ExperimentReport,
+    tolerance: float = 0.0,
+) -> List[CellDiff]:
+    """Cell-by-cell diff of two same-shaped reports.
+
+    Numeric cells differing by more than ``tolerance`` (absolute) are
+    reported with their delta; non-numeric cells are compared exactly.
+
+    Raises:
+        ExperimentError: when shapes (headers or row counts) differ — that
+            is a structural change, not a numeric drift.
+    """
+    if baseline.headers != current.headers:
+        raise ExperimentError(
+            f"header mismatch: {baseline.headers} vs {current.headers}"
+        )
+    if len(baseline.rows) != len(current.rows):
+        raise ExperimentError(
+            f"row-count mismatch: {len(baseline.rows)} vs {len(current.rows)}"
+        )
+    diffs: List[CellDiff] = []
+    for row_index, (old_row, new_row) in enumerate(zip(baseline.rows, current.rows)):
+        for column, old, new in zip(baseline.headers, old_row, new_row):
+            if isinstance(old, (int, float)) and isinstance(new, (int, float)) \
+                    and not isinstance(old, bool) and not isinstance(new, bool):
+                delta = float(new) - float(old)
+                if abs(delta) > tolerance:
+                    diffs.append(
+                        CellDiff(row=row_index, column=column, baseline=old,
+                                 current=new, delta=delta)
+                    )
+            elif old != new:
+                diffs.append(
+                    CellDiff(row=row_index, column=column, baseline=old,
+                             current=new, delta=None)
+                )
+    return diffs

@@ -1,0 +1,109 @@
+"""Capacity-sweep harness shared by every experiment driver.
+
+One sweep = {scheme} x {aggregate capacity} simulations over a single trace,
+returned as an indexable :class:`SweepResult`. All figure/table drivers are
+thin projections of a sweep, so a single sweep per (trace, group size) can
+be reused across fig1/fig2/fig3/table1/table2 — the benchmark harness relies
+on that to avoid re-simulating.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace.record import Trace
+
+#: Scheme order used in paper tables: conventional first, then EA.
+DEFAULT_SCHEMES: Tuple[str, ...] = ("adhoc", "ea")
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulation inside a sweep."""
+
+    scheme: str
+    capacity_label: str
+    capacity_bytes: int
+    result: SimulationResult
+
+
+class SweepResult:
+    """All points of a sweep, indexable by (scheme, capacity label)."""
+
+    def __init__(self, points: Sequence[SweepPoint]):
+        self.points: List[SweepPoint] = list(points)
+        self._index: Dict[Tuple[str, str], SweepPoint] = {
+            (p.scheme, p.capacity_label): p for p in self.points
+        }
+
+    def get(self, scheme: str, capacity_label: str) -> SweepPoint:
+        """The point for a scheme/capacity pair.
+
+        Raises:
+            ExperimentError: if the sweep did not include that pair.
+        """
+        try:
+            return self._index[(scheme, capacity_label)]
+        except KeyError:
+            raise ExperimentError(
+                f"sweep has no point for scheme={scheme!r}, "
+                f"capacity={capacity_label!r}; available: {sorted(self._index)}"
+            ) from None
+
+    @property
+    def schemes(self) -> List[str]:
+        """Schemes present, in first-seen order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.scheme not in seen:
+                seen.append(point.scheme)
+        return seen
+
+    @property
+    def capacity_labels(self) -> List[str]:
+        """Capacity labels present, in first-seen order."""
+        seen: List[str] = []
+        for point in self.points:
+            if point.capacity_label not in seen:
+                seen.append(point.capacity_label)
+        return seen
+
+
+def run_capacity_sweep(
+    trace: Trace,
+    capacities: Sequence[Tuple[str, int]],
+    schemes: Sequence[str] = DEFAULT_SCHEMES,
+    base_config: Optional[SimulationConfig] = None,
+) -> SweepResult:
+    """Run {scheme} x {capacity} simulations over ``trace``.
+
+    Args:
+        trace: Workload replayed identically into every point.
+        capacities: ``(label, aggregate_bytes)`` pairs.
+        schemes: Placement schemes to compare.
+        base_config: Template for everything except scheme and capacity
+            (group size, policy, architecture...); paper defaults if omitted.
+    """
+    if not capacities:
+        raise ExperimentError("capacity sweep needs at least one capacity")
+    if not schemes:
+        raise ExperimentError("capacity sweep needs at least one scheme")
+    template = base_config if base_config is not None else SimulationConfig()
+    points: List[SweepPoint] = []
+    for label, capacity_bytes in capacities:
+        for scheme in schemes:
+            config = replace(template, scheme=scheme, aggregate_capacity=capacity_bytes)
+            result = run_simulation(config, trace)
+            points.append(
+                SweepPoint(
+                    scheme=scheme,
+                    capacity_label=label,
+                    capacity_bytes=capacity_bytes,
+                    result=result,
+                )
+            )
+    return SweepResult(points)

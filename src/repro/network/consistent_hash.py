@@ -1,0 +1,95 @@
+"""Consistent hash ring (Karger et al. '99, cited by the paper).
+
+Web caching with consistent hashing gives every URL a *home* cache; adding
+or removing a cache only remaps ~1/N of the URL space. The ring hashes each
+node to ``replicas`` virtual points on a 64-bit circle; a URL maps to the
+first node point clockwise from its own hash.
+
+Deterministic across processes (MD5-based points, no ``hash()``).
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import NetworkError
+
+
+def _point(key: str) -> int:
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """A hash ring mapping string keys to integer node ids.
+
+    Args:
+        nodes: Initial node ids.
+        replicas: Virtual points per node; more points = smoother balance.
+    """
+
+    def __init__(self, nodes: Sequence[int] = (), replicas: int = 64):
+        if replicas <= 0:
+            raise NetworkError("replicas must be positive")
+        self.replicas = replicas
+        self._points: List[int] = []
+        self._owners: Dict[int, int] = {}
+        self._nodes: Dict[int, bool] = {}
+        for node in nodes:
+            self.add_node(node)
+
+    def add_node(self, node: int) -> None:
+        """Insert a node's virtual points."""
+        if node in self._nodes:
+            raise NetworkError(f"node {node} already on the ring")
+        self._nodes[node] = True
+        for replica in range(self.replicas):
+            point = _point(f"node:{node}:{replica}")
+            index = bisect.bisect_left(self._points, point)
+            # MD5 collisions across distinct keys are not a practical
+            # concern at these scales; last writer wins if one occurs.
+            self._points.insert(index, point)
+            self._owners[point] = node
+
+    def remove_node(self, node: int) -> None:
+        """Remove a node and all its virtual points."""
+        if node not in self._nodes:
+            raise NetworkError(f"node {node} not on the ring")
+        del self._nodes[node]
+        for replica in range(self.replicas):
+            point = _point(f"node:{node}:{replica}")
+            if self._owners.get(point) == node:
+                index = bisect.bisect_left(self._points, point)
+                if index < len(self._points) and self._points[index] == point:
+                    self._points.pop(index)
+                del self._owners[point]
+
+    def node_for(self, key: str) -> int:
+        """The home node of ``key``.
+
+        Raises:
+            NetworkError: when the ring is empty.
+        """
+        if not self._points:
+            raise NetworkError("hash ring has no nodes")
+        point = _point(f"key:{key}")
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+    @property
+    def nodes(self) -> List[int]:
+        """Current node ids, sorted."""
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def load_distribution(self, keys: Sequence[str]) -> Dict[int, int]:
+        """Count of keys homed at each node (balance diagnostics)."""
+        counts: Dict[int, int] = {node: 0 for node in self._nodes}
+        for key in keys:
+            counts[self.node_for(key)] += 1
+        return counts

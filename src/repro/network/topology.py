@@ -1,0 +1,151 @@
+"""Cooperation topologies: which caches talk to which.
+
+Two structures cover the paper's space:
+
+* :class:`StarTopology` — the flat *distributed* architecture the
+  experiments use: every cache is every other cache's sibling.
+* :class:`TreeTopology` — the *hierarchical* architecture of Section 3.3:
+  every cache has at most one parent; siblings share a parent; leaves
+  receive client requests and misses escalate upward.
+
+Both answer the queries the simulator needs — ``siblings_of``,
+``parent_of``, ``children_of`` — over integer cache indices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import NetworkError
+
+
+class Topology:
+    """Interface over a set of caches indexed ``0..n-1``."""
+
+    def __init__(self, num_caches: int):
+        if num_caches <= 0:
+            raise NetworkError(f"num_caches must be positive, got {num_caches}")
+        self.num_caches = num_caches
+
+    def siblings_of(self, index: int) -> List[int]:
+        """Peer caches queried via ICP on a local miss at ``index``."""
+        raise NotImplementedError
+
+    def parent_of(self, index: int) -> Optional[int]:
+        """Parent cache, or None at the top level."""
+        raise NotImplementedError
+
+    def children_of(self, index: int) -> List[int]:
+        """Caches whose parent is ``index``."""
+        raise NotImplementedError
+
+    def leaves(self) -> List[int]:
+        """Caches that receive client requests directly."""
+        raise NotImplementedError
+
+    def _check_index(self, index: int) -> None:
+        if not 0 <= index < self.num_caches:
+            raise NetworkError(
+                f"cache index {index} out of range [0, {self.num_caches})"
+            )
+
+
+class StarTopology(Topology):
+    """Flat distributed group: all caches are mutual siblings, no parents."""
+
+    def siblings_of(self, index: int) -> List[int]:
+        self._check_index(index)
+        return [i for i in range(self.num_caches) if i != index]
+
+    def parent_of(self, index: int) -> Optional[int]:
+        self._check_index(index)
+        return None
+
+    def children_of(self, index: int) -> List[int]:
+        self._check_index(index)
+        return []
+
+    def leaves(self) -> List[int]:
+        return list(range(self.num_caches))
+
+
+class TreeTopology(Topology):
+    """Hierarchical group defined by a parent vector.
+
+    Args:
+        parents: ``parents[i]`` is the parent index of cache ``i`` or None
+            for a root. The forest must be acyclic; multiple roots are
+            allowed (disjoint hierarchies).
+    """
+
+    def __init__(self, parents: Sequence[Optional[int]]):
+        super().__init__(len(parents))
+        self._parents: List[Optional[int]] = list(parents)
+        self._children: Dict[int, List[int]] = {i: [] for i in range(self.num_caches)}
+        for child, parent in enumerate(self._parents):
+            if parent is None:
+                continue
+            self._check_index(parent)
+            if parent == child:
+                raise NetworkError(f"cache {child} cannot be its own parent")
+            self._children[parent].append(child)
+        self._verify_acyclic()
+
+    def _verify_acyclic(self) -> None:
+        for start in range(self.num_caches):
+            seen = set()
+            node: Optional[int] = start
+            while node is not None:
+                if node in seen:
+                    raise NetworkError(f"cycle detected through cache {start}")
+                seen.add(node)
+                node = self._parents[node]
+
+    def siblings_of(self, index: int) -> List[int]:
+        """Caches sharing this cache's parent (roots: the other roots)."""
+        self._check_index(index)
+        parent = self._parents[index]
+        if parent is None:
+            return [
+                i
+                for i in range(self.num_caches)
+                if i != index and self._parents[i] is None
+            ]
+        return [i for i in self._children[parent] if i != index]
+
+    def parent_of(self, index: int) -> Optional[int]:
+        self._check_index(index)
+        return self._parents[index]
+
+    def children_of(self, index: int) -> List[int]:
+        self._check_index(index)
+        return list(self._children[index])
+
+    def leaves(self) -> List[int]:
+        return [i for i in range(self.num_caches) if not self._children[i]]
+
+    def ancestors_of(self, index: int) -> List[int]:
+        """Chain of parents from ``index`` (exclusive) to its root."""
+        self._check_index(index)
+        chain: List[int] = []
+        node = self._parents[index]
+        while node is not None:
+            chain.append(node)
+            node = self._parents[node]
+        return chain
+
+    def depth_of(self, index: int) -> int:
+        """0 for roots, parents' depth + 1 otherwise."""
+        return len(self.ancestors_of(index))
+
+
+def two_level_tree(num_leaves: int, num_parents: int = 1) -> TreeTopology:
+    """Convenience builder: ``num_parents`` roots, leaves spread round-robin.
+
+    Cache indices: parents first (``0..num_parents-1``), then leaves.
+    """
+    if num_leaves <= 0 or num_parents <= 0:
+        raise NetworkError("two_level_tree requires positive leaf/parent counts")
+    parents: List[Optional[int]] = [None] * num_parents
+    parents.extend(i % num_parents for i in range(num_leaves))
+    return TreeTopology(parents)

@@ -1,0 +1,11 @@
+"""Eager-placement (prefetching) extension — the paper's "eager mode"."""
+
+from repro.prefetch.engine import PrefetchEngine, PrefetchStats
+from repro.prefetch.predictor import MarkovPredictor, Prediction
+
+__all__ = [
+    "MarkovPredictor",
+    "Prediction",
+    "PrefetchEngine",
+    "PrefetchStats",
+]

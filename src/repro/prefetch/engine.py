@@ -1,0 +1,134 @@
+"""Eager-placement engine: prefetch predicted documents into a group.
+
+Wraps any :class:`~repro.architecture.base.CooperativeGroup`: after each
+client request is served normally, the engine asks the predictor what the
+client is likely to fetch next and pre-places those documents at the
+requesting proxy (unless already resident). Prefetches are fetched from a
+sibling when one holds the document (cheap) or the origin otherwise
+(expensive speculation), and their traffic is accounted separately so the
+precision/byte-cost trade is measurable.
+
+Effectiveness accounting follows the prefetching literature:
+
+* a **prefetch hit** is a client request served locally by a document whose
+  resident copy was prefetched and not yet referenced;
+* a **wasted prefetch** is a prefetched copy evicted without ever serving a
+  client request.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set, Tuple
+
+from repro.architecture.base import CooperativeGroup
+from repro.cache.document import Document
+from repro.core.outcomes import RequestOutcome
+from repro.network.latency import ServiceKind
+from repro.prefetch.predictor import MarkovPredictor
+from repro.protocol import http as sim_http
+from repro.trace.record import TraceRecord
+
+
+@dataclass
+class PrefetchStats:
+    """Effectiveness and cost counters for the prefetch engine."""
+
+    issued: int = 0
+    skipped_resident: int = 0
+    from_sibling: int = 0
+    from_origin: int = 0
+    bytes_prefetched: int = 0
+    prefetch_hits: int = 0
+    wasted: int = 0
+
+    @property
+    def precision(self) -> float:
+        """Fraction of issued prefetches that served a client request."""
+        return self.prefetch_hits / self.issued if self.issued else 0.0
+
+
+class PrefetchEngine:
+    """Eager placement on top of a cooperative group.
+
+    Args:
+        group: The cooperative group to serve requests through.
+        predictor: Successor model (a default MarkovPredictor if omitted).
+        size_hints: URL -> size map used to prefetch documents never seen by
+            this group (the workload's document sizes); grows online from
+            observed requests, so it may be omitted.
+    """
+
+    def __init__(
+        self,
+        group: CooperativeGroup,
+        predictor: Optional[MarkovPredictor] = None,
+        size_hints: Optional[Dict[str, int]] = None,
+    ):
+        self.group = group
+        self.predictor = predictor if predictor is not None else MarkovPredictor()
+        self.stats = PrefetchStats()
+        self._sizes: Dict[str, int] = dict(size_hints or {})
+        # (cache_index, url) pairs placed by prefetch and not yet hit.
+        self._pending: Set[Tuple[int, str]] = set()
+
+    def process(self, index: int, record: TraceRecord) -> RequestOutcome:
+        """Serve one request, then prefetch its predicted successors."""
+        self._sizes[record.url] = record.size
+        outcome = self.group.process(index, record)
+
+        key = (index, record.url)
+        if outcome.kind is ServiceKind.LOCAL_HIT and key in self._pending:
+            self.stats.prefetch_hits += 1
+            self._pending.discard(key)
+        else:
+            # Any demand placement supersedes the prefetched provenance.
+            self._pending.discard(key)
+
+        self.predictor.observe(record.client_id, record.url)
+        for prediction in self.predictor.predict(record.url):
+            self._prefetch(index, prediction.url, record.timestamp)
+        self._reap_evicted(index)
+        return outcome
+
+    def _prefetch(self, index: int, url: str, now: float) -> None:
+        cache = self.group.caches[index]
+        if url in cache:
+            self.stats.skipped_resident += 1
+            return
+        size = self._sizes.get(url)
+        if size is None or size <= 0:
+            return
+        holder = next(
+            (i for i, c in enumerate(self.group.caches) if i != index and url in c),
+            None,
+        )
+        request = sim_http.HttpRequest(url=url, sender=cache.name)
+        self.group.bus.send_http_request(request)
+        if holder is not None:
+            # Speculative copy: serve without refreshing the sibling's entry
+            # (a prefetch is not a client hit there).
+            entry = self.group.caches[holder].serve_remote(url, now, refresh=False)
+            assert entry is not None
+            sender = self.group.caches[holder].name
+            size = entry.size
+            self.stats.from_sibling += 1
+        else:
+            sender = "origin"
+            self.stats.from_origin += 1
+        self.group.bus.send_http_response(
+            sim_http.HttpResponse(url=url, body_size=size, sender=sender)
+        )
+        if cache.admit(Document(url, size), now).admitted:
+            self.stats.issued += 1
+            self.stats.bytes_prefetched += size
+            self._pending.add((index, url))
+
+    def _reap_evicted(self, index: int) -> None:
+        """Count pending prefetches that were evicted unused."""
+        cache = self.group.caches[index]
+        evicted = {
+            key for key in self._pending if key[0] == index and key[1] not in cache
+        }
+        self.stats.wasted += len(evicted)
+        self._pending -= evicted

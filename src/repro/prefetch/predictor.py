@@ -1,0 +1,88 @@
+"""Online access predictor for eager (prefetching) document placement.
+
+The paper distinguishes *lazy* placement (cache on demand — everything in
+its evaluation) from *eager* placement ("documents are pre-fetched and
+cached based on access log predictions", citing Padmanabhan & Mogul). This
+module provides the prediction substrate for the eager mode: a first-order
+Markov model over each client's request stream, learned online.
+
+``predict(url)`` returns successors whose empirical transition probability
+clears a confidence threshold — the standard prediction-by-partial-match
+truncated to order 1, which is what proxy-side prefetchers of the era used.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CacheConfigurationError
+
+
+@dataclass(frozen=True)
+class Prediction:
+    """One predicted next document."""
+
+    url: str
+    probability: float
+    support: int
+
+
+class MarkovPredictor:
+    """First-order Markov successor model over per-client streams.
+
+    Args:
+        min_support: Minimum observations of a transition before it can be
+            predicted (guards against one-off noise).
+        min_probability: Minimum empirical P(next | current).
+        max_predictions: Cap on predictions returned per URL.
+    """
+
+    def __init__(
+        self,
+        min_support: int = 2,
+        min_probability: float = 0.25,
+        max_predictions: int = 3,
+    ):
+        if min_support < 1:
+            raise CacheConfigurationError("min_support must be >= 1")
+        if not 0.0 < min_probability <= 1.0:
+            raise CacheConfigurationError("min_probability must be in (0, 1]")
+        if max_predictions < 1:
+            raise CacheConfigurationError("max_predictions must be >= 1")
+        self.min_support = min_support
+        self.min_probability = min_probability
+        self.max_predictions = max_predictions
+        self._transitions: Dict[str, Counter] = defaultdict(Counter)
+        self._totals: Counter = Counter()
+        self._last_by_client: Dict[str, str] = {}
+
+    def observe(self, client_id: str, url: str) -> None:
+        """Feed one request; learns the (previous -> url) transition."""
+        previous = self._last_by_client.get(client_id)
+        if previous is not None and previous != url:
+            self._transitions[previous][url] += 1
+            self._totals[previous] += 1
+        self._last_by_client[client_id] = url
+
+    def predict(self, url: str) -> List[Prediction]:
+        """Successors of ``url`` clearing the support/probability bars."""
+        total = self._totals.get(url, 0)
+        if total == 0:
+            return []
+        predictions = []
+        for successor, count in self._transitions[url].most_common():
+            if len(predictions) >= self.max_predictions:
+                break
+            probability = count / total
+            if count >= self.min_support and probability >= self.min_probability:
+                predictions.append(
+                    Prediction(url=successor, probability=probability, support=count)
+                )
+        return predictions
+
+    @property
+    def transitions_learned(self) -> int:
+        """Total transition observations so far."""
+        return sum(self._totals.values())

@@ -1,0 +1,41 @@
+"""Inter-proxy protocol substrate: ICP v2 and simulated HTTP piggybacking."""
+
+from repro.protocol.http import (
+    EXPIRATION_AGE_HEADER,
+    HttpRequest,
+    HttpResponse,
+    decode_request,
+    decode_response,
+    format_expiration_age,
+    parse_expiration_age,
+)
+from repro.protocol.icp import (
+    ICP_VERSION,
+    ICPMessage,
+    ICPOpcode,
+    decode,
+    encode,
+    pack_cache_address,
+    query,
+    reply,
+    unpack_cache_address,
+)
+
+__all__ = [
+    "EXPIRATION_AGE_HEADER",
+    "HttpRequest",
+    "HttpResponse",
+    "ICPMessage",
+    "ICPOpcode",
+    "ICP_VERSION",
+    "decode",
+    "decode_request",
+    "decode_response",
+    "encode",
+    "format_expiration_age",
+    "pack_cache_address",
+    "parse_expiration_age",
+    "query",
+    "reply",
+    "unpack_cache_address",
+]

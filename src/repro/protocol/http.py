@@ -1,0 +1,206 @@
+"""Simulated HTTP messages with the EA scheme's piggyback header.
+
+The EA scheme's only extra communication is the cache expiration age,
+"piggybacked on either a HTTP request message or a HTTP response message"
+(Section 3.5). This module models exactly that: minimal HTTP/1.0-style
+request and response objects with a header map, plus helpers to attach and
+extract the ``X-Cache-Expiration-Age`` header (including the ``inf`` value a
+never-evicting cache reports).
+
+Serialisation to/from wire text exists so tests can verify the round-trip
+and so the network model can account header bytes.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+#: Header carrying the sender's cache expiration age, in seconds.
+EXPIRATION_AGE_HEADER = "X-Cache-Expiration-Age"
+
+
+def format_expiration_age(age: float) -> str:
+    """Render an expiration age for the wire (``inf`` for no-contention)."""
+    if math.isinf(age):
+        return "inf"
+    if age < 0:
+        raise ProtocolError(f"expiration age cannot be negative: {age}")
+    return f"{age:.6f}"
+
+
+def parse_expiration_age(text: str) -> float:
+    """Parse a wire expiration age; inverse of :func:`format_expiration_age`."""
+    stripped = text.strip().lower()
+    if stripped in ("inf", "+inf", "infinity"):
+        return math.inf
+    try:
+        value = float(stripped)
+    except ValueError:
+        raise ProtocolError(f"unparseable expiration age {text!r}") from None
+    if value < 0 or math.isnan(value):
+        raise ProtocolError(f"invalid expiration age {text!r}")
+    return value
+
+
+@dataclass
+class HttpRequest:
+    """A simulated HTTP request between caches (or cache to origin).
+
+    Attributes:
+        url: Request target.
+        sender: Name of the requesting cache.
+        headers: Header map (case-preserving keys, case-insensitive get).
+        method: Always GET in this model.
+    """
+
+    url: str
+    sender: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+    method: str = "GET"
+
+    def get_header(self, name: str) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return None
+
+    @property
+    def expiration_age(self) -> Optional[float]:
+        """The piggybacked requester expiration age, if present."""
+        raw = self.get_header(EXPIRATION_AGE_HEADER)
+        return None if raw is None else parse_expiration_age(raw)
+
+    def with_expiration_age(self, age: float) -> "HttpRequest":
+        """Attach the requester's cache expiration age (returns self)."""
+        self.headers[EXPIRATION_AGE_HEADER] = format_expiration_age(age)
+        return self
+
+    def encode(self) -> str:
+        """Wire text: request line + headers + blank line."""
+        lines = [f"{self.method} {self.url} HTTP/1.0"]
+        if self.sender:
+            lines.append(f"Via: {self.sender}")
+        lines.extend(f"{k}: {v}" for k, v in self.headers.items())
+        lines.append("")
+        lines.append("")
+        return "\r\n".join(lines)
+
+    @property
+    def wire_length(self) -> int:
+        """Length in bytes of the encoded request."""
+        return len(self.encode().encode("utf-8"))
+
+
+@dataclass
+class HttpResponse:
+    """A simulated HTTP response carrying a document body.
+
+    Attributes:
+        url: The document served.
+        status: HTTP status (200 for hits and origin fetches).
+        body_size: Body length in bytes (the body itself is never
+            materialised — size is all the simulation needs).
+        sender: Name of the responding cache or ``"origin"``.
+        headers: Header map.
+    """
+
+    url: str
+    status: int = 200
+    body_size: int = 0
+    sender: str = ""
+    headers: Dict[str, str] = field(default_factory=dict)
+
+    def get_header(self, name: str) -> Optional[str]:
+        """Case-insensitive header lookup."""
+        lowered = name.lower()
+        for key, value in self.headers.items():
+            if key.lower() == lowered:
+                return value
+        return None
+
+    @property
+    def expiration_age(self) -> Optional[float]:
+        """The piggybacked responder expiration age, if present."""
+        raw = self.get_header(EXPIRATION_AGE_HEADER)
+        return None if raw is None else parse_expiration_age(raw)
+
+    def with_expiration_age(self, age: float) -> "HttpResponse":
+        """Attach the responder's cache expiration age (returns self)."""
+        self.headers[EXPIRATION_AGE_HEADER] = format_expiration_age(age)
+        return self
+
+    def encode(self) -> str:
+        """Wire text: status line + headers (body elided, length declared)."""
+        lines = [f"HTTP/1.0 {self.status} OK" if self.status == 200 else f"HTTP/1.0 {self.status} STATUS"]
+        lines.append(f"Content-Length: {self.body_size}")
+        if self.sender:
+            lines.append(f"Via: {self.sender}")
+        lines.extend(f"{k}: {v}" for k, v in self.headers.items())
+        lines.append("")
+        lines.append("")
+        return "\r\n".join(lines)
+
+    @property
+    def wire_length(self) -> int:
+        """Length in bytes of headers plus the (elided) body."""
+        return len(self.encode().encode("utf-8")) + self.body_size
+
+
+def decode_request(text: str) -> HttpRequest:
+    """Parse wire text produced by :meth:`HttpRequest.encode`."""
+    lines = text.split("\r\n")
+    if not lines or " " not in lines[0]:
+        raise ProtocolError("malformed HTTP request line")
+    parts = lines[0].split(" ")
+    if len(parts) != 3:
+        raise ProtocolError(f"malformed HTTP request line {lines[0]!r}")
+    method, url, _version = parts
+    headers: Dict[str, str] = {}
+    sender = ""
+    for line in lines[1:]:
+        if not line:
+            break
+        if ":" not in line:
+            raise ProtocolError(f"malformed HTTP header {line!r}")
+        key, value = line.split(":", 1)
+        if key.strip().lower() == "via":
+            sender = value.strip()
+        else:
+            headers[key.strip()] = value.strip()
+    return HttpRequest(url=url, sender=sender, headers=headers, method=method)
+
+
+def decode_response(text: str) -> HttpResponse:
+    """Parse wire text produced by :meth:`HttpResponse.encode`."""
+    lines = text.split("\r\n")
+    if not lines or not lines[0].startswith("HTTP/"):
+        raise ProtocolError("malformed HTTP status line")
+    try:
+        status = int(lines[0].split(" ")[1])
+    except (IndexError, ValueError):
+        raise ProtocolError(f"malformed HTTP status line {lines[0]!r}") from None
+    headers: Dict[str, str] = {}
+    sender = ""
+    body_size = 0
+    for line in lines[1:]:
+        if not line:
+            break
+        if ":" not in line:
+            raise ProtocolError(f"malformed HTTP header {line!r}")
+        key, value = line.split(":", 1)
+        key_l = key.strip().lower()
+        if key_l == "content-length":
+            body_size = int(value.strip())
+        elif key_l == "via":
+            sender = value.strip()
+        else:
+            headers[key.strip()] = value.strip()
+    return HttpResponse(
+        url="", status=status, body_size=body_size, sender=sender, headers=headers
+    )

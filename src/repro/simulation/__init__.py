@@ -1,0 +1,49 @@
+"""Simulation layer: event engine, trace-driven simulator, metrics, results."""
+
+from repro.simulation.engine import EventHandle, EventScheduler
+from repro.simulation.export import (
+    CSV_FIELDS,
+    read_outcomes_csv,
+    write_outcomes_csv,
+    write_outcomes_jsonl,
+)
+from repro.simulation.latencystats import LatencyHistogram
+from repro.simulation.replay import replay_trace
+from repro.simulation.timeseries import TimeSeriesCollector, WindowPoint
+from repro.simulation.metrics import (
+    GroupMetrics,
+    average_cache_expiration_age,
+    estimate_average_latency,
+)
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import (
+    ARCHITECTURES,
+    LATENCY_MODELS,
+    PARTITIONERS,
+    CooperativeSimulator,
+    SimulationConfig,
+    run_simulation,
+)
+
+__all__ = [
+    "ARCHITECTURES",
+    "CSV_FIELDS",
+    "CooperativeSimulator",
+    "EventHandle",
+    "EventScheduler",
+    "GroupMetrics",
+    "LATENCY_MODELS",
+    "LatencyHistogram",
+    "PARTITIONERS",
+    "SimulationConfig",
+    "SimulationResult",
+    "TimeSeriesCollector",
+    "WindowPoint",
+    "average_cache_expiration_age",
+    "estimate_average_latency",
+    "read_outcomes_csv",
+    "replay_trace",
+    "run_simulation",
+    "write_outcomes_csv",
+    "write_outcomes_jsonl",
+]

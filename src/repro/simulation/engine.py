@@ -1,0 +1,140 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic event scheduler: events are ``(time, seq)``-ordered
+callbacks in a binary heap, ties broken by insertion order so identical runs
+replay identically. The trace-driven simulator schedules one event per trace
+record; the engine also supports cancellation and bounded runs for tests and
+future extensions (e.g. modelling concurrent in-flight requests).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+from repro.errors import SimulationError
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Opaque handle returned by :meth:`EventScheduler.schedule`."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    @property
+    def time(self) -> float:
+        """Scheduled firing time."""
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        """Whether :meth:`EventScheduler.cancel` was called on this handle."""
+        return self._event.cancelled
+
+
+class EventScheduler:
+    """Deterministic virtual-time event loop.
+
+    Typical use::
+
+        sched = EventScheduler()
+        sched.schedule(1.0, lambda: do_something())
+        sched.run()          # drains all events
+        sched.now            # -> 1.0
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current virtual time (time of the last fired event)."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled, un-fired, un-cancelled events."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` at virtual ``time``.
+
+        Raises:
+            SimulationError: when scheduling into the past.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at {time} before current time {self._now}"
+            )
+        event = _Event(time=time, seq=next(self._seq), callback=callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` after ``delay`` seconds of virtual time."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self._now + delay, callback)
+
+    def cancel(self, handle: EventHandle) -> None:
+        """Cancel a scheduled event (no-op if it already fired)."""
+        handle._event.cancelled = True
+
+    def step(self) -> bool:
+        """Fire the next event; returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, max_events: Optional[int] = None) -> int:
+        """Drain the queue (or fire at most ``max_events``); returns count fired."""
+        fired = 0
+        while (max_events is None or fired < max_events) and self.step():
+            fired += 1
+        return fired
+
+    def run_until(self, deadline: float) -> int:
+        """Fire every event scheduled at or before ``deadline``.
+
+        Virtual time advances to ``deadline`` even if the queue drains early.
+        """
+        fired = 0
+        while self._heap:
+            upcoming = self._peek_time()
+            if upcoming is None or upcoming > deadline:
+                break
+            self.step()
+            fired += 1
+        self._now = max(self._now, deadline)
+        return fired
+
+    def _peek_time(self) -> Optional[float]:
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

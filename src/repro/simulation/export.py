@@ -1,0 +1,122 @@
+"""Per-request outcome export: CSV and JSON-lines writers.
+
+Large simulations produce millions of outcomes; persisting them lets
+external tooling (pandas, gnuplot, spreadsheets) analyse distributions the
+aggregate metrics summarise away. Both writers stream — nothing is
+buffered beyond one record.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import math
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.core.outcomes import RequestOutcome
+
+#: Column order for the CSV export.
+CSV_FIELDS = (
+    "timestamp",
+    "requester",
+    "url",
+    "size",
+    "kind",
+    "responder",
+    "latency",
+    "stored_at_requester",
+    "responder_refreshed",
+    "requester_age",
+    "responder_age",
+    "hops",
+)
+
+
+def _row(outcome: RequestOutcome) -> dict:
+    def age(value):
+        if value is None:
+            return ""
+        if math.isinf(value):
+            return "inf"
+        return value
+
+    return {
+        "timestamp": outcome.timestamp,
+        "requester": outcome.requester,
+        "url": outcome.url,
+        "size": outcome.size,
+        "kind": outcome.kind.value,
+        "responder": "" if outcome.responder is None else outcome.responder,
+        "latency": outcome.latency,
+        "stored_at_requester": outcome.stored_at_requester,
+        "responder_refreshed": outcome.responder_refreshed,
+        "requester_age": age(outcome.requester_age),
+        "responder_age": age(outcome.responder_age),
+        "hops": outcome.hops,
+    }
+
+
+def _open_sink(sink: Union[str, Path, IO[str]]):
+    if isinstance(sink, (str, Path)):
+        return open(sink, "w", encoding="utf-8", newline=""), True
+    return sink, False
+
+
+def write_outcomes_csv(
+    outcomes: Iterable[RequestOutcome], sink: Union[str, Path, IO[str]]
+) -> int:
+    """Write outcomes as CSV with a header row; returns rows written."""
+    handle, should_close = _open_sink(sink)
+    try:
+        writer = csv.DictWriter(handle, fieldnames=CSV_FIELDS)
+        writer.writeheader()
+        count = 0
+        for outcome in outcomes:
+            writer.writerow(_row(outcome))
+            count += 1
+        return count
+    finally:
+        if should_close:
+            handle.close()
+
+
+def write_outcomes_jsonl(
+    outcomes: Iterable[RequestOutcome], sink: Union[str, Path, IO[str]]
+) -> int:
+    """Write outcomes as JSON lines; returns lines written."""
+    handle, should_close = _open_sink(sink)
+    try:
+        count = 0
+        for outcome in outcomes:
+            handle.write(json.dumps(_row(outcome), sort_keys=True))
+            handle.write("\n")
+            count += 1
+        return count
+    finally:
+        if should_close:
+            handle.close()
+
+
+def read_outcomes_csv(source: Union[str, Path, IO[str]]):
+    """Read rows written by :func:`write_outcomes_csv` (dicts, typed floats).
+
+    Intended for tests and lightweight post-processing; heavy analysis
+    should load the CSV with pandas/numpy directly.
+    """
+    if isinstance(source, (str, Path)):
+        handle = open(source, "r", encoding="utf-8", newline="")
+        should_close = True
+    else:
+        handle, should_close = source, False
+    try:
+        for row in csv.DictReader(handle):
+            row["timestamp"] = float(row["timestamp"])
+            row["size"] = int(row["size"])
+            row["latency"] = float(row["latency"])
+            row["requester"] = int(row["requester"])
+            row["hops"] = int(row["hops"])
+            yield row
+    finally:
+        if should_close:
+            handle.close()

@@ -1,0 +1,108 @@
+"""Streaming latency distribution: log-bucketed histogram with percentiles.
+
+Mean latency (what the paper estimates with Eq. 6) hides the tail that
+users actually feel: a 10 % miss rate with 2.8 s misses produces a brutal
+p99 behind a pleasant mean. :class:`LatencyHistogram` accumulates
+per-request latencies into geometric buckets (constant relative error) in
+O(1) per observation and answers percentile queries without storing the
+samples.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+from repro.errors import SimulationError
+
+
+class LatencyHistogram:
+    """Log-spaced latency histogram.
+
+    Args:
+        min_latency: Lower edge of the first bucket (latencies below land
+            in it); must be positive.
+        max_latency: Upper edge of the last bucket (latencies above land in
+            an overflow bucket).
+        buckets_per_decade: Resolution; 20 gives ~12 % relative bucket
+            width, plenty for p50/p95/p99 reporting.
+    """
+
+    def __init__(
+        self,
+        min_latency: float = 1e-3,
+        max_latency: float = 100.0,
+        buckets_per_decade: int = 20,
+    ):
+        if min_latency <= 0 or max_latency <= min_latency:
+            raise SimulationError("require 0 < min_latency < max_latency")
+        if buckets_per_decade <= 0:
+            raise SimulationError("buckets_per_decade must be positive")
+        self.min_latency = min_latency
+        self.max_latency = max_latency
+        self._log_min = math.log10(min_latency)
+        self._per_decade = buckets_per_decade
+        decades = math.log10(max_latency) - self._log_min
+        self._num_buckets = int(math.ceil(decades * buckets_per_decade)) + 1
+        self._counts: List[int] = [0] * (self._num_buckets + 1)  # + overflow
+        self._total = 0
+        self._sum = 0.0
+        self._max_seen = 0.0
+
+    def observe(self, latency: float) -> None:
+        """Fold one latency (seconds) into the histogram."""
+        if latency < 0:
+            raise SimulationError("latency cannot be negative")
+        self._total += 1
+        self._sum += latency
+        self._max_seen = max(self._max_seen, latency)
+        self._counts[self._bucket_of(latency)] += 1
+
+    def _bucket_of(self, latency: float) -> int:
+        if latency <= self.min_latency:
+            return 0
+        if latency >= self.max_latency:
+            return self._num_buckets  # overflow
+        index = int((math.log10(latency) - self._log_min) * self._per_decade)
+        return min(index, self._num_buckets - 1)
+
+    def _bucket_upper_edge(self, index: int) -> float:
+        if index >= self._num_buckets:
+            return self._max_seen
+        return 10.0 ** (self._log_min + (index + 1) / self._per_decade)
+
+    @property
+    def count(self) -> int:
+        """Observations so far."""
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        """Exact mean (tracked outside the buckets)."""
+        return self._sum / self._total if self._total else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Upper edge of the bucket containing the ``p``-th percentile.
+
+        Args:
+            p: Percentile in (0, 100].
+        """
+        if not 0.0 < p <= 100.0:
+            raise SimulationError("percentile must be in (0, 100]")
+        if self._total == 0:
+            return 0.0
+        target = math.ceil(p / 100.0 * self._total)
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= target:
+                return self._bucket_upper_edge(index)
+        return self._max_seen
+
+    def summary(self, percentiles: Sequence[float] = (50.0, 90.0, 99.0)) -> str:
+        """One-line distribution summary in milliseconds."""
+        parts = [f"n={self._total}", f"mean={self.mean * 1000:.0f}ms"]
+        parts.extend(
+            f"p{int(p)}={self.percentile(p) * 1000:.0f}ms" for p in percentiles
+        )
+        return " ".join(parts)

@@ -1,0 +1,166 @@
+"""Group-level metrics: the four quantities the paper evaluates.
+
+* Cumulative (document) hit rate — "the ratio of the total hits in the
+  group to total number of requests in all the caches in the group".
+* Cumulative byte hit rate — same, weighted by bytes.
+* Average cache expiration age — "the mean of the Cache Expiration Ages of
+  all the caches in the group" (Table 1).
+* Average latency — the paper's Eq. 6 estimator from hit-class rates and
+  the measured per-class constants, plus the simulator's own measured mean.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+from repro.core.outcomes import RequestOutcome
+from repro.errors import SimulationError
+from repro.network.latency import (
+    PAPER_LOCAL_HIT_LATENCY,
+    PAPER_MISS_LATENCY,
+    PAPER_REMOTE_HIT_LATENCY,
+    ServiceKind,
+)
+
+
+def estimate_average_latency(
+    local_hit_rate: float,
+    remote_hit_rate: float,
+    miss_rate: float,
+    local_hit_latency: float = PAPER_LOCAL_HIT_LATENCY,
+    remote_hit_latency: float = PAPER_REMOTE_HIT_LATENCY,
+    miss_latency: float = PAPER_MISS_LATENCY,
+) -> float:
+    """Paper Eq. 6: rate-weighted mean of the three service latencies.
+
+    ``(LHR*LHL + RHR*RHL + MR*ML) / (LHR + RHR + MR)`` — the denominator
+    normalises in case the rates do not sum exactly to 1.
+    """
+    total = local_hit_rate + remote_hit_rate + miss_rate
+    if total <= 0:
+        raise SimulationError("rates must sum to a positive value")
+    numerator = (
+        local_hit_rate * local_hit_latency
+        + remote_hit_rate * remote_hit_latency
+        + miss_rate * miss_latency
+    )
+    return numerator / total
+
+
+def average_cache_expiration_age(ages: Sequence[float]) -> float:
+    """Mean cache expiration age over the group.
+
+    Caches that never evicted report ``+inf`` (no contention signal); they
+    are excluded from the mean so one cold cache does not drown the signal.
+    Returns ``+inf`` when *no* cache has evicted anything — the group has
+    experienced no contention at all (this is why the paper's Table 1 stops
+    at 100 MB: at 1 GB the BU workload fits without evictions).
+    """
+    finite = [age for age in ages if not math.isinf(age)]
+    if not finite:
+        return math.inf
+    return sum(finite) / len(finite)
+
+
+@dataclass
+class GroupMetrics:
+    """Accumulated request-resolution counters for a whole group.
+
+    Byte counters attribute each request's served size to the class that
+    served it, so ``byte_hit_rate`` is "ratio of bytes that hit in the cache
+    group to the total number of bytes requested".
+    """
+
+    requests: int = 0
+    local_hits: int = 0
+    remote_hits: int = 0
+    misses: int = 0
+    bytes_requested: int = 0
+    bytes_local_hit: int = 0
+    bytes_remote_hit: int = 0
+    bytes_miss: int = 0
+    total_measured_latency: float = 0.0
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        """Fold one request outcome into the counters."""
+        self.requests += 1
+        self.bytes_requested += outcome.size
+        self.total_measured_latency += outcome.latency
+        if outcome.kind is ServiceKind.LOCAL_HIT:
+            self.local_hits += 1
+            self.bytes_local_hit += outcome.size
+        elif outcome.kind is ServiceKind.REMOTE_HIT:
+            self.remote_hits += 1
+            self.bytes_remote_hit += outcome.size
+        else:
+            self.misses += 1
+            self.bytes_miss += outcome.size
+
+    # ------------------------------------------------------------------ #
+    # Rates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def hits(self) -> int:
+        """Total group hits (local + remote)."""
+        return self.local_hits + self.remote_hits
+
+    @property
+    def hit_rate(self) -> float:
+        """Cumulative document hit rate."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    @property
+    def local_hit_rate(self) -> float:
+        """Fraction of requests served by the cache they arrived at."""
+        return self.local_hits / self.requests if self.requests else 0.0
+
+    @property
+    def remote_hit_rate(self) -> float:
+        """Fraction of requests served by a different group member."""
+        return self.remote_hits / self.requests if self.requests else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of requests served by the origin server."""
+        return self.misses / self.requests if self.requests else 0.0
+
+    @property
+    def byte_hit_rate(self) -> float:
+        """Cumulative byte hit rate."""
+        if self.bytes_requested == 0:
+            return 0.0
+        return (self.bytes_local_hit + self.bytes_remote_hit) / self.bytes_requested
+
+    @property
+    def mean_measured_latency(self) -> float:
+        """Mean of the per-request modelled latencies."""
+        return self.total_measured_latency / self.requests if self.requests else 0.0
+
+    def estimated_latency(
+        self,
+        local_hit_latency: float = PAPER_LOCAL_HIT_LATENCY,
+        remote_hit_latency: float = PAPER_REMOTE_HIT_LATENCY,
+        miss_latency: float = PAPER_MISS_LATENCY,
+    ) -> float:
+        """Average latency via the paper's Eq. 6 (independent of doc sizes)."""
+        if self.requests == 0:
+            return 0.0
+        return estimate_average_latency(
+            self.local_hit_rate,
+            self.remote_hit_rate,
+            self.miss_rate,
+            local_hit_latency,
+            remote_hit_latency,
+            miss_latency,
+        )
+
+    @classmethod
+    def from_outcomes(cls, outcomes: Iterable[RequestOutcome]) -> "GroupMetrics":
+        """Build metrics directly from an outcome stream."""
+        metrics = cls()
+        for outcome in outcomes:
+            metrics.observe(outcome)
+        return metrics

@@ -1,0 +1,72 @@
+"""Replay a trace through an arbitrary group (no SimulationConfig needed).
+
+:func:`replay_trace` is the lightweight sibling of
+:class:`~repro.simulation.simulator.CooperativeSimulator` for callers that
+built a group by hand — custom policies, digest location, hash routing, a
+prefetch engine — and just want group metrics back.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Protocol, Union
+
+from repro.architecture.base import CooperativeGroup
+from repro.core.outcomes import RequestOutcome
+from repro.simulation.metrics import GroupMetrics
+from repro.trace.partition import HashPartitioner, Partitioner
+from repro.trace.record import DEFAULT_PATCH_SIZE, Trace, TraceRecord, patch_zero_sizes
+
+
+class RequestProcessor(Protocol):
+    """Anything with ``process(index, record) -> RequestOutcome``.
+
+    Satisfied by every CooperativeGroup subclass and by
+    :class:`~repro.prefetch.engine.PrefetchEngine`.
+    """
+
+    def process(self, index: int, record: TraceRecord) -> RequestOutcome:
+        ...
+
+
+def replay_trace(
+    processor: RequestProcessor,
+    trace: Union[Trace, Iterable[TraceRecord]],
+    num_targets: Optional[int] = None,
+    partitioner: Optional[Partitioner] = None,
+    patch_size: int = DEFAULT_PATCH_SIZE,
+) -> GroupMetrics:
+    """Drive every record of ``trace`` through ``processor``; return metrics.
+
+    Args:
+        processor: Group (or engine) handling requests.
+        trace: Records in timestamp order.
+        num_targets: Number of request targets; defaults to the processor's
+            leaf count when it is a CooperativeGroup (its `group` for a
+            wrapper engine), else required.
+        partitioner: Client→target mapping; hash partitioner by default.
+        patch_size: Zero-size patch (the paper's 4 KB rule).
+    """
+    if partitioner is None:
+        if num_targets is None:
+            group = getattr(processor, "group", processor)
+            if isinstance(group, CooperativeGroup):
+                num_targets = len(group.topology.leaves())
+            else:
+                raise ValueError(
+                    "num_targets is required when the processor is not a "
+                    "CooperativeGroup (or wrapper around one)"
+                )
+        partitioner = HashPartitioner(num_targets)
+
+    group = getattr(processor, "group", processor)
+    leaves = (
+        group.topology.leaves()
+        if isinstance(group, CooperativeGroup)
+        else list(range(partitioner.num_proxies))
+    )
+
+    metrics = GroupMetrics()
+    for position, record in partitioner.split(patch_zero_sizes(iter(trace), patch_size)):
+        outcome = processor.process(leaves[position], record)
+        metrics.observe(outcome)
+    return metrics

@@ -1,0 +1,97 @@
+"""Time-series metrics: how the schemes behave as caches warm up.
+
+The paper reports end-of-trace aggregates only; warm-up dynamics matter for
+operators (how long until the EA scheme's contention signal is meaningful?)
+and for honest comparisons (a scheme could win purely on steady state while
+losing the whole warm-up). :class:`TimeSeriesCollector` buckets request
+outcomes by virtual-time window and exposes per-window hit-rate series plus
+a terminal-friendly sparkline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.outcomes import RequestOutcome
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.simulation.metrics import GroupMetrics
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass
+class WindowPoint:
+    """Aggregates of one time window."""
+
+    start: float
+    metrics: GroupMetrics = field(default_factory=GroupMetrics)
+
+    @property
+    def hit_rate(self) -> float:
+        """Group hit rate within this window."""
+        return self.metrics.hit_rate
+
+
+class TimeSeriesCollector:
+    """Buckets outcomes into fixed-width virtual-time windows.
+
+    Feed it every outcome via :meth:`observe` (order must be non-decreasing
+    in time, which trace replay guarantees).
+    """
+
+    def __init__(self, window_seconds: float):
+        if window_seconds <= 0:
+            raise SimulationError("window_seconds must be positive")
+        self.window_seconds = window_seconds
+        self.windows: List[WindowPoint] = []
+        self._origin: Optional[float] = None
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        """Fold one outcome into its time window."""
+        if self._origin is None:
+            self._origin = outcome.timestamp
+        index = int((outcome.timestamp - self._origin) // self.window_seconds)
+        if index < 0:
+            raise SimulationError("outcomes must arrive in time order")
+        while len(self.windows) <= index:
+            start = self._origin + len(self.windows) * self.window_seconds
+            self.windows.append(WindowPoint(start=start))
+        self.windows[index].metrics.observe(outcome)
+
+    def hit_rate_series(self) -> List[float]:
+        """Per-window group hit rate (empty windows report 0.0)."""
+        return [window.hit_rate for window in self.windows]
+
+    def latency_series(self) -> List[float]:
+        """Per-window mean measured latency."""
+        return [window.metrics.mean_measured_latency for window in self.windows]
+
+    def warmup_windows(self, fraction: float = 0.9) -> int:
+        """Windows until the hit rate first reaches ``fraction`` of its final level.
+
+        Returns the window count (0-based index + 1); ``len(windows)`` if it
+        never gets there (still warming at trace end).
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise SimulationError("fraction must be in (0, 1]")
+        series = self.hit_rate_series()
+        if not series:
+            return 0
+        target = series[-1] * fraction
+        for index, value in enumerate(series):
+            if value >= target:
+                return index + 1
+        return len(series)
+
+    def sparkline(self) -> str:
+        """Unicode sparkline of the hit-rate series."""
+        series = self.hit_rate_series()
+        if not series:
+            return ""
+        top = max(series) or 1.0
+        return "".join(
+            _SPARK_LEVELS[min(len(_SPARK_LEVELS) - 1, int(v / top * (len(_SPARK_LEVELS) - 1)))]
+            for v in series
+        )

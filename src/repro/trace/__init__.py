@@ -1,0 +1,102 @@
+"""Trace substrate: records, readers/writers, synthesis, partitioning, stats."""
+
+from repro.trace.partition import (
+    HashPartitioner,
+    Partitioner,
+    RoundRobinClientPartitioner,
+    RoundRobinRequestPartitioner,
+    partition_counts,
+)
+from repro.trace.anonymize import (
+    AnonymizationReport,
+    TraceAnonymizer,
+    anonymize_trace,
+)
+from repro.trace.filters import (
+    apply_filters,
+    cacheable_only,
+    head,
+    max_size,
+    sample_clients,
+    time_range,
+)
+from repro.trace.merge import (
+    concatenate_traces,
+    merge_traces,
+    relabel_clients,
+    shift_timestamps,
+)
+from repro.trace.readers import (
+    BUTraceReader,
+    CommonLogReader,
+    SquidLogReader,
+    read_trace,
+)
+from repro.trace.record import (
+    DEFAULT_PATCH_SIZE,
+    Trace,
+    TraceRecord,
+    patch_zero_sizes,
+    sort_by_timestamp,
+    validate_monotone,
+)
+from repro.trace.stats import (
+    TraceStats,
+    compute_stats,
+    fit_zipf_alpha,
+    popularity_profile,
+    size_percentiles,
+    working_set_curve,
+)
+from repro.trace.synthetic import (
+    BULikeTraceGenerator,
+    SyntheticTraceConfig,
+    ZipfSampler,
+    bu_like_config,
+    generate_trace,
+)
+from repro.trace.writers import write_bu_trace, write_squid_trace
+
+__all__ = [
+    "AnonymizationReport",
+    "BULikeTraceGenerator",
+    "BUTraceReader",
+    "CommonLogReader",
+    "DEFAULT_PATCH_SIZE",
+    "HashPartitioner",
+    "Partitioner",
+    "RoundRobinClientPartitioner",
+    "RoundRobinRequestPartitioner",
+    "SquidLogReader",
+    "SyntheticTraceConfig",
+    "Trace",
+    "TraceAnonymizer",
+    "TraceRecord",
+    "TraceStats",
+    "ZipfSampler",
+    "anonymize_trace",
+    "apply_filters",
+    "bu_like_config",
+    "cacheable_only",
+    "compute_stats",
+    "concatenate_traces",
+    "fit_zipf_alpha",
+    "generate_trace",
+    "head",
+    "max_size",
+    "merge_traces",
+    "partition_counts",
+    "patch_zero_sizes",
+    "popularity_profile",
+    "read_trace",
+    "relabel_clients",
+    "sample_clients",
+    "shift_timestamps",
+    "size_percentiles",
+    "sort_by_timestamp",
+    "time_range",
+    "validate_monotone",
+    "working_set_curve",
+    "write_bu_trace",
+    "write_squid_trace",
+]

@@ -1,0 +1,127 @@
+"""Trace anonymisation: share workloads without sharing browsing history.
+
+The Boston University traces the paper uses were published with user
+identities and URLs anonymised; this module provides the same facility for
+traces produced or parsed by this library. Hashing is keyed (a salt) and
+deterministic, so an anonymised trace replays identically — cache behaviour
+depends only on identity *equality*, never on the strings themselves.
+
+What is preserved: request order and timing, document identity structure
+(same URL → same token), per-client streams, sizes, sessions. What is
+destroyed: the actual hostnames, paths, and user names.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator
+
+from repro.errors import TraceError
+from repro.trace.record import Trace, TraceRecord
+
+
+def _token(value: str, salt: str, prefix: str, digits: int = 16) -> str:
+    digest = hashlib.sha256(f"{salt}:{prefix}:{value}".encode("utf-8")).hexdigest()
+    return f"{prefix}{digest[:digits]}"
+
+
+@dataclass(frozen=True)
+class AnonymizationReport:
+    """What an anonymisation pass touched."""
+
+    records: int
+    unique_urls: int
+    unique_clients: int
+    unique_sessions: int
+
+
+class TraceAnonymizer:
+    """Keyed, deterministic trace anonymiser.
+
+    Args:
+        salt: Secret key; the same salt maps the same input to the same
+            tokens (needed to anonymise multi-part traces consistently),
+            a different salt produces an unlinkable anonymisation.
+        keep_origin_grouping: When True, the URL token preserves which
+            origin server a document came from (documents from one host
+            stay grouped under one host token) — cache studies sometimes
+            need per-origin structure; off, every URL is a flat token.
+    """
+
+    def __init__(self, salt: str, keep_origin_grouping: bool = True):
+        if not salt:
+            raise TraceError("anonymisation salt must be non-empty")
+        self.salt = salt
+        self.keep_origin_grouping = keep_origin_grouping
+        self._records = 0
+        self._seen_urls: Dict[str, str] = {}
+        self._seen_clients: Dict[str, str] = {}
+        self._seen_sessions: Dict[str, str] = {}
+
+    def _anon_url(self, url: str) -> str:
+        cached = self._seen_urls.get(url)
+        if cached is not None:
+            return cached
+        if self.keep_origin_grouping and "://" in url:
+            scheme, rest = url.split("://", 1)
+            host, _, path = rest.partition("/")
+            host_token = _token(host, self.salt, "h", digits=12)
+            path_token = _token(path, self.salt, "p", digits=16)
+            token = f"{scheme}://{host_token}/{path_token}"
+        else:
+            token = "anon://" + _token(url, self.salt, "u", digits=24)
+        self._seen_urls[url] = token
+        return token
+
+    def _anon_client(self, client_id: str) -> str:
+        cached = self._seen_clients.get(client_id)
+        if cached is None:
+            cached = _token(client_id, self.salt, "c", digits=12)
+            self._seen_clients[client_id] = cached
+        return cached
+
+    def _anon_session(self, session_id: str) -> str:
+        if not session_id:
+            return session_id
+        cached = self._seen_sessions.get(session_id)
+        if cached is None:
+            cached = _token(session_id, self.salt, "s", digits=10)
+            self._seen_sessions[session_id] = cached
+        return cached
+
+    def anonymize_record(self, record: TraceRecord) -> TraceRecord:
+        """Anonymised copy of one record (timing/size/method untouched)."""
+        self._records += 1
+        return TraceRecord(
+            timestamp=record.timestamp,
+            client_id=self._anon_client(record.client_id),
+            url=self._anon_url(record.url),
+            size=record.size,
+            session_id=self._anon_session(record.session_id),
+            method=record.method,
+            status=record.status,
+        )
+
+    def anonymize_stream(self, records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        """Lazily anonymise a record stream."""
+        for record in records:
+            yield self.anonymize_record(record)
+
+    def anonymize(self, trace: Trace) -> Trace:
+        """Anonymise a whole trace."""
+        return Trace(list(self.anonymize_stream(iter(trace))))
+
+    def report(self) -> AnonymizationReport:
+        """Counts of records processed and distinct values tokenised."""
+        return AnonymizationReport(
+            records=self._records,
+            unique_urls=len(self._seen_urls),
+            unique_clients=len(self._seen_clients),
+            unique_sessions=len(self._seen_sessions),
+        )
+
+
+def anonymize_trace(trace: Trace, salt: str, keep_origin_grouping: bool = True) -> Trace:
+    """One-shot helper: anonymise ``trace`` under ``salt``."""
+    return TraceAnonymizer(salt, keep_origin_grouping).anonymize(trace)

@@ -1,0 +1,102 @@
+"""Trace filters and slicers.
+
+Composable preprocessing between a raw trace and the simulator, mirroring
+what trace-driven caching studies (including the paper's) do before replay:
+keep only cacheable requests, drop oversized bodies, slice a time range,
+deterministically sample clients, or cap the request count.
+
+All filters take and return iterables of records; :func:`apply_filters`
+chains them and materialises a :class:`~repro.trace.record.Trace`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import TraceError
+from repro.trace.record import Trace, TraceRecord
+
+RecordFilter = Callable[[Iterable[TraceRecord]], Iterator[TraceRecord]]
+
+
+def cacheable_only(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+    """Keep only requests a proxy may cache (GET, good status, no query)."""
+    for record in records:
+        if record.is_cacheable:
+            yield record
+
+
+def max_size(limit: int) -> RecordFilter:
+    """Drop requests whose body exceeds ``limit`` bytes.
+
+    Proxies of the era refused to cache very large bodies; simulating that
+    admission rule at the trace level keeps comparisons clean.
+    """
+    if limit <= 0:
+        raise TraceError("size limit must be positive")
+
+    def _filter(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        for record in records:
+            if record.size <= limit:
+                yield record
+
+    return _filter
+
+
+def time_range(start: Optional[float] = None, end: Optional[float] = None) -> RecordFilter:
+    """Keep requests with ``start <= timestamp < end`` (either side open)."""
+    if start is not None and end is not None and end <= start:
+        raise TraceError("time range end must exceed start")
+
+    def _filter(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        for record in records:
+            if start is not None and record.timestamp < start:
+                continue
+            if end is not None and record.timestamp >= end:
+                break  # records are time-ordered
+            yield record
+
+    return _filter
+
+
+def sample_clients(fraction: float, salt: str = "sample") -> RecordFilter:
+    """Deterministically keep a stable ``fraction`` of clients (all their
+    requests), preserving per-client streams — the correct way to shrink a
+    proxy workload without destroying locality."""
+    if not 0.0 < fraction <= 1.0:
+        raise TraceError("fraction must be in (0, 1]")
+    threshold = int(fraction * (1 << 32))
+
+    def _keep(client_id: str) -> bool:
+        digest = hashlib.md5(f"{salt}:{client_id}".encode("utf-8")).digest()
+        return int.from_bytes(digest[:4], "big") < threshold
+
+    def _filter(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        for record in records:
+            if _keep(record.client_id):
+                yield record
+
+    return _filter
+
+
+def head(count: int) -> RecordFilter:
+    """Keep only the first ``count`` requests."""
+    if count < 0:
+        raise TraceError("count must be non-negative")
+
+    def _filter(records: Iterable[TraceRecord]) -> Iterator[TraceRecord]:
+        for index, record in enumerate(records):
+            if index >= count:
+                break
+            yield record
+
+    return _filter
+
+
+def apply_filters(trace: Iterable[TraceRecord], *filters: RecordFilter) -> Trace:
+    """Chain ``filters`` left-to-right over ``trace``; materialise a Trace."""
+    stream: Iterable[TraceRecord] = iter(trace)
+    for record_filter in filters:
+        stream = record_filter(stream)
+    return Trace(list(stream))

@@ -1,0 +1,84 @@
+"""Trace composition: merge, shift, concatenate, relabel.
+
+Cooperative caching studies often combine traces — several days of logs,
+several sites' populations, or a synthetic burst injected into a real
+baseline. These helpers keep the invariants the simulator relies on
+(time-ordered records, stable client identities) while composing traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Iterable, List, Sequence
+
+from repro.errors import TraceError
+from repro.trace.record import Trace, TraceRecord
+
+
+def shift_timestamps(trace: Trace, offset: float) -> Trace:
+    """Every timestamp moved by ``offset`` seconds (order preserved)."""
+    return Trace([r.with_timestamp(r.timestamp + offset) for r in trace])
+
+
+def relabel_clients(trace: Trace, prefix: str) -> Trace:
+    """Namespace every client id with ``prefix`` (for multi-site merges).
+
+    Two sites' ``user7`` must not collapse into one client when their
+    traces merge; ``relabel_clients(t, "siteA")`` keeps them distinct.
+    """
+    if not prefix:
+        raise TraceError("prefix must be non-empty")
+    records = []
+    for record in trace:
+        records.append(
+            TraceRecord(
+                timestamp=record.timestamp,
+                client_id=f"{prefix}/{record.client_id}",
+                url=record.url,
+                size=record.size,
+                session_id=record.session_id,
+                method=record.method,
+                status=record.status,
+            )
+        )
+    return Trace(records)
+
+
+def merge_traces(traces: Sequence[Trace]) -> Trace:
+    """Interleave traces by timestamp (stable k-way merge).
+
+    Client identities are taken as-is — relabel first if the populations
+    overlap spuriously.
+    """
+    if not traces:
+        raise TraceError("merge_traces needs at least one trace")
+    merged: List[TraceRecord] = list(
+        heapq.merge(*[iter(t) for t in traces], key=lambda r: r.timestamp)
+    )
+    return Trace(merged)
+
+
+def concatenate_traces(traces: Sequence[Trace], gap_seconds: float = 1.0) -> Trace:
+    """Play traces back-to-back, shifting each to start after the previous.
+
+    Args:
+        traces: Traces in playback order.
+        gap_seconds: Idle gap inserted between consecutive traces.
+    """
+    if not traces:
+        raise TraceError("concatenate_traces needs at least one trace")
+    if gap_seconds < 0:
+        raise TraceError("gap_seconds must be non-negative")
+    records: List[TraceRecord] = []
+    clock = None
+    for trace in traces:
+        if len(trace) == 0:
+            continue
+        if clock is None:
+            offset = 0.0
+        else:
+            offset = clock + gap_seconds - trace[0].timestamp
+        for record in trace:
+            records.append(record.with_timestamp(record.timestamp + offset))
+        clock = records[-1].timestamp
+    return Trace(records)

@@ -1,0 +1,165 @@
+"""Canonical request-trace record used throughout the simulator.
+
+All trace readers normalise their input into :class:`TraceRecord` instances;
+the synthetic generator produces them directly. A record captures one HTTP
+request observed at (or destined for) a proxy: who asked, when, for which
+URL, and how large the response body was.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, List, Optional
+
+from repro.errors import TraceError
+
+#: Size (in bytes) substituted for zero-size log records, following the
+#: paper's patch rule: "we made the size of each such record equal to average
+#: document size of 4K bytes" (Section 4.1).
+DEFAULT_PATCH_SIZE = 4096
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One client HTTP request.
+
+    Attributes:
+        timestamp: Request arrival time in seconds (monotone within a trace;
+            usually a Unix timestamp for real traces, simulated seconds for
+            synthetic ones).
+        client_id: Stable identifier of the requesting client (user or host).
+        url: Requested URL; document identity for caching purposes.
+        size: Response body size in bytes. ``0`` denotes an unknown size and
+            is normally patched via :func:`patch_zero_sizes`.
+        session_id: Optional browsing-session identifier (BU traces record
+            one; synthetic traces generate one).
+        method: HTTP method; only GETs are cacheable in this model.
+        status: HTTP status code when the trace records one (Squid logs do).
+    """
+
+    timestamp: float
+    client_id: str
+    url: str
+    size: int
+    session_id: str = ""
+    method: str = "GET"
+    status: int = 200
+
+    def __post_init__(self) -> None:
+        if self.size < 0:
+            raise TraceError(f"negative document size {self.size} for {self.url!r}")
+        if not self.url:
+            raise TraceError("trace record requires a non-empty URL")
+
+    @property
+    def is_cacheable(self) -> bool:
+        """Whether this request can be served from / stored in a cache.
+
+        Mirrors the common simulator convention: only successful GETs with
+        http/ftp schemes and no query string are cacheable.
+        """
+        if self.method != "GET":
+            return False
+        if self.status not in (200, 203, 206, 300, 301, 304):
+            return False
+        if "?" in self.url or "cgi-bin" in self.url:
+            return False
+        return True
+
+    def with_size(self, size: int) -> "TraceRecord":
+        """Return a copy of this record with a different size."""
+        return replace(self, size=size)
+
+    def with_timestamp(self, timestamp: float) -> "TraceRecord":
+        """Return a copy of this record with a different timestamp."""
+        return replace(self, timestamp=timestamp)
+
+
+def patch_zero_sizes(
+    records: Iterable[TraceRecord], patch_size: int = DEFAULT_PATCH_SIZE
+) -> Iterator[TraceRecord]:
+    """Replace zero sizes with ``patch_size`` bytes.
+
+    The BU traces contain records whose size field is zero; the paper
+    substitutes the average document size of 4 KB for those (Section 4.1).
+    """
+    if patch_size <= 0:
+        raise TraceError(f"patch_size must be positive, got {patch_size}")
+    for record in records:
+        yield record.with_size(patch_size) if record.size == 0 else record
+
+
+def sort_by_timestamp(records: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Return records ordered by timestamp (stable for equal stamps)."""
+    return sorted(records, key=lambda r: r.timestamp)
+
+
+def validate_monotone(records: Iterable[TraceRecord]) -> List[TraceRecord]:
+    """Materialise ``records``, raising if timestamps ever decrease.
+
+    Simulators assume traces are replayed in arrival order; this guard makes
+    a violated assumption loud instead of silently corrupting virtual time.
+    """
+    out: List[TraceRecord] = []
+    last: Optional[float] = None
+    for i, record in enumerate(records):
+        if last is not None and record.timestamp < last:
+            raise TraceError(
+                f"timestamps not monotone at index {i}: "
+                f"{record.timestamp} < {last}"
+            )
+        last = record.timestamp
+        out.append(record)
+    return out
+
+
+@dataclass
+class Trace:
+    """A materialised, validated request trace.
+
+    Thin wrapper over a list of :class:`TraceRecord` adding the aggregate
+    properties the paper reports for the BU trace (total requests, unique
+    documents, unique clients) and convenience slicing.
+    """
+
+    records: List[TraceRecord] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.records = validate_monotone(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.records[index])
+        return self.records[index]
+
+    @property
+    def unique_urls(self) -> int:
+        """Number of distinct documents requested."""
+        return len({r.url for r in self.records})
+
+    @property
+    def unique_clients(self) -> int:
+        """Number of distinct clients issuing requests."""
+        return len({r.client_id for r in self.records})
+
+    @property
+    def total_bytes(self) -> int:
+        """Sum of response sizes over all requests."""
+        return sum(r.size for r in self.records)
+
+    @property
+    def duration(self) -> float:
+        """Trace time span in seconds (0 for empty or single-record traces)."""
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    def head(self, n: int) -> "Trace":
+        """First ``n`` records as a new Trace."""
+        return Trace(self.records[:n])

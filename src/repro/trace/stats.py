@@ -1,0 +1,159 @@
+"""Workload characterisation for traces.
+
+Computes the aggregate statistics the paper reports about the BU trace
+(request count, unique documents) plus the standard web-workload
+characterisation used to validate that a synthetic trace is a reasonable
+stand-in: popularity-rank profile, size distribution summary, inherent
+one-timer fraction, and the infinite-cache ("compulsory-miss") hit-rate
+ceiling.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.trace.record import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Aggregate statistics of a trace.
+
+    Attributes:
+        num_requests: Total requests.
+        num_unique_urls: Distinct documents.
+        num_clients: Distinct clients.
+        total_bytes: Sum of response sizes across all requests.
+        unique_bytes: Sum of sizes over distinct documents (last seen size).
+        mean_size: Mean response size per request.
+        one_timer_fraction: Fraction of documents requested exactly once.
+        max_hit_rate: Hit rate of an infinite shared cache (1 - compulsory
+            misses / requests); upper bound for any cooperative scheme.
+        max_byte_hit_rate: Byte-weighted analogue of ``max_hit_rate``.
+        duration: Trace time span in seconds.
+    """
+
+    num_requests: int
+    num_unique_urls: int
+    num_clients: int
+    total_bytes: int
+    unique_bytes: int
+    mean_size: float
+    one_timer_fraction: float
+    max_hit_rate: float
+    max_byte_hit_rate: float
+    duration: float
+
+
+def compute_stats(trace: Trace) -> TraceStats:
+    """Characterise ``trace`` in one pass (plus a Counter pass)."""
+    counts: Counter = Counter()
+    last_size: Dict[str, int] = {}
+    total_bytes = 0
+    hit_bytes = 0
+    seen: Dict[str, bool] = {}
+    clients = set()
+    for record in trace:
+        counts[record.url] += 1
+        last_size[record.url] = record.size
+        total_bytes += record.size
+        clients.add(record.client_id)
+        if record.url in seen:
+            hit_bytes += record.size
+        else:
+            seen[record.url] = True
+    num_requests = len(trace)
+    num_unique = len(counts)
+    one_timers = sum(1 for c in counts.values() if c == 1)
+    return TraceStats(
+        num_requests=num_requests,
+        num_unique_urls=num_unique,
+        num_clients=len(clients),
+        total_bytes=total_bytes,
+        unique_bytes=sum(last_size.values()),
+        mean_size=(total_bytes / num_requests) if num_requests else 0.0,
+        one_timer_fraction=(one_timers / num_unique) if num_unique else 0.0,
+        max_hit_rate=((num_requests - num_unique) / num_requests) if num_requests else 0.0,
+        max_byte_hit_rate=(hit_bytes / total_bytes) if total_bytes else 0.0,
+        duration=trace.duration,
+    )
+
+
+def popularity_profile(trace: Trace, top: int = 0) -> List[Tuple[str, int]]:
+    """URLs with request counts, most popular first.
+
+    Args:
+        trace: The trace to profile.
+        top: Truncate to the ``top`` most popular documents (0 = all).
+    """
+    counts = Counter(r.url for r in trace)
+    ranked = counts.most_common(top if top > 0 else None)
+    return ranked
+
+
+def fit_zipf_alpha(trace: Trace, min_rank: int = 1, max_rank: int = 0) -> float:
+    """Least-squares slope of log(count) vs log(rank): the Zipf exponent.
+
+    Standard workload-characterisation fit. Returns 0.0 for traces with
+    fewer than two distinct popularity ranks.
+
+    Args:
+        min_rank: First rank included in the fit (1-based); the very head of
+            the distribution is often excluded in the literature.
+        max_rank: Last rank included (0 = all).
+    """
+    ranked = popularity_profile(trace)
+    if max_rank > 0:
+        ranked = ranked[:max_rank]
+    ranked = ranked[min_rank - 1:]
+    if len(ranked) < 2:
+        return 0.0
+    xs = [math.log(rank) for rank in range(min_rank, min_rank + len(ranked))]
+    ys = [math.log(count) for _, count in ranked]
+    n = len(xs)
+    mean_x = math.fsum(xs) / n
+    mean_y = math.fsum(ys) / n
+    sxx = math.fsum((x - mean_x) ** 2 for x in xs)
+    if sxx == 0.0:
+        return 0.0
+    sxy = math.fsum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    return -sxy / sxx
+
+
+def working_set_curve(
+    trace: Trace, num_points: int = 20
+) -> List[Tuple[int, int]]:
+    """Growth of the distinct-document footprint over the trace.
+
+    Returns ``(requests_seen, unique_documents_seen)`` samples at
+    ``num_points`` evenly spaced positions — the classic working-set growth
+    curve used to argue how much aggregate cache a workload needs.
+    """
+    if len(trace) == 0:
+        return []
+    num_points = max(1, min(num_points, len(trace)))
+    step = max(1, len(trace) // num_points)
+    seen = set()
+    curve: List[Tuple[int, int]] = []
+    for i, record in enumerate(trace, start=1):
+        seen.add(record.url)
+        if i % step == 0 or i == len(trace):
+            curve.append((i, len(seen)))
+    return curve
+
+
+def size_percentiles(
+    trace: Trace, percentiles: Sequence[float] = (50.0, 90.0, 99.0)
+) -> Dict[float, int]:
+    """Requested-size percentiles (nearest-rank definition)."""
+    sizes = sorted(r.size for r in trace)
+    if not sizes:
+        return {p: 0 for p in percentiles}
+    result = {}
+    for p in percentiles:
+        rank = max(1, math.ceil(p / 100.0 * len(sizes)))
+        result[p] = sizes[min(rank, len(sizes)) - 1]
+    return result

@@ -1,0 +1,261 @@
+"""Synthetic workload generator standing in for the BU proxy traces.
+
+The paper evaluates against the Boston University proxy traces (Nov 1994 -
+Feb 1995; 575,775 requests, 46,830 unique documents, 591 users). Those traces
+are not redistributable, so this module generates a *seeded, deterministic*
+workload with the statistical properties that drive the paper's results:
+
+* **Zipf-like document popularity** — the skew that makes the same popular
+  documents get requested at several proxies, creating both remote-hit
+  opportunities and the uncontrolled replication the EA scheme targets.
+* **Heavy-tailed document sizes** — lognormal body sizes with a mean around
+  the BU trace's 4 KB average; each document keeps a consistent size across
+  requests.
+* **Per-client sessions and temporal locality** — clients re-request
+  recently seen documents (LRU-stack model), producing the local-hit
+  component, and carry session identifiers like the BU condensed logs.
+* **Zero-size records** — an optional fraction of records is emitted with
+  size 0 to exercise the paper's 4 KB patch rule.
+
+Determinism: all randomness flows from one ``random.Random(seed)`` instance;
+identical configs yield identical traces.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from repro.errors import TraceError
+from repro.trace.record import Trace, TraceRecord
+
+
+@dataclass(frozen=True)
+class SyntheticTraceConfig:
+    """Parameters of the synthetic BU-like workload.
+
+    Attributes:
+        num_requests: Total requests to generate.
+        num_documents: Size of the document universe.
+        num_clients: Number of distinct clients (BU trace: 591 users).
+        zipf_alpha: Exponent of the Zipf popularity law (web traces cluster
+            around 0.6-0.9; default 0.75).
+        mean_size: Target mean document size in bytes (BU average: 4 KB).
+        size_sigma: Lognormal shape parameter for sizes (higher = heavier tail).
+        max_size: Hard cap on a single document size.
+        temporal_locality: Probability a request re-references a document
+            from the issuing client's recent-history stack instead of the
+            global popularity law.
+        locality_stack_depth: Depth of the per-client recency stack.
+        mean_interarrival: Mean seconds between consecutive requests
+            (global, exponential).
+        session_gap: Idle seconds after which a client's next request opens
+            a new session.
+        zero_size_fraction: Fraction of emitted records whose size field is
+            forced to 0 (to exercise the 4 KB patch rule); 0 disables.
+        start_time: Timestamp of the first request.
+        seed: PRNG seed; same seed + config = identical trace.
+    """
+
+    num_requests: int = 50_000
+    num_documents: int = 5_000
+    num_clients: int = 64
+    zipf_alpha: float = 0.75
+    mean_size: int = 4096
+    size_sigma: float = 1.3
+    max_size: int = 8 * 1024 * 1024
+    temporal_locality: float = 0.3
+    locality_stack_depth: int = 32
+    mean_interarrival: float = 0.5
+    session_gap: float = 1800.0
+    zero_size_fraction: float = 0.0
+    start_time: float = 0.0
+    seed: int = 42
+
+    def __post_init__(self) -> None:
+        if self.num_requests <= 0:
+            raise TraceError("num_requests must be positive")
+        if self.num_documents <= 0:
+            raise TraceError("num_documents must be positive")
+        if self.num_clients <= 0:
+            raise TraceError("num_clients must be positive")
+        if self.zipf_alpha < 0:
+            raise TraceError("zipf_alpha must be non-negative")
+        if not 0.0 <= self.temporal_locality <= 1.0:
+            raise TraceError("temporal_locality must be within [0, 1]")
+        if not 0.0 <= self.zero_size_fraction <= 1.0:
+            raise TraceError("zero_size_fraction must be within [0, 1]")
+        if self.mean_interarrival <= 0:
+            raise TraceError("mean_interarrival must be positive")
+        if self.mean_size <= 0 or self.max_size < self.mean_size:
+            raise TraceError("require 0 < mean_size <= max_size")
+
+    def scaled(self, fraction: float) -> "SyntheticTraceConfig":
+        """Return a config with request/document/client counts scaled down.
+
+        Useful for fast tests: ``bu_like_config().scaled(0.01)``.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise TraceError("fraction must be within (0, 1]")
+        return replace(
+            self,
+            num_requests=max(1, int(self.num_requests * fraction)),
+            num_documents=max(1, int(self.num_documents * fraction)),
+            num_clients=max(1, int(self.num_clients * fraction)),
+        )
+
+
+def bu_like_config(seed: int = 42) -> SyntheticTraceConfig:
+    """Config matching the BU trace's published aggregate shape.
+
+    575,775 requests over 46,830 unique documents from 591 users
+    (Section 4.1 of the paper). Generating the full-size trace takes a few
+    seconds; experiments normally use ``bu_like_config().scaled(...)``.
+    """
+    return SyntheticTraceConfig(
+        num_requests=575_775,
+        num_documents=46_830,
+        num_clients=591,
+        zero_size_fraction=0.02,
+        seed=seed,
+    )
+
+
+class ZipfSampler:
+    """Draws ranks 1..n from a Zipf(alpha) law via inverse-CDF lookup.
+
+    Probability of rank ``k`` is ``k**-alpha / H(n, alpha)``. The cumulative
+    table costs O(n) memory and each draw is O(log n).
+    """
+
+    def __init__(self, n: int, alpha: float, rng: random.Random):
+        if n <= 0:
+            raise TraceError("ZipfSampler requires n >= 1")
+        self._rng = rng
+        weights = [k ** -alpha for k in range(1, n + 1)]
+        total = math.fsum(weights)
+        self._cdf: List[float] = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0  # guard against float round-off
+
+    def sample(self) -> int:
+        """Return a rank in [0, n)."""
+        return bisect.bisect_left(self._cdf, self._rng.random())
+
+
+class _ClientState:
+    """Per-client recency stack and session bookkeeping."""
+
+    __slots__ = ("recent", "last_time", "session_index")
+
+    def __init__(self) -> None:
+        self.recent: List[int] = []
+        self.last_time = -math.inf
+        self.session_index = 0
+
+    def touch(self, doc: int, depth: int) -> None:
+        if doc in self.recent:
+            self.recent.remove(doc)
+        self.recent.append(doc)
+        if len(self.recent) > depth:
+            self.recent.pop(0)
+
+
+class BULikeTraceGenerator:
+    """Generates a deterministic BU-like synthetic trace.
+
+    Usage::
+
+        trace = BULikeTraceGenerator(SyntheticTraceConfig(seed=7)).generate()
+    """
+
+    def __init__(self, config: Optional[SyntheticTraceConfig] = None):
+        self.config = config or SyntheticTraceConfig()
+
+    def _document_sizes(self, rng: random.Random) -> List[int]:
+        """Draw one consistent size per document (lognormal, capped).
+
+        The lognormal ``mu`` is chosen so the distribution's mean equals
+        ``config.mean_size``: mean = exp(mu + sigma^2/2).
+        """
+        cfg = self.config
+        mu = math.log(cfg.mean_size) - cfg.size_sigma ** 2 / 2.0
+        sizes = []
+        for _ in range(cfg.num_documents):
+            size = int(rng.lognormvariate(mu, cfg.size_sigma))
+            sizes.append(min(max(size, 64), cfg.max_size))
+        return sizes
+
+    def generate(self) -> Trace:
+        """Produce the full trace as a :class:`~repro.trace.record.Trace`."""
+        cfg = self.config
+        rng = random.Random(cfg.seed)
+        sampler = ZipfSampler(cfg.num_documents, cfg.zipf_alpha, rng)
+
+        # Shuffle the rank->document mapping so popular documents are not
+        # clustered at low ids (which would correlate with partitioners
+        # that hash on the id).
+        doc_ids = list(range(cfg.num_documents))
+        rng.shuffle(doc_ids)
+        sizes = self._document_sizes(rng)
+
+        # Client activity is itself skewed: a few heavy users dominate
+        # real proxy traces. Lognormal weights reproduce that.
+        weights = [rng.lognormvariate(0.0, 1.0) for _ in range(cfg.num_clients)]
+        clients = [f"host{i % 37}/user{i}" for i in range(cfg.num_clients)]
+        client_cdf: List[float] = []
+        acc = 0.0
+        total_w = math.fsum(weights)
+        for w in weights:
+            acc += w / total_w
+            client_cdf.append(acc)
+        client_cdf[-1] = 1.0
+
+        states: Dict[int, _ClientState] = {i: _ClientState() for i in range(cfg.num_clients)}
+        records: List[TraceRecord] = []
+        now = cfg.start_time
+
+        for _ in range(cfg.num_requests):
+            now += rng.expovariate(1.0 / cfg.mean_interarrival)
+            ci = bisect.bisect_left(client_cdf, rng.random())
+            state = states[ci]
+
+            if state.recent and rng.random() < cfg.temporal_locality:
+                # Re-reference: geometric preference for the most recent
+                # documents in the client's stack.
+                idx = len(state.recent) - 1
+                while idx > 0 and rng.random() < 0.5:
+                    idx -= 1
+                doc = state.recent[idx]
+            else:
+                doc = doc_ids[sampler.sample()]
+            state.touch(doc, cfg.locality_stack_depth)
+
+            if now - state.last_time > cfg.session_gap:
+                state.session_index += 1
+            state.last_time = now
+
+            size = sizes[doc]
+            if cfg.zero_size_fraction and rng.random() < cfg.zero_size_fraction:
+                size = 0
+            records.append(
+                TraceRecord(
+                    timestamp=now,
+                    client_id=clients[ci],
+                    url=f"http://origin{doc % 97}.example.com/doc/{doc}",
+                    size=size,
+                    session_id=f"s{ci}.{state.session_index}",
+                )
+            )
+        return Trace(records)
+
+
+def generate_trace(config: Optional[SyntheticTraceConfig] = None) -> Trace:
+    """Convenience wrapper: ``generate_trace(cfg)`` == ``BULikeTraceGenerator(cfg).generate()``."""
+    return BULikeTraceGenerator(config).generate()

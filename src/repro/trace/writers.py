@@ -1,0 +1,67 @@
+"""Trace-file writers (round-trip counterparts of the readers).
+
+Used to persist synthetic traces so experiments can be replayed outside the
+library (and to test reader/writer round-trips).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import IO, Iterable, Union
+
+from repro.trace.record import TraceRecord
+
+
+def _open_sink(sink: Union[str, Path, IO[str]]):
+    """Return (handle, should_close) for a path or an already-open file."""
+    if isinstance(sink, (str, Path)):
+        return open(sink, "w", encoding="utf-8"), True
+    return sink, False
+
+
+def write_bu_trace(records: Iterable[TraceRecord], sink: Union[str, Path, IO[str]]) -> int:
+    """Write records in the BU condensed-log layout; returns lines written.
+
+    Layout (7 fields)::
+
+        <machine> <timestamp> <user_id> <session_id> <url> <size> <delay>
+
+    ``client_id`` values of the form ``machine/user`` are split back into
+    their components; other ids are written with machine ``sim``.
+    """
+    handle, should_close = _open_sink(sink)
+    count = 0
+    try:
+        for record in records:
+            if "/" in record.client_id:
+                machine, user = record.client_id.split("/", 1)
+            else:
+                machine, user = "sim", record.client_id
+            session = record.session_id or "-"
+            handle.write(
+                f"{machine} {record.timestamp:.6f} {user} {session} "
+                f"{record.url} {record.size} 0.0\n"
+            )
+            count += 1
+    finally:
+        if should_close:
+            handle.close()
+    return count
+
+
+def write_squid_trace(records: Iterable[TraceRecord], sink: Union[str, Path, IO[str]]) -> int:
+    """Write records as Squid native access.log lines; returns lines written."""
+    handle, should_close = _open_sink(sink)
+    count = 0
+    try:
+        for record in records:
+            handle.write(
+                f"{record.timestamp:.3f} 0 {record.client_id} "
+                f"TCP_MISS/{record.status} {record.size} {record.method} "
+                f"{record.url} - DIRECT/origin text/html\n"
+            )
+            count += 1
+    finally:
+        if should_close:
+            handle.close()
+    return count

@@ -1,0 +1,182 @@
+"""Unit tests for the Che approximation module."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.che import (
+    ModelError,
+    characteristic_time,
+    group_hit_rate_bounds,
+    lru_byte_hit_rate,
+    lru_hit_rate,
+    popularity_from_trace,
+)
+from repro.trace.record import Trace, TraceRecord
+
+
+def uniform_law(n=100, size=100):
+    return [1.0 / n] * n, [size] * n
+
+
+class TestCharacteristicTime:
+    def test_infinite_when_everything_fits(self):
+        weights, sizes = uniform_law(10)
+        assert math.isinf(characteristic_time(weights, sizes, 10 * 100))
+
+    def test_finite_under_pressure(self):
+        weights, sizes = uniform_law(100)
+        t = characteristic_time(weights, sizes, 50 * 100)
+        assert 0 < t < math.inf
+
+    def test_constraint_satisfied_at_solution(self):
+        weights, sizes = uniform_law(100)
+        capacity = 40 * 100
+        t = characteristic_time(weights, sizes, capacity)
+        expected = sum(s * (1 - math.exp(-w * t)) for w, s in zip(weights, sizes))
+        assert expected == pytest.approx(capacity, rel=1e-3)
+
+    def test_monotone_in_capacity(self):
+        weights, sizes = uniform_law(100)
+        t_small = characteristic_time(weights, sizes, 20 * 100)
+        t_big = characteristic_time(weights, sizes, 60 * 100)
+        assert t_big > t_small
+
+    @pytest.mark.parametrize(
+        "weights,sizes,capacity",
+        [
+            ([], [], 100),
+            ([0.5], [100, 100], 100),
+            ([0.5, 0.5], [100, 100], 0),
+            ([0.5, -0.1], [100, 100], 100),
+            ([0.5, 0.5], [100, 0], 100),
+        ],
+    )
+    def test_invalid_inputs(self, weights, sizes, capacity):
+        with pytest.raises(ModelError):
+            characteristic_time(weights, sizes, capacity)
+
+
+class TestLRUHitRate:
+    def test_uniform_law_matches_occupancy_fraction(self):
+        # Uniform popularity: hit rate equals the resident fraction,
+        # capacity/total, in the large-n limit. Che reproduces this closely.
+        weights, sizes = uniform_law(500)
+        rate = lru_hit_rate(weights, sizes, 250 * 100)
+        assert rate == pytest.approx(0.5, abs=0.05)
+
+    def test_full_capacity_is_one(self):
+        weights, sizes = uniform_law(10)
+        assert lru_hit_rate(weights, sizes, 10_000) == 1.0
+
+    def test_skew_beats_uniform_at_equal_capacity(self):
+        n, size, capacity = 200, 100, 40 * 100
+        uniform_rate = lru_hit_rate(*uniform_law(n), capacity)
+        zipf = [1.0 / (k + 1) for k in range(n)]
+        total = sum(zipf)
+        zipf_rate = lru_hit_rate([z / total for z in zipf], [size] * n, capacity)
+        assert zipf_rate > uniform_rate
+
+    def test_monotone_in_capacity(self):
+        weights, sizes = uniform_law(100)
+        assert lru_hit_rate(weights, sizes, 60 * 100) > lru_hit_rate(
+            weights, sizes, 20 * 100
+        )
+
+    def test_byte_hit_rate_equal_sizes_matches_doc_rate(self):
+        weights, sizes = uniform_law(100)
+        capacity = 30 * 100
+        assert lru_byte_hit_rate(weights, sizes, capacity) == pytest.approx(
+            lru_hit_rate(weights, sizes, capacity)
+        )
+
+    def test_matches_simulated_single_lru_under_irm(self):
+        """Che vs an actual LRU simulation on an IRM stream."""
+        import random
+
+        from repro.cache import Document, ProxyCache
+
+        rng = random.Random(3)
+        n, size = 300, 100
+        zipf = [1.0 / (k + 1) ** 0.8 for k in range(n)]
+        total = sum(zipf)
+        weights = [z / total for z in zipf]
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w
+            cdf.append(acc)
+        import bisect
+
+        capacity = 60 * size
+        cache = ProxyCache(capacity)
+        hits = requests = 0
+        for i in range(40_000):
+            doc = bisect.bisect_left(cdf, rng.random())
+            url = f"http://d/{doc}"
+            if i >= 5_000:  # skip warm-up
+                requests += 1
+            if cache.lookup(url, float(i)) is not None:
+                if i >= 5_000:
+                    hits += 1
+            else:
+                cache.admit(Document(url, size), float(i))
+        simulated = hits / requests
+        analytical = lru_hit_rate(weights, [size] * n, capacity)
+        assert simulated == pytest.approx(analytical, abs=0.04)
+
+
+class TestPopularityFromTrace:
+    def test_weights_sum_to_one(self):
+        trace = Trace(
+            [
+                TraceRecord(timestamp=float(i), client_id="c", url=f"http://d/{i % 3}", size=10)
+                for i in range(9)
+            ]
+        )
+        weights, sizes = popularity_from_trace(trace)
+        assert sum(weights) == pytest.approx(1.0)
+        assert len(weights) == 3
+        assert sizes == [10, 10, 10]
+
+    def test_zero_sizes_floored(self):
+        trace = Trace(
+            [TraceRecord(timestamp=0.0, client_id="c", url="http://a", size=0)]
+        )
+        _, sizes = popularity_from_trace(trace)
+        assert sizes == [1]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ModelError):
+            popularity_from_trace(Trace([]))
+
+
+class TestGroupBounds:
+    def _trace(self):
+        records = []
+        for i in range(300):
+            records.append(
+                TraceRecord(
+                    timestamp=float(i), client_id="c",
+                    url=f"http://d/{i % 60}", size=100,
+                )
+            )
+        return Trace(records)
+
+    def test_shared_at_least_replicated(self):
+        bounds = group_hit_rate_bounds(self._trace(), 4, 30 * 100 * 4)
+        assert bounds.shared >= bounds.replicated
+
+    def test_bounds_equal_for_single_cache(self):
+        bounds = group_hit_rate_bounds(self._trace(), 1, 30 * 100)
+        assert bounds.shared == pytest.approx(bounds.replicated)
+
+    def test_ceiling(self):
+        bounds = group_hit_rate_bounds(self._trace(), 2, 1000)
+        assert bounds.ceiling == pytest.approx((300 - 60) / 300)
+
+    def test_invalid_group(self):
+        with pytest.raises(ModelError):
+            group_hit_rate_bounds(self._trace(), 0, 1000)

@@ -1,0 +1,56 @@
+"""Unit tests for the replication report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.replication import replication_report
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme
+
+
+def group_with(contents):
+    """contents: list per cache of (url, size) tuples."""
+    group = DistributedGroup(build_caches(len(contents), 10_000 * len(contents)), AdHocScheme())
+    for index, docs in enumerate(contents):
+        for url, size in docs:
+            group.caches[index].admit(Document(url, size), 0.0)
+    return group
+
+
+class TestReplicationReport:
+    def test_no_replication(self):
+        report = replication_report(group_with([[("a", 10)], [("b", 20)]]))
+        assert report.unique_documents == 2
+        assert report.total_copies == 2
+        assert report.replicated_documents == 0
+        assert report.replication_factor == 1.0
+        assert report.effective_space_fraction == 1.0
+
+    def test_full_replication(self):
+        report = replication_report(
+            group_with([[("a", 10)], [("a", 10)], [("a", 10)]])
+        )
+        assert report.unique_documents == 1
+        assert report.total_copies == 3
+        assert report.replication_factor == pytest.approx(3.0)
+        # Worst case from the paper: effective space is 1/N of aggregate.
+        assert report.effective_space_fraction == pytest.approx(1 / 3)
+
+    def test_mixed(self):
+        report = replication_report(
+            group_with([[("a", 10), ("b", 30)], [("a", 10)]])
+        )
+        assert report.unique_documents == 2
+        assert report.replicated_documents == 1
+        assert report.unique_bytes == 40
+        assert report.total_bytes == 50
+        assert report.copy_histogram == {2: 1, 1: 1}
+
+    def test_empty_group(self):
+        report = replication_report(group_with([[], []]))
+        assert report.unique_documents == 0
+        assert report.replication_factor == 0.0
+        assert report.effective_space_fraction == 1.0

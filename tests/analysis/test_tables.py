@@ -1,0 +1,77 @@
+"""Unit tests for ASCII table rendering."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.tables import format_cell, percent, render_records, render_table
+
+
+class TestFormatCell:
+    def test_string_passthrough(self):
+        assert format_cell("abc") == "abc"
+
+    def test_int(self):
+        assert format_cell(42) == "42"
+
+    def test_float_rounding(self):
+        assert format_cell(0.123456) == "0.1235"
+
+    def test_integral_float(self):
+        assert format_cell(3.0) == "3"
+
+    def test_infinity(self):
+        assert format_cell(math.inf) == "inf"
+
+    def test_nan(self):
+        assert format_cell(math.nan) == "nan"
+
+
+class TestRenderTable:
+    def test_alignment_and_rule(self):
+        text = render_table(["a", "bb"], [[1, 2], [30, 40]])
+        lines = text.splitlines()
+        assert lines[0].startswith("a ")
+        assert set(lines[1]) <= {"-", "+"}
+        assert all(len(line) == len(lines[0]) for line in lines[1:])
+
+    def test_title_rendered_first(self):
+        text = render_table(["x"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_column_count_mismatch(self):
+        with pytest.raises(ValueError, match="columns"):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_rows(self):
+        text = render_table(["a"], [])
+        assert "a" in text
+
+
+class TestRenderRecords:
+    def test_uses_first_record_keys(self):
+        text = render_records([{"x": 1, "y": 2}, {"x": 3, "y": 4}])
+        assert "x" in text and "y" in text
+        assert "3" in text
+
+    def test_explicit_columns(self):
+        text = render_records([{"x": 1, "y": 2}], columns=["y"])
+        assert "y" in text
+        assert "x" not in text.splitlines()[0]
+
+    def test_missing_key_blank(self):
+        text = render_records([{"x": 1}, {"y": 2}], columns=["x", "y"])
+        assert "2" in text
+
+    def test_empty_records(self):
+        assert render_records([], title="empty") == "empty"
+
+
+class TestPercent:
+    def test_default_digits(self):
+        assert percent(0.15634) == "15.63%"
+
+    def test_custom_digits(self):
+        assert percent(0.5, digits=0) == "50%"

@@ -1,0 +1,120 @@
+"""Unit tests for CooperativeGroup shared machinery."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.architecture.base import CooperativeGroup, build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme
+from repro.errors import SimulationError
+from repro.network.topology import StarTopology
+
+
+def make_group(num_caches=3, capacity=3000, strategy="first", seed=0):
+    caches = build_caches(num_caches, capacity)
+    return DistributedGroup(caches, AdHocScheme(), responder_strategy=strategy, seed=seed)
+
+
+class TestBuildCaches:
+    def test_equal_share(self):
+        caches = build_caches(4, 1000)
+        assert all(c.capacity_bytes == 250 for c in caches)
+
+    def test_names_indexed(self):
+        caches = build_caches(3, 300)
+        assert [c.name for c in caches] == ["cache0", "cache1", "cache2"]
+
+    def test_policy_name_forwarded(self):
+        from repro.cache.replacement import LFUPolicy
+
+        caches = build_caches(2, 200, policy_name="lfu")
+        assert all(isinstance(c.policy, LFUPolicy) for c in caches)
+        assert all(c.tracker.kind == "lfu" for c in caches)
+
+    def test_window_settings_forwarded(self):
+        caches = build_caches(2, 200, window_mode="cumulative")
+        assert all(c.tracker.window_mode == "cumulative" for c in caches)
+
+    def test_rejects_zero_caches(self):
+        with pytest.raises(SimulationError):
+            build_caches(0, 100)
+
+    def test_rejects_capacity_smaller_than_group(self):
+        with pytest.raises(SimulationError, match="too small"):
+            build_caches(10, 5)
+
+
+class TestGroupConstruction:
+    def test_cache_count_must_match_topology(self):
+        caches = build_caches(2, 200)
+        with pytest.raises(SimulationError):
+            CooperativeGroup(caches, AdHocScheme(), StarTopology(3))
+
+    def test_unknown_responder_strategy(self):
+        caches = build_caches(2, 200)
+        with pytest.raises(SimulationError, match="responder_strategy"):
+            DistributedGroup(caches, AdHocScheme(), responder_strategy="fastest")
+
+
+class TestIcpProbe:
+    def test_probe_counts_messages_and_finds_holders(self):
+        group = make_group()
+        group.caches[1].admit(Document("http://x/a", 10), 0.0)
+        holders = group._icp_probe(0, [1, 2], "http://x/a")
+        assert holders == [1]
+        assert group.bus.counters.icp_queries == 2
+        assert group.bus.counters.icp_replies == 2
+
+    def test_probe_no_holders(self):
+        group = make_group()
+        assert group._icp_probe(0, [1, 2], "http://ghost") == []
+
+
+class TestChooseResponder:
+    def test_first_strategy_lowest_index(self):
+        group = make_group(strategy="first")
+        assert group._choose_responder([2, 1], now=0.0) == 1
+
+    def test_random_strategy_deterministic_by_seed(self):
+        picks_a = [make_group(strategy="random", seed=5)._choose_responder([0, 1, 2], 0.0)
+                   for _ in range(1)]
+        picks_b = [make_group(strategy="random", seed=5)._choose_responder([0, 1, 2], 0.0)
+                   for _ in range(1)]
+        assert picks_a == picks_b
+
+    def test_max_age_strategy(self):
+        group = make_group(strategy="max_age")
+        # Make cache 2's expiration age finite/high, cache 1's low.
+        group.caches[1].admit(Document("http://w1", 10), 0.0)
+        group.caches[1].evict("http://w1", 1.0)  # age 1
+        group.caches[2].admit(Document("http://w2", 10), 0.0)
+        group.caches[2].evict("http://w2", 50.0)  # age 50
+        assert group._choose_responder([1, 2], now=60.0) == 2
+
+    def test_empty_holders_raise(self):
+        with pytest.raises(SimulationError):
+            make_group()._choose_responder([], 0.0)
+
+
+class TestGroupIntrospection:
+    def test_unique_documents_and_copies(self):
+        group = make_group()
+        group.caches[0].admit(Document("http://x/a", 10), 0.0)
+        group.caches[1].admit(Document("http://x/a", 10), 0.0)
+        group.caches[1].admit(Document("http://x/b", 10), 0.0)
+        assert group.unique_documents() == 2
+        assert group.total_copies() == 3
+        assert group.replication_factor() == pytest.approx(1.5)
+
+    def test_replication_factor_empty_group(self):
+        assert make_group().replication_factor() == 0.0
+
+    def test_expiration_ages_vector(self):
+        group = make_group()
+        ages = group.expiration_ages()
+        assert len(ages) == 3
+        assert all(math.isinf(a) for a in ages)

@@ -1,0 +1,172 @@
+"""Behavioural tests for the distributed group, including the paper's
+Section 2 walk-through scenario (caches C1, C2, C3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme, EAScheme
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.trace.record import TraceRecord
+
+
+def rec(ts: float, url: str = "http://x/D", size: int = 100, client: str = "c") -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size)
+
+
+def adhoc_group(num_caches=3, capacity=3000):
+    return DistributedGroup(build_caches(num_caches, capacity), AdHocScheme())
+
+
+def ea_group(num_caches=3, capacity=3000, tie_break="requester"):
+    return DistributedGroup(build_caches(num_caches, capacity), EAScheme(tie_break))
+
+
+class TestPaperSection2Scenario:
+    """The C1/C2/C3 walk-through that motivates the paper."""
+
+    def test_adhoc_replicates_everywhere(self):
+        group = adhoc_group()
+        # C1 misses; document fetched from origin, cached at C1.
+        o1 = group.process(0, rec(1.0))
+        assert o1.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[0]
+        # C2 requests D: remote hit served by C1, replicated at C2.
+        o2 = group.process(1, rec(2.0))
+        assert o2.kind is ServiceKind.REMOTE_HIT
+        assert o2.responder == 0
+        assert "http://x/D" in group.caches[1]
+        # C3 requests D: now replicated at all three caches.
+        o3 = group.process(2, rec(3.0))
+        assert o3.kind is ServiceKind.REMOTE_HIT
+        assert all("http://x/D" in cache for cache in group.caches)
+        assert group.replication_factor() == pytest.approx(3.0)
+
+    def test_adhoc_remote_hit_gives_responder_fresh_lease(self):
+        group = adhoc_group()
+        group.process(0, rec(1.0))
+        entry_before = group.caches[0].get_entry("http://x/D")
+        hits_before = entry_before.hit_count
+        group.process(1, rec(2.0))
+        assert group.caches[0].get_entry("http://x/D").hit_count == hits_before + 1
+
+
+class TestEAColdStartDegeneratesToAdHoc:
+    def test_cold_group_replicates_like_adhoc(self):
+        # With no evictions anywhere, all ages are infinite and the
+        # requester-wins tie break stores locally, exactly like ad-hoc.
+        group = ea_group()
+        group.process(0, rec(1.0))
+        outcome = group.process(1, rec(2.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.stored_at_requester
+        assert not outcome.responder_refreshed
+
+    def test_responder_tie_break_suppresses_replication(self):
+        group = ea_group(tie_break="responder")
+        group.process(0, rec(1.0))
+        outcome = group.process(1, rec(2.0))
+        assert not outcome.stored_at_requester
+        assert "http://x/D" not in group.caches[1]
+
+
+class TestEAContentionDecisions:
+    def _warm(self, cache, age: float, tag: str):
+        cache.admit(Document(f"http://warm/{tag}", 10), 0.0)
+        cache.evict(f"http://warm/{tag}", age)
+
+    def test_low_age_requester_declines_copy(self):
+        group = ea_group()
+        self._warm(group.caches[1], 5.0, "r")    # requester: contended
+        self._warm(group.caches[0], 100.0, "s")  # responder: roomy
+        group.caches[0].admit(Document("http://x/D", 100), 50.0)
+        outcome = group.process(1, rec(200.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert not outcome.stored_at_requester
+        assert outcome.responder_refreshed
+        assert "http://x/D" not in group.caches[1]
+
+    def test_high_age_requester_takes_copy_and_responder_unrefreshed(self):
+        group = ea_group()
+        self._warm(group.caches[1], 100.0, "r")
+        self._warm(group.caches[0], 5.0, "s")
+        group.caches[0].admit(Document("http://x/D", 100), 50.0)
+        entry = group.caches[0].get_entry("http://x/D")
+        hits_before = entry.hit_count
+        outcome = group.process(1, rec(200.0))
+        assert outcome.stored_at_requester
+        assert not outcome.responder_refreshed
+        assert group.caches[0].get_entry("http://x/D").hit_count == hits_before
+
+    def test_outcome_records_decision_ages(self):
+        group = ea_group()
+        self._warm(group.caches[1], 7.0, "r")
+        self._warm(group.caches[0], 3.0, "s")
+        group.caches[0].admit(Document("http://x/D", 100), 4.0)
+        outcome = group.process(1, rec(100.0))
+        assert outcome.requester_age == pytest.approx(7.0)
+        assert outcome.responder_age == pytest.approx(3.0)
+
+
+class TestRequestFlowBasics:
+    def test_local_hit(self):
+        group = adhoc_group()
+        group.process(0, rec(1.0))
+        outcome = group.process(0, rec(2.0))
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+        assert outcome.latency == pytest.approx(0.146)
+
+    def test_miss_latency_and_storage(self):
+        group = adhoc_group()
+        outcome = group.process(0, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert outcome.latency == pytest.approx(2.784)
+        assert outcome.stored_at_requester
+
+    def test_remote_hit_latency(self):
+        group = adhoc_group()
+        group.process(0, rec(1.0))
+        outcome = group.process(1, rec(2.0))
+        assert outcome.latency == pytest.approx(0.342)
+
+    def test_zero_size_record_rejected(self):
+        group = adhoc_group()
+        with pytest.raises(SimulationError, match="patch"):
+            group.process(0, rec(1.0, size=0))
+
+    def test_single_cache_group_never_remote(self):
+        group = adhoc_group(num_caches=1, capacity=1000)
+        assert group.process(0, rec(1.0)).kind is ServiceKind.MISS
+        assert group.process(0, rec(2.0)).kind is ServiceKind.LOCAL_HIT
+
+    def test_message_accounting_per_flow(self):
+        group = adhoc_group()
+        group.process(0, rec(1.0))  # miss: 2 ICP queries+2 replies, 1 http req+resp
+        counters = group.bus.counters
+        assert counters.icp_queries == 2
+        assert counters.icp_replies == 2
+        assert counters.http_requests == 1
+        assert counters.http_responses == 1
+        group.process(1, rec(2.0))  # remote hit: +2/+2 icp, +1/+1 http
+        assert counters.icp_queries == 4
+        assert counters.http_requests == 2
+
+    def test_local_hit_sends_no_messages(self):
+        group = adhoc_group()
+        group.process(0, rec(1.0))
+        before = group.bus.counters.total_messages
+        group.process(0, rec(2.0))
+        assert group.bus.counters.total_messages == before
+
+
+class TestResponderSelection:
+    def test_first_holder_serves(self):
+        group = adhoc_group()
+        group.caches[1].admit(Document("http://x/D", 100), 0.0)
+        group.caches[2].admit(Document("http://x/D", 100), 0.0)
+        outcome = group.process(0, rec(1.0))
+        assert outcome.responder == 1

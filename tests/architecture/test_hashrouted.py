@@ -1,0 +1,78 @@
+"""Behavioural tests for the hash-routed (consistent hashing) group."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.hashrouted import HashRoutedGroup
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.simulation.replay import replay_trace
+from repro.trace.record import TraceRecord
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def rec(ts: float, url: str = "http://x/D", size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=size)
+
+
+def make_group(num_caches=3, capacity=30_000):
+    return HashRoutedGroup(build_caches(num_caches, capacity))
+
+
+class TestRouting:
+    def test_first_request_is_miss_stored_at_home(self):
+        group = make_group()
+        home = group.home_of("http://x/D")
+        outcome = group.process((home + 1) % 3, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[home]
+        # Only the home holds it — zero replication by construction.
+        assert group.total_copies() == 1
+
+    def test_second_request_remote_hit_from_home(self):
+        group = make_group()
+        home = group.home_of("http://x/D")
+        requester = (home + 1) % 3
+        group.process(requester, rec(1.0))
+        outcome = group.process(requester, rec(2.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == home
+
+    def test_request_at_home_is_local(self):
+        group = make_group()
+        home = group.home_of("http://x/D")
+        group.process(home, rec(1.0))
+        outcome = group.process(home, rec(2.0))
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+
+    def test_no_icp_traffic(self):
+        group = make_group()
+        group.process(0, rec(1.0))
+        group.process(1, rec(2.0))
+        assert group.bus.counters.icp_queries == 0
+
+    def test_replication_factor_never_exceeds_one(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(num_requests=2000, num_documents=200, num_clients=8, seed=3)
+        )
+        group = make_group(capacity=60_000)
+        replay_trace(group, trace)
+        assert group.replication_factor() <= 1.0 + 1e-9
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(SimulationError):
+            make_group().process(0, rec(1.0, size=0))
+
+    def test_accounting_balances_on_workload(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(num_requests=2000, num_documents=200, num_clients=8, seed=4)
+        )
+        group = make_group(capacity=60_000)
+        metrics = replay_trace(group, trace)
+        assert metrics.requests == len(trace)
+        assert metrics.local_hits + metrics.remote_hits + metrics.misses == metrics.requests
+        # Most hits are remote by construction (home is rarely the
+        # requester in a 3-cache group).
+        assert metrics.remote_hits >= metrics.local_hits

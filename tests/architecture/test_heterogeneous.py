@@ -1,0 +1,75 @@
+"""Tests for heterogeneous capacity shares in build_caches."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.core.placement import EAScheme
+from repro.errors import SimulationError
+from repro.simulation.replay import replay_trace
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+class TestCapacityShares:
+    def test_equal_split_default(self):
+        caches = build_caches(4, 1000)
+        assert [c.capacity_bytes for c in caches] == [250] * 4
+
+    def test_weighted_split(self):
+        caches = build_caches(2, 1000, capacity_shares=[1, 3])
+        assert [c.capacity_bytes for c in caches] == [250, 750]
+
+    def test_weights_normalised(self):
+        a = build_caches(2, 1000, capacity_shares=[1, 3])
+        b = build_caches(2, 1000, capacity_shares=[10, 30])
+        assert [c.capacity_bytes for c in a] == [c.capacity_bytes for c in b]
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(SimulationError, match="entries"):
+            build_caches(3, 1000, capacity_shares=[1, 2])
+
+    def test_non_positive_share_rejected(self):
+        with pytest.raises(SimulationError, match="positive"):
+            build_caches(2, 1000, capacity_shares=[1, 0])
+
+    def test_too_small_capacity_rejected(self):
+        with pytest.raises(SimulationError, match="too small"):
+            build_caches(2, 10, capacity_shares=[1, 1000])
+
+
+class TestHeterogeneousGroupBehaviour:
+    def test_ea_concentrates_documents_at_large_cache(self):
+        """EA should migrate long-lived copies toward the roomy cache."""
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=6000, num_documents=600, num_clients=16, seed=21
+            )
+        )
+        group = DistributedGroup(
+            build_caches(4, 400_000, capacity_shares=[1, 1, 1, 5]), EAScheme()
+        )
+        replay_trace(group, trace)
+        # The big cache (index 3) holds the majority of bytes...
+        byte_loads = [c.used_bytes for c in group.caches]
+        assert byte_loads[3] == max(byte_loads)
+        # ...and experiences less contention (higher expiration age) than
+        # the small caches.
+        ages = group.expiration_ages()
+        finite = [a for a in ages[:3] if a != float("inf")]
+        if finite and ages[3] != float("inf"):
+            assert ages[3] >= min(finite)
+
+    def test_accounting_balances_with_skewed_shares(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=2000, num_documents=300, num_clients=8, seed=22
+            )
+        )
+        group = DistributedGroup(
+            build_caches(3, 120_000, capacity_shares=[1, 2, 9]), EAScheme()
+        )
+        metrics = replay_trace(group, trace)
+        assert metrics.requests == len(trace)
+        assert 0.0 <= metrics.hit_rate <= 1.0

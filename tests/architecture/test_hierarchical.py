@@ -1,0 +1,144 @@
+"""Behavioural tests for the hierarchical group (paper Section 3.3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.hierarchical import HierarchicalGroup
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme, EAScheme
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.network.topology import StarTopology, TreeTopology, two_level_tree
+from repro.trace.record import TraceRecord
+
+
+def rec(ts: float, url: str = "http://x/D", size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=size)
+
+
+def make_group(scheme=None, num_leaves=2, num_parents=1, capacity=3000):
+    topology = two_level_tree(num_leaves, num_parents)
+    caches = build_caches(topology.num_caches, capacity)
+    return HierarchicalGroup(caches, scheme or AdHocScheme(), topology)
+
+
+class TestConstruction:
+    def test_requires_tree_topology(self):
+        caches = build_caches(2, 200)
+        with pytest.raises(SimulationError, match="TreeTopology"):
+            HierarchicalGroup(caches, AdHocScheme(), StarTopology(2))
+
+
+class TestAdHocHierarchy:
+    def test_miss_caches_at_leaf_and_parent(self):
+        group = make_group()
+        outcome = group.process(1, rec(1.0))  # leaf index 1 (parent is 0)
+        assert outcome.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[1]  # leaf copy
+        assert "http://x/D" in group.caches[0]  # parent copy (ad-hoc stores everywhere)
+
+    def test_sibling_remote_hit(self):
+        group = make_group()
+        group.process(1, rec(1.0))
+        outcome = group.process(2, rec(2.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        # Lowest-index holder is the parent (0), probed alongside sibling 1.
+        assert outcome.responder in (0, 1)
+
+    def test_parent_hit_after_leaf_eviction(self):
+        group = make_group(capacity=3000)
+        group.process(1, rec(1.0))
+        # Evict the leaf's copy; the parent still has one.
+        group.caches[1].evict("http://x/D", 2.0)
+        outcome = group.process(1, rec(3.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == 0
+
+    def test_local_hit_at_leaf(self):
+        group = make_group()
+        group.process(1, rec(1.0))
+        assert group.process(1, rec(2.0)).kind is ServiceKind.LOCAL_HIT
+
+    def test_root_request_misses_to_origin(self):
+        # A request arriving at the root (no parent) resolves via origin.
+        group = make_group()
+        outcome = group.process(0, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[0]
+
+
+class TestMultiLevelResolution:
+    def _three_level_group(self, scheme=None):
+        # 0 = root, 1 = mid (child of 0), 2 = leaf (child of 1).
+        topology = TreeTopology([None, 0, 1])
+        caches = build_caches(3, 3000)
+        return HierarchicalGroup(caches, scheme or AdHocScheme(), topology)
+
+    def test_miss_travels_to_origin_with_hops(self):
+        group = self._three_level_group()
+        outcome = group.process(2, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert outcome.hops == 2  # leaf -> mid -> root -> origin
+        # Ad-hoc leaves a copy at every level.
+        assert all("http://x/D" in cache for cache in group.caches)
+
+    def test_grandparent_hit_counts_as_remote(self):
+        group = self._three_level_group()
+        group.caches[0].admit(Document("http://x/D", 100), 0.0)
+        outcome = group.process(2, rec(1.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == 0
+        assert outcome.hops == 2
+
+    def test_icp_probes_siblings_and_parent_only(self):
+        group = self._three_level_group()
+        group.process(2, rec(1.0))
+        # Leaf 2 has no siblings, one parent -> exactly 1 ICP query/reply.
+        assert group.bus.counters.icp_queries == 1
+        assert group.bus.counters.icp_replies == 1
+
+
+class TestEAHierarchy:
+    def _warm(self, cache, age: float, tag: str):
+        cache.admit(Document(f"http://warm/{tag}", 10), 0.0)
+        cache.evict(f"http://warm/{tag}", age)
+
+    def test_cold_chain_stores_only_at_leaf(self):
+        # Both cold: parent rule is strict (no store), child tie-break
+        # stores at the leaf — no duplicate copies on the path.
+        group = make_group(scheme=EAScheme())
+        outcome = group.process(1, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[1]
+        assert "http://x/D" not in group.caches[0]
+
+    def test_roomy_parent_keeps_copy_contended_leaf_declines(self):
+        group = make_group(scheme=EAScheme())
+        self._warm(group.caches[0], 100.0, "p")  # parent roomy
+        self._warm(group.caches[1], 2.0, "l")    # leaf contended
+        outcome = group.process(1, rec(200.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert "http://x/D" in group.caches[0]
+        assert "http://x/D" not in group.caches[1]
+
+    def test_contended_parent_declines_roomy_leaf_stores(self):
+        group = make_group(scheme=EAScheme())
+        self._warm(group.caches[0], 2.0, "p")
+        self._warm(group.caches[1], 100.0, "l")
+        group.process(1, rec(200.0))
+        assert "http://x/D" not in group.caches[0]
+        assert "http://x/D" in group.caches[1]
+
+    def test_parent_serving_remote_hit_refresh_gated_by_age(self):
+        group = make_group(scheme=EAScheme())
+        self._warm(group.caches[0], 100.0, "p")
+        self._warm(group.caches[1], 2.0, "l")
+        group.caches[0].admit(Document("http://x/D", 100), 150.0)
+        entry = group.caches[0].get_entry("http://x/D")
+        hits_before = entry.hit_count
+        outcome = group.process(1, rec(200.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        # Parent age (100) > leaf age (2): responder refreshed.
+        assert group.caches[0].get_entry("http://x/D").hit_count == hits_before + 1

@@ -1,0 +1,123 @@
+"""Deep-hierarchy tests: three levels, forests, and EA chain semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.hierarchical import HierarchicalGroup
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme, EAScheme
+from repro.network.latency import ServiceKind
+from repro.network.topology import TreeTopology
+from repro.simulation.replay import replay_trace
+from repro.trace.partition import RoundRobinClientPartitioner
+from repro.trace.record import TraceRecord
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def rec(ts: float, url: str = "http://x/D", client: str = "c") -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=100)
+
+
+def three_level(scheme=None, capacity=6000):
+    # 0 root; 1, 2 mid-level children of 0; 3, 4 leaves of 1; 5, 6 leaves of 2.
+    topology = TreeTopology([None, 0, 0, 1, 1, 2, 2])
+    caches = build_caches(topology.num_caches, capacity)
+    return HierarchicalGroup(caches, scheme or AdHocScheme(), topology)
+
+
+class TestThreeLevelAdHoc:
+    def test_full_path_caching_on_miss(self):
+        group = three_level()
+        outcome = group.process(3, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert outcome.hops == 2
+        # Ad-hoc: copies at leaf 3, mid 1, root 0 — the full path.
+        for index in (3, 1, 0):
+            assert "http://x/D" in group.caches[index]
+        # Nothing on the other branch.
+        for index in (2, 4, 5, 6):
+            assert "http://x/D" not in group.caches[index]
+
+    def test_cross_branch_resolution_via_root(self):
+        group = three_level()
+        group.process(3, rec(1.0))  # cached along 3-1-0
+        # Leaf 5's siblings (6) and parent (2) miss; escalation reaches the
+        # root, which has a copy -> remote hit with 2 hops.
+        outcome = group.process(5, rec(2.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == 0
+        assert outcome.hops == 2
+
+    def test_sibling_leaf_hit_via_icp(self):
+        group = three_level()
+        group.process(3, rec(1.0))
+        outcome = group.process(4, rec(2.0))  # sibling of 3
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder in (3, 1)  # sibling or shared parent
+        assert outcome.hops == 1
+
+
+class TestThreeLevelEA:
+    def _warm(self, cache, age: float, tag: str):
+        cache.admit(Document(f"http://warm/{tag}", 10), 0.0)
+        cache.evict(f"http://warm/{tag}", age)
+
+    def test_cold_chain_single_copy_at_leaf(self):
+        group = three_level(scheme=EAScheme())
+        group.process(3, rec(1.0))
+        copies = [i for i, c in enumerate(group.caches) if "http://x/D" in c]
+        assert copies == [3]
+
+    def test_roomiest_node_on_path_keeps_copy(self):
+        group = three_level(scheme=EAScheme())
+        self._warm(group.caches[3], 2.0, "leaf")    # contended leaf
+        self._warm(group.caches[1], 100.0, "mid")   # roomy mid
+        self._warm(group.caches[0], 2.0, "root")    # contended root
+        group.process(3, rec(200.0))
+        assert "http://x/D" in group.caches[1]
+        assert "http://x/D" not in group.caches[3]
+        # Root compares itself against its immediate child (mid, age 100):
+        # 2 > 100 is false, so the root declines too.
+        assert "http://x/D" not in group.caches[0]
+
+
+class TestForest:
+    def test_two_root_forest_roots_are_siblings(self):
+        topology = TreeTopology([None, None])
+        caches = build_caches(2, 2000)
+        group = HierarchicalGroup(caches, AdHocScheme(), topology)
+        group.process(0, rec(1.0))
+        outcome = group.process(1, rec(2.0))
+        # Roots probe each other as siblings -> remote hit, no escalation.
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == 0
+
+
+class TestWorkloadOnDeepTree:
+    @pytest.mark.parametrize("scheme_cls", [AdHocScheme, EAScheme])
+    def test_accounting_balances(self, scheme_cls):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=2000, num_documents=250, num_clients=12, seed=31
+            )
+        )
+        group = three_level(scheme=scheme_cls(), capacity=100_000)
+        metrics = replay_trace(group, trace)
+        assert metrics.requests == len(trace)
+        assert metrics.local_hits + metrics.remote_hits + metrics.misses == len(trace)
+
+    def test_leaves_only_receive_clients(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=1000, num_documents=150, num_clients=8, seed=32
+            )
+        )
+        group = three_level(capacity=100_000)
+        leaves = group.topology.leaves()
+        partitioner = RoundRobinClientPartitioner(len(leaves))
+        for position, record in partitioner.split(iter(trace)):
+            group.process(leaves[position], record)
+        for index in (0, 1, 2):  # interior nodes
+            assert group.caches[index].stats.lookups == 0

@@ -1,0 +1,85 @@
+"""Unit tests for documents, cache entries, and eviction records."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.document import CacheEntry, Document, EvictionRecord
+from repro.errors import CacheConfigurationError
+
+
+class TestDocument:
+    def test_fields(self):
+        doc = Document("http://x/a", 512)
+        assert doc.url == "http://x/a"
+        assert doc.size == 512
+
+    def test_empty_url_rejected(self):
+        with pytest.raises(CacheConfigurationError):
+            Document("", 1)
+
+    @pytest.mark.parametrize("size", [0, -1])
+    def test_non_positive_size_rejected(self, size):
+        with pytest.raises(CacheConfigurationError):
+            Document("http://x/a", size)
+
+    def test_equality_and_hash(self):
+        assert Document("http://x", 10) == Document("http://x", 10)
+        assert hash(Document("http://x", 10)) == hash(Document("http://x", 10))
+
+
+class TestCacheEntry:
+    def test_initial_state_matches_paper(self):
+        # "HIT-COUNTER ... initialized to 1 when the document enters";
+        # the last hit defaults to the entry time.
+        entry = CacheEntry(document=Document("http://x", 10), entry_time=5.0)
+        assert entry.hit_count == 1
+        assert entry.last_hit_time == 5.0
+
+    def test_record_hit(self):
+        entry = CacheEntry(document=Document("http://x", 10), entry_time=0.0)
+        entry.record_hit(3.0)
+        assert entry.hit_count == 2
+        assert entry.last_hit_time == 3.0
+
+    def test_lifetime(self):
+        entry = CacheEntry(document=Document("http://x", 10), entry_time=2.0)
+        assert entry.lifetime(7.0) == 5.0
+
+    def test_url_size_shortcuts(self):
+        entry = CacheEntry(document=Document("http://x", 10), entry_time=0.0)
+        assert entry.url == "http://x"
+        assert entry.size == 10
+
+    def test_invalid_hit_count(self):
+        with pytest.raises(CacheConfigurationError):
+            CacheEntry(document=Document("http://x", 10), entry_time=0.0, hit_count=0)
+
+
+class TestEvictionRecord:
+    def _record(self, entry=0.0, last_hit=6.0, hits=3, evict=10.0):
+        return EvictionRecord(
+            url="http://x",
+            size=100,
+            entry_time=entry,
+            last_hit_time=last_hit,
+            hit_count=hits,
+            evict_time=evict,
+        )
+
+    def test_life_time_is_paper_definition(self):
+        # Life Time = (T1 - T0), Section 3.1.
+        assert self._record().life_time == 10.0
+
+    def test_lru_expiration_age_eq2(self):
+        # DocExpAge_LRU = eviction time - last hit time (Eq. 2).
+        assert self._record().lru_expiration_age == 4.0
+
+    def test_lfu_expiration_age_ratio(self):
+        # DocExpAge_LFU = (TR - T0) / HIT_COUNTER (Section 3.2.2).
+        assert self._record().lfu_expiration_age == pytest.approx(10.0 / 3.0)
+
+    def test_never_hit_document(self):
+        record = self._record(last_hit=0.0, hits=1)
+        assert record.lru_expiration_age == 10.0
+        assert record.lfu_expiration_age == 10.0

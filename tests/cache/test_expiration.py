@@ -1,0 +1,142 @@
+"""Unit tests for expiration-age tracking (paper Eq. 2, Eq. 5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.document import EvictionRecord
+from repro.cache.expiration import (
+    ExpirationAgeTracker,
+    document_expiration_age,
+)
+from repro.errors import CacheConfigurationError
+
+
+def eviction(evict_time: float, last_hit: float = 0.0, entry: float = 0.0, hits: int = 1):
+    return EvictionRecord(
+        url="http://x",
+        size=10,
+        entry_time=entry,
+        last_hit_time=last_hit,
+        hit_count=hits,
+        evict_time=evict_time,
+    )
+
+
+class TestDocumentExpirationAge:
+    def test_lru_formula(self):
+        assert document_expiration_age(eviction(10.0, last_hit=4.0), "lru") == 6.0
+
+    def test_lfu_formula(self):
+        record = eviction(12.0, entry=0.0, hits=4)
+        assert document_expiration_age(record, "lfu") == 3.0
+
+    def test_unknown_kind(self):
+        with pytest.raises(CacheConfigurationError):
+            document_expiration_age(eviction(1.0), "mru")
+
+
+class TestTrackerValidation:
+    def test_bad_kind(self):
+        with pytest.raises(CacheConfigurationError):
+            ExpirationAgeTracker(kind="fifo")
+
+    def test_bad_window_mode(self):
+        with pytest.raises(CacheConfigurationError):
+            ExpirationAgeTracker(window_mode="forever")
+
+    def test_bad_window_size(self):
+        with pytest.raises(CacheConfigurationError):
+            ExpirationAgeTracker(window_mode="count", window_size=0)
+
+    def test_bad_window_seconds(self):
+        with pytest.raises(CacheConfigurationError):
+            ExpirationAgeTracker(window_mode="time", window_seconds=0.0)
+
+
+class TestEmptyTracker:
+    @pytest.mark.parametrize("mode", ["cumulative", "count", "time"])
+    def test_no_evictions_means_infinite_age(self, mode):
+        tracker = ExpirationAgeTracker(window_mode=mode)
+        assert math.isinf(tracker.cache_expiration_age())
+
+    def test_snapshot_empty(self):
+        snap = ExpirationAgeTracker().snapshot()
+        assert math.isinf(snap.cache_expiration_age)
+        assert snap.victims_in_window == 0
+        assert snap.total_evictions == 0
+
+
+class TestCumulativeWindow:
+    def test_mean_of_all_victims(self):
+        tracker = ExpirationAgeTracker(window_mode="cumulative")
+        tracker.record_eviction(eviction(10.0, last_hit=4.0))  # age 6
+        tracker.record_eviction(eviction(20.0, last_hit=18.0))  # age 2
+        assert tracker.cache_expiration_age() == pytest.approx(4.0)
+
+    def test_total_evictions(self):
+        tracker = ExpirationAgeTracker(window_mode="cumulative")
+        for t in (1.0, 2.0, 3.0):
+            tracker.record_eviction(eviction(t))
+        assert tracker.total_evictions == 3
+
+
+class TestCountWindow:
+    def test_window_drops_oldest(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=2)
+        tracker.record_eviction(eviction(10.0, last_hit=0.0))  # age 10
+        tracker.record_eviction(eviction(11.0, last_hit=10.0))  # age 1
+        tracker.record_eviction(eviction(14.0, last_hit=11.0))  # age 3
+        # Only the last two victims (ages 1, 3) remain.
+        assert tracker.cache_expiration_age() == pytest.approx(2.0)
+
+    def test_total_evictions_counts_beyond_window(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=1)
+        for t in (1.0, 2.0, 3.0):
+            tracker.record_eviction(eviction(t, last_hit=t - 1.0))
+        assert tracker.total_evictions == 3
+        assert tracker.snapshot().victims_in_window == 1
+
+
+class TestTimeWindow:
+    def test_old_victims_expire(self):
+        tracker = ExpirationAgeTracker(window_mode="time", window_seconds=5.0)
+        tracker.record_eviction(eviction(0.0, last_hit=-10.0))  # age 10 at t=0
+        tracker.record_eviction(eviction(10.0, last_hit=8.0))  # age 2 at t=10
+        # At t=10, the first eviction (t=0) is older than 5s.
+        assert tracker.cache_expiration_age(now=10.0) == pytest.approx(2.0)
+
+    def test_query_time_trims(self):
+        tracker = ExpirationAgeTracker(window_mode="time", window_seconds=5.0)
+        tracker.record_eviction(eviction(0.0, last_hit=-3.0))  # age 3
+        assert tracker.cache_expiration_age(now=3.0) == pytest.approx(3.0)
+        assert math.isinf(tracker.cache_expiration_age(now=100.0))
+
+    def test_without_now_uses_last_eviction_trim(self):
+        tracker = ExpirationAgeTracker(window_mode="time", window_seconds=5.0)
+        tracker.record_eviction(eviction(0.0, last_hit=-3.0))
+        assert tracker.cache_expiration_age() == pytest.approx(3.0)
+
+
+class TestLFUKind:
+    def test_uses_lfu_formula(self):
+        tracker = ExpirationAgeTracker(kind="lfu", window_mode="cumulative")
+        tracker.record_eviction(eviction(12.0, entry=0.0, hits=4))  # 12/4 = 3
+        assert tracker.cache_expiration_age() == pytest.approx(3.0)
+
+
+class TestReset:
+    def test_reset_clears_everything(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=10)
+        tracker.record_eviction(eviction(5.0))
+        tracker.reset()
+        assert math.isinf(tracker.cache_expiration_age())
+        assert tracker.total_evictions == 0
+
+
+class TestRecordEvictionReturnValue:
+    def test_returns_document_age(self):
+        tracker = ExpirationAgeTracker(window_mode="count")
+        assert tracker.record_eviction(eviction(10.0, last_hit=7.0)) == pytest.approx(3.0)

@@ -1,0 +1,49 @@
+"""Unit tests for the per-cache stats block."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.stats import CacheStats
+
+
+class TestCacheStats:
+    def test_defaults_zero(self):
+        stats = CacheStats()
+        assert stats.lookups == 0
+        assert stats.local_hit_rate == 0.0
+
+    def test_local_hit_rate(self):
+        stats = CacheStats(lookups=10, local_hits=3, local_misses=7)
+        assert stats.local_hit_rate == pytest.approx(0.3)
+
+    def test_merge_sums_every_field(self):
+        a = CacheStats(
+            lookups=1, local_hits=2, local_misses=3, remote_hits_served=4,
+            admissions=5, rejections=6, evictions=7, bytes_served_local=8,
+            bytes_served_remote=9, bytes_admitted=10, bytes_evicted=11,
+        )
+        b = CacheStats(
+            lookups=10, local_hits=20, local_misses=30, remote_hits_served=40,
+            admissions=50, rejections=60, evictions=70, bytes_served_local=80,
+            bytes_served_remote=90, bytes_admitted=100, bytes_evicted=110,
+        )
+        merged = a.merge(b)
+        assert merged.lookups == 11
+        assert merged.local_hits == 22
+        assert merged.local_misses == 33
+        assert merged.remote_hits_served == 44
+        assert merged.admissions == 55
+        assert merged.rejections == 66
+        assert merged.evictions == 77
+        assert merged.bytes_served_local == 88
+        assert merged.bytes_served_remote == 99
+        assert merged.bytes_admitted == 110
+        assert merged.bytes_evicted == 121
+
+    def test_merge_does_not_mutate(self):
+        a = CacheStats(lookups=1)
+        b = CacheStats(lookups=2)
+        a.merge(b)
+        assert a.lookups == 1
+        assert b.lookups == 2

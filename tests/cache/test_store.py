@@ -1,0 +1,223 @@
+"""Unit tests for ProxyCache (the byte-bounded store)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.document import Document
+from repro.cache.expiration import ExpirationAgeTracker
+from repro.cache.replacement import LFUPolicy, LRUPolicy
+from repro.cache.store import ProxyCache
+from repro.errors import CacheConfigurationError
+
+
+def doc(url: str, size: int = 100) -> Document:
+    return Document(url, size)
+
+
+class TestConstruction:
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(CacheConfigurationError):
+            ProxyCache(0)
+
+    def test_defaults_to_lru(self):
+        assert isinstance(ProxyCache(100).policy, LRUPolicy)
+
+    def test_tracker_kind_follows_policy(self):
+        cache = ProxyCache(100, policy=LFUPolicy())
+        assert cache.tracker.kind == "lfu"
+
+    def test_explicit_tracker_kept(self):
+        tracker = ExpirationAgeTracker(kind="lru", window_mode="cumulative")
+        cache = ProxyCache(100, tracker=tracker)
+        assert cache.tracker is tracker
+
+
+class TestAdmitAndLookup:
+    def test_admit_then_lookup(self):
+        cache = ProxyCache(1000)
+        outcome = cache.admit(doc("a"), 0.0)
+        assert outcome.admitted and not outcome.already_present
+        assert cache.lookup("a", 1.0) is not None
+
+    def test_lookup_miss(self):
+        cache = ProxyCache(1000)
+        assert cache.lookup("ghost", 0.0) is None
+        assert cache.stats.local_misses == 1
+
+    def test_lookup_hit_refreshes(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        entry = cache.lookup("a", 5.0)
+        assert entry.last_hit_time == 5.0
+        assert entry.hit_count == 2
+
+    def test_lookup_without_refresh(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        entry = cache.lookup("a", 5.0, refresh=False)
+        assert entry.last_hit_time == 0.0
+        assert entry.hit_count == 1
+
+    def test_used_bytes_accounting(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a", 300), 0.0)
+        cache.admit(doc("b", 200), 1.0)
+        assert cache.used_bytes == 500
+        assert cache.free_bytes == 500
+        assert cache.utilization == pytest.approx(0.5)
+
+    def test_readmit_same_url_refreshes_not_duplicates(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a", 300), 0.0)
+        outcome = cache.admit(doc("a", 300), 5.0)
+        assert outcome.already_present
+        assert cache.used_bytes == 300
+        assert len(cache) == 1
+        assert cache.get_entry("a").hit_count == 2
+
+    def test_oversized_document_rejected_without_eviction(self):
+        cache = ProxyCache(100)
+        cache.admit(doc("small", 50), 0.0)
+        outcome = cache.admit(doc("huge", 500), 1.0)
+        assert not outcome.admitted
+        assert "small" in cache
+        assert cache.stats.rejections == 1
+
+    def test_contains_and_len(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        assert "a" in cache
+        assert "b" not in cache
+        assert len(cache) == 1
+
+    def test_urls_listing(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        cache.admit(doc("b"), 1.0)
+        assert sorted(cache.urls()) == ["a", "b"]
+
+
+class TestEviction:
+    def test_evicts_until_fit(self):
+        cache = ProxyCache(250)
+        cache.admit(doc("a", 100), 0.0)
+        cache.admit(doc("b", 100), 1.0)
+        outcome = cache.admit(doc("c", 100), 2.0)
+        assert outcome.admitted
+        assert [r.url for r in outcome.evicted] == ["a"]
+        assert cache.used_bytes == 200
+
+    def test_capacity_never_exceeded(self):
+        cache = ProxyCache(350)
+        for i in range(20):
+            cache.admit(doc(f"u{i}", 100), float(i))
+            assert cache.used_bytes <= 350
+
+    def test_lru_eviction_order(self):
+        cache = ProxyCache(300)
+        cache.admit(doc("a", 100), 0.0)
+        cache.admit(doc("b", 100), 1.0)
+        cache.admit(doc("c", 100), 2.0)
+        cache.lookup("a", 3.0)  # refresh a; b is now LRU
+        outcome = cache.admit(doc("d", 100), 4.0)
+        assert [r.url for r in outcome.evicted] == ["b"]
+
+    def test_eviction_record_fields(self):
+        cache = ProxyCache(100)
+        cache.admit(doc("a", 100), 1.0)
+        cache.lookup("a", 4.0)
+        outcome = cache.admit(doc("b", 100), 9.0)
+        [record] = outcome.evicted
+        assert record.url == "a"
+        assert record.entry_time == 1.0
+        assert record.last_hit_time == 4.0
+        assert record.hit_count == 2
+        assert record.evict_time == 9.0
+        assert record.lru_expiration_age == 5.0
+
+    def test_explicit_evict_unknown_raises(self):
+        with pytest.raises(CacheConfigurationError, match="not present"):
+            ProxyCache(100).evict("ghost", 0.0)
+
+    def test_evictions_feed_tracker(self):
+        cache = ProxyCache(100)
+        cache.admit(doc("a", 100), 0.0)
+        cache.admit(doc("b", 100), 10.0)
+        assert cache.tracker.total_evictions == 1
+        assert cache.expiration_age() == pytest.approx(10.0)
+
+    def test_expiration_age_infinite_before_evictions(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        assert math.isinf(cache.expiration_age())
+
+
+class TestServeRemote:
+    def test_serve_remote_with_refresh(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        entry = cache.serve_remote("a", 5.0, refresh=True)
+        assert entry.last_hit_time == 5.0
+        assert cache.stats.remote_hits_served == 1
+
+    def test_serve_remote_without_refresh_leaves_entry_unaltered(self):
+        # The EA scheme's responder rule: entry "left unaltered at its
+        # current position".
+        cache = ProxyCache(300)
+        cache.admit(doc("a", 100), 0.0)
+        cache.admit(doc("b", 100), 1.0)
+        cache.admit(doc("c", 100), 2.0)
+        entry = cache.serve_remote("a", 5.0, refresh=False)
+        assert entry.last_hit_time == 0.0
+        assert entry.hit_count == 1
+        outcome = cache.admit(doc("d", 100), 6.0)
+        assert [r.url for r in outcome.evicted] == ["a"]
+
+    def test_serve_remote_with_refresh_promotes(self):
+        cache = ProxyCache(300)
+        cache.admit(doc("a", 100), 0.0)
+        cache.admit(doc("b", 100), 1.0)
+        cache.admit(doc("c", 100), 2.0)
+        cache.serve_remote("a", 5.0, refresh=True)
+        outcome = cache.admit(doc("d", 100), 6.0)
+        assert [r.url for r in outcome.evicted] == ["b"]
+
+    def test_serve_remote_miss_returns_none(self):
+        cache = ProxyCache(100)
+        assert cache.serve_remote("ghost", 0.0, refresh=True) is None
+        assert cache.stats.remote_hits_served == 0
+
+
+class TestStatsCounters:
+    def test_full_accounting(self):
+        cache = ProxyCache(250)
+        cache.lookup("a", 0.0)                 # miss
+        cache.admit(doc("a", 100), 0.0)        # admission
+        cache.lookup("a", 1.0)                 # hit
+        cache.admit(doc("b", 100), 2.0)
+        cache.admit(doc("c", 100), 3.0)        # evicts a
+        stats = cache.stats
+        assert stats.lookups == 2
+        assert stats.local_hits == 1
+        assert stats.local_misses == 1
+        assert stats.admissions == 3
+        assert stats.evictions == 1
+        assert stats.bytes_admitted == 300
+        assert stats.bytes_evicted == 100
+        assert stats.bytes_served_local == 100
+        assert stats.local_hit_rate == pytest.approx(0.5)
+
+
+class TestClear:
+    def test_clear_empties_without_tracker_noise(self):
+        cache = ProxyCache(1000)
+        cache.admit(doc("a"), 0.0)
+        cache.clear()
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+        assert cache.tracker.total_evictions == 0
+        # Reusable after clear.
+        assert cache.admit(doc("b"), 1.0).admitted

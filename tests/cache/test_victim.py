@@ -1,0 +1,140 @@
+"""Behavioural tests for the victim-buffer cache."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.document import Document
+from repro.cache.victim import VictimBufferCache
+from repro.errors import CacheConfigurationError
+
+
+def doc(url: str, size: int = 100) -> Document:
+    return Document(url, size)
+
+
+def make_cache(capacity=1000, victim_fraction=0.3):
+    # capacity 1000, fraction 0.3 -> main 700, buffer 300.
+    return VictimBufferCache(capacity, victim_fraction=victim_fraction)
+
+
+class TestConstruction:
+    def test_split(self):
+        cache = make_cache()
+        assert cache.capacity_bytes == 700
+        assert cache.buffer_capacity == 300
+
+    @pytest.mark.parametrize("fraction", [0.0, 1.0, -0.1])
+    def test_invalid_fraction(self, fraction):
+        with pytest.raises(CacheConfigurationError):
+            VictimBufferCache(1000, victim_fraction=fraction)
+
+    def test_too_small_capacity(self):
+        with pytest.raises(CacheConfigurationError):
+            VictimBufferCache(1, victim_fraction=0.5)
+
+
+class TestVictimFlow:
+    def _fill_and_overflow(self, cache):
+        for i, t in enumerate((1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)):
+            cache.admit(doc(f"http://d/{i}"), t)
+
+    def test_eviction_lands_in_buffer(self):
+        cache = make_cache()
+        self._fill_and_overflow(cache)  # main holds 7 slots only
+        assert cache.buffer_used_bytes == 0  # 700 bytes = 7 docs: no eviction yet
+        cache.admit(doc("http://d/overflow"), 8.0)
+        assert cache.buffer_urls() == ["http://d/0"]
+        assert cache.buffer_used_bytes == 100
+
+    def test_second_chance_hit_promotes_back(self):
+        cache = make_cache()
+        self._fill_and_overflow(cache)
+        cache.admit(doc("http://d/overflow"), 8.0)  # d/0 buffered
+        entry = cache.lookup("http://d/0", 9.0)
+        assert entry is not None
+        assert cache.second_chance_hits == 1
+        assert "http://d/0" not in cache.buffer_urls()
+        assert cache.get_entry("http://d/0") is not None
+
+    def test_buffer_fifo_final_departure(self):
+        cache = make_cache(capacity=1000, victim_fraction=0.2)  # buffer 200 = 2 docs
+        for i in range(8):  # main 800 = 8 docs
+            cache.admit(doc(f"http://d/{i}"), float(i))
+        for i in range(3):  # three evictions -> buffer overflows once
+            cache.admit(doc(f"http://e/{i}"), 10.0 + i)
+        assert len(cache.buffer_urls()) == 2
+        # The oldest victim finally departed: tracker fed exactly once.
+        assert cache.tracker.total_evictions == 1
+
+    def test_expiration_age_counts_full_residency(self):
+        cache = make_cache(capacity=1000, victim_fraction=0.2)
+        cache.admit(doc("http://a"), 0.0)
+        for i in range(8):
+            cache.admit(doc(f"http://d/{i}"), 1.0)  # pushes a out of main at t=1
+        # a sits in the buffer; flood the buffer at t=50 so a finally leaves.
+        cache.admit(doc("http://x/0"), 50.0)
+        cache.admit(doc("http://x/1"), 50.0)
+        cache.admit(doc("http://x/2"), 50.0)
+        assert cache.tracker.total_evictions >= 1
+        # Final-departure ages span entry (t~0-1) to buffer exit (t=50),
+        # not just the main-store residency (which ended at t=1).
+        assert cache.expiration_age() == pytest.approx(49.5, abs=1.0)
+
+    def test_contains_covers_buffer(self):
+        cache = make_cache()
+        self._fill_and_overflow(cache)
+        cache.admit(doc("http://d/overflow"), 8.0)
+        assert "http://d/0" in cache  # buffered but still resident
+
+    def test_serve_remote_from_buffer(self):
+        cache = make_cache()
+        self._fill_and_overflow(cache)
+        cache.admit(doc("http://d/overflow"), 8.0)
+        entry = cache.serve_remote("http://d/0", 9.0, refresh=True)
+        assert entry is not None
+        assert cache.stats.remote_hits_served == 1
+        assert cache.get_entry("http://d/0") is not None
+
+    def test_oversized_victim_departs_immediately(self):
+        cache = VictimBufferCache(1000, victim_fraction=0.1)  # buffer 100
+        cache.admit(doc("http://big", 500), 0.0)
+        cache.admit(doc("http://big2", 500), 10.0)  # evicts big; 500 > 100
+        assert cache.buffer_urls() == []
+        assert cache.tracker.total_evictions == 1
+
+    def test_clear_empties_buffer(self):
+        cache = make_cache()
+        self._fill_and_overflow(cache)
+        cache.admit(doc("http://d/overflow"), 8.0)
+        cache.clear()
+        assert cache.buffer_used_bytes == 0
+        assert cache.buffer_urls() == []
+
+
+class TestSecondChanceValue:
+    def test_buffer_raises_hit_rate_on_looping_workload(self):
+        """A loop slightly larger than the main store thrashes plain LRU;
+        the buffer catches the re-references."""
+        import itertools
+
+        def run(cache):
+            hits = total = 0
+            urls = [f"http://loop/{i}" for i in range(9)]  # 9 docs vs 7 main slots
+            now = 0.0
+            for url in itertools.islice(itertools.cycle(urls), 400):
+                now += 1.0
+                total += 1
+                if cache.lookup(url, now) is not None:
+                    hits += 1
+                else:
+                    cache.admit(doc(url), now)
+            return hits / total
+
+        from repro.cache.store import ProxyCache
+
+        plain = run(ProxyCache(700))
+        buffered = run(make_cache(capacity=1000, victim_fraction=0.3))
+        assert buffered > plain

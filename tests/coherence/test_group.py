@@ -1,0 +1,120 @@
+"""Behavioural tests for the coherent group wrapper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.coherence.group import CoherentGroup
+from repro.coherence.model import ChangeModel, TTLModel
+from repro.core.placement import AdHocScheme
+from repro.errors import CacheConfigurationError
+from repro.network.latency import ServiceKind
+from repro.simulation.replay import replay_trace
+from repro.trace.record import TraceRecord
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def rec(ts: float, url: str = "http://x/D") -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=100)
+
+
+def make_coherent(ttl=100.0, change_interval=1e9, immutable=0.0):
+    group = DistributedGroup(build_caches(2, 30_000), AdHocScheme())
+    return CoherentGroup(
+        group,
+        ttl_model=TTLModel(base_ttl=ttl, spread=0.0),
+        change_model=ChangeModel(
+            mean_change_interval=change_interval, spread=0.0,
+            immutable_fraction=immutable,
+        ),
+    )
+
+
+class TestFreshPath:
+    def test_fresh_hit_unchanged(self):
+        coherent = make_coherent(ttl=1000.0)
+        coherent.process(0, rec(1.0))
+        outcome = coherent.process(0, rec(2.0))
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+        assert outcome.latency == pytest.approx(0.146)
+        assert coherent.stats.fresh_hits == 1
+        assert coherent.stats.validations == 0
+
+    def test_miss_passthrough(self):
+        coherent = make_coherent()
+        assert coherent.process(0, rec(1.0)).kind is ServiceKind.MISS
+
+
+class TestStaleValidation:
+    def test_304_renews_and_adds_latency(self):
+        coherent = make_coherent(ttl=10.0, change_interval=1e9)
+        coherent.process(0, rec(1.0))
+        outcome = coherent.process(0, rec(50.0))  # stale, unchanged at origin
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+        assert outcome.latency == pytest.approx(0.146 + coherent.validation_latency)
+        assert coherent.stats.not_modified == 1
+        # Freshness renewed: the next request inside the TTL is fresh.
+        follow_up = coherent.process(0, rec(55.0))
+        assert coherent.stats.validations == 1
+        assert follow_up.latency == pytest.approx(0.146)
+
+    def test_changed_document_becomes_coherence_miss(self):
+        coherent = make_coherent(ttl=10.0, change_interval=30.0)
+        coherent.process(0, rec(1.0))
+        outcome = coherent.process(0, rec(50.0))  # stale AND changed
+        assert outcome.kind is ServiceKind.MISS
+        assert outcome.latency == pytest.approx(2.784)
+        assert coherent.stats.coherence_misses == 1
+
+    def test_remote_hit_validates_at_responder(self):
+        coherent = make_coherent(ttl=10.0, change_interval=1e9)
+        coherent.process(0, rec(1.0))
+        outcome = coherent.process(1, rec(50.0))  # remote hit on stale copy
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert coherent.stats.validations == 1
+
+    def test_validation_hit_rate(self):
+        coherent = make_coherent(ttl=10.0, change_interval=1e9)
+        coherent.process(0, rec(1.0))
+        coherent.process(0, rec(50.0))
+        assert coherent.stats.validation_hit_rate == 1.0
+
+
+class TestProvenanceTracking:
+    def test_remote_copy_inherits_source_fetch_time(self):
+        coherent = make_coherent(ttl=60.0, change_interval=1e9)
+        coherent.process(0, rec(1.0))        # fetched at t=1 at cache 0
+        coherent.process(1, rec(30.0))       # replicated at cache 1 (ad-hoc)
+        # Cache 1's copy is backed by the t=1 fetch, so at t=65 it is stale
+        # even though it arrived at t=30.
+        outcome = coherent.process(1, rec(65.0))
+        assert coherent.stats.validations == 1
+        assert outcome.kind is ServiceKind.LOCAL_HIT  # validated, 304
+
+
+class TestValidationParam:
+    def test_negative_latency_rejected(self):
+        group = DistributedGroup(build_caches(2, 30_000), AdHocScheme())
+        with pytest.raises(CacheConfigurationError):
+            CoherentGroup(group, validation_latency=-0.1)
+
+
+class TestWorkloadIntegration:
+    def test_accounting_balances_under_coherence(self):
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=2000, num_documents=200, num_clients=8,
+                mean_interarrival=5.0, seed=13,
+            )
+        )
+        coherent = make_coherent(ttl=500.0, change_interval=2000.0)
+        metrics = replay_trace(coherent, trace)
+        assert metrics.requests == len(trace)
+        assert metrics.local_hits + metrics.remote_hits + metrics.misses == len(trace)
+        assert coherent.stats.validations >= coherent.stats.not_modified
+        assert (
+            coherent.stats.validations
+            == coherent.stats.not_modified + coherent.stats.coherence_misses
+        )

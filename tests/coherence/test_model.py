@@ -1,0 +1,75 @@
+"""Unit tests for TTL and change models."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.coherence.model import ChangeModel, TTLModel
+from repro.errors import CacheConfigurationError
+
+
+class TestTTLModel:
+    def test_fixed_ttl(self):
+        model = TTLModel(base_ttl=600.0, spread=0.0)
+        assert model.ttl_for("http://a") == 600.0
+        assert model.ttl_for("http://b") == 600.0
+
+    def test_spread_varies_per_url_but_stable(self):
+        model = TTLModel(base_ttl=600.0, spread=1.0)
+        a1, a2 = model.ttl_for("http://a"), model.ttl_for("http://a")
+        b = model.ttl_for("http://b")
+        assert a1 == a2
+        assert a1 != b
+
+    def test_spread_bounded_by_exp_factor(self):
+        model = TTLModel(base_ttl=100.0, spread=1.0)
+        for i in range(50):
+            ttl = model.ttl_for(f"http://u/{i}")
+            assert 100.0 / math.e <= ttl <= 100.0 * math.e
+
+    def test_validation(self):
+        with pytest.raises(CacheConfigurationError):
+            TTLModel(base_ttl=0.0)
+        with pytest.raises(CacheConfigurationError):
+            TTLModel(spread=-1.0)
+
+
+class TestChangeModel:
+    def test_immutable_documents_never_change(self):
+        model = ChangeModel(immutable_fraction=1.0)
+        assert math.isinf(model.period_for("http://a"))
+        assert not model.changed_between("http://a", 0.0, 1e12)
+
+    def test_zero_immutable_fraction(self):
+        model = ChangeModel(immutable_fraction=0.0, spread=0.0, mean_change_interval=100.0)
+        assert model.period_for("http://a") == 100.0
+
+    def test_version_advances_with_time(self):
+        model = ChangeModel(immutable_fraction=0.0, spread=0.0, mean_change_interval=100.0)
+        assert model.version_at("http://a", 50.0) == 0
+        assert model.version_at("http://a", 150.0) == 1
+        assert model.version_at("http://a", 950.0) == 9
+
+    def test_changed_between(self):
+        model = ChangeModel(immutable_fraction=0.0, spread=0.0, mean_change_interval=100.0)
+        assert not model.changed_between("http://a", 10.0, 90.0)
+        assert model.changed_between("http://a", 90.0, 110.0)
+
+    def test_periods_stable_per_url(self):
+        model = ChangeModel(immutable_fraction=0.0, spread=1.0)
+        assert model.period_for("http://a") == model.period_for("http://a")
+
+    def test_immutable_fraction_roughly_respected(self):
+        model = ChangeModel(immutable_fraction=0.5)
+        immutable = sum(
+            1 for i in range(400) if math.isinf(model.period_for(f"http://u/{i}"))
+        )
+        assert 120 < immutable < 280
+
+    def test_validation(self):
+        with pytest.raises(CacheConfigurationError):
+            ChangeModel(mean_change_interval=0.0)
+        with pytest.raises(CacheConfigurationError):
+            ChangeModel(immutable_fraction=1.5)

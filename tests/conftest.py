@@ -1,0 +1,43 @@
+"""Shared test fixtures: small deterministic traces and helper builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache import Document, LRUPolicy, ProxyCache
+from repro.trace import SyntheticTraceConfig, Trace, TraceRecord, generate_trace
+
+
+@pytest.fixture(scope="session")
+def small_trace() -> Trace:
+    """~4k-request trace shared by integration-style tests."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=4_000,
+            num_documents=500,
+            num_clients=16,
+            zero_size_fraction=0.02,
+            seed=1234,
+        )
+    )
+
+
+@pytest.fixture
+def tiny_cache() -> ProxyCache:
+    """A 10-document-sized LRU cache for unit tests."""
+    return ProxyCache(10 * 1024, policy=LRUPolicy(), name="tiny")
+
+
+def make_record(
+    timestamp: float = 0.0,
+    client: str = "client0",
+    url: str = "http://example.com/a",
+    size: int = 1024,
+) -> TraceRecord:
+    """Terse TraceRecord builder for unit tests."""
+    return TraceRecord(timestamp=timestamp, client_id=client, url=url, size=size)
+
+
+def make_document(url: str = "http://example.com/a", size: int = 1024) -> Document:
+    """Terse Document builder for unit tests."""
+    return Document(url=url, size=size)

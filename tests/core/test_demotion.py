@@ -1,0 +1,125 @@
+"""Behavioural tests for the last-copy demotion extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.core.demotion import DemotionGroup
+from repro.core.placement import AdHocScheme, EAScheme
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.trace.record import TraceRecord
+
+
+def rec(ts: float, url: str, size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=size)
+
+
+def make_demotion(num_caches=3, capacity_per_cache=300, **kwargs):
+    group = DistributedGroup(
+        build_caches(num_caches, capacity_per_cache * num_caches), AdHocScheme()
+    )
+    return DemotionGroup(group, **kwargs)
+
+
+class TestValidation:
+    def test_negative_min_age(self):
+        group = DistributedGroup(build_caches(2, 600), AdHocScheme())
+        with pytest.raises(SimulationError):
+            DemotionGroup(group, min_target_age=-1.0)
+
+    def test_min_hits_validated(self):
+        group = DistributedGroup(build_caches(2, 600), AdHocScheme())
+        with pytest.raises(SimulationError):
+            DemotionGroup(group, min_hits=0)
+
+
+class TestDemotionFlow:
+    def test_last_copy_rescued_to_peer(self):
+        demotion = make_demotion()
+        # Fill cache 0 (3 x 100B slots) and overflow it.
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))
+        # The evicted http://d/0 was the group's only copy; it must now live
+        # at a peer.
+        assert demotion.stats.demoted == 1
+        assert any(
+            "http://d/0" in cache for cache in demotion.group.caches[1:]
+        )
+
+    def test_replicated_victim_not_demoted(self):
+        demotion = make_demotion()
+        # Put d/0 at caches 0 and 2.
+        demotion.group.caches[2].admit(Document("http://d/0", 100), 0.0)
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))
+        assert demotion.stats.dropped_replicated >= 1
+        assert demotion.stats.demoted == 0
+
+    def test_min_hits_filters_one_timers(self):
+        demotion = make_demotion(min_hits=2)
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))
+        # The victim was never re-referenced: filtered out.
+        assert demotion.stats.demoted == 0
+        assert demotion.stats.dropped_cold == 1
+
+    def test_min_hits_allows_rereferenced_victim(self):
+        demotion = make_demotion(min_hits=2)
+        demotion.process(0, rec(1.0, "http://d/0"))
+        demotion.process(0, rec(1.5, "http://d/0"))  # re-reference
+        demotion.process(0, rec(2.0, "http://d/1"))
+        demotion.process(0, rec(3.0, "http://d/2"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))  # evicts d/0
+        assert demotion.stats.demoted == 1
+
+    def test_demoted_copy_serves_future_remote_hit(self):
+        demotion = make_demotion()
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))
+        outcome = demotion.process(0, rec(5.0, "http://d/0"))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+
+    def test_demotion_traffic_accounted(self):
+        demotion = make_demotion()
+        before = demotion.group.bus.counters.http_body_bytes
+        for i, t in enumerate((1.0, 2.0, 3.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(4.0, "http://d/overflow"))
+        assert demotion.group.bus.counters.http_body_bytes > before
+        assert demotion.stats.bytes_demoted == 100
+
+    def test_no_demotion_cascade(self):
+        # Fill every cache so the demotion target must itself evict; that
+        # secondary victim must NOT be demoted onward.
+        demotion = make_demotion()
+        for target in (1, 2):
+            for i in range(3):
+                demotion.group.caches[target].admit(
+                    Document(f"http://c{target}/{i}", 100), float(i)
+                )
+        for i, t in enumerate((10.0, 11.0, 12.0)):
+            demotion.process(0, rec(t, f"http://d/{i}"))
+        demotion.process(0, rec(13.0, "http://d/overflow"))
+        # Exactly one demotion happened even though it caused an eviction
+        # at the target.
+        assert demotion.stats.demoted <= 1
+
+    def test_victim_larger_than_every_peer_dropped(self):
+        # Cache 0 gets 400B, cache 1 only 100B: a 300B victim cannot be
+        # rescued anywhere.
+        group = DistributedGroup(
+            build_caches(2, 500, capacity_shares=[4, 1]), AdHocScheme()
+        )
+        demotion = DemotionGroup(group)
+        demotion.process(0, rec(1.0, "http://big/a", size=300))
+        demotion.process(0, rec(2.0, "http://big/b", size=300))  # evicts a
+        assert demotion.stats.dropped_no_room == 1
+        assert demotion.stats.demoted == 0

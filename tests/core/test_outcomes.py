@@ -1,0 +1,36 @@
+"""Unit tests for RequestOutcome."""
+
+from __future__ import annotations
+
+from repro.core.outcomes import RequestOutcome
+from repro.network.latency import ServiceKind
+
+
+def outcome(kind: ServiceKind) -> RequestOutcome:
+    return RequestOutcome(
+        timestamp=1.0, requester=0, url="http://x/a", size=10, kind=kind
+    )
+
+
+class TestRequestOutcome:
+    def test_local_hit_is_hit(self):
+        assert outcome(ServiceKind.LOCAL_HIT).is_hit
+
+    def test_remote_hit_is_hit(self):
+        assert outcome(ServiceKind.REMOTE_HIT).is_hit
+
+    def test_miss_is_not_hit(self):
+        assert not outcome(ServiceKind.MISS).is_hit
+
+    def test_defaults(self):
+        o = outcome(ServiceKind.MISS)
+        assert o.responder is None
+        assert o.latency == 0.0
+        assert not o.stored_at_requester
+        assert o.hops == 0
+
+    def test_frozen(self):
+        import pytest
+
+        with pytest.raises(AttributeError):
+            outcome(ServiceKind.MISS).size = 99  # type: ignore[misc]

@@ -1,0 +1,154 @@
+"""Unit tests for the ad-hoc and EA placement schemes (paper Section 3.3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.cache.document import Document
+from repro.cache.store import ProxyCache
+from repro.core.placement import AdHocScheme, EAScheme, make_scheme
+from repro.errors import CacheConfigurationError
+
+
+def cache_with_age(age: float, capacity: int = 1000, name: str = "c") -> ProxyCache:
+    """Build a cache whose expiration age is exactly ``age``.
+
+    Admits one document at t=0 and evicts it at t=age, so the single victim
+    has LRU expiration age ``age``. ``math.inf`` means a cold cache (no
+    evictions).
+    """
+    cache = ProxyCache(capacity, name=name)
+    if not math.isinf(age):
+        cache.admit(Document(f"http://warm/{name}", 10), 0.0)
+        cache.evict(f"http://warm/{name}", age)
+    return cache
+
+
+class TestAdHocScheme:
+    def test_remote_hit_always_stores_and_refreshes(self):
+        scheme = AdHocScheme()
+        decision = scheme.remote_hit(cache_with_age(1.0), cache_with_age(100.0), 0.0)
+        assert decision.store_at_requester
+        assert decision.refresh_responder
+
+    def test_origin_fetch_always_stores(self):
+        assert AdHocScheme().origin_fetch(cache_with_age(1.0), 0.0).store
+
+    def test_serve_refresh_always_true(self):
+        assert AdHocScheme().serve_refresh(cache_with_age(1.0), 99.0, 0.0)
+
+    def test_parent_and_child_always_store(self):
+        scheme = AdHocScheme()
+        assert scheme.parent_store(cache_with_age(1.0), 99.0, 0.0).store
+        assert scheme.child_store(cache_with_age(1.0), 99.0, 0.0).store
+
+
+class TestEARemoteHit:
+    def test_requester_younger_does_not_store(self):
+        # Requester's copies die sooner (lower age) -> no local copy; the
+        # responder's copy gets the fresh lease instead.
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(5.0), cache_with_age(50.0), 60.0)
+        assert not decision.store_at_requester
+        assert decision.refresh_responder
+
+    def test_requester_older_stores_and_responder_not_refreshed(self):
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(50.0), cache_with_age(5.0), 60.0)
+        assert decision.store_at_requester
+        assert not decision.refresh_responder
+
+    def test_exactly_one_side_keeps_the_lease(self):
+        scheme = EAScheme()
+        for req_age, resp_age in [(5.0, 50.0), (50.0, 5.0), (10.0, 10.0)]:
+            decision = scheme.remote_hit(
+                cache_with_age(req_age, name="r"), cache_with_age(resp_age, name="s"), 60.0
+            )
+            assert decision.store_at_requester != decision.refresh_responder
+
+    def test_tie_requester_wins_by_default(self):
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(10.0), cache_with_age(10.0), 20.0)
+        assert decision.store_at_requester
+        assert not decision.refresh_responder
+
+    def test_tie_responder_mode(self):
+        scheme = EAScheme(tie_break="responder")
+        decision = scheme.remote_hit(cache_with_age(10.0), cache_with_age(10.0), 20.0)
+        assert not decision.store_at_requester
+        assert not decision.refresh_responder
+
+    def test_cold_caches_degenerate_to_adhoc(self):
+        # Both infinite ages: requester stores (like ad-hoc), responder not
+        # refreshed — the paper's bootstrap behaviour.
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(math.inf), cache_with_age(math.inf), 0.0)
+        assert decision.store_at_requester
+        assert not decision.refresh_responder
+
+    def test_cold_responder_warm_requester(self):
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(10.0), cache_with_age(math.inf), 20.0)
+        assert not decision.store_at_requester
+        assert decision.refresh_responder
+
+    def test_decision_carries_ages(self):
+        scheme = EAScheme()
+        decision = scheme.remote_hit(cache_with_age(3.0), cache_with_age(7.0), 10.0)
+        assert decision.requester_age == pytest.approx(3.0)
+        assert decision.responder_age == pytest.approx(7.0)
+
+    def test_invalid_tie_break(self):
+        with pytest.raises(CacheConfigurationError):
+            EAScheme(tie_break="coinflip")
+
+
+class TestEAOriginAndHierarchy:
+    def test_origin_fetch_stores_like_adhoc(self):
+        # Distributed miss path is unchanged by the EA scheme.
+        assert EAScheme().origin_fetch(cache_with_age(1.0), 2.0).store
+
+    def test_serve_refresh_strict_comparison(self):
+        scheme = EAScheme()
+        assert scheme.serve_refresh(cache_with_age(10.0), 5.0, 20.0)
+        assert not scheme.serve_refresh(cache_with_age(10.0), 10.0, 20.0)
+        assert not scheme.serve_refresh(cache_with_age(10.0), 15.0, 20.0)
+
+    def test_parent_store_strict(self):
+        # "If the Cache Expiration Age of the parent cache is greater than
+        # that of the Requester, it stores a copy."
+        scheme = EAScheme()
+        assert scheme.parent_store(cache_with_age(10.0), 5.0, 20.0).store
+        assert not scheme.parent_store(cache_with_age(10.0), 10.0, 20.0).store
+        assert not scheme.parent_store(cache_with_age(10.0), 15.0, 20.0).store
+
+    def test_child_store_uses_requester_rule(self):
+        scheme = EAScheme()
+        assert scheme.child_store(cache_with_age(10.0), 5.0, 20.0).store
+        assert scheme.child_store(cache_with_age(10.0), 10.0, 20.0).store  # tie
+        assert not scheme.child_store(cache_with_age(5.0), 10.0, 20.0).store
+
+    def test_cold_chain_keeps_at_least_one_copy(self):
+        # Cold child + cold parent: parent (strict) does not store, child
+        # (tie-break requester) does — the document lands somewhere.
+        scheme = EAScheme()
+        parent = scheme.parent_store(cache_with_age(math.inf), math.inf, 0.0)
+        child = scheme.child_store(cache_with_age(math.inf), math.inf, 0.0)
+        assert not parent.store
+        assert child.store
+
+
+class TestMakeScheme:
+    def test_factory(self):
+        assert isinstance(make_scheme("adhoc"), AdHocScheme)
+        assert isinstance(make_scheme("EA"), EAScheme)
+
+    def test_kwargs(self):
+        scheme = make_scheme("ea", tie_break="responder")
+        assert scheme.tie_break == "responder"
+
+    def test_unknown(self):
+        with pytest.raises(CacheConfigurationError, match="unknown placement scheme"):
+            make_scheme("lazy")

@@ -1,0 +1,92 @@
+"""Tests for the EA size-aware replica cap extension."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.cache.store import ProxyCache
+from repro.core.placement import EAScheme
+from repro.errors import CacheConfigurationError
+from repro.network.latency import ServiceKind
+from repro.trace.record import TraceRecord
+
+
+def rec(ts: float, url: str = "http://x/D", size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=size)
+
+
+class TestSchemeLevel:
+    def _caches(self):
+        return ProxyCache(1000, name="req"), ProxyCache(1000, name="resp")
+
+    def test_validation(self):
+        with pytest.raises(CacheConfigurationError):
+            EAScheme(max_replica_fraction=0.0)
+        with pytest.raises(CacheConfigurationError):
+            EAScheme(max_replica_fraction=1.5)
+
+    def test_small_document_unaffected(self):
+        requester, responder = self._caches()
+        scheme = EAScheme(max_replica_fraction=0.5)
+        decision = scheme.remote_hit(requester, responder, 0.0, size=100)
+        assert decision.store_at_requester  # cold tie-break, under the cap
+
+    def test_oversized_replica_vetoed_with_lease_handoff(self):
+        requester, responder = self._caches()
+        scheme = EAScheme(max_replica_fraction=0.5)
+        decision = scheme.remote_hit(requester, responder, 0.0, size=600)
+        assert not decision.store_at_requester
+        # Invariant preserved: the responder gets the fresh lease instead.
+        assert decision.refresh_responder
+
+    def test_cap_ignored_without_size(self):
+        requester, responder = self._caches()
+        scheme = EAScheme(max_replica_fraction=0.5)
+        decision = scheme.remote_hit(requester, responder, 0.0)
+        assert decision.store_at_requester
+
+    def test_default_scheme_size_blind(self):
+        requester, responder = self._caches()
+        decision = EAScheme().remote_hit(requester, responder, 0.0, size=999)
+        assert decision.store_at_requester
+
+
+class TestGroupLevel:
+    def test_capped_group_declines_big_replica(self):
+        caches = build_caches(2, 4000)  # 2000 bytes each
+        group = DistributedGroup(caches, EAScheme(max_replica_fraction=0.25))
+        group.process(0, rec(1.0, size=1000))  # miss, stored at 0
+        outcome = group.process(1, rec(2.0, size=1000))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        # 1000 > 0.25 * 2000 -> replica vetoed, responder refreshed.
+        assert not outcome.stored_at_requester
+        assert outcome.responder_refreshed
+        assert "http://x/D" not in group.caches[1]
+
+    def test_exactly_one_lease_invariant_held(self):
+        caches = build_caches(2, 4000)
+        group = DistributedGroup(caches, EAScheme(max_replica_fraction=0.25))
+        group.process(0, rec(1.0, size=1000))
+        outcome = group.process(1, rec(2.0, size=1000))
+        assert outcome.stored_at_requester != outcome.responder_refreshed
+
+    def test_config_plumbing(self):
+        from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+
+        sim = CooperativeSimulator(
+            SimulationConfig(scheme="ea", max_replica_fraction=0.1,
+                             aggregate_capacity=1 << 20)
+        )
+        assert sim.group.scheme.max_replica_fraction == 0.1
+
+    def test_config_ignored_for_adhoc(self):
+        from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+
+        sim = CooperativeSimulator(
+            SimulationConfig(scheme="adhoc", max_replica_fraction=0.1,
+                             aggregate_capacity=1 << 20)
+        )
+        assert not hasattr(sim.group.scheme, "max_replica_fraction")

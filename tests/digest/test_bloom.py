@@ -1,0 +1,84 @@
+"""Unit tests for the Bloom filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.digest.bloom import BloomFilter, optimal_parameters
+from repro.errors import CacheConfigurationError
+
+
+class TestOptimalParameters:
+    def test_reasonable_sizing(self):
+        bits, hashes = optimal_parameters(1000, 0.01)
+        # Textbook: ~9.6 bits/item and ~7 hashes at 1% FP.
+        assert 9000 < bits < 11000
+        assert 6 <= hashes <= 8
+
+    def test_invalid_inputs(self):
+        with pytest.raises(CacheConfigurationError):
+            optimal_parameters(0, 0.01)
+        with pytest.raises(CacheConfigurationError):
+            optimal_parameters(100, 1.5)
+
+
+class TestBloomFilter:
+    def test_no_false_negatives(self):
+        bloom = BloomFilter.for_capacity(500, 0.01)
+        items = [f"http://doc/{i}" for i in range(500)]
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+    def test_false_positive_rate_near_target(self):
+        bloom = BloomFilter.for_capacity(1000, 0.01)
+        bloom.update(f"http://in/{i}" for i in range(1000))
+        false_positives = sum(
+            1 for i in range(10_000) if f"http://out/{i}" in bloom
+        )
+        assert false_positives / 10_000 < 0.03  # target 1%, generous bound
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(1024, 4)
+        assert "http://x" not in bloom
+
+    def test_clear(self):
+        bloom = BloomFilter(1024, 4)
+        bloom.add("http://x")
+        bloom.clear()
+        assert "http://x" not in bloom
+        assert bloom.approximate_items == 0
+        assert bloom.fill_ratio == 0.0
+
+    def test_deterministic_across_instances(self):
+        a = BloomFilter(2048, 5)
+        b = BloomFilter(2048, 5)
+        for item in ("http://p/1", "http://p/2"):
+            a.add(item)
+            b.add(item)
+        assert a.to_bytes() == b.to_bytes()
+
+    def test_serialisation_roundtrip(self):
+        bloom = BloomFilter(512, 3)
+        bloom.update(f"u{i}" for i in range(40))
+        rebuilt = BloomFilter.from_bytes(bloom.to_bytes(), num_hashes=3)
+        assert all(f"u{i}" in rebuilt for i in range(40))
+
+    def test_size_bytes(self):
+        assert BloomFilter(1024, 4).size_bytes == 128
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(256, 3)
+        before = bloom.fill_ratio
+        bloom.add("item")
+        assert bloom.fill_ratio > before
+
+    def test_estimated_fp_rate_bounded(self):
+        bloom = BloomFilter(256, 3)
+        bloom.update(f"u{i}" for i in range(50))
+        assert 0.0 < bloom.estimated_false_positive_rate <= 1.0
+
+    def test_invalid_construction(self):
+        with pytest.raises(CacheConfigurationError):
+            BloomFilter(0, 4)
+        with pytest.raises(CacheConfigurationError):
+            BloomFilter(128, 0)

@@ -1,0 +1,95 @@
+"""Unit tests for the digest directory."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cache.document import Document
+from repro.cache.store import ProxyCache
+from repro.digest.directory import DigestDirectory
+from repro.errors import CacheConfigurationError
+
+
+def caches(n=3, capacity=10_000):
+    return [ProxyCache(capacity, name=f"c{i}") for i in range(n)]
+
+
+class TestValidation:
+    def test_bad_interval(self):
+        with pytest.raises(CacheConfigurationError):
+            DigestDirectory(caches(), rebuild_interval=0.0)
+
+    def test_bad_fp_rate(self):
+        with pytest.raises(CacheConfigurationError):
+            DigestDirectory(caches(), false_positive_rate=0.0)
+
+
+class TestPublishing:
+    def test_publish_counts_bytes(self):
+        directory = DigestDirectory(caches())
+        digest = directory.publish(0, now=0.0)
+        assert directory.stats.publishes == 1
+        assert directory.stats.publish_bytes == digest.size_bytes
+
+    def test_refresh_due_publishes_everyone_initially(self):
+        directory = DigestDirectory(caches(3))
+        directory.refresh_due(now=0.0)
+        assert directory.stats.publishes == 3
+
+    def test_refresh_respects_interval(self):
+        directory = DigestDirectory(caches(1), rebuild_interval=60.0)
+        directory.refresh_due(now=0.0)
+        directory.refresh_due(now=30.0)
+        assert directory.stats.publishes == 1
+        directory.refresh_due(now=61.0)
+        assert directory.stats.publishes == 2
+
+    def test_digest_age(self):
+        directory = DigestDirectory(caches(1))
+        directory.publish(0, now=10.0)
+        assert directory.digest_age(0, now=25.0) == 15.0
+
+
+class TestCandidates:
+    def test_finds_holder(self):
+        group = caches(3)
+        group[1].admit(Document("http://x/a", 100), 0.0)
+        directory = DigestDirectory(group)
+        found = directory.candidates("http://x/a", exclude=0, now=0.0)
+        assert 1 in found
+
+    def test_excludes_requester(self):
+        group = caches(2)
+        group[0].admit(Document("http://x/a", 100), 0.0)
+        directory = DigestDirectory(group)
+        assert directory.candidates("http://x/a", exclude=0, now=0.0) == []
+
+    def test_stale_negative_counted(self):
+        group = caches(2)
+        directory = DigestDirectory(group, rebuild_interval=1000.0)
+        directory.refresh_due(now=0.0)  # digests published while empty
+        group[1].admit(Document("http://x/a", 100), 1.0)
+        found = directory.candidates("http://x/a", exclude=0, now=2.0)
+        assert found == []
+        assert directory.stats.stale_negatives == 1
+
+    def test_false_positive_counted_after_eviction(self):
+        group = caches(2, capacity=150)
+        group[1].admit(Document("http://x/a", 100), 0.0)
+        directory = DigestDirectory(group, rebuild_interval=1000.0)
+        directory.refresh_due(now=0.0)
+        # Evict the document after publishing; digest is now stale-positive.
+        group[1].evict("http://x/a", 1.0)
+        found = directory.candidates("http://x/a", exclude=0, now=2.0)
+        assert found == [1]
+        assert directory.stats.false_positives == 1
+
+    def test_lookup_counter(self):
+        directory = DigestDirectory(caches(2))
+        directory.candidates("http://x/a", exclude=0, now=0.0)
+        directory.candidates("http://x/b", exclude=0, now=0.0)
+        assert directory.stats.lookups == 2
+
+    def test_false_positive_rate_property(self):
+        directory = DigestDirectory(caches(2))
+        assert directory.stats.false_positive_rate == 0.0

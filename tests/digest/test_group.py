@@ -1,0 +1,96 @@
+"""Behavioural tests for the digest-located distributed group."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.cache.document import Document
+from repro.core.placement import AdHocScheme, EAScheme
+from repro.digest.group import DigestDistributedGroup
+from repro.network.latency import ServiceKind
+from repro.simulation.replay import replay_trace
+from repro.trace.record import TraceRecord
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def rec(ts: float, url: str = "http://x/D", size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id="c", url=url, size=size)
+
+
+def make_group(scheme=None, num_caches=3, capacity=3000, rebuild_interval=10.0):
+    return DigestDistributedGroup(
+        build_caches(num_caches, capacity),
+        scheme or AdHocScheme(),
+        rebuild_interval=rebuild_interval,
+    )
+
+
+class TestDigestLocation:
+    def test_no_icp_traffic_at_all(self):
+        group = make_group()
+        group.process(0, rec(1.0))
+        group.process(1, rec(2.0))
+        assert group.bus.counters.icp_queries == 0
+        assert group.bus.counters.icp_replies == 0
+
+    def test_fresh_digest_finds_remote_copy(self):
+        group = make_group(rebuild_interval=0.5)
+        group.process(0, rec(1.0))  # miss, stored at 0
+        outcome = group.process(1, rec(2.0))  # digests refreshed at t=2
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        assert outcome.responder == 0
+
+    def test_stale_digest_downgrades_to_miss(self):
+        group = make_group(rebuild_interval=1000.0)
+        group.process(1, rec(0.0))  # publishes empty digests, then stores at 1
+        outcome = group.process(0, rec(1.0))
+        # Cache 1 holds the doc but its published digest predates it.
+        assert outcome.kind is ServiceKind.MISS
+        assert group.directory.stats.stale_negatives >= 1
+
+    def test_false_positive_costs_wasted_roundtrip(self):
+        group = make_group(rebuild_interval=1000.0)
+        # Store then evict after digests are published.
+        group.caches[2].admit(Document("http://x/D", 100), 0.0)
+        group.directory.refresh_due(now=0.5)
+        group.caches[2].evict("http://x/D", 0.6)
+        outcome = group.process(0, rec(1.0))
+        assert outcome.kind is ServiceKind.MISS
+        assert group.failed_fetch_attempts == 1
+        # One failed pair plus the origin pair.
+        assert group.bus.counters.http_requests == 2
+
+    def test_ea_decisions_still_apply(self):
+        group = make_group(scheme=EAScheme(), rebuild_interval=0.5)
+        group.process(0, rec(1.0))
+        outcome = group.process(1, rec(2.0))
+        assert outcome.kind is ServiceKind.REMOTE_HIT
+        # Cold caches: requester-wins tie break stores locally.
+        assert outcome.stored_at_requester
+
+    def test_local_hits_skip_directory(self):
+        group = make_group()
+        group.process(0, rec(1.0))
+        lookups_before = group.directory.stats.lookups
+        outcome = group.process(0, rec(2.0))
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+        assert group.directory.stats.lookups == lookups_before
+
+
+class TestDigestGroupOnWorkload:
+    def test_hit_rate_close_to_icp_group(self):
+        from repro.architecture.distributed import DistributedGroup
+
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=3000, num_documents=300, num_clients=12, seed=9
+            )
+        )
+        icp = DistributedGroup(build_caches(3, 200_000), AdHocScheme())
+        icp_metrics = replay_trace(icp, trace)
+        digest = make_group(num_caches=3, capacity=200_000, rebuild_interval=30.0)
+        digest_metrics = replay_trace(digest, trace)
+        # Digest staleness costs some remote hits but not a collapse.
+        assert digest_metrics.hit_rate >= icp_metrics.hit_rate - 0.10
+        assert digest_metrics.hit_rate <= icp_metrics.hit_rate + 1e-9

@@ -1,0 +1,192 @@
+"""Tests for the figure/table experiment drivers at tiny scale.
+
+These are the *paper-shape* checks: each driver must produce rows for every
+capacity and exhibit the qualitative relationships the paper reports. The
+benchmark harness repeats the same assertions at the larger default scale.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments import (
+    EXPERIMENTS,
+    fig1_document_hit_rates,
+    fig2_byte_hit_rates,
+    fig3_latency,
+    group_size_sweep,
+    table1_expiration_age,
+    table2_hit_breakdown,
+)
+from repro.experiments.ablations import (
+    run_architecture_ablation,
+    run_measure_ablation,
+    run_policy_ablation,
+    run_tie_break_ablation,
+    run_window_ablation,
+)
+from repro.experiments.sweep import run_capacity_sweep
+from repro.experiments.workload import capacities_for, workload_trace
+
+CAPS = capacities_for("tiny")
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_trace("tiny")
+
+
+@pytest.fixture(scope="module")
+def sweep(trace):
+    """One shared sweep reused across the projection tests."""
+    return run_capacity_sweep(trace, CAPS)
+
+
+class TestFig1:
+    def test_rows_per_capacity(self, sweep):
+        report = fig1_document_hit_rates.build_report(sweep)
+        assert [row[0] for row in report.rows] == [label for label, _ in CAPS]
+
+    def test_ea_at_least_adhoc(self, sweep):
+        report = fig1_document_hit_rates.build_report(sweep)
+        assert all(delta >= -1e-9 for delta in report.column("ea_minus_adhoc"))
+
+    def test_hit_rates_valid(self, sweep):
+        report = fig1_document_hit_rates.build_report(sweep)
+        for column in ("adhoc_hit_rate", "ea_hit_rate"):
+            assert all(0.0 <= rate <= 1.0 for rate in report.column(column))
+
+    def test_hit_rate_grows_with_capacity(self, sweep):
+        report = fig1_document_hit_rates.build_report(sweep)
+        for column in ("adhoc_hit_rate", "ea_hit_rate"):
+            rates = report.column(column)
+            assert rates == sorted(rates)
+
+    def test_run_entry_point(self, trace):
+        report = fig1_document_hit_rates.run(trace=trace, capacities=CAPS[:1])
+        assert len(report.rows) == 1
+
+
+class TestFig2:
+    def test_byte_hit_rates_valid(self, sweep):
+        report = fig2_byte_hit_rates.build_report(sweep)
+        for column in ("adhoc_byte_hit_rate", "ea_byte_hit_rate"):
+            assert all(0.0 <= rate <= 1.0 for rate in report.column(column))
+
+    def test_pattern_similar_to_fig1(self, sweep):
+        # The paper: byte-hit patterns track document-hit patterns; at least
+        # the EA advantage must appear somewhere in the contended region.
+        report = fig2_byte_hit_rates.build_report(sweep)
+        assert max(report.column("ea_minus_adhoc")) > 0
+
+
+class TestFig3:
+    def test_latencies_bounded_by_extremes(self, sweep):
+        report = fig3_latency.build_report(sweep)
+        for column in ("adhoc_latency_ms", "ea_latency_ms"):
+            assert all(146.0 <= ms <= 2784.0 for ms in report.column(column))
+
+    def test_latency_falls_with_capacity(self, sweep):
+        report = fig3_latency.build_report(sweep)
+        ea = report.column("ea_latency_ms")
+        assert ea[0] > ea[-1]
+
+    def test_ea_wins_when_contended(self, sweep):
+        report = fig3_latency.build_report(sweep)
+        assert report.column("ea_minus_adhoc_ms")[0] <= 0
+
+
+class TestTable1:
+    def test_ea_ages_higher(self, sweep):
+        report = table1_expiration_age.build_report(sweep)
+        for _, adhoc, ea, _ratio in report.rows:
+            if not (math.isinf(adhoc) or math.isinf(ea)):
+                assert ea >= adhoc
+
+    def test_run_uses_table1_capacities(self, trace):
+        report = table1_expiration_age.run(scale="tiny", trace=trace)
+        # tiny scale truncates to 3 capacities, all within Table 1's range.
+        assert len(report.rows) == 3
+
+
+class TestTable2:
+    def test_row_shape(self, sweep):
+        report = table2_hit_breakdown.build_report(sweep)
+        assert len(report.headers) == 7
+        assert len(report.rows) == len(CAPS)
+
+    def test_remote_hits_higher_under_ea(self, sweep):
+        report = table2_hit_breakdown.build_report(sweep)
+        for row in report.rows:
+            assert row[5] >= row[2] - 1e-6  # ea_remote >= adhoc_remote
+
+    def test_percentages_valid(self, sweep):
+        report = table2_hit_breakdown.build_report(sweep)
+        for row in report.rows:
+            for value in row[1:3] + row[4:6]:
+                assert 0.0 <= value <= 100.0
+
+
+class TestGroupSizeSweep:
+    def test_all_cells_present(self, trace):
+        report = group_size_sweep.run(trace=trace, capacities=CAPS[:2], group_sizes=(2, 4))
+        assert len(report.rows) == 4
+        assert {row[0] for row in report.rows} == {2, 4}
+
+    def test_deltas_consistent(self, trace):
+        report = group_size_sweep.run(trace=trace, capacities=CAPS[:2], group_sizes=(2,))
+        for row in report.rows:
+            assert row[4] == pytest.approx(row[3] - row[2])
+
+
+class TestAblations:
+    def test_window_ablation_columns(self, trace):
+        report = run_window_ablation(trace=trace, capacities=CAPS[:2])
+        assert report.headers == ["aggregate", "ea_cumulative", "ea_count", "ea_time"]
+        assert len(report.rows) == 2
+
+    def test_tie_break_ablation(self, trace):
+        report = run_tie_break_ablation(trace=trace, capacities=CAPS[:2])
+        for row in report.rows:
+            assert row[3] == pytest.approx(row[1] - row[2])
+
+    def test_policy_ablation(self, trace):
+        report = run_policy_ablation(trace=trace, capacities=CAPS[:1], policies=("lru", "lfu"))
+        assert report.headers == ["aggregate", "delta_lru", "delta_lfu"]
+
+    def test_architecture_ablation(self, trace):
+        report = run_architecture_ablation(trace=trace, capacities=CAPS[:1])
+        assert len(report.rows) == 1
+        for rate in report.rows[0][1:]:
+            assert 0.0 <= rate <= 1.0
+
+    def test_measure_ablation(self, trace):
+        report = run_measure_ablation(trace=trace, capacities=CAPS[:2])
+        assert report.headers == [
+            "aggregate", "adhoc", "ea_expiration_age", "ea_lifetime",
+        ]
+        for row in report.rows:
+            for rate in row[1:]:
+                assert 0.0 <= rate <= 1.0
+            # Both EA variants must beat-or-match ad-hoc in the contended
+            # region; the interesting question is their mutual gap.
+            assert row[2] >= row[1] - 0.01
+            assert row[3] >= row[1] - 0.01
+
+
+class TestRegistry:
+    def test_every_experiment_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig1", "fig2", "fig3", "table1", "table2", "groupsize",
+            "ablation-window", "ablation-ties", "ablation-policy",
+            "ablation-architecture", "ext-locator", "ext-baselines",
+            "ext-prefetch", "ext-loss", "ext-coherence", "ext-demotion",
+            "ext-heterogeneous", "ext-admission", "ext-replica-cap",
+            "multiseed", "model", "ablation-measure",
+        }
+
+    def test_registry_callables(self, trace):
+        report = EXPERIMENTS["fig1"](trace=trace, capacities=CAPS[:1])
+        assert report.experiment_id == "fig1"

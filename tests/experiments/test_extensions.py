@@ -1,0 +1,113 @@
+"""Tests for extension experiments and the multi-seed runner (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.extensions import (
+    run_baseline_comparison,
+    run_locator_comparison,
+    run_loss_resilience,
+    run_prefetch_study,
+)
+from repro.experiments.multiseed import MeanStd, run_multi_seed_comparison
+from repro.experiments.workload import capacities_for, workload_trace
+from repro.errors import ExperimentError
+
+CAPS = capacities_for("tiny")[:2]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_trace("tiny")
+
+
+class TestLocatorComparison:
+    def test_shape_and_bounds(self, trace):
+        report = run_locator_comparison(trace=trace, capacities=CAPS)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            _, icp_hit, digest_hit, icp_kb, digest_kb, false_pos = row
+            assert 0.0 <= digest_hit <= icp_hit + 1e-9
+            assert icp_kb > 0 and digest_kb > 0
+            assert false_pos >= 0
+
+    def test_digest_saves_protocol_bytes(self, trace):
+        report = run_locator_comparison(trace=trace, capacities=CAPS)
+        for row in report.rows:
+            assert row[4] < row[3], "digest location should cut protocol bytes"
+
+
+class TestBaselineComparison:
+    def test_three_way_rows(self, trace):
+        report = run_baseline_comparison(trace=trace, capacities=CAPS)
+        assert report.headers[1:4] == ["adhoc_hit", "ea_hit", "hash_hit"]
+        for row in report.rows:
+            for rate in row[1:4]:
+                assert 0.0 <= rate <= 1.0
+            for latency in row[4:]:
+                assert 146.0 <= latency <= 2784.0
+
+
+class TestPrefetchStudy:
+    def test_rows_per_scheme_and_capacity(self, trace):
+        report = run_prefetch_study(trace=trace, capacities=CAPS[:1])
+        assert len(report.rows) == 2  # adhoc + ea at one capacity
+        for row in report.rows:
+            assert 0.0 <= row[4] <= 1.0  # precision
+            assert row[5] >= 0.0  # MB prefetched
+
+
+class TestLossResilience:
+    def test_monotone_degradation_overall(self, trace):
+        report = run_loss_resilience(
+            trace=trace, capacity=256 * 1024, loss_rates=(0.0, 0.8)
+        )
+        lossless = report.rows[0]
+        lossy = report.rows[1]
+        assert lossy[1] <= lossless[1] + 0.01  # adhoc hit rate degrades
+        assert lossy[2] <= lossless[2] + 0.01  # ea hit rate degrades
+        assert lossy[4] > 0  # replies actually lost
+
+
+class TestMeanStd:
+    def test_single_value(self):
+        summary = MeanStd.of([5.0])
+        assert summary.mean == 5.0
+        assert summary.std == 0.0
+        assert summary.ci95 == 0.0
+
+    def test_known_sample(self):
+        summary = MeanStd.of([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(1.0)
+        assert summary.n == 3
+
+    def test_empty_rejected(self):
+        with pytest.raises(ExperimentError):
+            MeanStd.of([])
+
+    def test_str_format(self):
+        assert "±" in str(MeanStd.of([1.0, 2.0]))
+
+
+class TestMultiSeed:
+    def test_report_shape(self):
+        report = run_multi_seed_comparison(
+            scale="tiny", num_seeds=2, capacities=CAPS
+        )
+        assert len(report.rows) == 2
+        for row in report.rows:
+            assert row[3] >= 0.0  # ci95 non-negative
+            assert isinstance(row[4], bool)
+
+    def test_explicit_seeds(self):
+        report = run_multi_seed_comparison(
+            scale="tiny", seeds=(3, 4), capacities=CAPS[:1]
+        )
+        assert "2 seeds" in report.title
+
+    def test_registry_contains_extensions(self):
+        for name in ("ext-locator", "ext-baselines", "ext-prefetch", "ext-loss", "multiseed"):
+            assert name in EXPERIMENTS

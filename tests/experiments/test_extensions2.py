@@ -1,0 +1,112 @@
+"""Tests for the second-wave extension experiments (tiny scale)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments.extensions2 import (
+    run_admission_study,
+    run_coherence_study,
+    run_demotion_study,
+    run_heterogeneity_study,
+    run_replica_cap_study,
+)
+from repro.experiments.workload import capacities_for, workload_trace
+
+CAPS = capacities_for("tiny")[:2]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return workload_trace("tiny")
+
+
+class TestCoherenceStudy:
+    def test_rows_per_scheme_and_capacity(self, trace):
+        report = run_coherence_study(trace=trace, capacities=CAPS, base_ttl=300.0)
+        assert len(report.rows) == 4
+        for row in report.rows:
+            assert 0.0 <= row[2] <= 1.0  # hit rate
+            assert 0.0 <= row[4] <= 1.0  # 304 rate
+            assert row[3] >= row[5]  # validations >= coherence misses
+
+    def test_short_ttl_forces_validations(self, trace):
+        report = run_coherence_study(
+            trace=trace, capacities=CAPS[1:], base_ttl=60.0
+        )
+        assert any(row[3] > 0 for row in report.rows)
+
+
+class TestDemotionStudy:
+    def test_filtered_beats_naive(self, trace):
+        report = run_demotion_study(trace=trace, capacities=CAPS)
+        for row in report.rows:
+            _, plain, naive, filtered, naive_count, filtered_count = row
+            assert filtered >= naive - 1e-9, "hit filter should not hurt vs naive"
+            assert filtered_count <= naive_count
+
+    def test_rates_valid(self, trace):
+        report = run_demotion_study(trace=trace, capacities=CAPS[:1])
+        for row in report.rows:
+            for rate in row[1:4]:
+                assert 0.0 <= rate <= 1.0
+
+
+class TestHeterogeneityStudy:
+    def test_shape(self, trace):
+        report = run_heterogeneity_study(trace=trace, capacities=CAPS)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            for rate in row[3:]:
+                assert 0.0 <= rate <= 1.0
+
+    def test_skew_length_validated(self, trace):
+        with pytest.raises(ValueError):
+            run_heterogeneity_study(
+                trace=trace, capacities=CAPS[:1], num_caches=4, skew=(1.0, 2.0)
+            )
+
+
+class TestAdmissionStudy:
+    def test_shape_and_bounds(self, trace):
+        report = run_admission_study(trace=trace, capacities=CAPS)
+        assert report.headers == [
+            "aggregate", "ea_none", "ea_size64k", "ea_second_hit",
+        ]
+        for row in report.rows:
+            for rate in row[1:]:
+                assert 0.0 <= rate <= 1.0
+
+    def test_gates_change_behaviour(self, trace):
+        report = run_admission_study(trace=trace, capacities=CAPS[:1])
+        [row] = report.rows
+        # The second-hit gate must actually alter the outcome (this
+        # workload re-references heavily, so the gate delays caching).
+        assert row[3] != row[1]
+
+
+class TestReplicaCapStudy:
+    def test_shape_and_bounds(self, trace):
+        report = run_replica_cap_study(trace=trace, capacities=CAPS)
+        assert len(report.rows) == 2
+        for row in report.rows:
+            for rate in row[1:]:
+                assert 0.0 <= rate <= 1.0
+
+    def test_cap_changes_behaviour_when_binding(self, trace):
+        # An aggressive 1% cap at the smallest capacity must veto replicas.
+        report = run_replica_cap_study(
+            trace=trace, capacities=CAPS[:1], cap_fraction=0.01
+        )
+        [row] = report.rows
+        assert row[2] != row[1] or row[4] != row[3]
+
+
+class TestRegistry:
+    def test_second_wave_registered(self):
+        for name in (
+            "ext-coherence", "ext-demotion", "ext-heterogeneous",
+            "ext-admission", "ext-replica-cap",
+        ):
+            assert name in EXPERIMENTS

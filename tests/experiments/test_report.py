@@ -1,0 +1,54 @@
+"""Unit tests for ExperimentReport."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.report import ExperimentReport
+
+
+def report():
+    r = ExperimentReport(
+        experiment_id="figX", title="Test", headers=["a", "b"]
+    )
+    r.add_row("100KB", 0.5)
+    r.add_row("1MB", 0.7)
+    return r
+
+
+class TestExperimentReport:
+    def test_add_row_validates_width(self):
+        with pytest.raises(ValueError):
+            report().add_row("only-one-cell")
+
+    def test_column_access(self):
+        assert report().column("b") == [0.5, 0.7]
+
+    def test_column_unknown(self):
+        with pytest.raises(KeyError):
+            report().column("zzz")
+
+    def test_render_contains_title_and_cells(self):
+        text = report().render()
+        assert "Test" in text
+        assert "100KB" in text
+        assert "0.7000" in text
+
+    def test_notes_rendered(self):
+        r = report()
+        r.add_note("a caveat")
+        assert "note: a caveat" in r.render()
+
+    def test_to_dict_and_json(self):
+        payload = json.loads(report().to_json())
+        assert payload["experiment_id"] == "figX"
+        assert payload["rows"][0] == ["100KB", 0.5]
+
+    def test_to_dict_scrubs_infinity(self):
+        r = ExperimentReport(experiment_id="x", title="t", headers=["v"])
+        r.add_row(math.inf)
+        assert r.to_dict()["rows"] == [["inf"]]
+        json.dumps(r.to_dict())  # must not raise

@@ -1,0 +1,64 @@
+"""Unit tests for the capacity-sweep harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.sweep import SweepPoint, SweepResult, run_capacity_sweep
+from repro.simulation.simulator import SimulationConfig
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticTraceConfig(num_requests=1500, num_documents=300, num_clients=8, seed=5)
+    )
+
+
+CAPS = [("64KB", 64 * 1024), ("256KB", 256 * 1024)]
+
+
+class TestRunCapacitySweep:
+    def test_full_grid(self, trace):
+        sweep = run_capacity_sweep(trace, CAPS)
+        assert len(sweep.points) == 4  # 2 schemes x 2 capacities
+        assert sweep.schemes == ["adhoc", "ea"]
+        assert sweep.capacity_labels == ["64KB", "256KB"]
+
+    def test_get(self, trace):
+        sweep = run_capacity_sweep(trace, CAPS)
+        point = sweep.get("ea", "64KB")
+        assert isinstance(point, SweepPoint)
+        assert point.capacity_bytes == 64 * 1024
+        assert point.result.config["scheme"] == "ea"
+        assert point.result.config["aggregate_capacity"] == 64 * 1024
+
+    def test_get_missing_raises(self, trace):
+        sweep = run_capacity_sweep(trace, CAPS, schemes=("ea",))
+        with pytest.raises(ExperimentError, match="no point"):
+            sweep.get("adhoc", "64KB")
+
+    def test_base_config_respected(self, trace):
+        config = SimulationConfig(num_caches=2, policy="lfu")
+        sweep = run_capacity_sweep(trace, CAPS[:1], base_config=config)
+        result = sweep.get("ea", "64KB").result
+        assert result.config["num_caches"] == 2
+        assert result.config["policy"] == "lfu"
+
+    def test_empty_capacities_rejected(self, trace):
+        with pytest.raises(ExperimentError):
+            run_capacity_sweep(trace, [])
+
+    def test_empty_schemes_rejected(self, trace):
+        with pytest.raises(ExperimentError):
+            run_capacity_sweep(trace, CAPS, schemes=())
+
+    def test_capacity_monotonicity(self, trace):
+        # Bigger aggregate capacity can only help the hit rate.
+        sweep = run_capacity_sweep(trace, CAPS)
+        for scheme in ("adhoc", "ea"):
+            small = sweep.get(scheme, "64KB").result.metrics.hit_rate
+            big = sweep.get(scheme, "256KB").result.metrics.hit_rate
+            assert big >= small - 0.02

@@ -1,0 +1,82 @@
+"""Unit tests for experiment workloads and the paper capacity grid."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.experiments.workload import (
+    PAPER_CAPACITIES,
+    PAPER_GROUP_SIZES,
+    TABLE1_CAPACITIES,
+    capacities_for,
+    workload_config,
+    workload_trace,
+)
+
+
+class TestPaperGrids:
+    def test_capacity_grid_matches_paper(self):
+        labels = [label for label, _ in PAPER_CAPACITIES]
+        assert labels == ["100KB", "1MB", "10MB", "100MB", "1GB"]
+        values = dict(PAPER_CAPACITIES)
+        assert values["100KB"] == 100 * 1024
+        assert values["1GB"] == 1024 ** 3
+
+    def test_capacities_strictly_increasing(self):
+        values = [v for _, v in PAPER_CAPACITIES]
+        assert values == sorted(values)
+        assert len(set(values)) == len(values)
+
+    def test_table1_stops_at_100mb(self):
+        assert [label for label, _ in TABLE1_CAPACITIES] == [
+            "100KB", "1MB", "10MB", "100MB",
+        ]
+
+    def test_group_sizes(self):
+        assert PAPER_GROUP_SIZES == (2, 4, 8)
+
+
+class TestWorkloadConfig:
+    def test_tiny_smaller_than_default(self):
+        tiny = workload_config("tiny")
+        default = workload_config("default")
+        assert tiny.num_requests < default.num_requests
+        assert tiny.num_documents < default.num_documents
+
+    def test_full_matches_bu_dimensions(self):
+        full = workload_config("full")
+        assert full.num_requests == 575_775
+        assert full.num_documents == 46_830
+        assert full.num_clients == 591
+
+    def test_unknown_scale(self):
+        with pytest.raises(ExperimentError):
+            workload_config("gigantic")
+
+    def test_seed_flows_through(self):
+        assert workload_config("tiny", seed=9).seed == 9
+
+
+class TestWorkloadTrace:
+    def test_memoised(self):
+        a = workload_trace("tiny", seed=3)
+        b = workload_trace("tiny", seed=3)
+        assert a is b
+
+    def test_different_seeds_not_shared(self):
+        a = workload_trace("tiny", seed=3)
+        b = workload_trace("tiny", seed=4)
+        assert a is not b
+
+    def test_dimensions(self):
+        trace = workload_trace("tiny")
+        assert len(trace) == workload_config("tiny").num_requests
+
+
+class TestCapacitiesFor:
+    def test_tiny_truncated(self):
+        assert len(capacities_for("tiny")) == 3
+
+    def test_default_full_grid(self):
+        assert capacities_for("default") == PAPER_CAPACITIES

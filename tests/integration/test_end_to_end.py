@@ -1,0 +1,149 @@
+"""End-to-end integration tests: full trace -> simulator -> paper claims.
+
+These replay a realistic synthetic workload through complete simulations and
+assert the paper's headline claims hold at workload scale, not just on
+hand-built unit scenarios.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.replication import replication_report
+from repro.simulation.simulator import (
+    CooperativeSimulator,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.trace.stats import compute_stats
+
+CONTENDED_CAPACITY = 256 * 1024  # far below the small_trace footprint
+
+
+@pytest.fixture(scope="module")
+def results(small_trace):
+    config = SimulationConfig(num_caches=4, aggregate_capacity=CONTENDED_CAPACITY, seed=2)
+    return {
+        scheme: run_simulation(config.with_scheme(scheme), small_trace)
+        for scheme in ("adhoc", "ea")
+    }
+
+
+class TestPaperHeadlineClaims:
+    def test_ea_hit_rate_at_least_adhoc(self, results):
+        assert results["ea"].metrics.hit_rate >= results["adhoc"].metrics.hit_rate - 1e-9
+
+    def test_ea_byte_hit_rate_competitive(self, results):
+        assert results["ea"].metrics.byte_hit_rate >= results["adhoc"].metrics.byte_hit_rate - 0.02
+
+    def test_ea_raises_remote_hit_rate(self, results):
+        assert results["ea"].metrics.remote_hit_rate >= results["adhoc"].metrics.remote_hit_rate
+
+    def test_ea_does_not_raise_miss_rate(self, results):
+        assert results["ea"].metrics.miss_rate <= results["adhoc"].metrics.miss_rate + 1e-9
+
+    def test_ea_raises_expiration_age(self, results):
+        adhoc_age = results["adhoc"].avg_cache_expiration_age
+        ea_age = results["ea"].avg_cache_expiration_age
+        assert math.isinf(ea_age) or ea_age >= adhoc_age
+
+    def test_ea_reduces_replication(self, results):
+        assert results["ea"].replication_factor <= results["adhoc"].replication_factor
+
+    def test_ea_lowers_estimated_latency_when_contended(self, results):
+        assert results["ea"].estimated_latency <= results["adhoc"].estimated_latency + 1e-9
+
+
+class TestZeroOverheadClaim:
+    def test_icp_traffic_driven_by_local_misses_only(self, small_trace):
+        # For each scheme independently: ICP queries == local misses x peers.
+        for scheme in ("adhoc", "ea"):
+            sim = CooperativeSimulator(
+                SimulationConfig(
+                    scheme=scheme, num_caches=4, aggregate_capacity=CONTENDED_CAPACITY
+                )
+            )
+            result = sim.run(small_trace)
+            local_misses = sum(c.stats.local_misses for c in sim.group.caches)
+            assert result.message_counters.icp_queries == local_misses * 3
+            assert result.message_counters.icp_replies == local_misses * 3
+
+    def test_http_messages_one_pair_per_non_local_request(self, small_trace):
+        for scheme in ("adhoc", "ea"):
+            result = run_simulation(
+                SimulationConfig(
+                    scheme=scheme, num_caches=4, aggregate_capacity=CONTENDED_CAPACITY
+                ),
+                small_trace,
+            )
+            non_local = result.metrics.remote_hits + result.metrics.misses
+            assert result.message_counters.http_requests == non_local
+            assert result.message_counters.http_responses == non_local
+
+
+class TestHitRateCeiling:
+    def test_no_scheme_beats_infinite_cache(self, small_trace):
+        ceiling = compute_stats(small_trace).max_hit_rate
+        for scheme in ("adhoc", "ea"):
+            result = run_simulation(
+                SimulationConfig(scheme=scheme, aggregate_capacity=1 << 30), small_trace
+            )
+            assert result.metrics.hit_rate <= ceiling + 1e-9
+
+    def test_huge_cache_reaches_ceiling(self, small_trace):
+        # With capacity far beyond the footprint every non-compulsory miss
+        # is a hit.
+        ceiling = compute_stats(small_trace).max_hit_rate
+        result = run_simulation(
+            SimulationConfig(scheme="adhoc", aggregate_capacity=1 << 30), small_trace
+        )
+        assert result.metrics.hit_rate == pytest.approx(ceiling, abs=1e-9)
+
+
+class TestSchemesConvergeAtLargeCapacity:
+    def test_equal_hit_rates_without_contention(self, small_trace):
+        big = SimulationConfig(aggregate_capacity=1 << 30)
+        adhoc = run_simulation(big.with_scheme("adhoc"), small_trace)
+        ea = run_simulation(big.with_scheme("ea"), small_trace)
+        assert ea.metrics.hit_rate == pytest.approx(adhoc.metrics.hit_rate)
+        assert ea.metrics.misses == adhoc.metrics.misses
+
+
+class TestReplicationAnalysisIntegration:
+    def test_report_matches_result_fields(self, small_trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(scheme="adhoc", aggregate_capacity=CONTENDED_CAPACITY)
+        )
+        result = sim.run(small_trace)
+        report = replication_report(sim.group)
+        assert report.unique_documents == result.unique_documents
+        assert report.total_copies == result.total_copies
+        assert report.replication_factor == pytest.approx(result.replication_factor)
+
+    def test_ea_effective_space_at_least_adhoc(self, small_trace):
+        fractions = {}
+        for scheme in ("adhoc", "ea"):
+            sim = CooperativeSimulator(
+                SimulationConfig(scheme=scheme, aggregate_capacity=CONTENDED_CAPACITY)
+            )
+            sim.run(small_trace)
+            fractions[scheme] = replication_report(sim.group).effective_space_fraction
+        assert fractions["ea"] >= fractions["adhoc"] - 1e-9
+
+
+class TestCrossArchitectureConsistency:
+    def test_hierarchical_accounting_balances(self, small_trace):
+        result = run_simulation(
+            SimulationConfig(
+                architecture="hierarchical",
+                num_caches=4,
+                num_parents=2,
+                aggregate_capacity=CONTENDED_CAPACITY,
+            ),
+            small_trace,
+        )
+        m = result.metrics
+        assert m.local_hits + m.remote_hits + m.misses == m.requests
+        assert 0.0 <= m.hit_rate <= 1.0

@@ -1,0 +1,59 @@
+"""Unit tests for the message accounting bus."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.bus import MessageBus, MessageCounters
+from repro.protocol.http import HttpRequest, HttpResponse
+from repro.protocol.icp import pack_cache_address, query, reply
+
+
+class TestMessageBus:
+    def test_icp_query_and_reply_counted_separately(self):
+        bus = MessageBus()
+        q = bus.send_icp(query(1, "http://x/a", pack_cache_address(0)))
+        bus.send_icp(reply(q, True, pack_cache_address(1)))
+        assert bus.counters.icp_queries == 1
+        assert bus.counters.icp_replies == 1
+        assert bus.counters.icp_bytes == q.wire_length + reply(q, True, pack_cache_address(1)).wire_length
+
+    def test_http_request_counted(self):
+        bus = MessageBus()
+        request = HttpRequest(url="http://x/a", sender="c0")
+        bus.send_http_request(request)
+        assert bus.counters.http_requests == 1
+        assert bus.counters.http_header_bytes == request.wire_length
+        assert bus.counters.http_body_bytes == 0
+
+    def test_http_response_splits_header_and_body(self):
+        bus = MessageBus()
+        response = HttpResponse(url="http://x/a", body_size=4096, sender="c1")
+        bus.send_http_response(response)
+        assert bus.counters.http_responses == 1
+        assert bus.counters.http_body_bytes == 4096
+        assert bus.counters.http_header_bytes == response.wire_length - 4096
+
+    def test_send_returns_message_for_chaining(self):
+        bus = MessageBus()
+        request = HttpRequest(url="http://x/a")
+        assert bus.send_http_request(request) is request
+
+    def test_totals(self):
+        bus = MessageBus()
+        q = bus.send_icp(query(1, "http://x/a", pack_cache_address(0)))
+        bus.send_icp(reply(q, False, pack_cache_address(1)))
+        bus.send_http_request(HttpRequest(url="http://x/a"))
+        bus.send_http_response(HttpResponse(url="http://x/a", body_size=10))
+        assert bus.counters.total_messages == 4
+        assert bus.counters.total_bytes == (
+            bus.counters.icp_bytes
+            + bus.counters.http_header_bytes
+            + bus.counters.http_body_bytes
+        )
+
+    def test_reset(self):
+        bus = MessageBus()
+        bus.send_http_request(HttpRequest(url="http://x/a"))
+        bus.reset()
+        assert bus.counters == MessageCounters()

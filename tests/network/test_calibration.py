@@ -1,0 +1,73 @@
+"""Unit tests for the latency calibration harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.calibration import CalibrationResult, calibrate, calibrated_constants
+from repro.network.latency import (
+    PAPER_LOCAL_HIT_LATENCY,
+    PAPER_MISS_LATENCY,
+    PAPER_REMOTE_HIT_LATENCY,
+    ConstantLatencyModel,
+    ServiceKind,
+    StochasticLatencyModel,
+)
+
+
+class TestCalibrateConstantModel:
+    def test_recovers_paper_constants_exactly(self):
+        measured = calibrate(ConstantLatencyModel(), probes=100)
+        assert measured[ServiceKind.LOCAL_HIT].mean == pytest.approx(PAPER_LOCAL_HIT_LATENCY)
+        assert measured[ServiceKind.REMOTE_HIT].mean == pytest.approx(PAPER_REMOTE_HIT_LATENCY)
+        assert measured[ServiceKind.MISS].mean == pytest.approx(PAPER_MISS_LATENCY)
+
+    def test_zero_variance(self):
+        measured = calibrate(ConstantLatencyModel(), probes=50)
+        assert measured[ServiceKind.MISS].std == 0.0
+        assert measured[ServiceKind.MISS].stderr == 0.0
+
+    def test_probe_count_recorded(self):
+        measured = calibrate(ConstantLatencyModel(), probes=7)
+        assert all(r.probes == 7 for r in measured.values())
+
+
+class TestCalibrateStochasticModel:
+    def test_paper_methodology_converges(self):
+        # 5000 probes, as the paper ran, pins the mean within a few percent
+        # even at sigma=0.25 noise.
+        model = StochasticLatencyModel(sigma=0.25, seed=9)
+        measured = calibrate(model, probes=5000)
+        assert measured[ServiceKind.MISS].mean == pytest.approx(PAPER_MISS_LATENCY, rel=0.05)
+        assert measured[ServiceKind.MISS].stderr < 0.05
+
+    def test_stderr_shrinks_with_probes(self):
+        few = calibrate(StochasticLatencyModel(sigma=0.5, seed=1), probes=50)
+        many = calibrate(StochasticLatencyModel(sigma=0.5, seed=1), probes=5000)
+        assert many[ServiceKind.MISS].stderr < few[ServiceKind.MISS].stderr
+
+
+class TestCalibratedConstants:
+    def test_eq6_ready_keys(self):
+        constants = calibrated_constants(ConstantLatencyModel(), probes=10)
+        assert set(constants) == {
+            "local_hit_latency", "remote_hit_latency", "miss_latency",
+        }
+
+    def test_feeds_estimator(self):
+        from repro.simulation.metrics import estimate_average_latency
+
+        constants = calibrated_constants(ConstantLatencyModel(), probes=10)
+        latency = estimate_average_latency(0.5, 0.2, 0.3, **constants)
+        assert latency == pytest.approx(0.5 * 0.146 + 0.2 * 0.342 + 0.3 * 2.784)
+
+
+class TestValidation:
+    def test_bad_probes(self):
+        with pytest.raises(NetworkError):
+            calibrate(ConstantLatencyModel(), probes=0)
+
+    def test_bad_size(self):
+        with pytest.raises(NetworkError):
+            calibrate(ConstantLatencyModel(), document_size=0)

@@ -1,0 +1,85 @@
+"""Unit tests for the consistent hash ring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.consistent_hash import ConsistentHashRing
+
+
+class TestRingBasics:
+    def test_empty_ring_raises(self):
+        with pytest.raises(NetworkError, match="no nodes"):
+            ConsistentHashRing().node_for("key")
+
+    def test_single_node_owns_everything(self):
+        ring = ConsistentHashRing([7])
+        assert all(ring.node_for(f"k{i}") == 7 for i in range(50))
+
+    def test_deterministic(self):
+        a = ConsistentHashRing([0, 1, 2])
+        b = ConsistentHashRing([0, 1, 2])
+        keys = [f"http://doc/{i}" for i in range(200)]
+        assert [a.node_for(k) for k in keys] == [b.node_for(k) for k in keys]
+
+    def test_nodes_listing(self):
+        ring = ConsistentHashRing([3, 1, 2])
+        assert ring.nodes == [1, 2, 3]
+        assert len(ring) == 3
+
+    def test_duplicate_node_rejected(self):
+        ring = ConsistentHashRing([0])
+        with pytest.raises(NetworkError, match="already"):
+            ring.add_node(0)
+
+    def test_remove_unknown_rejected(self):
+        with pytest.raises(NetworkError, match="not on the ring"):
+            ConsistentHashRing([0]).remove_node(5)
+
+    def test_invalid_replicas(self):
+        with pytest.raises(NetworkError):
+            ConsistentHashRing(replicas=0)
+
+
+class TestBalanceAndStability:
+    def test_load_roughly_balanced(self):
+        ring = ConsistentHashRing(range(4), replicas=128)
+        keys = [f"http://doc/{i}" for i in range(4000)]
+        counts = ring.load_distribution(keys)
+        assert sum(counts.values()) == 4000
+        assert min(counts.values()) > 4000 / 4 * 0.5
+        assert max(counts.values()) < 4000 / 4 * 1.8
+
+    def test_node_removal_only_remaps_its_keys(self):
+        ring = ConsistentHashRing(range(4), replicas=64)
+        keys = [f"http://doc/{i}" for i in range(1000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.remove_node(3)
+        moved = 0
+        for key in keys:
+            after = ring.node_for(key)
+            if before[key] == 3:
+                assert after != 3
+            elif after != before[key]:
+                moved += 1
+        # Keys not owned by the removed node must stay put.
+        assert moved == 0
+
+    def test_node_addition_steals_bounded_fraction(self):
+        ring = ConsistentHashRing(range(4), replicas=64)
+        keys = [f"http://doc/{i}" for i in range(2000)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add_node(4)
+        stolen = sum(1 for k in keys if ring.node_for(k) != before[k])
+        # The new node should own roughly 1/5 of the space; allow slack.
+        assert stolen < len(keys) * 0.4
+        assert stolen > 0
+
+    def test_add_then_remove_restores_mapping(self):
+        ring = ConsistentHashRing(range(3), replicas=64)
+        keys = [f"http://doc/{i}" for i in range(500)]
+        before = {k: ring.node_for(k) for k in keys}
+        ring.add_node(9)
+        ring.remove_node(9)
+        assert {k: ring.node_for(k) for k in keys} == before

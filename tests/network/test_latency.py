@@ -1,0 +1,103 @@
+"""Unit tests for latency models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.latency import (
+    PAPER_LOCAL_HIT_LATENCY,
+    PAPER_MISS_LATENCY,
+    PAPER_PROBE_SIZE,
+    PAPER_REMOTE_HIT_LATENCY,
+    ComponentLatencyModel,
+    ConstantLatencyModel,
+    ServiceKind,
+    StochasticLatencyModel,
+)
+
+
+class TestConstantModel:
+    def test_paper_defaults(self):
+        model = ConstantLatencyModel()
+        assert model.latency(ServiceKind.LOCAL_HIT) == pytest.approx(0.146)
+        assert model.latency(ServiceKind.REMOTE_HIT) == pytest.approx(0.342)
+        assert model.latency(ServiceKind.MISS) == pytest.approx(2.784)
+
+    def test_size_ignored(self):
+        model = ConstantLatencyModel()
+        assert model.latency(ServiceKind.MISS, 10) == model.latency(ServiceKind.MISS, 1 << 20)
+
+    def test_custom_values(self):
+        model = ConstantLatencyModel(local_hit=0.01, remote_hit=0.02, miss=0.3)
+        assert model.latency(ServiceKind.REMOTE_HIT) == 0.02
+
+    def test_negative_rejected(self):
+        with pytest.raises(NetworkError):
+            ConstantLatencyModel(local_hit=-0.1)
+
+    def test_ordering_invariant(self):
+        model = ConstantLatencyModel()
+        assert (
+            model.latency(ServiceKind.LOCAL_HIT)
+            < model.latency(ServiceKind.REMOTE_HIT)
+            < model.latency(ServiceKind.MISS)
+        )
+
+
+class TestComponentModel:
+    def test_calibrated_to_paper_constants_at_4kb(self):
+        model = ComponentLatencyModel()
+        assert model.latency(ServiceKind.LOCAL_HIT, PAPER_PROBE_SIZE) == pytest.approx(
+            PAPER_LOCAL_HIT_LATENCY, rel=0.05
+        )
+        assert model.latency(ServiceKind.REMOTE_HIT, PAPER_PROBE_SIZE) == pytest.approx(
+            PAPER_REMOTE_HIT_LATENCY, rel=0.05
+        )
+        assert model.latency(ServiceKind.MISS, PAPER_PROBE_SIZE) == pytest.approx(
+            PAPER_MISS_LATENCY, rel=0.05
+        )
+
+    def test_latency_grows_with_size(self):
+        model = ComponentLatencyModel()
+        assert model.latency(ServiceKind.MISS, 1 << 20) > model.latency(ServiceKind.MISS, 1 << 10)
+
+    def test_local_hit_size_independent(self):
+        model = ComponentLatencyModel()
+        assert model.latency(ServiceKind.LOCAL_HIT, 10) == model.latency(
+            ServiceKind.LOCAL_HIT, 1 << 20
+        )
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(NetworkError):
+            ComponentLatencyModel(lan_bandwidth=0.0)
+
+    def test_negative_component(self):
+        with pytest.raises(NetworkError):
+            ComponentLatencyModel(icp_rtt=-1.0)
+
+
+class TestStochasticModel:
+    def test_deterministic_with_seed(self):
+        a = StochasticLatencyModel(seed=3)
+        b = StochasticLatencyModel(seed=3)
+        seq_a = [a.latency(ServiceKind.MISS) for _ in range(10)]
+        seq_b = [b.latency(ServiceKind.MISS) for _ in range(10)]
+        assert seq_a == seq_b
+
+    def test_sigma_zero_equals_base(self):
+        model = StochasticLatencyModel(sigma=0.0)
+        assert model.latency(ServiceKind.MISS) == pytest.approx(PAPER_MISS_LATENCY)
+
+    def test_mean_close_to_base(self):
+        model = StochasticLatencyModel(sigma=0.25, seed=11)
+        samples = [model.latency(ServiceKind.MISS) for _ in range(5000)]
+        assert sum(samples) / len(samples) == pytest.approx(PAPER_MISS_LATENCY, rel=0.05)
+
+    def test_samples_positive(self):
+        model = StochasticLatencyModel(sigma=1.0, seed=4)
+        assert all(model.latency(ServiceKind.LOCAL_HIT) > 0 for _ in range(100))
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(NetworkError):
+            StochasticLatencyModel(sigma=-0.5)

@@ -1,0 +1,110 @@
+"""Unit tests for cooperation topologies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import NetworkError
+from repro.network.topology import StarTopology, TreeTopology, two_level_tree
+
+
+class TestStarTopology:
+    def test_rejects_empty(self):
+        with pytest.raises(NetworkError):
+            StarTopology(0)
+
+    def test_siblings_are_everyone_else(self):
+        topo = StarTopology(4)
+        assert topo.siblings_of(1) == [0, 2, 3]
+
+    def test_single_cache_has_no_siblings(self):
+        assert StarTopology(1).siblings_of(0) == []
+
+    def test_no_parents_no_children(self):
+        topo = StarTopology(3)
+        assert topo.parent_of(2) is None
+        assert topo.children_of(2) == []
+
+    def test_all_leaves(self):
+        assert StarTopology(3).leaves() == [0, 1, 2]
+
+    def test_index_bounds(self):
+        topo = StarTopology(3)
+        with pytest.raises(NetworkError):
+            topo.siblings_of(3)
+        with pytest.raises(NetworkError):
+            topo.parent_of(-1)
+
+
+class TestTreeTopology:
+    def _tree(self):
+        # 0 is root; 1,2 children of 0; 3,4 children of 1.
+        return TreeTopology([None, 0, 0, 1, 1])
+
+    def test_parent_of(self):
+        tree = self._tree()
+        assert tree.parent_of(0) is None
+        assert tree.parent_of(3) == 1
+
+    def test_children_of(self):
+        tree = self._tree()
+        assert tree.children_of(0) == [1, 2]
+        assert tree.children_of(1) == [3, 4]
+        assert tree.children_of(4) == []
+
+    def test_siblings_share_parent(self):
+        tree = self._tree()
+        assert tree.siblings_of(3) == [4]
+        assert tree.siblings_of(1) == [2]
+
+    def test_root_siblings_are_other_roots(self):
+        forest = TreeTopology([None, None, 0])
+        assert forest.siblings_of(0) == [1]
+        assert forest.siblings_of(1) == [0]
+
+    def test_leaves(self):
+        assert self._tree().leaves() == [2, 3, 4]
+
+    def test_ancestors(self):
+        tree = self._tree()
+        assert tree.ancestors_of(3) == [1, 0]
+        assert tree.ancestors_of(0) == []
+
+    def test_depth(self):
+        tree = self._tree()
+        assert tree.depth_of(0) == 0
+        assert tree.depth_of(4) == 2
+
+    def test_self_parent_rejected(self):
+        with pytest.raises(NetworkError):
+            TreeTopology([0])
+
+    def test_cycle_rejected(self):
+        with pytest.raises(NetworkError, match="cycle"):
+            TreeTopology([1, 0])
+
+    def test_parent_out_of_range(self):
+        with pytest.raises(NetworkError):
+            TreeTopology([None, 7])
+
+
+class TestTwoLevelTree:
+    def test_shape(self):
+        tree = two_level_tree(num_leaves=4, num_parents=2)
+        assert tree.num_caches == 6
+        assert tree.parent_of(0) is None and tree.parent_of(1) is None
+        # Leaves 2..5 assigned round-robin to parents 0,1.
+        assert tree.parent_of(2) == 0
+        assert tree.parent_of(3) == 1
+        assert tree.parent_of(4) == 0
+        assert tree.parent_of(5) == 1
+
+    def test_leaves_are_the_leaf_block(self):
+        tree = two_level_tree(num_leaves=3, num_parents=1)
+        assert tree.leaves() == [1, 2, 3]
+
+    def test_invalid_counts(self):
+        with pytest.raises(NetworkError):
+            two_level_tree(0, 1)
+        with pytest.raises(NetworkError):
+            two_level_tree(3, 0)

@@ -1,0 +1,113 @@
+"""Behavioural tests for the prefetch (eager placement) engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.architecture.base import build_caches
+from repro.architecture.distributed import DistributedGroup
+from repro.core.placement import AdHocScheme
+from repro.network.latency import ServiceKind
+from repro.prefetch.engine import PrefetchEngine
+from repro.prefetch.predictor import MarkovPredictor
+from repro.trace.record import TraceRecord
+
+
+def rec(ts: float, url: str, client: str = "alice", size: int = 100) -> TraceRecord:
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size)
+
+
+def make_engine(capacity=30_000, **predictor_kwargs):
+    group = DistributedGroup(build_caches(2, capacity), AdHocScheme())
+    predictor = MarkovPredictor(
+        min_support=predictor_kwargs.pop("min_support", 1),
+        min_probability=predictor_kwargs.pop("min_probability", 0.5),
+    )
+    return PrefetchEngine(group, predictor)
+
+
+def train_pair(engine, ts0: float, client: str = "alice"):
+    """Teach the predictor A -> B by replaying the pair once."""
+    engine.process(0, rec(ts0, "http://a", client))
+    engine.process(0, rec(ts0 + 1, "http://b", client))
+
+
+class TestPrefetchFlow:
+    def test_prediction_triggers_prefetch(self):
+        engine = make_engine()
+        train_pair(engine, 0.0)
+        # Drop the demand-fetched copy so the prefetch has work to do.
+        engine.group.caches[0].evict("http://b", 5.0)
+        # Next time the client fetches A, B should be prefetched into cache 0.
+        engine.process(0, rec(10.0, "http://a"))
+        assert "http://b" in engine.group.caches[0]
+        assert engine.stats.issued == 1
+
+    def test_prefetch_hit_counted(self):
+        engine = make_engine()
+        train_pair(engine, 0.0)
+        # Evict nothing; replay A then B. A->prefetch B; request B = local
+        # hit attributable to the prefetch.
+        engine.group.caches[0].evict("http://b", 5.0)
+        engine.process(0, rec(10.0, "http://a"))
+        outcome = engine.process(0, rec(11.0, "http://b"))
+        assert outcome.kind is ServiceKind.LOCAL_HIT
+        assert engine.stats.prefetch_hits == 1
+
+    def test_resident_document_not_prefetched(self):
+        engine = make_engine()
+        train_pair(engine, 0.0)
+        engine.group.caches[0].evict("http://b", 5.0)
+        issued_before = engine.stats.issued
+        engine.process(0, rec(10.0, "http://a"))  # b prefetched
+        engine.process(0, rec(20.0, "http://a"))  # b already resident
+        assert engine.stats.issued == issued_before + 1
+        assert engine.stats.skipped_resident >= 1
+
+    def test_prefetch_from_sibling_does_not_refresh_it(self):
+        engine = make_engine()
+        train_pair(engine, 0.0, client="alice")
+        # Put B at cache 1 too, so the prefetch can come from a sibling.
+        engine.process(1, rec(5.0, "http://b", client="bob"))
+        entry = engine.group.caches[1].get_entry("http://b")
+        hits_before = entry.hit_count
+        engine.group.caches[0].evict("http://b", 6.0)
+        engine.process(0, rec(10.0, "http://a"))
+        assert engine.stats.from_sibling >= 1
+        assert engine.group.caches[1].get_entry("http://b").hit_count == hits_before
+
+    def test_prefetch_from_origin_when_no_sibling(self):
+        engine = make_engine()
+        train_pair(engine, 0.0)
+        engine.group.caches[0].evict("http://b", 5.0)
+        assert "http://b" not in engine.group.caches[1]
+        engine.process(0, rec(10.0, "http://a"))
+        assert engine.stats.from_origin >= 1
+
+    def test_wasted_prefetch_counted_on_eviction(self):
+        # Tiny cache: the prefetched doc gets evicted before any hit.
+        engine = make_engine(capacity=2 * 220)  # ~2 docs per cache
+        train_pair(engine, 0.0)
+        if "http://b" in engine.group.caches[0]:
+            engine.group.caches[0].evict("http://b", 5.0)
+        engine.process(0, rec(10.0, "http://a"))
+        # Flood the cache with other documents to evict the prefetch.
+        for i in range(5):
+            engine.process(0, rec(20.0 + i, f"http://filler/{i}"))
+        assert engine.stats.wasted >= 1 or engine.stats.prefetch_hits >= 1
+
+    def test_bytes_prefetched_accounted(self):
+        engine = make_engine()
+        train_pair(engine, 0.0)
+        engine.group.caches[0].evict("http://b", 5.0)
+        engine.process(0, rec(10.0, "http://a"))
+        assert engine.stats.bytes_prefetched == 100
+
+    def test_precision_zero_without_prefetches(self):
+        assert make_engine().stats.precision == 0.0
+
+    def test_outcomes_passthrough(self):
+        engine = make_engine()
+        outcome = engine.process(0, rec(0.0, "http://a"))
+        assert outcome.kind is ServiceKind.MISS
+        assert outcome.url == "http://a"

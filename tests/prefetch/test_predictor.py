@@ -1,0 +1,83 @@
+"""Unit tests for the Markov access predictor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import CacheConfigurationError
+from repro.prefetch.predictor import MarkovPredictor
+
+
+class TestValidation:
+    def test_bad_support(self):
+        with pytest.raises(CacheConfigurationError):
+            MarkovPredictor(min_support=0)
+
+    def test_bad_probability(self):
+        with pytest.raises(CacheConfigurationError):
+            MarkovPredictor(min_probability=0.0)
+
+    def test_bad_max_predictions(self):
+        with pytest.raises(CacheConfigurationError):
+            MarkovPredictor(max_predictions=0)
+
+
+class TestLearning:
+    def test_no_predictions_before_observations(self):
+        assert MarkovPredictor().predict("http://a") == []
+
+    def test_learns_repeated_transition(self):
+        predictor = MarkovPredictor(min_support=2, min_probability=0.5)
+        for _ in range(3):
+            predictor.observe("alice", "http://a")
+            predictor.observe("alice", "http://b")
+        [prediction] = predictor.predict("http://a")
+        assert prediction.url == "http://b"
+        assert prediction.support == 3
+        assert prediction.probability == pytest.approx(1.0)
+
+    def test_min_support_gate(self):
+        predictor = MarkovPredictor(min_support=3, min_probability=0.1)
+        predictor.observe("alice", "http://a")
+        predictor.observe("alice", "http://b")
+        assert predictor.predict("http://a") == []
+
+    def test_min_probability_gate(self):
+        predictor = MarkovPredictor(min_support=1, min_probability=0.9)
+        # a -> b twice, a -> c once: P(b|a)=2/3 < 0.9.
+        for successor in ("http://b", "http://c", "http://b"):
+            predictor.observe("u", "http://a")
+            predictor.observe("u", successor)
+        assert predictor.predict("http://a") == []
+
+    def test_max_predictions_cap(self):
+        predictor = MarkovPredictor(min_support=1, min_probability=0.01, max_predictions=2)
+        for successor in ("http://b", "http://c", "http://d"):
+            for _ in range(2):
+                predictor.observe("u", "http://a")
+                predictor.observe("u", successor)
+        assert len(predictor.predict("http://a")) == 2
+
+    def test_streams_isolated_per_client(self):
+        predictor = MarkovPredictor(min_support=1, min_probability=0.5)
+        predictor.observe("alice", "http://a")
+        predictor.observe("bob", "http://b")
+        predictor.observe("alice", "http://c")
+        # alice: a -> c learned; bob's interleaved request must not create
+        # an a -> b transition.
+        predictions = predictor.predict("http://a")
+        assert [p.url for p in predictions] == ["http://c"]
+
+    def test_self_transition_ignored(self):
+        predictor = MarkovPredictor(min_support=1, min_probability=0.1)
+        predictor.observe("u", "http://a")
+        predictor.observe("u", "http://a")
+        assert predictor.predict("http://a") == []
+        assert predictor.transitions_learned == 0
+
+    def test_transitions_learned_counter(self):
+        predictor = MarkovPredictor()
+        predictor.observe("u", "http://a")
+        predictor.observe("u", "http://b")
+        predictor.observe("u", "http://c")
+        assert predictor.transitions_learned == 2

@@ -1,0 +1,102 @@
+"""Property-based tests for expiration-age tracking (paper Eq. 2 / Eq. 5)."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.document import EvictionRecord
+from repro.cache.expiration import ExpirationAgeTracker
+
+# Generates (entry_offset, hit_offset, evict_offset, hits) tuples describing
+# one document's life; offsets are accumulated to give monotone times.
+lifecycles = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        st.floats(min_value=0.001, max_value=50.0, allow_nan=False),
+        st.integers(min_value=1, max_value=20),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def build_records(lifecycles):
+    now = 0.0
+    records = []
+    for entry_offset, hit_offset, evict_offset, hits in lifecycles:
+        entry_time = now + entry_offset
+        last_hit = entry_time + hit_offset
+        evict_time = last_hit + evict_offset
+        records.append(
+            EvictionRecord(
+                url="http://p/x",
+                size=10,
+                entry_time=entry_time,
+                last_hit_time=last_hit,
+                hit_count=hits,
+                evict_time=evict_time,
+            )
+        )
+        now = evict_time
+    return records
+
+
+@given(lifecycles=lifecycles)
+@settings(max_examples=200, deadline=None)
+def test_cumulative_age_is_exact_mean(lifecycles):
+    records = build_records(lifecycles)
+    tracker = ExpirationAgeTracker(window_mode="cumulative")
+    ages = [tracker.record_eviction(r) for r in records]
+    assert tracker.cache_expiration_age() == math.fsum(ages) / len(ages) or (
+        abs(tracker.cache_expiration_age() - sum(ages) / len(ages)) < 1e-9
+    )
+
+
+@given(lifecycles=lifecycles, window=st.integers(min_value=1, max_value=10))
+@settings(max_examples=200, deadline=None)
+def test_count_window_is_mean_of_last_k(lifecycles, window):
+    records = build_records(lifecycles)
+    tracker = ExpirationAgeTracker(window_mode="count", window_size=window)
+    ages = [tracker.record_eviction(r) for r in records]
+    expected = sum(ages[-window:]) / len(ages[-window:])
+    assert abs(tracker.cache_expiration_age() - expected) < 1e-6
+
+
+@given(lifecycles=lifecycles)
+@settings(max_examples=200, deadline=None)
+def test_ages_non_negative_and_bounded_by_lifetime(lifecycles):
+    for record in build_records(lifecycles):
+        assert 0.0 <= record.lru_expiration_age <= record.life_time
+        assert 0.0 <= record.lfu_expiration_age <= record.life_time
+
+
+@given(lifecycles=lifecycles)
+@settings(max_examples=100, deadline=None)
+def test_more_hits_never_raise_lfu_age(lifecycles):
+    # For a fixed lifetime, the LFU age is inversely proportional to hits.
+    for record in build_records(lifecycles):
+        busier = EvictionRecord(
+            url=record.url,
+            size=record.size,
+            entry_time=record.entry_time,
+            last_hit_time=record.last_hit_time,
+            hit_count=record.hit_count + 5,
+            evict_time=record.evict_time,
+        )
+        assert busier.lfu_expiration_age <= record.lfu_expiration_age
+
+
+@given(lifecycles=lifecycles, window_seconds=st.floats(min_value=0.5, max_value=500.0))
+@settings(max_examples=100, deadline=None)
+def test_time_window_subset_of_cumulative(lifecycles, window_seconds):
+    records = build_records(lifecycles)
+    tracker = ExpirationAgeTracker(window_mode="time", window_seconds=window_seconds)
+    for record in records:
+        tracker.record_eviction(record)
+    age = tracker.cache_expiration_age()
+    assert math.isinf(age) or age >= 0.0
+    assert tracker.total_evictions == len(records)

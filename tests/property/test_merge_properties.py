@@ -1,0 +1,68 @@
+"""Property-based tests for trace composition."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace.merge import concatenate_traces, merge_traces, shift_timestamps
+from repro.trace.record import Trace, TraceRecord
+
+# Sorted, non-negative timestamp lists.
+stamp_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    min_size=0,
+    max_size=30,
+).map(sorted)
+
+
+def to_trace(stamps, client="c"):
+    return Trace(
+        [
+            TraceRecord(timestamp=t, client_id=client, url=f"http://{client}/{i}", size=1)
+            for i, t in enumerate(stamps)
+        ]
+    )
+
+
+@given(a=stamp_lists, b=stamp_lists, c=stamp_lists)
+@settings(max_examples=200, deadline=None)
+def test_merge_preserves_count_and_order(a, b, c):
+    traces = [to_trace(a, "a"), to_trace(b, "b"), to_trace(c, "c")]
+    merged = merge_traces(traces)
+    assert len(merged) == len(a) + len(b) + len(c)
+    stamps = [r.timestamp for r in merged]
+    assert stamps == sorted(stamps)
+
+
+@given(a=stamp_lists, b=stamp_lists)
+@settings(max_examples=200, deadline=None)
+def test_merge_preserves_per_source_order(a, b):
+    merged = merge_traces([to_trace(a, "a"), to_trace(b, "b")])
+    for client in ("a", "b"):
+        urls = [r.url for r in merged if r.client_id == client]
+        assert urls == [f"http://{client}/{i}" for i in range(len(urls))]
+
+
+@given(stamps=stamp_lists, offset=st.floats(min_value=-100.0, max_value=1e6, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_shift_preserves_deltas(stamps, offset):
+    trace = to_trace(stamps)
+    shifted = shift_timestamps(trace, offset)
+    originals = [r.timestamp for r in trace]
+    moved = [r.timestamp for r in shifted]
+    for (o1, o2), (m1, m2) in zip(zip(originals, originals[1:]), zip(moved, moved[1:])):
+        assert (m2 - m1) - (o2 - o1) < 1e-6
+
+
+@given(
+    parts=st.lists(stamp_lists, min_size=1, max_size=4),
+    gap=st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+)
+@settings(max_examples=200, deadline=None)
+def test_concatenate_monotone_and_complete(parts, gap):
+    traces = [to_trace(p, f"c{i}") for i, p in enumerate(parts)]
+    combined = concatenate_traces(traces, gap_seconds=gap)
+    assert len(combined) == sum(len(p) for p in parts)
+    stamps = [r.timestamp for r in combined]
+    assert stamps == sorted(stamps)

@@ -1,0 +1,95 @@
+"""Property-based tests: protocol wire formats round-trip for all inputs."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.protocol.http import (
+    HttpRequest,
+    HttpResponse,
+    decode_request,
+    decode_response,
+    format_expiration_age,
+    parse_expiration_age,
+)
+from repro.protocol.icp import (
+    ICPOpcode,
+    decode,
+    encode,
+    pack_cache_address,
+    query,
+    reply,
+    unpack_cache_address,
+)
+
+# URLs without whitespace/control chars, as real URLs are.
+urls = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("L", "N"), whitelist_characters="/:.-_~%?=&"
+    ),
+    min_size=1,
+    max_size=200,
+).map(lambda path: f"http://host/{path}")
+
+
+@given(reqnum=st.integers(0, 2**32 - 1), url=urls, sender=st.integers(0, 2**32 - 1))
+@settings(max_examples=300, deadline=None)
+def test_icp_query_roundtrip(reqnum, url, sender):
+    message = query(reqnum, url, pack_cache_address(sender))
+    assert decode(encode(message)) == message
+
+
+@given(reqnum=st.integers(0, 2**32 - 1), url=urls, hit=st.booleans())
+@settings(max_examples=300, deadline=None)
+def test_icp_reply_roundtrip(reqnum, url, hit):
+    q = query(reqnum, url, pack_cache_address(0))
+    message = reply(q, hit, pack_cache_address(1))
+    decoded = decode(encode(message))
+    assert decoded == message
+    assert decoded.is_positive == hit
+
+
+@given(index=st.integers(0, 2**32 - 1))
+def test_cache_address_roundtrip(index):
+    assert unpack_cache_address(pack_cache_address(index)) == index
+
+
+@given(
+    age=st.one_of(
+        st.floats(min_value=0.0, max_value=1e12, allow_nan=False),
+        st.just(math.inf),
+    )
+)
+@settings(max_examples=300, deadline=None)
+def test_expiration_age_roundtrip(age):
+    parsed = parse_expiration_age(format_expiration_age(age))
+    if math.isinf(age):
+        assert math.isinf(parsed)
+    else:
+        assert abs(parsed - age) <= max(1e-6, age * 1e-9)
+
+
+@given(url=urls, age=st.floats(min_value=0.0, max_value=1e9, allow_nan=False))
+@settings(max_examples=200, deadline=None)
+def test_http_request_roundtrip(url, age):
+    request = HttpRequest(url=url, sender="cacheX").with_expiration_age(age)
+    decoded = decode_request(request.encode())
+    assert decoded.url == url
+    assert decoded.sender == "cacheX"
+    assert abs(decoded.expiration_age - age) <= max(1e-6, age * 1e-9)
+
+
+@given(
+    body=st.integers(0, 10**9),
+    status=st.sampled_from([200, 203, 301, 304, 404, 500]),
+)
+@settings(max_examples=200, deadline=None)
+def test_http_response_roundtrip(body, status):
+    response = HttpResponse(url="http://h/x", body_size=body, status=status, sender="s")
+    decoded = decode_response(response.encode())
+    assert decoded.body_size == body
+    assert decoded.status == status
+    assert decoded.sender == "s"

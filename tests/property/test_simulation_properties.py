@@ -1,0 +1,102 @@
+"""Property-based tests at the simulation level.
+
+Determinism (same config + same trace = identical results), accounting
+conservation under arbitrary configurations, and the hit-rate ceiling.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.stats import compute_stats
+
+# Compact workload: (client, doc, size_seed) triples with increasing time.
+workloads = st.lists(
+    st.tuples(
+        st.integers(0, 5),
+        st.integers(0, 40),
+        st.integers(1, 50),
+    ),
+    min_size=1,
+    max_size=150,
+)
+
+configs = st.builds(
+    SimulationConfig,
+    scheme=st.sampled_from(["adhoc", "ea"]),
+    num_caches=st.integers(1, 6),
+    aggregate_capacity=st.integers(2_000, 200_000),
+    policy=st.sampled_from(["lru", "lfu", "fifo", "gdsf"]),
+    partitioner=st.sampled_from(["hash", "round-robin-client"]),
+    tie_break=st.sampled_from(["requester", "responder"]),
+    window_mode=st.sampled_from(["cumulative", "count"]),
+    seed=st.integers(0, 3),
+)
+
+
+def build_trace(steps) -> Trace:
+    records = []
+    for i, (client, doc, size_seed) in enumerate(steps):
+        records.append(
+            TraceRecord(
+                timestamp=float(i),
+                client_id=f"client{client}",
+                url=f"http://d/{doc}",
+                size=size_seed * 100,
+            )
+        )
+    return Trace(records)
+
+
+@given(steps=workloads, config=configs)
+@settings(max_examples=60, deadline=None)
+def test_simulation_accounting_conserved(steps, config):
+    trace = build_trace(steps)
+    result = run_simulation(config, trace)
+    m = result.metrics
+    assert m.requests == len(trace)
+    assert m.local_hits + m.remote_hits + m.misses == m.requests
+    assert m.bytes_local_hit + m.bytes_remote_hit + m.bytes_miss == m.bytes_requested
+    assert 0.0 <= m.hit_rate <= 1.0
+    assert result.total_copies >= 0
+    assert all(stats.lookups >= stats.local_hits for stats in result.cache_stats)
+
+
+@given(steps=workloads, config=configs)
+@settings(max_examples=40, deadline=None)
+def test_simulation_deterministic(steps, config):
+    trace = build_trace(steps)
+    assert run_simulation(config, trace).to_dict() == run_simulation(config, trace).to_dict()
+
+
+@given(steps=workloads, scheme=st.sampled_from(["adhoc", "ea"]))
+@settings(max_examples=60, deadline=None)
+def test_hit_rate_bounded_by_compulsory_ceiling(steps, scheme):
+    trace = build_trace(steps)
+    ceiling = compute_stats(trace).max_hit_rate
+    result = run_simulation(
+        SimulationConfig(scheme=scheme, num_caches=3, aggregate_capacity=10**9),
+        trace,
+    )
+    assert result.metrics.hit_rate <= ceiling + 1e-9
+    # An unbounded cache achieves the ceiling exactly.
+    assert result.metrics.hit_rate >= ceiling - 1e-9
+
+
+@given(steps=workloads)
+@settings(max_examples=40, deadline=None)
+def test_ea_group_hit_rate_at_least_adhoc_without_contention(steps):
+    """With no evictions the schemes must agree exactly (EA degenerates)."""
+    trace = build_trace(steps)
+    results = {
+        scheme: run_simulation(
+            SimulationConfig(scheme=scheme, num_caches=3, aggregate_capacity=10**9),
+            trace,
+        )
+        for scheme in ("adhoc", "ea")
+    }
+    assert results["ea"].metrics.hit_rate == results["adhoc"].metrics.hit_rate
+    assert results["ea"].metrics.misses == results["adhoc"].metrics.misses

@@ -1,0 +1,114 @@
+"""Property-based tests for the extension substrates.
+
+Bloom filters (no false negatives, serialisation fidelity), the consistent
+hash ring (determinism, total coverage, bounded remapping), partitioners
+(affinity, range), and the change model (version monotonicity).
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coherence.model import ChangeModel
+from repro.digest.bloom import BloomFilter
+from repro.network.consistent_hash import ConsistentHashRing
+from repro.trace.partition import HashPartitioner, RoundRobinClientPartitioner
+from repro.trace.record import TraceRecord
+
+urls = st.lists(
+    st.text(min_size=1, max_size=30).map(lambda s: f"http://h/{s}"),
+    min_size=1,
+    max_size=80,
+    unique=True,
+)
+
+
+@given(items=urls, bits=st.integers(64, 4096), hashes=st.integers(1, 8))
+@settings(max_examples=150, deadline=None)
+def test_bloom_never_false_negative(items, bits, hashes):
+    bloom = BloomFilter(bits, hashes)
+    bloom.update(items)
+    assert all(item in bloom for item in items)
+
+
+@given(items=urls, hashes=st.integers(1, 6))
+@settings(max_examples=100, deadline=None)
+def test_bloom_serialisation_preserves_membership(items, hashes):
+    bloom = BloomFilter(2048, hashes)
+    bloom.update(items)
+    rebuilt = BloomFilter.from_bytes(bloom.to_bytes(), num_hashes=hashes)
+    for item in items:
+        assert (item in bloom) == (item in rebuilt)
+
+
+@given(
+    nodes=st.lists(st.integers(0, 100), min_size=1, max_size=10, unique=True),
+    keys=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50),
+)
+@settings(max_examples=150, deadline=None)
+def test_ring_maps_every_key_to_a_member(nodes, keys):
+    ring = ConsistentHashRing(nodes)
+    node_set = set(nodes)
+    for key in keys:
+        assert ring.node_for(key) in node_set
+
+
+@given(
+    nodes=st.lists(st.integers(0, 100), min_size=2, max_size=8, unique=True),
+    keys=st.lists(st.text(min_size=1, max_size=20), min_size=1, max_size=50, unique=True),
+)
+@settings(max_examples=100, deadline=None)
+def test_ring_removal_never_remaps_surviving_owners(nodes, keys):
+    ring = ConsistentHashRing(nodes)
+    victim = nodes[0]
+    before = {k: ring.node_for(k) for k in keys}
+    ring.remove_node(victim)
+    for key in keys:
+        if before[key] != victim:
+            assert ring.node_for(key) == before[key]
+
+
+@given(
+    clients=st.lists(st.text(min_size=1, max_size=15), min_size=1, max_size=40),
+    num_proxies=st.integers(1, 12),
+)
+@settings(max_examples=150, deadline=None)
+def test_partitioners_affinity_and_range(clients, num_proxies):
+    for partitioner in (HashPartitioner(num_proxies), RoundRobinClientPartitioner(num_proxies)):
+        assignments = {}
+        for i, client in enumerate(clients):
+            record = TraceRecord(
+                timestamp=float(i), client_id=client, url=f"http://d/{i}", size=1
+            )
+            index = partitioner.assign(record)
+            assert 0 <= index < num_proxies
+            previous = assignments.setdefault(client, index)
+            assert previous == index  # client affinity
+
+
+@given(
+    url=st.text(min_size=1, max_size=30),
+    times=st.lists(st.floats(min_value=0.0, max_value=1e7, allow_nan=False), min_size=2, max_size=20),
+)
+@settings(max_examples=150, deadline=None)
+def test_change_model_versions_monotone_in_time(url, times):
+    model = ChangeModel(immutable_fraction=0.3)
+    ordered = sorted(times)
+    versions = [model.version_at(url, t) for t in ordered]
+    assert versions == sorted(versions)
+
+
+@given(
+    url=st.text(min_size=1, max_size=30),
+    a=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+    b=st.floats(min_value=0.0, max_value=1e7, allow_nan=False),
+)
+@settings(max_examples=150, deadline=None)
+def test_change_model_changed_iff_versions_differ(url, a, b):
+    model = ChangeModel()
+    lo, hi = min(a, b), max(a, b)
+    changed = model.changed_between(url, lo, hi)
+    assert changed == (model.version_at(url, lo) != model.version_at(url, hi))

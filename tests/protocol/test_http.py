@@ -1,0 +1,114 @@
+"""Unit tests for the simulated HTTP messages and the EA piggyback header."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.http import (
+    EXPIRATION_AGE_HEADER,
+    HttpRequest,
+    HttpResponse,
+    decode_request,
+    decode_response,
+    format_expiration_age,
+    parse_expiration_age,
+)
+
+
+class TestExpirationAgeFormatting:
+    def test_finite_roundtrip(self):
+        assert parse_expiration_age(format_expiration_age(123.456)) == pytest.approx(123.456)
+
+    def test_infinite_roundtrip(self):
+        assert math.isinf(parse_expiration_age(format_expiration_age(math.inf)))
+
+    @pytest.mark.parametrize("text", ["inf", "INF", "Infinity", "+inf"])
+    def test_parse_inf_spellings(self, text):
+        assert math.isinf(parse_expiration_age(text))
+
+    def test_negative_rejected_on_format(self):
+        with pytest.raises(ProtocolError):
+            format_expiration_age(-1.0)
+
+    def test_negative_rejected_on_parse(self):
+        with pytest.raises(ProtocolError):
+            parse_expiration_age("-5")
+
+    def test_nan_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_expiration_age("nan")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_expiration_age("fast")
+
+
+class TestHttpRequest:
+    def test_piggyback_attach_and_read(self):
+        request = HttpRequest(url="http://x/a", sender="cache0")
+        request.with_expiration_age(42.0)
+        assert request.expiration_age == pytest.approx(42.0)
+
+    def test_no_header_means_none(self):
+        assert HttpRequest(url="http://x/a").expiration_age is None
+
+    def test_header_lookup_case_insensitive(self):
+        request = HttpRequest(url="http://x/a", headers={"x-cache-expiration-age": "7"})
+        assert request.get_header(EXPIRATION_AGE_HEADER) == "7"
+        assert request.expiration_age == pytest.approx(7.0)
+
+    def test_encode_decode_roundtrip(self):
+        request = HttpRequest(url="http://x/a", sender="cache1").with_expiration_age(9.5)
+        decoded = decode_request(request.encode())
+        assert decoded.url == "http://x/a"
+        assert decoded.sender == "cache1"
+        assert decoded.expiration_age == pytest.approx(9.5)
+        assert decoded.method == "GET"
+
+    def test_wire_length_positive_and_grows_with_headers(self):
+        bare = HttpRequest(url="http://x/a")
+        tagged = HttpRequest(url="http://x/a").with_expiration_age(1.0)
+        assert 0 < bare.wire_length < tagged.wire_length
+
+    def test_decode_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            decode_request("NONSENSE\r\n\r\n")
+
+    def test_decode_malformed_header(self):
+        with pytest.raises(ProtocolError):
+            decode_request("GET /x HTTP/1.0\r\nbadheader\r\n\r\n")
+
+
+class TestHttpResponse:
+    def test_piggyback(self):
+        response = HttpResponse(url="http://x/a", body_size=100).with_expiration_age(3.0)
+        assert response.expiration_age == pytest.approx(3.0)
+
+    def test_encode_decode_roundtrip(self):
+        response = HttpResponse(
+            url="http://x/a", body_size=4096, sender="cache2"
+        ).with_expiration_age(math.inf)
+        decoded = decode_response(response.encode())
+        assert decoded.status == 200
+        assert decoded.body_size == 4096
+        assert decoded.sender == "cache2"
+        assert math.isinf(decoded.expiration_age)
+
+    def test_wire_length_includes_body(self):
+        small = HttpResponse(url="http://x/a", body_size=10)
+        big = HttpResponse(url="http://x/a", body_size=10_000)
+        assert big.wire_length - small.wire_length >= 9_000
+
+    def test_non_200_status_line(self):
+        decoded = decode_response(HttpResponse(url="http://x/a", status=404).encode())
+        assert decoded.status == 404
+
+    def test_decode_malformed_status_line(self):
+        with pytest.raises(ProtocolError):
+            decode_response("FTP/1.0 200 OK\r\n\r\n")
+
+    def test_no_header_means_none(self):
+        assert HttpResponse(url="http://x/a").expiration_age is None

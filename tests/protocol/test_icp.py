@@ -1,0 +1,143 @@
+"""Unit tests for ICP v2 message construction and wire round-trips."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.protocol.icp import (
+    ICP_VERSION,
+    ICPMessage,
+    ICPOpcode,
+    decode,
+    encode,
+    pack_cache_address,
+    query,
+    reply,
+    unpack_cache_address,
+)
+
+URL = "http://origin.example.com/docs/page.html"
+
+
+class TestMessageConstruction:
+    def test_query_builder(self):
+        message = query(42, URL, pack_cache_address(1))
+        assert message.opcode is ICPOpcode.QUERY
+        assert message.request_number == 42
+        assert message.url == URL
+        assert message.requester == pack_cache_address(1)
+
+    def test_reply_hit(self):
+        q = query(7, URL, pack_cache_address(0))
+        r = reply(q, hit=True, sender=pack_cache_address(2))
+        assert r.opcode is ICPOpcode.HIT
+        assert r.request_number == 7
+        assert r.is_reply and r.is_positive
+
+    def test_reply_miss(self):
+        q = query(7, URL, pack_cache_address(0))
+        r = reply(q, hit=False, sender=pack_cache_address(2))
+        assert r.opcode is ICPOpcode.MISS
+        assert r.is_reply and not r.is_positive
+
+    def test_reply_to_non_query_rejected(self):
+        q = query(7, URL, pack_cache_address(0))
+        hit = reply(q, hit=True, sender=pack_cache_address(2))
+        with pytest.raises(ProtocolError):
+            reply(hit, hit=True, sender=pack_cache_address(1))
+
+    def test_bad_address_length(self):
+        with pytest.raises(ProtocolError):
+            ICPMessage(opcode=ICPOpcode.QUERY, request_number=1, url=URL, sender=b"\x00")
+
+    def test_request_number_range(self):
+        with pytest.raises(ProtocolError):
+            ICPMessage(opcode=ICPOpcode.HIT, request_number=-1, url=URL)
+        with pytest.raises(ProtocolError):
+            ICPMessage(opcode=ICPOpcode.HIT, request_number=2**32, url=URL)
+
+    def test_query_is_not_reply(self):
+        assert not query(1, URL, pack_cache_address(0)).is_reply
+
+
+class TestWireFormat:
+    def test_query_roundtrip(self):
+        original = query(99, URL, pack_cache_address(3), requester=pack_cache_address(5))
+        decoded = decode(encode(original))
+        assert decoded == original
+
+    def test_reply_roundtrip(self):
+        original = reply(query(7, URL, pack_cache_address(1)), True, pack_cache_address(2))
+        decoded = decode(encode(original))
+        assert decoded == original
+
+    def test_wire_length_matches_encoding(self):
+        message = query(1, URL, pack_cache_address(0))
+        assert message.wire_length == len(encode(message))
+
+    def test_reply_wire_length(self):
+        message = reply(query(1, URL, pack_cache_address(0)), False, pack_cache_address(1))
+        assert message.wire_length == len(encode(message))
+        # Replies lack the 4-byte requester field queries carry.
+        assert message.wire_length == query(1, URL, pack_cache_address(0)).wire_length - 4
+
+    def test_header_fields_on_wire(self):
+        data = encode(query(0x01020304, URL, pack_cache_address(9)))
+        assert data[0] == ICPOpcode.QUERY
+        assert data[1] == ICP_VERSION
+        assert int.from_bytes(data[2:4], "big") == len(data)
+        assert int.from_bytes(data[4:8], "big") == 0x01020304
+
+    def test_unicode_url_roundtrip(self):
+        message = query(1, "http://example.com/π/δoc", pack_cache_address(0))
+        assert decode(encode(message)).url == "http://example.com/π/δoc"
+
+
+class TestDecodeErrors:
+    def test_truncated_header(self):
+        with pytest.raises(ProtocolError, match="truncated"):
+            decode(b"\x01\x02")
+
+    def test_bad_version(self):
+        data = bytearray(encode(query(1, URL, pack_cache_address(0))))
+        data[1] = 9
+        with pytest.raises(ProtocolError, match="version"):
+            decode(bytes(data))
+
+    def test_unknown_opcode(self):
+        data = bytearray(encode(query(1, URL, pack_cache_address(0))))
+        data[0] = 200
+        with pytest.raises(ProtocolError, match="opcode"):
+            decode(bytes(data))
+
+    def test_length_mismatch(self):
+        data = encode(query(1, URL, pack_cache_address(0))) + b"extra"
+        with pytest.raises(ProtocolError, match="length"):
+            decode(data)
+
+    def test_missing_nul_terminator(self):
+        data = bytearray(encode(reply(query(1, URL, pack_cache_address(0)), True, pack_cache_address(1))))
+        data[-1] = ord("x")
+        with pytest.raises(ProtocolError, match="NUL"):
+            decode(bytes(data))
+
+    def test_oversized_url_rejected_at_encode(self):
+        with pytest.raises(ProtocolError, match="too large"):
+            encode(query(1, "http://e.com/" + "a" * 70000, pack_cache_address(0)))
+
+
+class TestCacheAddress:
+    def test_roundtrip(self):
+        for index in (0, 1, 255, 2**32 - 1):
+            assert unpack_cache_address(pack_cache_address(index)) == index
+
+    def test_out_of_range(self):
+        with pytest.raises(ProtocolError):
+            pack_cache_address(-1)
+        with pytest.raises(ProtocolError):
+            pack_cache_address(2**32)
+
+    def test_unpack_requires_four_bytes(self):
+        with pytest.raises(ProtocolError):
+            unpack_cache_address(b"\x00\x01")

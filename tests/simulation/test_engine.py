@@ -1,0 +1,119 @@
+"""Unit tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.engine import EventScheduler
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(3.0, lambda: fired.append("c"))
+        sched.schedule(1.0, lambda: fired.append("a"))
+        sched.schedule(2.0, lambda: fired.append("b"))
+        sched.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sched = EventScheduler()
+        fired = []
+        for tag in ("first", "second", "third"):
+            sched.schedule(1.0, lambda t=tag: fired.append(t))
+        sched.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_now_advances_to_fired_event(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        assert sched.now == 5.0
+
+    def test_cannot_schedule_in_past(self):
+        sched = EventScheduler()
+        sched.schedule(5.0, lambda: None)
+        sched.run()
+        with pytest.raises(SimulationError, match="before current time"):
+            sched.schedule(1.0, lambda: None)
+
+    def test_schedule_after(self):
+        sched = EventScheduler(start_time=10.0)
+        handle = sched.schedule_after(2.5, lambda: None)
+        assert handle.time == 12.5
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            EventScheduler().schedule_after(-1.0, lambda: None)
+
+    def test_events_can_schedule_events(self):
+        sched = EventScheduler()
+        fired = []
+
+        def chain():
+            fired.append("outer")
+            sched.schedule_after(1.0, lambda: fired.append("inner"))
+
+        sched.schedule(1.0, chain)
+        sched.run()
+        assert fired == ["outer", "inner"]
+        assert sched.now == 2.0
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sched = EventScheduler()
+        fired = []
+        handle = sched.schedule(1.0, lambda: fired.append("x"))
+        sched.cancel(handle)
+        sched.run()
+        assert fired == []
+        assert handle.cancelled
+
+    def test_pending_excludes_cancelled(self):
+        sched = EventScheduler()
+        keep = sched.schedule(1.0, lambda: None)
+        drop = sched.schedule(2.0, lambda: None)
+        sched.cancel(drop)
+        assert sched.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        sched = EventScheduler()
+        handle = sched.schedule(1.0, lambda: None)
+        sched.run()
+        sched.cancel(handle)  # must not raise
+
+
+class TestRunControl:
+    def test_step_returns_false_when_empty(self):
+        assert not EventScheduler().step()
+
+    def test_run_returns_fired_count(self):
+        sched = EventScheduler()
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule(t, lambda: None)
+        assert sched.run() == 3
+        assert sched.processed == 3
+
+    def test_run_max_events(self):
+        sched = EventScheduler()
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule(t, lambda: None)
+        assert sched.run(max_events=2) == 2
+        assert sched.pending == 1
+
+    def test_run_until_deadline(self):
+        sched = EventScheduler()
+        fired = []
+        for t in (1.0, 2.0, 3.0):
+            sched.schedule(t, lambda t=t: fired.append(t))
+        assert sched.run_until(2.0) == 2
+        assert fired == [1.0, 2.0]
+        assert sched.now == 2.0
+
+    def test_run_until_advances_time_past_queue(self):
+        sched = EventScheduler()
+        sched.run_until(9.0)
+        assert sched.now == 9.0

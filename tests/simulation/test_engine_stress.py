@@ -1,0 +1,67 @@
+"""Engine stress and interaction tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.simulation.engine import EventScheduler
+
+
+class TestEngineStress:
+    def test_ten_thousand_random_events_fire_in_order(self):
+        rng = random.Random(17)
+        sched = EventScheduler()
+        fired = []
+        times = [rng.uniform(0.0, 1000.0) for _ in range(10_000)]
+        for t in times:
+            sched.schedule(t, lambda t=t: fired.append(t))
+        assert sched.run() == 10_000
+        assert fired == sorted(times)
+
+    def test_interleaved_schedule_and_step(self):
+        sched = EventScheduler()
+        fired = []
+        sched.schedule(1.0, lambda: fired.append(1))
+        sched.step()
+        sched.schedule(2.0, lambda: fired.append(2))
+        sched.schedule(1.5, lambda: fired.append(1.5))
+        sched.run()
+        assert fired == [1, 1.5, 2]
+
+    def test_cascading_event_chain(self):
+        sched = EventScheduler()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 500:
+                sched.schedule_after(1.0, tick)
+
+        sched.schedule(0.0, tick)
+        sched.run()
+        assert count[0] == 500
+        assert sched.now == 499.0
+
+    def test_mass_cancellation(self):
+        sched = EventScheduler()
+        fired = []
+        handles = [
+            sched.schedule(float(i), lambda i=i: fired.append(i)) for i in range(1000)
+        ]
+        for handle in handles[::2]:
+            sched.cancel(handle)
+        sched.run()
+        assert fired == list(range(1, 1000, 2))
+        assert sched.processed == 500
+
+    def test_run_until_interleaves_with_run(self):
+        sched = EventScheduler()
+        fired = []
+        for t in range(10):
+            sched.schedule(float(t), lambda t=t: fired.append(t))
+        sched.run_until(4.0)
+        assert fired == [0, 1, 2, 3, 4]
+        sched.run()
+        assert fired == list(range(10))

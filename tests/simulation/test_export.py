@@ -1,0 +1,95 @@
+"""Unit tests for outcome export (CSV / JSONL)."""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+
+import pytest
+
+from repro.core.outcomes import RequestOutcome
+from repro.network.latency import ServiceKind
+from repro.simulation.export import (
+    CSV_FIELDS,
+    read_outcomes_csv,
+    write_outcomes_csv,
+    write_outcomes_jsonl,
+)
+
+
+def outcomes():
+    return [
+        RequestOutcome(
+            timestamp=1.0, requester=0, url="http://a", size=100,
+            kind=ServiceKind.MISS, latency=2.784,
+        ),
+        RequestOutcome(
+            timestamp=2.0, requester=1, url="http://a", size=100,
+            kind=ServiceKind.REMOTE_HIT, responder=0, latency=0.342,
+            stored_at_requester=True, requester_age=math.inf, responder_age=5.0,
+        ),
+    ]
+
+
+class TestCSV:
+    def test_header_and_rows(self):
+        sink = io.StringIO()
+        assert write_outcomes_csv(outcomes(), sink) == 2
+        lines = sink.getvalue().strip().splitlines()
+        assert lines[0].split(",") == list(CSV_FIELDS)
+        assert len(lines) == 3
+
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "outcomes.csv"
+        write_outcomes_csv(outcomes(), path)
+        rows = list(read_outcomes_csv(path))
+        assert len(rows) == 2
+        assert rows[0]["kind"] == "miss"
+        assert rows[1]["kind"] == "remote_hit"
+        assert rows[1]["requester"] == 1
+        assert rows[1]["latency"] == pytest.approx(0.342)
+        assert rows[1]["requester_age"] == "inf"
+
+    def test_none_responder_blank(self):
+        sink = io.StringIO()
+        write_outcomes_csv(outcomes()[:1], sink)
+        data_line = sink.getvalue().strip().splitlines()[1]
+        fields = data_line.split(",")
+        assert fields[CSV_FIELDS.index("responder")] == ""
+
+
+class TestJSONL:
+    def test_one_object_per_line(self):
+        sink = io.StringIO()
+        assert write_outcomes_jsonl(outcomes(), sink) == 2
+        lines = sink.getvalue().strip().splitlines()
+        payloads = [json.loads(line) for line in lines]
+        assert payloads[0]["kind"] == "miss"
+        assert payloads[1]["responder"] == 0
+        assert payloads[1]["requester_age"] == "inf"
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "outcomes.jsonl"
+        write_outcomes_jsonl(outcomes(), path)
+        assert path.read_text().count("\n") == 2
+
+
+class TestSimulatorIntegration:
+    def test_export_simulator_outcomes(self, tmp_path):
+        from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+        from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+        trace = generate_trace(
+            SyntheticTraceConfig(num_requests=300, num_documents=50, num_clients=4, seed=2)
+        )
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, keep_outcomes=True)
+        )
+        sim.run(trace)
+        path = tmp_path / "run.csv"
+        count = write_outcomes_csv(sim.outcomes, path)
+        assert count == 300
+        rows = list(read_outcomes_csv(path))
+        kinds = {row["kind"] for row in rows}
+        assert kinds <= {"local_hit", "remote_hit", "miss"}

@@ -1,0 +1,97 @@
+"""Unit tests for the streaming latency histogram."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.latencystats import LatencyHistogram
+
+
+class TestConstruction:
+    def test_invalid_bounds(self):
+        with pytest.raises(SimulationError):
+            LatencyHistogram(min_latency=0.0)
+        with pytest.raises(SimulationError):
+            LatencyHistogram(min_latency=1.0, max_latency=0.5)
+
+    def test_invalid_resolution(self):
+        with pytest.raises(SimulationError):
+            LatencyHistogram(buckets_per_decade=0)
+
+
+class TestObservation:
+    def test_count_and_mean_exact(self):
+        histogram = LatencyHistogram()
+        for value in (0.1, 0.2, 0.3):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.mean == pytest.approx(0.2)
+
+    def test_negative_rejected(self):
+        with pytest.raises(SimulationError):
+            LatencyHistogram().observe(-0.1)
+
+    def test_empty_percentile_zero(self):
+        assert LatencyHistogram().percentile(50.0) == 0.0
+
+
+class TestPercentiles:
+    def test_percentile_bounds_validated(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.1)
+        with pytest.raises(SimulationError):
+            histogram.percentile(0.0)
+        with pytest.raises(SimulationError):
+            histogram.percentile(101.0)
+
+    def test_single_value_all_percentiles_cover_it(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.146)
+        for p in (1.0, 50.0, 99.0, 100.0):
+            # Bucket upper edge >= the value, within bucket resolution.
+            assert histogram.percentile(p) >= 0.146 * 0.89
+
+    def test_bimodal_distribution(self):
+        # The paper's reality: 80% hits at 146ms, 20% misses at 2784ms.
+        histogram = LatencyHistogram()
+        for _ in range(800):
+            histogram.observe(0.146)
+        for _ in range(200):
+            histogram.observe(2.784)
+        assert histogram.percentile(50.0) == pytest.approx(0.146, rel=0.15)
+        assert histogram.percentile(90.0) == pytest.approx(2.784, rel=0.15)
+        assert histogram.percentile(99.0) == pytest.approx(2.784, rel=0.15)
+
+    def test_relative_error_bounded(self):
+        rng = random.Random(5)
+        histogram = LatencyHistogram(buckets_per_decade=20)
+        samples = sorted(rng.uniform(0.01, 10.0) for _ in range(5000))
+        for sample in samples:
+            histogram.observe(sample)
+        for p in (50.0, 90.0, 99.0):
+            exact = samples[int(p / 100.0 * len(samples)) - 1]
+            approx = histogram.percentile(p)
+            assert approx == pytest.approx(exact, rel=0.2)
+
+    def test_overflow_bucket_uses_max_seen(self):
+        histogram = LatencyHistogram(max_latency=1.0)
+        histogram.observe(50.0)
+        assert histogram.percentile(100.0) == 50.0
+
+    def test_underflow_bucket(self):
+        histogram = LatencyHistogram(min_latency=0.01)
+        histogram.observe(0.0001)
+        assert histogram.percentile(100.0) <= 0.02
+
+
+class TestSummary:
+    def test_format(self):
+        histogram = LatencyHistogram()
+        histogram.observe(0.146)
+        text = histogram.summary()
+        assert "n=1" in text
+        assert "mean=146ms" in text
+        assert "p99=" in text

@@ -1,0 +1,72 @@
+"""Focused tests for SimulationResult serialisation invariants."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    trace = generate_trace(
+        SyntheticTraceConfig(num_requests=800, num_documents=120, num_clients=6, seed=64)
+    )
+    return run_simulation(SimulationConfig(aggregate_capacity=1 << 17, seed=64), trace)
+
+
+class TestToDict:
+    def test_json_round_trip_lossless_for_primitives(self, result):
+        payload = json.loads(result.to_json())
+        assert payload["metrics"]["requests"] == result.metrics.requests
+        assert payload["metrics"]["hit_rate"] == pytest.approx(result.metrics.hit_rate)
+        assert payload["unique_documents"] == result.unique_documents
+        assert payload["replication_factor"] == pytest.approx(result.replication_factor)
+
+    def test_config_echo_complete(self, result):
+        payload = result.to_dict()["config"]
+        for key in (
+            "scheme", "num_caches", "aggregate_capacity", "policy",
+            "architecture", "tie_break", "window_mode", "seed",
+            "warmup_requests", "icp_loss_rate",
+        ):
+            assert key in payload, f"config echo missing {key}"
+
+    def test_cache_stats_one_block_per_cache(self, result):
+        payload = result.to_dict()
+        assert len(payload["cache_stats"]) == payload["config"]["num_caches"]
+        for block in payload["cache_stats"]:
+            assert block["lookups"] == block["local_hits"] + block["local_misses"]
+
+    def test_rates_embedded_and_consistent(self, result):
+        metrics = result.to_dict()["metrics"]
+        assert metrics["local_hit_rate"] + metrics["remote_hit_rate"] + metrics[
+            "miss_rate"
+        ] == pytest.approx(1.0)
+        assert metrics["hit_rate"] == pytest.approx(
+            metrics["local_hit_rate"] + metrics["remote_hit_rate"]
+        )
+
+    def test_message_counters_serialised(self, result):
+        counters = result.to_dict()["message_counters"]
+        assert counters["icp_queries"] == counters["icp_replies"]
+        assert counters["http_requests"] == counters["http_responses"]
+
+    def test_expiration_ages_jsonable(self, result):
+        payload = json.loads(result.to_json())
+        for age in payload["expiration_ages"]:
+            assert age == "inf" or isinstance(age, (int, float))
+
+
+class TestSummary:
+    def test_summary_single_line(self, result):
+        assert "\n" not in result.summary()
+
+    def test_summary_contains_key_numbers(self, result):
+        text = result.summary()
+        assert f"requests={result.metrics.requests}" in text
+        assert "replication=" in text

@@ -1,0 +1,182 @@
+"""Tests for SimulationConfig validation and the trace-driven simulator."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.simulator import (
+    CooperativeSimulator,
+    SimulationConfig,
+    run_simulation,
+)
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=3000, num_documents=400, num_clients=16,
+            zero_size_fraction=0.05, seed=77,
+        )
+    )
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"architecture": "mesh"},
+            {"partitioner": "by-coinflip"},
+            {"responder_strategy": "fastest"},
+            {"latency": "quantum"},
+            {"window_mode": "forever"},
+            {"num_caches": 0},
+            {"aggregate_capacity": 0},
+            {"architecture": "hierarchical", "num_parents": 0},
+        ],
+    )
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(SimulationError):
+            SimulationConfig(**kwargs)
+
+    def test_with_scheme(self):
+        config = SimulationConfig(scheme="adhoc")
+        assert config.with_scheme("ea").scheme == "ea"
+        assert config.scheme == "adhoc"
+
+    def test_with_capacity(self):
+        assert SimulationConfig().with_capacity(123).aggregate_capacity == 123
+
+    def test_to_dict_roundtrips_fields(self):
+        d = SimulationConfig(scheme="ea", num_caches=8).to_dict()
+        assert d["scheme"] == "ea"
+        assert d["num_caches"] == 8
+
+
+class TestSimulatorRun:
+    def test_all_requests_accounted(self, trace):
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18, seed=3), trace)
+        m = result.metrics
+        assert m.requests == len(trace)
+        assert m.local_hits + m.remote_hits + m.misses == m.requests
+
+    def test_deterministic(self, trace):
+        config = SimulationConfig(aggregate_capacity=1 << 18, seed=3)
+        a = run_simulation(config, trace)
+        b = run_simulation(config, trace)
+        assert a.to_dict() == b.to_dict()
+
+    def test_engine_replay_equals_loop_replay(self, trace):
+        loop = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        engine = run_simulation(
+            SimulationConfig(aggregate_capacity=1 << 18, use_engine=True), trace
+        )
+        assert loop.to_dict()["metrics"] == engine.to_dict()["metrics"]
+
+    def test_zero_sizes_patched(self, trace):
+        # The fixture trace contains zero-size records; the simulator must
+        # patch them rather than crash.
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        assert result.metrics.bytes_requested > 0
+
+    def test_keep_outcomes(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, keep_outcomes=True)
+        )
+        sim.run(trace)
+        assert len(sim.outcomes) == len(trace)
+
+    def test_outcomes_not_kept_by_default(self, trace):
+        sim = CooperativeSimulator(SimulationConfig(aggregate_capacity=1 << 18))
+        sim.run(trace)
+        assert sim.outcomes == []
+
+    def test_hierarchical_architecture_runs(self, trace):
+        config = SimulationConfig(
+            architecture="hierarchical", num_caches=4, num_parents=1,
+            aggregate_capacity=1 << 18,
+        )
+        result = run_simulation(config, trace)
+        assert result.metrics.requests == len(trace)
+        # 4 leaves + 1 parent.
+        assert len(result.cache_stats) == 5
+
+    def test_hierarchical_clients_only_at_leaves(self, trace):
+        config = SimulationConfig(
+            architecture="hierarchical", num_caches=4, num_parents=1,
+            aggregate_capacity=1 << 18,
+        )
+        sim = CooperativeSimulator(config)
+        sim.run(trace)
+        parent = sim.group.caches[0]
+        assert parent.stats.lookups == 0  # no client requests at the parent
+
+    def test_partitioner_spreads_requests(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, num_caches=4)
+        )
+        sim.run(trace)
+        lookups = [c.stats.lookups for c in sim.group.caches]
+        assert sum(lookups) == len(trace)
+        assert all(count > 0 for count in lookups)
+
+    def test_stochastic_latency_model(self, trace):
+        result = run_simulation(
+            SimulationConfig(aggregate_capacity=1 << 18, latency="stochastic"), trace
+        )
+        assert result.metrics.mean_measured_latency > 0
+
+    def test_component_latency_model(self, trace):
+        result = run_simulation(
+            SimulationConfig(aggregate_capacity=1 << 18, latency="component"), trace
+        )
+        assert result.metrics.mean_measured_latency > 0
+
+
+class TestResultContents:
+    def test_result_summary_renders(self, trace):
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        text = result.summary()
+        assert "hit_rate=" in text
+        assert "scheme=" in text
+
+    def test_result_json_serialisable(self, trace):
+        import json
+
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 30), trace)
+        payload = json.loads(result.to_json())
+        # Huge cache: no evictions -> infinite age encoded as "inf".
+        assert payload["avg_cache_expiration_age"] == "inf"
+        assert payload["metrics"]["requests"] == len(trace)
+
+    def test_replication_fields_consistent(self, trace):
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        assert result.total_copies >= result.unique_documents
+        if result.unique_documents:
+            assert result.replication_factor == pytest.approx(
+                result.total_copies / result.unique_documents
+            )
+
+    def test_message_counters_nonzero(self, trace):
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        assert result.message_counters.icp_queries > 0
+        assert result.message_counters.http_responses > 0
+
+
+class TestEmptyAndTinyTraces:
+    def test_empty_trace(self):
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), Trace([]))
+        assert result.metrics.requests == 0
+        assert result.estimated_latency == 0.0
+
+    def test_single_record(self):
+        trace = Trace(
+            [TraceRecord(timestamp=0.0, client_id="c", url="http://x/a", size=100)]
+        )
+        result = run_simulation(SimulationConfig(aggregate_capacity=1 << 18), trace)
+        assert result.metrics.misses == 1

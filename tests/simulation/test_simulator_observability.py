@@ -1,0 +1,105 @@
+"""Tests for the simulator's warm-up exclusion and observability hooks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=2000, num_documents=250, num_clients=8,
+            mean_interarrival=2.0, seed=55,
+        )
+    )
+
+
+class TestWarmupExclusion:
+    def test_metrics_skip_warmup_requests(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, warmup_requests=500)
+        )
+        result = sim.run(trace)
+        assert result.metrics.requests == len(trace) - 500
+
+    def test_warmup_improves_measured_hit_rate(self, trace):
+        cold = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 20)
+        ).run(trace)
+        warm = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 20, warmup_requests=800)
+        ).run(trace)
+        # Steady-state measurement excludes the cold-cache compulsory-miss
+        # burst, so the measured hit rate rises.
+        assert warm.metrics.hit_rate > cold.metrics.hit_rate
+
+    def test_warmup_larger_than_trace_measures_nothing(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, warmup_requests=10**6)
+        )
+        result = sim.run(trace)
+        assert result.metrics.requests == 0
+
+    def test_outcome_log_unaffected_by_warmup(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(
+                aggregate_capacity=1 << 18, warmup_requests=500, keep_outcomes=True
+            )
+        )
+        sim.run(trace)
+        assert len(sim.outcomes) == len(trace)
+
+    def test_negative_warmup_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(warmup_requests=-1)
+
+
+class TestHistogramHook:
+    def test_disabled_by_default(self, trace):
+        sim = CooperativeSimulator(SimulationConfig(aggregate_capacity=1 << 18))
+        sim.run(trace)
+        assert sim.histogram is None
+
+    def test_collects_every_measured_request(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, collect_histogram=True)
+        )
+        sim.run(trace)
+        assert sim.histogram is not None
+        assert sim.histogram.count == len(trace)
+        assert sim.histogram.mean == pytest.approx(sim.metrics.mean_measured_latency)
+
+    def test_percentiles_sane(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(aggregate_capacity=1 << 18, collect_histogram=True)
+        )
+        sim.run(trace)
+        assert sim.histogram.percentile(99.0) >= sim.histogram.percentile(50.0)
+
+
+class TestTimeseriesHook:
+    def test_disabled_by_default(self, trace):
+        sim = CooperativeSimulator(SimulationConfig(aggregate_capacity=1 << 18))
+        sim.run(trace)
+        assert sim.timeseries is None
+
+    def test_windows_cover_trace(self, trace):
+        sim = CooperativeSimulator(
+            SimulationConfig(
+                aggregate_capacity=1 << 18,
+                timeseries_window=trace.duration / 10,
+            )
+        )
+        sim.run(trace)
+        assert sim.timeseries is not None
+        total = sum(w.metrics.requests for w in sim.timeseries.windows)
+        assert total == len(trace)
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(SimulationError):
+            SimulationConfig(timeseries_window=-1.0)

@@ -1,0 +1,91 @@
+"""Unit tests for the time-series metrics collector."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.outcomes import RequestOutcome
+from repro.errors import SimulationError
+from repro.network.latency import ServiceKind
+from repro.simulation.timeseries import TimeSeriesCollector
+
+
+def outcome(ts: float, kind: ServiceKind, latency: float = 0.1) -> RequestOutcome:
+    return RequestOutcome(
+        timestamp=ts, requester=0, url="http://x", size=10, kind=kind, latency=latency
+    )
+
+
+class TestBucketing:
+    def test_requires_positive_window(self):
+        with pytest.raises(SimulationError):
+            TimeSeriesCollector(0.0)
+
+    def test_single_window(self):
+        collector = TimeSeriesCollector(10.0)
+        collector.observe(outcome(0.0, ServiceKind.LOCAL_HIT))
+        collector.observe(outcome(5.0, ServiceKind.MISS))
+        assert len(collector.windows) == 1
+        assert collector.hit_rate_series() == [0.5]
+
+    def test_windows_aligned_to_first_outcome(self):
+        collector = TimeSeriesCollector(10.0)
+        collector.observe(outcome(100.0, ServiceKind.MISS))
+        collector.observe(outcome(109.9, ServiceKind.MISS))
+        collector.observe(outcome(110.0, ServiceKind.LOCAL_HIT))
+        assert len(collector.windows) == 2
+        assert collector.windows[0].start == 100.0
+        assert collector.windows[1].start == 110.0
+
+    def test_empty_intermediate_windows(self):
+        collector = TimeSeriesCollector(1.0)
+        collector.observe(outcome(0.0, ServiceKind.MISS))
+        collector.observe(outcome(3.5, ServiceKind.LOCAL_HIT))
+        assert len(collector.windows) == 4
+        assert collector.hit_rate_series() == [0.0, 0.0, 0.0, 1.0]
+
+    def test_out_of_order_rejected(self):
+        collector = TimeSeriesCollector(1.0)
+        collector.observe(outcome(10.0, ServiceKind.MISS))
+        with pytest.raises(SimulationError):
+            collector.observe(outcome(5.0, ServiceKind.MISS))
+
+
+class TestSeries:
+    def _warming(self):
+        collector = TimeSeriesCollector(10.0)
+        # Window 0: all misses; window 1: half; window 2: all hits.
+        for t in (0.0, 1.0):
+            collector.observe(outcome(t, ServiceKind.MISS))
+        collector.observe(outcome(10.0, ServiceKind.MISS))
+        collector.observe(outcome(11.0, ServiceKind.LOCAL_HIT))
+        for t in (20.0, 21.0):
+            collector.observe(outcome(t, ServiceKind.LOCAL_HIT))
+        return collector
+
+    def test_hit_rate_series(self):
+        assert self._warming().hit_rate_series() == [0.0, 0.5, 1.0]
+
+    def test_latency_series_length(self):
+        assert len(self._warming().latency_series()) == 3
+
+    def test_warmup_windows(self):
+        collector = self._warming()
+        assert collector.warmup_windows(fraction=0.5) == 2
+        assert collector.warmup_windows(fraction=1.0) == 3
+
+    def test_warmup_empty(self):
+        assert TimeSeriesCollector(1.0).warmup_windows() == 0
+
+    def test_warmup_fraction_validated(self):
+        with pytest.raises(SimulationError):
+            self._warming().warmup_windows(fraction=0.0)
+
+    def test_sparkline(self):
+        spark = self._warming().sparkline()
+        assert len(spark) == 3
+        assert spark[0] == "▁"
+        assert spark[-1] == "█"
+
+    def test_sparkline_empty(self):
+        assert TimeSeriesCollector(1.0).sparkline() == ""

@@ -1,0 +1,40 @@
+"""Smoke tests: every example script must run to completion."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3, "deliverable requires at least three examples"
+    assert EXAMPLES_DIR / "quickstart.py" in EXAMPLES
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.name)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip(), f"{script.name} produced no output"
+
+
+def test_quickstart_output_mentions_both_schemes():
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert "adhoc" in completed.stdout
+    assert "ea" in completed.stdout

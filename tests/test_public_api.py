@@ -1,0 +1,70 @@
+"""Public-API sanity: exports resolve, __all__ lists are accurate."""
+
+from __future__ import annotations
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.analysis",
+    "repro.architecture",
+    "repro.cache",
+    "repro.coherence",
+    "repro.core",
+    "repro.digest",
+    "repro.experiments",
+    "repro.network",
+    "repro.prefetch",
+    "repro.protocol",
+    "repro.simulation",
+    "repro.trace",
+]
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_exports_resolve(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__"), f"{name} lacks __all__"
+    for symbol in module.__all__:
+        assert hasattr(module, symbol), f"{name}.{symbol} in __all__ but missing"
+
+
+@pytest.mark.parametrize("name", PACKAGES)
+def test_all_sorted_for_readability(name):
+    module = importlib.import_module(name)
+    exported = list(module.__all__)
+    assert exported == sorted(exported), f"{name}.__all__ is not sorted"
+
+
+def test_version_exposed():
+    import repro
+
+    assert repro.__version__ == "1.0.0"
+
+
+def test_top_level_quickstart_symbols():
+    import repro
+
+    assert callable(repro.run_simulation)
+    assert callable(repro.SimulationConfig)
+    assert callable(repro.EAScheme)
+
+
+def test_error_hierarchy_rooted():
+    import repro
+    from repro.errors import ReproError
+
+    for name in (
+        "CacheConfigurationError",
+        "ExperimentError",
+        "NetworkError",
+        "ProtocolError",
+        "SimulationError",
+        "TraceError",
+        "TraceFormatError",
+    ):
+        assert issubclass(getattr(repro, name, None) or getattr(
+            importlib.import_module("repro.errors"), name
+        ), ReproError)

@@ -1,0 +1,110 @@
+"""Tests for trace anonymisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.anonymize import TraceAnonymizer, anonymize_trace
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.stats import compute_stats
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+
+def rec(ts, client="alice", url="http://cs.bu.edu/index.html", size=100, session="s1"):
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size,
+                       session_id=session)
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_trace(
+        SyntheticTraceConfig(num_requests=2000, num_documents=300, num_clients=10, seed=44)
+    )
+
+
+class TestTokenisation:
+    def test_salt_required(self):
+        with pytest.raises(TraceError):
+            TraceAnonymizer("")
+
+    def test_identity_structure_preserved(self):
+        anon = TraceAnonymizer("k")
+        a1 = anon.anonymize_record(rec(1.0))
+        a2 = anon.anonymize_record(rec(2.0))
+        different = anon.anonymize_record(rec(3.0, url="http://other/doc"))
+        assert a1.url == a2.url
+        assert a1.url != different.url
+        assert a1.client_id == a2.client_id
+
+    def test_original_strings_absent(self):
+        anon = TraceAnonymizer("k")
+        record = anon.anonymize_record(rec(1.0))
+        assert "cs.bu.edu" not in record.url
+        assert "alice" not in record.client_id
+        assert record.session_id != "s1"
+
+    def test_timing_and_size_untouched(self):
+        record = TraceAnonymizer("k").anonymize_record(rec(7.5, size=321))
+        assert record.timestamp == 7.5
+        assert record.size == 321
+
+    def test_same_salt_same_tokens(self):
+        a = TraceAnonymizer("k").anonymize_record(rec(1.0))
+        b = TraceAnonymizer("k").anonymize_record(rec(1.0))
+        assert a.url == b.url
+        assert a.client_id == b.client_id
+
+    def test_different_salt_unlinkable(self):
+        a = TraceAnonymizer("k1").anonymize_record(rec(1.0))
+        b = TraceAnonymizer("k2").anonymize_record(rec(1.0))
+        assert a.url != b.url
+
+    def test_origin_grouping_preserved_by_default(self):
+        anon = TraceAnonymizer("k")
+        a = anon.anonymize_record(rec(1.0, url="http://host/a"))
+        b = anon.anonymize_record(rec(2.0, url="http://host/b"))
+        host_a = a.url.split("://", 1)[1].split("/", 1)[0]
+        host_b = b.url.split("://", 1)[1].split("/", 1)[0]
+        assert host_a == host_b
+        assert a.url != b.url
+
+    def test_flat_mode(self):
+        anon = TraceAnonymizer("k", keep_origin_grouping=False)
+        record = anon.anonymize_record(rec(1.0))
+        assert record.url.startswith("anon://")
+
+    def test_empty_session_stays_empty(self):
+        record = TraceAnonymizer("k").anonymize_record(rec(1.0, session=""))
+        assert record.session_id == ""
+
+
+class TestWorkloadEquivalence:
+    def test_characterisation_invariant(self, workload):
+        anonymised = anonymize_trace(workload, salt="secret")
+        original = compute_stats(workload)
+        scrubbed = compute_stats(anonymised)
+        assert scrubbed.num_requests == original.num_requests
+        assert scrubbed.num_unique_urls == original.num_unique_urls
+        assert scrubbed.num_clients == original.num_clients
+        assert scrubbed.total_bytes == original.total_bytes
+        assert scrubbed.max_hit_rate == pytest.approx(original.max_hit_rate)
+
+    def test_simulation_results_identical(self, workload):
+        """Cache behaviour depends only on identity equality."""
+        from repro.simulation.simulator import SimulationConfig, run_simulation
+
+        anonymised = anonymize_trace(workload, salt="secret")
+        config = SimulationConfig(aggregate_capacity=1 << 18, partitioner="round-robin-client")
+        original = run_simulation(config, workload)
+        scrubbed = run_simulation(config, anonymised)
+        assert scrubbed.metrics.hit_rate == pytest.approx(original.metrics.hit_rate)
+        assert scrubbed.metrics.misses == original.metrics.misses
+
+    def test_report_counts(self, workload):
+        anon = TraceAnonymizer("k")
+        anon.anonymize(workload)
+        report = anon.report()
+        assert report.records == len(workload)
+        assert report.unique_urls == workload.unique_urls
+        assert report.unique_clients == workload.unique_clients

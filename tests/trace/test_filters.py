@@ -1,0 +1,113 @@
+"""Unit tests for trace filters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.filters import (
+    apply_filters,
+    cacheable_only,
+    head,
+    max_size,
+    sample_clients,
+    time_range,
+)
+from repro.trace.record import Trace, TraceRecord
+
+
+def rec(ts=0.0, client="c0", url="http://e.com/a", size=100, **kw):
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size, **kw)
+
+
+@pytest.fixture
+def records():
+    return [
+        rec(ts=0.0, client="alice", url="http://a", size=100),
+        rec(ts=1.0, client="bob", url="http://b?q=1", size=100),       # query string
+        rec(ts=2.0, client="alice", url="http://c", size=90_000),      # big
+        rec(ts=3.0, client="carol", url="http://d", size=100, method="POST"),
+        rec(ts=4.0, client="bob", url="http://e", size=100),
+    ]
+
+
+class TestCacheableOnly:
+    def test_drops_uncacheable(self, records):
+        kept = list(cacheable_only(records))
+        assert [r.url for r in kept] == ["http://a", "http://c", "http://e"]
+
+
+class TestMaxSize:
+    def test_drops_oversized(self, records):
+        kept = list(max_size(1000)(records))
+        assert all(r.size <= 1000 for r in kept)
+        assert len(kept) == 4
+
+    def test_invalid_limit(self):
+        with pytest.raises(TraceError):
+            max_size(0)
+
+
+class TestTimeRange:
+    def test_both_bounds(self, records):
+        kept = list(time_range(1.0, 4.0)(records))
+        assert [r.timestamp for r in kept] == [1.0, 2.0, 3.0]
+
+    def test_open_start(self, records):
+        assert len(list(time_range(end=2.0)(records))) == 2
+
+    def test_open_end(self, records):
+        assert len(list(time_range(start=3.0)(records))) == 2
+
+    def test_invalid_range(self):
+        with pytest.raises(TraceError):
+            time_range(5.0, 5.0)
+
+
+class TestSampleClients:
+    def test_full_fraction_keeps_everything(self, records):
+        assert len(list(sample_clients(1.0)(records))) == len(records)
+
+    def test_deterministic(self, records):
+        a = [r.url for r in sample_clients(0.5)(records)]
+        b = [r.url for r in sample_clients(0.5)(records)]
+        assert a == b
+
+    def test_client_streams_kept_whole(self):
+        records = [rec(ts=float(i), client=f"c{i % 10}") for i in range(100)]
+        kept = list(sample_clients(0.5)(records))
+        kept_clients = {r.client_id for r in kept}
+        # Every kept client keeps all 10 of its requests.
+        for client in kept_clients:
+            assert sum(1 for r in kept if r.client_id == client) == 10
+
+    def test_fraction_roughly_respected(self):
+        records = [rec(ts=float(i), client=f"client{i}") for i in range(400)]
+        kept = list(sample_clients(0.25)(records))
+        assert 0.13 < len(kept) / 400 < 0.37
+
+    def test_invalid_fraction(self):
+        with pytest.raises(TraceError):
+            sample_clients(0.0)
+
+
+class TestHead:
+    def test_caps_count(self, records):
+        assert len(list(head(2)(records))) == 2
+
+    def test_zero(self, records):
+        assert list(head(0)(records)) == []
+
+    def test_negative_rejected(self):
+        with pytest.raises(TraceError):
+            head(-1)
+
+
+class TestApplyFilters:
+    def test_chains_in_order(self, records):
+        trace = apply_filters(records, cacheable_only, max_size(1000), head(1))
+        assert isinstance(trace, Trace)
+        assert [r.url for r in trace] == ["http://a"]
+
+    def test_no_filters_materialises(self, records):
+        assert len(apply_filters(records)) == len(records)

@@ -1,0 +1,112 @@
+"""Unit tests for trace composition helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.trace.merge import (
+    concatenate_traces,
+    merge_traces,
+    relabel_clients,
+    shift_timestamps,
+)
+from repro.trace.record import Trace, TraceRecord
+
+
+def rec(ts, client="c0", url="http://a", size=10):
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size)
+
+
+def trace(*timestamps, client="c0"):
+    return Trace([rec(t, client=client, url=f"http://{client}/{i}") for i, t in enumerate(timestamps)])
+
+
+class TestShiftTimestamps:
+    def test_shift(self):
+        shifted = shift_timestamps(trace(1.0, 2.0), 10.0)
+        assert [r.timestamp for r in shifted] == [11.0, 12.0]
+
+    def test_negative_shift(self):
+        shifted = shift_timestamps(trace(10.0, 20.0), -5.0)
+        assert shifted[0].timestamp == 5.0
+
+    def test_original_untouched(self):
+        original = trace(1.0)
+        shift_timestamps(original, 100.0)
+        assert original[0].timestamp == 1.0
+
+
+class TestRelabelClients:
+    def test_prefix_applied(self):
+        relabelled = relabel_clients(trace(1.0, client="user7"), "siteA")
+        assert relabelled[0].client_id == "siteA/user7"
+
+    def test_other_fields_preserved(self):
+        original = Trace([
+            TraceRecord(timestamp=1.0, client_id="u", url="http://x", size=5,
+                        session_id="s1", method="GET", status=304)
+        ])
+        relabelled = relabel_clients(original, "p")
+        record = relabelled[0]
+        assert record.session_id == "s1"
+        assert record.status == 304
+        assert record.size == 5
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(TraceError):
+            relabel_clients(trace(1.0), "")
+
+
+class TestMergeTraces:
+    def test_interleaves_by_time(self):
+        a = trace(1.0, 3.0, client="a")
+        b = trace(2.0, 4.0, client="b")
+        merged = merge_traces([a, b])
+        assert [r.timestamp for r in merged] == [1.0, 2.0, 3.0, 4.0]
+        assert [r.client_id for r in merged] == ["a", "b", "a", "b"]
+
+    def test_stable_for_equal_stamps(self):
+        a = trace(1.0, client="a")
+        b = trace(1.0, client="b")
+        merged = merge_traces([a, b])
+        assert [r.client_id for r in merged] == ["a", "b"]
+
+    def test_single_trace(self):
+        assert len(merge_traces([trace(1.0, 2.0)])) == 2
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(TraceError):
+            merge_traces([])
+
+    def test_merged_trace_valid_for_simulation(self):
+        from repro.simulation.simulator import SimulationConfig, run_simulation
+
+        a = relabel_clients(trace(1.0, 5.0, client="u"), "siteA")
+        b = relabel_clients(trace(2.0, 6.0, client="u"), "siteB")
+        result = run_simulation(
+            SimulationConfig(aggregate_capacity=10_000, num_caches=2),
+            merge_traces([a, b]),
+        )
+        assert result.metrics.requests == 4
+
+
+class TestConcatenateTraces:
+    def test_back_to_back_with_gap(self):
+        a = trace(0.0, 10.0)
+        b = trace(0.0, 5.0, client="b")
+        combined = concatenate_traces([a, b], gap_seconds=2.0)
+        assert [r.timestamp for r in combined] == [0.0, 10.0, 12.0, 17.0]
+
+    def test_empty_member_skipped(self):
+        combined = concatenate_traces([trace(1.0), Trace([]), trace(0.0, client="b")])
+        assert len(combined) == 2
+        assert combined[1].timestamp > combined[0].timestamp
+
+    def test_negative_gap_rejected(self):
+        with pytest.raises(TraceError):
+            concatenate_traces([trace(1.0)], gap_seconds=-1.0)
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(TraceError):
+            concatenate_traces([])

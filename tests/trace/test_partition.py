@@ -1,0 +1,89 @@
+"""Unit tests for client-to-proxy partitioners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.trace.partition import (
+    HashPartitioner,
+    RoundRobinClientPartitioner,
+    RoundRobinRequestPartitioner,
+    partition_counts,
+)
+from repro.trace.record import TraceRecord
+
+
+def rec(client: str, url: str = "http://e.com/a") -> TraceRecord:
+    return TraceRecord(timestamp=0.0, client_id=client, url=url, size=10)
+
+
+class TestHashPartitioner:
+    def test_rejects_non_positive(self):
+        with pytest.raises(SimulationError):
+            HashPartitioner(0)
+
+    def test_in_range(self):
+        part = HashPartitioner(4)
+        for i in range(100):
+            assert 0 <= part.assign(rec(f"client{i}")) < 4
+
+    def test_client_affinity(self):
+        part = HashPartitioner(4)
+        a = part.assign(rec("alice", url="http://e.com/1"))
+        b = part.assign(rec("alice", url="http://e.com/2"))
+        assert a == b
+
+    def test_stable_across_instances(self):
+        assert HashPartitioner(8).assign(rec("bob")) == HashPartitioner(8).assign(rec("bob"))
+
+    def test_spreads_clients(self):
+        part = HashPartitioner(4)
+        assignments = {part.assign(rec(f"c{i}")) for i in range(200)}
+        assert assignments == {0, 1, 2, 3}
+
+
+class TestRoundRobinClientPartitioner:
+    def test_first_seen_order(self):
+        part = RoundRobinClientPartitioner(3)
+        assert part.assign(rec("a")) == 0
+        assert part.assign(rec("b")) == 1
+        assert part.assign(rec("c")) == 2
+        assert part.assign(rec("d")) == 0
+
+    def test_affinity_preserved(self):
+        part = RoundRobinClientPartitioner(3)
+        part.assign(rec("a"))
+        part.assign(rec("b"))
+        assert part.assign(rec("a")) == 0
+
+    def test_most_even_split(self):
+        part = RoundRobinClientPartitioner(4)
+        records = [rec(f"c{i % 8}") for i in range(800)]
+        counts = partition_counts(part, records)
+        assert max(counts) - min(counts) == 0
+
+
+class TestRoundRobinRequestPartitioner:
+    def test_cycles_per_request(self):
+        part = RoundRobinRequestPartitioner(3)
+        got = [part.assign(rec("same-client")) for _ in range(6)]
+        assert got == [0, 1, 2, 0, 1, 2]
+
+    def test_breaks_affinity(self):
+        part = RoundRobinRequestPartitioner(2)
+        assert part.assign(rec("x")) != part.assign(rec("x"))
+
+
+class TestSplitAndCounts:
+    def test_split_preserves_order_and_pairs(self):
+        part = RoundRobinRequestPartitioner(2)
+        records = [rec("a", url=f"http://e.com/{i}") for i in range(4)]
+        pairs = list(part.split(records))
+        assert [p[0] for p in pairs] == [0, 1, 0, 1]
+        assert [p[1].url for p in pairs] == [r.url for r in records]
+
+    def test_partition_counts_sum(self):
+        part = HashPartitioner(4)
+        records = [rec(f"c{i}") for i in range(57)]
+        assert sum(partition_counts(part, records)) == 57

@@ -1,0 +1,145 @@
+"""Unit tests for repro.trace.readers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.readers import (
+    BUTraceReader,
+    CommonLogReader,
+    SquidLogReader,
+    read_trace,
+)
+
+BU_LINE_7F = "cs18 790358400.5 user3 s42 http://cs.bu.edu/index.html 2048 0.3"
+BU_LINE_6F = "cs18 790358401.0 user3 http://cs.bu.edu/pic.gif 512 0.1"
+SQUID_LINE = (
+    "790358402.123 250 10.0.0.7 TCP_MISS/200 5120 GET "
+    "http://example.com/doc.html - DIRECT/93.184.216.34 text/html"
+)
+CLF_LINE = '10.0.0.9 - alice [10/Oct/2000:13:55:36 -0700] "GET /apache_pb.gif HTTP/1.0" 200 2326'
+
+
+class TestBUTraceReader:
+    def test_seven_field_layout(self):
+        [record] = list(BUTraceReader([BU_LINE_7F]))
+        assert record.client_id == "cs18/user3"
+        assert record.session_id == "s42"
+        assert record.url == "http://cs.bu.edu/index.html"
+        assert record.size == 2048
+        assert record.timestamp == pytest.approx(790358400.5)
+
+    def test_six_field_layout(self):
+        [record] = list(BUTraceReader([BU_LINE_6F]))
+        assert record.session_id == ""
+        assert record.url == "http://cs.bu.edu/pic.gif"
+        assert record.size == 512
+
+    def test_comments_and_blanks_skipped(self):
+        lines = ["# header", "", BU_LINE_7F, "   "]
+        assert len(list(BUTraceReader(lines))) == 1
+
+    def test_strict_raises_on_short_line(self):
+        with pytest.raises(TraceFormatError, match="expected >= 6 fields"):
+            list(BUTraceReader(["too few fields"]))
+
+    def test_strict_raises_on_bad_timestamp(self):
+        bad = "cs18 not-a-time user3 s1 http://x 10 0.1"
+        with pytest.raises(TraceFormatError, match="timestamp"):
+            list(BUTraceReader([bad]))
+
+    def test_strict_raises_on_bad_size(self):
+        bad = "cs18 1.0 user3 s1 http://x big 0.1"
+        with pytest.raises(TraceFormatError, match="size"):
+            list(BUTraceReader([bad]))
+
+    def test_negative_size_rejected(self):
+        bad = "cs18 1.0 user3 s1 http://x -5 0.1"
+        with pytest.raises(TraceFormatError, match="negative"):
+            list(BUTraceReader([bad]))
+
+    def test_lenient_mode_skips_and_counts(self):
+        reader = BUTraceReader(["garbage", BU_LINE_7F, "also bad"], strict=False)
+        records = list(reader)
+        assert len(records) == 1
+        assert reader.skipped == 2
+
+    def test_read_sorts_by_timestamp(self):
+        late = "cs18 900.0 u s http://late 1 0"
+        early = "cs18 100.0 u s http://early 1 0"
+        trace = BUTraceReader([late, early]).read()
+        assert trace[0].url == "http://early"
+
+    def test_read_from_file(self, tmp_path):
+        path = tmp_path / "trace.log"
+        path.write_text(BU_LINE_7F + "\n" + BU_LINE_6F + "\n")
+        trace = BUTraceReader(path).read()
+        assert len(trace) == 2
+
+
+class TestSquidLogReader:
+    def test_parse(self):
+        [record] = list(SquidLogReader([SQUID_LINE]))
+        assert record.client_id == "10.0.0.7"
+        assert record.url == "http://example.com/doc.html"
+        assert record.size == 5120
+        assert record.status == 200
+        assert record.method == "GET"
+
+    def test_malformed_result_code(self):
+        bad = SQUID_LINE.replace("TCP_MISS/200", "TCPMISS200")
+        with pytest.raises(TraceFormatError, match="result-code"):
+            list(SquidLogReader([bad]))
+
+    def test_short_line(self):
+        with pytest.raises(TraceFormatError):
+            list(SquidLogReader(["1.0 2 3"]))
+
+
+class TestCommonLogReader:
+    def test_parse(self):
+        [record] = list(CommonLogReader([CLF_LINE]))
+        assert record.client_id == "10.0.0.9"
+        assert record.url == "/apache_pb.gif"
+        assert record.size == 2326
+        assert record.status == 200
+
+    def test_dash_size_becomes_zero(self):
+        line = CLF_LINE.replace(" 2326", " -")
+        [record] = list(CommonLogReader([line]))
+        assert record.size == 0
+
+    def test_timestamps_are_ordered_across_days(self):
+        day1 = CLF_LINE
+        day2 = CLF_LINE.replace("10/Oct/2000", "11/Oct/2000")
+        t1 = list(CommonLogReader([day1]))[0].timestamp
+        t2 = list(CommonLogReader([day2]))[0].timestamp
+        assert t2 - t1 == pytest.approx(86400.0)
+
+    def test_timestamps_ordered_across_months(self):
+        oct_line = CLF_LINE
+        nov_line = CLF_LINE.replace("10/Oct/2000", "10/Nov/2000")
+        t_oct = list(CommonLogReader([oct_line]))[0].timestamp
+        t_nov = list(CommonLogReader([nov_line]))[0].timestamp
+        assert t_nov > t_oct
+
+    def test_unmatched_line(self):
+        with pytest.raises(TraceFormatError, match="Common Log Format"):
+            list(CommonLogReader(["definitely not CLF"]))
+
+    def test_bad_month(self):
+        bad = CLF_LINE.replace("Oct", "Foo")
+        with pytest.raises(TraceFormatError, match="timestamp"):
+            list(CommonLogReader([bad]))
+
+
+class TestReadTrace:
+    def test_format_dispatch(self):
+        assert len(read_trace([BU_LINE_7F], fmt="bu")) == 1
+        assert len(read_trace([SQUID_LINE], fmt="squid")) == 1
+        assert len(read_trace([CLF_LINE], fmt="clf")) == 1
+
+    def test_unknown_format(self):
+        with pytest.raises(TraceFormatError, match="unknown trace format"):
+            read_trace([], fmt="nonsense")

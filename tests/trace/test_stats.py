@@ -1,0 +1,125 @@
+"""Unit tests for trace characterisation (repro.trace.stats)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace.record import Trace, TraceRecord
+from repro.trace.stats import (
+    compute_stats,
+    fit_zipf_alpha,
+    popularity_profile,
+    size_percentiles,
+    working_set_curve,
+)
+
+
+def rec(ts, url, size=100, client="c0"):
+    return TraceRecord(timestamp=ts, client_id=client, url=url, size=size)
+
+
+@pytest.fixture
+def sample_trace():
+    return Trace(
+        [
+            rec(0.0, "http://a", size=10, client="c0"),
+            rec(1.0, "http://b", size=20, client="c1"),
+            rec(2.0, "http://a", size=10, client="c0"),
+            rec(3.0, "http://a", size=10, client="c2"),
+            rec(4.0, "http://c", size=30, client="c1"),
+        ]
+    )
+
+
+class TestComputeStats:
+    def test_counts(self, sample_trace):
+        stats = compute_stats(sample_trace)
+        assert stats.num_requests == 5
+        assert stats.num_unique_urls == 3
+        assert stats.num_clients == 3
+
+    def test_bytes(self, sample_trace):
+        stats = compute_stats(sample_trace)
+        assert stats.total_bytes == 80
+        assert stats.unique_bytes == 60
+        assert stats.mean_size == pytest.approx(16.0)
+
+    def test_one_timer_fraction(self, sample_trace):
+        # b and c are one-timers out of 3 unique docs.
+        assert compute_stats(sample_trace).one_timer_fraction == pytest.approx(2 / 3)
+
+    def test_max_hit_rate(self, sample_trace):
+        # 5 requests, 3 compulsory misses -> ceiling 0.4.
+        assert compute_stats(sample_trace).max_hit_rate == pytest.approx(0.4)
+
+    def test_max_byte_hit_rate(self, sample_trace):
+        # Re-hits: the 2nd and 3rd requests for http://a (10+10 of 80 bytes).
+        assert compute_stats(sample_trace).max_byte_hit_rate == pytest.approx(20 / 80)
+
+    def test_empty_trace(self):
+        stats = compute_stats(Trace([]))
+        assert stats.num_requests == 0
+        assert stats.max_hit_rate == 0.0
+        assert stats.mean_size == 0.0
+
+
+class TestPopularityProfile:
+    def test_ordering(self, sample_trace):
+        profile = popularity_profile(sample_trace)
+        assert profile[0] == ("http://a", 3)
+        assert {url for url, _ in profile[1:]} == {"http://b", "http://c"}
+
+    def test_top_truncation(self, sample_trace):
+        assert len(popularity_profile(sample_trace, top=1)) == 1
+
+
+class TestZipfFit:
+    def test_perfect_zipf_recovers_alpha(self):
+        # Construct counts ~ rank^-1 exactly.
+        records = []
+        ts = 0.0
+        for rank in range(1, 40):
+            count = max(1, int(round(1000 / rank)))
+            for _ in range(count):
+                records.append(rec(ts, f"http://doc{rank}"))
+                ts += 1.0
+        alpha = fit_zipf_alpha(Trace(records))
+        assert alpha == pytest.approx(1.0, abs=0.1)
+
+    def test_uniform_counts_give_zero(self):
+        records = []
+        ts = 0.0
+        for doc in range(10):
+            for _ in range(5):
+                records.append(rec(ts, f"http://u{doc}"))
+                ts += 1.0
+        assert fit_zipf_alpha(Trace(records)) == pytest.approx(0.0, abs=0.05)
+
+    def test_degenerate_trace(self):
+        assert fit_zipf_alpha(Trace([rec(0.0, "http://only")])) == 0.0
+
+
+class TestWorkingSetCurve:
+    def test_monotone(self, sample_trace):
+        curve = working_set_curve(sample_trace, num_points=5)
+        uniques = [u for _, u in curve]
+        assert uniques == sorted(uniques)
+
+    def test_final_point_is_total(self, sample_trace):
+        curve = working_set_curve(sample_trace, num_points=5)
+        assert curve[-1] == (5, 3)
+
+    def test_empty(self):
+        assert working_set_curve(Trace([])) == []
+
+
+class TestSizePercentiles:
+    def test_median(self, sample_trace):
+        result = size_percentiles(sample_trace, percentiles=(50.0,))
+        assert result[50.0] == 10
+
+    def test_p100_is_max(self, sample_trace):
+        assert size_percentiles(sample_trace, percentiles=(100.0,))[100.0] == 30
+
+    def test_empty(self):
+        assert size_percentiles(Trace([]), percentiles=(50.0,)) == {50.0: 0}

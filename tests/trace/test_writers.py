@@ -1,0 +1,59 @@
+"""Unit tests for repro.trace.writers (incl. reader round-trips)."""
+
+from __future__ import annotations
+
+import io
+
+from repro.trace.readers import BUTraceReader, SquidLogReader
+from repro.trace.record import TraceRecord
+from repro.trace.writers import write_bu_trace, write_squid_trace
+
+
+def records():
+    return [
+        TraceRecord(timestamp=1.5, client_id="cs2/user7", url="http://a/x", size=100,
+                    session_id="s1"),
+        TraceRecord(timestamp=2.0, client_id="lonewolf", url="http://b/y", size=0),
+    ]
+
+
+class TestWriteBUTrace:
+    def test_returns_line_count(self):
+        sink = io.StringIO()
+        assert write_bu_trace(records(), sink) == 2
+
+    def test_roundtrip_through_reader(self):
+        sink = io.StringIO()
+        write_bu_trace(records(), sink)
+        parsed = BUTraceReader(sink.getvalue().splitlines()).read()
+        assert len(parsed) == 2
+        assert parsed[0].client_id == "cs2/user7"
+        assert parsed[0].session_id == "s1"
+        assert parsed[0].size == 100
+        assert parsed[0].timestamp == 1.5
+
+    def test_client_without_machine_gets_sim_prefix(self):
+        sink = io.StringIO()
+        write_bu_trace(records(), sink)
+        lines = sink.getvalue().splitlines()
+        assert lines[1].startswith("sim ")
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "out.bu"
+        write_bu_trace(records(), path)
+        assert len(BUTraceReader(path).read()) == 2
+
+
+class TestWriteSquidTrace:
+    def test_roundtrip_through_reader(self):
+        sink = io.StringIO()
+        write_squid_trace(records(), sink)
+        parsed = SquidLogReader(sink.getvalue().splitlines()).read()
+        assert len(parsed) == 2
+        assert parsed[0].url == "http://a/x"
+        assert parsed[0].size == 100
+
+    def test_writes_to_path(self, tmp_path):
+        path = tmp_path / "out.squid"
+        assert write_squid_trace(records(), path) == 2
+        assert path.read_text().count("\n") == 2
