@@ -30,7 +30,7 @@ class Document:
             )
 
 
-@dataclass
+@dataclass  # repro: noqa[RPR005] — per-copy bookkeeping the policies mutate in place
 class CacheEntry:
     """Metadata for one cached document copy.
 

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass  # repro: noqa[RPR005] — counter block incremented on the hot path
 class CacheStats:
     """Mutable counter block for a single proxy cache.
 

@@ -1,13 +1,17 @@
 """Command-line interface.
 
-Three subcommands cover the library's workflows::
+The subcommands cover the library's workflows::
 
     repro generate-trace --scale default --out trace.bu
     repro simulate --scheme ea --caches 4 --capacity 10MB --trace trace.bu
+    repro simulate --sanitize          # same, with runtime invariant checks
     repro experiment fig1 --scale tiny
+    repro lint src tests               # repro-specific static analysis
 
 ``repro experiment all`` regenerates every paper artifact in sequence and
-prints the rendered tables (this is what EXPERIMENTS.md quotes).
+prints the rendered tables (this is what EXPERIMENTS.md quotes). ``repro
+lint`` runs the AST-based rule set documented in ``docs/DEVTOOLS.md`` and
+exits non-zero when findings remain, which is how CI gates every PR.
 """
 
 from __future__ import annotations
@@ -68,6 +72,13 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="synthetic workload scale when --trace is omitted")
     sim.add_argument("--seed", type=int, default=42)
     sim.add_argument("--json", action="store_true", help="emit the full result as JSON")
+    sim.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="check runtime invariants (byte accounting, recency order, EA "
+        "one-fresh-lease, event order) after every operation; exit 3 on any "
+        "violation",
+    )
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -93,6 +104,25 @@ def _build_parser() -> argparse.ArgumentParser:
     cmp_parser.add_argument("--seed", type=int, default=42)
     cmp_parser.add_argument("--trace", help="trace file; synthetic if omitted")
     cmp_parser.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+
+    lint = sub.add_parser(
+        "lint", help="run the repro-specific static analysis pass"
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src", "tests"],
+        help="files or directories to lint (default: src tests)",
+    )
+    lint.add_argument(
+        "--select",
+        help="comma-separated rule codes to run (default: all rules)",
+    )
+    lint.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
     return parser
 
 
@@ -104,6 +134,8 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.simulator import CooperativeSimulator
+
     if args.trace:
         trace = read_trace(args.trace, fmt=args.trace_format)
     else:
@@ -116,12 +148,18 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         architecture=args.architecture,
         partitioner=args.partitioner,
         seed=args.seed,
+        sanitize=args.sanitize,
     )
-    result = run_simulation(config, trace)
+    simulator = CooperativeSimulator(config)
+    result = simulator.run(trace)
     if args.json:
         print(result.to_json())
     else:
         print(result.summary())
+    if simulator.sanitizer is not None:
+        print(simulator.sanitizer.summary())
+        if not simulator.sanitizer.ok:
+            return 3
     return 0
 
 
@@ -215,6 +253,35 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import all_rules, lint_paths
+
+    if args.list_rules:
+        for rule in all_rules():
+            scope = "all files" if rule.packages is None else (
+                "repro." + ", repro.".join(p or "<root>" for p in rule.packages)
+            )
+            print(f"{rule.code}  {rule.summary}  [{scope}]")
+        return 0
+    select = (
+        [code.strip() for code in args.select.split(",") if code.strip()]
+        if args.select
+        else None
+    )
+    try:
+        findings = lint_paths(args.paths, select=select)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"repro lint: {len(findings)} finding(s)")
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = _build_parser()
@@ -225,6 +292,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "experiment": _cmd_experiment,
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
+        "lint": _cmd_lint,
     }
     try:
         return handlers[args.command](args)

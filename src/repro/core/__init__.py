@@ -8,6 +8,7 @@ from repro.core.placement import (
     OriginFetchDecision,
     PlacementScheme,
     RemoteHitDecision,
+    ages_equal,
     make_scheme,
 )
 
@@ -20,5 +21,6 @@ __all__ = [
     "PlacementScheme",
     "RemoteHitDecision",
     "RequestOutcome",
+    "ages_equal",
     "make_scheme",
 ]

@@ -15,7 +15,7 @@ itself demoted (otherwise a full group could thrash documents in a cycle).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Callable, List, Optional, Tuple
 
 from repro.architecture.base import CooperativeGroup
 from repro.cache.document import Document, EvictionRecord
@@ -25,7 +25,7 @@ from repro.protocol import http as sim_http
 from repro.trace.record import TraceRecord
 
 
-@dataclass
+@dataclass  # repro: noqa[RPR005] — counter block incremented per demotion attempt
 class DemotionStats:
     """Counters for the demotion layer."""
 
@@ -56,7 +56,7 @@ class DemotionGroup:
         group: CooperativeGroup,
         min_target_age: float = 0.0,
         min_hits: int = 1,
-    ):
+    ) -> None:
         if min_target_age < 0:
             raise SimulationError("min_target_age must be non-negative")
         if min_hits < 1:
@@ -67,11 +67,11 @@ class DemotionGroup:
         self.stats = DemotionStats()
         self._now = 0.0
         self._demoting = False
-        self._pending: List[tuple] = []  # (source_index, EvictionRecord)
+        self._pending: List[Tuple[int, EvictionRecord]] = []
         for index, cache in enumerate(group.caches):
             cache.eviction_listener = self._make_listener(index)
 
-    def _make_listener(self, index: int):
+    def _make_listener(self, index: int) -> Callable[[EvictionRecord], None]:
         def listener(record: EvictionRecord) -> None:
             if not self._demoting:
                 self._pending.append((index, record))

@@ -21,12 +21,32 @@ produced it.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
 from repro.cache.store import ProxyCache
 from repro.errors import CacheConfigurationError
+
+
+def ages_equal(left: float, right: float) -> bool:
+    """The sanctioned expiration-age tie test (the EA tie-break input).
+
+    This is the **only** place in the codebase allowed to compare
+    expiration ages with ``==`` (lint rule RPR003 flags every other site).
+    Exact float equality — not an epsilon — is deliberate:
+
+    * Both operands come out of the same deterministic pipeline
+      (:meth:`repro.cache.expiration.ExpirationAgeTracker.cache_expiration_age`),
+      so a tie is an exact arithmetic event, not a measurement coincidence.
+    * The one tie that matters for correctness is the cold-start case where
+      *both* caches report ``+inf`` (no evictions yet): the tie-break then
+      makes the EA scheme degenerate to ad-hoc, which is the paper's
+      never-worse bootstrap behaviour. ``inf == inf`` is exact.
+    * An epsilon would turn near-misses into ties and silently change
+      placement decisions whenever a refactor reorders float arithmetic —
+      precisely the instability this helper exists to prevent.
+    """
+    return left == right
 
 
 @dataclass(frozen=True)
@@ -211,7 +231,7 @@ class EAScheme(PlacementScheme):
         self,
         tie_break: str = "requester",
         max_replica_fraction: Optional[float] = None,
-    ):
+    ) -> None:
         if tie_break not in self._TIE_BREAKS:
             raise CacheConfigurationError(
                 f"tie_break must be one of {self._TIE_BREAKS}, got {tie_break!r}"
@@ -226,7 +246,7 @@ class EAScheme(PlacementScheme):
     def _requester_stores(self, requester_age: float, responder_age: float) -> bool:
         if requester_age > responder_age:
             return True
-        if requester_age == responder_age:
+        if ages_equal(requester_age, responder_age):
             return self.tie_break == "requester"
         return False
 
@@ -302,7 +322,7 @@ _SCHEMES = {
 }
 
 
-def make_scheme(name: str, **kwargs) -> PlacementScheme:
+def make_scheme(name: str, **kwargs: Any) -> PlacementScheme:
     """Instantiate a placement scheme by name (``"adhoc"`` or ``"ea"``)."""
     try:
         factory = _SCHEMES[name.lower()]

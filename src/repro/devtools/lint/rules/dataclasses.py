@@ -1,0 +1,56 @@
+"""RPR005: public dataclasses in ``core`` / ``cache`` must be frozen.
+
+Decision records (:class:`~repro.core.placement.RemoteHitDecision`,
+:class:`~repro.cache.document.EvictionRecord`, ...) are passed between
+caches, schemes, and the simulator as audit facts. If they are mutable, any
+layer can silently edit history — the sanitizer then validates a lie. New
+public dataclasses in the two foundational packages therefore default to
+``frozen=True``; genuinely mutable counter blocks opt out with a justified
+``# repro: noqa[RPR005]`` on the decorator line.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.devtools.lint.registry import RuleVisitor, register
+
+
+def _dataclass_decorator(node: ast.expr) -> bool:
+    """Whether a decorator expression is ``dataclass`` in any spelling."""
+    target = node.func if isinstance(node, ast.Call) else node
+    if isinstance(target, ast.Name):
+        return target.id == "dataclass"
+    if isinstance(target, ast.Attribute):
+        return target.attr == "dataclass"
+    return False
+
+
+def _is_frozen(node: ast.expr) -> bool:
+    if not isinstance(node, ast.Call):
+        return False  # bare @dataclass
+    for keyword in node.keywords:
+        if keyword.arg == "frozen":
+            value = keyword.value
+            return isinstance(value, ast.Constant) and value.value is True
+    return False
+
+
+@register
+class FrozenDataclassRule(RuleVisitor):
+    """Flag public ``@dataclass`` without ``frozen=True`` in core/cache."""
+
+    code = "RPR005"
+    summary = "public dataclass in core/cache must be frozen=True"
+    packages = ("core", "cache")
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        if not node.name.startswith("_"):
+            for decorator in node.decorator_list:
+                if _dataclass_decorator(decorator) and not _is_frozen(decorator):
+                    self.report(
+                        decorator,
+                        f"public dataclass `{node.name}` is mutable; add "
+                        "frozen=True (or a justified noqa for counter blocks)",
+                    )
+        self.generic_visit(node)

@@ -1,0 +1,185 @@
+"""Determinism rules: virtual clock only, seeded randomness only.
+
+The whole reproduction stands on bit-identical replays: the same trace and
+seed must produce the same result on every run and every machine (the same
+property adaptive-caching simulation work depends on to trust its numbers).
+Wall-clock reads and process-global RNG state are the two classic ways that
+guarantee quietly dies, so both are machine-checked here.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import RuleVisitor, register
+
+#: Wall-clock attributes of the ``time`` module (monotonic clocks included:
+#: they are just as non-replayable as ``time.time``).
+_TIME_FUNCS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+
+#: Wall-clock constructors on ``datetime.datetime`` / ``datetime.date``.
+_DATETIME_FUNCS = {"now", "utcnow", "today"}
+
+
+class _ImportTracker(ast.NodeVisitor):
+    """Pre-pass resolving which local names refer to clock/RNG sources."""
+
+    def __init__(self) -> None:
+        #: local alias -> canonical module name ("time", "datetime", "random")
+        self.module_aliases: Dict[str, str] = {}
+        #: local names bound by ``from time import time`` etc.
+        self.direct_clock_names: Set[str] = set()
+        #: local names bound to the datetime/date classes.
+        self.datetime_classes: Set[str] = set()
+        #: local names bound by ``from random import <module-level fn>``.
+        self.direct_random_names: Set[str] = set()
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.name in ("time", "datetime", "random"):
+                self.module_aliases[alias.asname or alias.name] = alias.name
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FUNCS:
+                    self.direct_clock_names.add(alias.asname or alias.name)
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    self.datetime_classes.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random", "SystemRandom"):
+                    self.direct_random_names.add(alias.asname or alias.name)
+
+
+def _track_imports(tree: ast.Module) -> _ImportTracker:
+    tracker = _ImportTracker()
+    tracker.visit(tree)
+    return tracker
+
+
+@register
+class WallClockRule(RuleVisitor):
+    """RPR001: no wall-clock reads in simulation-facing packages.
+
+    Simulation, cache, and placement code must take time as an explicit
+    ``now`` parameter fed from the trace / event scheduler (the virtual
+    clock). ``time.time()``, ``time.monotonic()``, ``datetime.now()`` and
+    friends make replays non-reproducible and couple results to host speed.
+    """
+
+    code = "RPR001"
+    summary = "wall-clock read in virtual-clock code (use the `now` parameter)"
+    packages = ("core", "cache", "simulation", "architecture")
+
+    def run(self) -> "List[Finding]":
+        self._imports = _track_imports(self.ctx.tree)
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id in self._imports.direct_clock_names:
+                self.report(node, f"call to wall clock `{func.id}()`")
+        elif isinstance(func, ast.Attribute):
+            owner = func.value
+            if isinstance(owner, ast.Name):
+                module = self._imports.module_aliases.get(owner.id)
+                if module == "time" and func.attr in _TIME_FUNCS:
+                    self.report(node, f"call to wall clock `time.{func.attr}()`")
+                elif owner.id in self._imports.datetime_classes and func.attr in _DATETIME_FUNCS:
+                    self.report(node, f"call to wall clock `{owner.id}.{func.attr}()`")
+            elif (
+                isinstance(owner, ast.Attribute)
+                and isinstance(owner.value, ast.Name)
+                and self._imports.module_aliases.get(owner.value.id) == "datetime"
+                and owner.attr in ("datetime", "date")
+                and func.attr in _DATETIME_FUNCS
+            ):
+                self.report(
+                    node, f"call to wall clock `datetime.{owner.attr}.{func.attr}()`"
+                )
+        self.generic_visit(node)
+
+
+@register
+class UnseededRandomRule(RuleVisitor):
+    """RPR002: no module-level or unseeded randomness in ``repro`` code.
+
+    All stochastic behaviour must flow from an explicitly seeded
+    ``random.Random(seed)`` instance that is injected or constructed from a
+    config seed. The module-level functions (``random.random()``,
+    ``random.choice()``, ...) share hidden global state that any import can
+    perturb, and ``random.Random()`` without a seed draws from the OS.
+    """
+
+    code = "RPR002"
+    summary = "module-level or unseeded `random` (inject a seeded Random)"
+    packages = (
+        "",
+        "core",
+        "cache",
+        "simulation",
+        "architecture",
+        "trace",
+        "network",
+        "digest",
+        "prefetch",
+        "coherence",
+        "protocol",
+        "experiments",
+        "analysis",
+    )
+
+    def run(self) -> "List[Finding]":
+        self._imports = _track_imports(self.ctx.tree)
+        return super().run()
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name not in ("Random", "SystemRandom"):
+                    self.report(
+                        node,
+                        f"`from random import {alias.name}` binds the shared "
+                        "module-level RNG; import `Random` and seed it",
+                    )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            if self._imports.module_aliases.get(func.value.id) == "random":
+                if func.attr == "Random":
+                    if not node.args and not node.keywords:
+                        self.report(
+                            node,
+                            "`random.Random()` without a seed is "
+                            "nondeterministic; pass an explicit seed",
+                        )
+                elif func.attr != "SystemRandom":
+                    self.report(
+                        node,
+                        f"module-level `random.{func.attr}()` uses hidden "
+                        "global state; use an injected seeded Random",
+                    )
+        elif isinstance(func, ast.Name) and func.id in self._imports.direct_random_names:
+            self.report(
+                node,
+                f"call to module-level RNG `{func.id}()`; use an injected "
+                "seeded Random",
+            )
+        self.generic_visit(node)

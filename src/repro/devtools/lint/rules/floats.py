@@ -1,0 +1,91 @@
+"""RPR003: float equality on expiration ages outside the sanctioned helper.
+
+The EA scheme's tie-break hinges on comparing two expiration ages — floats
+produced by division and windowed averaging. Scattering ``==`` / ``!=`` on
+those values around the codebase invites two failure modes: accidental
+near-miss ties after a refactor reorders arithmetic, and silent divergence
+between call sites that each reimplement the tie test. Exactly one place is
+allowed to compare ages for equality: :func:`repro.core.placement.ages_equal`,
+which documents why exact comparison is correct there (both operands come
+from the identical deterministic computation, and the meaningful tie is the
+double-infinity cold start).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.devtools.lint.registry import FileContext, RuleVisitor, register
+
+#: The one function allowed to test expiration ages for equality.
+SANCTIONED_HELPER = "ages_equal"
+
+
+def _looks_like_age(node: ast.expr) -> bool:
+    """Whether an expression syntactically denotes an expiration age."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    elif isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, (ast.Name, ast.Attribute)):
+            return _age_identifier(
+                func.id if isinstance(func, ast.Name) else func.attr
+            )
+        return False
+    else:
+        return False
+    return _age_identifier(name)
+
+
+def _age_identifier(name: str) -> bool:
+    return name == "age" or name.endswith("_age") or name == "expiration_age"
+
+
+@register
+class AgeEqualityRule(RuleVisitor):
+    """Flag ``==`` / ``!=`` between expiration-age expressions."""
+
+    code = "RPR003"
+    summary = (
+        "float ==/!= on expiration ages outside "
+        "repro.core.placement.ages_equal"
+    )
+    packages = ("core", "cache", "simulation", "architecture")
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._helper_depth = 0
+
+    def _visit_function(
+        self, node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    ) -> None:
+        sanctioned = node.name == SANCTIONED_HELPER
+        if sanctioned:
+            self._helper_depth += 1
+        self.generic_visit(node)
+        if sanctioned:
+            self._helper_depth -= 1
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._visit_function(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if self._helper_depth == 0:
+            operands = [node.left] + list(node.comparators)
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if isinstance(op, (ast.Eq, ast.NotEq)) and (
+                    _looks_like_age(left) or _looks_like_age(right)
+                ):
+                    self.report(
+                        node,
+                        "expiration ages are floats; test ties via "
+                        "repro.core.placement.ages_equal, not ==/!=",
+                    )
+                    break
+        self.generic_visit(node)

@@ -1,0 +1,103 @@
+"""RPR004: no order-sensitive iteration over sets in decision-making code.
+
+Victim selection, responder choice, demotion targets — anywhere the group
+picks *one* item from *many*, iteration order is part of the algorithm. A
+``set`` iterates in hash order, which varies across Python builds and with
+``PYTHONHASHSEED`` for strings, so a decision loop fed by a set can return
+different answers on identical inputs. The fix is a deterministic container
+(list / dict preserving insertion order) or an explicit ``sorted(...)``.
+
+The rule is syntactic: it flags ``for``-loops, comprehensions, and
+list/tuple/enumerate conversions whose iterable is a set literal, a set
+comprehension, or a direct ``set(...)`` / ``frozenset(...)`` call. Sets used
+purely for membership tests or counting (``len``) are fine and not flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from repro.devtools.lint.registry import RuleVisitor, register
+
+#: Conversions that materialise iteration order.
+_ORDER_SENSITIVE_CALLS = ("list", "tuple", "enumerate", "iter", "next")
+
+
+def _set_expression(node: ast.expr) -> Optional[str]:
+    """Describe ``node`` if it is syntactically a set, else None."""
+    if isinstance(node, ast.Set):
+        return "a set literal"
+    if isinstance(node, ast.SetComp):
+        return "a set comprehension"
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    ):
+        return f"a `{node.func.id}(...)` call"
+    return None
+
+
+@register
+class SetIterationRule(RuleVisitor):
+    """Flag iteration whose order feeds decisions but comes from a set."""
+
+    code = "RPR004"
+    summary = "iteration over a set in decision-making code (hash-order nondeterminism)"
+    packages = (
+        "core",
+        "cache",
+        "simulation",
+        "architecture",
+        "digest",
+        "prefetch",
+        "coherence",
+        "network",
+    )
+
+    def _check_iterable(self, node: ast.expr) -> None:
+        described = _set_expression(node)
+        if described is not None:
+            self.report(
+                node,
+                f"iterating {described} is hash-order nondeterministic; "
+                "use a list/dict or wrap in sorted(...)",
+            )
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def visit_AsyncFor(self, node: ast.AsyncFor) -> None:
+        self._check_iterable(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comprehension_holder(self, node: ast.AST) -> None:
+        for comp in getattr(node, "generators", []):
+            self._check_iterable(comp.iter)
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self._visit_comprehension_holder(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self._visit_comprehension_holder(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        self._visit_comprehension_holder(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        # A set comprehension *over* a set is fine (result is unordered
+        # anyway); only its own generators matter if they drive decisions,
+        # which they cannot from inside a set. Skip.
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id in _ORDER_SENSITIVE_CALLS
+            and node.args
+        ):
+            self._check_iterable(node.args[0])
+        self.generic_visit(node)

@@ -1,0 +1,92 @@
+"""Generic hygiene rules: public docstrings and mutable default arguments.
+
+RPR006 keeps the public surface self-describing: every module, public
+class, and public module-level function carries a docstring (methods are
+left to the class docstring's discretion — flagging every small override
+would bury the signal). RPR007 is the classic shared-mutable-default trap:
+``def f(items=[])`` aliases one list across calls, which in a simulator
+means state leaking between runs that should be independent.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Union
+
+from repro.devtools.lint.registry import RuleVisitor, register
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Calls producing a fresh mutable container are still shared across calls
+#: when used as a default.
+_MUTABLE_FACTORIES = ("list", "dict", "set", "defaultdict", "OrderedDict", "deque")
+
+
+@register
+class DocstringRule(RuleVisitor):
+    """RPR006: missing docstring on a module, public class, or function."""
+
+    code = "RPR006"
+    summary = "missing docstring on module / public class / public function"
+    applies_to_tests = False
+
+    def visit_Module(self, node: ast.Module) -> None:
+        if ast.get_docstring(node) is None:
+            self.report(node, "module has no docstring")
+        self._check_body(node.body, top_level=True)
+
+    def _check_body(self, body: list, top_level: bool) -> None:
+        for child in body:
+            if isinstance(child, ast.ClassDef):
+                if not child.name.startswith("_"):
+                    if ast.get_docstring(child) is None:
+                        self.report(
+                            child, f"public class `{child.name}` has no docstring"
+                        )
+                    self._check_body(child.body, top_level=False)
+            elif isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if top_level and not child.name.startswith("_"):
+                    if ast.get_docstring(child) is None:
+                        self.report(
+                            child,
+                            f"public function `{child.name}` has no docstring",
+                        )
+
+
+@register
+class MutableDefaultRule(RuleVisitor):
+    """RPR007: mutable default argument shared across calls."""
+
+    code = "RPR007"
+    summary = "mutable default argument (use None + fresh construction)"
+
+    def _check_function(self, node: _FunctionNode) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if isinstance(default, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+                self.report(
+                    default,
+                    f"mutable default in `{node.name}(...)` is shared across "
+                    "calls; default to None and construct inside",
+                )
+            elif (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in _MUTABLE_FACTORIES
+            ):
+                self.report(
+                    default,
+                    f"mutable default `{default.func.id}(...)` in "
+                    f"`{node.name}(...)` is shared across calls; default to "
+                    "None and construct inside",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_function(node)
+        self.generic_visit(node)

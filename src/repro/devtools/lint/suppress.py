@@ -1,0 +1,65 @@
+"""``# repro: noqa[RULE]`` suppression pragmas.
+
+A finding is suppressed when the physical line it is anchored to carries a
+pragma naming its rule code — or a bare ``# repro: noqa`` which silences
+every rule on that line. Multiple codes are comma-separated::
+
+    entry.hit_count = 3  # repro: noqa[RPR003]
+    thing = {"a", "b"}   # repro: noqa[RPR004, RPR006] intentional
+    legacy_call()        # repro: noqa — grandfathered
+
+Suppressions are deliberately line-scoped (no file- or block-level escape
+hatch): every exemption stays next to the code it excuses, where review
+sees it.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, FrozenSet, Iterable, List, Optional
+
+from repro.devtools.lint.findings import Finding
+
+#: Matches the pragma anywhere in a line's trailing comment.
+_PRAGMA_RE = re.compile(r"#\s*repro:\s*noqa(?:\[(?P<codes>[A-Z0-9_,\s]+)\])?")
+
+#: ``None`` means "suppress every rule on this line".
+SuppressionMap = Dict[int, Optional[FrozenSet[str]]]
+
+
+def collect_suppressions(source: str) -> SuppressionMap:
+    """Map 1-based line numbers to the rule codes suppressed on them."""
+    suppressions: SuppressionMap = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _PRAGMA_RE.search(line)
+        if match is None:
+            continue
+        raw_codes = match.group("codes")
+        if raw_codes is None:
+            suppressions[lineno] = None  # bare noqa: everything
+        else:
+            codes = frozenset(
+                code.strip() for code in raw_codes.split(",") if code.strip()
+            )
+            existing = suppressions.get(lineno)
+            if existing is not None:
+                codes = codes | existing
+            if lineno in suppressions and suppressions[lineno] is None:
+                continue
+            suppressions[lineno] = codes
+    return suppressions
+
+
+def is_suppressed(finding: Finding, suppressions: SuppressionMap) -> bool:
+    """Whether ``finding`` is silenced by a pragma on its line."""
+    if finding.line not in suppressions:
+        return False
+    codes = suppressions[finding.line]
+    return codes is None or finding.rule in codes
+
+
+def filter_suppressed(
+    findings: Iterable[Finding], suppressions: SuppressionMap
+) -> List[Finding]:
+    """Findings that survive the file's suppression pragmas."""
+    return [f for f in findings if not is_suppressed(f, suppressions)]

@@ -1,0 +1,456 @@
+"""Runtime invariant sanitizer for caches, schemes, and the simulator.
+
+The test suite samples these invariants at fixed points; the sanitizer
+checks them after **every** operation of an instrumented run, so a perf
+refactor that corrupts byte accounting on request 40,213 of a 500k-request
+replay is caught at request 40,213 with the cache and operation named.
+
+Checked invariants:
+
+* **byte-accounting** — ``ProxyCache.used_bytes`` equals the sum of the
+  resident entries' sizes after every mutating operation.
+* **capacity** — ``used_bytes`` never exceeds ``capacity_bytes`` and never
+  goes negative.
+* **recency-order** — under LRU, last-hit times are non-decreasing from the
+  eviction end to the head of the recency list.
+* **victim-age** — every eviction's expiration ages are non-negative
+  (eviction time is not before the entry's admission or last hit) and its
+  hit counter is at least 1.
+* **one-fresh-lease** — every EA remote-hit decision gives exactly one of
+  the two caches a fresh lease of life (paper Section 3.3); ages carried on
+  the decision are well-formed (non-negative, not NaN).
+* **event-order** — observed request timestamps never move backwards.
+
+Usage::
+
+    report = SanitizerReport()
+    CacheSanitizer(cache, report)          # instruments in place
+    ...
+    assert report.ok, report.summary()
+
+or end-to-end, ``SimulationConfig(sanitize=True)`` /
+``repro simulate --sanitize`` — the simulator wires a
+:class:`SimulationSanitizer` across the whole group.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, List, Optional
+
+from repro.architecture.base import CooperativeGroup
+from repro.cache.document import CacheEntry, Document, EvictionRecord
+from repro.cache.replacement import LRUPolicy
+from repro.cache.store import AdmitOutcome, ProxyCache
+from repro.core.outcomes import RequestOutcome
+from repro.core.placement import (
+    EAScheme,
+    OriginFetchDecision,
+    PlacementScheme,
+    RemoteHitDecision,
+)
+from repro.errors import InvariantViolation
+
+__all__ = [
+    "Violation",
+    "SanitizerReport",
+    "CacheSanitizer",
+    "SchemeSanitizer",
+    "SimulationSanitizer",
+]
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One failed invariant check.
+
+    Attributes:
+        subject: Identity of the checked object (cache name, scheme name,
+            or ``"<engine>"`` for event-ordering checks).
+        operation: The operation after which the check failed
+            (``"admit"``, ``"evict"``, ``"remote_hit"``, ``"process"``, ...).
+        invariant: Short invariant id (``"byte-accounting"``, ...).
+        message: Human-readable detail with the observed values.
+        time: Virtual time of the operation (when known).
+    """
+
+    subject: str
+    operation: str
+    invariant: str
+    message: str
+    time: float = 0.0
+
+    def render(self) -> str:
+        """One-line description used by reports and error messages."""
+        return (
+            f"[{self.invariant}] {self.subject}.{self.operation} "
+            f"at t={self.time:g}: {self.message}"
+        )
+
+
+class SanitizerReport:
+    """Collects violations (or raises immediately in strict mode).
+
+    Args:
+        strict: When true, the first violation raises
+            :class:`~repro.errors.InvariantViolation` instead of being
+            collected — the right mode for tests and debugging sessions.
+    """
+
+    def __init__(self, strict: bool = False):
+        self.strict = strict
+        self.violations: List[Violation] = []
+        self.checks_run = 0
+
+    @property
+    def ok(self) -> bool:
+        """Whether no invariant has been violated so far."""
+        return not self.violations
+
+    def count_check(self) -> None:
+        """Record that one invariant check executed (for the summary)."""
+        self.checks_run += 1
+
+    def record(
+        self,
+        subject: str,
+        operation: str,
+        invariant: str,
+        message: str,
+        time: float = 0.0,
+    ) -> None:
+        """Register a violation; raises when the report is strict."""
+        violation = Violation(
+            subject=subject,
+            operation=operation,
+            invariant=invariant,
+            message=message,
+            time=time,
+        )
+        self.violations.append(violation)
+        if self.strict:
+            raise InvariantViolation(violation.render())
+
+    def summary(self) -> str:
+        """Human-readable roll-up for CLI output."""
+        if self.ok:
+            return f"sanitizer: {self.checks_run} checks, 0 invariant violations"
+        lines = [
+            f"sanitizer: {self.checks_run} checks, "
+            f"{len(self.violations)} invariant violation(s):"
+        ]
+        lines.extend(f"  {violation.render()}" for violation in self.violations)
+        return "\n".join(lines)
+
+
+class CacheSanitizer:
+    """Instruments one :class:`ProxyCache` with post-operation checks.
+
+    Wraps the cache's mutating methods in place (``lookup``,
+    ``serve_remote``, ``admit``, ``evict``, ``clear``); behaviour is
+    unchanged, every call is followed by the invariant sweep. Attaching
+    twice is a no-op.
+    """
+
+    def __init__(self, cache: ProxyCache, report: SanitizerReport):
+        self.cache = cache
+        self.report = report
+        if getattr(cache, "_sanitizer", None) is not None:
+            return
+        cache._sanitizer = self  # type: ignore[attr-defined]
+        self._wrap_methods()
+
+    # -------------------------------------------------------------- #
+    # Instrumentation
+    # -------------------------------------------------------------- #
+
+    def _wrap_methods(self) -> None:
+        cache = self.cache
+        orig_lookup = cache.lookup
+        orig_serve_remote = cache.serve_remote
+        orig_admit = cache.admit
+        orig_evict = cache.evict
+        orig_clear = cache.clear
+
+        def lookup(url: str, now: float, refresh: bool = True) -> Optional[CacheEntry]:
+            result = orig_lookup(url, now, refresh)
+            self.check("lookup", now)
+            return result
+
+        def serve_remote(url: str, now: float, refresh: bool) -> Optional[CacheEntry]:
+            result = orig_serve_remote(url, now, refresh)
+            self.check("serve_remote", now)
+            return result
+
+        def admit(document: Document, now: float) -> AdmitOutcome:
+            outcome = orig_admit(document, now)
+            for record in outcome.evicted:
+                self._check_victim("admit", record)
+            self.check("admit", now)
+            return outcome
+
+        def evict(url: str, now: float) -> EvictionRecord:
+            record = orig_evict(url, now)
+            self._check_victim("evict", record)
+            self.check("evict", now)
+            return record
+
+        def clear() -> None:
+            orig_clear()
+            self.check("clear", 0.0)
+
+        cache.lookup = lookup  # type: ignore[method-assign]
+        cache.serve_remote = serve_remote  # type: ignore[method-assign]
+        cache.admit = admit  # type: ignore[method-assign]
+        cache.evict = evict  # type: ignore[method-assign]
+        cache.clear = clear  # type: ignore[method-assign]
+
+    # -------------------------------------------------------------- #
+    # Invariant checks
+    # -------------------------------------------------------------- #
+
+    def check(self, operation: str, now: float) -> None:
+        """Run the full cache-state invariant sweep after ``operation``."""
+        self._check_bytes(operation, now)
+        self._check_recency(operation, now)
+
+    def _check_bytes(self, operation: str, now: float) -> None:
+        cache = self.cache
+        self.report.count_check()
+        actual = 0
+        for url in cache.urls():
+            entry = cache.get_entry(url)
+            if entry is not None:
+                actual += entry.size
+        if cache.used_bytes != actual:
+            self.report.record(
+                cache.name,
+                operation,
+                "byte-accounting",
+                f"used_bytes={cache.used_bytes} but entries total {actual}",
+                now,
+            )
+        if cache.used_bytes < 0:
+            self.report.record(
+                cache.name,
+                operation,
+                "capacity",
+                f"used_bytes={cache.used_bytes} is negative",
+                now,
+            )
+        if cache.used_bytes > cache.capacity_bytes:
+            self.report.record(
+                cache.name,
+                operation,
+                "capacity",
+                f"used_bytes={cache.used_bytes} exceeds "
+                f"capacity_bytes={cache.capacity_bytes}",
+                now,
+            )
+
+    def _check_recency(self, operation: str, now: float) -> None:
+        policy = self.cache.policy
+        if not isinstance(policy, LRUPolicy):
+            return
+        self.report.count_check()
+        previous_time = -math.inf
+        previous_url = ""
+        for url in policy.recency_order():
+            entry = self.cache.get_entry(url)
+            if entry is None:
+                self.report.record(
+                    self.cache.name,
+                    operation,
+                    "recency-order",
+                    f"policy tracks {url!r} but the cache does not hold it",
+                    now,
+                )
+                continue
+            if entry.last_hit_time < previous_time:
+                self.report.record(
+                    self.cache.name,
+                    operation,
+                    "recency-order",
+                    f"{url!r} (last hit {entry.last_hit_time:g}) sits above "
+                    f"{previous_url!r} (last hit {previous_time:g}) in the "
+                    "LRU list",
+                    now,
+                )
+            previous_time = entry.last_hit_time
+            previous_url = url
+
+    def _check_victim(self, operation: str, record: EvictionRecord) -> None:
+        self.report.count_check()
+        if record.lru_expiration_age < 0:
+            self.report.record(
+                self.cache.name,
+                operation,
+                "victim-age",
+                f"victim {record.url!r} has negative LRU expiration age "
+                f"{record.lru_expiration_age:g} (evicted at "
+                f"{record.evict_time:g}, last hit {record.last_hit_time:g})",
+                record.evict_time,
+            )
+        if record.life_time < 0:
+            self.report.record(
+                self.cache.name,
+                operation,
+                "victim-age",
+                f"victim {record.url!r} has negative life time "
+                f"{record.life_time:g}",
+                record.evict_time,
+            )
+        if record.hit_count < 1:
+            self.report.record(
+                self.cache.name,
+                operation,
+                "victim-age",
+                f"victim {record.url!r} has hit_count={record.hit_count} < 1",
+                record.evict_time,
+            )
+
+
+class SchemeSanitizer(PlacementScheme):
+    """Delegating wrapper checking every placement decision a scheme makes.
+
+    For the EA scheme, validates the paper's Section 3.3 rule that a remote
+    hit hands **exactly one** of the two caches a fresh lease of life
+    (requester stores XOR responder refreshes — this also holds when the
+    size-aware replica cap vetoes a copy, because the veto transfers the
+    lease to the responder). For every scheme, validates that the ages
+    carried on the decision are well-formed.
+
+    Args:
+        scheme: The wrapped placement scheme.
+        report: Violation sink.
+        enforce_one_lease: Check the XOR rule; defaults to whether
+            ``scheme`` is an :class:`EAScheme` (ad-hoc deliberately
+            refreshes both sides).
+    """
+
+    def __init__(
+        self,
+        scheme: PlacementScheme,
+        report: SanitizerReport,
+        enforce_one_lease: Optional[bool] = None,
+    ):
+        self.wrapped = scheme
+        self.report = report
+        self.name = scheme.name
+        self.enforce_one_lease = (
+            isinstance(scheme, EAScheme)
+            if enforce_one_lease is None
+            else enforce_one_lease
+        )
+
+    def _check_age(self, operation: str, label: str, age: float, now: float) -> None:
+        self.report.count_check()
+        if math.isnan(age):
+            self.report.record(
+                self.name, operation, "decision-age", f"{label} is NaN", now
+            )
+        elif age < 0:
+            self.report.record(
+                self.name, operation, "decision-age", f"{label}={age:g} is negative", now
+            )
+
+    def remote_hit(
+        self,
+        requester: ProxyCache,
+        responder: ProxyCache,
+        now: float,
+        size: Optional[int] = None,
+    ) -> RemoteHitDecision:
+        """Delegate, then validate the one-fresh-lease rule and the ages."""
+        decision = self.wrapped.remote_hit(requester, responder, now, size=size)
+        self._check_age("remote_hit", "requester_age", decision.requester_age, now)
+        self._check_age("remote_hit", "responder_age", decision.responder_age, now)
+        if self.enforce_one_lease:
+            self.report.count_check()
+            if decision.store_at_requester == decision.refresh_responder:
+                both = "both" if decision.store_at_requester else "neither"
+                self.report.record(
+                    self.name,
+                    "remote_hit",
+                    "one-fresh-lease",
+                    f"{both} side(s) got a fresh lease of life "
+                    f"(store_at_requester={decision.store_at_requester}, "
+                    f"refresh_responder={decision.refresh_responder}, "
+                    f"requester_age={decision.requester_age:g}, "
+                    f"responder_age={decision.responder_age:g})",
+                    now,
+                )
+        return decision
+
+    def origin_fetch(self, requester: ProxyCache, now: float) -> OriginFetchDecision:
+        """Delegate (no cross-cache invariant on a group-wide miss)."""
+        return self.wrapped.origin_fetch(requester, now)
+
+    def serve_refresh(self, responder: ProxyCache, requester_age: float, now: float) -> bool:
+        """Delegate the hierarchical serve-refresh rule."""
+        return self.wrapped.serve_refresh(responder, requester_age, now)
+
+    def parent_store(
+        self, parent: ProxyCache, requester_age: float, now: float
+    ) -> OriginFetchDecision:
+        """Delegate the hierarchical parent-store rule."""
+        return self.wrapped.parent_store(parent, requester_age, now)
+
+    def child_store(
+        self, child: ProxyCache, upstream_age: float, now: float
+    ) -> OriginFetchDecision:
+        """Delegate the hierarchical child-store rule."""
+        return self.wrapped.child_store(child, upstream_age, now)
+
+    def __getattr__(self, attr: str) -> Any:
+        # Scheme-specific attributes (tie_break, max_replica_fraction, ...)
+        # remain reachable through the wrapper.
+        return getattr(self.wrapped, attr)
+
+
+class SimulationSanitizer:
+    """Group-wide sanitizer: every cache, the scheme, and event ordering.
+
+    Args:
+        group: A :class:`~repro.architecture.base.CooperativeGroup`; its
+            caches are instrumented in place and its scheme is replaced by
+            a checking wrapper.
+        report: Shared violation sink (a fresh non-strict one if omitted).
+    """
+
+    def __init__(
+        self,
+        group: CooperativeGroup,
+        report: Optional[SanitizerReport] = None,
+    ):
+        self.report = report if report is not None else SanitizerReport()
+        self.group = group
+        self.cache_sanitizers = [
+            CacheSanitizer(cache, self.report) for cache in group.caches
+        ]
+        group.scheme = SchemeSanitizer(group.scheme, self.report)
+        self._last_time = -math.inf
+
+    def observe(self, outcome: RequestOutcome) -> None:
+        """Check one processed request (event times must not move backwards)."""
+        self.report.count_check()
+        if outcome.timestamp < self._last_time:
+            self.report.record(
+                "<engine>",
+                "process",
+                "event-order",
+                f"request at t={outcome.timestamp:g} processed after "
+                f"t={self._last_time:g}",
+                outcome.timestamp,
+            )
+        self._last_time = max(self._last_time, outcome.timestamp)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the instrumented run is violation-free so far."""
+        return self.report.ok
+
+    def summary(self) -> str:
+        """The report's human-readable roll-up."""
+        return self.report.summary()

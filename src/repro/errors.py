@@ -53,3 +53,11 @@ class SimulationError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment driver received invalid parameters."""
+
+
+class InvariantViolation(ReproError):
+    """A runtime sanitizer check failed (see :mod:`repro.devtools.sanitizer`).
+
+    Raised only when the sanitizer runs in strict mode; the default mode
+    collects violations into a report instead of aborting the run.
+    """

@@ -14,7 +14,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, List, Optional, Tuple
 
-from repro.errors import SimulationError
+from repro.errors import InvariantViolation, SimulationError
 
 
 @dataclass(order=True)
@@ -55,11 +55,15 @@ class EventScheduler:
         sched.now            # -> 1.0
     """
 
-    def __init__(self, start_time: float = 0.0):
+    def __init__(self, start_time: float = 0.0, sanitize: bool = False):
         self._now = start_time
         self._heap: List[_Event] = []
         self._seq = itertools.count()
         self._processed = 0
+        #: When set, every fired event is checked against the virtual-clock
+        #: invariant (time never moves backwards) — a guard for future
+        #: scheduler refactors; violations raise InvariantViolation.
+        self.sanitize = sanitize
 
     @property
     def now(self) -> float:
@@ -106,6 +110,11 @@ class EventScheduler:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            if self.sanitize and event.time < self._now:
+                raise InvariantViolation(
+                    f"[event-order] <engine>.step at t={self._now:g}: event "
+                    f"scheduled for earlier time {event.time:g} fired late"
+                )
             self._now = event.time
             event.callback()
             self._processed += 1

@@ -92,6 +92,12 @@ class SimulationConfig:
             available as ``simulator.histogram``.
         timeseries_window: When positive, bucket outcomes into windows of
             this many seconds (``simulator.timeseries``).
+        sanitize: Instrument the run with the runtime invariant sanitizer
+            (:class:`~repro.devtools.sanitizer.SimulationSanitizer`): byte
+            accounting, LRU recency order, victim expiration ages, the EA
+            one-fresh-lease rule, and event ordering are checked after
+            every operation. Violations are collected on
+            ``simulator.sanitizer.report``; results are unchanged.
     """
 
     scheme: str = "ea"
@@ -117,6 +123,7 @@ class SimulationConfig:
     warmup_requests: int = 0
     collect_histogram: bool = False
     timeseries_window: float = 0.0
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.architecture not in ARCHITECTURES:
@@ -195,6 +202,12 @@ class CooperativeSimulator:
             if config.timeseries_window > 0
             else None
         )
+        #: Runtime invariant sanitizer (when config.sanitize is set).
+        self.sanitizer = None
+        if config.sanitize:
+            from repro.devtools.sanitizer import SimulationSanitizer
+
+            self.sanitizer = SimulationSanitizer(self.group)
         self._processed = 0
         self._total_caches = len(self.group.caches)
         # Client requests land on leaves only; for the distributed
@@ -264,6 +277,8 @@ class CooperativeSimulator:
     def _process(self, leaf_position: int, record) -> None:
         index = self._leaves[leaf_position]
         outcome = self.group.process(index, record)
+        if self.sanitizer is not None:
+            self.sanitizer.observe(outcome)
         self._processed += 1
         if self._processed > self.config.warmup_requests:
             self.metrics.observe(outcome)
@@ -280,7 +295,9 @@ class CooperativeSimulator:
 
     def _run_engine(self, records) -> None:
         start = records[0].timestamp if records else 0.0
-        scheduler = EventScheduler(start_time=min(0.0, start))
+        scheduler = EventScheduler(
+            start_time=min(0.0, start), sanitize=self.config.sanitize
+        )
         for leaf_position, record in self._partitioner.split(records):
             scheduler.schedule(
                 record.timestamp,

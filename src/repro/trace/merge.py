@@ -79,6 +79,12 @@ def concatenate_traces(traces: Sequence[Trace], gap_seconds: float = 1.0) -> Tra
         else:
             offset = clock + gap_seconds - trace[0].timestamp
         for record in trace:
-            records.append(record.with_timestamp(record.timestamp + offset))
+            stamp = record.timestamp + offset
+            # Float rounding in the offset arithmetic can land the shifted
+            # stamp a ULP before the previous trace's end; clamp so the
+            # concatenation stays monotone.
+            if records and stamp < records[-1].timestamp:
+                stamp = records[-1].timestamp
+            records.append(record.with_timestamp(stamp))
         clock = records[-1].timestamp
     return Trace(records)

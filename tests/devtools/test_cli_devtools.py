@@ -1,0 +1,71 @@
+"""CLI coverage for ``repro lint`` and ``repro simulate --sanitize``."""
+
+import pytest
+
+from repro.cli import main
+
+CLEAN_MODULE = '"""A module."""\n\n\ndef helper(now):\n    """Return now."""\n    return now\n'
+DIRTY_MODULE = (
+    '"""A module."""\nimport time\n\n\ndef stamp():\n    """Wall clock."""\n'
+    "    return time.time()\n"
+)
+
+
+@pytest.fixture
+def fake_tree(tmp_path):
+    """A miniature src/repro/simulation tree the package-scoped rules see."""
+    pkg = tmp_path / "src" / "repro" / "simulation"
+    pkg.mkdir(parents=True)
+    (pkg / "clean.py").write_text(CLEAN_MODULE)
+    return pkg
+
+
+class TestLintCommand:
+    def test_clean_tree_exits_zero(self, fake_tree, capsys):
+        assert main(["lint", str(fake_tree)]) == 0
+        assert "repro lint: clean" in capsys.readouterr().out
+
+    def test_violation_exits_nonzero_and_is_printed(self, fake_tree, capsys):
+        (fake_tree / "dirty.py").write_text(DIRTY_MODULE)
+        assert main(["lint", str(fake_tree)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
+        assert "dirty.py" in out
+        assert "1 finding(s)" in out
+
+    def test_select_restricts_rules(self, fake_tree, capsys):
+        (fake_tree / "dirty.py").write_text(DIRTY_MODULE)
+        assert main(["lint", "--select", "RPR005", str(fake_tree)]) == 0
+        assert main(["lint", "--select", "RPR001", str(fake_tree)]) == 1
+        capsys.readouterr()
+
+    def test_unknown_select_code_exits_two(self, fake_tree, capsys):
+        assert main(["lint", "--select", "RPR999", str(fake_tree)]) == 2
+        assert "RPR999" in capsys.readouterr().err
+
+    def test_list_rules_catalogue(self, capsys):
+        assert main(["lint", "--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005", "RPR006", "RPR007"):
+            assert code in out
+
+    def test_repo_tree_is_clean(self, capsys):
+        # The acceptance bar for this PR: the linter passes on its own repo.
+        assert main(["lint", "src", "tests"]) == 0
+        capsys.readouterr()
+
+
+class TestSimulateSanitize:
+    def test_sanitized_tiny_run_reports_no_violations(self, capsys):
+        code = main(
+            ["simulate", "--sanitize", "--scale", "tiny", "--capacity", "1MB"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "0 invariant violations" in out
+
+    def test_unsanitized_run_prints_no_sanitizer_line(self, capsys):
+        code = main(["simulate", "--scale", "tiny", "--capacity", "1MB"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "sanitizer:" not in out

@@ -1,0 +1,252 @@
+"""One positive and one suppressed-negative fixture per lint rule."""
+
+from repro.devtools.lint import lint_source
+
+CORE = "src/repro/core/module.py"
+CACHE = "src/repro/cache/module.py"
+SIM = "src/repro/simulation/module.py"
+TRACE = "src/repro/trace/module.py"
+
+
+def codes(source, path):
+    return [f.rule for f in lint_source(source, path=path)]
+
+
+def assert_fires(rule, source, path):
+    found = codes(source, path)
+    assert rule in found, f"{rule} did not fire; got {found}"
+
+
+def assert_silent(rule, source, path):
+    found = codes(source, path)
+    assert rule not in found, f"{rule} fired unexpectedly: {found}"
+
+
+class TestRPR001WallClock:
+    def test_time_time_flagged(self):
+        src = '"""m."""\nimport time\n\ndef f():\n    """D."""\n    return time.time()\n'
+        assert_fires("RPR001", src, SIM)
+
+    def test_datetime_now_flagged(self):
+        src = (
+            '"""m."""\nfrom datetime import datetime\n\n'
+            'def f():\n    """D."""\n    return datetime.now()\n'
+        )
+        assert_fires("RPR001", src, CORE)
+
+    def test_monotonic_via_from_import_flagged(self):
+        src = '"""m."""\nfrom time import monotonic\n\ndef f():\n    """D."""\n    return monotonic()\n'
+        assert_fires("RPR001", src, CACHE)
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\nimport time\n\ndef f():\n    """D."""\n'
+            "    return time.time()  # repro: noqa[RPR001]\n"
+        )
+        assert_silent("RPR001", src, SIM)
+
+    def test_out_of_scope_package_not_flagged(self):
+        src = '"""m."""\nimport time\n\ndef f():\n    """D."""\n    return time.time()\n'
+        assert_silent("RPR001", src, "src/repro/experiments/module.py")
+
+    def test_virtual_clock_parameter_ok(self):
+        src = '"""m."""\n\ndef f(now):\n    """D."""\n    return now + 1.0\n'
+        assert_silent("RPR001", src, SIM)
+
+
+class TestRPR002UnseededRandom:
+    def test_module_level_function_flagged(self):
+        src = '"""m."""\nimport random\n\ndef f():\n    """D."""\n    return random.random()\n'
+        assert_fires("RPR002", src, TRACE)
+
+    def test_unseeded_random_instance_flagged(self):
+        src = '"""m."""\nimport random\n\nRNG = random.Random()\n'
+        assert_fires("RPR002", src, TRACE)
+
+    def test_from_import_flagged(self):
+        src = '"""m."""\nfrom random import choice\n'
+        assert_fires("RPR002", src, CACHE)
+
+    def test_seeded_random_ok(self):
+        src = '"""m."""\nimport random\n\nRNG = random.Random(42)\n'
+        assert_silent("RPR002", src, TRACE)
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\nimport random\n\n'
+            "RNG = random.Random()  # repro: noqa[RPR002]\n"
+        )
+        assert_silent("RPR002", src, TRACE)
+
+
+class TestRPR003AgeEquality:
+    def test_age_equality_flagged(self):
+        src = (
+            '"""m."""\n\ndef f(requester_age, responder_age):\n    """D."""\n'
+            "    return requester_age == responder_age\n"
+        )
+        assert_fires("RPR003", src, CORE)
+
+    def test_age_inequality_flagged(self):
+        src = (
+            '"""m."""\n\ndef f(cache, other_age, now):\n    """D."""\n'
+            "    return cache.expiration_age(now) != other_age\n"
+        )
+        assert_fires("RPR003", src, CACHE)
+
+    def test_sanctioned_helper_exempt(self):
+        src = (
+            '"""m."""\n\ndef ages_equal(left, right):\n    """D."""\n'
+            "    return left == right\n"
+        )
+        assert_silent("RPR003", src, "src/repro/core/placement.py")
+
+    def test_ordering_comparisons_ok(self):
+        src = (
+            '"""m."""\n\ndef f(requester_age, responder_age):\n    """D."""\n'
+            "    return requester_age > responder_age\n"
+        )
+        assert_silent("RPR003", src, CORE)
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef f(a_age, b_age):\n    """D."""\n'
+            "    return a_age == b_age  # repro: noqa[RPR003]\n"
+        )
+        assert_silent("RPR003", src, CORE)
+
+
+class TestRPR004SetIteration:
+    def test_for_over_set_call_flagged(self):
+        src = '"""m."""\n\ndef f(urls):\n    """D."""\n    for u in set(urls):\n        return u\n'
+        assert_fires("RPR004", src, CORE)
+
+    def test_comprehension_over_set_literal_flagged(self):
+        src = '"""m."""\n\ndef f():\n    """D."""\n    return [x for x in {1, 2}]\n'
+        assert_fires("RPR004", src, "src/repro/digest/module.py")
+
+    def test_list_of_set_flagged(self):
+        src = '"""m."""\n\ndef f(urls):\n    """D."""\n    return list(set(urls))\n'
+        assert_fires("RPR004", src, "src/repro/architecture/module.py")
+
+    def test_sorted_set_ok(self):
+        src = (
+            '"""m."""\n\ndef f(urls):\n    """D."""\n'
+            "    for u in sorted(set(urls)):\n        return u\n"
+        )
+        assert_silent("RPR004", src, CORE)
+
+    def test_membership_test_ok(self):
+        src = '"""m."""\n\ndef f(u, urls):\n    """D."""\n    return u in set(urls)\n'
+        assert_silent("RPR004", src, CORE)
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef f(urls):\n    """D."""\n'
+            "    for u in set(urls):  # repro: noqa[RPR004]\n        return u\n"
+        )
+        assert_silent("RPR004", src, CORE)
+
+
+class TestRPR005FrozenDataclass:
+    def test_unfrozen_public_dataclass_flagged(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            '@dataclass\nclass Decision:\n    """D."""\n\n    x: int\n'
+        )
+        assert_fires("RPR005", src, CORE)
+
+    def test_frozen_false_flagged(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            '@dataclass(frozen=False)\nclass Decision:\n    """D."""\n\n    x: int\n'
+        )
+        assert_fires("RPR005", src, CACHE)
+
+    def test_frozen_ok(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            '@dataclass(frozen=True)\nclass Decision:\n    """D."""\n\n    x: int\n'
+        )
+        assert_silent("RPR005", src, CORE)
+
+    def test_private_dataclass_ok(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            '@dataclass\nclass _Scratch:\n    """D."""\n\n    x: int\n'
+        )
+        assert_silent("RPR005", src, CORE)
+
+    def test_outside_core_cache_ok(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            '@dataclass\nclass Decision:\n    """D."""\n\n    x: int\n'
+        )
+        assert_silent("RPR005", src, TRACE)
+
+    def test_suppressed_on_decorator_line(self):
+        src = (
+            '"""m."""\nfrom dataclasses import dataclass\n\n'
+            "@dataclass  # repro: noqa[RPR005] counters are mutable\n"
+            'class Stats:\n    """D."""\n\n    hits: int = 0\n'
+        )
+        assert_silent("RPR005", src, CACHE)
+
+
+class TestRPR006Docstrings:
+    def test_missing_module_docstring_flagged(self):
+        assert_fires("RPR006", "X = 1\n", CORE)
+
+    def test_missing_public_function_docstring_flagged(self):
+        src = '"""m."""\n\ndef public():\n    return 1\n'
+        assert_fires("RPR006", src, CORE)
+
+    def test_missing_public_class_docstring_flagged(self):
+        src = '"""m."""\n\nclass Public:\n    pass\n'
+        assert_fires("RPR006", src, CORE)
+
+    def test_private_function_ok(self):
+        src = '"""m."""\n\ndef _helper():\n    return 1\n'
+        assert_silent("RPR006", src, CORE)
+
+    def test_test_files_exempt(self):
+        assert_silent("RPR006", "def test_thing():\n    assert True\n", "tests/test_x.py")
+
+    def test_suppressed_with_pragma(self):
+        src = '"""m."""\n\ndef public():  # repro: noqa[RPR006]\n    return 1\n'
+        assert_silent("RPR006", src, CORE)
+
+
+class TestRPR007MutableDefaults:
+    def test_list_default_flagged(self):
+        src = '"""m."""\n\ndef f(items=[]):\n    """D."""\n'
+        assert_fires("RPR007", src, CORE)
+
+    def test_dict_call_default_flagged(self):
+        src = '"""m."""\n\ndef f(options=dict()):\n    """D."""\n'
+        assert_fires("RPR007", src, TRACE)
+
+    def test_applies_to_tests_too(self):
+        assert_fires("RPR007", "def helper(acc={}):\n    return acc\n", "tests/test_x.py")
+
+    def test_none_default_ok(self):
+        src = '"""m."""\n\ndef f(items=None):\n    """D."""\n'
+        assert_silent("RPR007", src, CORE)
+
+    def test_suppressed_with_pragma(self):
+        src = '"""m."""\n\ndef f(items=[]):  # repro: noqa[RPR007]\n    """D."""\n'
+        assert_silent("RPR007", src, CORE)
+
+
+class TestParseErrors:
+    def test_syntax_error_reported_as_rpr000(self):
+        found = lint_source("def broken(:\n", path=CORE)
+        assert [f.rule for f in found] == ["RPR000"]
+
+    def test_findings_carry_location(self):
+        src = '"""m."""\nimport time\n\ndef f():\n    """D."""\n    return time.time()\n'
+        (finding,) = [f for f in lint_source(src, path=SIM) if f.rule == "RPR001"]
+        assert finding.line == 6
+        assert finding.path == SIM
+        assert "time.time" in finding.message
+        assert SIM in finding.render()

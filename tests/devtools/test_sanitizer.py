@@ -1,0 +1,223 @@
+"""Sanitizer tests: corrupt state on purpose and assert the violation names
+the cache (or scheme) and the operation that exposed it."""
+
+import math
+
+import pytest
+
+from repro.architecture.distributed import DistributedGroup
+from repro.cache.document import Document
+from repro.cache.store import ProxyCache
+from repro.core.placement import AdHocScheme, EAScheme, RemoteHitDecision
+from repro.devtools.sanitizer import (
+    CacheSanitizer,
+    SanitizerReport,
+    SchemeSanitizer,
+    SimulationSanitizer,
+)
+from repro.errors import InvariantViolation
+from repro.trace.record import TraceRecord
+
+
+def make_cache(name="c0", capacity=1000):
+    return ProxyCache(capacity_bytes=capacity, name=name)
+
+
+def instrumented(name="c0", capacity=1000, strict=False):
+    report = SanitizerReport(strict=strict)
+    cache = make_cache(name, capacity)
+    CacheSanitizer(cache, report)
+    return cache, report
+
+
+class TestCacheSanitizer:
+    def test_clean_run_reports_ok(self):
+        cache, report = instrumented()
+        cache.admit(Document("u1", 100), 1.0)
+        cache.admit(Document("u2", 200), 2.0)
+        cache.lookup("u1", 3.0)
+        cache.evict("u2", 4.0)
+        assert report.ok
+        assert report.checks_run > 0
+
+    def test_byte_accounting_violation_names_cache_and_operation(self):
+        cache, report = instrumented(name="proxy-3")
+        cache.admit(Document("u1", 100), 1.0)
+        cache._used_bytes += 7  # corrupt the byte ledger
+        cache.lookup("u1", 2.0)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.invariant == "byte-accounting"
+        assert violation.subject == "proxy-3"
+        assert violation.operation == "lookup"
+        assert "107" in violation.message and "100" in violation.message
+        assert "proxy-3.lookup" in violation.render()
+
+    def test_negative_used_bytes_is_capacity_violation(self):
+        cache, report = instrumented()
+        cache.admit(Document("u1", 100), 1.0)
+        cache._used_bytes = -5
+        cache.lookup("u1", 2.0)
+        assert any(v.invariant == "capacity" for v in report.violations)
+
+    def test_recency_order_violation(self):
+        cache, report = instrumented()
+        cache.admit(Document("a", 100), 1.0)
+        cache.admit(Document("b", 100), 2.0)
+        # Corrupt: the recency head now claims an older hit than the tail.
+        cache.get_entry("b").last_hit_time = 0.0
+        cache.lookup("missing", 3.0)
+        assert any(v.invariant == "recency-order" for v in report.violations)
+
+    def test_victim_age_violation_on_backwards_eviction(self):
+        cache, report = instrumented(name="p1")
+        cache.admit(Document("u1", 100), 10.0)
+        cache.evict("u1", 5.0)  # evicted before it was admitted
+        victim = [v for v in report.violations if v.invariant == "victim-age"]
+        assert victim
+        assert victim[0].subject == "p1"
+        assert victim[0].operation == "evict"
+
+    def test_attach_twice_is_noop(self):
+        report = SanitizerReport()
+        cache = make_cache()
+        CacheSanitizer(cache, report)
+        CacheSanitizer(cache, report)
+        cache.admit(Document("u1", 100), 1.0)
+        baseline = report.checks_run
+        cache.lookup("u1", 2.0)
+        # One lookup runs one sweep (bytes + recency), not two.
+        assert report.checks_run - baseline == 2
+
+    def test_strict_mode_raises(self):
+        cache, report = instrumented(strict=True)
+        cache.admit(Document("u1", 100), 1.0)
+        cache._used_bytes += 1
+        with pytest.raises(InvariantViolation, match="byte-accounting"):
+            cache.lookup("u1", 2.0)
+
+    def test_sanitizer_is_behaviour_neutral(self):
+        plain = make_cache()
+        cache, report = instrumented()
+        for c in (plain, cache):
+            c.admit(Document("u1", 400), 1.0)
+            c.admit(Document("u2", 400), 2.0)
+            c.admit(Document("u3", 400), 3.0)  # forces an eviction
+            c.lookup("u2", 4.0)
+        assert report.ok
+        assert sorted(plain.urls()) == sorted(cache.urls())
+        assert plain.used_bytes == cache.used_bytes
+
+
+class _BothSidesScheme(EAScheme):
+    """Corrupt EA variant: refreshes both sides on a remote hit."""
+
+    def remote_hit(self, requester, responder, now, size=None):
+        decision = super().remote_hit(requester, responder, now, size=size)
+        return RemoteHitDecision(
+            store_at_requester=True,
+            refresh_responder=True,
+            requester_age=decision.requester_age,
+            responder_age=decision.responder_age,
+        )
+
+
+class _NanAgeScheme(EAScheme):
+    """Corrupt EA variant: reports a NaN age on its decision."""
+
+    def remote_hit(self, requester, responder, now, size=None):
+        decision = super().remote_hit(requester, responder, now, size=size)
+        return RemoteHitDecision(
+            store_at_requester=decision.store_at_requester,
+            refresh_responder=decision.refresh_responder,
+            requester_age=math.nan,
+            responder_age=decision.responder_age,
+        )
+
+
+class TestSchemeSanitizer:
+    def _remote_hit(self, scheme, report):
+        wrapped = SchemeSanitizer(scheme, report)
+        return wrapped.remote_hit(make_cache("req"), make_cache("resp"), 10.0)
+
+    def test_honest_ea_scheme_is_clean(self):
+        report = SanitizerReport()
+        decision = self._remote_hit(EAScheme(), report)
+        assert report.ok
+        assert decision.store_at_requester != decision.refresh_responder
+
+    def test_one_fresh_lease_violation(self):
+        report = SanitizerReport()
+        self._remote_hit(_BothSidesScheme(), report)
+        assert not report.ok
+        violation = report.violations[0]
+        assert violation.invariant == "one-fresh-lease"
+        assert violation.operation == "remote_hit"
+        assert "both" in violation.message
+
+    def test_nan_age_violation(self):
+        report = SanitizerReport()
+        self._remote_hit(_NanAgeScheme(), report)
+        assert any(v.invariant == "decision-age" for v in report.violations)
+
+    def test_adhoc_not_held_to_one_lease(self):
+        # Ad-hoc deliberately refreshes both sides; that is not a violation.
+        report = SanitizerReport()
+        responder = make_cache("resp")
+        responder.admit(Document("u1", 100), 1.0)
+        SchemeSanitizer(AdHocScheme(), report).remote_hit(
+            make_cache("req"), responder, 10.0
+        )
+        assert report.ok
+
+    def test_wrapper_delegates_scheme_attributes(self):
+        scheme = EAScheme()
+        wrapped = SchemeSanitizer(scheme, SanitizerReport())
+        assert wrapped.name == scheme.name
+        assert wrapped.tie_break == scheme.tie_break
+
+
+def record(t, url, size=100, client="c"):
+    return TraceRecord(timestamp=t, client_id=client, url=url, size=size)
+
+
+class TestSimulationSanitizer:
+    def make_group(self):
+        caches = [make_cache(f"cache-{i}", 1000) for i in range(3)]
+        return DistributedGroup(caches, EAScheme())
+
+    def test_event_order_violation(self):
+        group = self.make_group()
+        sanitizer = SimulationSanitizer(group)
+        sanitizer.observe(group.process(0, record(10.0, "u1")))
+        sanitizer.observe(group.process(1, record(5.0, "u2")))  # time reversed
+        assert not sanitizer.ok
+        violation = sanitizer.report.violations[0]
+        assert violation.invariant == "event-order"
+        assert violation.subject == "<engine>"
+
+    def test_clean_replay_across_group(self):
+        group = self.make_group()
+        sanitizer = SimulationSanitizer(group)
+        urls = ["a", "b", "c", "a", "b", "a"]
+        for step, url in enumerate(urls):
+            outcome = group.process(step % 3, record(float(step), url, size=300))
+            sanitizer.observe(outcome)
+        assert sanitizer.ok, sanitizer.summary()
+        assert sanitizer.report.checks_run > len(urls)
+        assert "0 invariant violations" in sanitizer.summary()
+
+    def test_group_scheme_is_wrapped(self):
+        group = self.make_group()
+        SimulationSanitizer(group)
+        assert isinstance(group.scheme, SchemeSanitizer)
+
+    def test_corruption_mid_replay_is_localised(self):
+        group = self.make_group()
+        sanitizer = SimulationSanitizer(group)
+        sanitizer.observe(group.process(0, record(1.0, "u1")))
+        group.caches[0]._used_bytes += 13
+        sanitizer.observe(group.process(0, record(2.0, "u1")))
+        assert not sanitizer.ok
+        assert sanitizer.report.violations[0].subject == "cache-0"
+        assert "invariant violation" in sanitizer.summary()
