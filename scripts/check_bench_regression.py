@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""Fail CI when the committed benchmark JSON regresses >20% vs its predecessor.
+
+Usage::
+
+    python scripts/check_bench_regression.py BENCH_2.json [--threshold 0.20]
+
+The repo keeps one pytest-benchmark JSON per PR (``BENCH_<n>.json`` at the
+repo root). This script compares the given file against the
+highest-numbered *earlier* ``BENCH_*.json`` by mean runtime per benchmark
+name. A benchmark slower than ``previous_mean * (1 + threshold)`` fails the
+check; new benchmarks (no baseline entry) and a missing baseline file pass
+— there is nothing to regress against.
+
+Machine-to-machine noise is why the bar is a generous 20%: the check exists
+to catch accidental algorithmic regressions (an O(n^2) sneaking back into a
+hot loop), not single-digit scheduling jitter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def bench_index(path: Path) -> Optional[int]:
+    """The <n> of a BENCH_<n>.json path, or None for other files."""
+    match = _BENCH_NAME.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def load_means(path: Path) -> Dict[str, float]:
+    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    return {
+        bench["name"]: bench["stats"]["mean"] for bench in payload["benchmarks"]
+    }
+
+
+def find_baseline(current: Path) -> Optional[Path]:
+    """Highest-numbered BENCH_*.json older than ``current``, if any."""
+    current_index = bench_index(current)
+    if current_index is None:
+        raise SystemExit(f"error: {current.name} is not a BENCH_<n>.json file")
+    candidates = [
+        path
+        for path in current.parent.glob("BENCH_*.json")
+        if (index := bench_index(path)) is not None and index < current_index
+    ]
+    return max(candidates, key=lambda p: bench_index(p)) if candidates else None
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Compare the given BENCH file to its predecessor; exit 1 on regression."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path, help="freshly generated BENCH_<n>.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="allowed fractional slowdown per benchmark (default 0.20)",
+    )
+    args = parser.parse_args(argv)
+
+    if not args.current.exists():
+        print(f"error: {args.current} does not exist", file=sys.stderr)
+        return 2
+    baseline_path = find_baseline(args.current)
+    if baseline_path is None:
+        print(f"{args.current.name}: no earlier BENCH_*.json baseline; nothing to compare")
+        return 0
+
+    current = load_means(args.current)
+    baseline = load_means(baseline_path)
+    regressions = []
+    for name, mean in sorted(current.items()):
+        previous = baseline.get(name)
+        if previous is None:
+            print(f"  new       {name}: {mean * 1e3:.2f} ms (no baseline)")
+            continue
+        ratio = mean / previous if previous > 0 else float("inf")
+        marker = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
+        print(
+            f"  {marker:<9} {name}: {previous * 1e3:.2f} ms -> {mean * 1e3:.2f} ms "
+            f"({ratio:.0%} of baseline)"
+        )
+        if ratio > 1.0 + args.threshold:
+            regressions.append((name, previous, mean))
+
+    if regressions:
+        print(
+            f"{args.current.name}: {len(regressions)} benchmark(s) regressed more "
+            f"than {args.threshold:.0%} vs {baseline_path.name}",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"{args.current.name}: within {args.threshold:.0%} of {baseline_path.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -115,24 +115,27 @@ class CooperativeGroup:
 
         One query datagram per neighbour plus one reply each — identical
         message counts for both schemes, which is how the bus substantiates
-        the paper's zero-overhead claim.
+        the paper's zero-overhead claim. The exchange is accounted in bulk
+        via :meth:`MessageBus.count_icp_probe` rather than one datagram
+        object per neighbour; counters and holder sets are identical to the
+        datagram-by-datagram path.
         """
-        reqnum = self._next_request_number()
-        sender = icp.pack_cache_address(requester)
+        self._next_request_number()
         holders: List[int] = []
+        caches = self.caches
+        loss_rate = self.icp_loss_rate
         for target in targets:
-            message = self.bus.send_icp(icp.query(reqnum, url, sender))
-            has_doc = url in self.caches[target]
-            self.bus.send_icp(
-                icp.reply(message, has_doc, icp.pack_cache_address(target))
-            )
-            if self.icp_loss_rate and self._rng.random() < self.icp_loss_rate:
+            has_doc = url in caches[target]
+            if loss_rate and self._rng.random() < loss_rate:
                 # The reply left the responder but never reached the
                 # requester; the requester treats this peer as a miss.
                 self.icp_replies_lost += 1
                 continue
             if has_doc:
                 holders.append(target)
+        self.bus.count_icp_probe(
+            len(targets), icp.query_wire_length(url), icp.reply_wire_length(url)
+        )
         return holders
 
     def _choose_responder(self, holders: Sequence[int], now: float) -> int:

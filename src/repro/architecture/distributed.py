@@ -45,6 +45,10 @@ class DistributedGroup(CooperativeGroup):
             seed=seed,
             icp_loss_rate=icp_loss_rate,
         )
+        # Sibling sets are static; resolving them per miss is pure overhead.
+        self._siblings = [
+            tuple(self.topology.siblings_of(i)) for i in range(len(self.caches))
+        ]
 
     def process(self, index: int, record: TraceRecord) -> RequestOutcome:
         """Resolve one client request at cache ``index``.
@@ -71,7 +75,7 @@ class DistributedGroup(CooperativeGroup):
                 latency=self._latency(ServiceKind.LOCAL_HIT, entry.size),
             )
 
-        holders = self._icp_probe(index, self.topology.siblings_of(index), record.url)
+        holders = self._icp_probe(index, self._siblings[index], record.url)
         if holders:
             responder = self._choose_responder(holders, now)
             document, audit = self._remote_fetch(index, responder, record.url, now)

@@ -165,8 +165,8 @@ class ProxyCache:
         wasted on it). Admitting an already-cached URL refreshes the entry
         instead of duplicating it.
         """
-        if document.url in self._entries:
-            entry = self._entries[document.url]
+        entry = self._entries.get(document.url)
+        if entry is not None:
             entry.record_hit(now)
             self.policy.on_hit(entry)
             return AdmitOutcome(admitted=True, already_present=True)

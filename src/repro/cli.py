@@ -6,17 +6,24 @@ The subcommands cover the library's workflows::
     repro simulate --scheme ea --caches 4 --capacity 10MB --trace trace.bu
     repro simulate --sanitize          # same, with runtime invariant checks
     repro experiment fig1 --scale tiny
+    repro experiment fig1 --jobs 4 --memo .repro-memo
+    repro sweep --scale tiny --jobs 4  # raw {scheme} x {capacity} grid
+    repro profile --scale tiny         # cProfile the request hot path
     repro lint src tests               # repro-specific static analysis
 
 ``repro experiment all`` regenerates every paper artifact in sequence and
-prints the rendered tables (this is what EXPERIMENTS.md quotes). ``repro
-lint`` runs the AST-based rule set documented in ``docs/DEVTOOLS.md`` and
-exits non-zero when findings remain, which is how CI gates every PR.
+prints the rendered tables (this is what EXPERIMENTS.md quotes). ``--jobs``
+fans sweep points over a process pool and ``--memo DIR`` reuses previously
+simulated points across drivers and invocations (see docs/PERFORMANCE.md).
+``repro lint`` runs the AST-based rule set documented in
+``docs/DEVTOOLS.md`` and exits non-zero when findings remain, which is how
+CI gates every PR.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import json
 import sys
 from typing import List, Optional
@@ -87,6 +94,51 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--json", action="store_true", help="emit the report as JSON")
     exp.add_argument("--save-json", metavar="DIR",
                      help="also persist the report(s) into an ExperimentStore directory")
+    exp.add_argument("--jobs", type=int, metavar="N",
+                     help="fan sweep points over N worker processes "
+                     "(default: serial; 0 = one per CPU)")
+    exp.add_argument("--memo", metavar="DIR",
+                     help="content-addressed result cache; sweep points already "
+                     "simulated for this config+trace are reused")
+
+    swp = sub.add_parser(
+        "sweep", help="run a raw {scheme} x {capacity} sweep, optionally in parallel"
+    )
+    swp.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    swp.add_argument("--seed", type=int, default=42)
+    swp.add_argument("--trace", help="trace file; synthetic if omitted")
+    swp.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    swp.add_argument("--caches", type=int, default=4)
+    swp.add_argument("--policy", default="lru")
+    swp.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
+    swp.add_argument("--schemes", default="adhoc,ea",
+                     help="comma-separated placement schemes (default: adhoc,ea)")
+    swp.add_argument("--capacity", action="append", metavar="SIZE", dest="capacities",
+                     help="aggregate capacity, e.g. 10MB; repeatable "
+                     "(default: the paper grid for --scale)")
+    swp.add_argument("--jobs", type=int, metavar="N",
+                     help="worker processes (default: one per CPU; 1 = serial)")
+    swp.add_argument("--memo", metavar="DIR",
+                     help="content-addressed result cache directory")
+    swp.add_argument("--json", action="store_true", help="emit all points as JSON")
+
+    prof = sub.add_parser(
+        "profile", help="cProfile one simulation and print the hottest functions"
+    )
+    prof.add_argument("--scheme", choices=("adhoc", "ea"), default="ea")
+    prof.add_argument("--caches", type=int, default=4)
+    prof.add_argument("--capacity", default="10MB")
+    prof.add_argument("--policy", default="lru")
+    prof.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
+    prof.add_argument("--partitioner", choices=PARTITIONERS, default="hash")
+    prof.add_argument("--trace", help="trace file; synthetic if omitted")
+    prof.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    prof.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
+    prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative",
+                      help="stat ordering for the report")
+    prof.add_argument("--top", type=int, default=25, metavar="N",
+                      help="number of functions to print")
 
     ana = sub.add_parser("analyze", help="characterise a trace (or a synthetic one)")
     ana.add_argument("--trace", help="trace file; synthetic if omitted")
@@ -165,11 +217,25 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
     from repro.experiments.store import ExperimentStore
+    from repro.parallel import SweepMemoStore, default_jobs
 
     names = sorted(EXPERIMENTS) if args.name == "all" else [args.name]
     store = ExperimentStore(args.save_json) if args.save_json else None
+    memo = SweepMemoStore(args.memo) if args.memo else None
+    jobs = None
+    if args.jobs is not None:
+        jobs = args.jobs if args.jobs > 0 else default_jobs()
     for name in names:
-        report = EXPERIMENTS[name](scale=args.scale, seed=args.seed)
+        driver = EXPERIMENTS[name]
+        kwargs = {"scale": args.scale, "seed": args.seed}
+        # Only the sweep-backed drivers take jobs/memo; ablation and
+        # extension drivers run serially regardless.
+        accepted = inspect.signature(driver).parameters
+        if "jobs" in accepted and jobs is not None:
+            kwargs["jobs"] = jobs
+        if "memo" in accepted and memo is not None:
+            kwargs["memo"] = memo
+        report = driver(**kwargs)
         if store is not None:
             store.save(report)
         if args.json:
@@ -177,6 +243,104 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
         else:
             print(report.render())
             print()
+    if memo is not None:
+        print(f"memo: {memo.hits} hit(s), {memo.misses} miss(es) in {memo.root}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.experiments.sweep import run_capacity_sweep
+    from repro.experiments.workload import capacities_for
+    from repro.parallel import SweepMemoStore, default_jobs
+
+    trace = _load_or_generate(args)
+    schemes = tuple(s.strip() for s in args.schemes.split(",") if s.strip())
+    if args.capacities:
+        capacities = [(text, parse_size(text)) for text in args.capacities]
+    else:
+        capacities = capacities_for(args.scale)
+    base_config = SimulationConfig(
+        num_caches=args.caches,
+        policy=args.policy,
+        architecture=args.architecture,
+        seed=args.seed,
+    )
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    memo = SweepMemoStore(args.memo) if args.memo else None
+    sweep = run_capacity_sweep(
+        trace, capacities, schemes=schemes, base_config=base_config,
+        jobs=jobs, memo=memo,
+    )
+    if args.json:
+        payload = [
+            {
+                "scheme": p.scheme,
+                "capacity_label": p.capacity_label,
+                "capacity_bytes": p.capacity_bytes,
+                "result": p.result.to_dict(),
+            }
+            for p in sweep.points
+        ]
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [
+                p.scheme,
+                p.capacity_label,
+                round(p.result.metrics.hit_rate, 4),
+                round(p.result.metrics.byte_hit_rate, 4),
+                round(p.result.estimated_latency * 1000.0, 1),
+            ]
+            for p in sweep.points
+        ]
+        print(
+            render_table(
+                ["scheme", "aggregate", "hit", "byte_hit", "latency_ms"],
+                rows,
+                title=(
+                    f"Capacity sweep: {args.caches} caches, "
+                    f"{args.architecture}, jobs={jobs}"
+                ),
+            )
+        )
+    if memo is not None:
+        print(f"memo: {memo.hits} hit(s), {memo.misses} miss(es) in {memo.root}")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import cProfile
+    import io
+    import pstats
+    import time
+
+    trace = _load_or_generate(args)
+    config = SimulationConfig(
+        scheme=args.scheme,
+        num_caches=args.caches,
+        aggregate_capacity=parse_size(args.capacity),
+        policy=args.policy,
+        architecture=args.architecture,
+        partitioner=args.partitioner,
+        seed=args.seed,
+    )
+    profiler = cProfile.Profile()
+    start = time.perf_counter()
+    profiler.enable()
+    result = run_simulation(config, trace)
+    profiler.disable()
+    elapsed = time.perf_counter() - start
+    requests = result.metrics.requests
+    throughput = requests / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"{requests} requests in {elapsed:.3f}s "
+        f"({throughput:,.0f} req/s, profiler overhead included)"
+    )
+    stream = io.StringIO()
+    stats = pstats.Stats(profiler, stream=stream)
+    stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    print(stream.getvalue().rstrip())
     return 0
 
 
@@ -290,6 +454,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "generate-trace": _cmd_generate_trace,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
+        "sweep": _cmd_sweep,
+        "profile": _cmd_profile,
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "lint": _cmd_lint,

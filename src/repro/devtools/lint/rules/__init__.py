@@ -5,5 +5,6 @@ from repro.devtools.lint.rules import (  # noqa: F401  (import-for-side-effect)
     determinism,
     floats,
     ordering,
+    parallel,
     style,
 )

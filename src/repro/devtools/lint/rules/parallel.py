@@ -1,0 +1,89 @@
+"""Multiprocessing rules for the parallel execution package.
+
+``multiprocessing`` pickles the callable it ships to worker processes, and
+pickle resolves functions *by qualified name*: only module-level (top-level)
+functions survive the trip. Lambdas and functions nested inside another
+function raise ``PicklingError`` — but only at runtime, and only on code
+paths that actually fan out, which makes the mistake easy to merge. RPR008
+catches it statically in ``repro.parallel``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set
+
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.registry import RuleVisitor, register
+
+#: Pool / executor methods whose first argument is a callable that must
+#: pickle across the process boundary.
+_POOL_METHODS: Set[str] = {
+    "map",
+    "imap",
+    "imap_unordered",
+    "apply",
+    "apply_async",
+    "map_async",
+    "starmap",
+    "starmap_async",
+    "submit",
+}
+
+
+def _nested_function_names(tree: ast.Module) -> Set[str]:
+    """Names of functions defined inside another function's body."""
+    nested: Set[str] = set()
+    for outer in ast.walk(tree):
+        if not isinstance(outer, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for node in ast.walk(outer):
+            if node is outer:
+                continue
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(node.name)
+    return nested
+
+
+@register
+class UnpicklablePoolCallableRule(RuleVisitor):
+    """RPR008: only module-level functions may be submitted to a pool.
+
+    Flags a lambda, or a name bound to a nested function, passed as the
+    callable to ``Pool.map`` / ``imap`` / ``apply_async`` / ``submit`` and
+    friends inside ``repro.parallel``. Pickle resolves callables by
+    qualified name, so anything not importable at module top level dies at
+    dispatch time with ``PicklingError`` — and only on runs that actually
+    fan out, which is exactly when you least want a surprise.
+    """
+
+    code = "RPR008"
+    summary = "unpicklable callable handed to a multiprocessing pool"
+    packages = ("parallel",)
+
+    def run(self) -> List[Finding]:
+        self._nested = _nested_function_names(self.ctx.tree)
+        return super().run()
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _POOL_METHODS
+            and node.args
+        ):
+            target = node.args[0]
+            if isinstance(target, ast.Lambda):
+                self.report(
+                    target,
+                    f"lambda passed to `{func.attr}` cannot pickle to a "
+                    "worker process; define a module-level function",
+                )
+            elif isinstance(target, ast.Name) and target.id in self._nested:
+                self.report(
+                    target,
+                    f"nested function `{target.id}` passed to `{func.attr}` "
+                    "cannot pickle to a worker process; move it to module "
+                    "top level",
+                )
+        self.generic_visit(node)

@@ -30,6 +30,8 @@ def run(
     capacities: Optional[Sequence[Tuple[str, int]]] = None,
     group_sizes: Sequence[int] = PAPER_GROUP_SIZES,
     base_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = None,
+    memo=None,
 ) -> ExperimentReport:
     """Regenerate the 2/4/8-cache comparison."""
     trace = trace if trace is not None else workload_trace(scale, seed)
@@ -51,7 +53,9 @@ def run(
     )
     for num_caches in group_sizes:
         config = replace(template, num_caches=num_caches)
-        sweep = run_capacity_sweep(trace, capacities, base_config=config)
+        sweep = run_capacity_sweep(
+            trace, capacities, base_config=config, jobs=jobs, memo=memo
+        )
         for label in sweep.capacity_labels:
             adhoc = sweep.get("adhoc", label).result.metrics
             ea = sweep.get("ea", label).result.metrics

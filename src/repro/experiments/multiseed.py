@@ -53,6 +53,8 @@ def run_multi_seed_comparison(
     seeds: Optional[Sequence[int]] = None,
     capacities: Optional[Sequence[Tuple[str, int]]] = None,
     base_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = None,
+    memo=None,
 ) -> ExperimentReport:
     """EA-minus-ad-hoc hit-rate delta with error bars across seeds.
 
@@ -74,7 +76,10 @@ def run_multi_seed_comparison(
     for seed in seeds:
         trace = generate_trace(workload_config(scale, seed))
         config = base_config if base_config is not None else SimulationConfig()
-        sweep = run_capacity_sweep(trace, capacities, base_config=replace(config, seed=seed))
+        sweep = run_capacity_sweep(
+            trace, capacities, base_config=replace(config, seed=seed),
+            jobs=jobs, memo=memo,
+        )
         for label, _ in capacities:
             adhoc = sweep.get("adhoc", label).result.metrics.hit_rate
             ea = sweep.get("ea", label).result.metrics.hit_rate

@@ -1,19 +1,31 @@
-"""Experiment result store: persist, reload, and diff reports.
+"""Experiment result stores: reports, raw results, and diff tooling.
 
-Regeneration runs leave JSON artifacts under a results directory; later
-runs can be diffed cell-by-cell against them to catch regressions in the
-reproduction (a placement bug shows up as a hit-rate cell drifting).
+Two persistence layers live here:
+
+* :class:`ExperimentStore` — named :class:`ExperimentReport` JSON artifacts
+  (one per figure/table), diffable cell-by-cell to catch regressions in the
+  reproduction (a placement bug shows up as a hit-rate cell drifting).
+* :class:`SimulationResultStore` — *content-addressed*
+  :class:`~repro.simulation.results.SimulationResult` artifacts keyed by an
+  opaque hex digest (``repro.parallel.memo`` derives it from the simulation
+  config plus a trace fingerprint). This is the sweep memo cache's backing
+  store: every figure/table driver is a projection of a ``{scheme} x
+  {capacity}`` sweep, so one simulated point can be reused across fig1 /
+  fig2 / fig3 / table1 / table2 / group-size invocations instead of being
+  re-simulated.
 """
 
 from __future__ import annotations
 
 import json
+import re
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, SimulationError
 from repro.experiments.report import ExperimentReport
+from repro.simulation.results import SimulationResult
 
 
 class ExperimentStore:
@@ -71,6 +83,63 @@ def _revive(cell: Any) -> Any:
     if cell == "inf":
         return float("inf")
     return cell
+
+
+#: Valid content-address keys: hex digests (any even length >= 8).
+_KEY_PATTERN = re.compile(r"^[0-9a-f]{8,}$")
+
+
+class SimulationResultStore:
+    """Directory-backed, content-addressed store of simulation results.
+
+    Keys are opaque lowercase hex digests computed by the caller from
+    everything that determines a result (simulation config + trace). Because
+    the key covers all inputs, artifacts never go stale — invalidation is
+    simply "a different input hashes to a different key". Writes are
+    atomic (temp file + rename) so a crashed run cannot leave a truncated
+    artifact that later loads would trip over.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        if not _KEY_PATTERN.match(key):
+            raise ExperimentError(f"invalid result store key {key!r}")
+        return self.root / f"{key}.json"
+
+    def exists(self, key: str) -> bool:
+        """Whether a result is stored under ``key``."""
+        return self._path(key).exists()
+
+    def save(self, key: str, result: SimulationResult) -> Path:
+        """Persist ``result`` under ``key``; returns the artifact path."""
+        path = self._path(key)
+        tmp = path.with_suffix(".json.tmp")
+        tmp.write_text(result.to_json(), encoding="utf-8")
+        tmp.replace(path)
+        return path
+
+    def load(self, key: str) -> Optional[SimulationResult]:
+        """The result stored under ``key``, or None when absent.
+
+        Raises:
+            ExperimentError: when the artifact exists but is corrupt —
+                silent fallback to re-simulation would hide a broken store.
+        """
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            return SimulationResult.from_dict(payload)
+        except (ValueError, SimulationError) as exc:
+            raise ExperimentError(f"corrupt result artifact {path}: {exc}") from exc
+
+    def keys(self) -> List[str]:
+        """Stored keys, sorted."""
+        return sorted(path.stem for path in self.root.glob("*.json"))
 
 
 @dataclass(frozen=True)

@@ -57,20 +57,12 @@ class SweepResult:
     @property
     def schemes(self) -> List[str]:
         """Schemes present, in first-seen order."""
-        seen: List[str] = []
-        for point in self.points:
-            if point.scheme not in seen:
-                seen.append(point.scheme)
-        return seen
+        return list(dict.fromkeys(p.scheme for p in self.points))
 
     @property
     def capacity_labels(self) -> List[str]:
         """Capacity labels present, in first-seen order."""
-        seen: List[str] = []
-        for point in self.points:
-            if point.capacity_label not in seen:
-                seen.append(point.capacity_label)
-        return seen
+        return list(dict.fromkeys(p.capacity_label for p in self.points))
 
 
 def run_capacity_sweep(
@@ -78,6 +70,8 @@ def run_capacity_sweep(
     capacities: Sequence[Tuple[str, int]],
     schemes: Sequence[str] = DEFAULT_SCHEMES,
     base_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = None,
+    memo=None,
 ) -> SweepResult:
     """Run {scheme} x {capacity} simulations over ``trace``.
 
@@ -87,7 +81,20 @@ def run_capacity_sweep(
         schemes: Placement schemes to compare.
         base_config: Template for everything except scheme and capacity
             (group size, policy, architecture...); paper defaults if omitted.
+        jobs: Worker processes for the sweep; ``None`` (the default) runs
+            serially in-process. Any value fans out through
+            :class:`repro.parallel.ParallelSweepRunner`, whose merge order
+            makes results byte-identical to the serial path.
+        memo: Optional :class:`repro.parallel.SweepMemoStore`; memoized
+            points are loaded instead of re-simulated.
     """
+    if jobs is not None or memo is not None:
+        # Imported lazily — repro.parallel imports this module for
+        # SweepPoint/SweepResult, so a top-level import would be circular.
+        from repro.parallel import ParallelSweepRunner
+
+        runner = ParallelSweepRunner(jobs=jobs if jobs is not None else 1, memo=memo)
+        return runner.run(trace, capacities, schemes=schemes, base_config=base_config)
     if not capacities:
         raise ExperimentError("capacity sweep needs at least one capacity")
     if not schemes:

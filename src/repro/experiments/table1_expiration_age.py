@@ -49,6 +49,8 @@ def run(
     trace: Optional[Trace] = None,
     capacities: Optional[Sequence[Tuple[str, int]]] = None,
     base_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = None,
+    memo=None,
 ) -> ExperimentReport:
     """Regenerate Table 1 (capacities stop at 100 MB, as in the paper)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
@@ -56,5 +58,7 @@ def run(
         available = capacities_for(scale)
         table1_labels = {label for label, _ in TABLE1_CAPACITIES}
         capacities = [c for c in available if c[0] in table1_labels]
-    sweep = run_capacity_sweep(trace, capacities, base_config=base_config)
+    sweep = run_capacity_sweep(
+        trace, capacities, base_config=base_config, jobs=jobs, memo=memo
+    )
     return build_report(sweep)

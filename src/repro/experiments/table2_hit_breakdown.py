@@ -57,9 +57,13 @@ def run(
     trace: Optional[Trace] = None,
     capacities: Optional[Sequence[Tuple[str, int]]] = None,
     base_config: Optional[SimulationConfig] = None,
+    jobs: Optional[int] = None,
+    memo=None,
 ) -> ExperimentReport:
     """Regenerate Table 2 (4-cache distributed group, LRU, both schemes)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
     capacities = capacities if capacities is not None else capacities_for(scale)
-    sweep = run_capacity_sweep(trace, capacities, base_config=base_config)
+    sweep = run_capacity_sweep(
+        trace, capacities, base_config=base_config, jobs=jobs, memo=memo
+    )
     return build_report(sweep)

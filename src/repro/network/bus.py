@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.protocol.http import HttpRequest, HttpResponse
-from repro.protocol.icp import ICPMessage
+from repro.protocol.icp import ICPMessage, ICPOpcode
 
 
 @dataclass
@@ -66,12 +66,24 @@ class MessageBus:
 
     def send_icp(self, message: ICPMessage) -> ICPMessage:
         """Account one ICP datagram; returns the message for chaining."""
-        if message.opcode.name == "QUERY":
+        if message.opcode is ICPOpcode.QUERY:
             self.counters.icp_queries += 1
         else:
             self.counters.icp_replies += 1
         self.counters.icp_bytes += message.wire_length
         return message
+
+    def count_icp_probe(self, targets: int, query_bytes: int, reply_bytes: int) -> None:
+        """Account an ICP probe fan-out without materialising datagrams.
+
+        One query plus one reply per probed neighbour — exactly what
+        :meth:`send_icp` would record for the same exchange, but computed in
+        bulk. This is the request loop's fast path; counters end identical.
+        """
+        counters = self.counters
+        counters.icp_queries += targets
+        counters.icp_replies += targets
+        counters.icp_bytes += targets * (query_bytes + reply_bytes)
 
     def send_http_request(self, request: HttpRequest) -> HttpRequest:
         """Account one HTTP request."""

@@ -1,0 +1,27 @@
+"""Process-parallel experiment execution with result memoization.
+
+Every figure/table in the paper is a projection over ``{scheme} x
+{capacity}`` sweeps of fully independent simulations, which makes the
+experiment layer embarrassingly parallel. This package provides:
+
+* :class:`ParallelSweepRunner` — fans sweep points out over a
+  ``multiprocessing`` pool with a deterministic merge order, so results are
+  byte-identical to the serial path.
+* :class:`SweepMemoStore` — a content-addressed memo of
+  :class:`~repro.simulation.results.SimulationResult` artifacts keyed by
+  config + trace fingerprint, letting every driver reuse sweeps across
+  invocations instead of re-simulating.
+
+``repro.experiments.sweep.run_capacity_sweep(jobs=..., memo=...)`` is the
+usual entry point; the CLI exposes the same knobs as ``--jobs`` / ``--memo``.
+"""
+
+from repro.parallel.memo import SweepMemoStore, sweep_memo_key
+from repro.parallel.runner import ParallelSweepRunner, default_jobs
+
+__all__ = [
+    "ParallelSweepRunner",
+    "SweepMemoStore",
+    "default_jobs",
+    "sweep_memo_key",
+]

@@ -1,0 +1,95 @@
+"""Content-addressed memoization of simulation results.
+
+A sweep point is fully determined by its :class:`SimulationConfig` and the
+trace it replays, so ``sha256(canonical_config_json + trace_fingerprint)``
+is a sound content address: equal keys mean byte-identical results, and any
+change to either input (capacity, scheme, seed, trace records, ...) lands on
+a fresh key. There is no explicit invalidation — stale entries are simply
+never addressed again.
+
+The on-disk layer is :class:`repro.experiments.store.SimulationResultStore`;
+this module adds the key derivation and an in-process cache so repeated
+lookups within one run never touch the filesystem twice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.experiments.store import SimulationResultStore
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import SimulationConfig
+from repro.trace.record import Trace
+
+#: Bump when the result schema or key derivation changes incompatibly; old
+#: artifacts then miss instead of reviving into the wrong shape.
+MEMO_SCHEMA_VERSION = 1
+
+
+def sweep_memo_key(config: SimulationConfig, trace: Trace) -> str:
+    """Content address of the simulation ``(config, trace)`` would produce."""
+    payload = json.dumps(
+        {
+            "schema": MEMO_SCHEMA_VERSION,
+            "config": config.to_dict(),
+            "trace": trace.fingerprint(),
+        },
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class SweepMemoStore:
+    """Memo cache of sweep-point results, keyed by config + trace.
+
+    Args:
+        root: Directory holding the content-addressed JSON artifacts
+            (created on demand). Share one root across drivers and
+            invocations — that is the whole point.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.store = SimulationResultStore(root)
+        self._hot: Dict[str, SimulationResult] = {}
+        #: Memo hits / misses observed through this handle (introspection
+        #: for tests and the CLI's cache-report line).
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def root(self) -> Path:
+        """Directory backing this memo."""
+        return self.store.root
+
+    def key(self, config: SimulationConfig, trace: Trace) -> str:
+        """Content address for one sweep point."""
+        return sweep_memo_key(config, trace)
+
+    def get(self, config: SimulationConfig, trace: Trace) -> Optional[SimulationResult]:
+        """The memoized result for ``(config, trace)``, or None on a miss."""
+        key = sweep_memo_key(config, trace)
+        result = self._hot.get(key)
+        if result is None:
+            result = self.store.load(key)
+            if result is not None:
+                self._hot[key] = result
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
+
+    def put(
+        self, config: SimulationConfig, trace: Trace, result: SimulationResult
+    ) -> Path:
+        """Persist a freshly simulated result; returns the artifact path."""
+        key = sweep_memo_key(config, trace)
+        self._hot[key] = result
+        return self.store.save(key, result)
+
+    def __len__(self) -> int:
+        return len(self.store.keys())

@@ -1,0 +1,150 @@
+"""Process-parallel capacity-sweep execution.
+
+Each sweep point is one independent, deterministic simulation, so the sweep
+fans out over a ``multiprocessing`` pool and merges results back in task
+order. Determinism is preserved by construction:
+
+* Tasks are enumerated in the serial path's exact order (capacity outer,
+  scheme inner) and results merged positionally (``Pool.map`` is ordered),
+  so the assembled :class:`SweepResult` is indistinguishable from the
+  serial one.
+* Workers receive the trace once via the pool initializer (inherited by
+  fork where available) instead of once per task.
+* Every callable submitted to the pool is module-level — nested functions
+  and lambdas do not pickle across process boundaries (lint rule RPR008
+  guards this statically).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace.record import Trace
+
+#: Trace replayed by every task in the current worker process (set once per
+#: worker by :func:`_init_worker`).
+_WORKER_TRACE: Optional[Trace] = None
+
+
+def default_jobs() -> int:
+    """Default worker count: one per CPU."""
+    return os.cpu_count() or 1
+
+
+def _init_worker(trace: Trace) -> None:
+    """Pool initializer: pin the shared trace in this worker process."""
+    global _WORKER_TRACE
+    _WORKER_TRACE = trace
+
+
+def _simulate_config(config: SimulationConfig) -> SimulationResult:
+    """Run one sweep point against the worker's pinned trace."""
+    if _WORKER_TRACE is None:
+        raise ExperimentError("sweep worker used before its trace was initialised")
+    return run_simulation(config, _WORKER_TRACE)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Fork where the platform offers it (cheap trace sharing), else default."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:
+        return multiprocessing.get_context()
+
+
+class ParallelSweepRunner:
+    """Runs ``{scheme} x {capacity}`` sweeps over a process pool.
+
+    Args:
+        jobs: Worker processes; defaults to ``os.cpu_count()``. ``1`` (or a
+            single outstanding task) short-circuits to in-process execution
+            — no pool is spawned, which keeps tiny sweeps and memo-warm
+            reruns free of multiprocessing overhead.
+        memo: Optional :class:`~repro.parallel.memo.SweepMemoStore`; points
+            already memoized are loaded instead of simulated, and fresh
+            results are persisted for the next invocation.
+    """
+
+    def __init__(self, jobs: Optional[int] = None, memo=None):
+        if jobs is not None and jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs if jobs is not None else default_jobs()
+        self.memo = memo
+
+    def run(
+        self,
+        trace: Trace,
+        capacities: Sequence[Tuple[str, int]],
+        schemes: Optional[Sequence[str]] = None,
+        base_config: Optional[SimulationConfig] = None,
+    ):
+        """Run the sweep; returns a :class:`SweepResult`.
+
+        Identical inputs produce results byte-identical to
+        :func:`repro.experiments.sweep.run_capacity_sweep`'s serial path.
+        """
+        # Imported here: sweep delegates to this runner, so a module-level
+        # import would be circular.
+        from repro.experiments.sweep import DEFAULT_SCHEMES, SweepPoint, SweepResult
+
+        if schemes is None:
+            schemes = DEFAULT_SCHEMES
+        if not capacities:
+            raise ExperimentError("capacity sweep needs at least one capacity")
+        if not schemes:
+            raise ExperimentError("capacity sweep needs at least one scheme")
+        template = base_config if base_config is not None else SimulationConfig()
+
+        # Task order mirrors the serial loop: capacity outer, scheme inner.
+        tasks: List[Tuple[str, int, str, SimulationConfig]] = []
+        for label, capacity_bytes in capacities:
+            for scheme in schemes:
+                config = template.with_scheme(scheme).with_capacity(capacity_bytes)
+                tasks.append((label, capacity_bytes, scheme, config))
+
+        results: List[Optional[SimulationResult]] = [None] * len(tasks)
+        pending: List[int] = []
+        for index, (_, _, _, config) in enumerate(tasks):
+            if self.memo is not None:
+                cached = self.memo.get(config, trace)
+                if cached is not None:
+                    results[index] = cached
+                    continue
+            pending.append(index)
+
+        if pending:
+            fresh = self._simulate(trace, [tasks[i][3] for i in pending])
+            for index, result in zip(pending, fresh):
+                results[index] = result
+                if self.memo is not None:
+                    self.memo.put(tasks[index][3], trace, result)
+
+        points = [
+            SweepPoint(
+                scheme=scheme,
+                capacity_label=label,
+                capacity_bytes=capacity_bytes,
+                result=result,
+            )
+            for (label, capacity_bytes, scheme, _), result in zip(tasks, results)
+        ]
+        return SweepResult(points)
+
+    def _simulate(
+        self, trace: Trace, configs: Sequence[SimulationConfig]
+    ) -> List[SimulationResult]:
+        """Simulate ``configs`` (ordered), in-process or across the pool."""
+        if self.jobs <= 1 or len(configs) <= 1:
+            _init_worker(trace)
+            return [_simulate_config(config) for config in configs]
+        processes = min(self.jobs, len(configs))
+        with _pool_context().Pool(
+            processes=processes, initializer=_init_worker, initargs=(trace,)
+        ) as pool:
+            # Pool.map preserves submission order — the deterministic merge.
+            return pool.map(_simulate_config, configs, chunksize=1)

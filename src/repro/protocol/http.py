@@ -23,6 +23,11 @@ from repro.errors import ProtocolError
 EXPIRATION_AGE_HEADER = "X-Cache-Expiration-Age"
 
 
+def _utf8_length(text: str) -> int:
+    """Byte length of ``text`` as UTF-8, without materialising the bytes."""
+    return len(text) if text.isascii() else len(text.encode("utf-8"))
+
+
 def format_expiration_age(age: float) -> str:
     """Render an expiration age for the wire (``inf`` for no-contention)."""
     if math.isinf(age):
@@ -93,8 +98,23 @@ class HttpRequest:
 
     @property
     def wire_length(self) -> int:
-        """Length in bytes of the encoded request."""
-        return len(self.encode().encode("utf-8"))
+        """Length in bytes of the encoded request.
+
+        Computed arithmetically — must stay byte-for-byte equal to
+        ``len(self.encode().encode("utf-8"))`` (the request-accounting hot
+        path calls this once per simulated message).
+        """
+        # Request line + optional Via + headers + two trailing empty lines,
+        # joined by CRLF: content bytes plus 2 per join.
+        total = _utf8_length(self.method) + 1 + _utf8_length(self.url) + 9
+        lines = 3  # request line + 2 trailing empties
+        if self.sender:
+            total += 5 + _utf8_length(self.sender)
+            lines += 1
+        for key, value in self.headers.items():
+            total += _utf8_length(key) + 2 + _utf8_length(value)
+            lines += 1
+        return total + 2 * (lines - 1)
 
 
 @dataclass
@@ -148,8 +168,24 @@ class HttpResponse:
 
     @property
     def wire_length(self) -> int:
-        """Length in bytes of headers plus the (elided) body."""
-        return len(self.encode().encode("utf-8")) + self.body_size
+        """Length in bytes of headers plus the (elided) body.
+
+        Computed arithmetically — must stay byte-for-byte equal to
+        ``len(self.encode().encode("utf-8")) + self.body_size``.
+        """
+        if self.status == 200:
+            total = 15  # "HTTP/1.0 200 OK"
+        else:
+            total = 16 + len(str(self.status))  # "HTTP/1.0 {status} STATUS"
+        total += 16 + len(str(self.body_size))  # "Content-Length: {n}"
+        lines = 4  # status + content-length + 2 trailing empties
+        if self.sender:
+            total += 5 + _utf8_length(self.sender)
+            lines += 1
+        for key, value in self.headers.items():
+            total += _utf8_length(key) + 2 + _utf8_length(value)
+            lines += 1
+        return total + 2 * (lines - 1) + self.body_size
 
 
 def decode_request(text: str) -> HttpRequest:

@@ -49,6 +49,26 @@ class ICPOpcode(enum.IntEnum):
 _HAS_REQUESTER_FIELD = frozenset({ICPOpcode.QUERY})
 
 
+def _utf8_length(text: str) -> int:
+    """Byte length of ``text`` encoded as UTF-8, without materialising it."""
+    return len(text) if text.isascii() else len(text.encode("utf-8"))
+
+
+def query_wire_length(url: str) -> int:
+    """Datagram length of an ICP QUERY for ``url``.
+
+    Equals ``encode(query(...))``'s length: header + requester field +
+    NUL-terminated URL. The simulator's probe fast path uses this to account
+    wire bytes without building the datagram.
+    """
+    return _HEADER.size + 4 + _utf8_length(url) + 1
+
+
+def reply_wire_length(url: str) -> int:
+    """Datagram length of an ICP HIT/MISS reply for ``url``."""
+    return _HEADER.size + _utf8_length(url) + 1
+
+
 @dataclass(frozen=True)
 class ICPMessage:
     """One ICP datagram.
@@ -99,7 +119,7 @@ class ICPMessage:
     @property
     def wire_length(self) -> int:
         """Exact datagram length in bytes (header + payload)."""
-        payload = len(self.url.encode("utf-8")) + 1
+        payload = _utf8_length(self.url) + 1
         if self.opcode in _HAS_REQUESTER_FIELD:
             payload += 4
         return _HEADER.size + payload

@@ -4,10 +4,11 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
 from repro.cache.stats import CacheStats
+from repro.errors import SimulationError
 from repro.network.bus import MessageCounters
 from repro.simulation.metrics import GroupMetrics
 
@@ -17,6 +18,23 @@ def _jsonable(value: float) -> Any:
     if isinstance(value, float) and math.isinf(value):
         return "inf"
     return value
+
+
+def _revive(value: Any) -> Any:
+    """Inverse of :func:`_jsonable`."""
+    if value == "inf":
+        return math.inf
+    return value
+
+
+def _dataclass_from(cls, payload: Dict[str, Any]):
+    """Rebuild a stats dataclass from a dict, ignoring derived extras.
+
+    :meth:`SimulationResult.to_dict` mixes computed rates into the metrics
+    block; only real fields feed the constructor.
+    """
+    names = {f.name for f in fields(cls)}
+    return cls(**{key: value for key, value in payload.items() if key in names})
 
 
 @dataclass
@@ -73,6 +91,40 @@ class SimulationResult:
     def to_json(self, indent: Optional[int] = 2) -> str:
         """JSON text of :meth:`to_dict`."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The round trip is exact: ``from_dict(json.loads(r.to_json()))``
+        serialises back to byte-identical JSON (floats survive via repr
+        round-tripping; infinities via the ``"inf"`` sentinel). The memo
+        store relies on this to make cached sweeps indistinguishable from
+        fresh simulations.
+
+        Raises:
+            SimulationError: when the payload is missing required blocks.
+        """
+        try:
+            return cls(
+                config=dict(payload["config"]),
+                metrics=_dataclass_from(GroupMetrics, payload["metrics"]),
+                message_counters=_dataclass_from(
+                    MessageCounters, payload["message_counters"]
+                ),
+                cache_stats=[
+                    _dataclass_from(CacheStats, block)
+                    for block in payload["cache_stats"]
+                ],
+                expiration_ages=[_revive(age) for age in payload["expiration_ages"]],
+                avg_cache_expiration_age=_revive(payload["avg_cache_expiration_age"]),
+                unique_documents=payload["unique_documents"],
+                total_copies=payload["total_copies"],
+                replication_factor=payload["replication_factor"],
+                estimated_latency=payload["estimated_latency"],
+            )
+        except (KeyError, TypeError) as exc:
+            raise SimulationError(f"malformed simulation result payload: {exc}") from exc
 
     def summary(self) -> str:
         """One-line human summary for logs and CLI output."""

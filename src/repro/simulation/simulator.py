@@ -266,10 +266,15 @@ class CooperativeSimulator:
     # ------------------------------------------------------------------ #
 
     def run(self, trace: Trace) -> SimulationResult:
-        """Replay ``trace`` and return the assembled result."""
-        records = list(patch_zero_sizes(iter(trace), self.config.patch_size))
+        """Replay ``trace`` and return the assembled result.
+
+        Plain-loop mode streams records straight from the patching iterator,
+        so memory stays flat regardless of trace length (the engine mode
+        must still materialise: it builds its event queue up front).
+        """
+        records = patch_zero_sizes(iter(trace), self.config.patch_size)
         if self.config.use_engine:
-            self._run_engine(records)
+            self._run_engine(list(records))
         else:
             self._run_loop(records)
         return self.result()

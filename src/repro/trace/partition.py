@@ -42,12 +42,23 @@ class HashPartitioner(Partitioner):
 
     Uses MD5 rather than built-in ``hash()`` so assignments are stable
     across processes and Python versions (``PYTHONHASHSEED`` does not leak
-    into experiment results).
+    into experiment results). The digest is computed once per client and
+    memoised: client populations are tiny relative to request counts, so the
+    hot path is a dict lookup, not a hash.
     """
 
+    def __init__(self, num_proxies: int):
+        super().__init__(num_proxies)
+        self._assignments: Dict[str, int] = {}
+
     def assign(self, record: TraceRecord) -> int:
-        digest = hashlib.md5(record.client_id.encode("utf-8")).digest()
-        return int.from_bytes(digest[:8], "big") % self.num_proxies
+        client = record.client_id
+        index = self._assignments.get(client)
+        if index is None:
+            digest = hashlib.md5(client.encode("utf-8")).digest()
+            index = int.from_bytes(digest[:8], "big") % self.num_proxies
+            self._assignments[client] = index
+        return index
 
 
 class RoundRobinClientPartitioner(Partitioner):

@@ -8,6 +8,7 @@ URL, and how large the response body was.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Iterable, Iterator, List, Optional
 
@@ -163,3 +164,25 @@ class Trace:
     def head(self, n: int) -> "Trace":
         """First ``n`` records as a new Trace."""
         return Trace(self.records[:n])
+
+    def fingerprint(self) -> str:
+        """Stable content hash of every record (hex SHA-256).
+
+        Two traces fingerprint equal iff they replay identically: every
+        field that can influence a simulation is hashed, in order. Computed
+        once and cached on the instance — records are append-never after
+        construction, so the digest cannot go stale. The sweep memo store
+        uses this as the trace half of its content address.
+        """
+        cached = self.__dict__.get("_fingerprint")
+        if cached is not None:
+            return cached
+        digest = hashlib.sha256()
+        for r in self.records:
+            digest.update(
+                f"{r.timestamp!r}|{r.client_id}|{r.url}|{r.size}|"
+                f"{r.session_id}|{r.method}|{r.status}\n".encode("utf-8")
+            )
+        fingerprint = digest.hexdigest()
+        self.__dict__["_fingerprint"] = fingerprint
+        return fingerprint

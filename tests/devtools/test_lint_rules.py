@@ -250,3 +250,57 @@ class TestParseErrors:
         assert finding.path == SIM
         assert "time.time" in finding.message
         assert SIM in finding.render()
+
+
+class TestRPR008UnpicklablePoolCallable:
+    PARALLEL = "src/repro/parallel/module.py"
+
+    def test_lambda_to_pool_map_flagged(self):
+        src = (
+            '"""m."""\n\ndef fan_out(pool, xs):\n    """D."""\n'
+            "    return pool.map(lambda x: x + 1, xs)\n"
+        )
+        assert_fires("RPR008", src, self.PARALLEL)
+
+    def test_nested_function_to_apply_async_flagged(self):
+        src = (
+            '"""m."""\n\ndef fan_out(pool, xs):\n    """D."""\n'
+            "    def worker(x):\n        return x + 1\n"
+            "    return pool.apply_async(worker, xs)\n"
+        )
+        assert_fires("RPR008", src, self.PARALLEL)
+
+    def test_lambda_to_submit_flagged(self):
+        src = (
+            '"""m."""\n\ndef fan_out(executor):\n    """D."""\n'
+            "    return executor.submit(lambda: 1)\n"
+        )
+        assert_fires("RPR008", src, self.PARALLEL)
+
+    def test_module_level_function_ok(self):
+        src = (
+            '"""m."""\n\ndef worker(x):\n    """D."""\n    return x + 1\n\n'
+            'def fan_out(pool, xs):\n    """D."""\n    return pool.map(worker, xs)\n'
+        )
+        assert_silent("RPR008", src, self.PARALLEL)
+
+    def test_plain_builtin_map_ignored(self):
+        src = (
+            '"""m."""\n\ndef fan_out(xs):\n    """D."""\n'
+            "    return list(map(lambda x: x + 1, xs))\n"
+        )
+        assert_silent("RPR008", src, self.PARALLEL)
+
+    def test_out_of_scope_package_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef fan_out(pool, xs):\n    """D."""\n'
+            "    return pool.map(lambda x: x + 1, xs)\n"
+        )
+        assert_silent("RPR008", src, "src/repro/experiments/module.py")
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef fan_out(pool, xs):\n    """D."""\n'
+            "    return pool.map(lambda x: x + 1, xs)  # repro: noqa[RPR008]\n"
+        )
+        assert_silent("RPR008", src, self.PARALLEL)

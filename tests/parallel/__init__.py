@@ -1,0 +1,1 @@
+"""Tests for the process-parallel sweep executor and memo store."""

@@ -112,3 +112,35 @@ class TestHttpResponse:
 
     def test_no_header_means_none(self):
         assert HttpResponse(url="http://x/a").expiration_age is None
+
+
+class TestAnalyticWireLength:
+    """wire_length is computed arithmetically; it must track encode() exactly."""
+
+    REQUESTS = [
+        HttpRequest(url="http://x/a"),
+        HttpRequest(url="http://x/a", sender="cache1"),
+        HttpRequest(url="http://x/a", sender="cache1").with_expiration_age(9.5),
+        HttpRequest(url="http://x/a").with_expiration_age(math.inf),
+        HttpRequest(url="http://exämple.com/päth", sender="çache"),
+        HttpRequest(url="http://x/a", headers={"X-Custom": "välue", "B": ""}),
+    ]
+
+    RESPONSES = [
+        HttpResponse(url="http://x/a"),
+        HttpResponse(url="http://x/a", body_size=4096, sender="cache2"),
+        HttpResponse(url="http://x/a", status=404),
+        HttpResponse(url="http://x/a", status=50012, body_size=7),
+        HttpResponse(url="http://x/a", sender="örigin").with_expiration_age(3.0),
+        HttpResponse(url="http://x/a", body_size=10, headers={"Ä": "ö"}),
+    ]
+
+    def test_request_matches_encoded_bytes(self):
+        for request in self.REQUESTS:
+            expected = len(request.encode().encode("utf-8"))
+            assert request.wire_length == expected, request
+
+    def test_response_matches_encoded_bytes_plus_body(self):
+        for response in self.RESPONSES:
+            expected = len(response.encode().encode("utf-8")) + response.body_size
+            assert response.wire_length == expected, response

@@ -141,3 +141,25 @@ class TestCacheAddress:
     def test_unpack_requires_four_bytes(self):
         with pytest.raises(ProtocolError):
             unpack_cache_address(b"\x00\x01")
+
+
+class TestAnalyticWireLength:
+    """The probe fast path computes ICP sizes without building datagrams."""
+
+    URLS = [URL, "http://exämple.com/päth/ünïcode", "http://x/" + "a" * 500]
+
+    def test_query_wire_length_helper_matches_encoding(self):
+        from repro.protocol.icp import query_wire_length
+
+        for url in self.URLS:
+            message = query(1, url, pack_cache_address(0))
+            assert query_wire_length(url) == len(encode(message)), url
+            assert query_wire_length(url) == message.wire_length, url
+
+    def test_reply_wire_length_helper_matches_encoding(self):
+        from repro.protocol.icp import reply_wire_length
+
+        for url in self.URLS:
+            message = reply(query(1, url, pack_cache_address(0)), True, pack_cache_address(1))
+            assert reply_wire_length(url) == len(encode(message)), url
+            assert reply_wire_length(url) == message.wire_length, url

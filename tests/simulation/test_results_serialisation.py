@@ -70,3 +70,42 @@ class TestSummary:
         text = result.summary()
         assert f"requests={result.metrics.requests}" in text
         assert "replication=" in text
+
+
+class TestFromDict:
+    def test_round_trip_is_exact(self, result):
+        revived = type(result).from_dict(json.loads(result.to_json()))
+        assert revived.to_json() == result.to_json()
+        assert revived.metrics == result.metrics
+        assert revived.message_counters == result.message_counters
+        assert revived.cache_stats == result.cache_stats
+        assert revived.config == result.config
+
+    def test_round_trip_revives_inf_ages(self, result):
+        import dataclasses
+
+        with_inf = dataclasses.replace(
+            result,
+            expiration_ages=[math.inf] + list(result.expiration_ages[1:]),
+            avg_cache_expiration_age=math.inf,
+        )
+        revived = type(result).from_dict(json.loads(with_inf.to_json()))
+        assert revived.expiration_ages[0] == math.inf
+        assert revived.avg_cache_expiration_age == math.inf
+        assert revived.to_json() == with_inf.to_json()
+
+    def test_missing_section_raises_simulation_error(self, result):
+        from repro.errors import SimulationError
+
+        payload = result.to_dict()
+        del payload["metrics"]
+        with pytest.raises(SimulationError):
+            type(result).from_dict(payload)
+
+    def test_derived_rates_in_payload_are_ignored_not_fatal(self, result):
+        # to_dict() mixes derived rates (hit_rate, ...) into the metrics
+        # block; from_dict must filter to true dataclass fields.
+        payload = result.to_dict()
+        assert "hit_rate" in payload["metrics"]
+        revived = type(result).from_dict(payload)
+        assert revived.metrics.hit_rate == pytest.approx(result.metrics.hit_rate)

@@ -91,3 +91,78 @@ class TestExperiment:
     def test_unknown_experiment_rejected_by_argparse(self):
         with pytest.raises(SystemExit):
             main(["experiment", "fig99"])
+
+
+class TestSweepCommand:
+    def test_table_output_serial_and_parallel_match(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--scale", "tiny", "--capacity", "64KB",
+            "--capacity", "256KB", "--seed", "3",
+        ]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial.replace("jobs=1", "") == parallel.replace("jobs=2", "")
+        assert "scheme" in serial and "adhoc" in serial and "ea" in serial
+
+    def test_json_output_parses(self, capsys):
+        code = main([
+            "sweep", "--scale", "tiny", "--capacity", "64KB",
+            "--jobs", "1", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert [p["scheme"] for p in payload] == ["adhoc", "ea"]
+        assert all("result" in p for p in payload)
+
+    def test_memo_reused_across_invocations(self, tmp_path, capsys):
+        argv = [
+            "sweep", "--scale", "tiny", "--capacity", "64KB",
+            "--jobs", "1", "--memo", str(tmp_path / "memo"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "0 hit(s), 2 miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "2 hit(s), 0 miss(es)" in second
+        assert second.split("memo:")[0] == first.split("memo:")[0]
+
+
+class TestExperimentParallelFlags:
+    def test_jobs_and_memo_accepted(self, tmp_path, capsys):
+        argv = [
+            "experiment", "fig1", "--scale", "tiny",
+            "--jobs", "2", "--memo", str(tmp_path / "memo"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "Figure 1" in first
+        assert "miss(es)" in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "0 miss(es)" in second
+        assert second.split("memo:")[0] == first.split("memo:")[0]
+
+    def test_serial_output_unchanged_by_jobs(self, capsys):
+        assert main(["experiment", "fig1", "--scale", "tiny"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["experiment", "fig1", "--scale", "tiny", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+
+class TestProfileCommand:
+    def test_prints_throughput_and_hot_functions(self, capsys):
+        code = main(["profile", "--scale", "tiny", "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "req/s" in out
+        assert "cumulative" in out
+        assert "run_simulation" in out
+
+    def test_sort_tottime(self, capsys):
+        code = main(["profile", "--scale", "tiny", "--top", "3", "--sort", "tottime"])
+        assert code == 0
+        assert "tottime" in capsys.readouterr().out

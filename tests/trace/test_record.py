@@ -156,3 +156,36 @@ class TestTrace:
     def test_constructor_validates_monotonicity(self):
         with pytest.raises(TraceError):
             Trace([rec(ts=5.0), rec(ts=1.0)])
+
+
+class TestFingerprint:
+    def _trace(self):
+        return Trace([
+            rec(ts=1.0, url="http://e.com/a"),
+            rec(ts=2.0, url="http://e.com/b"),
+        ])
+
+    def test_stable_and_cached(self):
+        trace = self._trace()
+        first = trace.fingerprint()
+        assert first == trace.fingerprint()
+        assert len(first) == 64
+
+    def test_equal_content_equal_fingerprint(self):
+        assert self._trace().fingerprint() == self._trace().fingerprint()
+
+    def test_any_field_change_changes_fingerprint(self):
+        base = self._trace().fingerprint()
+        changed_size = Trace([
+            rec(ts=1.0, url="http://e.com/a").with_size(9999),
+            rec(ts=2.0, url="http://e.com/b"),
+        ])
+        changed_order = Trace([
+            rec(ts=1.0, url="http://e.com/b"),
+            rec(ts=2.0, url="http://e.com/a"),
+        ])
+        assert changed_size.fingerprint() != base
+        assert changed_order.fingerprint() != base
+
+    def test_empty_trace_has_fingerprint(self):
+        assert len(Trace([]).fingerprint()) == 64
