@@ -13,6 +13,7 @@ import pytest
 from repro.cache import Document, LRUPolicy, ProxyCache
 from repro.protocol import icp
 from repro.simulation import CooperativeSimulator, SimulationConfig
+from repro.simulation.simulator import run_simulation
 from repro.trace import SyntheticTraceConfig, generate_trace
 
 
@@ -69,3 +70,30 @@ def test_bench_simulator_requests_per_second(benchmark, micro_trace, scheme):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result.metrics.requests == len(micro_trace)
+
+
+@pytest.mark.parametrize("scheme", ["adhoc", "ea"])
+def test_bench_columnar_requests_per_second(benchmark, micro_trace, scheme):
+    """Columnar-engine counterpart of the end-to-end throughput benchmark.
+
+    Same config and trace as ``test_bench_simulator_requests_per_second``
+    so the two benchmark families measure the engines head-to-head; the
+    per-engine CI regression gate reads both. Interning is paid once up
+    front (it is cached on the trace), matching how sweeps amortise it.
+    """
+    config = SimulationConfig(
+        scheme=scheme,
+        num_caches=4,
+        aggregate_capacity=1 << 20,
+        seed=5,
+        engine="columnar",
+    )
+    micro_trace.interned()
+
+    def run():
+        return run_simulation(config, micro_trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.metrics.requests == len(micro_trace)
+    object_result = CooperativeSimulator(config).run(micro_trace)
+    assert result.to_json() == object_result.to_json()

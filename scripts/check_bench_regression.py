@@ -36,8 +36,15 @@ def bench_index(path: Path) -> Optional[int]:
 
 
 def load_means(path: Path) -> Dict[str, float]:
-    """Map benchmark name -> mean seconds from a pytest-benchmark JSON."""
+    """Map benchmark name -> mean seconds from a benchmark JSON.
+
+    Accepts both raw pytest-benchmark output (means under
+    ``bench["stats"]["mean"]``) and the compact committed schema produced
+    by ``scripts/summarize_bench.py`` (means at ``bench["mean"]``).
+    """
     payload = json.loads(path.read_text(encoding="utf-8"))
+    if str(payload.get("schema", "")).startswith("repro-bench-summary"):
+        return {bench["name"]: bench["mean"] for bench in payload["benchmarks"]}
     return {
         bench["name"]: bench["stats"]["mean"] for bench in payload["benchmarks"]
     }

@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Condense a raw pytest-benchmark JSON into the compact committed schema.
+
+Usage::
+
+    python scripts/summarize_bench.py raw.json BENCH_3.json
+
+Raw pytest-benchmark output carries every timing sample plus machine and
+commit metadata — ~1.7 MB for a handful of benchmarks, almost all of it the
+``stats.data`` arrays. The repo commits one benchmark file per PR, so that
+weight compounds. This script keeps only what the regression gate and the
+performance docs read: per-benchmark summary statistics.
+
+Output schema (``repro-bench-summary/1``)::
+
+    {
+      "schema": "repro-bench-summary/1",
+      "source": {"datetime": "...", "machine": "...", "python": "..."},
+      "benchmarks": [
+        {"name": "...", "group": null, "params": {...} | null,
+         "mean": s, "median": s, "stddev": s, "min": s, "max": s,
+         "ops": 1/s, "rounds": n, "iterations": n}
+      ]
+    }
+
+``scripts/check_bench_regression.py`` accepts both this schema and raw
+pytest-benchmark files, so historical BENCH files need no conversion.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Schema tag identifying compact summaries; bump the suffix on breaking
+#: changes.
+SCHEMA = "repro-bench-summary/1"
+
+#: Per-benchmark statistics copied from pytest-benchmark's ``stats`` block.
+_STAT_FIELDS = ("mean", "median", "stddev", "min", "max", "ops", "rounds", "iterations")
+
+
+def summarize(payload: Dict) -> Dict:
+    """Compact summary dict for a raw pytest-benchmark ``payload``."""
+    if payload.get("schema") == SCHEMA:
+        return payload  # already compact; idempotent
+    machine = payload.get("machine_info", {})
+    summary = {
+        "schema": SCHEMA,
+        "source": {
+            "datetime": payload.get("datetime"),
+            "machine": machine.get("node"),
+            "python": machine.get("python_version"),
+        },
+        "benchmarks": [
+            {
+                "name": bench["name"],
+                "group": bench.get("group"),
+                "params": bench.get("params"),
+                **{field: bench["stats"][field] for field in _STAT_FIELDS},
+            }
+            for bench in payload["benchmarks"]
+        ],
+    }
+    summary["benchmarks"].sort(key=lambda b: b["name"])
+    return summary
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("raw", type=Path, help="raw pytest-benchmark JSON")
+    parser.add_argument("out", type=Path, help="compact summary destination")
+    args = parser.parse_args(argv)
+
+    if not args.raw.exists():
+        print(f"error: {args.raw} does not exist", file=sys.stderr)
+        return 2
+    payload = json.loads(args.raw.read_text(encoding="utf-8"))
+    summary = summarize(payload)
+    args.out.write_text(
+        json.dumps(summary, indent=2, sort_keys=False) + "\n", encoding="utf-8"
+    )
+    raw_size = args.raw.stat().st_size
+    out_size = args.out.stat().st_size
+    print(
+        f"{args.out}: {len(summary['benchmarks'])} benchmark(s), "
+        f"{out_size:,} bytes (raw was {raw_size:,})"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

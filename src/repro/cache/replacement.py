@@ -66,16 +66,41 @@ class ReplacementPolicy:
             )
 
 
-class LRUPolicy(ReplacementPolicy):
-    """Least Recently Used: evict the entry unhit for the longest time."""
+class _OrderedPolicy(ReplacementPolicy):
+    """Shared ``OrderedDict`` order-maintenance for list-ordered policies.
 
-    expiration_age_kind = "lru"
+    LRU and FIFO differ only in whether a hit reorders the entry; admission
+    at the tail, victim at the head, and eviction removal are identical.
+    Keeping that bookkeeping in one place makes it the single canonical
+    behaviour that :class:`repro.fastpath.structures.IntrusiveLRUList`
+    (the columnar engine's array-backed port) mirrors.
+    """
 
     def __init__(self) -> None:
         self._order: "OrderedDict[str, None]" = OrderedDict()
 
     def on_admit(self, entry: CacheEntry) -> None:
         self._order[entry.url] = None
+
+    def select_victim(self) -> str:
+        self._require_nonempty(len(self._order))
+        return next(iter(self._order))
+
+    def on_evict(self, entry: CacheEntry) -> None:
+        self._order.pop(entry.url, None)
+
+    def clear(self) -> None:
+        self._order.clear()
+
+    def recency_order(self) -> List[str]:
+        """URLs from head (next victim) to tail (for tests/inspection)."""
+        return list(self._order)
+
+
+class LRUPolicy(_OrderedPolicy):
+    """Least Recently Used: evict the entry unhit for the longest time."""
+
+    expiration_age_kind = "lru"
 
     def on_hit(self, entry: CacheEntry) -> None:
         self._order.move_to_end(entry.url)
@@ -89,44 +114,14 @@ class LRUPolicy(ReplacementPolicy):
         if url in self._order:
             self._order.move_to_end(url)
 
-    def select_victim(self) -> str:
-        self._require_nonempty(len(self._order))
-        return next(iter(self._order))
 
-    def on_evict(self, entry: CacheEntry) -> None:
-        self._order.pop(entry.url, None)
-
-    def clear(self) -> None:
-        self._order.clear()
-
-    def recency_order(self) -> List[str]:
-        """URLs from least- to most-recently used (for tests/inspection)."""
-        return list(self._order)
-
-
-class FIFOPolicy(ReplacementPolicy):
+class FIFOPolicy(_OrderedPolicy):
     """First-In First-Out: evict in admission order, hits do not matter."""
 
     expiration_age_kind = "lru"
 
-    def __init__(self) -> None:
-        self._order: "OrderedDict[str, None]" = OrderedDict()
-
-    def on_admit(self, entry: CacheEntry) -> None:
-        self._order[entry.url] = None
-
     def on_hit(self, entry: CacheEntry) -> None:
         pass
-
-    def select_victim(self) -> str:
-        self._require_nonempty(len(self._order))
-        return next(iter(self._order))
-
-    def on_evict(self, entry: CacheEntry) -> None:
-        self._order.pop(entry.url, None)
-
-    def clear(self) -> None:
-        self._order.clear()
 
 
 class _HeapPolicy(ReplacementPolicy):

@@ -5,6 +5,7 @@ The subcommands cover the library's workflows::
     repro generate-trace --scale default --out trace.bu
     repro simulate --scheme ea --caches 4 --capacity 10MB --trace trace.bu
     repro simulate --sanitize          # same, with runtime invariant checks
+    repro simulate --engine columnar   # columnar fast path (byte-identical)
     repro experiment fig1 --scale tiny
     repro experiment fig1 --jobs 4 --memo .repro-memo
     repro sweep --scale tiny --jobs 4  # raw {scheme} x {capacity} grid
@@ -33,6 +34,7 @@ from repro.experiments import EXPERIMENTS
 from repro.experiments.workload import WORKLOAD_SCALES, workload_config, workload_trace
 from repro.simulation.simulator import (
     ARCHITECTURES,
+    ENGINES,
     PARTITIONERS,
     SimulationConfig,
     run_simulation,
@@ -78,6 +80,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--scale", choices=WORKLOAD_SCALES, default="default",
                      help="synthetic workload scale when --trace is omitted")
     sim.add_argument("--seed", type=int, default=42)
+    sim.add_argument("--engine", choices=ENGINES, default="object",
+                     help="execution engine; 'columnar' is a byte-identical "
+                     "fast path (falls back with a logged reason if the "
+                     "config needs an object-engine feature)")
     sim.add_argument("--json", action="store_true", help="emit the full result as JSON")
     sim.add_argument(
         "--sanitize",
@@ -100,6 +106,9 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--memo", metavar="DIR",
                      help="content-addressed result cache; sweep points already "
                      "simulated for this config+trace are reused")
+    exp.add_argument("--engine", choices=ENGINES,
+                     help="execution engine for sweep-backed drivers "
+                     "(default: object); results are byte-identical")
 
     swp = sub.add_parser(
         "sweep", help="run a raw {scheme} x {capacity} sweep, optionally in parallel"
@@ -120,6 +129,9 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="worker processes (default: one per CPU; 1 = serial)")
     swp.add_argument("--memo", metavar="DIR",
                      help="content-addressed result cache directory")
+    swp.add_argument("--engine", choices=ENGINES, default="object",
+                     help="execution engine for every sweep point; results "
+                     "are byte-identical either way")
     swp.add_argument("--json", action="store_true", help="emit all points as JSON")
 
     prof = sub.add_parser(
@@ -135,6 +147,8 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
     prof.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
     prof.add_argument("--seed", type=int, default=42)
+    prof.add_argument("--engine", choices=ENGINES, default="object",
+                     help="execution engine to profile")
     prof.add_argument("--sort", choices=("cumulative", "tottime"), default="cumulative",
                       help="stat ordering for the report")
     prof.add_argument("--top", type=int, default=25, metavar="N",
@@ -201,16 +215,24 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         partitioner=args.partitioner,
         seed=args.seed,
         sanitize=args.sanitize,
+        engine=args.engine,
     )
-    simulator = CooperativeSimulator(config)
-    result = simulator.run(trace)
+    sanitizer = None
+    if args.sanitize:
+        # Sanitizing needs the simulator instance for the report (and forces
+        # the object engine anyway — the dispatcher would fall back).
+        simulator = CooperativeSimulator(config)
+        result = simulator.run(trace)
+        sanitizer = simulator.sanitizer
+    else:
+        result = run_simulation(config, trace)
     if args.json:
         print(result.to_json())
     else:
         print(result.summary())
-    if simulator.sanitizer is not None:
-        print(simulator.sanitizer.summary())
-        if not simulator.sanitizer.ok:
+    if sanitizer is not None:
+        print(sanitizer.summary())
+        if not sanitizer.ok:
             return 3
     return 0
 
@@ -235,6 +257,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             kwargs["jobs"] = jobs
         if "memo" in accepted and memo is not None:
             kwargs["memo"] = memo
+        if "engine" in accepted and args.engine is not None:
+            kwargs["engine"] = args.engine
         report = driver(**kwargs)
         if store is not None:
             store.save(report)
@@ -270,7 +294,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     memo = SweepMemoStore(args.memo) if args.memo else None
     sweep = run_capacity_sweep(
         trace, capacities, schemes=schemes, base_config=base_config,
-        jobs=jobs, memo=memo,
+        jobs=jobs, memo=memo, engine=args.engine,
     )
     if args.json:
         payload = [
@@ -324,6 +348,7 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         architecture=args.architecture,
         partitioner=args.partitioner,
         seed=args.seed,
+        engine=args.engine,
     )
     profiler = cProfile.Profile()
     start = time.perf_counter()

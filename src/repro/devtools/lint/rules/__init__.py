@@ -4,6 +4,7 @@ from repro.devtools.lint.rules import (  # noqa: F401  (import-for-side-effect)
     dataclasses,
     determinism,
     floats,
+    hotloop,
     ordering,
     parallel,
     style,

@@ -1,0 +1,105 @@
+"""Allocation rules for the columnar fast-path package.
+
+``repro.fastpath`` exists to replay the request loop without per-request
+object churn: its engine works over pre-interned integer arrays, and its
+throughput edge over the object core comes precisely from *not* building a
+``CacheEntry`` / ``HttpRequest`` / dict per event. An innocuous-looking
+dataclass construction or dict comprehension added inside one of its loops
+quietly reintroduces the allocation cost the package was written to remove
+— and nothing fails, the engine just gets slower. RPR009 catches that
+statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.lint.registry import RuleVisitor, register
+
+#: Per-event object types the object engine allocates and the columnar
+#: engine must not: constructing any of these inside a fastpath loop body
+#: is per-request allocation by definition.
+_PER_REQUEST_CLASSES: Set[str] = {
+    "CacheEntry",
+    "Document",
+    "EvictionRecord",
+    "RequestOutcome",
+    "HttpRequest",
+    "HttpResponse",
+    "ICPMessage",
+    "TraceRecord",
+}
+
+
+@register
+class HotLoopAllocationRule(RuleVisitor):
+    """RPR009: no per-request object allocation in fastpath hot loops.
+
+    Flags, inside the body of a ``for``/``while`` loop (or a ``while``
+    condition, which also runs per iteration) in ``repro.fastpath``:
+
+    * construction of a per-event repro dataclass (``CacheEntry``,
+      ``HttpRequest``, ``EvictionRecord``, ...), whether called bare or as
+      an attribute (``http.HttpRequest(...)``);
+    * a dict comprehension, which allocates a fresh dict per iteration.
+
+    One-off allocations outside loops (setup, result assembly, error
+    paths) are fine; a deliberate exception inside a loop takes
+    ``# repro: noqa[RPR009]``.
+    """
+
+    code = "RPR009"
+    summary = "per-request object allocation inside a fastpath hot loop"
+    packages = ("fastpath",)
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def _visit_per_iteration(self, nodes) -> None:
+        self._loop_depth += 1
+        for child in nodes:
+            self.visit(child)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        # The iterable expression evaluates once; only the body repeats.
+        self.visit(node.iter)
+        self.visit(node.target)
+        self._visit_per_iteration(node.body)
+        for child in node.orelse:
+            self.visit(child)
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_per_iteration([node.test, *node.body])
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth > 0:
+            func = node.func
+            name = None
+            if isinstance(func, ast.Name):
+                name = func.id
+            elif isinstance(func, ast.Attribute):
+                name = func.attr
+            if name in _PER_REQUEST_CLASSES:
+                self.report(
+                    node,
+                    f"`{name}` constructed inside a fastpath loop allocates "
+                    "one object per request; hoist it out or work on the "
+                    "interned arrays",
+                )
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if self._loop_depth > 0:
+            self.report(
+                node,
+                "dict comprehension inside a fastpath loop allocates a dict "
+                "per iteration; build it once outside the loop",
+            )
+        self.generic_visit(node)

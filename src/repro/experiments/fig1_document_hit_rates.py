@@ -41,11 +41,13 @@ def run(
     base_config: Optional[SimulationConfig] = None,
     jobs: Optional[int] = None,
     memo=None,
+    engine: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate Figure 1 (4-cache distributed group, LRU, both schemes)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
     capacities = capacities if capacities is not None else capacities_for(scale)
     sweep = run_capacity_sweep(
-        trace, capacities, base_config=base_config, jobs=jobs, memo=memo
+        trace, capacities, base_config=base_config, jobs=jobs, memo=memo,
+        engine=engine,
     )
     return build_report(sweep)

@@ -32,6 +32,7 @@ def run(
     base_config: Optional[SimulationConfig] = None,
     jobs: Optional[int] = None,
     memo=None,
+    engine: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate the 2/4/8-cache comparison."""
     trace = trace if trace is not None else workload_trace(scale, seed)
@@ -54,7 +55,8 @@ def run(
     for num_caches in group_sizes:
         config = replace(template, num_caches=num_caches)
         sweep = run_capacity_sweep(
-            trace, capacities, base_config=config, jobs=jobs, memo=memo
+            trace, capacities, base_config=config, jobs=jobs, memo=memo,
+            engine=engine,
         )
         for label in sweep.capacity_labels:
             adhoc = sweep.get("adhoc", label).result.metrics

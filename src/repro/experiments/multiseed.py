@@ -55,6 +55,7 @@ def run_multi_seed_comparison(
     base_config: Optional[SimulationConfig] = None,
     jobs: Optional[int] = None,
     memo=None,
+    engine: Optional[str] = None,
 ) -> ExperimentReport:
     """EA-minus-ad-hoc hit-rate delta with error bars across seeds.
 
@@ -78,7 +79,7 @@ def run_multi_seed_comparison(
         config = base_config if base_config is not None else SimulationConfig()
         sweep = run_capacity_sweep(
             trace, capacities, base_config=replace(config, seed=seed),
-            jobs=jobs, memo=memo,
+            jobs=jobs, memo=memo, engine=engine,
         )
         for label, _ in capacities:
             adhoc = sweep.get("adhoc", label).result.metrics.hit_rate

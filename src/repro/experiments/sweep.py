@@ -72,6 +72,7 @@ def run_capacity_sweep(
     base_config: Optional[SimulationConfig] = None,
     jobs: Optional[int] = None,
     memo=None,
+    engine: Optional[str] = None,
 ) -> SweepResult:
     """Run {scheme} x {capacity} simulations over ``trace``.
 
@@ -87,7 +88,17 @@ def run_capacity_sweep(
             makes results byte-identical to the serial path.
         memo: Optional :class:`repro.parallel.SweepMemoStore`; memoized
             points are loaded instead of re-simulated.
+        engine: Execution engine for every point (``"object"`` /
+            ``"columnar"``); overrides ``base_config.engine`` when given.
+            Results are byte-identical either way — ``"columnar"`` is purely
+            a throughput knob (unsupported configs fall back per point with
+            a logged reason). Workers in a parallel sweep pin one trace, so
+            the columnar interning cost is paid once per worker, not per
+            point.
     """
+    if engine is not None:
+        template = base_config if base_config is not None else SimulationConfig()
+        base_config = replace(template, engine=engine)
     if jobs is not None or memo is not None:
         # Imported lazily — repro.parallel imports this module for
         # SweepPoint/SweepResult, so a top-level import would be circular.

@@ -51,6 +51,7 @@ def run(
     base_config: Optional[SimulationConfig] = None,
     jobs: Optional[int] = None,
     memo=None,
+    engine: Optional[str] = None,
 ) -> ExperimentReport:
     """Regenerate Table 1 (capacities stop at 100 MB, as in the paper)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
@@ -59,6 +60,7 @@ def run(
         table1_labels = {label for label, _ in TABLE1_CAPACITIES}
         capacities = [c for c in available if c[0] in table1_labels]
     sweep = run_capacity_sweep(
-        trace, capacities, base_config=base_config, jobs=jobs, memo=memo
+        trace, capacities, base_config=base_config, jobs=jobs, memo=memo,
+        engine=engine,
     )
     return build_report(sweep)

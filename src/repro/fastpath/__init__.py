@@ -1,0 +1,34 @@
+"""Columnar fast-path simulation engine.
+
+``repro.fastpath`` replays a trace through the same protocol sequence as
+the object core (``repro.architecture`` + ``repro.cache``) but over
+columnar state: URLs and clients are interned to dense integer ids at
+trace load (:meth:`repro.trace.record.Trace.interned`), per-cache entry
+metadata lives in parallel arrays indexed by doc id, LRU recency is an
+array-backed intrusive doubly-linked list, and the expiration-age window
+is a preallocated ring buffer. The replay loop allocates nothing per
+request.
+
+The engine is selected via ``SimulationConfig(engine="columnar")`` and is
+**byte-identical** to the object core: same
+:meth:`~repro.simulation.results.SimulationResult.to_dict` (and therefore
+``to_json``) output for every supported configuration — the differential
+harness in ``tests/fastpath`` enforces this across scheme × architecture ×
+policy. Configurations the engine does not support (see
+:func:`columnar_unsupported_reason`) transparently fall back to the object
+engine with a logged reason.
+"""
+
+from repro.fastpath.engine import columnar_unsupported_reason, simulate_columnar
+from repro.fastpath.interning import InternedTrace
+from repro.fastpath.ringtracker import RingAgeTracker
+from repro.fastpath.structures import IntrusiveLRUList, LFUVictimHeap
+
+__all__ = [
+    "InternedTrace",
+    "IntrusiveLRUList",
+    "LFUVictimHeap",
+    "RingAgeTracker",
+    "columnar_unsupported_reason",
+    "simulate_columnar",
+]

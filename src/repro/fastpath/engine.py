@@ -1,0 +1,583 @@
+"""The columnar replay engine.
+
+One function, :func:`simulate_columnar`, replays a trace through the exact
+protocol sequence of the object core — local lookup, ICP probe, remote or
+origin HTTP fetch, placement decisions, hierarchical escalation — over
+columnar state: per-cache parallel arrays indexed by dense doc id, an
+array-backed intrusive LRU list or lazy LFU heap for victim order, and a
+ring-buffer expiration-age tracker per cache. The replay loop performs no
+per-request allocation (lint rule RPR009 enforces this statically).
+
+Byte identity with the object core is the contract, not an aspiration:
+
+* Every expiration-age *read* the object core performs is mirrored here in
+  the same order — in the time-window mode a read trims the window (a side
+  effect), so even decision reads whose value is unused (the ad-hoc
+  scheme's audit fields) must happen.
+* Window sums follow the same ``+=``/``-=`` sequence as the deque tracker
+  (see :mod:`repro.fastpath.ringtracker`), so ages are bit-equal floats.
+* HTTP/ICP wire lengths use the same arithmetic as
+  :class:`repro.protocol.http.HttpRequest` / ``HttpResponse`` /
+  :mod:`repro.protocol.icp` (asserted by tests against the real classes).
+* Metric and latency accumulation orders match ``GroupMetrics.observe``.
+
+Configurations outside the engine's envelope (custom policies, the
+sanitizer, stochastic latency, ICP loss injection, per-request outcome
+consumers) report a reason via :func:`columnar_unsupported_reason`;
+``run_simulation`` logs it and falls back to the object engine.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import List, Optional
+
+from repro.cache.stats import CacheStats
+from repro.errors import SimulationError, TraceError
+from repro.fastpath.ringtracker import RingAgeTracker
+from repro.fastpath.structures import IntrusiveLRUList, LFUVictimHeap
+from repro.network.bus import MessageCounters
+from repro.network.latency import ComponentLatencyModel, ConstantLatencyModel
+from repro.network.topology import StarTopology, two_level_tree
+from repro.protocol.http import format_expiration_age
+from repro.simulation.metrics import GroupMetrics, average_cache_expiration_age
+from repro.simulation.results import SimulationResult
+from repro.trace.record import Trace
+
+#: Replacement policies the columnar engine implements natively.
+SUPPORTED_POLICIES = ("lru", "lfu")
+
+#: Placement schemes the columnar engine implements natively.
+SUPPORTED_SCHEMES = ("adhoc", "ea")
+
+#: EA tie-break rules the columnar engine implements natively.
+SUPPORTED_TIE_BREAKS = ("requester", "responder")
+
+
+def columnar_unsupported_reason(config) -> Optional[str]:
+    """Why ``config`` cannot run on the columnar engine, or None if it can.
+
+    A non-None reason means the caller should use the object engine; the
+    dispatcher in :func:`repro.simulation.simulator.run_simulation` logs
+    the reason and falls back transparently. Unknown scheme/policy/tie
+    names also fall back so the object engine raises its canonical errors.
+    """
+    if config.policy not in SUPPORTED_POLICIES:
+        return (
+            f"replacement policy {config.policy!r} has no columnar port "
+            f"(supported: {SUPPORTED_POLICIES})"
+        )
+    if config.scheme not in SUPPORTED_SCHEMES:
+        return f"placement scheme {config.scheme!r} has no columnar port"
+    if config.scheme == "ea" and config.tie_break not in SUPPORTED_TIE_BREAKS:
+        return f"tie_break {config.tie_break!r} has no columnar port"
+    if config.sanitize:
+        return "sanitize=True instruments the object core's structures"
+    if config.use_engine:
+        return "use_engine=True replays through the discrete-event scheduler"
+    if config.keep_outcomes:
+        return "keep_outcomes=True materialises per-request outcome objects"
+    if config.collect_histogram:
+        return "collect_histogram=True streams per-request latencies"
+    if config.timeseries_window > 0:
+        return "timeseries_window>0 buckets per-request outcomes"
+    if config.latency == "stochastic":
+        return "stochastic latency draws per-request random noise"
+    if config.responder_strategy == "random":
+        return "random responder strategy draws from the seeded RNG"
+    if config.icp_loss_rate > 0:
+        return "icp_loss_rate>0 draws per-probe loss randomness"
+    return None
+
+
+def _leaf_column(config, interned, leaves: List[int]) -> List[int]:
+    """Cache index (not leaf position) receiving each request, in order.
+
+    Reproduces the three partitioners over interned client ids: the hash
+    partitioner's MD5 is computed once per distinct client; round-robin by
+    client is first-appearance order — exactly the intern order — modulo
+    the leaf count; round-robin by request is the record index.
+    """
+    num_leaves = len(leaves)
+    if config.partitioner == "round-robin-request":
+        return [leaves[i % num_leaves] for i in range(interned.num_records)]
+    if config.partitioner == "hash":
+        client_leaf = [
+            leaves[
+                int.from_bytes(
+                    hashlib.md5(name.encode("utf-8")).digest()[:8], "big"
+                )
+                % num_leaves
+            ]
+            for name in interned.client_names
+        ]
+    else:  # round-robin-client: intern order == first-appearance order
+        client_leaf = [
+            leaves[client % num_leaves] for client in range(interned.num_clients)
+        ]
+    return [client_leaf[client] for client in interned.clients]
+
+
+def simulate_columnar(config, trace: Trace) -> SimulationResult:
+    """Replay ``trace`` under ``config`` on the columnar engine.
+
+    Raises :class:`SimulationError` when the config is outside the
+    engine's envelope — use
+    :func:`repro.simulation.simulator.run_simulation` for transparent
+    fallback.
+    """
+    reason = columnar_unsupported_reason(config)
+    if reason is not None:
+        raise SimulationError(f"config unsupported by the columnar engine: {reason}")
+    if config.patch_size <= 0:
+        # Same guard (and message) patch_zero_sizes raises in the object path.
+        raise TraceError(f"patch_size must be positive, got {config.patch_size}")
+
+    interned = trace.interned()
+    num_docs = interned.num_docs
+    if interned.has_zero_sizes:
+        patch = config.patch_size
+        record_sizes = [patch if size == 0 else size for size in interned.sizes]
+    else:
+        record_sizes = interned.sizes
+    # Content-Length digit counts for origin responses, one per request.
+    size_digits = [len(str(size)) for size in record_sizes]
+
+    # ---------------------------------------------------------------- #
+    # Topology, capacities, partitioning
+    # ---------------------------------------------------------------- #
+    hierarchical = config.architecture == "hierarchical"
+    if hierarchical:
+        topology = two_level_tree(config.num_caches, config.num_parents)
+    else:
+        topology = StarTopology(config.num_caches)
+    num_caches = topology.num_caches
+    leaves = topology.leaves()
+    parent = [topology.parent_of(i) for i in range(num_caches)]
+    probe_targets: List[tuple] = [() for _ in range(num_caches)]
+    for leaf in leaves:
+        targets = list(topology.siblings_of(leaf))
+        if hierarchical and parent[leaf] is not None:
+            targets.append(parent[leaf])
+        probe_targets[leaf] = tuple(targets)
+
+    # Equal split, same arithmetic as build_caches with unit weights.
+    weights = [1.0] * num_caches
+    total_weight = sum(weights)
+    capacity = [int(config.aggregate_capacity * w / total_weight) for w in weights]
+    if any(share <= 0 for share in capacity):
+        raise SimulationError(
+            f"aggregate capacity {config.aggregate_capacity} too small for "
+            f"{num_caches} caches with shares {weights}"
+        )
+
+    leaf_column = _leaf_column(config, interned, leaves)
+    # "cacheN" Via-header lengths, matching build_caches' naming.
+    sender_len = [5 + len(str(i)) for i in range(num_caches)]
+
+    # ---------------------------------------------------------------- #
+    # Per-cache columnar state
+    # ---------------------------------------------------------------- #
+    lru_kind = config.policy == "lru"
+    present = [bytearray(num_docs) for _ in range(num_caches)]
+    doc_size = [[0] * num_docs for _ in range(num_caches)]
+    entry_time = [[0.0] * num_docs for _ in range(num_caches)]
+    last_hit = [[0.0] * num_docs for _ in range(num_caches)]
+    hit_count = [[0] * num_docs for _ in range(num_caches)]
+    used = [0] * num_caches
+    copies = [0] * num_caches
+    if lru_kind:
+        order: List = [IntrusiveLRUList(num_docs) for _ in range(num_caches)]
+    else:
+        order = [LFUVictimHeap(num_docs) for _ in range(num_caches)]
+    trackers = [
+        RingAgeTracker(
+            kind="lru" if lru_kind else "lfu",
+            window_mode=config.window_mode,
+            window_size=config.window_size,
+            window_seconds=config.window_seconds,
+        )
+        for _ in range(num_caches)
+    ]
+    age_of = [tracker.cache_expiration_age for tracker in trackers]
+    record_age = [tracker.record for tracker in trackers]
+
+    # Per-cache stats columns (CacheStats fields).
+    st_lookups = [0] * num_caches
+    st_local_hits = [0] * num_caches
+    st_local_misses = [0] * num_caches
+    st_remote_served = [0] * num_caches
+    st_admissions = [0] * num_caches
+    st_rejections = [0] * num_caches
+    st_evictions = [0] * num_caches
+    st_bytes_local = [0] * num_caches
+    st_bytes_remote = [0] * num_caches
+    st_bytes_admitted = [0] * num_caches
+    st_bytes_evicted = [0] * num_caches
+
+    # Bus counters: [icp_q, icp_r, http_req, http_resp, icp_B, hdr_B, body_B]
+    bus = [0, 0, 0, 0, 0, 0, 0]
+    # Metrics: [requests, local, remote, miss, B_req, B_local, B_remote, B_miss]
+    met = [0, 0, 0, 0, 0, 0, 0, 0]
+    latency_sum = [0.0]
+
+    # ---------------------------------------------------------------- #
+    # Scheme / latency / strategy parameters
+    # ---------------------------------------------------------------- #
+    ea = config.scheme == "ea"
+    tie_requester = config.tie_break == "requester"
+    replica_cap = config.max_replica_fraction if ea else None
+    max_age_strategy = config.responder_strategy == "max_age"
+    constant_latency = config.latency == "constant"
+    if constant_latency:
+        model = ConstantLatencyModel()
+        lat_local = model.local_hit
+        lat_remote = model.remote_hit
+        lat_miss = model.miss
+        lan_bw = wan_bw = 1.0  # unused
+    else:
+        model = ComponentLatencyModel()
+        lat_local = model.local_service
+        lat_remote = model.icp_rtt + model.proxy_http_setup
+        lat_miss = model.icp_rtt + model.origin_http_setup
+        lan_bw = model.lan_bandwidth
+        wan_bw = model.wan_bandwidth
+    fmt_age = format_expiration_age
+    url_len = interned.url_lens
+    icp_pair = interned.icp_probe_bytes
+    warmup = config.warmup_requests
+
+    # ---------------------------------------------------------------- #
+    # Shared operations (closures over the columnar state)
+    # ---------------------------------------------------------------- #
+
+    def _admit(cache: int, doc: int, size: int, now: float) -> None:
+        """Mirror of ProxyCache.admit for a policy-supported cache."""
+        held = present[cache]
+        if held[doc]:
+            # Already cached: refresh instead of re-admitting.
+            last_hit[cache][doc] = now
+            bumped = hit_count[cache][doc] + 1
+            hit_count[cache][doc] = bumped
+            if lru_kind:
+                order[cache].touch(doc)
+            else:
+                order[cache].push(doc, bumped)
+            return
+        cap = capacity[cache]
+        if size > cap:
+            st_rejections[cache] += 1
+            return
+        in_use = used[cache]
+        if in_use + size > cap:
+            sizes_c = doc_size[cache]
+            last_c = last_hit[cache]
+            entry_c = entry_time[cache]
+            hits_c = hit_count[cache]
+            order_c = order[cache]
+            record_c = record_age[cache]
+            evicted = 0
+            evicted_bytes = 0
+            while in_use + size > cap:
+                victim = order_c.head() if lru_kind else order_c.victim()
+                held[victim] = 0
+                victim_size = sizes_c[victim]
+                in_use -= victim_size
+                order_c.remove(victim)
+                if lru_kind:
+                    age = now - last_c[victim]
+                else:
+                    age = (now - entry_c[victim]) / hits_c[victim]
+                record_c(age, now)
+                evicted += 1
+                evicted_bytes += victim_size
+            st_evictions[cache] += evicted
+            st_bytes_evicted[cache] += evicted_bytes
+            copies[cache] -= evicted
+        held[doc] = 1
+        doc_size[cache][doc] = size
+        entry_time[cache][doc] = now
+        last_hit[cache][doc] = now
+        hit_count[cache][doc] = 1
+        used[cache] = in_use + size
+        if lru_kind:
+            order[cache].push(doc)
+        else:
+            order[cache].push(doc, 1)
+        st_admissions[cache] += 1
+        st_bytes_admitted[cache] += size
+        copies[cache] += 1
+
+    def _serve_remote(cache: int, doc: int, now: float, refresh: bool) -> int:
+        """Mirror of ProxyCache.serve_remote; returns the entry size."""
+        size = doc_size[cache][doc]
+        st_remote_served[cache] += 1
+        st_bytes_remote[cache] += size
+        if refresh:
+            last_hit[cache][doc] = now
+            bumped = hit_count[cache][doc] + 1
+            hit_count[cache][doc] = bumped
+            if lru_kind:
+                order[cache].touch(doc)
+            else:
+                order[cache].push(doc, bumped)
+        return size
+
+    def _resolve(node: int, doc: int, record_size: int, digits: int,
+                 requester_age: float, now: float):
+        """Mirror of HierarchicalGroup._resolve_at.
+
+        Returns ``(size, found_at, node_age)``; ``found_at`` None → origin.
+        """
+        if present[node][doc]:
+            # EA promotes only a longer-lived copy; ad-hoc always refreshes
+            # (and performs no age read for the decision).
+            refresh = age_of[node](now) > requester_age if ea else True
+            size = _serve_remote(node, doc, now, refresh)
+            node_age = age_of[node](now)
+            age_text = fmt_age(node_age)
+            bus[3] += 1
+            bus[5] += 70 + len(str(size)) + sender_len[node] + len(age_text)
+            bus[6] += size
+            return size, node, node_age
+
+        grandparent = parent[node]
+        node_age = age_of[node](now)
+        if grandparent is None:
+            # Root: fetch from the origin (request and response carry no age).
+            bus[2] += 1
+            bus[5] += url_len[doc] + sender_len[node] + 24
+            bus[3] += 1
+            bus[5] += 50 + digits
+            bus[6] += record_size
+            size = record_size
+            found_at = None
+        else:
+            age_text = fmt_age(node_age)
+            bus[2] += 1
+            bus[5] += url_len[doc] + sender_len[node] + len(age_text) + 50
+            size, found_at, _upstream = _resolve(
+                grandparent, doc, record_size, digits, node_age, now
+            )
+        # Parent-store rule: both schemes read the node's own age.
+        own_age = age_of[node](now)
+        if (own_age > requester_age) if ea else True:
+            _admit(node, doc, size, now)
+        node_age = age_of[node](now)
+        age_text = fmt_age(node_age)
+        bus[3] += 1
+        bus[5] += 70 + len(str(size)) + sender_len[node] + len(age_text)
+        bus[6] += size
+        return size, found_at, node_age
+
+    # ---------------------------------------------------------------- #
+    # Replay loop — zero allocation per request
+    # ---------------------------------------------------------------- #
+    processed = 0
+    for cache, doc, now, record_size, digits in zip(
+        leaf_column, interned.doc_ids, interned.timestamps, record_sizes, size_digits
+    ):
+        st_lookups[cache] += 1
+        held = present[cache]
+        if held[doc]:
+            # Local hit: record_hit + policy refresh, then observe.
+            size = doc_size[cache][doc]
+            st_local_hits[cache] += 1
+            st_bytes_local[cache] += size
+            last_hit[cache][doc] = now
+            bumped = hit_count[cache][doc] + 1
+            hit_count[cache][doc] = bumped
+            if lru_kind:
+                order[cache].touch(doc)
+            else:
+                order[cache].push(doc, bumped)
+            processed += 1
+            if processed > warmup:
+                met[0] += 1
+                met[4] += size
+                latency_sum[0] += lat_local
+                met[1] += 1
+                met[5] += size
+            continue
+
+        st_local_misses[cache] += 1
+        targets = probe_targets[cache]
+        holders = [t for t in targets if present[t][doc]]
+        num_targets = len(targets)
+        bus[0] += num_targets
+        bus[1] += num_targets
+        bus[4] += num_targets * icp_pair[doc]
+
+        if holders:
+            # Remote hit via probe (same path for both architectures).
+            if max_age_strategy:
+                responder = holders[0]
+                best_age = age_of[responder](now)
+                for candidate in holders[1:]:
+                    candidate_age = age_of[candidate](now)
+                    if candidate_age > best_age:
+                        responder = candidate
+                        best_age = candidate_age
+            else:  # "first": lowest index
+                responder = min(holders)
+            # Scheme decision (both schemes read requester then responder).
+            requester_age = age_of[cache](now)
+            responder_age = age_of[responder](now)
+            if ea:
+                if requester_age > responder_age:
+                    store = True
+                elif requester_age == responder_age:
+                    store = tie_requester
+                else:
+                    store = False
+                refresh = responder_age > requester_age
+            else:
+                store = True
+                refresh = True
+            size = doc_size[responder][doc]
+            if (
+                store
+                and replica_cap is not None
+                and size > replica_cap * capacity[cache]
+            ):
+                store = False
+                refresh = True
+            age_text = fmt_age(requester_age)
+            bus[2] += 1
+            bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
+            _serve_remote(responder, doc, now, refresh)
+            age_text = fmt_age(responder_age)
+            bus[3] += 1
+            bus[5] += 70 + len(str(size)) + sender_len[responder] + len(age_text)
+            bus[6] += size
+            if store:
+                _admit(cache, doc, size, now)
+            processed += 1
+            if processed > warmup:
+                met[0] += 1
+                met[4] += size
+                if constant_latency:
+                    latency_sum[0] += lat_remote
+                else:
+                    latency_sum[0] += lat_remote + size / lan_bw
+                met[2] += 1
+                met[6] += size
+            continue
+
+        up = parent[cache]
+        if up is None:
+            # Group-wide miss (or hierarchy root): origin fetch, store local.
+            bus[2] += 1
+            bus[5] += url_len[doc] + sender_len[cache] + 24
+            bus[3] += 1
+            bus[5] += 50 + digits
+            bus[6] += record_size
+            age_of[cache](now)  # origin_fetch decision reads the own age
+            _admit(cache, doc, record_size, now)
+            processed += 1
+            if processed > warmup:
+                met[0] += 1
+                met[4] += record_size
+                if constant_latency:
+                    latency_sum[0] += lat_miss
+                else:
+                    latency_sum[0] += lat_miss + record_size / wan_bw
+                met[3] += 1
+                met[7] += record_size
+            continue
+
+        # Hierarchical escalation: all probes negative, parent resolves.
+        requester_age = age_of[cache](now)
+        age_text = fmt_age(requester_age)
+        bus[2] += 1
+        bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
+        size, found_at, upstream_age = _resolve(
+            up, doc, record_size, digits, requester_age, now
+        )
+        # Child-store rule (both schemes read the child's own age).
+        child_age = age_of[cache](now)
+        if ea:
+            if child_age > upstream_age:
+                store = True
+            elif child_age == upstream_age:
+                store = tie_requester
+            else:
+                store = False
+        else:
+            store = True
+        if store:
+            _admit(cache, doc, size, now)
+        processed += 1
+        if processed > warmup:
+            met[0] += 1
+            met[4] += size
+            if found_at is not None:
+                if constant_latency:
+                    latency_sum[0] += lat_remote
+                else:
+                    latency_sum[0] += lat_remote + size / lan_bw
+                met[2] += 1
+                met[6] += size
+            else:
+                if constant_latency:
+                    latency_sum[0] += lat_miss
+                else:
+                    latency_sum[0] += lat_miss + size / wan_bw
+                met[3] += 1
+                met[7] += size
+
+    # ---------------------------------------------------------------- #
+    # Result assembly (object-core dataclasses; identical serialisation)
+    # ---------------------------------------------------------------- #
+    metrics = GroupMetrics(
+        requests=met[0],
+        local_hits=met[1],
+        remote_hits=met[2],
+        misses=met[3],
+        bytes_requested=met[4],
+        bytes_local_hit=met[5],
+        bytes_remote_hit=met[6],
+        bytes_miss=met[7],
+        total_measured_latency=latency_sum[0],
+    )
+    counters = MessageCounters(
+        icp_queries=bus[0],
+        icp_replies=bus[1],
+        http_requests=bus[2],
+        http_responses=bus[3],
+        icp_bytes=bus[4],
+        http_header_bytes=bus[5],
+        http_body_bytes=bus[6],
+    )
+    cache_stats = [
+        CacheStats(
+            lookups=st_lookups[c],
+            local_hits=st_local_hits[c],
+            local_misses=st_local_misses[c],
+            remote_hits_served=st_remote_served[c],
+            admissions=st_admissions[c],
+            rejections=st_rejections[c],
+            evictions=st_evictions[c],
+            bytes_served_local=st_bytes_local[c],
+            bytes_served_remote=st_bytes_remote[c],
+            bytes_admitted=st_bytes_admitted[c],
+            bytes_evicted=st_bytes_evicted[c],
+        )
+        for c in range(num_caches)
+    ]
+    ages = [age_of[c](None) for c in range(num_caches)]
+    unique_documents = sum(1 for held in zip(*present) if any(held))
+    total_copies = sum(copies)
+    replication = total_copies / unique_documents if unique_documents else 0.0
+    return SimulationResult(
+        config=config.to_dict(),
+        metrics=metrics,
+        message_counters=counters,
+        cache_stats=cache_stats,
+        expiration_ages=ages,
+        avg_cache_expiration_age=average_cache_expiration_age(ages),
+        unique_documents=unique_documents,
+        total_copies=total_copies,
+        replication_factor=replication,
+        estimated_latency=metrics.estimated_latency(),
+    )

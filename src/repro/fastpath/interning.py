@@ -1,0 +1,114 @@
+"""Trace interning: map URLs and client ids to dense integers.
+
+The object core keys every cache structure by URL string; each request
+pays string hashing several times over (lookup, probe, policy order,
+entry table). Interning assigns every distinct URL a dense ``doc id``
+(first-appearance order) once, after which the replay loop works purely
+with list indices. Clients intern the same way, which also makes the
+round-robin-client partitioner a modulo over the client id.
+
+Derived per-document columns that the protocol accounting needs — UTF-8
+URL byte length and the ICP query+reply datagram size — are precomputed
+here from the real protocol functions, so the engine never touches a URL
+string during replay.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from repro.protocol import icp
+from repro.protocol.http import _utf8_length
+from repro.trace.record import TraceRecord
+
+
+class InternedTrace:
+    """Columnar view of a trace: parallel per-request and per-doc columns.
+
+    Per-request columns (index = request position in the trace):
+
+    * ``doc_ids`` — dense document id of the requested URL.
+    * ``sizes`` — raw record size in bytes (zero-size records *not* patched;
+      patching is a per-run config concern, see the engine).
+    * ``timestamps`` — request arrival time.
+    * ``clients`` — dense client id.
+
+    Per-document columns (index = doc id):
+
+    * ``urls`` — the interned URL strings (id -> URL).
+    * ``url_lens`` — UTF-8 byte length of each URL.
+    * ``icp_probe_bytes`` — ICP query + reply datagram bytes for one probe
+      of this URL (:func:`repro.protocol.icp.query_wire_length` +
+      :func:`~repro.protocol.icp.reply_wire_length`).
+
+    Per-client column (index = client id): ``client_names``.
+    """
+
+    __slots__ = (
+        "doc_ids",
+        "sizes",
+        "timestamps",
+        "clients",
+        "urls",
+        "url_lens",
+        "icp_probe_bytes",
+        "client_names",
+        "num_records",
+        "num_docs",
+        "num_clients",
+        "has_zero_sizes",
+    )
+
+    def __init__(
+        self,
+        doc_ids: List[int],
+        sizes: List[int],
+        timestamps: List[float],
+        clients: List[int],
+        urls: List[str],
+        client_names: List[str],
+    ):
+        self.doc_ids = doc_ids
+        self.sizes = sizes
+        self.timestamps = timestamps
+        self.clients = clients
+        self.urls = urls
+        self.client_names = client_names
+        self.url_lens = [_utf8_length(url) for url in urls]
+        self.icp_probe_bytes = [
+            icp.query_wire_length(url) + icp.reply_wire_length(url) for url in urls
+        ]
+        self.num_records = len(doc_ids)
+        self.num_docs = len(urls)
+        self.num_clients = len(client_names)
+        self.has_zero_sizes = 0 in sizes
+
+    @classmethod
+    def from_records(cls, records: Iterable[TraceRecord]) -> "InternedTrace":
+        """Intern ``records`` in order; ids follow first appearance."""
+        doc_index: dict = {}
+        client_index: dict = {}
+        urls: List[str] = []
+        client_names: List[str] = []
+        doc_ids: List[int] = []
+        sizes: List[int] = []
+        timestamps: List[float] = []
+        clients: List[int] = []
+        for record in records:
+            url = record.url
+            doc = doc_index.get(url)
+            if doc is None:
+                doc = len(urls)
+                doc_index[url] = doc
+                urls.append(url)
+            client_name = record.client_id
+            client = client_index.get(client_name)
+            if client is None:
+                client = len(client_names)
+                client_index[client_name] = client
+                client_names.append(client_name)
+            doc_ids.append(doc)
+            sizes.append(record.size)
+            timestamps.append(record.timestamp)
+            clients.append(client)
+        return cls(doc_ids, sizes, timestamps, clients, urls, client_names)

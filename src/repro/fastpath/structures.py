@@ -1,0 +1,128 @@
+"""Array-backed victim-order structures over dense doc ids.
+
+These mirror the object policies' victim semantics exactly —
+:class:`IntrusiveLRUList` reproduces :class:`repro.cache.replacement.LRUPolicy`
+(an ``OrderedDict`` by recency) and :class:`LFUVictimHeap` reproduces
+:class:`repro.cache.replacement.LFUPolicy` (a lazy min-heap keyed on
+``(hit_count, push_seq)``) — but are indexed by integer doc id so the
+replay loop never hashes a string and never allocates per operation.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Iterator, List, Tuple
+
+from repro.errors import CacheConfigurationError
+
+
+class IntrusiveLRUList:
+    """Doubly-linked recency list stored as two parallel ``prev``/``next``
+    arrays indexed by doc id, with a sentinel node at index ``num_docs``.
+
+    ``next[sentinel]`` is the least-recently-used doc (the LRU victim);
+    ``prev[sentinel]`` is the most-recently-used. Every operation is O(1)
+    and allocation-free. Doc ids must be resident (pushed, not removed)
+    when touched — exactly the contract :class:`ProxyCache` gives its
+    policy.
+    """
+
+    __slots__ = ("prev", "next", "sentinel")
+
+    def __init__(self, num_docs: int):
+        sentinel = num_docs
+        self.sentinel = sentinel
+        self.prev: List[int] = [-1] * (num_docs + 1)
+        self.next: List[int] = [-1] * (num_docs + 1)
+        self.prev[sentinel] = sentinel
+        self.next[sentinel] = sentinel
+
+    def push(self, doc: int) -> None:
+        """Insert ``doc`` at the most-recently-used end (admission)."""
+        prev, nxt, sentinel = self.prev, self.next, self.sentinel
+        tail = prev[sentinel]
+        nxt[tail] = doc
+        prev[doc] = tail
+        nxt[doc] = sentinel
+        prev[sentinel] = doc
+
+    def touch(self, doc: int) -> None:
+        """Move resident ``doc`` to the most-recently-used end (a hit)."""
+        prev, nxt = self.prev, self.next
+        before, after = prev[doc], nxt[doc]
+        nxt[before] = after
+        prev[after] = before
+        sentinel = self.sentinel
+        tail = prev[sentinel]
+        nxt[tail] = doc
+        prev[doc] = tail
+        nxt[doc] = sentinel
+        prev[sentinel] = doc
+
+    def remove(self, doc: int) -> None:
+        """Unlink resident ``doc`` (eviction)."""
+        prev, nxt = self.prev, self.next
+        before, after = prev[doc], nxt[doc]
+        nxt[before] = after
+        prev[after] = before
+
+    def head(self) -> int:
+        """The LRU victim. Raises on an empty list (mirrors the policies)."""
+        victim = self.next[self.sentinel]
+        if victim == self.sentinel:
+            raise CacheConfigurationError(
+                "IntrusiveLRUList.head called on an empty list"
+            )
+        return victim
+
+    def __iter__(self) -> Iterator[int]:
+        """Docs from least- to most-recently used (tests/inspection)."""
+        node = self.next[self.sentinel]
+        while node != self.sentinel:
+            yield node
+            node = self.next[node]
+
+    def order(self) -> List[int]:
+        """Recency order as a list, LRU victim first."""
+        return list(self)
+
+
+class LFUVictimHeap:
+    """Lazy min-heap over ``(hit_count, push_seq, doc)`` triples.
+
+    Identical victim order to :class:`repro.cache.replacement.LFUPolicy`:
+    lowest hit count wins, ties broken by the oldest push (least recent
+    refresh). Each push records a per-doc live sequence number; heap
+    records whose sequence is stale are skipped on pop. Since sequence
+    numbers are unique per push, matching the sequence is exactly the
+    object policy's ``(priority, seq)`` match.
+    """
+
+    __slots__ = ("_heap", "_live_seq", "_seq")
+
+    def __init__(self, num_docs: int):
+        self._heap: List[Tuple[int, int, int]] = []
+        self._live_seq: List[int] = [-1] * num_docs
+        self._seq = 0
+
+    def push(self, doc: int, count: int) -> None:
+        """(Re-)insert ``doc`` with its current hit count."""
+        self._seq += 1
+        seq = self._seq
+        self._live_seq[doc] = seq
+        heappush(self._heap, (count, seq, doc))
+
+    def remove(self, doc: int) -> None:
+        """Mark ``doc``'s heap records stale (eviction)."""
+        self._live_seq[doc] = -1
+
+    def victim(self) -> int:
+        """The live doc with the lowest ``(hit_count, push_seq)``."""
+        heap = self._heap
+        live = self._live_seq
+        while heap:
+            _count, seq, doc = heap[0]
+            if live[doc] == seq:
+                return doc
+            heappop(heap)  # stale record
+        raise CacheConfigurationError("heap policy state corrupted: no live records")

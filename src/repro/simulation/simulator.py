@@ -13,6 +13,7 @@ zero-size records patched to 4 KB, and requests replayed in timestamp order.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import asdict, dataclass, field, replace
 from typing import Callable, Dict, List, Optional
 
@@ -51,6 +52,10 @@ from repro.trace.record import DEFAULT_PATCH_SIZE, Trace, patch_zero_sizes
 ARCHITECTURES = ("distributed", "hierarchical")
 PARTITIONERS = ("hash", "round-robin-client", "round-robin-request")
 LATENCY_MODELS = ("constant", "component", "stochastic")
+ENGINES = ("object", "columnar")
+
+#: Logger for engine dispatch; fallback reasons are logged at INFO here.
+_fastpath_logger = logging.getLogger("repro.fastpath")
 
 
 @dataclass(frozen=True)
@@ -92,6 +97,12 @@ class SimulationConfig:
             available as ``simulator.histogram``.
         timeseries_window: When positive, bucket outcomes into windows of
             this many seconds (``simulator.timeseries``).
+        engine: Execution engine: ``"object"`` (the reference core) or
+            ``"columnar"`` (:mod:`repro.fastpath` — interned ids, array
+            state, byte-identical results). Configurations the columnar
+            engine does not support fall back to the object engine with a
+            logged reason (see
+            :func:`repro.fastpath.columnar_unsupported_reason`).
         sanitize: Instrument the run with the runtime invariant sanitizer
             (:class:`~repro.devtools.sanitizer.SimulationSanitizer`): byte
             accounting, LRU recency order, victim expiration ages, the EA
@@ -124,8 +135,13 @@ class SimulationConfig:
     collect_histogram: bool = False
     timeseries_window: float = 0.0
     sanitize: bool = False
+    engine: str = "object"
 
     def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise SimulationError(
+                f"engine must be one of {ENGINES}, got {self.engine!r}"
+            )
         if self.architecture not in ARCHITECTURES:
             raise SimulationError(
                 f"architecture must be one of {ARCHITECTURES}, got {self.architecture!r}"
@@ -333,5 +349,23 @@ class CooperativeSimulator:
 
 
 def run_simulation(config: SimulationConfig, trace: Trace) -> SimulationResult:
-    """One-shot convenience: build a simulator, replay ``trace``, return result."""
+    """One-shot convenience: replay ``trace`` under ``config``.
+
+    Dispatches on ``config.engine``: the columnar fast path
+    (:mod:`repro.fastpath`) when selected and supported — results are
+    byte-identical to the object core — otherwise the object engine. An
+    unsupported columnar request falls back transparently, logging the
+    reason on the ``repro.fastpath`` logger.
+    """
+    if config.engine == "columnar":
+        from repro.fastpath import columnar_unsupported_reason, simulate_columnar
+
+        reason = columnar_unsupported_reason(config)
+        if reason is None:
+            return simulate_columnar(config, trace)
+        _fastpath_logger.info(
+            "columnar engine unavailable for this config; "
+            "falling back to the object engine: %s",
+            reason,
+        )
     return CooperativeSimulator(config).run(trace)

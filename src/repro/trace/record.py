@@ -165,6 +165,24 @@ class Trace:
         """First ``n`` records as a new Trace."""
         return Trace(self.records[:n])
 
+    def interned(self):
+        """Columnar view with URLs/clients interned to dense integer ids.
+
+        Returns an :class:`repro.fastpath.interning.InternedTrace`.
+        Computed once and cached on the instance (records are append-never
+        after construction, same contract as :meth:`fingerprint`), so the
+        columnar engine pays the interning cost once per trace even across
+        many simulations — including pool workers that pin one trace.
+        """
+        cached = self.__dict__.get("_interned")
+        if cached is None:
+            # Imported here: repro.fastpath sits above the trace layer.
+            from repro.fastpath.interning import InternedTrace
+
+            cached = InternedTrace.from_records(self.records)
+            self.__dict__["_interned"] = cached
+        return cached
+
     def fingerprint(self) -> str:
         """Stable content hash of every record (hex SHA-256).
 

@@ -120,6 +120,78 @@ class TestTimeWindow:
         assert tracker.cache_expiration_age() == pytest.approx(3.0)
 
 
+class TestWindowOfOne:
+    """A count window of 1 is the smallest legal window: the cache
+    expiration age is always exactly the latest victim's document age."""
+
+    def test_age_is_latest_victim_only(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=1)
+        tracker.record_eviction(eviction(10.0, last_hit=0.0))  # age 10
+        assert tracker.cache_expiration_age() == pytest.approx(10.0)
+        tracker.record_eviction(eviction(11.0, last_hit=10.5))  # age 0.5
+        assert tracker.cache_expiration_age() == pytest.approx(0.5)
+        tracker.record_eviction(eviction(99.0, last_hit=9.0))  # age 90
+        assert tracker.cache_expiration_age() == pytest.approx(90.0)
+
+    def test_exact_for_representable_sums(self):
+        """With dyadic ages every add-then-subtract on the running window
+        sum is exact, so a one-slot window reports the newest victim's age
+        bit-for-bit across hundreds of cycles (this arithmetic sequence is
+        the reference the ring-buffer port matches operation-for-operation)."""
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=1)
+        for i in range(1, 500):
+            age = 2.0 ** -(i % 10)  # exact in double, as is float(i) - age
+            tracker.record_eviction(eviction(float(i), last_hit=float(i) - age))
+            assert tracker.cache_expiration_age() == age
+
+
+class TestZeroAgeVictims:
+    """A victim evicted at the instant of its last hit (age 0) signals
+    maximal contention and must weigh the window down, not be skipped."""
+
+    def test_zero_age_drags_mean_down(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=10)
+        tracker.record_eviction(eviction(10.0, last_hit=2.0))  # age 8
+        tracker.record_eviction(eviction(10.0, last_hit=10.0))  # age 0
+        assert tracker.cache_expiration_age() == pytest.approx(4.0)
+        assert tracker.snapshot().victims_in_window == 2
+
+    def test_all_zero_ages_is_zero_not_empty(self):
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=4)
+        for t in (1.0, 2.0, 3.0):
+            tracker.record_eviction(eviction(t, last_hit=t))
+        assert tracker.cache_expiration_age() == 0.0
+        assert not math.isinf(tracker.cache_expiration_age())
+
+    def test_lfu_zero_age(self):
+        tracker = ExpirationAgeTracker(kind="lfu", window_mode="count")
+        tracker.record_eviction(eviction(5.0, entry=5.0, hits=3))  # 0/3
+        assert tracker.cache_expiration_age() == 0.0
+
+
+class TestLFUHitCountGuard:
+    """The LFU ratio divides by HIT_COUNTER; a counter below 1 is
+    impossible by construction (CacheEntry enforces the paper's
+    'initialized to 1' rule), so the ratio can never divide by zero."""
+
+    def test_cache_entry_rejects_zero_hit_count(self):
+        from repro.cache.document import CacheEntry, Document
+
+        with pytest.raises(CacheConfigurationError, match="hit_count starts at 1"):
+            CacheEntry(
+                document=Document("http://x", 10), entry_time=0.0, hit_count=0
+            )
+        with pytest.raises(CacheConfigurationError, match="hit_count starts at 1"):
+            CacheEntry(
+                document=Document("http://x", 10), entry_time=0.0, hit_count=-2
+            )
+
+    def test_minimum_hit_count_is_finite_age(self):
+        record = eviction(7.0, entry=3.0, hits=1)
+        tracker = ExpirationAgeTracker(kind="lfu", window_mode="cumulative")
+        assert tracker.record_eviction(record) == pytest.approx(4.0)
+
+
 class TestLFUKind:
     def test_uses_lfu_formula(self):
         tracker = ExpirationAgeTracker(kind="lfu", window_mode="cumulative")
@@ -134,6 +206,21 @@ class TestReset:
         tracker.reset()
         assert math.isinf(tracker.cache_expiration_age())
         assert tracker.total_evictions == 0
+
+    @pytest.mark.parametrize("mode", ["cumulative", "count", "time"])
+    def test_tracker_reusable_after_reset(self, mode):
+        """Post-reset the tracker behaves exactly like a fresh one — the
+        window restarts empty in every mode."""
+        tracker = ExpirationAgeTracker(
+            window_mode=mode, window_size=3, window_seconds=100.0
+        )
+        for t in (1.0, 2.0, 3.0, 4.0):
+            tracker.record_eviction(eviction(t, last_hit=t - 5.0))  # ages 5
+        tracker.reset()
+        assert tracker.snapshot().victims_in_window == 0
+        tracker.record_eviction(eviction(10.0, last_hit=8.0))  # age 2
+        assert tracker.cache_expiration_age() == pytest.approx(2.0)
+        assert tracker.total_evictions == 1
 
 
 class TestRecordEvictionReturnValue:

@@ -114,6 +114,78 @@ class TestVictimFlow:
         assert cache.buffer_urls() == []
 
 
+class TestTrackerIntegration:
+    """The buffer defers expiration-age accounting to the *final*
+    departure; these pin the window semantics the ring-buffer port must
+    reproduce when a victim buffer feeds the tracker."""
+
+    def test_window_of_one_sees_final_departures_only(self):
+        from repro.cache.expiration import ExpirationAgeTracker
+
+        tracker = ExpirationAgeTracker(window_mode="count", window_size=1)
+        cache = VictimBufferCache(1000, victim_fraction=0.2, tracker=tracker)
+        for i in range(8):  # fill main (800 = 8 docs)
+            cache.admit(doc(f"http://d/{i}"), float(i))
+        cache.admit(doc("http://e/0"), 10.0)  # d/0 -> buffer, no tracker feed
+        assert tracker.total_evictions == 0
+        assert math.isinf(cache.expiration_age())
+        for i in range(1, 4):  # overflow the 2-doc buffer twice
+            cache.admit(doc(f"http://e/{i}"), 10.0 + i)
+        assert tracker.total_evictions == 2
+        # Window of 1: the age reflects only the latest final departure.
+        assert tracker.snapshot().victims_in_window == 1
+
+    def test_reset_mid_stream_restarts_accounting(self):
+        cache = VictimBufferCache(1000, victim_fraction=0.1)  # buffer 100
+        for i in range(9):
+            cache.admit(doc(f"http://d/{i}"), float(i))
+        for i in range(3):
+            cache.admit(doc(f"http://e/{i}"), 20.0 + i)
+        assert cache.tracker.total_evictions > 0
+        cache.tracker.reset()
+        assert math.isinf(cache.expiration_age())
+        cache.admit(doc("http://f/0"), 40.0)
+        cache.admit(doc("http://f/1"), 41.0)
+        assert cache.tracker.total_evictions >= 1
+
+    def test_zero_age_final_departure(self):
+        """A document evicted from main and flushed out of the buffer at
+        the very timestamp of its last hit contributes age 0."""
+        cache = VictimBufferCache(1000, victim_fraction=0.1)  # buffer 100 = 1 doc
+        cache.admit(doc("http://a"), 5.0)
+        for i in range(8):  # main 900 = 9 docs: a + these 8 still fit
+            cache.admit(doc(f"http://d/{i}"), 5.0)
+        cache.admit(doc("http://e/0"), 5.0)  # a -> buffer (still resident)
+        assert cache.tracker.total_evictions == 0
+        cache.admit(doc("http://e/1"), 5.0)  # d/0 -> buffer, flushing a at t=5
+        assert cache.tracker.total_evictions == 1
+        assert cache.expiration_age() == 0.0
+
+    def test_second_chance_preserves_hit_counter_for_lfu_age(self):
+        """Promotion back from the buffer is a refreshing hit: the entry
+        keeps its accumulated HIT_COUNTER, so a later LFU expiration age
+        divides by the full count, not a restarted one."""
+        from repro.cache.expiration import ExpirationAgeTracker
+        from repro.cache.replacement import LFUPolicy
+
+        cache = VictimBufferCache(
+            1000,
+            victim_fraction=0.3,
+            policy=LFUPolicy(),
+            tracker=ExpirationAgeTracker(kind="lfu"),
+        )
+        cache.admit(doc("http://a"), 0.0)
+        cache.lookup("http://a", 1.0)  # hit_count 2
+        for i in range(7):  # evict a into the buffer (lowest count after hits)
+            cache.admit(doc(f"http://d/{i}"), 2.0)
+            cache.lookup(f"http://d/{i}", 3.0)
+            cache.lookup(f"http://d/{i}", 4.0)
+        assert "http://a" in cache.buffer_urls()
+        entry = cache.lookup("http://a", 9.0)  # second chance
+        assert entry is not None
+        assert entry.hit_count == 3  # admit(1) + hit + second-chance hit
+
+
 class TestSecondChanceValue:
     def test_buffer_raises_hit_rate_on_looping_workload(self):
         """A loop slightly larger than the main store thrashes plain LRU;

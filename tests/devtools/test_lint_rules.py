@@ -304,3 +304,79 @@ class TestRPR008UnpicklablePoolCallable:
             "    return pool.map(lambda x: x + 1, xs)  # repro: noqa[RPR008]\n"
         )
         assert_silent("RPR008", src, self.PARALLEL)
+
+
+class TestRPR009HotLoopAllocation:
+    FASTPATH = "src/repro/fastpath/module.py"
+
+    def test_dataclass_in_for_body_flagged(self):
+        src = (
+            '"""m."""\nfrom repro.cache.document import CacheEntry\n\n'
+            'def replay(docs):\n    """D."""\n'
+            "    for doc in docs:\n"
+            "        entry = CacheEntry(document=doc, entry_time=0.0)\n"
+            "        yield entry\n"
+        )
+        assert_fires("RPR009", src, self.FASTPATH)
+
+    def test_attribute_construction_flagged(self):
+        src = (
+            '"""m."""\nfrom repro.protocol import http\n\n'
+            'def replay(urls):\n    """D."""\n'
+            "    for url in urls:\n"
+            "        yield http.HttpRequest(url=url, sender='c')\n"
+        )
+        assert_fires("RPR009", src, self.FASTPATH)
+
+    def test_dict_comprehension_in_while_flagged(self):
+        src = (
+            '"""m."""\n\ndef drain(queue):\n    """D."""\n'
+            "    while queue:\n"
+            "        snapshot = {k: v for k, v in queue.items()}\n"
+            "        queue.popitem()\n"
+            "    return snapshot\n"
+        )
+        assert_fires("RPR009", src, self.FASTPATH)
+
+    def test_allocation_outside_loop_ok(self):
+        src = (
+            '"""m."""\nfrom repro.cache.document import EvictionRecord\n\n'
+            'def summarise(ages):\n    """D."""\n'
+            "    record = EvictionRecord(url='u', size=1, entry_time=0.0,\n"
+            "                            last_hit_time=0.0, hit_count=1,\n"
+            "                            evict_time=1.0)\n"
+            "    total = 0.0\n"
+            "    for age in ages:\n"
+            "        total += age\n"
+            "    return record, total\n"
+        )
+        assert_silent("RPR009", src, self.FASTPATH)
+
+    def test_dict_comp_in_for_iterable_ok(self):
+        # The iterable expression evaluates once, not per iteration.
+        src = (
+            '"""m."""\n\ndef index(urls):\n    """D."""\n'
+            "    out = []\n"
+            "    for url in {u: i for i, u in enumerate(urls)}:\n"
+            "        out.append(url)\n"
+            "    return out\n"
+        )
+        assert_silent("RPR009", src, self.FASTPATH)
+
+    def test_out_of_scope_package_not_flagged(self):
+        src = (
+            '"""m."""\nfrom repro.cache.document import CacheEntry\n\n'
+            'def replay(docs):\n    """D."""\n'
+            "    for doc in docs:\n"
+            "        yield CacheEntry(document=doc, entry_time=0.0)\n"
+        )
+        assert_silent("RPR009", src, "src/repro/simulation/module.py")
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\nfrom repro.cache.document import CacheEntry\n\n'
+            'def replay(docs):\n    """D."""\n'
+            "    for doc in docs:\n"
+            "        yield CacheEntry(document=doc, entry_time=0.0)  # repro: noqa[RPR009]\n"
+        )
+        assert_silent("RPR009", src, self.FASTPATH)

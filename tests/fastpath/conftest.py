@@ -1,0 +1,71 @@
+"""Fixtures for the columnar-engine differential harness.
+
+Three deterministic traces with different stress profiles — the ISSUE's
+"synthetic + BU-style" requirement plus a contention-heavy worst case —
+shared across the differential tests at session scope so the (cached)
+interning cost is paid once.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.trace import SyntheticTraceConfig, Trace, generate_trace
+
+
+@pytest.fixture(scope="session")
+def uniform_trace() -> Trace:
+    """Mild synthetic workload: low skew, no zero sizes."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=2_500,
+            num_documents=400,
+            num_clients=12,
+            zipf_alpha=0.2,
+            zero_size_fraction=0.0,
+            seed=101,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def bu_style_trace() -> Trace:
+    """BU-like workload: Zipf popularity, heavy-tailed sizes, zero-size
+    records exercising the 4 KB patch rule."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=3_000,
+            num_documents=600,
+            num_clients=24,
+            zipf_alpha=0.8,
+            zero_size_fraction=0.05,
+            seed=202,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def churn_trace() -> Trace:
+    """Eviction-heavy workload: big documents against small capacities, so
+    every window mode and the EA decision paths see constant churn."""
+    return generate_trace(
+        SyntheticTraceConfig(
+            num_requests=2_000,
+            num_documents=150,
+            num_clients=6,
+            zipf_alpha=0.6,
+            mean_size=16_384,
+            zero_size_fraction=0.02,
+            seed=303,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def all_traces(uniform_trace, bu_style_trace, churn_trace):
+    """The three differential traces, labelled."""
+    return [
+        ("uniform", uniform_trace),
+        ("bu_style", bu_style_trace),
+        ("churn", churn_trace),
+    ]

@@ -1,0 +1,90 @@
+"""Engine dispatch: supported detection, transparent fallback, errors."""
+
+from __future__ import annotations
+
+import logging
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.fastpath import columnar_unsupported_reason, simulate_columnar
+from repro.simulation.simulator import (
+    CooperativeSimulator,
+    SimulationConfig,
+    run_simulation,
+)
+
+CAPACITY = 800_000
+
+#: Config overrides the columnar engine must refuse, with a fragment of the
+#: reason it must give.
+UNSUPPORTED = [
+    ({"policy": "fifo"}, "replacement policy"),
+    ({"policy": "gdsf"}, "replacement policy"),
+    ({"scheme": "ea", "tie_break": "coin-flip"}, "tie_break"),
+    ({"sanitize": True}, "sanitize"),
+    ({"use_engine": True}, "use_engine"),
+    ({"keep_outcomes": True}, "keep_outcomes"),
+    ({"collect_histogram": True}, "collect_histogram"),
+    ({"timeseries_window": 60.0}, "timeseries_window"),
+    ({"latency": "stochastic"}, "stochastic"),
+    ({"responder_strategy": "random"}, "random responder"),
+    ({"icp_loss_rate": 0.1}, "icp_loss_rate"),
+]
+
+
+def _config(**overrides) -> SimulationConfig:
+    return SimulationConfig(
+        aggregate_capacity=CAPACITY, engine="columnar", **overrides
+    )
+
+
+@pytest.mark.parametrize(
+    "overrides,fragment", UNSUPPORTED, ids=[f for _, f in UNSUPPORTED]
+)
+def test_unsupported_reasons(overrides, fragment):
+    reason = columnar_unsupported_reason(_config(**overrides))
+    assert reason is not None and fragment in reason
+
+
+@pytest.mark.parametrize("policy", ["lru", "lfu"])
+@pytest.mark.parametrize("scheme", ["adhoc", "ea"])
+def test_supported_configs_have_no_reason(scheme, policy):
+    assert columnar_unsupported_reason(_config(scheme=scheme, policy=policy)) is None
+
+
+def test_simulate_columnar_refuses_unsupported(uniform_trace):
+    with pytest.raises(SimulationError, match="unsupported by the columnar engine"):
+        simulate_columnar(_config(policy="fifo"), uniform_trace)
+
+
+def test_run_simulation_falls_back_with_logged_reason(uniform_trace, caplog):
+    """An unsupported columnar config silently runs on the object engine,
+    yields the object engine's exact result, and logs why."""
+    config = _config(policy="fifo")
+    with caplog.at_level(logging.INFO, logger="repro.fastpath"):
+        fallback = run_simulation(config, uniform_trace)
+    object_run = CooperativeSimulator(config).run(uniform_trace)
+    assert fallback.to_json() == object_run.to_json()
+    messages = [r.getMessage() for r in caplog.records if r.name == "repro.fastpath"]
+    assert any(
+        "falling back to the object engine" in m and "fifo" in m for m in messages
+    )
+
+
+def test_supported_dispatch_does_not_log_fallback(uniform_trace, caplog):
+    with caplog.at_level(logging.INFO, logger="repro.fastpath"):
+        run_simulation(_config(), uniform_trace)
+    assert not [r for r in caplog.records if r.name == "repro.fastpath"]
+
+
+def test_object_engine_never_touches_fastpath(uniform_trace, caplog):
+    config = SimulationConfig(aggregate_capacity=CAPACITY)  # engine="object"
+    with caplog.at_level(logging.INFO, logger="repro.fastpath"):
+        run_simulation(config, uniform_trace)
+    assert not [r for r in caplog.records if r.name == "repro.fastpath"]
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(SimulationError, match="engine must be one of"):
+        SimulationConfig(engine="vectorised")

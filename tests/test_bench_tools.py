@@ -1,0 +1,139 @@
+"""Benchmark tooling: compact summaries and the regression gate.
+
+``scripts/`` is not a package; the modules are loaded by file path.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPTS = Path(__file__).resolve().parent.parent / "scripts"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name, _SCRIPTS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+summarize_bench = _load("summarize_bench")
+check_bench_regression = _load("check_bench_regression")
+
+
+def _raw_payload(means):
+    """Minimal pytest-benchmark-shaped payload with the given name->mean."""
+    return {
+        "machine_info": {"node": "testbox", "python_version": "3.12.0"},
+        "datetime": "2026-08-06T00:00:00",
+        "benchmarks": [
+            {
+                "name": name,
+                "group": None,
+                "params": None,
+                "stats": {
+                    "mean": mean,
+                    "median": mean,
+                    "stddev": mean / 10,
+                    "min": mean * 0.9,
+                    "max": mean * 1.1,
+                    "ops": 1.0 / mean,
+                    "rounds": 3,
+                    "iterations": 1,
+                    "data": [mean] * 3,  # the bulk summarize must drop
+                },
+            }
+            for name, mean in means.items()
+        ],
+    }
+
+
+class TestSummarize:
+    def test_compacts_and_sorts(self):
+        summary = summarize_bench.summarize(
+            _raw_payload({"b_second": 0.2, "a_first": 0.1})
+        )
+        assert summary["schema"] == summarize_bench.SCHEMA
+        assert [b["name"] for b in summary["benchmarks"]] == ["a_first", "b_second"]
+        first = summary["benchmarks"][0]
+        assert first["mean"] == 0.1
+        assert first["median"] == 0.1
+        assert first["stddev"] == pytest.approx(0.01)
+        assert first["rounds"] == 3
+        assert "data" not in first and "stats" not in first
+
+    def test_idempotent_on_compact_input(self):
+        summary = summarize_bench.summarize(_raw_payload({"x": 0.5}))
+        assert summarize_bench.summarize(summary) is summary
+
+    def test_cli_round_trip(self, tmp_path):
+        raw = tmp_path / "raw.json"
+        out = tmp_path / "BENCH_9.json"
+        raw.write_text(json.dumps(_raw_payload({"x": 0.5})), encoding="utf-8")
+        assert summarize_bench.main([str(raw), str(out)]) == 0
+        payload = json.loads(out.read_text(encoding="utf-8"))
+        assert payload["schema"] == summarize_bench.SCHEMA
+        assert payload["benchmarks"][0]["mean"] == 0.5
+
+
+class TestLoadMeans:
+    def test_reads_raw_format(self, tmp_path):
+        path = tmp_path / "BENCH_1.json"
+        path.write_text(json.dumps(_raw_payload({"x": 0.25})), encoding="utf-8")
+        assert check_bench_regression.load_means(path) == {"x": 0.25}
+
+    def test_reads_compact_format(self, tmp_path):
+        path = tmp_path / "BENCH_2.json"
+        compact = summarize_bench.summarize(_raw_payload({"x": 0.25}))
+        path.write_text(json.dumps(compact), encoding="utf-8")
+        assert check_bench_regression.load_means(path) == {"x": 0.25}
+
+    def test_committed_bench_files_are_compact_and_comparable(self):
+        """The repo's own BENCH files parse under the gate's reader."""
+        repo = _SCRIPTS.parent
+        for name in ("BENCH_2.json", "BENCH_3.json"):
+            means = check_bench_regression.load_means(repo / name)
+            assert means and all(v > 0 for v in means.values())
+        current = check_bench_regression.load_means(repo / "BENCH_3.json")
+        assert "test_bench_columnar_requests_per_second[adhoc]" in current
+        assert "test_bench_columnar_requests_per_second[ea]" in current
+
+
+class TestRegressionGate:
+    def _write(self, path, means, compact):
+        payload = _raw_payload(means)
+        if compact:
+            payload = summarize_bench.summarize(payload)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    @pytest.mark.parametrize("compact_baseline", [False, True])
+    def test_mixed_formats_compare(self, tmp_path, compact_baseline):
+        """A compact current file gates against a raw baseline and vice
+        versa — historical BENCH files need no conversion."""
+        self._write(tmp_path / "BENCH_1.json", {"x": 0.1}, compact_baseline)
+        self._write(tmp_path / "BENCH_2.json", {"x": 0.11}, not compact_baseline)
+        assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        self._write(tmp_path / "BENCH_1.json", {"x": 0.1}, True)
+        self._write(tmp_path / "BENCH_2.json", {"x": 0.125}, True)
+        assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 1
+
+    def test_per_engine_entries_gate_independently(self, tmp_path):
+        """One engine regressing fails the gate even when the other engine
+        improved — the per-engine benchmarks are separate entries."""
+        self._write(
+            tmp_path / "BENCH_1.json",
+            {"simulator[adhoc]": 0.08, "columnar[adhoc]": 0.012},
+            True,
+        )
+        self._write(
+            tmp_path / "BENCH_2.json",
+            {"simulator[adhoc]": 0.07, "columnar[adhoc]": 0.02},
+            True,
+        )
+        assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 1

@@ -74,6 +74,54 @@ class TestSimulate:
         pass
 
 
+class TestEngineFlag:
+    """--engine columnar must change throughput only, never output."""
+
+    def test_simulate_engines_byte_identical(self, capsys):
+        argv = ["simulate", "--capacity", "256KB", "--scale", "tiny", "--json"]
+        assert main(argv + ["--engine", "object"]) == 0
+        obj = capsys.readouterr().out
+        assert main(argv + ["--engine", "columnar"]) == 0
+        col = capsys.readouterr().out
+        obj_payload, col_payload = json.loads(obj), json.loads(col)
+        assert col_payload["config"]["engine"] == "columnar"
+        col_payload["config"]["engine"] = "object"
+        assert col_payload == obj_payload
+
+    def test_sweep_engines_byte_identical(self, capsys):
+        argv = [
+            "sweep", "--scale", "tiny", "--capacity", "64KB",
+            "--jobs", "1", "--json",
+        ]
+        assert main(argv) == 0
+        obj = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--engine", "columnar"]) == 0
+        col = json.loads(capsys.readouterr().out)
+        for obj_point, col_point in zip(obj, col):
+            assert col_point["result"]["config"]["engine"] == "columnar"
+            col_point["result"]["config"]["engine"] = "object"
+        assert col == obj
+
+    def test_experiment_engine_matches_default(self, capsys):
+        assert main(["experiment", "fig1", "--scale", "tiny"]) == 0
+        default = capsys.readouterr().out
+        argv = ["experiment", "fig1", "--scale", "tiny", "--engine", "columnar"]
+        assert main(argv) == 0
+        columnar = capsys.readouterr().out
+        assert columnar == default
+
+    def test_profile_accepts_engine(self, capsys):
+        code = main([
+            "profile", "--scale", "tiny", "--top", "5", "--engine", "columnar",
+        ])
+        assert code == 0
+        assert "req/s" in capsys.readouterr().out
+
+    def test_rejects_unknown_engine(self):
+        with pytest.raises(SystemExit):
+            main(["simulate", "--engine", "vectorised"])
+
+
 class TestExperiment:
     def test_single_experiment_renders(self, capsys):
         code = main(["experiment", "fig1", "--scale", "tiny"])
