@@ -10,7 +10,10 @@ The subcommands cover the library's workflows::
     repro experiment fig1 --jobs 4 --memo .repro-memo
     repro sweep --scale tiny --jobs 4  # raw {scheme} x {capacity} grid
     repro profile --scale tiny         # cProfile the request hot path
-    repro lint src tests               # repro-specific static analysis
+    repro lint src tests               # repro-specific per-file lint rules
+    repro analyze                      # whole-program engine-parity /
+                                       # determinism / config-flow analysis
+    repro analyze trace --scale tiny   # characterise a workload trace
 
 ``repro experiment all`` regenerates every paper artifact in sequence and
 prints the rendered tables (this is what EXPERIMENTS.md quotes). ``--jobs``
@@ -18,7 +21,11 @@ fans sweep points over a process pool and ``--memo DIR`` reuses previously
 simulated points across drivers and invocations (see docs/PERFORMANCE.md).
 ``repro lint`` runs the AST-based rule set documented in
 ``docs/DEVTOOLS.md`` and exits non-zero when findings remain, which is how
-CI gates every PR.
+CI gates every PR. ``repro analyze`` is its whole-program sibling
+(``docs/ANALYSIS.md``): it diffs what each engine actually reads against
+the declared fallback matrix, audits the simulation-reachable call graph
+for nondeterminism, and checks config/memo-key plumbing; both emit the
+same ``repro-findings/1`` JSON with ``--json``.
 """
 
 from __future__ import annotations
@@ -154,11 +161,41 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--top", type=int, default=25, metavar="N",
                       help="number of functions to print")
 
-    ana = sub.add_parser("analyze", help="characterise a trace (or a synthetic one)")
-    ana.add_argument("--trace", help="trace file; synthetic if omitted")
-    ana.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
-    ana.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
-    ana.add_argument("--seed", type=int, default=42)
+    ana = sub.add_parser(
+        "analyze",
+        help="whole-program static analysis (or trace characterisation)",
+        description=(
+            "Run the whole-program analyzers over the source tree: 'parity' "
+            "(engine drift vs the fallback matrix, RPR101-103), 'determinism' "
+            "(simulation-reachable nondeterminism, RPR111-115), 'configflow' "
+            "(dead/one-sided config fields and memo-key coverage, RPR121-123) "
+            "— or 'trace' to characterise a workload trace instead."
+        ),
+    )
+    ana.add_argument(
+        "target",
+        nargs="?",
+        default="all",
+        choices=("all", "parity", "determinism", "configflow", "trace"),
+        help="analyzer to run (default: all static analyzers)",
+    )
+    ana.add_argument("--root", default="src",
+                     help="directory containing the repro package (default: src)")
+    ana.add_argument("--json", action="store_true",
+                     help="emit findings in the shared repro-findings/1 schema")
+    ana.add_argument("--baseline", metavar="FILE",
+                     default="analysis-baseline.json",
+                     help="checked-in accepted-findings file "
+                     "(default: analysis-baseline.json; missing file = empty)")
+    ana.add_argument("--write-baseline", action="store_true",
+                     help="rewrite the baseline file from the current findings "
+                     "and exit 0; edit each entry's 'why' afterwards")
+    ana.add_argument("--trace", help="[trace] trace file; synthetic if omitted")
+    ana.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"),
+                     help="[trace] input format")
+    ana.add_argument("--scale", choices=WORKLOAD_SCALES, default="default",
+                     help="[trace] synthetic workload scale")
+    ana.add_argument("--seed", type=int, default=42, help="[trace] synthetic seed")
 
     cmp_parser = sub.add_parser(
         "compare", help="run ad-hoc and EA side by side at one capacity"
@@ -188,6 +225,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--json",
+        action="store_true",
+        help="emit findings in the shared repro-findings/1 schema",
     )
     return parser
 
@@ -376,6 +418,67 @@ def _load_or_generate(args: argparse.Namespace):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
+    if args.target == "trace":
+        return _cmd_analyze_trace(args)
+    from pathlib import Path
+
+    from repro.devtools.analysis import analyze_project, write_baseline
+    from repro.devtools.report import findings_payload
+
+    selected = None if args.target == "all" else [args.target]
+    baseline_path = Path(args.baseline)
+    if args.write_baseline:
+        report = analyze_project(Path(args.root), analyzers=selected)
+        entries = write_baseline(
+            baseline_path, report.findings, why="accepted; edit this entry"
+        )
+        print(f"repro analyze: wrote {len(entries)} entrie(s) to {baseline_path}")
+        return 0
+    report = analyze_project(
+        Path(args.root), analyzers=selected, baseline_path=baseline_path
+    )
+    if args.json:
+        payload = findings_payload(
+            "analyze",
+            report.findings,
+            extra={
+                "analyzers": list(report.analyzers),
+                "suppressed": report.suppressed,
+                "baselined": len(report.baselined),
+                "stale_baseline": [
+                    {"rule": e.rule, "path": e.path, "message": e.message}
+                    for e in report.stale_baseline
+                ],
+            },
+        )
+        print(json.dumps(payload, indent=2))
+        return 0 if report.clean else 1
+    for finding in report.findings:
+        print(finding.render())
+    for entry in report.stale_baseline:
+        print(
+            f"stale baseline entry: {entry.rule} {entry.path} — fixed or "
+            f"reworded; remove it from {baseline_path}"
+        )
+    summary = (
+        f"repro analyze [{', '.join(report.analyzers)}]: "
+        f"{len(report.findings)} finding(s)"
+    )
+    absorbed = []
+    if report.suppressed:
+        absorbed.append(f"{report.suppressed} noqa-suppressed")
+    if report.baselined:
+        absorbed.append(f"{len(report.baselined)} baselined")
+    if absorbed:
+        summary += f" ({', '.join(absorbed)})"
+    if report.clean:
+        print(summary.replace("0 finding(s)", "clean"))
+        return 0
+    print(summary)
+    return 1
+
+
+def _cmd_analyze_trace(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
     from repro.trace.stats import compute_stats, fit_zipf_alpha
 
@@ -462,6 +565,11 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.json:
+        from repro.devtools.report import findings_payload
+
+        print(json.dumps(findings_payload("lint", findings), indent=2))
+        return 1 if findings else 0
     for finding in findings:
         print(finding.render())
     if findings:

@@ -1,0 +1,152 @@
+"""Checked-in analysis baseline: accepted findings with a recorded *why*.
+
+Whole-program analyzers over-approximate; some findings are accepted
+facts rather than bugs (a deliberately one-sided field, a wall-clock
+read feeding a log line). Rather than sprinkling pragmas through code
+that is otherwise clean, those accepted findings live in a checked-in
+JSON baseline next to the repo root — each entry carrying a ``why`` so
+the exemption is reviewable where it is declared::
+
+    {
+      "schema": "repro-analysis-baseline/1",
+      "entries": [
+        {"rule": "RPR111", "path": "src/repro/parallel/runner.py",
+         "message": "wall-clock call `time.perf_counter()` ...",
+         "why": "wall time is reported, never merged into results"}
+      ]
+    }
+
+Matching is on ``(rule, path, message)`` and deliberately ignores line
+numbers, so unrelated edits above a baselined site do not resurrect the
+finding. Entries that stop matching anything are *stale* and reported,
+keeping the baseline from rotting into a list of fixed problems.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.devtools.analysis.model import AnalysisError
+from repro.devtools.lint.findings import Finding
+
+#: Version tag of the baseline file format.
+BASELINE_SCHEMA = "repro-analysis-baseline/1"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding.
+
+    Attributes:
+        rule: Rule code the entry accepts, e.g. ``"RPR122"``.
+        path: Repo-relative path of the accepted finding.
+        message: Exact finding message (line numbers are not part of the
+            match key, messages are).
+        why: Reviewer-facing justification; required so every exemption
+            explains itself.
+    """
+
+    rule: str
+    path: str
+    message: str
+    why: str
+
+    @property
+    def key(self) -> Tuple[str, str, str]:
+        """The (rule, path, message) identity used for matching."""
+        return (self.rule, self.path, self.message)
+
+
+def load_baseline(path: Path) -> List[BaselineEntry]:
+    """Parse a baseline file; raises :class:`AnalysisError` on bad input."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise AnalysisError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA:
+        raise AnalysisError(
+            f"baseline {path} is not a {BASELINE_SCHEMA!r} document"
+        )
+    entries: List[BaselineEntry] = []
+    for index, item in enumerate(raw.get("entries", [])):
+        if not isinstance(item, dict):
+            raise AnalysisError(f"baseline entry #{index} is not an object")
+        try:
+            entries.append(
+                BaselineEntry(
+                    rule=str(item["rule"]),
+                    path=str(item["path"]),
+                    message=str(item["message"]),
+                    why=str(item["why"]),
+                )
+            )
+        except KeyError as exc:
+            raise AnalysisError(
+                f"baseline entry #{index} is missing key {exc}"
+            ) from exc
+    return entries
+
+
+def apply_baseline(
+    findings: Sequence[Finding], entries: Sequence[BaselineEntry]
+) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+    """Split ``findings`` against ``entries``.
+
+    Returns ``(kept, baselined, stale)``: findings not covered by the
+    baseline, findings absorbed by it, and entries that matched nothing
+    (stale — the underlying issue was fixed or the message changed).
+    """
+    by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+        entry.key: entry for entry in entries
+    }
+    matched: Set[Tuple[str, str, str]] = set()
+    kept: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        key = (finding.rule, finding.path, finding.message)
+        if key in by_key:
+            matched.add(key)
+            baselined.append(finding)
+        else:
+            kept.append(finding)
+    stale = [entry for entry in entries if entry.key not in matched]
+    return kept, baselined, stale
+
+
+def write_baseline(
+    path: Path, findings: Iterable[Finding], why: str
+) -> List[BaselineEntry]:
+    """Serialise ``findings`` as a fresh baseline with one shared ``why``.
+
+    Used by ``repro analyze --write-baseline``; the shared placeholder
+    justification is meant to be hand-edited per entry afterwards.
+    """
+    entries = [
+        BaselineEntry(
+            rule=finding.rule,
+            path=finding.path,
+            message=finding.message,
+            why=why,
+        )
+        for finding in findings
+    ]
+    document = {
+        "schema": BASELINE_SCHEMA,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "message": entry.message,
+                "why": entry.why,
+            }
+            for entry in entries
+        ],
+    }
+    path.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    return entries

@@ -1,0 +1,170 @@
+"""Config-flow coverage (``repro analyze configflow``, RPR121-123).
+
+Every :class:`~repro.simulation.simulator.SimulationConfig` field should
+be *plumbed*: read by at least one engine (or declared as a fallback
+trigger), and — because the sweep memo keys on
+``sha256(config.to_dict() + Trace.fingerprint())`` — every
+:class:`~repro.trace.record.TraceRecord` field must flow into
+``Trace.fingerprint``. A field that misses either pipe fails silently:
+a dead config knob ships as documentation-only, and a fingerprint gap
+lets two different traces share a memo entry (poisoned cache hits).
+
+* **RPR121** — dead config field: no engine reads it and the fallback
+  matrix does not mention it.
+* **RPR122** — one-sided field: read by the columnar engine but not by
+  the object core (the reference engine must cover a superset; the
+  reverse direction is RPR101's parity check).
+* **RPR123** — ``TraceRecord`` field absent from ``Trace.fingerprint``:
+  traces differing only in that field would collide in the memo store.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Set, Tuple
+
+from repro.devtools.analysis import decls
+from repro.devtools.analysis.dataflow import union_config_reads
+from repro.devtools.analysis.model import ProjectModel
+from repro.devtools.lint.findings import Finding
+
+#: Config fields that steer dispatch/bookkeeping outside both engines.
+#: ``engine`` selects which engine runs; it is read by ``run_simulation``
+#: (object package) so it needs no carve-out, but is listed for clarity.
+_DISPATCH_FIELDS = frozenset({"engine"})
+
+
+def analyze_configflow(model: ProjectModel) -> List[Finding]:
+    """Run the three config-flow checks over ``model``; findings sorted."""
+    findings: List[Finding] = []
+    config_fields, config_path = decls.config_field_table(model)
+    field_names = set(config_fields)
+    matrix, _ = decls.matrix_declarations(model)
+    neutral, _ = decls.neutral_declarations(model)
+    declared = set(matrix) | set(neutral)
+
+    fastpath_reads = union_config_reads(
+        list(model.iter_package(decls.FASTPATH_PACKAGE)), field_names
+    )
+    object_modules = [
+        module
+        for package in decls.OBJECT_CORE_PACKAGES
+        for module in model.iter_package(package)
+    ]
+    object_reads = union_config_reads(object_modules, field_names)
+
+    for name in sorted(config_fields):
+        line = config_fields[name]
+        read_anywhere = name in object_reads or name in fastpath_reads
+        if not read_anywhere and name not in declared:
+            findings.append(
+                Finding(
+                    path=config_path,
+                    line=line,
+                    col=0,
+                    rule="RPR121",
+                    message=(
+                        f"config field `{name}` is never read by either "
+                        "engine and is not in the fallback matrix; it is "
+                        "dead — plumb it or remove it"
+                    ),
+                )
+            )
+        elif (
+            name in fastpath_reads
+            and name not in object_reads
+            and name not in _DISPATCH_FIELDS
+        ):
+            findings.append(
+                Finding(
+                    path=config_path,
+                    line=line,
+                    col=0,
+                    rule="RPR122",
+                    message=(
+                        f"config field `{name}` is read only by the columnar "
+                        "engine; the object core is the reference — plumb it "
+                        "there first"
+                    ),
+                )
+            )
+    findings.extend(_fingerprint_findings(model))
+    return sorted(findings)
+
+
+def coverage_table(model: ProjectModel) -> List[Tuple[str, str]]:
+    """Human-readable plumbing status per config field.
+
+    Returns ``(field, status)`` rows where status is one of
+    ``both`` / ``object-only`` / ``fastpath-only`` / ``fallback-declared``
+    / ``dead`` — the data behind ``repro analyze configflow``'s summary.
+    """
+    config_fields, _ = decls.config_field_table(model)
+    field_names = set(config_fields)
+    matrix, _ = decls.matrix_declarations(model)
+    neutral, _ = decls.neutral_declarations(model)
+    fastpath_reads = union_config_reads(
+        list(model.iter_package(decls.FASTPATH_PACKAGE)), field_names
+    )
+    object_modules = [
+        module
+        for package in decls.OBJECT_CORE_PACKAGES
+        for module in model.iter_package(package)
+    ]
+    object_reads = union_config_reads(object_modules, field_names)
+
+    rows: List[Tuple[str, str]] = []
+    for name in sorted(config_fields):
+        in_object = name in object_reads
+        in_fast = name in fastpath_reads
+        if in_object and in_fast:
+            status = "both"
+        elif in_object:
+            status = (
+                "object+fallback"
+                if name in matrix or name in neutral
+                else "object-only"
+            )
+        elif in_fast:
+            status = "fastpath-only"
+        elif name in matrix or name in neutral:
+            status = "fallback-declared"
+        else:
+            status = "dead"
+        rows.append((name, status))
+    return rows
+
+
+def _fingerprint_findings(model: ProjectModel) -> List[Finding]:
+    """RPR123: TraceRecord fields missing from ``Trace.fingerprint``."""
+    record_fields, record_path = decls.trace_record_fields(model)
+    func = decls.fingerprint_function(model)[0]
+    if func is None or not record_fields:
+        return []
+    used = _attribute_names(func)
+    findings: List[Finding] = []
+    for name in sorted(set(record_fields) - used):
+        findings.append(
+            Finding(
+                path=record_path,
+                line=record_fields[name],
+                col=0,
+                rule="RPR123",
+                message=(
+                    f"TraceRecord field `{name}` is not hashed by "
+                    "Trace.fingerprint; traces differing only in it would "
+                    "collide in the sweep memo store — add it to the "
+                    "fingerprint"
+                ),
+            )
+        )
+    return findings
+
+
+def _attribute_names(func: ast.AST) -> Set[str]:
+    """Every attribute name read anywhere inside ``func``."""
+    names: Set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Attribute):
+            names.add(node.attr)
+    return names

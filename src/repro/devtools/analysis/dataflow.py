@@ -1,0 +1,118 @@
+"""Light attribute/data-flow pass: which config fields does a module read?
+
+The parity and config-flow analyzers both need the set of
+:class:`~repro.simulation.simulator.SimulationConfig` fields each engine
+actually consumes. Full type inference is overkill for a codebase with a
+strong convention — configs travel under a handful of names — so this
+pass tracks *likely config receivers* per module:
+
+* parameters or variables named ``config`` / ``cfg`` / ``base_config`` /
+  ``sim_config`` / ``template``;
+* parameters annotated ``SimulationConfig`` (directly, dotted, or as a
+  string annotation);
+* variables assigned from a ``SimulationConfig(...)`` /
+  ``replace(<config>, ...)`` call or from an ``<expr>.config`` attribute;
+* any ``<expr>.config.<field>`` chain (``self.config.seed``).
+
+An attribute read on such a receiver whose name is a known config field
+counts as a read of that field. Validation reads inside the
+``SimulationConfig`` class body itself use bare ``self`` and are therefore
+*not* counted — validating a field is not plumbing it into an engine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Set, Tuple
+
+from repro.devtools.analysis.model import ModuleInfo
+
+#: Variable/parameter names conventionally holding a SimulationConfig.
+CONFIG_RECEIVER_NAMES = frozenset(
+    {"config", "cfg", "base_config", "sim_config", "template"}
+)
+
+#: Type annotations marking a parameter as a config.
+_CONFIG_TYPE_NAMES = frozenset({"SimulationConfig"})
+
+
+def _annotation_is_config(annotation: ast.expr) -> bool:
+    """Whether a parameter annotation names ``SimulationConfig``."""
+    if isinstance(annotation, ast.Name):
+        return annotation.id in _CONFIG_TYPE_NAMES
+    if isinstance(annotation, ast.Attribute):
+        return annotation.attr in _CONFIG_TYPE_NAMES
+    if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+        return annotation.value.strip('"') in _CONFIG_TYPE_NAMES
+    return False
+
+
+def _config_receivers(tree: ast.Module) -> Set[str]:
+    """Names likely bound to a config anywhere in ``tree``.
+
+    Module-level resolution (not per-scope): the receiver names are
+    distinctive enough that one union per module keeps the pass simple
+    without measurable false positives in this tree.
+    """
+    receivers: Set[str] = set(CONFIG_RECEIVER_NAMES)
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            args = list(node.args.args) + list(node.args.kwonlyargs)
+            if node.args.vararg is not None:
+                args.append(node.args.vararg)
+            for arg in args:
+                if arg.annotation is not None and _annotation_is_config(
+                    arg.annotation
+                ):
+                    receivers.add(arg.arg)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            value = node.value
+            if isinstance(value, ast.Call):
+                callee = value.func
+                callee_name = (
+                    callee.id
+                    if isinstance(callee, ast.Name)
+                    else callee.attr if isinstance(callee, ast.Attribute) else ""
+                )
+                if callee_name in _CONFIG_TYPE_NAMES:
+                    receivers.add(target.id)
+            elif isinstance(value, ast.Attribute) and value.attr == "config":
+                receivers.add(target.id)
+    return receivers
+
+
+def config_reads(
+    module: ModuleInfo, field_names: Set[str]
+) -> Dict[str, List[Tuple[str, int]]]:
+    """Config fields read in ``module``: field -> [(path, line), ...].
+
+    Only attribute names present in ``field_names`` are reported, so
+    method calls on configs (``config.to_dict()``) and unrelated
+    attributes on same-named variables stay out of the result.
+    """
+    receivers = _config_receivers(module.tree)
+    reads: Dict[str, List[Tuple[str, int]]] = {}
+    for node in ast.walk(module.tree):
+        if not isinstance(node, ast.Attribute) or node.attr not in field_names:
+            continue
+        value = node.value
+        is_config = (
+            isinstance(value, ast.Name) and value.id in receivers
+        ) or (isinstance(value, ast.Attribute) and value.attr == "config")
+        if is_config:
+            reads.setdefault(node.attr, []).append((module.path, node.lineno))
+    return reads
+
+
+def union_config_reads(
+    modules: List[ModuleInfo], field_names: Set[str]
+) -> Dict[str, List[Tuple[str, int]]]:
+    """Merged :func:`config_reads` over ``modules``."""
+    merged: Dict[str, List[Tuple[str, int]]] = {}
+    for module in modules:
+        for fieldname, sites in config_reads(module, field_names).items():
+            merged.setdefault(fieldname, []).extend(sites)
+    return merged

@@ -1,0 +1,125 @@
+"""Extraction of the repo's declared engine contracts from source.
+
+The analyzers compare *behaviour* (what the engines read and write,
+recovered by :mod:`repro.devtools.analysis.dataflow`) against
+*declarations*. This module recovers the declarations statically:
+
+* the :class:`~repro.simulation.simulator.SimulationConfig` field table;
+* the ``FALLBACK_MATRIX`` / ``COLUMNAR_NEUTRAL_FIELDS`` declarations in
+  ``repro/fastpath/__init__.py`` (the machine-readable fallback matrix);
+* the :class:`~repro.trace.record.TraceRecord` field table and the body
+  of ``Trace.fingerprint`` (for memo-key coverage).
+
+Everything is AST-level — nothing is imported — so a deliberately broken
+or drifted tree (the regression fixtures) can still be analyzed.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Tuple
+
+from repro.devtools.analysis.model import AnalysisError, ModuleInfo, ProjectModel
+
+#: Module and class holding the simulation config dataclass.
+CONFIG_MODULE = "repro.simulation.simulator"
+CONFIG_CLASS = "SimulationConfig"
+
+#: Package containing the columnar engine and its fallback declarations.
+FASTPATH_PACKAGE = "repro.fastpath"
+
+#: Packages forming the object (reference) engine.
+OBJECT_CORE_PACKAGES = (
+    "repro.simulation",
+    "repro.architecture",
+    "repro.cache",
+    "repro.core",
+)
+
+#: Module and class holding the canonical trace record.
+TRACE_MODULE = "repro.trace.record"
+TRACE_RECORD_CLASS = "TraceRecord"
+TRACE_CLASS = "Trace"
+
+
+def _require_module(model: ProjectModel, name: str) -> ModuleInfo:
+    info = model.get(name)
+    if info is None:
+        raise AnalysisError(
+            f"module {name!r} not found under {model.root}; "
+            "is the analysis root the directory containing the repro package?"
+        )
+    return info
+
+
+def config_field_table(model: ProjectModel) -> Tuple[Dict[str, int], str]:
+    """``SimulationConfig`` field -> definition line, plus the file path."""
+    info = _require_module(model, CONFIG_MODULE)
+    return info.dataclass_fields(CONFIG_CLASS), info.path
+
+
+def matrix_declarations(model: ProjectModel) -> Tuple[Dict[str, int], str]:
+    """Fields declared in ``FALLBACK_MATRIX`` -> declaration line, plus path.
+
+    Reads the ``field="..."`` keyword of every call inside the
+    ``FALLBACK_MATRIX`` assignment, so the extraction survives formatting
+    changes and added rule attributes.
+    """
+    info = _require_module(model, FASTPATH_PACKAGE)
+    declared: Dict[str, int] = {}
+    assignment = _find_assignment(info.tree, "FALLBACK_MATRIX")
+    if assignment is None:
+        return declared, info.path
+    for node in ast.walk(assignment):
+        if not isinstance(node, ast.Call):
+            continue
+        for keyword in node.keywords:
+            if (
+                keyword.arg == "field"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, str)
+            ):
+                declared.setdefault(keyword.value.value, keyword.value.lineno)
+    return declared, info.path
+
+
+def neutral_declarations(model: ProjectModel) -> Tuple[Dict[str, int], str]:
+    """Fields declared in ``COLUMNAR_NEUTRAL_FIELDS`` -> line, plus path."""
+    info = _require_module(model, FASTPATH_PACKAGE)
+    declared: Dict[str, int] = {}
+    assignment = _find_assignment(info.tree, "COLUMNAR_NEUTRAL_FIELDS")
+    if assignment is None:
+        return declared, info.path
+    for node in ast.walk(assignment):
+        if isinstance(node, ast.Tuple) and node.elts:
+            first = node.elts[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                declared.setdefault(first.value, first.lineno)
+    return declared, info.path
+
+
+def trace_record_fields(model: ProjectModel) -> Tuple[Dict[str, int], str]:
+    """``TraceRecord`` field -> definition line, plus the file path."""
+    info = _require_module(model, TRACE_MODULE)
+    return info.dataclass_fields(TRACE_RECORD_CLASS), info.path
+
+
+def fingerprint_function(
+    model: ProjectModel,
+) -> Tuple[Optional[ast.AST], ModuleInfo]:
+    """The ``Trace.fingerprint`` def node (or None) and its module."""
+    info = _require_module(model, TRACE_MODULE)
+    return info.functions.get(f"{TRACE_CLASS}.fingerprint"), info
+
+
+def _find_assignment(tree: ast.Module, name: str) -> Optional[ast.stmt]:
+    """The top-level (ann-)assignment binding ``name``, if any."""
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt
+        elif isinstance(stmt, ast.AnnAssign):
+            if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                return stmt
+    return None

@@ -1,0 +1,281 @@
+"""Call-graph determinism audit (``repro analyze determinism``, RPR111-115).
+
+The parallel runner merges worker results positionally and the memo store
+treats ``sha256(config + trace fingerprint)`` as a proof of byte-identity
+— both stake correctness on every simulation-reachable function being
+deterministic. The existing lint rules check *files* in scoped packages;
+this auditor instead walks the call graph from the replay entry points
+(``CooperativeSimulator.run``, ``run_simulation``, ``simulate_columnar``,
+the parallel runner, the memo store) and audits exactly the functions a
+simulation can execute, wherever they live:
+
+* **RPR111** — wall-clock reads (``time.time`` and friends,
+  ``datetime.now``): results would depend on host speed.
+* **RPR112** — process-global RNG (``random.random``, ``random.choice``,
+  ...): any import can perturb the shared state. Seeded
+  ``random.Random(seed)`` instances are fine.
+* **RPR113** — iteration over an unordered ``set``/``frozenset`` feeding
+  downstream state: Python set order varies with hash seeding and insert
+  history. (``dict`` iteration is insertion-ordered and not flagged.)
+* **RPR114** — filesystem-order dependence (``os.listdir``, ``glob``,
+  ``Path.iterdir`` / ``.glob`` / ``.rglob``) not neutralised by
+  ``sorted``/``min``/``max``/``set``/``len``/``any``/``all``.
+* **RPR115** — ``sum`` over an unordered set: float accumulation order
+  changes the low bits, which breaks byte-identical merges.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.devtools.analysis.callgraph import CallGraph
+from repro.devtools.analysis.model import ModuleInfo, ProjectModel
+from repro.devtools.lint.findings import Finding
+
+#: Entry points whose transitive callees must be deterministic.
+DEFAULT_ROOTS: Sequence[str] = (
+    "repro.simulation.simulator:CooperativeSimulator.run",
+    "repro.simulation.simulator:run_simulation",
+    "repro.fastpath.engine:simulate_columnar",
+    "repro.parallel.runner:ParallelSweepRunner.run",
+    "repro.parallel.memo:SweepMemoStore.get",
+    "repro.parallel.memo:SweepMemoStore.put",
+)
+
+#: Fully-dotted callables that read the wall clock.
+WALL_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.date.today",
+    }
+)
+
+#: Module-level ``random`` functions sharing hidden global state.
+GLOBAL_RNG_CALLS = frozenset(
+    {
+        f"random.{name}"
+        for name in (
+            "random",
+            "randint",
+            "randrange",
+            "getrandbits",
+            "choice",
+            "choices",
+            "shuffle",
+            "sample",
+            "uniform",
+            "triangular",
+            "gauss",
+            "normalvariate",
+            "lognormvariate",
+            "expovariate",
+            "vonmisesvariate",
+            "gammavariate",
+            "betavariate",
+            "paretovariate",
+            "weibullvariate",
+        )
+    }
+)
+
+#: Calls returning entries in filesystem order.
+_FS_ORDER_DOTTED = frozenset(
+    {"os.listdir", "os.scandir", "glob.glob", "glob.iglob"}
+)
+_FS_ORDER_METHODS = frozenset({"iterdir", "glob", "rglob"})
+
+#: Wrappers that make enumeration order irrelevant.
+_ORDER_NEUTRAL_WRAPPERS = frozenset(
+    {"sorted", "min", "max", "set", "frozenset", "len", "any", "all", "sum"}
+)
+
+_SET_EXPRS = (ast.Set, ast.SetComp)
+
+
+def analyze_determinism(
+    model: ProjectModel, roots: Optional[Iterable[str]] = None
+) -> List[Finding]:
+    """Audit every function reachable from ``roots``; findings sorted.
+
+    ``roots`` defaults to :data:`DEFAULT_ROOTS`; roots absent from the
+    model are ignored, so miniature fixture trees can pass their own.
+    """
+    graph = CallGraph.build(model)
+    reachable = graph.reachable(DEFAULT_ROOTS if roots is None else roots)
+    findings: List[Finding] = []
+    for node_id in sorted(reachable):
+        module_name = node_id.partition(":")[0]
+        info = model.get(module_name)
+        func = model.function_node(node_id)
+        if info is None or func is None:
+            continue
+        findings.extend(_audit_function(info, func))
+    return sorted(set(findings))
+
+
+def _dotted_call_name(info: ModuleInfo, func: ast.expr) -> Optional[str]:
+    """Resolve a call target to a fully-dotted name via the import table."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    resolved_head = info.imports.get(node.id)
+    if resolved_head is None:
+        return None
+    parts.append(resolved_head)
+    parts.reverse()
+    return ".".join(parts)
+
+
+def _is_set_expression(info: ModuleInfo, node: ast.expr) -> bool:
+    """Whether ``node`` statically evaluates to an unordered set."""
+    if isinstance(node, _SET_EXPRS):
+        # A set *display* with literal elements has fixed iteration order
+        # only by accident; treat every set expression as unordered.
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _audit_function(info: ModuleInfo, func: ast.AST) -> List[Finding]:
+    """Run every determinism check over one function body."""
+    findings: List[Finding] = []
+    parents: Dict[ast.AST, ast.AST] = {}
+    set_vars: Dict[str, int] = {}  # name -> assignment count as a set
+    assigned: Dict[str, int] = {}  # name -> total assignment count
+
+    for node in ast.walk(func):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if isinstance(target, ast.Name):
+                assigned[target.id] = assigned.get(target.id, 0) + 1
+                if _is_set_expression(info, node.value):
+                    set_vars[target.id] = set_vars.get(target.id, 0) + 1
+
+    def report(node: ast.AST, rule: str, message: str) -> None:
+        findings.append(
+            Finding(
+                path=info.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    def order_neutral(node: ast.AST) -> bool:
+        """Whether an enclosing call neutralises enumeration order."""
+        current = parents.get(node)
+        while current is not None and not isinstance(
+            current, (ast.stmt, ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if (
+                isinstance(current, ast.Call)
+                and isinstance(current.func, ast.Name)
+                and current.func.id in _ORDER_NEUTRAL_WRAPPERS
+            ):
+                return True
+            current = parents.get(current)
+        return False
+
+    def check_iterable(node: ast.expr) -> None:
+        is_unordered = _is_set_expression(info, node) or (
+            isinstance(node, ast.Name)
+            and set_vars.get(node.id, 0) > 0
+            and assigned.get(node.id, 0) == set_vars.get(node.id, 0)
+        )
+        if is_unordered and not order_neutral(node):
+            report(
+                node,
+                "RPR113",
+                "iteration over an unordered set on a simulation-reachable "
+                "path; sort it (or keep a list/dict) so replay order is "
+                "stable",
+            )
+
+    for node in ast.walk(func):
+        if isinstance(node, ast.For):
+            check_iterable(node.iter)
+        elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for generator in node.generators:
+                check_iterable(generator.iter)
+        elif isinstance(node, ast.Call):
+            dotted = _dotted_call_name(info, node.func)
+            if dotted in WALL_CLOCK_CALLS:
+                report(
+                    node,
+                    "RPR111",
+                    f"wall-clock call `{dotted}()` on a simulation-reachable "
+                    "path; time must come from trace timestamps or an "
+                    "injected clock",
+                )
+            elif dotted in GLOBAL_RNG_CALLS:
+                report(
+                    node,
+                    "RPR112",
+                    f"process-global RNG call `{dotted}()` on a "
+                    "simulation-reachable path; draw from a config-seeded "
+                    "random.Random instead",
+                )
+            fs_name = _fs_order_call(info, node, dotted)
+            if fs_name is not None and not order_neutral(node):
+                report(
+                    node,
+                    "RPR114",
+                    f"`{fs_name}` yields entries in filesystem order on a "
+                    "simulation-reachable path; wrap the enumeration in "
+                    "sorted(...)",
+                )
+            if (
+                isinstance(node.func, ast.Name)
+                and node.func.id == "sum"
+                and node.args
+                and _contains_set_expression(info, node.args[0])
+            ):
+                report(
+                    node,
+                    "RPR115",
+                    "`sum` over an unordered set accumulates floats in an "
+                    "unstable order on a simulation-reachable path; sort the "
+                    "operands first",
+                )
+    return findings
+
+
+def _fs_order_call(
+    info: ModuleInfo, node: ast.Call, dotted: Optional[str]
+) -> Optional[str]:
+    """The display name of a filesystem-order call, or None."""
+    if dotted in _FS_ORDER_DOTTED:
+        return dotted
+    func = node.func
+    if isinstance(func, ast.Attribute) and func.attr in _FS_ORDER_METHODS:
+        # Receiver-agnostic: `.glob` / `.rglob` / `.iterdir` are Path idioms.
+        return f".{func.attr}"
+    return None
+
+
+def _contains_set_expression(
+    info: ModuleInfo, node: Union[ast.expr, ast.AST]
+) -> bool:
+    """Whether any subexpression of ``node`` is an unordered set."""
+    for child in ast.walk(node):
+        if isinstance(child, ast.expr) and _is_set_expression(info, child):
+            return True
+    return False

@@ -1,0 +1,223 @@
+"""Whole-program model: per-module symbol tables over a parsed source tree.
+
+:class:`ProjectModel` is the substrate every ``repro analyze`` analyzer
+works from. Like the lint runner it is filesystem-only — modules are
+*parsed*, never imported — so the analyzers can inspect broken, heavy, or
+deliberately drifted trees (the tests feed them synthetic miniature
+projects). For each ``.py`` file under the root it records:
+
+* the dotted module name (``repro.fastpath.engine``; packages take their
+  ``__init__.py``'s name, ``repro.fastpath``);
+* an import table mapping every local alias to the dotted name it binds
+  (relative imports resolved against the module's package);
+* module- and class-level function definitions keyed by qualified name
+  (``simulate_columnar``, ``CooperativeSimulator.run``). Nested (closure)
+  functions are deliberately *not* separate symbols: their statements
+  belong to the enclosing function, which is the right granularity for
+  reachability — a closure runs iff its definer does.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.errors import ReproError
+
+_FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+#: Directories never descended into (mirrors the lint runner).
+_SKIP_DIRS = {".git", "__pycache__", ".mypy_cache", ".pytest_cache", "build", "dist"}
+
+
+class AnalysisError(ReproError):
+    """The analysis framework was driven with invalid inputs."""
+
+
+@dataclass
+class ModuleInfo:
+    """Symbol table of one parsed module.
+
+    Attributes:
+        name: Dotted module name relative to the analysis root.
+        path: Display path of the source file (as discovered).
+        source: Full file text (suppression pragmas are read from it).
+        tree: Parsed AST.
+        imports: Local alias -> dotted target; ``import a.b`` binds
+            ``{"a": "a"}``, ``import a.b as c`` binds ``{"c": "a.b"}``,
+            ``from a.b import c as d`` binds ``{"d": "a.b.c"}``.
+        functions: Qualified name -> def node for module-level functions
+            and methods (``"f"``, ``"Cls.meth"``).
+        classes: Class qualified name -> class def node.
+    """
+
+    name: str
+    path: str
+    source: str
+    tree: ast.Module
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, _FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ast.ClassDef] = field(default_factory=dict)
+
+    def dataclass_fields(self, class_name: str) -> Dict[str, int]:
+        """Annotated field names of ``class_name`` mapped to their line.
+
+        Reads ``AnnAssign`` statements in the class body — the dataclass
+        field syntax — skipping ``ClassVar`` annotations. Raises
+        :class:`AnalysisError` when the class is not defined here.
+        """
+        node = self.classes.get(class_name)
+        if node is None:
+            raise AnalysisError(
+                f"class {class_name!r} not found in module {self.name}"
+            )
+        fields: Dict[str, int] = {}
+        for stmt in node.body:
+            if not isinstance(stmt, ast.AnnAssign) or not isinstance(
+                stmt.target, ast.Name
+            ):
+                continue
+            annotation = ast.unparse(stmt.annotation)
+            if "ClassVar" in annotation:
+                continue
+            fields[stmt.target.id] = stmt.lineno
+        return fields
+
+
+def _module_name(root: Path, file: Path) -> str:
+    """Dotted module name of ``file`` relative to ``root``."""
+    relative = file.relative_to(root).with_suffix("")
+    parts = list(relative.parts)
+    if parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _collect_imports(module_name: str, tree: ast.Module) -> Dict[str, str]:
+    """Resolve every import statement in ``tree`` to absolute dotted names."""
+    package_parts = module_name.split(".")[:-1] if module_name else []
+    imports: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname is not None:
+                    imports[alias.asname] = alias.name
+                else:
+                    # `import a.b` binds the top-level name `a`.
+                    imports[alias.name.split(".")[0]] = alias.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom):
+            if node.level == 0:
+                base = node.module or ""
+            else:
+                # Relative import: strip (level - 1) trailing packages.
+                keep = len(package_parts) - (node.level - 1)
+                prefix = package_parts[: max(keep, 0)]
+                base = ".".join(prefix + ([node.module] if node.module else []))
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                target = f"{base}.{alias.name}" if base else alias.name
+                imports[alias.asname or alias.name] = target
+    return imports
+
+
+def _collect_symbols(
+    tree: ast.Module,
+) -> Tuple[Dict[str, _FunctionNode], Dict[str, ast.ClassDef]]:
+    """Module- and class-level defs, keyed by qualified name."""
+    functions: Dict[str, _FunctionNode] = {}
+    classes: Dict[str, ast.ClassDef] = {}
+
+    def descend(body: List[ast.stmt], prefix: str) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions[f"{prefix}{stmt.name}"] = stmt
+            elif isinstance(stmt, ast.ClassDef):
+                qualname = f"{prefix}{stmt.name}"
+                classes[qualname] = stmt
+                descend(stmt.body, f"{qualname}.")
+
+    descend(tree.body, "")
+    return functions, classes
+
+
+class ProjectModel:
+    """Parsed view of every module under one source root.
+
+    Attributes:
+        root: The directory the model was loaded from.
+        modules: Dotted module name -> :class:`ModuleInfo`.
+        method_index: Bare method/function name -> list of
+            ``"module:qualname"`` node ids defining it (the call graph's
+            receiver-agnostic resolution table).
+    """
+
+    def __init__(self, root: Path, modules: Dict[str, ModuleInfo]) -> None:
+        self.root = root
+        self.modules = modules
+        self.method_index: Dict[str, List[str]] = {}
+        for info in modules.values():
+            for qualname in info.functions:
+                bare = qualname.rsplit(".", 1)[-1]
+                self.method_index.setdefault(bare, []).append(
+                    f"{info.name}:{qualname}"
+                )
+        for callers in self.method_index.values():
+            callers.sort()
+
+    @classmethod
+    def load(cls, root: Union[str, Path]) -> "ProjectModel":
+        """Parse every ``.py`` file under ``root`` into a model.
+
+        ``root`` is the directory *containing* the top-level package(s) —
+        ``src`` for this repository, so modules come out as ``repro.*``.
+        Unparseable files are skipped (the lint pass owns reporting those
+        as RPR000).
+        """
+        root_path = Path(root)
+        if not root_path.is_dir():
+            raise AnalysisError(f"analysis root {root_path} is not a directory")
+        modules: Dict[str, ModuleInfo] = {}
+        for file in sorted(root_path.rglob("*.py")):
+            if _SKIP_DIRS.intersection(file.parts):
+                continue
+            source = file.read_text(encoding="utf-8", errors="replace")
+            try:
+                tree = ast.parse(source)
+            except SyntaxError:
+                continue
+            name = _module_name(root_path, file)
+            functions, classes = _collect_symbols(tree)
+            modules[name] = ModuleInfo(
+                name=name,
+                path=str(file),
+                source=source,
+                tree=tree,
+                imports=_collect_imports(name, tree),
+                functions=functions,
+                classes=classes,
+            )
+        if not modules:
+            raise AnalysisError(f"no Python modules found under {root_path}")
+        return cls(root_path, modules)
+
+    def get(self, module_name: str) -> Optional[ModuleInfo]:
+        """The module named ``module_name``, or None when absent."""
+        return self.modules.get(module_name)
+
+    def iter_package(self, package: str) -> Iterator[ModuleInfo]:
+        """Modules inside ``package`` (itself included), sorted by name."""
+        prefix = package + "."
+        for name in sorted(self.modules):
+            if name == package or name.startswith(prefix):
+                yield self.modules[name]
+
+    def function_node(self, node_id: str) -> Optional[_FunctionNode]:
+        """Resolve a ``"module:qualname"`` id back to its def node."""
+        module_name, _, qualname = node_id.partition(":")
+        info = self.modules.get(module_name)
+        if info is None:
+            return None
+        return info.functions.get(qualname)

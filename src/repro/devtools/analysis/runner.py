@@ -1,0 +1,117 @@
+"""Orchestration for ``repro analyze``: model build, analyzers, filtering.
+
+One :class:`~repro.devtools.analysis.model.ProjectModel` is built per
+invocation and shared by every selected analyzer. Raw findings then pass
+through two filters, in order:
+
+1. line-scoped ``# repro: noqa[CODE]`` pragmas in the analyzed sources
+   (the same mechanism, and the same parser, as ``repro lint``);
+2. the checked-in JSON baseline (matched on rule/path/message, see
+   :mod:`repro.devtools.analysis.baseline`).
+
+The result is an :class:`AnalysisReport` carrying what survived, what
+was absorbed where, and which baseline entries went stale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.devtools.analysis.baseline import (
+    BaselineEntry,
+    apply_baseline,
+    load_baseline,
+)
+from repro.devtools.analysis.configflow import analyze_configflow
+from repro.devtools.analysis.determinism import analyze_determinism
+from repro.devtools.analysis.model import AnalysisError, ProjectModel
+from repro.devtools.analysis.parity import analyze_parity
+from repro.devtools.lint.findings import Finding
+from repro.devtools.lint.suppress import collect_suppressions, is_suppressed
+
+#: Analyzer name -> implementation, in canonical execution order.
+ANALYZERS: Dict[str, Callable[[ProjectModel], List[Finding]]] = {
+    "parity": analyze_parity,
+    "determinism": analyze_determinism,
+    "configflow": analyze_configflow,
+}
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one ``repro analyze`` run.
+
+    Attributes:
+        findings: Findings that survived pragmas and the baseline, sorted.
+        suppressed: Count of findings silenced by ``# repro: noqa``.
+        baselined: Findings absorbed by the checked-in baseline.
+        stale_baseline: Baseline entries that matched no current finding.
+        analyzers: Names of the analyzers that ran, in execution order.
+    """
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: int = 0
+    baselined: List[Finding] = field(default_factory=list)
+    stale_baseline: List[BaselineEntry] = field(default_factory=list)
+    analyzers: Tuple[str, ...] = ()
+
+    @property
+    def clean(self) -> bool:
+        """Whether the tree passes: nothing surviving, nothing stale."""
+        return not self.findings and not self.stale_baseline
+
+
+def analyze_project(
+    root: Path,
+    analyzers: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run ``analyzers`` (default: all) over the tree rooted at ``root``.
+
+    Args:
+        root: Directory containing the ``repro`` package (usually ``src``).
+        analyzers: Subset of :data:`ANALYZERS` keys; unknown names raise.
+        baseline_path: Optional baseline file; when given, its entries
+            absorb matching findings and stale entries are reported.
+    """
+    selected = tuple(ANALYZERS) if analyzers is None else tuple(analyzers)
+    for name in selected:
+        if name not in ANALYZERS:
+            raise AnalysisError(
+                f"unknown analyzer {name!r}; expected one of "
+                f"{', '.join(sorted(ANALYZERS))}"
+            )
+    model = ProjectModel.load(root)
+
+    raw: List[Finding] = []
+    for name in selected:
+        raw.extend(ANALYZERS[name](model))
+    raw = sorted(set(raw))
+
+    suppression_maps = {
+        info.path: collect_suppressions(info.source)
+        for info in model.modules.values()
+    }
+    unsuppressed: List[Finding] = []
+    suppressed = 0
+    for finding in raw:
+        pragmas = suppression_maps.get(finding.path)
+        if pragmas is not None and is_suppressed(finding, pragmas):
+            suppressed += 1
+        else:
+            unsuppressed.append(finding)
+
+    entries: List[BaselineEntry] = []
+    if baseline_path is not None and baseline_path.exists():
+        entries = load_baseline(baseline_path)
+    kept, baselined, stale = apply_baseline(unsuppressed, entries)
+
+    return AnalysisReport(
+        findings=kept,
+        suppressed=suppressed,
+        baselined=baselined,
+        stale_baseline=stale,
+        analyzers=selected,
+    )

@@ -1,6 +1,7 @@
 """Lint rule implementations; importing this package registers every rule."""
 
 from repro.devtools.lint.rules import (  # noqa: F401  (import-for-side-effect)
+    configaccess,
     dataclasses,
     determinism,
     floats,

@@ -1,0 +1,80 @@
+"""Config-access rule for the columnar fast-path package.
+
+The columnar engine reads :class:`SimulationConfig` exactly once, at
+setup: every field it honours is hoisted into a local (``ea =
+config.scheme == "ea"``) or baked into the interned arrays before the
+replay loop starts. That discipline is what makes engine parity
+*auditable* — ``repro analyze parity`` diffs the setup reads against the
+fallback matrix. A ``config.field`` read inside the hot loop bypasses
+that choke point twice over: it re-pays an attribute lookup per request,
+and it lets a field slip into one branch of the engine where the parity
+diff (and the next maintainer) will not look for it. RPR010 keeps every
+config read in the setup phase.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.devtools.lint.registry import FileContext, RuleVisitor, register
+
+#: Variable names conventionally holding a SimulationConfig (kept in sync
+#: with repro.devtools.analysis.dataflow.CONFIG_RECEIVER_NAMES).
+_CONFIG_NAMES = frozenset({"config", "cfg", "base_config", "sim_config"})
+
+
+@register
+class FastpathConfigAccessRule(RuleVisitor):
+    """RPR010: no direct SimulationConfig access in fastpath hot loops.
+
+    Flags ``config.<anything>`` (receiver named ``config`` / ``cfg`` /
+    ``base_config`` / ``sim_config``, or ``self.config`` /
+    ``<expr>.config``) inside the body of a ``for``/``while`` loop in
+    ``repro.fastpath``. Hoist the read into a local during engine setup —
+    that is where the parity analyzer, and the fallback matrix, expect
+    every config dependency to be visible.
+    """
+
+    code = "RPR010"
+    summary = "SimulationConfig attribute access inside a fastpath hot loop"
+    packages = ("fastpath",)
+
+    def __init__(self, ctx: FileContext) -> None:
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def _visit_per_iteration(self, nodes: Iterable[ast.AST]) -> None:
+        self._loop_depth += 1
+        for child in nodes:
+            self.visit(child)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        # The iterable evaluates once; only target/body repeat.
+        self.visit(node.iter)
+        self._visit_per_iteration([node.target, *node.body])
+        for child in node.orelse:
+            self.visit(child)
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_per_iteration([node.test, *node.body])
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self._loop_depth > 0:
+            value = node.value
+            is_config = (
+                isinstance(value, ast.Name) and value.id in _CONFIG_NAMES
+            ) or (isinstance(value, ast.Attribute) and value.attr == "config")
+            if is_config:
+                self.report(
+                    node,
+                    f"`config.{node.attr}` read inside a fastpath loop "
+                    "bypasses the columnar setup phase; hoist it into a "
+                    "local before the loop so the parity audit sees it",
+                )
+        self.generic_visit(node)

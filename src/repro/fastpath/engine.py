@@ -23,8 +23,10 @@ Byte identity with the object core is the contract, not an aspiration:
 
 Configurations outside the engine's envelope (custom policies, the
 sanitizer, stochastic latency, ICP loss injection, per-request outcome
-consumers) report a reason via :func:`columnar_unsupported_reason`;
-``run_simulation`` logs it and falls back to the object engine.
+consumers) report a reason via
+:func:`repro.fastpath.columnar_unsupported_reason`, which interprets the
+declared :data:`repro.fastpath.FALLBACK_MATRIX`; ``run_simulation`` logs
+it and falls back to the object engine.
 """
 
 from __future__ import annotations
@@ -34,6 +36,7 @@ from typing import List, Optional
 
 from repro.cache.stats import CacheStats
 from repro.errors import SimulationError, TraceError
+from repro.fastpath import columnar_unsupported_reason
 from repro.fastpath.ringtracker import RingAgeTracker
 from repro.fastpath.structures import IntrusiveLRUList, LFUVictimHeap
 from repro.network.bus import MessageCounters
@@ -43,51 +46,6 @@ from repro.protocol.http import format_expiration_age
 from repro.simulation.metrics import GroupMetrics, average_cache_expiration_age
 from repro.simulation.results import SimulationResult
 from repro.trace.record import Trace
-
-#: Replacement policies the columnar engine implements natively.
-SUPPORTED_POLICIES = ("lru", "lfu")
-
-#: Placement schemes the columnar engine implements natively.
-SUPPORTED_SCHEMES = ("adhoc", "ea")
-
-#: EA tie-break rules the columnar engine implements natively.
-SUPPORTED_TIE_BREAKS = ("requester", "responder")
-
-
-def columnar_unsupported_reason(config) -> Optional[str]:
-    """Why ``config`` cannot run on the columnar engine, or None if it can.
-
-    A non-None reason means the caller should use the object engine; the
-    dispatcher in :func:`repro.simulation.simulator.run_simulation` logs
-    the reason and falls back transparently. Unknown scheme/policy/tie
-    names also fall back so the object engine raises its canonical errors.
-    """
-    if config.policy not in SUPPORTED_POLICIES:
-        return (
-            f"replacement policy {config.policy!r} has no columnar port "
-            f"(supported: {SUPPORTED_POLICIES})"
-        )
-    if config.scheme not in SUPPORTED_SCHEMES:
-        return f"placement scheme {config.scheme!r} has no columnar port"
-    if config.scheme == "ea" and config.tie_break not in SUPPORTED_TIE_BREAKS:
-        return f"tie_break {config.tie_break!r} has no columnar port"
-    if config.sanitize:
-        return "sanitize=True instruments the object core's structures"
-    if config.use_engine:
-        return "use_engine=True replays through the discrete-event scheduler"
-    if config.keep_outcomes:
-        return "keep_outcomes=True materialises per-request outcome objects"
-    if config.collect_histogram:
-        return "collect_histogram=True streams per-request latencies"
-    if config.timeseries_window > 0:
-        return "timeseries_window>0 buckets per-request outcomes"
-    if config.latency == "stochastic":
-        return "stochastic latency draws per-request random noise"
-    if config.responder_strategy == "random":
-        return "random responder strategy draws from the seeded RNG"
-    if config.icp_loss_rate > 0:
-        return "icp_loss_rate>0 draws per-probe loss randomness"
-    return None
 
 
 def _leaf_column(config, interned, leaves: List[int]) -> List[int]:

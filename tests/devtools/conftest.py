@@ -1,0 +1,101 @@
+"""Fixture-tree builder shared by the whole-program analysis tests.
+
+``make_project`` writes a miniature-but-complete repro tree: a config
+dataclass read by both engines, a fallback matrix, a trace record whose
+fields all reach ``Trace.fingerprint``, and a columnar result assembly
+passing every ``GroupMetrics`` field. The default tree is *clean* under
+all three analyzers; each test overrides exactly the file(s) needed to
+seed one defect, so every assertion reads as "this edit causes this
+finding".
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+import pytest
+
+CLEAN_TREE: Dict[str, str] = {
+    "repro/__init__.py": "",
+    "repro/simulation/__init__.py": "",
+    "repro/simulation/simulator.py": '''
+        from dataclasses import dataclass
+
+        @dataclass
+        class SimulationConfig:
+            scheme: str = "ea"
+            window_size: int = 1000
+            sanitize: bool = False
+
+        def run_simulation(config, trace):
+            scheme = config.scheme
+            window = config.window_size
+            flag = config.sanitize
+            return scheme, window, flag
+    ''',
+    "repro/simulation/metrics.py": '''
+        from dataclasses import dataclass
+
+        @dataclass
+        class GroupMetrics:
+            requests: int = 0
+            local_hits: int = 0
+            misses: int = 0
+    ''',
+    "repro/fastpath/__init__.py": '''
+        FALLBACK_MATRIX = (
+            FallbackRule(field="sanitize", supported=(False,)),
+        )
+        COLUMNAR_NEUTRAL_FIELDS = ()
+    ''',
+    "repro/fastpath/engine.py": '''
+        from repro.simulation.metrics import GroupMetrics
+
+        def simulate_columnar(config, trace):
+            scheme = config.scheme
+            window = config.window_size
+            hits = 1 if scheme == "ea" else 0
+            return GroupMetrics(requests=window, local_hits=hits, misses=0)
+    ''',
+    "repro/trace/__init__.py": "",
+    "repro/trace/record.py": '''
+        from dataclasses import dataclass
+
+        @dataclass(frozen=True)
+        class TraceRecord:
+            timestamp: float
+            url: str
+
+        class Trace:
+            def fingerprint(self):
+                first = self.records[0]
+                return f"{first.timestamp}|{first.url}"
+    ''',
+}
+
+#: Determinism roots matching the fixture tree's entry points.
+FIXTURE_ROOTS = (
+    "repro.simulation.simulator:run_simulation",
+    "repro.fastpath.engine:simulate_columnar",
+)
+
+ProjectFactory = Callable[..., Path]
+
+
+@pytest.fixture
+def make_project(tmp_path: Path) -> ProjectFactory:
+    """Write ``CLEAN_TREE`` (plus overrides) under a tmp root; return it."""
+
+    def _make(overrides: Optional[Dict[str, str]] = None) -> Path:
+        root = tmp_path / "src"
+        files = dict(CLEAN_TREE)
+        files.update(overrides or {})
+        for rel, body in files.items():
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_text(textwrap.dedent(body), encoding="utf-8")
+        return root
+
+    return _make

@@ -1,0 +1,175 @@
+"""Baseline round-trip, noqa suppression, and runner orchestration tests."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.devtools.analysis import (
+    AnalysisError,
+    BaselineEntry,
+    analyze_project,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.devtools.lint.findings import Finding
+
+DRIFTED_SIMULATOR = '''
+    from dataclasses import dataclass
+
+    @dataclass
+    class SimulationConfig:
+        scheme: str = "ea"
+        window_size: int = 1000
+        sanitize: bool = False
+        icp_budget: int = 0
+
+    def run_simulation(config, trace):
+        used = (config.scheme, config.window_size, config.sanitize)
+        return config.icp_budget
+'''
+
+
+class TestNoqaSuppression:
+    def test_pragma_on_config_field_line_suppresses(self, make_project):
+        drifted = DRIFTED_SIMULATOR.replace(
+            "icp_budget: int = 0",
+            "icp_budget: int = 0  # repro: noqa[RPR101]",
+        )
+        root = make_project({"repro/simulation/simulator.py": drifted})
+        report = analyze_project(root)
+        assert report.findings == []
+        assert report.suppressed == 1
+        assert report.clean
+
+    def test_pragma_for_other_rule_does_not_suppress(self, make_project):
+        drifted = DRIFTED_SIMULATOR.replace(
+            "icp_budget: int = 0",
+            "icp_budget: int = 0  # repro: noqa[RPR999]",
+        )
+        root = make_project({"repro/simulation/simulator.py": drifted})
+        report = analyze_project(root)
+        assert [f.rule for f in report.findings] == ["RPR101"]
+        assert report.suppressed == 0
+
+
+class TestBaselineRoundTrip:
+    def test_write_then_absorb(self, make_project, tmp_path):
+        root = make_project({"repro/simulation/simulator.py": DRIFTED_SIMULATOR})
+        baseline_path = tmp_path / "baseline.json"
+
+        first = analyze_project(root)
+        assert [f.rule for f in first.findings] == ["RPR101"]
+        write_baseline(baseline_path, first.findings, why="known drift")
+
+        second = analyze_project(root, baseline_path=baseline_path)
+        assert second.findings == []
+        assert [f.rule for f in second.baselined] == ["RPR101"]
+        assert second.stale_baseline == []
+        assert second.clean
+
+    def test_baseline_survives_line_shifts(self, make_project, tmp_path):
+        root = make_project({"repro/simulation/simulator.py": DRIFTED_SIMULATOR})
+        baseline_path = tmp_path / "baseline.json"
+        report = analyze_project(root)
+        write_baseline(baseline_path, report.findings, why="known drift")
+
+        # Shift every line down; the (rule, path, message) key still matches.
+        shifted = '"""Module docstring pushing lines down."""\n\n\n' + (
+            root / "repro/simulation/simulator.py"
+        ).read_text()
+        (root / "repro/simulation/simulator.py").write_text(shifted)
+        again = analyze_project(root, baseline_path=baseline_path)
+        assert again.findings == []
+        assert len(again.baselined) == 1
+
+    def test_stale_entry_reported_and_not_clean(self, make_project, tmp_path):
+        root = make_project()
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(
+            baseline_path,
+            [Finding("repro/x.py", 1, 0, "RPR101", "fixed long ago")],
+            why="obsolete",
+        )
+        report = analyze_project(root, baseline_path=baseline_path)
+        assert report.findings == []
+        assert [e.rule for e in report.stale_baseline] == ["RPR101"]
+        assert not report.clean
+
+    def test_missing_baseline_file_is_empty(self, make_project, tmp_path):
+        report = analyze_project(
+            make_project(), baseline_path=tmp_path / "absent.json"
+        )
+        assert report.clean
+
+
+class TestBaselineParsing:
+    def test_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(json.dumps({"schema": "something-else", "entries": []}))
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_rejects_missing_keys(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "schema": "repro-analysis-baseline/1",
+                    "entries": [{"rule": "RPR101", "path": "x"}],
+                }
+            )
+        )
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_rejects_unreadable_json(self, tmp_path):
+        path = tmp_path / "b.json"
+        path.write_text("{not json")
+        with pytest.raises(AnalysisError):
+            load_baseline(path)
+
+    def test_apply_partitions_findings(self):
+        accepted = Finding("a.py", 3, 0, "RPR122", "one-sided")
+        fresh = Finding("b.py", 9, 0, "RPR121", "dead")
+        entries = [
+            BaselineEntry("RPR122", "a.py", "one-sided", why="deliberate"),
+            BaselineEntry("RPR111", "c.py", "gone", why="stale"),
+        ]
+        kept, baselined, stale = apply_baseline([accepted, fresh], entries)
+        assert kept == [fresh]
+        assert baselined == [accepted]
+        assert [e.rule for e in stale] == ["RPR111"]
+
+
+class TestRunner:
+    def test_unknown_analyzer_raises(self, make_project):
+        with pytest.raises(AnalysisError):
+            analyze_project(make_project(), analyzers=["nonsense"])
+
+    def test_analyzer_subset_runs_only_that_analyzer(self, make_project):
+        root = make_project(
+            {
+                "repro/trace/record.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass(frozen=True)
+                    class TraceRecord:
+                        timestamp: float
+                        url: str
+                        status: int
+
+                    class Trace:
+                        def fingerprint(self):
+                            first = self.records[0]
+                            return f"{first.timestamp}|{first.url}"
+                '''
+            }
+        )
+        parity_only = analyze_project(root, analyzers=["parity"])
+        assert parity_only.analyzers == ("parity",)
+        assert parity_only.findings == []
+        everything = analyze_project(root)
+        assert [f.rule for f in everything.findings] == ["RPR123"]

@@ -1,0 +1,159 @@
+"""Fixture tests for the config-flow coverage analyzer (RPR121-123)."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import (
+    ProjectModel,
+    analyze_configflow,
+    coverage_table,
+)
+
+
+def rules(root):
+    return [f.rule for f in analyze_configflow(ProjectModel.load(root))]
+
+
+class TestRPR121DeadField:
+    def test_clean_tree_has_no_findings(self, make_project):
+        assert rules(make_project()) == []
+
+    def test_unread_undeclared_field_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class SimulationConfig:
+                        scheme: str = "ea"
+                        window_size: int = 1000
+                        sanitize: bool = False
+                        vestigial: int = 9
+
+                    def run_simulation(config, trace):
+                        return (config.scheme, config.window_size, config.sanitize)
+                '''
+            }
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_configflow(model)
+        assert [f.rule for f in findings] == ["RPR121"]
+        assert "vestigial" in findings[0].message
+
+    def test_fallback_declared_field_is_not_dead(self, make_project):
+        # `sanitize` in the clean tree is matrix-declared; strip the object
+        # read and it must stay silent thanks to the declaration.
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class SimulationConfig:
+                        scheme: str = "ea"
+                        window_size: int = 1000
+                        sanitize: bool = False
+
+                    def run_simulation(config, trace):
+                        return (config.scheme, config.window_size)
+                '''
+            }
+        )
+        assert rules(root) == []
+
+
+class TestRPR122OneSidedField:
+    def test_fastpath_only_read_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class SimulationConfig:
+                        scheme: str = "ea"
+                        window_size: int = 1000
+                        sanitize: bool = False
+                        columnar_only: int = 1
+
+                    def run_simulation(config, trace):
+                        return (config.scheme, config.window_size, config.sanitize)
+                ''',
+                "repro/fastpath/engine.py": '''
+                    from repro.simulation.metrics import GroupMetrics
+
+                    def simulate_columnar(config, trace):
+                        used = (config.scheme, config.window_size, config.columnar_only)
+                        return GroupMetrics(requests=1, local_hits=0, misses=0)
+                ''',
+            }
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_configflow(model)
+        assert [f.rule for f in findings] == ["RPR122"]
+        assert "columnar_only" in findings[0].message
+
+
+class TestRPR123FingerprintCoverage:
+    def test_unhashed_trace_field_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/trace/record.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass(frozen=True)
+                    class TraceRecord:
+                        timestamp: float
+                        url: str
+                        status: int
+
+                    class Trace:
+                        def fingerprint(self):
+                            first = self.records[0]
+                            return f"{first.timestamp}|{first.url}"
+                '''
+            }
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_configflow(model)
+        assert [f.rule for f in findings] == ["RPR123"]
+        assert "status" in findings[0].message
+        assert "memo" in findings[0].message
+
+    def test_full_coverage_is_clean(self, make_project):
+        assert rules(make_project()) == []
+
+
+class TestCoverageTable:
+    def test_statuses(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": '''
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class SimulationConfig:
+                        scheme: str = "ea"
+                        window_size: int = 1000
+                        sanitize: bool = False
+                        vestigial: int = 9
+
+                    def run_simulation(config, trace):
+                        return (config.scheme, config.sanitize)
+                ''',
+                "repro/fastpath/engine.py": '''
+                    from repro.simulation.metrics import GroupMetrics
+
+                    def simulate_columnar(config, trace):
+                        used = (config.scheme, config.window_size)
+                        return GroupMetrics(requests=1, local_hits=0, misses=0)
+                ''',
+            }
+        )
+        table = dict(coverage_table(ProjectModel.load(root)))
+        assert table == {
+            "scheme": "both",
+            "window_size": "fastpath-only",
+            "sanitize": "object+fallback",
+            "vestigial": "dead",
+        }

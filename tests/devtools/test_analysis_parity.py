@@ -1,0 +1,160 @@
+"""Fixture tests for the engine-parity analyzer (RPR101-103)."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import ProjectModel, analyze_parity
+
+
+def rules(root):
+    model = ProjectModel.load(root)
+    return [f.rule for f in analyze_parity(model)]
+
+
+DRIFTED_SIMULATOR = '''
+    from dataclasses import dataclass
+
+    @dataclass
+    class SimulationConfig:
+        scheme: str = "ea"
+        window_size: int = 1000
+        sanitize: bool = False
+        icp_budget: int = 0
+
+    def run_simulation(config, trace):
+        used = (config.scheme, config.window_size, config.sanitize)
+        budget = config.icp_budget
+        return used, budget
+'''
+
+
+class TestRPR101UndeclaredDrift:
+    def test_clean_tree_has_no_findings(self, make_project):
+        assert rules(make_project()) == []
+
+    def test_object_only_field_without_declaration_fires(self, make_project):
+        root = make_project(
+            {"repro/simulation/simulator.py": DRIFTED_SIMULATOR}
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_parity(model)
+        assert [f.rule for f in findings] == ["RPR101"]
+        assert "icp_budget" in findings[0].message
+        # Anchored at the field's definition line in the config module.
+        assert findings[0].path.endswith("simulator.py")
+
+    def test_matrix_declaration_silences(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": DRIFTED_SIMULATOR,
+                "repro/fastpath/__init__.py": '''
+                    FALLBACK_MATRIX = (
+                        FallbackRule(field="sanitize", supported=(False,)),
+                        FallbackRule(field="icp_budget", supported=(0,)),
+                    )
+                    COLUMNAR_NEUTRAL_FIELDS = ()
+                ''',
+            }
+        )
+        assert rules(root) == []
+
+    def test_neutral_declaration_silences(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": DRIFTED_SIMULATOR,
+                "repro/fastpath/__init__.py": '''
+                    FALLBACK_MATRIX = (
+                        FallbackRule(field="sanitize", supported=(False,)),
+                    )
+                    COLUMNAR_NEUTRAL_FIELDS = (
+                        ("icp_budget", "only feeds fallback features"),
+                    )
+                ''',
+            }
+        )
+        assert rules(root) == []
+
+    def test_fastpath_read_silences(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/simulator.py": DRIFTED_SIMULATOR,
+                "repro/fastpath/engine.py": '''
+                    from repro.simulation.metrics import GroupMetrics
+
+                    def simulate_columnar(config, trace):
+                        used = (config.scheme, config.window_size)
+                        budget = config.icp_budget
+                        return GroupMetrics(requests=1, local_hits=0, misses=0)
+                ''',
+            }
+        )
+        assert rules(root) == []
+
+
+class TestRPR102StaleDeclaration:
+    def test_matrix_row_for_missing_field_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/__init__.py": '''
+                    FALLBACK_MATRIX = (
+                        FallbackRule(field="sanitize", supported=(False,)),
+                        FallbackRule(field="ghost", supported=()),
+                    )
+                    COLUMNAR_NEUTRAL_FIELDS = ()
+                '''
+            }
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_parity(model)
+        assert [f.rule for f in findings] == ["RPR102"]
+        assert "ghost" in findings[0].message
+        assert findings[0].path.endswith("fastpath/__init__.py")
+
+    def test_stale_neutral_entry_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/__init__.py": '''
+                    FALLBACK_MATRIX = (
+                        FallbackRule(field="sanitize", supported=(False,)),
+                    )
+                    COLUMNAR_NEUTRAL_FIELDS = (
+                        ("renamed_seed", "stale"),
+                    )
+                '''
+            }
+        )
+        assert rules(root) == ["RPR102"]
+
+
+class TestRPR103ResultFieldDrift:
+    def test_missing_result_field_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/engine.py": '''
+                    from repro.simulation.metrics import GroupMetrics
+
+                    def simulate_columnar(config, trace):
+                        used = (config.scheme, config.window_size)
+                        return GroupMetrics(requests=1, local_hits=0)
+                '''
+            }
+        )
+        model = ProjectModel.load(root)
+        findings = analyze_parity(model)
+        assert [f.rule for f in findings] == ["RPR103"]
+        assert "misses" in findings[0].message
+
+    def test_positional_or_splat_calls_are_not_guessed(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/engine.py": '''
+                    from repro.simulation.metrics import GroupMetrics
+
+                    def simulate_columnar(config, trace):
+                        used = (config.scheme, config.window_size)
+                        a = GroupMetrics(1, 2, 3)
+                        b = GroupMetrics(**{"requests": 1})
+                        return a, b
+                '''
+            }
+        )
+        assert rules(root) == []

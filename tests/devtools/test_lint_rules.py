@@ -380,3 +380,81 @@ class TestRPR009HotLoopAllocation:
             "        yield CacheEntry(document=doc, entry_time=0.0)  # repro: noqa[RPR009]\n"
         )
         assert_silent("RPR009", src, self.FASTPATH)
+
+
+class TestRPR010FastpathConfigAccess:
+    FASTPATH = "src/repro/fastpath/module.py"
+
+    def test_config_read_in_for_body_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(config, events):\n    """D."""\n'
+            "    total = 0\n"
+            "    for ev in events:\n"
+            '        if config.latency == "constant":\n'
+            "            total += 1\n"
+            "    return total\n"
+        )
+        assert_fires("RPR010", src, self.FASTPATH)
+
+    def test_config_read_in_while_condition_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(config):\n    """D."""\n'
+            "    n = 0\n"
+            "    while n < config.warmup_requests:\n"
+            "        n += 1\n"
+            "    return n\n"
+        )
+        assert_fires("RPR010", src, self.FASTPATH)
+
+    def test_self_config_chain_flagged(self):
+        src = (
+            '"""m."""\n\nclass Engine:\n    """D."""\n\n'
+            '    def replay(self, events):\n        """D."""\n'
+            "        total = 0\n"
+            "        for ev in events:\n"
+            "            total += self.config.window_size\n"
+            "        return total\n"
+        )
+        assert_fires("RPR010", src, self.FASTPATH)
+
+    def test_hoisted_setup_read_ok(self):
+        src = (
+            '"""m."""\n\ndef replay(config, events):\n    """D."""\n'
+            '    constant = config.latency == "constant"\n'
+            "    total = 0\n"
+            "    for ev in events:\n"
+            "        if constant:\n"
+            "            total += 1\n"
+            "    return total\n"
+        )
+        assert_silent("RPR010", src, self.FASTPATH)
+
+    def test_loop_iterable_evaluates_once_ok(self):
+        src = (
+            '"""m."""\n\ndef replay(config):\n    """D."""\n'
+            "    total = 0\n"
+            "    for i in range(config.warmup_requests):\n"
+            "        total += i\n"
+            "    return total\n"
+        )
+        assert_silent("RPR010", src, self.FASTPATH)
+
+    def test_out_of_scope_package_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(config, events):\n    """D."""\n'
+            "    total = 0\n"
+            "    for ev in events:\n"
+            "        total += config.window_size\n"
+            "    return total\n"
+        )
+        assert_silent("RPR010", src, "src/repro/simulation/module.py")
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef replay(config, events):\n    """D."""\n'
+            "    total = 0\n"
+            "    for ev in events:\n"
+            "        total += config.window_size  # repro: noqa[RPR010]\n"
+            "    return total\n"
+        )
+        assert_silent("RPR010", src, self.FASTPATH)

@@ -11,7 +11,7 @@ from repro.cli import main
 
 class TestAnalyze:
     def test_synthetic_characterisation(self, capsys):
-        assert main(["analyze", "--scale", "tiny"]) == 0
+        assert main(["analyze", "trace", "--scale", "tiny"]) == 0
         out = capsys.readouterr().out
         assert "Trace characterisation" in out
         assert "8000" in out  # request count
@@ -21,7 +21,7 @@ class TestAnalyze:
         path = tmp_path / "t.bu"
         main(["generate-trace", "--scale", "tiny", "--out", str(path)])
         capsys.readouterr()
-        assert main(["analyze", "--trace", str(path)]) == 0
+        assert main(["analyze", "trace", "--trace", str(path)]) == 0
         assert "unique documents" in capsys.readouterr().out
 
 
