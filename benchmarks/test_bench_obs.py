@@ -1,0 +1,92 @@
+"""Instrumentation-overhead benchmarks for the observability layer.
+
+The ``repro.obs`` contract is "near-zero overhead when disabled": running
+through :func:`~repro.obs.session.run_observed` with no event sink must
+cost within 2% of the plain engine call. These four benchmarks measure
+baseline (plain) vs disabled-instrumentation runs for both engines on the
+EA scheme; ``scripts/check_bench_regression.py --pair`` turns the
+baseline/disabled ratio into a CI gate. Enabled-path cost (events to disk)
+is deliberately *not* gated — it buys a full audit stream and is expected
+to cost real time.
+
+Workload and config match ``test_bench_throughput.py``'s end-to-end
+benchmarks so the numbers are comparable across families.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.session import run_observed
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace import SyntheticTraceConfig, generate_trace
+
+#: Pedantic rounds: far more than the throughput family's 3 because the
+#: pair gate is 2%, not 20% — it reads the *best* of these rounds (noise
+#: only adds time), which needs enough samples to converge under the bound.
+ROUNDS = 25
+
+OBJECT_CONFIG = SimulationConfig(
+    scheme="ea", num_caches=4, aggregate_capacity=1 << 20, seed=5
+)
+COLUMNAR_CONFIG = SimulationConfig(
+    scheme="ea", num_caches=4, aggregate_capacity=1 << 20, seed=5, engine="columnar"
+)
+
+
+@pytest.fixture(scope="module")
+def obs_trace():
+    trace = generate_trace(
+        SyntheticTraceConfig(
+            num_requests=5_000, num_documents=800, num_clients=16, seed=11
+        )
+    )
+    # Pre-pay the one-off costs both paths can amortise, so the pair gate
+    # compares steady-state request processing rather than first-call
+    # setup: the manifest hashes the trace fingerprint (cached on the
+    # trace) and the columnar engine interns once per trace.
+    trace.fingerprint()
+    trace.interned()
+    return trace
+
+
+def test_bench_obs_baseline_object(benchmark, obs_trace):
+    """Plain object-engine run: the pair gate's reference point."""
+
+    def run():
+        return run_simulation(OBJECT_CONFIG, obs_trace)
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1, iterations=1)
+    assert result.metrics.requests == len(obs_trace)
+
+
+def test_bench_obs_disabled_object(benchmark, obs_trace):
+    """Observed object-engine run with no event sink (manifest only)."""
+
+    def run():
+        return run_observed(OBJECT_CONFIG, obs_trace)
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1, iterations=1)
+    assert result.metrics.requests == len(obs_trace)
+    assert result.manifest is not None and result.manifest["events"] is None
+
+
+def test_bench_obs_baseline_columnar(benchmark, obs_trace):
+    """Plain columnar-engine run: the pair gate's reference point."""
+
+    def run():
+        return run_simulation(COLUMNAR_CONFIG, obs_trace)
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1, iterations=1)
+    assert result.metrics.requests == len(obs_trace)
+
+
+def test_bench_obs_disabled_columnar(benchmark, obs_trace):
+    """Observed columnar-engine run with no event sink (manifest only)."""
+
+    def run():
+        return run_observed(COLUMNAR_CONFIG, obs_trace)
+
+    result = benchmark.pedantic(run, rounds=ROUNDS, warmup_rounds=1, iterations=1)
+    assert result.metrics.requests == len(obs_trace)
+    assert result.manifest is not None and result.manifest["events"] is None

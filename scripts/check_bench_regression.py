@@ -15,6 +15,14 @@ check; new benchmarks (no baseline entry) and a missing baseline file pass
 Machine-to-machine noise is why the bar is a generous 20%: the check exists
 to catch accidental algorithmic regressions (an O(n^2) sneaking back into a
 hot loop), not single-digit scheduling jitter.
+
+``--pair BASE=CANDIDATE:FRAC`` (repeatable) additionally gates *within* the
+given file: CANDIDATE's mean must stay within ``BASE's mean * (1 + FRAC)``.
+Both benchmarks come from the same run on the same machine, so pair gates
+can be far tighter than the cross-machine threshold — this is how the
+disabled-instrumentation overhead bound (≤2% vs the uninstrumented
+baseline) is enforced. A pair naming a benchmark absent from the file is a
+hard error (exit 2): a silently missing benchmark must not pass the gate.
 """
 
 from __future__ import annotations
@@ -42,11 +50,27 @@ def load_means(path: Path) -> Dict[str, float]:
     ``bench["stats"]["mean"]``) and the compact committed schema produced
     by ``scripts/summarize_bench.py`` (means at ``bench["mean"]``).
     """
+    return _load_stat(path, "mean")
+
+
+def load_mins(path: Path) -> Dict[str, float]:
+    """Map benchmark name -> best-round seconds (same schemas as means).
+
+    Pair gates use minima: timing noise (GC pauses, scheduler stalls,
+    co-tenant load) only ever *adds* time, so the best of N rounds is the
+    estimator that converges on true cost — a mean or median of the same
+    rounds drifts several percent between adjacent runs, which would make
+    a 2% bound flaky.
+    """
+    return _load_stat(path, "min")
+
+
+def _load_stat(path: Path, stat: str) -> Dict[str, float]:
     payload = json.loads(path.read_text(encoding="utf-8"))
     if str(payload.get("schema", "")).startswith("repro-bench-summary"):
-        return {bench["name"]: bench["mean"] for bench in payload["benchmarks"]}
+        return {bench["name"]: bench[stat] for bench in payload["benchmarks"]}
     return {
-        bench["name"]: bench["stats"]["mean"] for bench in payload["benchmarks"]
+        bench["name"]: bench["stats"][stat] for bench in payload["benchmarks"]
     }
 
 
@@ -63,6 +87,46 @@ def find_baseline(current: Path) -> Optional[Path]:
     return max(candidates, key=lambda p: bench_index(p)) if candidates else None
 
 
+def parse_pair(text: str):
+    """Parse one ``BASE=CANDIDATE:FRAC`` pair-gate specification."""
+    match = re.match(r"^([^=]+)=([^:]+):([0-9.]+)$", text)
+    if match is None:
+        raise SystemExit(
+            f"error: --pair must look like BASE=CANDIDATE:FRAC, got {text!r}"
+        )
+    return match.group(1), match.group(2), float(match.group(3))
+
+
+def check_pairs(mins: Dict[str, float], pairs) -> int:
+    """Apply within-file pair gates over best-round times; returns the exit code.
+
+    Exit 2 when a named benchmark is missing (the gate cannot run), 1 when
+    a candidate exceeds its bound, 0 when every pair is within bounds.
+    """
+    worst = 0
+    for base_name, cand_name, frac in pairs:
+        missing = [n for n in (base_name, cand_name) if n not in mins]
+        if missing:
+            print(
+                f"error: pair gate names benchmark(s) not in the file: "
+                f"{', '.join(missing)}",
+                file=sys.stderr,
+            )
+            return 2
+        base, cand = mins[base_name], mins[cand_name]
+        ratio = cand / base if base > 0 else float("inf")
+        bound = 1.0 + frac
+        marker = "PAIR-FAIL" if ratio > bound else "pair-ok"
+        print(
+            f"  {marker:<9} {cand_name}: {cand * 1e3:.2f} ms vs "
+            f"{base_name}: {base * 1e3:.2f} ms "
+            f"({ratio:.1%}, bound {bound:.0%})"
+        )
+        if ratio > bound:
+            worst = max(worst, 1)
+    return worst
+
+
 def main(argv: Optional[list] = None) -> int:
     """Compare the given BENCH file to its predecessor; exit 1 on regression."""
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -71,17 +135,29 @@ def main(argv: Optional[list] = None) -> int:
         "--threshold", type=float, default=0.20,
         help="allowed fractional slowdown per benchmark (default 0.20)",
     )
+    parser.add_argument(
+        "--pair", action="append", default=[], metavar="BASE=CANDIDATE:FRAC",
+        help="within-file gate: CANDIDATE mean <= BASE mean * (1+FRAC); "
+        "repeatable; missing names are a hard error",
+    )
     args = parser.parse_args(argv)
 
     if not args.current.exists():
         print(f"error: {args.current} does not exist", file=sys.stderr)
         return 2
+
+    pair_status = check_pairs(
+        load_mins(args.current), [parse_pair(p) for p in args.pair]
+    )
+    if pair_status == 2:
+        return 2
+    current = load_means(args.current)
+
     baseline_path = find_baseline(args.current)
     if baseline_path is None:
         print(f"{args.current.name}: no earlier BENCH_*.json baseline; nothing to compare")
-        return 0
+        return pair_status
 
-    current = load_means(args.current)
     baseline = load_means(baseline_path)
     regressions = []
     for name, mean in sorted(current.items()):
@@ -106,7 +182,7 @@ def main(argv: Optional[list] = None) -> int:
         )
         return 1
     print(f"{args.current.name}: within {args.threshold:.0%} of {baseline_path.name}")
-    return 0
+    return pair_status
 
 
 if __name__ == "__main__":

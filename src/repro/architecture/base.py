@@ -91,6 +91,11 @@ class CooperativeGroup:
         self.latency_model = latency_model if latency_model is not None else ConstantLatencyModel()
         self.bus = bus if bus is not None else MessageBus()
         self.responder_strategy = responder_strategy
+        #: Optional :class:`repro.obs.events.RunRecorder`; when set, the
+        #: protocol steps below emit placement/promotion events at the
+        #: exact decision points. Reporting only — never consulted for
+        #: behaviour.
+        self.observer = None
         self._rng = random.Random(seed)
         self._request_number = 0
 
@@ -181,10 +186,33 @@ class CooperativeGroup:
         response.with_expiration_age(decision.responder_age)
         self.bus.send_http_response(response)
 
+        obs = self.observer
+        if obs is not None:
+            obs.promotion(
+                now,
+                responder,
+                url,
+                decision.requester_age,
+                decision.responder_age,
+                decision.refresh_responder,
+            )
         document = entry.document
         stored = False
         if decision.store_at_requester:
             stored = requester_cache.admit(document, now).admitted
+        else:
+            requester_cache.stats.placements_declined += 1
+        if obs is not None:
+            obs.placement_remote(
+                now,
+                requester,
+                url,
+                entry.size,
+                decision.requester_age,
+                decision.responder_age,
+                stored,
+                decision.refresh_responder,
+            )
         return document, RemoteHitAudit(
             stored_at_requester=stored,
             responder_refreshed=decision.refresh_responder,
@@ -204,9 +232,15 @@ class CooperativeGroup:
         response = sim_http.HttpResponse(url=url, body_size=size, sender="origin")
         self.bus.send_http_response(response)
         decision = self.scheme.origin_fetch(requester_cache, now)
+        stored = False
         if decision.store:
-            return requester_cache.admit(Document(url, size), now).admitted
-        return False
+            stored = requester_cache.admit(Document(url, size), now).admitted
+        else:
+            requester_cache.stats.placements_declined += 1
+        obs = self.observer
+        if obs is not None:
+            obs.placement_origin(now, requester, url, size, decision.own_age, stored)
+        return stored
 
     def _latency(self, kind: ServiceKind, size: int) -> float:
         return self.latency_model.latency(kind, size)

@@ -131,6 +131,20 @@ class HierarchicalGroup(CooperativeGroup):
         stored = False
         if child_decision.store:
             stored = cache.admit(document, now).admitted
+        else:
+            cache.stats.placements_declined += 1
+        obs = self.observer
+        if obs is not None:
+            obs.placement_node(
+                now,
+                "child",
+                index,
+                record.url,
+                document.size,
+                child_decision.own_age,
+                upstream_age,
+                stored,
+            )
 
         kind = ServiceKind.REMOTE_HIT if found_at is not None else ServiceKind.MISS
         return RequestOutcome(
@@ -167,6 +181,9 @@ class HierarchicalGroup(CooperativeGroup):
             response = sim_http.HttpResponse(url=url, body_size=entry.size, sender=node.name)
             response.with_expiration_age(node_age)
             self.bus.send_http_response(response)
+            obs = self.observer
+            if obs is not None:
+                obs.promotion(now, node_index, url, requester_age, node_age, refresh)
             return entry.document, node_index, node_age, 1
 
         grandparent = self.topology.parent_of(node_index)
@@ -190,8 +207,23 @@ class HierarchicalGroup(CooperativeGroup):
             hops = above + 1
 
         decision = self.scheme.parent_store(node, requester_age, now)
+        stored_here = False
         if decision.store:
-            node.admit(document, now)
+            stored_here = node.admit(document, now).admitted
+        else:
+            node.stats.placements_declined += 1
+        obs = self.observer
+        if obs is not None:
+            obs.placement_node(
+                now,
+                "parent",
+                node_index,
+                url,
+                document.size,
+                decision.own_age,
+                requester_age,
+                stored_here,
+            )
         node_age = node.expiration_age(now)
         response = sim_http.HttpResponse(url=url, body_size=document.size, sender=node.name)
         response.with_expiration_age(node_age)

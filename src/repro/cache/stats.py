@@ -27,6 +27,13 @@ class CacheStats:
         bytes_served_remote: Body bytes served to sibling proxies.
         bytes_admitted: Body bytes written into the cache.
         bytes_evicted: Body bytes removed from the cache.
+        placements_declined: Copies this cache obtained remotely but did
+            not store because the placement scheme said no (EA age
+            comparison or replica-size cap; always 0 under ad-hoc).
+        promotions_granted: Remote serves where this cache, as responder,
+            gave its entry the fresh lease of life (refresh granted).
+        promotions_withheld: Remote serves where the responder's entry was
+            deliberately *not* refreshed (EA: requester holds the lease).
     """
 
     lookups: int = 0
@@ -40,6 +47,9 @@ class CacheStats:
     bytes_served_remote: int = 0
     bytes_admitted: int = 0
     bytes_evicted: int = 0
+    placements_declined: int = 0
+    promotions_granted: int = 0
+    promotions_withheld: int = 0
 
     @property
     def local_hit_rate(self) -> float:
@@ -62,4 +72,7 @@ class CacheStats:
             bytes_served_remote=self.bytes_served_remote + other.bytes_served_remote,
             bytes_admitted=self.bytes_admitted + other.bytes_admitted,
             bytes_evicted=self.bytes_evicted + other.bytes_evicted,
+            placements_declined=self.placements_declined + other.placements_declined,
+            promotions_granted=self.promotions_granted + other.promotions_granted,
+            promotions_withheld=self.promotions_withheld + other.promotions_withheld,
         )

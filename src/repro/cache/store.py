@@ -75,6 +75,11 @@ class ProxyCache:
         #: an eviction (used e.g. by the demotion extension to rescue the
         #: group's last copy of a document).
         self.eviction_listener = None
+        #: Optional obs hook called ``(record, age)`` per eviction, where
+        #: ``age`` is the document expiration age fed to the EA tracker —
+        #: read-only reporting, wired by the simulator when a run is
+        #: observed (see :mod:`repro.obs.events`).
+        self.eviction_observer = None
         self._entries: Dict[str, CacheEntry] = {}
         self._used_bytes = 0
 
@@ -154,8 +159,11 @@ class ProxyCache:
         self.stats.remote_hits_served += 1
         self.stats.bytes_served_remote += entry.size
         if refresh:
+            self.stats.promotions_granted += 1
             entry.record_hit(now)
             self.policy.on_hit(entry)
+        else:
+            self.stats.promotions_withheld += 1
         return entry
 
     def admit(self, document: Document, now: float) -> AdmitOutcome:
@@ -211,11 +219,13 @@ class ProxyCache:
             hit_count=entry.hit_count,
             evict_time=now,
         )
-        self.tracker.record_eviction(record)
+        age = self.tracker.record_eviction(record)
         self.stats.evictions += 1
         self.stats.bytes_evicted += entry.size
         if self.eviction_listener is not None:
             self.eviction_listener(record)
+        if self.eviction_observer is not None:
+            self.eviction_observer(record, age)
         return record
 
     def clear(self) -> None:

@@ -6,9 +6,13 @@ The subcommands cover the library's workflows::
     repro simulate --scheme ea --caches 4 --capacity 10MB --trace trace.bu
     repro simulate --sanitize          # same, with runtime invariant checks
     repro simulate --engine columnar   # columnar fast path (byte-identical)
+    repro simulate --events run.jsonl --snapshot-interval 600
     repro experiment fig1 --scale tiny
     repro experiment fig1 --jobs 4 --memo .repro-memo
     repro sweep --scale tiny --jobs 4  # raw {scheme} x {capacity} grid
+    repro sweep --jobs 4 --progress --events events/
+    repro obs summarize run.jsonl      # roll up a repro-events/1 stream
+    repro obs diff a.jsonl b.jsonl     # first divergence between streams
     repro profile --scale tiny         # cProfile the request hot path
     repro lint src tests               # repro-specific per-file lint rules
     repro analyze                      # whole-program engine-parity /
@@ -33,6 +37,7 @@ from __future__ import annotations
 import argparse
 import inspect
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -99,6 +104,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "one-fresh-lease, event order) after every operation; exit 3 on any "
         "violation",
     )
+    sim.add_argument("--events", metavar="FILE",
+                     help="write a repro-events/1 JSONL stream of the run; a "
+                     "run manifest lands next to it as FILE.manifest.json")
+    sim.add_argument("--snapshot-interval", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="simulation-seconds between per-cache snapshot "
+                     "events in the stream (0 = no snapshots)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -116,6 +128,15 @@ def _build_parser() -> argparse.ArgumentParser:
     exp.add_argument("--engine", choices=ENGINES,
                      help="execution engine for sweep-backed drivers "
                      "(default: object); results are byte-identical")
+    exp.add_argument("--events", metavar="DIR",
+                     help="write repro-events/1 streams for every freshly "
+                     "simulated sweep point under DIR/<experiment>/")
+    exp.add_argument("--snapshot-interval", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="simulation-seconds between snapshot events in "
+                     "those streams (0 = no snapshots)")
+    exp.add_argument("--progress", action="store_true",
+                     help="print one line per completed sweep point")
 
     swp = sub.add_parser(
         "sweep", help="run a raw {scheme} x {capacity} sweep, optionally in parallel"
@@ -140,6 +161,27 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="execution engine for every sweep point; results "
                      "are byte-identical either way")
     swp.add_argument("--json", action="store_true", help="emit all points as JSON")
+    swp.add_argument("--events", metavar="DIR",
+                     help="write repro-events/1 streams for every freshly "
+                     "simulated point into DIR")
+    swp.add_argument("--snapshot-interval", type=float, default=0.0,
+                     metavar="SECONDS",
+                     help="simulation-seconds between snapshot events in "
+                     "those streams (0 = no snapshots)")
+    swp.add_argument("--progress", action="store_true",
+                     help="print one line per completed point plus a "
+                     "per-worker telemetry summary")
+
+    obs = sub.add_parser(
+        "obs", help="inspect repro-events/1 streams (tail / summarize / diff / validate)"
+    )
+    obs.add_argument("action", choices=("tail", "summarize", "diff", "validate"))
+    obs.add_argument("paths", nargs="+", metavar="FILE",
+                     help="event file(s); 'diff' takes exactly two")
+    obs.add_argument("-n", "--count", type=int, default=10, metavar="N",
+                     help="[tail] number of trailing events to print")
+    obs.add_argument("--json", action="store_true",
+                     help="[summarize] emit the roll-up as JSON")
 
     prof = sub.add_parser(
         "profile", help="cProfile one simulation and print the hottest functions"
@@ -259,24 +301,50 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         sanitize=args.sanitize,
         engine=args.engine,
     )
+    observed = None
+    if args.events or args.snapshot_interval > 0.0:
+        from repro.obs.session import ObservedRun
+
+        observed = ObservedRun(
+            config,
+            trace,
+            events_path=args.events,
+            snapshot_interval=args.snapshot_interval,
+        )
+    recorder = observed.recorder if observed is not None else None
     sanitizer = None
     if args.sanitize:
         # Sanitizing needs the simulator instance for the report (and forces
         # the object engine anyway — the dispatcher would fall back).
-        simulator = CooperativeSimulator(config)
+        simulator = CooperativeSimulator(config, obs=recorder)
         result = simulator.run(trace)
         sanitizer = simulator.sanitizer
     else:
-        result = run_simulation(config, trace)
+        result = run_simulation(config, trace, obs=recorder)
+    if observed is not None:
+        result = observed.finish(result)
     if args.json:
         print(result.to_json())
     else:
         print(result.summary())
+    if observed is not None and args.events:
+        from repro.obs.manifest import write_manifest
+
+        manifest_path = args.events + ".manifest.json"
+        write_manifest(result.manifest, manifest_path)
+        total = sum(result.manifest["events"]["counts"].values())
+        print(f"events: {total} event(s) -> {args.events}")
+        print(f"manifest: {manifest_path}")
     if sanitizer is not None:
         print(sanitizer.summary())
         if not sanitizer.ok:
             return 3
     return 0
+
+
+def _print_progress(progress) -> None:
+    """Live per-point progress line for --progress runs."""
+    print(progress.render(), flush=True)
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -292,8 +360,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
     for name in names:
         driver = EXPERIMENTS[name]
         kwargs = {"scale": args.scale, "seed": args.seed}
-        # Only the sweep-backed drivers take jobs/memo; ablation and
-        # extension drivers run serially regardless.
+        # Only the sweep-backed drivers take jobs/memo (and the obs knobs);
+        # ablation and extension drivers run serially regardless.
         accepted = inspect.signature(driver).parameters
         if "jobs" in accepted and jobs is not None:
             kwargs["jobs"] = jobs
@@ -301,6 +369,14 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             kwargs["memo"] = memo
         if "engine" in accepted and args.engine is not None:
             kwargs["engine"] = args.engine
+        if "events_dir" in accepted and args.events:
+            # Per-driver subdirectory: 'experiment all' shares one --events
+            # root without the drivers' point files colliding.
+            kwargs["events_dir"] = os.path.join(args.events, name)
+        if "snapshot_interval" in accepted and args.snapshot_interval > 0.0:
+            kwargs["snapshot_interval"] = args.snapshot_interval
+        if "progress" in accepted and args.progress:
+            kwargs["progress"] = _print_progress
         report = driver(**kwargs)
         if store is not None:
             store.save(report)
@@ -337,6 +413,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = run_capacity_sweep(
         trace, capacities, schemes=schemes, base_config=base_config,
         jobs=jobs, memo=memo, engine=args.engine,
+        events_dir=args.events, snapshot_interval=args.snapshot_interval,
+        progress=_print_progress if args.progress else None,
     )
     if args.json:
         payload = [
@@ -372,6 +450,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if memo is not None:
         print(f"memo: {memo.hits} hit(s), {memo.misses} miss(es) in {memo.root}")
+    if args.progress and sweep.telemetry is not None:
+        print(sweep.telemetry.summary())
+    if args.events:
+        print(f"events: {args.events}")
     return 0
 
 
@@ -545,6 +627,77 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import render_table
+    from repro.obs.schema import validate_events_file
+    from repro.obs.tools import diff_events, summarize_events, tail_events
+
+    if args.action == "diff":
+        if len(args.paths) != 2:
+            print("error: obs diff takes exactly two event files", file=sys.stderr)
+            return 2
+        divergence = diff_events(args.paths[0], args.paths[1])
+        if divergence is None:
+            print("streams identical")
+            return 0
+        number, left, right = divergence
+        print(f"streams diverge at line {number}:")
+        print(f"  {args.paths[0]}: {left if left is not None else '<ended>'}")
+        print(f"  {args.paths[1]}: {right if right is not None else '<ended>'}")
+        return 1
+
+    if args.action == "tail":
+        for path in args.paths:
+            if len(args.paths) > 1:
+                print(f"==> {path} <==")
+            for line in tail_events(path, args.count):
+                print(line)
+        return 0
+
+    if args.action == "validate":
+        failed = False
+        for path in args.paths:
+            errors, counts = validate_events_file(path)
+            total = sum(counts.values())
+            if errors:
+                failed = True
+                for error in errors[:20]:
+                    print(f"{path}: {error}")
+                if len(errors) > 20:
+                    print(f"{path}: ... {len(errors) - 20} more error(s)")
+                print(f"{path}: INVALID ({len(errors)} error(s), {total} event(s))")
+            else:
+                print(f"{path}: valid ({total} event(s))")
+        return 1 if failed else 0
+
+    for path in args.paths:
+        summary = summarize_events(path)
+        if args.json:
+            print(json.dumps(summary, indent=2, sort_keys=True))
+            continue
+        span = summary["time_span"]
+        rows = [["events", sum(summary["events"].values())]]
+        rows += [[f"  {kind}", count] for kind, count in sorted(summary["events"].items())]
+        rows += [
+            [f"requests: {kind}", count]
+            for kind, count in summary["requests_by_kind"].items()
+        ]
+        rows.append(["requests stored at requester", summary["requests_stored"]])
+        for role, bucket in summary["placements_by_role"].items():
+            rows.append(
+                [f"placements ({role})", f"{bucket['stored']}/{bucket['attempted']} stored"]
+            )
+        rows.append(["promotions granted", summary["promotions"]["granted"]])
+        rows.append(["promotions withheld", summary["promotions"]["withheld"]])
+        rows.append(["age ties (cmp=eq)", summary["age_ties"]])
+        rows.append(["evicted bytes", summary["evicted_bytes"]])
+        rows.append(
+            ["time span", "-" if span is None else f"{span[0]:.0f}..{span[1]:.0f}"]
+        )
+        print(render_table(["metric", "value"], rows, title=f"Event stream: {path}"))
+    return 0
+
+
 def _cmd_lint(args: argparse.Namespace) -> int:
     from repro.devtools.lint import all_rules, lint_paths
 
@@ -592,6 +745,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "lint": _cmd_lint,
+        "obs": _cmd_obs,
     }
     try:
         return handlers[args.command](args)

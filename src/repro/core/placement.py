@@ -49,6 +49,19 @@ def ages_equal(left: float, right: float) -> bool:
     return left == right
 
 
+def classify_age_comparison(left: float, right: float) -> str:
+    """Order ``left`` relative to ``right``: ``"gt"``, ``"eq"``, or ``"lt"``.
+
+    Reporting surfaces (the ``repro.obs`` event stream in particular) must
+    label age comparisons through this helper rather than comparing floats
+    themselves, so an emitted ``"eq"`` can never disagree with the tie the
+    simulator actually took via :func:`ages_equal`.
+    """
+    if ages_equal(left, right):
+        return "eq"
+    return "gt" if left > right else "lt"
+
+
 @dataclass(frozen=True)
 class RemoteHitDecision:
     """Outcome of the requester/responder negotiation on a remote hit.

@@ -6,6 +6,7 @@ from repro.devtools.lint.rules import (  # noqa: F401  (import-for-side-effect)
     determinism,
     floats,
     hotloop,
+    obsio,
     ordering,
     parallel,
     style,

@@ -1,0 +1,87 @@
+"""I/O hygiene for instrumented hot loops.
+
+The observability layer (``repro.obs``) is the *only* sanctioned output
+channel from the engines: both cores emit events through an injected
+``RunRecorder``, which compiles to a no-op when disabled and buffers
+through one sink. A stray ``print`` or ad-hoc file write inside a
+simulation loop bypasses that contract twice over — it costs syscalls per
+request even when observability is off, and it produces output the event
+schema, the parity tests, and the manifests never see. RPR011 keeps the
+hot packages honest.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.lint.registry import RuleVisitor, register
+
+#: Direct-output callables that must not appear per-iteration: console
+#: writes, file opens, and raw stream writes.
+_DIRECT_IO_NAMES: Set[str] = {"print", "open"}
+_DIRECT_IO_ATTRS: Set[str] = {"write", "writelines"}
+
+
+@register
+class HotLoopDirectIORule(RuleVisitor):
+    """RPR011: no direct console/file I/O inside simulation hot loops.
+
+    Flags, inside the body of a ``for``/``while`` loop (or a ``while``
+    condition) in the engine-side packages:
+
+    * ``print(...)`` and ``open(...)`` calls;
+    * ``.write(...)`` / ``.writelines(...)`` method calls on any receiver.
+
+    Instrumentation must flow through :mod:`repro.obs` (which is exempt —
+    it owns the sink) so that disabling observability really disables all
+    I/O. Setup/teardown I/O outside loops is fine; a deliberate exception
+    takes ``# repro: noqa[RPR011]``.
+    """
+
+    code = "RPR011"
+    summary = "direct console/file I/O inside a simulation hot loop"
+    packages = ("fastpath", "simulation", "cache", "architecture", "core")
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._loop_depth = 0
+
+    def _visit_per_iteration(self, nodes) -> None:
+        self._loop_depth += 1
+        for child in nodes:
+            self.visit(child)
+        self._loop_depth -= 1
+
+    def visit_For(self, node: ast.For) -> None:
+        # The iterable expression evaluates once; only the body repeats.
+        self.visit(node.iter)
+        self.visit(node.target)
+        self._visit_per_iteration(node.body)
+        for child in node.orelse:
+            self.visit(child)
+
+    visit_AsyncFor = visit_For
+
+    def visit_While(self, node: ast.While) -> None:
+        self._visit_per_iteration([node.test, *node.body])
+        for child in node.orelse:
+            self.visit(child)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self._loop_depth > 0:
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _DIRECT_IO_NAMES:
+                self.report(
+                    node,
+                    f"`{func.id}(...)` inside a simulation loop does I/O per "
+                    "iteration even with observability disabled; emit through "
+                    "a repro.obs recorder instead",
+                )
+            elif isinstance(func, ast.Attribute) and func.attr in _DIRECT_IO_ATTRS:
+                self.report(
+                    node,
+                    f"`.{func.attr}(...)` inside a simulation loop writes a "
+                    "stream per iteration; route output through repro.obs",
+                )
+        self.generic_visit(node)

@@ -42,12 +42,16 @@ def run(
     jobs: Optional[int] = None,
     memo=None,
     engine: Optional[str] = None,
+    events_dir: Optional[str] = None,
+    snapshot_interval: float = 0.0,
+    progress=None,
 ) -> ExperimentReport:
     """Regenerate Figure 1 (4-cache distributed group, LRU, both schemes)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
     capacities = capacities if capacities is not None else capacities_for(scale)
     sweep = run_capacity_sweep(
         trace, capacities, base_config=base_config, jobs=jobs, memo=memo,
-        engine=engine,
+        engine=engine, events_dir=events_dir, snapshot_interval=snapshot_interval,
+        progress=progress,
     )
     return build_report(sweep)

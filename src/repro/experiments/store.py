@@ -138,8 +138,12 @@ class SimulationResultStore:
             raise ExperimentError(f"corrupt result artifact {path}: {exc}") from exc
 
     def keys(self) -> List[str]:
-        """Stored keys, sorted."""
-        return sorted(path.stem for path in self.root.glob("*.json"))
+        """Stored keys, sorted; sidecar files (non-key stems) are ignored."""
+        return sorted(
+            path.stem
+            for path in self.root.glob("*.json")
+            if _KEY_PATTERN.match(path.stem)
+        )
 
 
 @dataclass(frozen=True)

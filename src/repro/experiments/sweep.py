@@ -34,6 +34,13 @@ class SweepPoint:
 class SweepResult:
     """All points of a sweep, indexable by (scheme, capacity label)."""
 
+    #: Execution telemetry (:class:`repro.parallel.telemetry.SweepTelemetry`)
+    #: attached by :class:`repro.parallel.ParallelSweepRunner`; None for
+    #: sweeps produced by the plain serial loop. Out-of-band on purpose —
+    #: it carries wall times and pids, which must never reach the
+    #: byte-compared result payload.
+    telemetry = None
+
     def __init__(self, points: Sequence[SweepPoint]):
         self.points: List[SweepPoint] = list(points)
         self._index: Dict[Tuple[str, str], SweepPoint] = {
@@ -73,6 +80,9 @@ def run_capacity_sweep(
     jobs: Optional[int] = None,
     memo=None,
     engine: Optional[str] = None,
+    events_dir: Optional[str] = None,
+    snapshot_interval: float = 0.0,
+    progress=None,
 ) -> SweepResult:
     """Run {scheme} x {capacity} simulations over ``trace``.
 
@@ -95,17 +105,39 @@ def run_capacity_sweep(
             a logged reason). Workers in a parallel sweep pin one trace, so
             the columnar interning cost is paid once per worker, not per
             point.
+        events_dir: When given, each freshly simulated point writes a
+            ``repro-events/1`` stream into this directory (see
+            :mod:`repro.obs`); memoized points emit no events.
+        snapshot_interval: Simulation-seconds between snapshot events in
+            those streams (0 disables snapshots).
+        progress: Optional per-point callback receiving a
+            :class:`repro.parallel.telemetry.SweepProgress`.
+
+    Any observability argument routes the sweep through the runner (in
+    process when ``jobs`` is unset) so event capture, telemetry, and
+    progress share one implementation; results stay byte-identical.
     """
     if engine is not None:
         template = base_config if base_config is not None else SimulationConfig()
         base_config = replace(template, engine=engine)
-    if jobs is not None or memo is not None:
+    observed = events_dir is not None or snapshot_interval > 0.0 or progress is not None
+    if jobs is not None or memo is not None or observed:
         # Imported lazily — repro.parallel imports this module for
         # SweepPoint/SweepResult, so a top-level import would be circular.
         from repro.parallel import ParallelSweepRunner
 
         runner = ParallelSweepRunner(jobs=jobs if jobs is not None else 1, memo=memo)
-        return runner.run(trace, capacities, schemes=schemes, base_config=base_config)
+        sweep = runner.run(
+            trace,
+            capacities,
+            schemes=schemes,
+            base_config=base_config,
+            events_dir=events_dir,
+            snapshot_interval=snapshot_interval,
+            progress=progress,
+        )
+        sweep.telemetry = runner.last_telemetry
+        return sweep
     if not capacities:
         raise ExperimentError("capacity sweep needs at least one capacity")
     if not schemes:

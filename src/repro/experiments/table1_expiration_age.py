@@ -52,6 +52,9 @@ def run(
     jobs: Optional[int] = None,
     memo=None,
     engine: Optional[str] = None,
+    events_dir: Optional[str] = None,
+    snapshot_interval: float = 0.0,
+    progress=None,
 ) -> ExperimentReport:
     """Regenerate Table 1 (capacities stop at 100 MB, as in the paper)."""
     trace = trace if trace is not None else workload_trace(scale, seed)
@@ -61,6 +64,7 @@ def run(
         capacities = [c for c in available if c[0] in table1_labels]
     sweep = run_capacity_sweep(
         trace, capacities, base_config=base_config, jobs=jobs, memo=memo,
-        engine=engine,
+        engine=engine, events_dir=events_dir, snapshot_interval=snapshot_interval,
+        progress=progress,
     )
     return build_report(sweep)

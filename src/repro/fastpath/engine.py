@@ -76,13 +76,21 @@ def _leaf_column(config, interned, leaves: List[int]) -> List[int]:
     return [client_leaf[client] for client in interned.clients]
 
 
-def simulate_columnar(config, trace: Trace) -> SimulationResult:
+def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
     """Replay ``trace`` under ``config`` on the columnar engine.
 
     Raises :class:`SimulationError` when the config is outside the
     engine's envelope — use
     :func:`repro.simulation.simulator.run_simulation` for transparent
     fallback.
+
+    Args:
+        obs: Optional :class:`repro.obs.events.RunRecorder`. Emission
+            points mirror the object core exactly — same events, same
+            order, same scalar payloads — so both engines produce
+            byte-identical ``repro-events/1`` streams (enforced by the
+            differential tests in ``tests/obs``). ``None`` keeps the loop
+            on its zero-overhead path (one hoisted bool guard per branch).
     """
     reason = columnar_unsupported_reason(config)
     if reason is not None:
@@ -172,6 +180,9 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
     st_bytes_remote = [0] * num_caches
     st_bytes_admitted = [0] * num_caches
     st_bytes_evicted = [0] * num_caches
+    st_declined = [0] * num_caches
+    st_promo_granted = [0] * num_caches
+    st_promo_withheld = [0] * num_caches
 
     # Bus counters: [icp_q, icp_r, http_req, http_resp, icp_B, hdr_B, body_B]
     bus = [0, 0, 0, 0, 0, 0, 0]
@@ -206,11 +217,37 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
     warmup = config.warmup_requests
 
     # ---------------------------------------------------------------- #
+    # Observability (hoisted: the disabled path costs one bool test)
+    # ---------------------------------------------------------------- #
+    rec = obs
+    emit = rec is not None
+    url_of = interned.urls
+    probe_hit_hops = 1 if hierarchical else 0
+    kind_local = "local_hit"
+    kind_remote = "remote_hit"
+    kind_miss = "miss"
+
+    def _snapshot_rows(due: float):
+        """Per-cache gauge rows mirroring CooperativeSimulator._snapshot_rows."""
+        return [
+            (
+                age_of[c](due),
+                used[c],
+                copies[c],
+                st_lookups[c],
+                st_local_hits[c],
+                st_remote_served[c],
+                st_evictions[c],
+            )
+            for c in range(num_caches)
+        ]
+
+    # ---------------------------------------------------------------- #
     # Shared operations (closures over the columnar state)
     # ---------------------------------------------------------------- #
 
-    def _admit(cache: int, doc: int, size: int, now: float) -> None:
-        """Mirror of ProxyCache.admit for a policy-supported cache."""
+    def _admit(cache: int, doc: int, size: int, now: float) -> bool:
+        """Mirror of ProxyCache.admit; returns AdmitOutcome.admitted."""
         held = present[cache]
         if held[doc]:
             # Already cached: refresh instead of re-admitting.
@@ -221,11 +258,11 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                 order[cache].touch(doc)
             else:
                 order[cache].push(doc, bumped)
-            return
+            return True
         cap = capacity[cache]
         if size > cap:
             st_rejections[cache] += 1
-            return
+            return False
         in_use = used[cache]
         if in_use + size > cap:
             sizes_c = doc_size[cache]
@@ -247,6 +284,8 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                 else:
                     age = (now - entry_c[victim]) / hits_c[victim]
                 record_c(age, now)
+                if emit:
+                    rec.eviction(now, cache, url_of[victim], victim_size, age)
                 evicted += 1
                 evicted_bytes += victim_size
             st_evictions[cache] += evicted
@@ -265,6 +304,7 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
         st_admissions[cache] += 1
         st_bytes_admitted[cache] += size
         copies[cache] += 1
+        return True
 
     def _serve_remote(cache: int, doc: int, now: float, refresh: bool) -> int:
         """Mirror of ProxyCache.serve_remote; returns the entry size."""
@@ -272,6 +312,7 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
         st_remote_served[cache] += 1
         st_bytes_remote[cache] += size
         if refresh:
+            st_promo_granted[cache] += 1
             last_hit[cache][doc] = now
             bumped = hit_count[cache][doc] + 1
             hit_count[cache][doc] = bumped
@@ -279,13 +320,16 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                 order[cache].touch(doc)
             else:
                 order[cache].push(doc, bumped)
+        else:
+            st_promo_withheld[cache] += 1
         return size
 
     def _resolve(node: int, doc: int, record_size: int, digits: int,
                  requester_age: float, now: float):
         """Mirror of HierarchicalGroup._resolve_at.
 
-        Returns ``(size, found_at, node_age)``; ``found_at`` None → origin.
+        Returns ``(size, found_at, node_age, hops)``; ``found_at`` None →
+        origin.
         """
         if present[node][doc]:
             # EA promotes only a longer-lived copy; ad-hoc always refreshes
@@ -297,7 +341,9 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
             bus[3] += 1
             bus[5] += 70 + len(str(size)) + sender_len[node] + len(age_text)
             bus[6] += size
-            return size, node, node_age
+            if emit:
+                rec.promotion(now, node, url_of[doc], requester_age, node_age, refresh)
+            return size, node, node_age, 1
 
         grandparent = parent[node]
         node_age = age_of[node](now)
@@ -310,23 +356,33 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
             bus[6] += record_size
             size = record_size
             found_at = None
+            hops = 1
         else:
             age_text = fmt_age(node_age)
             bus[2] += 1
             bus[5] += url_len[doc] + sender_len[node] + len(age_text) + 50
-            size, found_at, _upstream = _resolve(
+            size, found_at, _upstream, above = _resolve(
                 grandparent, doc, record_size, digits, node_age, now
             )
+            hops = above + 1
         # Parent-store rule: both schemes read the node's own age.
         own_age = age_of[node](now)
         if (own_age > requester_age) if ea else True:
-            _admit(node, doc, size, now)
+            stored_node = _admit(node, doc, size, now)
+        else:
+            st_declined[node] += 1
+            stored_node = False
+        if emit:
+            rec.placement_node(
+                now, "parent", node, url_of[doc], size, own_age, requester_age,
+                stored_node,
+            )
         node_age = age_of[node](now)
         age_text = fmt_age(node_age)
         bus[3] += 1
         bus[5] += 70 + len(str(size)) + sender_len[node] + len(age_text)
         bus[6] += size
-        return size, found_at, node_age
+        return size, found_at, node_age, hops
 
     # ---------------------------------------------------------------- #
     # Replay loop — zero allocation per request
@@ -335,6 +391,8 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
     for cache, doc, now, record_size, digits in zip(
         leaf_column, interned.doc_ids, interned.timestamps, record_sizes, size_digits
     ):
+        if emit:
+            rec.maybe_snapshot(now, _snapshot_rows)
         st_lookups[cache] += 1
         held = present[cache]
         if held[doc]:
@@ -356,6 +414,11 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                 latency_sum[0] += lat_local
                 met[1] += 1
                 met[5] += size
+            if emit:
+                rec.request(
+                    now, cache, url_of[doc], kind_local, size, None, False,
+                    False, 0,
+                )
             continue
 
         st_local_misses[cache] += 1
@@ -408,8 +471,21 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
             bus[3] += 1
             bus[5] += 70 + len(str(size)) + sender_len[responder] + len(age_text)
             bus[6] += size
+            if emit:
+                rec.promotion(
+                    now, responder, url_of[doc], requester_age, responder_age,
+                    refresh,
+                )
             if store:
-                _admit(cache, doc, size, now)
+                stored_here = _admit(cache, doc, size, now)
+            else:
+                st_declined[cache] += 1
+                stored_here = False
+            if emit:
+                rec.placement_remote(
+                    now, cache, url_of[doc], size, requester_age, responder_age,
+                    stored_here, refresh,
+                )
             processed += 1
             if processed > warmup:
                 met[0] += 1
@@ -420,6 +496,11 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                     latency_sum[0] += lat_remote + size / lan_bw
                 met[2] += 1
                 met[6] += size
+            if emit:
+                rec.request(
+                    now, cache, url_of[doc], kind_remote, size, responder,
+                    stored_here, refresh, probe_hit_hops,
+                )
             continue
 
         up = parent[cache]
@@ -430,8 +511,12 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
             bus[3] += 1
             bus[5] += 50 + digits
             bus[6] += record_size
-            age_of[cache](now)  # origin_fetch decision reads the own age
-            _admit(cache, doc, record_size, now)
+            own_age = age_of[cache](now)  # origin_fetch decision reads the own age
+            stored_here = _admit(cache, doc, record_size, now)
+            if emit:
+                rec.placement_origin(
+                    now, cache, url_of[doc], record_size, own_age, stored_here
+                )
             processed += 1
             if processed > warmup:
                 met[0] += 1
@@ -442,6 +527,11 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                     latency_sum[0] += lat_miss + record_size / wan_bw
                 met[3] += 1
                 met[7] += record_size
+            if emit:
+                rec.request(
+                    now, cache, url_of[doc], kind_miss, record_size, None,
+                    stored_here, False, 0,
+                )
             continue
 
         # Hierarchical escalation: all probes negative, parent resolves.
@@ -449,7 +539,7 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
         age_text = fmt_age(requester_age)
         bus[2] += 1
         bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
-        size, found_at, upstream_age = _resolve(
+        size, found_at, upstream_age, hops = _resolve(
             up, doc, record_size, digits, requester_age, now
         )
         # Child-store rule (both schemes read the child's own age).
@@ -464,7 +554,15 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
         else:
             store = True
         if store:
-            _admit(cache, doc, size, now)
+            stored_here = _admit(cache, doc, size, now)
+        else:
+            st_declined[cache] += 1
+            stored_here = False
+        if emit:
+            rec.placement_node(
+                now, "child", cache, url_of[doc], size, child_age, upstream_age,
+                stored_here,
+            )
         processed += 1
         if processed > warmup:
             met[0] += 1
@@ -483,6 +581,12 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
                     latency_sum[0] += lat_miss + size / wan_bw
                 met[3] += 1
                 met[7] += size
+        if emit:
+            rec.request(
+                now, cache, url_of[doc],
+                kind_remote if found_at is not None else kind_miss,
+                size, found_at, stored_here, False, hops,
+            )
 
     # ---------------------------------------------------------------- #
     # Result assembly (object-core dataclasses; identical serialisation)
@@ -520,6 +624,9 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
             bytes_served_remote=st_bytes_remote[c],
             bytes_admitted=st_bytes_admitted[c],
             bytes_evicted=st_bytes_evicted[c],
+            placements_declined=st_declined[c],
+            promotions_granted=st_promo_granted[c],
+            promotions_withheld=st_promo_withheld[c],
         )
         for c in range(num_caches)
     ]
@@ -538,4 +645,5 @@ def simulate_columnar(config, trace: Trace) -> SimulationResult:
         total_copies=total_copies,
         replication_factor=replication,
         estimated_latency=metrics.estimated_latency(),
+        manifest=None,
     )

@@ -1,0 +1,70 @@
+"""repro.obs — observability for simulation runs.
+
+Three pieces, one contract:
+
+* :mod:`repro.obs.registry` — counters/gauges/histograms that no-op when
+  disabled (aggregated telemetry);
+* :mod:`repro.obs.events` — the ``repro-events/1`` structured JSONL stream
+  both engines emit byte-identically (per-decision telemetry), validated
+  by :mod:`repro.obs.schema` and inspected via :mod:`repro.obs.tools`;
+* :mod:`repro.obs.manifest` / :mod:`repro.obs.session` — the
+  ``repro-manifest/1`` provenance record attached to results.
+
+The contract: observing a run never changes it. Recorders are passed out
+of band (never on :class:`~repro.simulation.simulator.SimulationConfig`),
+payload timestamps are simulation time only, and results with and without
+observation are byte-identical. See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.events import EVENTS_SCHEMA, RunRecorder, age_json, age_ranks
+from repro.obs.manifest import (
+    MANIFEST_SCHEMA,
+    build_manifest,
+    config_hash,
+    file_digest,
+    result_digest,
+    write_manifest,
+)
+from repro.obs.registry import (
+    HISTOGRAM_BUCKETS,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObsError,
+    merge_snapshots,
+)
+from repro.obs.schema import validate_event, validate_events_file, validate_stream
+from repro.obs.session import ObservedRun, run_observed, sweep_event_filename
+from repro.obs.tools import diff_events, summarize_events, tail_events
+
+__all__ = [
+    "Counter",
+    "EVENTS_SCHEMA",
+    "Gauge",
+    "HISTOGRAM_BUCKETS",
+    "Histogram",
+    "MANIFEST_SCHEMA",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "ObsError",
+    "ObservedRun",
+    "RunRecorder",
+    "age_json",
+    "age_ranks",
+    "build_manifest",
+    "config_hash",
+    "diff_events",
+    "file_digest",
+    "merge_snapshots",
+    "result_digest",
+    "run_observed",
+    "summarize_events",
+    "sweep_event_filename",
+    "tail_events",
+    "validate_event",
+    "validate_events_file",
+    "validate_stream",
+    "write_manifest",
+]

@@ -1,0 +1,99 @@
+"""Run manifests: the ``repro-manifest/1`` provenance record.
+
+A manifest pins down everything needed to reproduce or audit one
+simulation run: the config hash (same canonical-JSON digest the sweep memo
+store keys on), the trace fingerprint, which engine was requested and
+which actually ran (fallback is observable), the seed, measured wall time,
+and — when an event stream was written — the file's SHA-256, line count,
+and per-type event counts.
+
+Wall time is the one non-deterministic field, which is why the manifest is
+attached to :class:`~repro.simulation.results.SimulationResult` as a
+*side-channel* attribute excluded from ``to_dict``/``to_json``: results
+stay byte-comparable across engines and runs while provenance rides along.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, Optional
+
+#: Schema identifier for manifest payloads.
+MANIFEST_SCHEMA = "repro-manifest/1"
+
+
+def _canonical_digest(payload: Any) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"), default=str)
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def config_hash(config) -> str:
+    """SHA-256 of the config's *simulation semantics* in canonical JSON.
+
+    The ``engine`` field is excluded: it selects an execution strategy
+    with byte-identical results and byte-identical event streams, so two
+    runs of the same workload on different engines must share one config
+    hash (the ``run`` header is part of the cross-engine stream-identity
+    contract; which engine actually ran is recorded separately in the
+    manifest as ``engine_requested`` / ``engine_resolved``).
+    """
+    payload = config.to_dict()
+    payload.pop("engine", None)
+    return _canonical_digest(payload)
+
+
+def result_digest(result) -> str:
+    """SHA-256 of the result's serialised form — the cross-engine identity."""
+    return hashlib.sha256(result.to_json().encode("utf-8")).hexdigest()
+
+
+def file_digest(path: str) -> str:
+    """SHA-256 of a file's bytes (event streams, memo artifacts)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 16), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def build_manifest(
+    config,
+    trace_fingerprint: str,
+    engine_requested: str,
+    engine_resolved: str,
+    wall_time_s: float,
+    result,
+    snapshot_interval: float = 0.0,
+    events_path: Optional[str] = None,
+    event_counts: Optional[Dict[str, int]] = None,
+) -> Dict[str, Any]:
+    """Assemble a ``repro-manifest/1`` dict for one completed run."""
+    events: Optional[Dict[str, Any]] = None
+    if events_path is not None:
+        counts = dict(sorted((event_counts or {}).items()))
+        events = {
+            "path": events_path,
+            "sha256": file_digest(events_path),
+            "lines": sum(counts.values()),
+            "counts": counts,
+        }
+    return {
+        "schema": MANIFEST_SCHEMA,
+        "config": config_hash(config),
+        "trace": trace_fingerprint,
+        "engine_requested": engine_requested,
+        "engine_resolved": engine_resolved,
+        "seed": config.seed,
+        "wall_time_s": wall_time_s,
+        "snapshot_interval": snapshot_interval,
+        "events": events,
+        "result_sha256": result_digest(result),
+    }
+
+
+def write_manifest(manifest: Dict[str, Any], path: str) -> None:
+    """Write a manifest as stable, human-diffable JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,238 @@
+"""In-process metrics registry: counters, gauges, and histograms.
+
+The registry is the *aggregated* half of ``repro.obs`` (the structured
+event stream in :mod:`repro.obs.events` is the per-decision half): cheap
+named instruments that hot paths bump and reporting surfaces read out in
+one :meth:`MetricsRegistry.snapshot` call.
+
+Design constraints, in order:
+
+1. **Disabled must cost nothing.** Instrumented code holds either a real
+   instrument or the shared null instrument; the null variants' methods are
+   empty and allocation-free, so a disabled registry adds one attribute
+   call per event and nothing else. Hot loops that want even that gone
+   guard on ``registry.enabled`` (a plain bool) instead.
+2. **Deterministic read-out.** ``snapshot()`` orders instruments by name,
+   so two runs that bump the same instruments serialise identically —
+   the same rule the event stream follows (docs/ANALYSIS.md determinism).
+3. **No wall clock.** Instruments carry values the caller hands them (sim
+   time, byte counts, durations measured *outside* the simulation-reachable
+   graph); the registry itself never reads a clock.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+
+class ObsError(ReproError):
+    """Raised for observability-layer misuse (bad names, malformed streams)."""
+
+
+def _check_name(name: str) -> str:
+    if not name or any(ch.isspace() for ch in name):
+        raise ObsError(f"instrument name must be non-empty and space-free, got {name!r}")
+    return name
+
+
+class Counter:
+    """Monotonic counter (events, bytes, decisions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (negative increments are a bug, not an API)."""
+        self.value += amount
+
+
+class Gauge:
+    """Last-write-wins instantaneous value (bytes in use, queue depth)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+#: Histogram bucket upper bounds: powers of two from 1 up, plus +inf.
+#: Fixed (not configurable per-instrument) so merged snapshots align.
+HISTOGRAM_BUCKETS: Tuple[float, ...] = tuple(
+    float(1 << exp) for exp in range(0, 31)
+) + (math.inf,)
+
+
+class Histogram:
+    """Fixed-bucket distribution (sizes, latencies, victim ages).
+
+    Buckets are the shared power-of-two ladder :data:`HISTOGRAM_BUCKETS`;
+    ``observe`` is O(log buckets) via bisection, which keeps it fit for the
+    request path. Count/total/min/max are exact regardless of bucketing.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "bucket_counts")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self.bucket_counts = [0] * len(HISTOGRAM_BUCKETS)
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        lo, hi = 0, len(HISTOGRAM_BUCKETS) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= HISTOGRAM_BUCKETS[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self.bucket_counts[lo] += 1
+
+    @property
+    def mean(self) -> float:
+        """Mean observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+
+class _NullCounter(Counter):
+    __slots__ = ()
+
+    def inc(self, amount: int = 1) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullGauge(Gauge):
+    __slots__ = ()
+
+    def set(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+class _NullHistogram(Histogram):
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:  # pragma: no cover - trivial
+        pass
+
+
+#: Shared do-nothing instruments handed out by a disabled registry, so
+#: instrumented code never branches on enablement itself.
+NULL_COUNTER = _NullCounter("null")
+NULL_GAUGE = _NullGauge("null")
+NULL_HISTOGRAM = _NullHistogram("null")
+
+
+class MetricsRegistry:
+    """Named instrument registry.
+
+    Args:
+        enabled: When False, every factory returns the shared null
+            instrument and :meth:`snapshot` is empty — the no-op
+            configuration instrumented code points at by default.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        """The counter called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(_check_name(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(_check_name(name))
+        return instrument
+
+    def histogram(self, name: str) -> Histogram:
+        """The histogram called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(_check_name(name))
+        return instrument
+
+    def snapshot(self) -> Dict[str, object]:
+        """All instruments, name-sorted, as JSON-safe primitives."""
+        counters = {n: c.value for n, c in sorted(self._counters.items())}
+        gauges = {n: g.value for n, g in sorted(self._gauges.items())}
+        histograms = {}
+        for name, hist in sorted(self._histograms.items()):
+            histograms[name] = {
+                "count": hist.count,
+                "total": hist.total,
+                "mean": hist.mean,
+                "min": None if hist.count == 0 else hist.min,
+                "max": None if hist.count == 0 else hist.max,
+            }
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: Process-wide disabled registry: the default target of instrumentation
+#: that nobody asked to observe.
+NULL_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
+    """Element-wise merge of :meth:`MetricsRegistry.snapshot` payloads.
+
+    Counters sum; gauges keep the last write (list order); histogram
+    summaries sum counts/totals and extremise min/max. Used to fold
+    per-worker registries into one sweep-level read-out.
+    """
+    merged = MetricsRegistry()
+    last_gauges: Dict[str, float] = {}
+    mins: Dict[str, Optional[float]] = {}
+    maxs: Dict[str, Optional[float]] = {}
+    for snap in snapshots:
+        for name, value in snap.get("counters", {}).items():  # type: ignore[union-attr]
+            merged.counter(name).inc(value)
+        for name, value in snap.get("gauges", {}).items():  # type: ignore[union-attr]
+            last_gauges[name] = value
+        for name, summary in snap.get("histograms", {}).items():  # type: ignore[union-attr]
+            hist = merged.histogram(name)
+            hist.count += summary["count"]
+            hist.total += summary["total"]
+            for table, key, pick in ((mins, "min", min), (maxs, "max", max)):
+                value = summary.get(key)
+                if value is None:
+                    continue
+                table[name] = value if table.get(name) is None else pick(table[name], value)
+    for name, value in last_gauges.items():
+        merged.gauge(name).set(value)
+    out = merged.snapshot()
+    for name, summary in out["histograms"].items():  # type: ignore[union-attr]
+        summary["mean"] = summary["total"] / summary["count"] if summary["count"] else 0.0
+        summary["min"] = mins.get(name)
+        summary["max"] = maxs.get(name)
+    return out

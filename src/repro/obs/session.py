@@ -1,0 +1,119 @@
+"""Observed runs: glue between the engines, the recorder, and manifests.
+
+:func:`run_observed` is the one-call form — replay a trace with optional
+event capture and come back with the manifest attached to the result.
+:class:`ObservedRun` is the split form for callers that need to drive the
+simulator themselves (the CLI's ``--sanitize`` path holds the simulator to
+read its report afterwards) but still want identical event/manifest
+handling.
+
+Wall time is measured here — *outside* the simulation-reachable call graph
+— which is exactly why the simulator and recorder never touch a clock
+themselves (docs/ANALYSIS.md determinism rules; the RPR111 analyzer walks
+the engines, not this session layer).
+"""
+
+from __future__ import annotations
+
+import re
+import time
+from typing import Optional
+
+from repro.obs.events import RunRecorder
+from repro.obs.manifest import build_manifest, config_hash, write_manifest
+from repro.simulation.results import SimulationResult
+from repro.simulation.simulator import (
+    SimulationConfig,
+    resolved_engine,
+    run_simulation,
+)
+from repro.trace.record import Trace
+
+
+class ObservedRun:
+    """Event sink + wall timer for one run; call :meth:`finish` exactly once.
+
+    Args:
+        config: The run's configuration (hashed into the header/manifest).
+        trace: The trace about to be replayed (fingerprint likewise).
+        events_path: Target for the ``repro-events/1`` stream; ``None``
+            records no events but still produces a manifest.
+        snapshot_interval: Simulation-seconds between snapshot events.
+    """
+
+    def __init__(
+        self,
+        config: SimulationConfig,
+        trace: Trace,
+        events_path: Optional[str] = None,
+        snapshot_interval: float = 0.0,
+    ):
+        self.config = config
+        self.trace = trace
+        self.events_path = events_path
+        self.snapshot_interval = snapshot_interval
+        self.recorder: Optional[RunRecorder] = None
+        self._sink = None
+        if events_path is not None:
+            self._sink = open(events_path, "w", encoding="utf-8", newline="\n")
+            self.recorder = RunRecorder(self._sink, snapshot_interval)
+            self.recorder.begin(config_hash(config), trace.fingerprint())
+        # Reachable only via the call graph's receiver-agnostic __init__
+        # tier, never from an engine: wall time is measured outside the
+        # simulation by design (the manifest's one volatile field).
+        self._start = time.perf_counter()  # repro: noqa[RPR111]
+
+    def finish(self, result: SimulationResult) -> SimulationResult:
+        """Close the stream, build the manifest, attach it to ``result``."""
+        # Same carve-out as __init__: the wall timer brackets the run from
+        # the session layer; nothing inside the replay reads it.
+        wall_time = time.perf_counter() - self._start  # repro: noqa[RPR111]
+        counts = None
+        if self.recorder is not None:
+            self.recorder.end()
+            counts = self.recorder.counts
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+        result.manifest = build_manifest(
+            self.config,
+            self.trace.fingerprint(),
+            engine_requested=self.config.engine,
+            engine_resolved=resolved_engine(self.config),
+            wall_time_s=wall_time,
+            result=result,
+            snapshot_interval=self.snapshot_interval,
+            events_path=self.events_path,
+            event_counts=counts,
+        )
+        return result
+
+
+def run_observed(
+    config: SimulationConfig,
+    trace: Trace,
+    events_path: Optional[str] = None,
+    snapshot_interval: float = 0.0,
+    manifest_path: Optional[str] = None,
+) -> SimulationResult:
+    """Replay ``trace`` under ``config`` with observability attached.
+
+    Identical simulation behaviour to :func:`run_simulation` — the
+    recorder only *reads* protocol state — with ``result.manifest``
+    populated and, when requested, the event stream and manifest written
+    to disk. With ``events_path=None`` this is the "instrumentation
+    disabled" configuration the overhead benchmark gates at ≤2%.
+    """
+    observed = ObservedRun(
+        config, trace, events_path=events_path, snapshot_interval=snapshot_interval
+    )
+    result = observed.finish(run_simulation(config, trace, obs=observed.recorder))
+    if manifest_path is not None:
+        write_manifest(result.manifest, manifest_path)
+    return result
+
+
+def sweep_event_filename(index: int, capacity_label: str, scheme: str) -> str:
+    """Stable per-point event-file name for sweep ``--events`` directories."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", capacity_label)
+    return f"point{index:03d}_{safe}_{scheme}.jsonl"

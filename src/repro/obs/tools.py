@@ -1,0 +1,106 @@
+"""Offline event-stream tooling behind ``repro obs tail|summarize|diff``.
+
+These helpers work on files, stream line-by-line, and never load a whole
+event file into memory — sweep streams from long traces can run to
+millions of lines.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, List, Optional, Tuple
+
+
+def tail_events(path: str, count: int = 10) -> List[str]:
+    """The last ``count`` lines of an event file, newline-stripped."""
+    window: deque = deque(maxlen=max(count, 0))
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            window.append(line.rstrip("\n"))
+    return list(window)
+
+
+def summarize_events(path: str) -> Dict[str, Any]:
+    """One-pass roll-up of an event stream.
+
+    Returns counts by event type, request outcomes by kind, placement
+    verdicts by role (attempted/stored), promotion grants, eviction
+    volume, the age-tie count (``cmp == "eq"`` across placement/promotion
+    events — the EA tie-break in action), and the time span covered.
+    """
+    counts: Dict[str, int] = {}
+    kinds: Dict[str, int] = {}
+    placements: Dict[str, Dict[str, int]] = {}
+    promotions = {"granted": 0, "withheld": 0}
+    ties = 0
+    evicted_bytes = 0
+    stored_requests = 0
+    t_first: Optional[float] = None
+    t_last: Optional[float] = None
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            event = json.loads(line)
+            kind = event.get("e", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+            t = event.get("t")
+            if isinstance(t, (int, float)):
+                if t_first is None:
+                    t_first = t
+                t_last = t
+            if kind == "request":
+                kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
+                if event.get("stored"):
+                    stored_requests += 1
+            elif kind == "placement":
+                bucket = placements.setdefault(
+                    event["role"], {"attempted": 0, "stored": 0}
+                )
+                bucket["attempted"] += 1
+                if event.get("stored"):
+                    bucket["stored"] += 1
+                if event.get("cmp") == "eq":
+                    ties += 1
+            elif kind == "promotion":
+                promotions["granted" if event.get("granted") else "withheld"] += 1
+                if event.get("cmp") == "eq":
+                    ties += 1
+            elif kind == "evict":
+                evicted_bytes += event.get("size", 0)
+    return {
+        "events": counts,
+        "requests_by_kind": dict(sorted(kinds.items())),
+        "requests_stored": stored_requests,
+        "placements_by_role": {role: placements[role] for role in sorted(placements)},
+        "promotions": promotions,
+        "age_ties": ties,
+        "evicted_bytes": evicted_bytes,
+        "time_span": None if t_first is None else [t_first, t_last],
+    }
+
+
+def diff_events(
+    left_path: str, right_path: str
+) -> Optional[Tuple[int, Optional[str], Optional[str]]]:
+    """First divergence between two streams, or ``None`` when identical.
+
+    Returns ``(line_number, left_line, right_line)`` — a line is ``None``
+    when that file ended early. Comparison is textual, matching the
+    cross-engine byte-identity contract.
+    """
+    with open(left_path, "r", encoding="utf-8") as left, open(
+        right_path, "r", encoding="utf-8"
+    ) as right:
+        number = 0
+        while True:
+            number += 1
+            a = left.readline()
+            b = right.readline()
+            if not a and not b:
+                return None
+            if a != b:
+                return (
+                    number,
+                    a.rstrip("\n") if a else None,
+                    b.rstrip("\n") if b else None,
+                )

@@ -18,10 +18,14 @@ usual entry point; the CLI exposes the same knobs as ``--jobs`` / ``--memo``.
 
 from repro.parallel.memo import SweepMemoStore, sweep_memo_key
 from repro.parallel.runner import ParallelSweepRunner, default_jobs
+from repro.parallel.telemetry import SweepProgress, SweepTelemetry, TaskReport
 
 __all__ = [
     "ParallelSweepRunner",
     "SweepMemoStore",
+    "SweepProgress",
+    "SweepTelemetry",
+    "TaskReport",
     "default_jobs",
     "sweep_memo_key",
 ]

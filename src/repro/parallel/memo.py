@@ -26,7 +26,9 @@ from repro.trace.record import Trace
 
 #: Bump when the result schema or key derivation changes incompatibly; old
 #: artifacts then miss instead of reviving into the wrong shape.
-MEMO_SCHEMA_VERSION = 1
+#: v2: CacheStats grew the EA decision counters (placements_declined,
+#: promotions_granted, promotions_withheld), changing the result round trip.
+MEMO_SCHEMA_VERSION = 2
 
 
 def sweep_memo_key(config: SimulationConfig, trace: Trace) -> str:
@@ -86,10 +88,26 @@ class SweepMemoStore:
     def put(
         self, config: SimulationConfig, trace: Trace, result: SimulationResult
     ) -> Path:
-        """Persist a freshly simulated result; returns the artifact path."""
+        """Persist a freshly simulated result; returns the artifact path.
+
+        When the result carries a run manifest (``repro.obs``), it is
+        persisted alongside as ``<key>.manifest.json`` — manifests hold
+        wall time and so must stay out of the content-addressed artifact
+        itself, which is byte-compared across runs.
+        """
         key = sweep_memo_key(config, trace)
         self._hot[key] = result
-        return self.store.save(key, result)
+        path = self.store.save(key, result)
+        if result.manifest is not None:
+            from repro.obs.manifest import write_manifest
+
+            write_manifest(result.manifest, path.with_name(f"{key}.manifest.json"))
+        return path
+
+    def manifest_path(self, config: SimulationConfig, trace: Trace) -> Path:
+        """Where :meth:`put` writes the manifest sidecar for this point."""
+        key = sweep_memo_key(config, trace)
+        return self.store.root / f"{key}.manifest.json"
 
     def __len__(self) -> int:
         return len(self.store.keys())

@@ -5,7 +5,7 @@ fans out over a ``multiprocessing`` pool and merges results back in task
 order. Determinism is preserved by construction:
 
 * Tasks are enumerated in the serial path's exact order (capacity outer,
-  scheme inner) and results merged positionally (``Pool.map`` is ordered),
+  scheme inner) and results merged positionally (``Pool.imap`` is ordered),
   so the assembled :class:`SweepResult` is indistinguishable from the
   serial one.
 * Workers receive the trace once via the pool initializer (inherited by
@@ -13,15 +13,27 @@ order. Determinism is preserved by construction:
 * Every callable submitted to the pool is module-level — nested functions
   and lambdas do not pickle across process boundaries (lint rule RPR008
   guards this statically).
+
+Execution telemetry (worker pids, per-point wall time, memo-hit accounting)
+is collected into :class:`repro.parallel.telemetry.SweepTelemetry` on
+``runner.last_telemetry`` and streamed through an optional progress
+callback — strictly out-of-band so results stay byte-comparable.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from typing import List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
+from repro.parallel.telemetry import (
+    ProgressCallback,
+    SweepProgress,
+    SweepTelemetry,
+    TaskReport,
+)
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import SimulationConfig, run_simulation
 from repro.trace.record import Trace
@@ -29,6 +41,9 @@ from repro.trace.record import Trace
 #: Trace replayed by every task in the current worker process (set once per
 #: worker by :func:`_init_worker`).
 _WORKER_TRACE: Optional[Trace] = None
+
+#: One pool task: ``(config, events_path, snapshot_interval)``.
+_TaskPayload = Tuple[SimulationConfig, Optional[str], float]
 
 
 def default_jobs() -> int:
@@ -42,11 +57,32 @@ def _init_worker(trace: Trace) -> None:
     _WORKER_TRACE = trace
 
 
-def _simulate_config(config: SimulationConfig) -> SimulationResult:
-    """Run one sweep point against the worker's pinned trace."""
+def _run_task(payload: _TaskPayload) -> Tuple[SimulationResult, int, float]:
+    """Run one sweep point against the worker's pinned trace.
+
+    Returns ``(result, worker_pid, wall_time_s)``. The timing is telemetry
+    only — it never feeds back into simulation state, which is why the
+    wall-clock reads are exempt from the determinism analyzer here.
+    """
+    config, events_path, snapshot_interval = payload
     if _WORKER_TRACE is None:
         raise ExperimentError("sweep worker used before its trace was initialised")
-    return run_simulation(config, _WORKER_TRACE)
+    # Telemetry-only wall time: reported per worker, never simulated with.
+    start = time.perf_counter()  # repro: noqa[RPR111]
+    if events_path is None and snapshot_interval == 0.0:
+        result = run_simulation(config, _WORKER_TRACE)
+    else:
+        # Imported lazily so plain sweeps never pay the obs import.
+        from repro.obs.session import run_observed
+
+        result = run_observed(
+            config,
+            _WORKER_TRACE,
+            events_path=events_path,
+            snapshot_interval=snapshot_interval,
+        )
+    wall = time.perf_counter() - start  # repro: noqa[RPR111]
+    return result, os.getpid(), wall
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -68,6 +104,10 @@ class ParallelSweepRunner:
         memo: Optional :class:`~repro.parallel.memo.SweepMemoStore`; points
             already memoized are loaded instead of simulated, and fresh
             results are persisted for the next invocation.
+
+    Attributes:
+        last_telemetry: :class:`~repro.parallel.telemetry.SweepTelemetry`
+            for the most recent :meth:`run`, or None before the first.
     """
 
     def __init__(self, jobs: Optional[int] = None, memo=None):
@@ -75,6 +115,7 @@ class ParallelSweepRunner:
             raise ExperimentError(f"jobs must be >= 1, got {jobs}")
         self.jobs = jobs if jobs is not None else default_jobs()
         self.memo = memo
+        self.last_telemetry: Optional[SweepTelemetry] = None
 
     def run(
         self,
@@ -82,11 +123,25 @@ class ParallelSweepRunner:
         capacities: Sequence[Tuple[str, int]],
         schemes: Optional[Sequence[str]] = None,
         base_config: Optional[SimulationConfig] = None,
+        events_dir: Optional[str] = None,
+        snapshot_interval: float = 0.0,
+        progress: Optional[ProgressCallback] = None,
     ):
         """Run the sweep; returns a :class:`SweepResult`.
 
         Identical inputs produce results byte-identical to
         :func:`repro.experiments.sweep.run_capacity_sweep`'s serial path.
+
+        Args:
+            events_dir: When given, every freshly simulated point writes a
+                ``repro-events/1`` stream into this directory (created on
+                demand), named by :func:`repro.obs.session
+                .sweep_event_filename`. Memoized points are served from the
+                store without re-simulating and therefore emit no events.
+            snapshot_interval: Simulation-seconds between snapshot events
+                in those streams (0 disables snapshots).
+            progress: Optional callback fired once per completed point
+                with a :class:`~repro.parallel.telemetry.SweepProgress`.
         """
         # Imported here: sweep delegates to this runner, so a module-level
         # import would be circular.
@@ -107,23 +162,62 @@ class ParallelSweepRunner:
                 config = template.with_scheme(scheme).with_capacity(capacity_bytes)
                 tasks.append((label, capacity_bytes, scheme, config))
 
+        telemetry = SweepTelemetry()
+        completed = 0
+
+        def _tick(report: TaskReport) -> None:
+            nonlocal completed
+            completed += 1
+            telemetry.reports.append(report)
+            if progress is not None:
+                progress(SweepProgress(completed, len(tasks), report))
+
         results: List[Optional[SimulationResult]] = [None] * len(tasks)
         pending: List[int] = []
-        for index, (_, _, _, config) in enumerate(tasks):
+        for index, (label, _, scheme, config) in enumerate(tasks):
             if self.memo is not None:
                 cached = self.memo.get(config, trace)
                 if cached is not None:
                     results[index] = cached
+                    _tick(
+                        TaskReport(
+                            index=index,
+                            capacity_label=label,
+                            scheme=scheme,
+                            memoized=True,
+                            worker_pid=None,
+                            wall_time_s=0.0,
+                        )
+                    )
                     continue
             pending.append(index)
 
         if pending:
-            fresh = self._simulate(trace, [tasks[i][3] for i in pending])
-            for index, result in zip(pending, fresh):
+            if events_dir is not None:
+                os.makedirs(events_dir, exist_ok=True)
+            payloads = [
+                self._payload(tasks[i], i, events_dir, snapshot_interval)
+                for i in pending
+            ]
+            for index, (result, pid, wall) in zip(
+                pending, self._simulate(trace, payloads)
+            ):
                 results[index] = result
                 if self.memo is not None:
                     self.memo.put(tasks[index][3], trace, result)
+                label, _, scheme, _ = tasks[index]
+                _tick(
+                    TaskReport(
+                        index=index,
+                        capacity_label=label,
+                        scheme=scheme,
+                        memoized=False,
+                        worker_pid=pid,
+                        wall_time_s=wall,
+                    )
+                )
 
+        self.last_telemetry = telemetry
         points = [
             SweepPoint(
                 scheme=scheme,
@@ -135,16 +229,36 @@ class ParallelSweepRunner:
         ]
         return SweepResult(points)
 
-    def _simulate(
-        self, trace: Trace, configs: Sequence[SimulationConfig]
-    ) -> List[SimulationResult]:
-        """Simulate ``configs`` (ordered), in-process or across the pool."""
-        if self.jobs <= 1 or len(configs) <= 1:
+    @staticmethod
+    def _payload(
+        task: Tuple[str, int, str, SimulationConfig],
+        index: int,
+        events_dir: Optional[str],
+        snapshot_interval: float,
+    ) -> _TaskPayload:
+        """Pool payload for one task, with its event-file path resolved."""
+        label, _, scheme, config = task
+        events_path = None
+        if events_dir is not None:
+            from repro.obs.session import sweep_event_filename
+
+            events_path = os.path.join(
+                events_dir, sweep_event_filename(index, label, scheme)
+            )
+        return (config, events_path, snapshot_interval)
+
+    def _simulate(self, trace: Trace, payloads: Sequence[_TaskPayload]):
+        """Yield ``(result, pid, wall)`` per payload, in submission order."""
+        if self.jobs <= 1 or len(payloads) <= 1:
             _init_worker(trace)
-            return [_simulate_config(config) for config in configs]
-        processes = min(self.jobs, len(configs))
+            for payload in payloads:
+                yield _run_task(payload)
+            return
+        processes = min(self.jobs, len(payloads))
         with _pool_context().Pool(
             processes=processes, initializer=_init_worker, initargs=(trace,)
         ) as pool:
-            # Pool.map preserves submission order — the deterministic merge.
-            return pool.map(_simulate_config, configs, chunksize=1)
+            # Pool.imap preserves submission order — the deterministic
+            # merge — while letting the caller stream progress ticks.
+            for item in pool.imap(_run_task, payloads, chunksize=1):
+                yield item

@@ -1,0 +1,116 @@
+"""Sweep execution telemetry: who ran what, where, and for how long.
+
+The sweep result itself is deterministic and byte-comparable; everything
+*about the execution* — which points were memo hits, which worker process
+simulated which point, per-point wall time — is volatile and therefore
+lives here, strictly out-of-band. :class:`repro.parallel.runner
+.ParallelSweepRunner` fills a :class:`SweepTelemetry` per run and fires a
+:class:`SweepProgress` tick per completed point for live CLI feedback.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class TaskReport:
+    """How one sweep point obtained its result.
+
+    Attributes:
+        index: Position in the sweep's task order (capacity outer, scheme
+            inner) — matches the :class:`~repro.experiments.sweep
+            .SweepResult` point index.
+        capacity_label: Human capacity label of the point ("1MB", ...).
+        scheme: Placement scheme of the point.
+        memoized: True when the result came from the memo store; such
+            points have no worker and zero wall time.
+        worker_pid: OS pid of the process that simulated the point
+            (the parent's own pid on in-process runs, None when memoized).
+        wall_time_s: Simulation wall time for the point as measured inside
+            the worker; excludes pool scheduling and result pickling.
+    """
+
+    index: int
+    capacity_label: str
+    scheme: str
+    memoized: bool
+    worker_pid: Optional[int]
+    wall_time_s: float
+
+
+@dataclass(frozen=True)
+class SweepProgress:
+    """One progress tick: ``completed`` of ``total`` points are done."""
+
+    completed: int
+    total: int
+    report: TaskReport
+
+    def render(self) -> str:
+        """Single CLI line for this tick."""
+        r = self.report
+        if r.memoized:
+            source = "memo"
+        else:
+            source = f"pid {r.worker_pid}, {r.wall_time_s:.2f}s"
+        return (
+            f"[{self.completed}/{self.total}] "
+            f"{r.capacity_label}/{r.scheme} ({source})"
+        )
+
+
+#: Callback fired once per completed sweep point, in task order within each
+#: class (memo hits first, then simulated points as they finish).
+ProgressCallback = Callable[[SweepProgress], None]
+
+
+@dataclass
+class SweepTelemetry:
+    """Everything a runner learned about one sweep's execution."""
+
+    reports: List[TaskReport] = field(default_factory=list)
+
+    @property
+    def tasks(self) -> int:
+        """Total points in the sweep."""
+        return len(self.reports)
+
+    @property
+    def memo_hits(self) -> int:
+        """Points served from the memo store."""
+        return sum(1 for r in self.reports if r.memoized)
+
+    @property
+    def simulated(self) -> int:
+        """Points that actually ran a simulation."""
+        return self.tasks - self.memo_hits
+
+    @property
+    def total_wall_time_s(self) -> float:
+        """Sum of per-point simulation wall times (CPU-side, not elapsed)."""
+        return sum(r.wall_time_s for r in self.reports)
+
+    def by_worker(self) -> Dict[int, Tuple[int, float]]:
+        """Per-worker load: ``pid -> (points simulated, wall seconds)``."""
+        load: Dict[int, Tuple[int, float]] = {}
+        for r in self.reports:
+            if r.worker_pid is None:
+                continue
+            count, wall = load.get(r.worker_pid, (0, 0.0))
+            load[r.worker_pid] = (count + 1, wall + r.wall_time_s)
+        return load
+
+    def summary(self) -> str:
+        """Multi-line human summary for the CLI's post-sweep report."""
+        lines = [
+            f"sweep: {self.tasks} points "
+            f"({self.memo_hits} memoized, {self.simulated} simulated, "
+            f"{self.total_wall_time_s:.2f}s simulation wall time)"
+        ]
+        load = self.by_worker()
+        for pid in sorted(load):
+            count, wall = load[pid]
+            lines.append(f"  worker {pid}: {count} points, {wall:.2f}s")
+        return "\n".join(lines)

@@ -12,8 +12,10 @@ from repro.simulation.replay import replay_trace
 from repro.simulation.timeseries import TimeSeriesCollector, WindowPoint
 from repro.simulation.metrics import (
     GroupMetrics,
+    PlacementDecisionSummary,
     average_cache_expiration_age,
     estimate_average_latency,
+    summarize_placement_decisions,
 )
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import (
@@ -35,6 +37,7 @@ __all__ = [
     "LATENCY_MODELS",
     "LatencyHistogram",
     "PARTITIONERS",
+    "PlacementDecisionSummary",
     "SimulationConfig",
     "SimulationResult",
     "TimeSeriesCollector",
@@ -44,6 +47,7 @@ __all__ = [
     "read_outcomes_csv",
     "replay_trace",
     "run_simulation",
+    "summarize_placement_decisions",
     "write_outcomes_csv",
     "write_outcomes_jsonl",
 ]

@@ -89,8 +89,9 @@ def write_outcomes_jsonl(
     try:
         count = 0
         for outcome in outcomes:
-            handle.write(json.dumps(_row(outcome), sort_keys=True))
-            handle.write("\n")
+            # Offline exporter, not a simulation loop: writing is the job.
+            handle.write(json.dumps(_row(outcome), sort_keys=True))  # repro: noqa[RPR011]
+            handle.write("\n")  # repro: noqa[RPR011]
             count += 1
         return count
     finally:

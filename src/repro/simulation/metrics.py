@@ -164,3 +164,43 @@ class GroupMetrics:
         for outcome in outcomes:
             metrics.observe(outcome)
         return metrics
+
+
+@dataclass(frozen=True)
+class PlacementDecisionSummary:
+    """Group-level roll-up of the per-cache EA decision counters.
+
+    Summarises what the placement scheme actually *did* over a run — the
+    per-proxy counters live on :class:`repro.cache.stats.CacheStats`; this
+    folds them into the group view reporting surfaces print. Under ad-hoc,
+    ``placements_declined`` and ``promotions_withheld`` are structurally
+    zero (every copy stores, every serve refreshes), so non-zero values
+    are an EA signature.
+
+    Attributes:
+        placements_declined: Remotely-obtained copies not stored because
+            the scheme said no.
+        promotions_granted: Remote serves where the responder's entry got
+            the fresh lease of life.
+        promotions_withheld: Remote serves where the responder's entry was
+            deliberately not refreshed.
+    """
+
+    placements_declined: int
+    promotions_granted: int
+    promotions_withheld: int
+
+    @property
+    def promotion_grant_rate(self) -> float:
+        """Fraction of remote serves that refreshed the responder's entry."""
+        total = self.promotions_granted + self.promotions_withheld
+        return self.promotions_granted / total if total else 0.0
+
+
+def summarize_placement_decisions(cache_stats) -> PlacementDecisionSummary:
+    """Fold per-cache :class:`~repro.cache.stats.CacheStats` EA counters."""
+    return PlacementDecisionSummary(
+        placements_declined=sum(s.placements_declined for s in cache_stats),
+        promotions_granted=sum(s.promotions_granted for s in cache_stats),
+        promotions_withheld=sum(s.promotions_withheld for s in cache_stats),
+    )

@@ -52,6 +52,12 @@ class SimulationResult:
         total_copies: Cached entries including replicas at end of run.
         replication_factor: ``total_copies / unique_documents``.
         estimated_latency: Paper Eq. 6 value with the paper's constants.
+        manifest: Optional ``repro-manifest/1`` provenance record attached
+            by :mod:`repro.obs.session`. Deliberately **excluded** from
+            ``to_dict``/``to_json``/``from_dict``: it carries wall time —
+            the one non-deterministic quantity — and serialised results
+            must stay byte-comparable across engines, runs, and the memo
+            store (which persists manifests as a sidecar instead).
     """
 
     config: Dict[str, Any]
@@ -64,6 +70,7 @@ class SimulationResult:
     total_copies: int
     replication_factor: float
     estimated_latency: float
+    manifest: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     def to_dict(self) -> Dict[str, Any]:
         """Flatten to JSON-serialisable primitives."""

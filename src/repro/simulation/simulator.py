@@ -203,11 +203,26 @@ def _make_latency_model(config: SimulationConfig) -> LatencyModel:
 
 
 class CooperativeSimulator:
-    """Builds a cache group from a config and replays traces through it."""
+    """Builds a cache group from a config and replays traces through it.
 
-    def __init__(self, config: SimulationConfig):
+    Args:
+        obs: Optional :class:`repro.obs.events.RunRecorder`. Passed out of
+            band (not on :class:`SimulationConfig`) so observing a run can
+            never perturb memo keys, fallback decisions, or results. When
+            set, the simulator emits the ``repro-events/1`` stream —
+            request outcomes, placement/promotion verdicts, evictions,
+            snapshot ticks — at the same protocol points the columnar
+            engine mirrors.
+    """
+
+    def __init__(self, config: SimulationConfig, obs=None):
         self.config = config
+        self.observer = obs
         self.group = self._build_group()
+        if obs is not None:
+            self.group.observer = obs
+            for cache_index, cache in enumerate(self.group.caches):
+                cache.eviction_observer = obs.eviction_hook(cache_index)
         self.metrics = GroupMetrics()
         self.outcomes: List[RequestOutcome] = []
         #: Streaming latency distribution (when collect_histogram is set).
@@ -296,6 +311,9 @@ class CooperativeSimulator:
         return self.result()
 
     def _process(self, leaf_position: int, record) -> None:
+        obs = self.observer
+        if obs is not None:
+            obs.maybe_snapshot(record.timestamp, self._snapshot_rows)
         index = self._leaves[leaf_position]
         outcome = self.group.process(index, record)
         if self.sanitizer is not None:
@@ -307,8 +325,38 @@ class CooperativeSimulator:
                 self.histogram.observe(outcome.latency)
             if self.timeseries is not None:
                 self.timeseries.observe(outcome)
+        if obs is not None:
+            obs.request(
+                outcome.timestamp,
+                outcome.requester,
+                outcome.url,
+                outcome.kind.value,
+                outcome.size,
+                outcome.responder,
+                outcome.stored_at_requester,
+                outcome.responder_refreshed,
+                outcome.hops,
+            )
         if self.config.keep_outcomes:
             self.outcomes.append(outcome)
+
+    def _snapshot_rows(self, due: float):
+        """Per-cache gauge rows for one obs snapshot tick at time ``due``."""
+        rows = []
+        for cache in self.group.caches:
+            stats = cache.stats
+            rows.append(
+                (
+                    cache.expiration_age(due),
+                    cache.used_bytes,
+                    len(cache),
+                    stats.lookups,
+                    stats.local_hits,
+                    stats.remote_hits_served,
+                    stats.evictions,
+                )
+            )
+        return rows
 
     def _run_loop(self, records) -> None:
         for leaf_position, record in self._partitioner.split(records):
@@ -348,7 +396,23 @@ class CooperativeSimulator:
         )
 
 
-def run_simulation(config: SimulationConfig, trace: Trace) -> SimulationResult:
+def resolved_engine(config: SimulationConfig) -> str:
+    """The engine that will actually run ``config`` (fallback applied).
+
+    ``"columnar"`` only when requested *and* supported; the run manifest
+    records this next to the requested engine so fallback is observable.
+    """
+    if config.engine == "columnar":
+        from repro.fastpath import columnar_unsupported_reason
+
+        if columnar_unsupported_reason(config) is None:
+            return "columnar"
+    return "object"
+
+
+def run_simulation(
+    config: SimulationConfig, trace: Trace, obs=None
+) -> SimulationResult:
     """One-shot convenience: replay ``trace`` under ``config``.
 
     Dispatches on ``config.engine``: the columnar fast path
@@ -356,16 +420,20 @@ def run_simulation(config: SimulationConfig, trace: Trace) -> SimulationResult:
     byte-identical to the object core — otherwise the object engine. An
     unsupported columnar request falls back transparently, logging the
     reason on the ``repro.fastpath`` logger.
+
+    Args:
+        obs: Optional :class:`repro.obs.events.RunRecorder`; both engines
+            feed it the same event stream (see ``docs/OBSERVABILITY.md``).
     """
     if config.engine == "columnar":
         from repro.fastpath import columnar_unsupported_reason, simulate_columnar
 
         reason = columnar_unsupported_reason(config)
         if reason is None:
-            return simulate_columnar(config, trace)
+            return simulate_columnar(config, trace, obs=obs)
         _fastpath_logger.info(
             "columnar engine unavailable for this config; "
             "falling back to the object engine: %s",
             reason,
         )
-    return CooperativeSimulator(config).run(trace)
+    return CooperativeSimulator(config, obs=obs).run(trace)

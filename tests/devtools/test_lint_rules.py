@@ -458,3 +458,62 @@ class TestRPR010FastpathConfigAccess:
             "    return total\n"
         )
         assert_silent("RPR010", src, self.FASTPATH)
+
+
+class TestRPR011HotLoopDirectIO:
+    def test_print_in_for_loop_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(events):\n    """D."""\n'
+            "    for ev in events:\n"
+            "        print(ev)\n"
+        )
+        assert_fires("RPR011", src, SIM)
+
+    def test_open_in_while_loop_flagged(self):
+        src = (
+            '"""m."""\n\ndef drain(queue):\n    """D."""\n'
+            "    while queue:\n"
+            "        item = queue.pop()\n"
+            '        open("log.txt", "a")\n'
+        )
+        assert_fires("RPR011", src, CACHE)
+
+    def test_write_method_in_loop_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(events, handle):\n    """D."""\n'
+            "    for ev in events:\n"
+            "        handle.write(str(ev))\n"
+        )
+        assert_fires("RPR011", src, "src/repro/fastpath/module.py")
+
+    def test_io_outside_loop_ok(self):
+        src = (
+            '"""m."""\n\ndef report(summary, handle):\n    """D."""\n'
+            "    handle.write(summary)\n"
+            "    print(summary)\n"
+        )
+        assert_silent("RPR011", src, SIM)
+
+    def test_non_io_attribute_call_in_loop_ok(self):
+        src = (
+            '"""m."""\n\ndef replay(events, sink):\n    """D."""\n'
+            "    for ev in events:\n"
+            "        sink.record(ev)\n"
+        )
+        assert_silent("RPR011", src, SIM)
+
+    def test_out_of_scope_package_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef replay(events):\n    """D."""\n'
+            "    for ev in events:\n"
+            "        print(ev)\n"
+        )
+        assert_silent("RPR011", src, "src/repro/experiments/module.py")
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef replay(events, handle):\n    """D."""\n'
+            "    for ev in events:\n"
+            "        handle.write(str(ev))  # repro: noqa[RPR011]\n"
+        )
+        assert_silent("RPR011", src, SIM)

@@ -1,0 +1,1 @@
+"""Tests for repro.obs: event streams, metrics, manifests, parity."""

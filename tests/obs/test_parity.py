@@ -1,0 +1,94 @@
+"""Cross-engine differential tests: event streams must be byte-identical.
+
+The ``repro-events/1`` contract is that the object core and the columnar
+engine, replaying the same workload, produce *textually equal* streams —
+including the ``run`` header (the config hash excludes the engine field
+for exactly this reason). These tests compare whole stream strings across
+the scheme x architecture x policy matrix, and separately check that
+turning instrumentation on does not perturb the simulation itself.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.schema import validate_stream
+from repro.obs.session import run_observed
+from repro.simulation.simulator import SimulationConfig, run_simulation
+
+from tests.obs.conftest import stream_for
+
+#: Small capacity keeps replacement and the EA decision paths busy.
+CAPACITY = 900_000
+
+SCHEMES = ("adhoc", "ea")
+ARCHITECTURES = ("distributed", "hierarchical")
+POLICIES = ("lru", "lfu")
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_streams_byte_identical_full_matrix(scheme, architecture, policy, obs_trace):
+    config = SimulationConfig(
+        scheme=scheme,
+        architecture=architecture,
+        policy=policy,
+        num_caches=4,
+        num_parents=2,
+        aggregate_capacity=CAPACITY,
+    )
+    object_text, object_result = stream_for(config, obs_trace, "object")
+    columnar_text, columnar_result = stream_for(config, obs_trace, "columnar")
+    assert object_text == columnar_text
+    assert object_result.to_json() == columnar_result.to_json()
+
+
+def test_streams_identical_with_snapshots(obs_trace):
+    """Snapshot ticks (and their lazy window trims) stay in lockstep."""
+    config = SimulationConfig(
+        scheme="ea",
+        window_mode="time",
+        window_seconds=500.0,
+        aggregate_capacity=CAPACITY,
+    )
+    object_text, _ = stream_for(config, obs_trace, "object", snapshot_interval=300.0)
+    columnar_text, _ = stream_for(config, obs_trace, "columnar", snapshot_interval=300.0)
+    assert '"e":"snapshot"' in object_text
+    assert object_text == columnar_text
+
+
+def test_stream_is_schema_valid(obs_trace):
+    config = SimulationConfig(scheme="ea", aggregate_capacity=CAPACITY)
+    text, _ = stream_for(config, obs_trace, "object", snapshot_interval=400.0)
+    errors, counts = validate_stream(text.splitlines())
+    assert errors == []
+    assert counts["run"] == counts["end"] == 1
+    assert counts["request"] == len(obs_trace)
+
+
+@pytest.mark.parametrize("engine", ["object", "columnar"])
+def test_observing_does_not_perturb_results(engine, obs_trace):
+    """Recorder on vs off: the simulation result is byte-identical — the
+    recorder only *reads* protocol state."""
+    config = SimulationConfig(
+        scheme="ea",
+        aggregate_capacity=CAPACITY,
+        engine="columnar" if engine == "columnar" else "object",
+    )
+    plain = run_simulation(config, obs_trace)
+    _, observed = stream_for(config, obs_trace, engine, snapshot_interval=250.0)
+    assert observed.to_json() == plain.to_json()
+
+
+def test_run_observed_matches_plain_run(obs_trace, tmp_path):
+    """The one-call session wrapper neither drops nor alters anything."""
+    config = SimulationConfig(scheme="ea", aggregate_capacity=CAPACITY)
+    events = tmp_path / "run.jsonl"
+    observed = run_observed(config, obs_trace, events_path=str(events))
+    plain = run_simulation(config, obs_trace)
+    assert observed.to_json() == plain.to_json()
+    errors, _counts = validate_stream(events.read_text(encoding="utf-8").splitlines())
+    assert errors == []
+    assert observed.manifest is not None
+    assert observed.manifest["events"]["counts"]["request"] == len(obs_trace)

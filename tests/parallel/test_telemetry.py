@@ -1,0 +1,146 @@
+"""Sweep telemetry: progress callbacks, per-worker roll-ups, event capture.
+
+All of it out-of-band: wall times and worker pids ride on
+``SweepResult.telemetry`` and the progress stream, never inside results —
+the byte-identity tests in test_runner.py stay authoritative.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.experiments.sweep import run_capacity_sweep
+from repro.obs.schema import validate_events_file
+from repro.obs.session import sweep_event_filename
+from repro.parallel import SweepMemoStore, SweepProgress, SweepTelemetry, TaskReport
+from repro.simulation.simulator import SimulationConfig
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+CAPACITIES = [("64KB", 64 * 1024), ("512KB", 512 * 1024)]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(
+        SyntheticTraceConfig(num_requests=1500, num_documents=200, num_clients=8, seed=11)
+    )
+
+
+def _report(index=0, memoized=False, pid=4242, wall=1.5):
+    return TaskReport(
+        index=index,
+        capacity_label="64KB",
+        scheme="ea",
+        memoized=memoized,
+        worker_pid=None if memoized else pid,
+        wall_time_s=0.0 if memoized else wall,
+    )
+
+
+class TestRendering:
+    def test_simulated_line_shows_pid_and_wall(self):
+        progress = SweepProgress(completed=2, total=4, report=_report())
+        assert progress.render() == "[2/4] 64KB/ea (pid 4242, 1.50s)"
+
+    def test_memo_line_shows_memo(self):
+        progress = SweepProgress(completed=1, total=4, report=_report(memoized=True))
+        assert progress.render() == "[1/4] 64KB/ea (memo)"
+
+
+class TestSweepTelemetry:
+    def _telemetry(self):
+        return SweepTelemetry(
+            reports=[
+                _report(0, pid=1, wall=1.0),
+                _report(1, memoized=True),
+                _report(2, pid=2, wall=2.0),
+                _report(3, pid=1, wall=0.5),
+            ]
+        )
+
+    def test_aggregates(self):
+        telemetry = self._telemetry()
+        assert telemetry.tasks == 4
+        assert telemetry.memo_hits == 1
+        assert telemetry.simulated == 3
+        assert telemetry.total_wall_time_s == pytest.approx(3.5)
+
+    def test_by_worker_folds_count_and_wall(self):
+        by_worker = self._telemetry().by_worker()
+        assert by_worker[1] == (2, pytest.approx(1.5))
+        assert by_worker[2] == (1, pytest.approx(2.0))
+
+    def test_summary_mentions_the_numbers(self):
+        summary = self._telemetry().summary()
+        assert "4 points" in summary
+        assert "1 memoized" in summary
+        assert "3 simulated" in summary
+        assert "worker 1: 2 points" in summary
+
+
+class TestSweepIntegration:
+    def test_progress_ticks_arrive_in_order(self, trace):
+        ticks = []
+        sweep = run_capacity_sweep(
+            trace, CAPACITIES, jobs=2, progress=ticks.append
+        )
+        assert [t.completed for t in ticks] == [1, 2, 3, 4]
+        assert all(t.total == 4 for t in ticks)
+        assert {(t.report.capacity_label, t.report.scheme) for t in ticks} == {
+            ("64KB", "adhoc"), ("64KB", "ea"), ("512KB", "adhoc"), ("512KB", "ea"),
+        }
+        assert sweep.telemetry is not None
+        assert sweep.telemetry.simulated == 4
+
+    def test_observed_sweep_byte_identical_to_plain(self, trace, tmp_path):
+        plain = run_capacity_sweep(trace, CAPACITIES)
+        observed = run_capacity_sweep(
+            trace, CAPACITIES, jobs=2,
+            events_dir=str(tmp_path), snapshot_interval=500.0,
+            progress=lambda p: None,
+        )
+        assert [p.result.to_json() for p in observed.points] == [
+            p.result.to_json() for p in plain.points
+        ]
+
+    def test_event_files_written_per_point_and_valid(self, trace, tmp_path):
+        sweep = run_capacity_sweep(trace, CAPACITIES, events_dir=str(tmp_path))
+        expected = {
+            sweep_event_filename(i, p.capacity_label, p.scheme)
+            for i, p in enumerate(sweep.points)
+        }
+        assert {f for f in os.listdir(tmp_path)} == expected
+        for name in expected:
+            errors, counts = validate_events_file(str(tmp_path / name))
+            assert errors == []
+            assert counts["request"] == len(trace)
+
+    def test_memoized_points_report_memo_and_write_no_events(self, trace, tmp_path):
+        memo = SweepMemoStore(tmp_path / "memo")
+        run_capacity_sweep(trace, CAPACITIES, memo=memo)
+        ticks = []
+        events = tmp_path / "events"
+        warm = run_capacity_sweep(
+            trace, CAPACITIES, memo=SweepMemoStore(tmp_path / "memo"),
+            events_dir=str(events), progress=ticks.append,
+        )
+        assert warm.telemetry.memo_hits == 4
+        assert warm.telemetry.simulated == 0
+        assert all(t.report.memoized for t in ticks)
+        assert all(t.report.worker_pid is None for t in ticks)
+        # No point simulated, so the events directory is never even created.
+        assert not events.exists()
+
+    def test_telemetry_none_on_plain_serial_sweep(self, trace):
+        sweep = run_capacity_sweep(trace, CAPACITIES)
+        assert sweep.telemetry is None
+
+    def test_worker_pids_recorded(self, trace, tmp_path):
+        sweep = run_capacity_sweep(
+            trace, CAPACITIES, jobs=2, progress=lambda p: None
+        )
+        pids = set(sweep.telemetry.by_worker())
+        assert pids  # at least one worker reported
+        assert all(isinstance(pid, int) for pid in pids)

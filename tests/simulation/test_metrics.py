@@ -11,8 +11,10 @@ from repro.errors import SimulationError
 from repro.network.latency import ServiceKind
 from repro.simulation.metrics import (
     GroupMetrics,
+    PlacementDecisionSummary,
     average_cache_expiration_age,
     estimate_average_latency,
+    summarize_placement_decisions,
 )
 
 
@@ -117,3 +119,95 @@ class TestGroupMetrics:
         m = GroupMetrics.from_outcomes(outcomes)
         assert m.requests == 2
         assert m.hit_rate == pytest.approx(0.5)
+
+
+class TestPlacementDecisionSummary:
+    def _run(self, scheme):
+        from repro.simulation.simulator import SimulationConfig, run_simulation
+        from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=1500, num_documents=200, num_clients=8, seed=19
+            )
+        )
+        config = SimulationConfig(scheme=scheme, aggregate_capacity=600_000)
+        return run_simulation(config, trace)
+
+    def test_fold_sums_per_cache_counters(self):
+        from repro.cache.stats import CacheStats
+
+        summary = summarize_placement_decisions(
+            [
+                CacheStats(placements_declined=2, promotions_granted=3,
+                           promotions_withheld=1),
+                CacheStats(placements_declined=1, promotions_granted=0,
+                           promotions_withheld=4),
+            ]
+        )
+        assert summary.placements_declined == 3
+        assert summary.promotions_granted == 3
+        assert summary.promotions_withheld == 5
+        assert summary.promotion_grant_rate == pytest.approx(3 / 8)
+
+    def test_grant_rate_zero_without_remote_serves(self):
+        summary = PlacementDecisionSummary(
+            placements_declined=0, promotions_granted=0, promotions_withheld=0
+        )
+        assert summary.promotion_grant_rate == 0.0
+
+    def test_adhoc_counters_structurally_zero(self):
+        """Under ad-hoc every copy stores and every serve refreshes, so
+        non-zero declined/withheld counters are an EA signature."""
+        result = self._run("adhoc")
+        summary = summarize_placement_decisions(result.cache_stats)
+        assert summary.placements_declined == 0
+        assert summary.promotions_withheld == 0
+
+    def test_ea_run_exercises_both_verdicts(self):
+        result = self._run("ea")
+        summary = summarize_placement_decisions(result.cache_stats)
+        assert summary.placements_declined > 0
+        assert summary.promotions_withheld > 0
+        assert 0.0 < summary.promotion_grant_rate < 1.0
+
+    def test_counters_agree_with_event_stream(self):
+        """The aggregate counters and the per-decision event stream are two
+        views of the same verdicts — they must reconcile exactly."""
+        import io
+
+        from repro.obs.events import RunRecorder
+        from repro.obs.manifest import config_hash
+        from repro.obs.tools import summarize_events
+        from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+        from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+        trace = generate_trace(
+            SyntheticTraceConfig(
+                num_requests=1500, num_documents=200, num_clients=8, seed=19
+            )
+        )
+        config = SimulationConfig(scheme="ea", aggregate_capacity=600_000)
+        sink = io.StringIO()
+        recorder = RunRecorder(sink)
+        recorder.begin(config_hash(config), trace.fingerprint())
+        result = CooperativeSimulator(config, obs=recorder).run(trace)
+        recorder.end()
+
+        import os
+        import tempfile
+
+        with tempfile.NamedTemporaryFile(
+            "w", suffix=".jsonl", delete=False, encoding="utf-8"
+        ) as handle:
+            handle.write(sink.getvalue())
+            path = handle.name
+        try:
+            stream = summarize_events(path)
+        finally:
+            os.unlink(path)
+        summary = summarize_placement_decisions(result.cache_stats)
+        remote = stream["placements_by_role"]["remote"]
+        assert remote["attempted"] - remote["stored"] == summary.placements_declined
+        assert stream["promotions"]["granted"] == summary.promotions_granted
+        assert stream["promotions"]["withheld"] == summary.promotions_withheld

@@ -137,3 +137,73 @@ class TestRegressionGate:
             True,
         )
         assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 1
+
+
+class TestPairGate:
+    """--pair BASE=CANDIDATE:FRAC gates within one file over best-round times."""
+
+    def _write(self, path, means, compact=True):
+        payload = _raw_payload(means)
+        if compact:
+            payload = summarize_bench.summarize(payload)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+
+    def test_parse_pair(self):
+        assert check_bench_regression.parse_pair("base=cand:0.02") == (
+            "base",
+            "cand",
+            0.02,
+        )
+
+    @pytest.mark.parametrize("bad", ["base:0.02", "base=cand", "base=cand:x"])
+    def test_parse_pair_malformed(self, bad):
+        with pytest.raises(SystemExit):
+            check_bench_regression.parse_pair(bad)
+
+    def test_pair_within_bound_passes(self):
+        mins = {"base": 0.100, "cand": 0.101}
+        assert check_bench_regression.check_pairs(mins, [("base", "cand", 0.02)]) == 0
+
+    def test_pair_over_bound_fails(self):
+        mins = {"base": 0.100, "cand": 0.105}
+        assert check_bench_regression.check_pairs(mins, [("base", "cand", 0.02)]) == 1
+
+    def test_missing_benchmark_is_hard_error(self):
+        """A pair naming an absent benchmark exits 2 — a silently dropped
+        benchmark must not read as 'gate passed'."""
+        assert check_bench_regression.check_pairs({"base": 0.1}, [("base", "gone", 0.02)]) == 2
+
+    def test_pair_gates_on_min_not_mean(self):
+        """_raw_payload sets min = mean * 0.9 for every entry, so equal
+        minima with unequal means must pass: the gate reads best-round
+        times, which shrug off additive noise in the slower rounds."""
+        payload = _raw_payload({"base": 0.100, "cand": 0.100})
+        payload["benchmarks"][1]["stats"]["mean"] = 0.150  # noisy rounds only
+        mins = {b["name"]: b["stats"]["min"] for b in payload["benchmarks"]}
+        assert check_bench_regression.check_pairs(mins, [("base", "cand", 0.02)]) == 0
+
+    def test_main_pair_runs_without_baseline_file(self, tmp_path):
+        """Pair gates apply even for BENCH_1.json (no predecessor)."""
+        self._write(tmp_path / "BENCH_1.json", {"base": 0.100, "cand": 0.150})
+        argv = [str(tmp_path / "BENCH_1.json"), "--pair", "base=cand:0.02"]
+        # min = mean * 0.9 for both entries, so the min ratio mirrors the
+        # mean ratio here: 150% of the bound -> fail.
+        assert check_bench_regression.main(argv) == 1
+
+    def test_main_pair_pass_with_baseline(self, tmp_path):
+        self._write(tmp_path / "BENCH_1.json", {"base": 0.100, "cand": 0.100})
+        self._write(tmp_path / "BENCH_2.json", {"base": 0.100, "cand": 0.101})
+        argv = [str(tmp_path / "BENCH_2.json"), "--pair", "base=cand:0.02"]
+        assert check_bench_regression.main(argv) == 0
+
+    def test_main_missing_pair_name_exits_2(self, tmp_path):
+        self._write(tmp_path / "BENCH_1.json", {"base": 0.100})
+        argv = [str(tmp_path / "BENCH_1.json"), "--pair", "base=gone:0.02"]
+        assert check_bench_regression.main(argv) == 2
+
+    def test_load_mins_both_schemas(self, tmp_path):
+        self._write(tmp_path / "raw.json", {"x": 0.1}, compact=False)
+        self._write(tmp_path / "compact.json", {"x": 0.1}, compact=True)
+        raw = check_bench_regression.load_mins(tmp_path / "raw.json")
+        compact = check_bench_regression.load_mins(tmp_path / "compact.json")
+        assert raw == compact == {"x": pytest.approx(0.09)}

@@ -1,0 +1,121 @@
+"""CLI surface of the observability layer: --events capture and repro obs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def simulate_with_events(path, engine="object", extra=()):
+    return main([
+        "simulate", "--scheme", "ea", "--caches", "2", "--capacity", "256KB",
+        "--scale", "tiny", "--engine", engine,
+        "--events", str(path), "--snapshot-interval", "600",
+        *extra,
+    ])
+
+
+@pytest.fixture()
+def events_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    assert simulate_with_events(path) == 0
+    return path
+
+
+class TestSimulateEvents:
+    def test_writes_stream_and_manifest(self, tmp_path, capsys):
+        events_file = tmp_path / "run.jsonl"
+        assert simulate_with_events(events_file) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out and str(events_file) in out
+        assert f"manifest: {events_file}.manifest.json" in out
+        manifest = json.loads(
+            (events_file.parent / f"{events_file.name}.manifest.json").read_text(
+                encoding="utf-8"
+            )
+        )
+        assert manifest["schema"] == "repro-manifest/1"
+        assert manifest["events"]["path"] == str(events_file)
+        assert manifest["events"]["counts"]["snapshot"] >= 1
+
+    def test_stream_validates(self, events_file, capsys):
+        assert main(["obs", "validate", str(events_file)]) == 0
+        assert "valid (" in capsys.readouterr().out
+
+    def test_sanitized_run_can_record_events(self, tmp_path, capsys):
+        path = tmp_path / "san.jsonl"
+        assert simulate_with_events(path, extra=("--sanitize",)) == 0
+        assert "sanitizer" in capsys.readouterr().out
+        assert main(["obs", "validate", str(path)]) == 0
+
+
+class TestObsDiff:
+    def test_cross_engine_streams_identical(self, tmp_path, capsys):
+        left = tmp_path / "object.jsonl"
+        right = tmp_path / "columnar.jsonl"
+        assert simulate_with_events(left, engine="object") == 0
+        assert simulate_with_events(right, engine="columnar") == 0
+        assert main(["obs", "diff", str(left), str(right)]) == 0
+        assert "streams identical" in capsys.readouterr().out
+
+    def test_divergence_reports_line(self, events_file, tmp_path, capsys):
+        mutated = tmp_path / "mutated.jsonl"
+        lines = events_file.read_text(encoding="utf-8").splitlines()
+        lines[5] = lines[5].replace('"e":', '"e" :', 1)
+        mutated.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        assert main(["obs", "diff", str(events_file), str(mutated)]) == 1
+        assert "diverge at line 6" in capsys.readouterr().out
+
+    def test_wrong_arity_rejected(self, events_file):
+        assert main(["obs", "diff", str(events_file)]) == 2
+
+
+class TestObsTailSummarizeValidate:
+    def test_tail_prints_last_lines(self, events_file, capsys):
+        assert main(["obs", "tail", str(events_file), "-n", "3"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 3
+        assert lines[-1].startswith('{"e":"end"')
+
+    def test_summarize_table(self, events_file, capsys):
+        assert main(["obs", "summarize", str(events_file)]) == 0
+        out = capsys.readouterr().out
+        assert "Event stream:" in out
+        assert "requests: " in out
+
+    def test_summarize_json(self, events_file, capsys):
+        assert main(["obs", "summarize", str(events_file), "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"]["run"] == 1
+        assert summary["events"]["end"] == 1
+
+    def test_validate_flags_corruption(self, events_file, capsys):
+        corrupt = events_file.parent / "corrupt.jsonl"
+        corrupt.write_text(
+            events_file.read_text(encoding="utf-8") + "{broken\n", encoding="utf-8"
+        )
+        assert main(["obs", "validate", str(corrupt)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestSweepObsFlags:
+    def test_sweep_with_events_progress_and_memo(self, tmp_path, capsys):
+        events = tmp_path / "events"
+        code = main([
+            "sweep", "--scale", "tiny", "--capacity", "256KB", "--capacity", "512KB",
+            "--seed", "5", "--jobs", "2", "--progress",
+            "--events", str(events), "--snapshot-interval", "600",
+            "--memo", str(tmp_path / "memo"),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "[4/4]" in out
+        assert "4 points" in out
+        assert f"events: {events}" in out
+        written = sorted(p.name for p in events.iterdir())
+        assert len(written) == 4
+        for name in written:
+            assert main(["obs", "validate", str(events / name)]) == 0

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.digest",
     "repro.experiments",
     "repro.network",
+    "repro.obs",
     "repro.prefetch",
     "repro.protocol",
     "repro.simulation",
