@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Diff a freshly generated ``repro-effects/1`` inventory against the
+checked-in snapshot.
+
+Usage::
+
+    repro analyze effects --effects-out effects-current.json
+    python scripts/diff_effects.py effects-current.json effects-snapshot.json
+
+The snapshot (``effects-snapshot.json`` at the repo root) records the
+inferred effect set of every non-pure function in ``src/repro``. CI
+regenerates the inventory on each run and diffs it here, so any change to
+a function's observable effects — a helper that starts doing IO, a hot
+path that picks up a wall-clock read, a formerly pure function that now
+mutates its argument — shows up in review as an explicit snapshot edit
+rather than sliding in silently.
+
+The diff is structural, not textual: functions are compared by node id and
+effect-label set, so reordering or formatting changes never fire. Exit
+codes: 0 = identical, 1 = drift (printed per function), 2 = bad input.
+
+To accept intentional drift, regenerate the snapshot::
+
+    repro analyze effects --effects-out effects-snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+EXPECTED_SCHEMA = "repro-effects/1"
+
+
+def load_inventory(path: Path) -> Dict[str, Any]:
+    """Parse and schema-check one repro-effects/1 file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        raise SystemExit(
+            f"error: {path} has schema {schema!r}, expected {EXPECTED_SCHEMA!r}"
+        )
+    return payload
+
+
+def function_effects(payload: Dict[str, Any]) -> Dict[str, Tuple[str, ...]]:
+    """Map node id -> sorted transitive effect labels."""
+    return {
+        node_id: tuple(sorted(entry.get("effects", ())))
+        for node_id, entry in payload.get("functions", {}).items()
+    }
+
+
+def diff(
+    current: Dict[str, Tuple[str, ...]],
+    snapshot: Dict[str, Tuple[str, ...]],
+) -> List[str]:
+    """Human-readable drift lines, empty when the inventories agree."""
+    lines: List[str] = []
+    for node_id in sorted(set(current) - set(snapshot)):
+        lines.append(
+            f"new effectful function: {node_id} "
+            f"[{', '.join(current[node_id])}]"
+        )
+    for node_id in sorted(set(snapshot) - set(current)):
+        lines.append(
+            f"no longer effectful (or removed): {node_id} "
+            f"[was {', '.join(snapshot[node_id])}]"
+        )
+    for node_id in sorted(set(current) & set(snapshot)):
+        if current[node_id] != snapshot[node_id]:
+            lines.append(
+                f"effects changed: {node_id} "
+                f"[{', '.join(snapshot[node_id])}] -> "
+                f"[{', '.join(current[node_id])}]"
+            )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="freshly generated repro-effects/1 file")
+    parser.add_argument("snapshot", type=Path,
+                        help="checked-in snapshot to compare against")
+    args = parser.parse_args(argv)
+
+    current = function_effects(load_inventory(args.current))
+    snapshot = function_effects(load_inventory(args.snapshot))
+    lines = diff(current, snapshot)
+    if not lines:
+        print(
+            f"effects snapshot: {len(current)} effectful function(s), "
+            "no drift"
+        )
+        return 0
+    for line in lines:
+        print(line)
+    print(
+        f"effects snapshot: {len(lines)} drifted entrie(s); if intentional, "
+        "regenerate with: repro analyze effects --effects-out "
+        f"{args.snapshot}"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -210,16 +210,20 @@ def _build_parser() -> argparse.ArgumentParser:
             "Run the whole-program analyzers over the source tree: 'parity' "
             "(engine drift vs the fallback matrix, RPR101-103), 'determinism' "
             "(simulation-reachable nondeterminism, RPR111-115), 'configflow' "
-            "(dead/one-sided config fields and memo-key coverage, RPR121-123) "
-            "— or 'trace' to characterise a workload trace instead."
+            "(dead/one-sided config fields and memo-key coverage, RPR121-123), "
+            "'effects' (effect-contract drift, RPR137), 'concurrency' "
+            "(fork/IO/blocking safety, RPR131-136) — or 'trace' to "
+            "characterise a workload trace instead."
         ),
     )
     ana.add_argument(
         "target",
-        nargs="?",
-        default="all",
-        choices=("all", "parity", "determinism", "configflow", "trace"),
-        help="analyzer to run (default: all static analyzers)",
+        nargs="*",
+        default=None,
+        metavar="TARGET",
+        help="analyzers to run, space-separated: all, parity, determinism, "
+        "configflow, effects, concurrency, or trace (default: all static "
+        "analyzers); 'trace' must be the only target",
     )
     ana.add_argument("--root", default="src",
                      help="directory containing the repro package (default: src)")
@@ -232,6 +236,13 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--write-baseline", action="store_true",
                      help="rewrite the baseline file from the current findings "
                      "and exit 0; edit each entry's 'why' afterwards")
+    ana.add_argument("--fail-on", choices=("note", "warn", "error"),
+                     default="note", metavar="SEVERITY",
+                     help="minimum finding severity that fails the run "
+                     "(note/warn/error; default: note = any finding)")
+    ana.add_argument("--effects-out", metavar="FILE",
+                     help="also write the repro-effects/1 per-function "
+                     "effect inventory to FILE")
     ana.add_argument("--trace", help="[trace] trace file; synthetic if omitted")
     ana.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"),
                      help="[trace] input format")
@@ -273,6 +284,51 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit findings in the shared repro-findings/1 schema",
     )
+    lint.add_argument(
+        "--baseline",
+        metavar="FILE",
+        help="accepted-findings file (repro-analysis-baseline/1 schema); "
+        "matching findings are absorbed, stale entries fail the run",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite --baseline from the current findings and exit 0; "
+        "edit each entry's 'why' afterwards",
+    )
+    lint.add_argument(
+        "--fail-on",
+        choices=("note", "warn", "error"),
+        default="note",
+        metavar="SEVERITY",
+        help="minimum finding severity that fails the run "
+        "(note/warn/error; default: note = any finding)",
+    )
+
+    chk = sub.add_parser(
+        "check",
+        help="lint + every analyzer off one parse (the CI gate)",
+        description=(
+            "Build the ProjectModel once, lint its parsed modules, run all "
+            "whole-program analyzers against the same model, and apply one "
+            "noqa/baseline/severity filter to the merged findings."
+        ),
+    )
+    chk.add_argument("--root", default="src",
+                     help="directory containing the repro package (default: src)")
+    chk.add_argument("paths", nargs="*", default=["tests"],
+                     help="extra files/directories to lint from disk "
+                     "(default: tests)")
+    chk.add_argument("--json", action="store_true",
+                     help="emit findings in the shared repro-findings/1 schema")
+    chk.add_argument("--baseline", metavar="FILE",
+                     default="analysis-baseline.json",
+                     help="accepted-findings file applied to the merged "
+                     "lint+analysis findings (default: analysis-baseline.json)")
+    chk.add_argument("--fail-on", choices=("note", "warn", "error"),
+                     default="note", metavar="SEVERITY",
+                     help="minimum finding severity that fails the run "
+                     "(note/warn/error; default: note = any finding)")
     return parser
 
 
@@ -500,31 +556,67 @@ def _load_or_generate(args: argparse.Namespace):
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
-    if args.target == "trace":
+    targets = list(args.target or [])
+    known = {"all", "parity", "determinism", "configflow",
+             "effects", "concurrency", "trace"}
+    unknown = [t for t in targets if t not in known]
+    if unknown:
+        print(
+            f"error: unknown analyze target(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(known))})",
+            file=sys.stderr,
+        )
+        return 2
+    if "trace" in targets:
+        if targets != ["trace"]:
+            print(
+                "error: 'trace' cannot be combined with static analyzers",
+                file=sys.stderr,
+            )
+            return 2
         return _cmd_analyze_trace(args)
     from pathlib import Path
 
-    from repro.devtools.analysis import analyze_project, write_baseline
+    from repro.devtools.analysis import (
+        effect_analysis,
+        filter_findings,
+        run_analyzers,
+        select_analyzers,
+        write_baseline,
+    )
+    from repro.devtools.analysis.model import ProjectModel
+    from repro.devtools.catalog import fails
     from repro.devtools.report import findings_payload
 
-    selected = None if args.target == "all" else [args.target]
+    selected_names = None if (not targets or "all" in targets) else targets
+    selected = select_analyzers(selected_names)
     baseline_path = Path(args.baseline)
+    model = ProjectModel.load(Path(args.root))
+    raw = run_analyzers(model, selected)
+    if args.effects_out:
+        effects_path = Path(args.effects_out)
+        effects_path.write_text(
+            json.dumps(effect_analysis(model).report(), indent=2,
+                       sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"repro analyze: wrote effect inventory to {effects_path}")
     if args.write_baseline:
-        report = analyze_project(Path(args.root), analyzers=selected)
+        report = filter_findings(model, raw, selected, baseline_path=None)
         entries = write_baseline(
             baseline_path, report.findings, why="accepted; edit this entry"
         )
         print(f"repro analyze: wrote {len(entries)} entrie(s) to {baseline_path}")
         return 0
-    report = analyze_project(
-        Path(args.root), analyzers=selected, baseline_path=baseline_path
-    )
+    report = filter_findings(model, raw, selected, baseline_path=baseline_path)
+    failed = fails(report.findings, args.fail_on) or bool(report.stale_baseline)
     if args.json:
         payload = findings_payload(
             "analyze",
             report.findings,
             extra={
                 "analyzers": list(report.analyzers),
+                "fail_on": args.fail_on,
                 "suppressed": report.suppressed,
                 "baselined": len(report.baselined),
                 "stale_baseline": [
@@ -534,7 +626,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             },
         )
         print(json.dumps(payload, indent=2))
-        return 0 if report.clean else 1
+        return 1 if failed else 0
     for finding in report.findings:
         print(finding.render())
     for entry in report.stale_baseline:
@@ -555,9 +647,9 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
         summary += f" ({', '.join(absorbed)})"
     if report.clean:
         print(summary.replace("0 finding(s)", "clean"))
-        return 0
-    print(summary)
-    return 1
+    else:
+        print(summary)
+    return 1 if failed else 0
 
 
 def _cmd_analyze_trace(args: argparse.Namespace) -> int:
@@ -699,6 +791,14 @@ def _cmd_obs(args: argparse.Namespace) -> int:
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.devtools.analysis.baseline import (
+        apply_baseline,
+        load_baseline,
+        write_baseline,
+    )
+    from repro.devtools.catalog import fails
     from repro.devtools.lint import all_rules, lint_paths
 
     if args.list_rules:
@@ -718,18 +818,111 @@ def _cmd_lint(args: argparse.Namespace) -> int:
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.write_baseline:
+        if not args.baseline:
+            print("error: --write-baseline requires --baseline FILE",
+                  file=sys.stderr)
+            return 2
+        entries = write_baseline(
+            Path(args.baseline), findings, why="accepted; edit this entry"
+        )
+        print(f"repro lint: wrote {len(entries)} entrie(s) to {args.baseline}")
+        return 0
+    baselined: List = []
+    stale: List = []
+    if args.baseline:
+        baseline_path = Path(args.baseline)
+        entries = load_baseline(baseline_path) if baseline_path.exists() else []
+        findings, baselined, stale = apply_baseline(findings, entries)
+    failed = fails(findings, args.fail_on) or bool(stale)
     if args.json:
         from repro.devtools.report import findings_payload
 
-        print(json.dumps(findings_payload("lint", findings), indent=2))
-        return 1 if findings else 0
+        extra = {
+            "fail_on": args.fail_on,
+            "baselined": len(baselined),
+            "stale_baseline": [
+                {"rule": e.rule, "path": e.path, "message": e.message}
+                for e in stale
+            ],
+        }
+        print(json.dumps(findings_payload("lint", findings, extra=extra),
+                         indent=2))
+        return 1 if failed else 0
     for finding in findings:
         print(finding.render())
-    if findings:
-        print(f"repro lint: {len(findings)} finding(s)")
-        return 1
-    print("repro lint: clean")
-    return 0
+    for entry in stale:
+        print(
+            f"stale baseline entry: {entry.rule} {entry.path} — fixed or "
+            f"reworded; remove it from {args.baseline}"
+        )
+    summary = f"repro lint: {len(findings)} finding(s)"
+    if baselined:
+        summary += f" ({len(baselined)} baselined)"
+    if not findings and not stale:
+        print(summary.replace("0 finding(s)", "clean"))
+    else:
+        print(summary)
+    return 1 if failed else 0
+
+
+def _cmd_check(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.devtools.catalog import fails
+    from repro.devtools.check import run_check
+    from repro.devtools.report import findings_payload
+
+    baseline_path = Path(args.baseline)
+    report = run_check(
+        Path(args.root),
+        extra_paths=args.paths,
+        baseline_path=baseline_path if baseline_path.exists() else None,
+    )
+    failed = fails(report.findings, args.fail_on) or bool(report.stale_baseline)
+    if args.json:
+        payload = findings_payload(
+            "check",
+            report.findings,
+            extra={
+                "analyzers": list(report.analyzers),
+                "fail_on": args.fail_on,
+                "suppressed": report.suppressed,
+                "baselined": len(report.baselined),
+                "linted_modules": report.linted_modules,
+                "linted_files": report.linted_files,
+                "stale_baseline": [
+                    {"rule": e.rule, "path": e.path, "message": e.message}
+                    for e in report.stale_baseline
+                ],
+            },
+        )
+        print(json.dumps(payload, indent=2))
+        return 1 if failed else 0
+    for finding in report.findings:
+        print(finding.render())
+    for entry in report.stale_baseline:
+        print(
+            f"stale baseline entry: {entry.rule} {entry.path} — fixed or "
+            f"reworded; remove it from {baseline_path}"
+        )
+    summary = (
+        f"repro check [{', '.join(report.analyzers)}]: "
+        f"{len(report.findings)} finding(s) across "
+        f"{report.linted_modules + report.linted_files} file(s)"
+    )
+    absorbed = []
+    if report.suppressed:
+        absorbed.append(f"{report.suppressed} noqa-suppressed")
+    if report.baselined:
+        absorbed.append(f"{len(report.baselined)} baselined")
+    if absorbed:
+        summary += f" ({', '.join(absorbed)})"
+    if report.clean:
+        print(summary.replace("0 finding(s)", "clean"))
+    else:
+        print(summary)
+    return 1 if failed else 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -745,6 +938,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "analyze": _cmd_analyze,
         "compare": _cmd_compare,
         "lint": _cmd_lint,
+        "check": _cmd_check,
         "obs": _cmd_obs,
     }
     try:

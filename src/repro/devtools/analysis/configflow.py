@@ -28,6 +28,16 @@ from repro.devtools.analysis.dataflow import union_config_reads
 from repro.devtools.analysis.model import ProjectModel
 from repro.devtools.lint.findings import Finding
 
+#: Rule code -> one-line summary (the catalog / docs-index source of truth).
+RULES = {
+    "RPR121": "dead config field: no engine reads it and the fallback "
+    "matrix does not mention it",
+    "RPR122": "one-sided config field: read by the columnar engine but "
+    "not by the object core",
+    "RPR123": "TraceRecord field absent from Trace.fingerprint (memo-key "
+    "collision risk)",
+}
+
 #: Config fields that steer dispatch/bookkeeping outside both engines.
 #: ``engine`` selects which engine runs; it is read by ``run_simulation``
 #: (object package) so it needs no carve-out, but is listed for clarity.

@@ -4,16 +4,18 @@ The parallel runner merges worker results positionally and the memo store
 treats ``sha256(config + trace fingerprint)`` as a proof of byte-identity
 — both stake correctness on every simulation-reachable function being
 deterministic. The existing lint rules check *files* in scoped packages;
-this auditor instead walks the call graph from the replay entry points
-(``CooperativeSimulator.run``, ``run_simulation``, ``simulate_columnar``,
-the parallel runner, the memo store) and audits exactly the functions a
-simulation can execute, wherever they live:
+this auditor instead audits exactly the functions a simulation can
+execute, wherever they live, using the shared per-function effect
+summaries from :mod:`repro.devtools.analysis.effects` (one model, one
+call graph, one fixpoint — the concurrency pass reads the same data):
 
 * **RPR111** — wall-clock reads (``time.time`` and friends,
-  ``datetime.now``): results would depend on host speed.
+  ``datetime.now``): results would depend on host speed. These are the
+  ``time`` effect sites of reachable functions.
 * **RPR112** — process-global RNG (``random.random``, ``random.choice``,
   ...): any import can perturb the shared state. Seeded
-  ``random.Random(seed)`` instances are fine.
+  ``random.Random(seed)`` instances are fine. These are the ``rng``
+  effect sites.
 * **RPR113** — iteration over an unordered ``set``/``frozenset`` feeding
   downstream state: Python set order varies with hash seeding and insert
   history. (``dict`` iteration is insertion-ordered and not flagged.)
@@ -22,6 +24,10 @@ simulation can execute, wherever they live:
   ``sorted``/``min``/``max``/``set``/``len``/``any``/``all``.
 * **RPR115** — ``sum`` over an unordered set: float accumulation order
   changes the low bits, which breaks byte-identical merges.
+
+RPR113-115 are about *enumeration order*, which the effect lattice does
+not model, so they stay syntactic — but they run over the same
+reachability set the effect analysis computed.
 """
 
 from __future__ import annotations
@@ -29,9 +35,30 @@ from __future__ import annotations
 import ast
 from typing import Dict, Iterable, List, Optional, Sequence, Union
 
-from repro.devtools.analysis.callgraph import CallGraph
+# Re-exported for backward compatibility: these constant sets moved into
+# the effect-inference engine, which is now their single owner.
+from repro.devtools.analysis.effects import (  # noqa: F401
+    GLOBAL_RNG_CALLS,
+    RNG,
+    TIME,
+    WALL_CLOCK_CALLS,
+    dotted_call_name,
+    effect_analysis,
+)
 from repro.devtools.analysis.model import ModuleInfo, ProjectModel
 from repro.devtools.lint.findings import Finding
+
+#: Rule code -> one-line summary (the catalog / docs-index source of truth).
+RULES: Dict[str, str] = {
+    "RPR111": "wall-clock read on a simulation-reachable path",
+    "RPR112": "process-global RNG call on a simulation-reachable path",
+    "RPR113": "iteration over an unordered set on a simulation-reachable "
+    "path",
+    "RPR114": "filesystem-order enumeration on a simulation-reachable "
+    "path without sorted(...)",
+    "RPR115": "sum over an unordered set (unstable float accumulation "
+    "order)",
+}
 
 #: Entry points whose transitive callees must be deterministic.
 DEFAULT_ROOTS: Sequence[str] = (
@@ -41,51 +68,6 @@ DEFAULT_ROOTS: Sequence[str] = (
     "repro.parallel.runner:ParallelSweepRunner.run",
     "repro.parallel.memo:SweepMemoStore.get",
     "repro.parallel.memo:SweepMemoStore.put",
-)
-
-#: Fully-dotted callables that read the wall clock.
-WALL_CLOCK_CALLS = frozenset(
-    {
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-        "time.perf_counter",
-        "time.perf_counter_ns",
-        "time.process_time",
-        "time.process_time_ns",
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.date.today",
-    }
-)
-
-#: Module-level ``random`` functions sharing hidden global state.
-GLOBAL_RNG_CALLS = frozenset(
-    {
-        f"random.{name}"
-        for name in (
-            "random",
-            "randint",
-            "randrange",
-            "getrandbits",
-            "choice",
-            "choices",
-            "shuffle",
-            "sample",
-            "uniform",
-            "triangular",
-            "gauss",
-            "normalvariate",
-            "lognormvariate",
-            "expovariate",
-            "vonmisesvariate",
-            "gammavariate",
-            "betavariate",
-            "paretovariate",
-            "weibullvariate",
-        )
-    }
 )
 
 #: Calls returning entries in filesystem order.
@@ -110,8 +92,8 @@ def analyze_determinism(
     ``roots`` defaults to :data:`DEFAULT_ROOTS`; roots absent from the
     model are ignored, so miniature fixture trees can pass their own.
     """
-    graph = CallGraph.build(model)
-    reachable = graph.reachable(DEFAULT_ROOTS if roots is None else roots)
+    analysis = effect_analysis(model)
+    reachable = analysis.reachable(DEFAULT_ROOTS if roots is None else roots)
     findings: List[Finding] = []
     for node_id in sorted(reachable):
         module_name = node_id.partition(":")[0]
@@ -119,25 +101,40 @@ def analyze_determinism(
         func = model.function_node(node_id)
         if info is None or func is None:
             continue
-        findings.extend(_audit_function(info, func))
+        for site in analysis.sites(node_id, TIME):
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=site.line,
+                    col=site.col,
+                    rule="RPR111",
+                    message=(
+                        f"wall-clock call `{site.detail}()` on a "
+                        "simulation-reachable path; time must come from "
+                        "trace timestamps or an injected clock"
+                    ),
+                )
+            )
+        for site in analysis.sites(node_id, RNG):
+            findings.append(
+                Finding(
+                    path=info.path,
+                    line=site.line,
+                    col=site.col,
+                    rule="RPR112",
+                    message=(
+                        f"process-global RNG call `{site.detail}()` on a "
+                        "simulation-reachable path; draw from a "
+                        "config-seeded random.Random instead"
+                    ),
+                )
+            )
+        findings.extend(_audit_syntactic(info, func))
     return sorted(set(findings))
 
 
-def _dotted_call_name(info: ModuleInfo, func: ast.expr) -> Optional[str]:
-    """Resolve a call target to a fully-dotted name via the import table."""
-    parts: List[str] = []
-    node = func
-    while isinstance(node, ast.Attribute):
-        parts.append(node.attr)
-        node = node.value
-    if not isinstance(node, ast.Name):
-        return None
-    resolved_head = info.imports.get(node.id)
-    if resolved_head is None:
-        return None
-    parts.append(resolved_head)
-    parts.reverse()
-    return ".".join(parts)
+# Backward-compatible alias; the resolver lives in the effects module now.
+_dotted_call_name = dotted_call_name
 
 
 def _is_set_expression(info: ModuleInfo, node: ast.expr) -> bool:
@@ -151,8 +148,8 @@ def _is_set_expression(info: ModuleInfo, node: ast.expr) -> bool:
     return False
 
 
-def _audit_function(info: ModuleInfo, func: ast.AST) -> List[Finding]:
-    """Run every determinism check over one function body."""
+def _audit_syntactic(info: ModuleInfo, func: ast.AST) -> List[Finding]:
+    """RPR113-115: the enumeration-order checks for one function body."""
     findings: List[Finding] = []
     parents: Dict[ast.AST, ast.AST] = {}
     set_vars: Dict[str, int] = {}  # name -> assignment count as a set
@@ -216,23 +213,7 @@ def _audit_function(info: ModuleInfo, func: ast.AST) -> List[Finding]:
             for generator in node.generators:
                 check_iterable(generator.iter)
         elif isinstance(node, ast.Call):
-            dotted = _dotted_call_name(info, node.func)
-            if dotted in WALL_CLOCK_CALLS:
-                report(
-                    node,
-                    "RPR111",
-                    f"wall-clock call `{dotted}()` on a simulation-reachable "
-                    "path; time must come from trace timestamps or an "
-                    "injected clock",
-                )
-            elif dotted in GLOBAL_RNG_CALLS:
-                report(
-                    node,
-                    "RPR112",
-                    f"process-global RNG call `{dotted}()` on a "
-                    "simulation-reachable path; draw from a config-seeded "
-                    "random.Random instead",
-                )
+            dotted = dotted_call_name(info, node.func)
             fs_name = _fs_order_call(info, node, dotted)
             if fs_name is not None and not order_neutral(node):
                 report(

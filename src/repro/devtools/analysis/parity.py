@@ -29,6 +29,16 @@ from repro.devtools.analysis.dataflow import union_config_reads
 from repro.devtools.analysis.model import ProjectModel
 from repro.devtools.lint.findings import Finding
 
+#: Rule code -> one-line summary (the catalog / docs-index source of truth).
+RULES: Dict[str, str] = {
+    "RPR101": "config field read by the object core but unknown to the "
+    "columnar engine and the fallback matrix",
+    "RPR102": "fallback-matrix / neutral-list entry naming a config field "
+    "that no longer exists",
+    "RPR103": "result-dataclass field never populated by the columnar "
+    "result assembly",
+}
+
 #: Result dataclasses whose columnar construction must stay field-complete:
 #: class name -> defining module.
 RESULT_DATACLASSES: Tuple[Tuple[str, str], ...] = (

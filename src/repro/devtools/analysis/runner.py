@@ -1,8 +1,9 @@
 """Orchestration for ``repro analyze``: model build, analyzers, filtering.
 
 One :class:`~repro.devtools.analysis.model.ProjectModel` is built per
-invocation and shared by every selected analyzer. Raw findings then pass
-through two filters, in order:
+invocation and shared by every selected analyzer (``repro check`` reuses
+the same model for lint too, via :func:`run_analyzers`). Raw findings
+then pass through two filters, in order:
 
 1. line-scoped ``# repro: noqa[CODE]`` pragmas in the analyzed sources
    (the same mechanism, and the same parser, as ``repro lint``);
@@ -24,18 +25,26 @@ from repro.devtools.analysis.baseline import (
     apply_baseline,
     load_baseline,
 )
+from repro.devtools.analysis.concurrency import analyze_concurrency
 from repro.devtools.analysis.configflow import analyze_configflow
 from repro.devtools.analysis.determinism import analyze_determinism
+from repro.devtools.analysis.effects import analyze_effects
 from repro.devtools.analysis.model import AnalysisError, ProjectModel
 from repro.devtools.analysis.parity import analyze_parity
 from repro.devtools.lint.findings import Finding
-from repro.devtools.lint.suppress import collect_suppressions, is_suppressed
+from repro.devtools.lint.suppress import (
+    SuppressionMap,
+    collect_suppressions,
+    is_suppressed,
+)
 
 #: Analyzer name -> implementation, in canonical execution order.
 ANALYZERS: Dict[str, Callable[[ProjectModel], List[Finding]]] = {
     "parity": analyze_parity,
     "determinism": analyze_determinism,
     "configflow": analyze_configflow,
+    "effects": analyze_effects,
+    "concurrency": analyze_concurrency,
 }
 
 
@@ -63,19 +72,10 @@ class AnalysisReport:
         return not self.findings and not self.stale_baseline
 
 
-def analyze_project(
-    root: Path,
+def select_analyzers(
     analyzers: Optional[Sequence[str]] = None,
-    baseline_path: Optional[Path] = None,
-) -> AnalysisReport:
-    """Run ``analyzers`` (default: all) over the tree rooted at ``root``.
-
-    Args:
-        root: Directory containing the ``repro`` package (usually ``src``).
-        analyzers: Subset of :data:`ANALYZERS` keys; unknown names raise.
-        baseline_path: Optional baseline file; when given, its entries
-            absorb matching findings and stale entries are reported.
-    """
+) -> Tuple[str, ...]:
+    """Validate an analyzer selection (default: all, canonical order)."""
     selected = tuple(ANALYZERS) if analyzers is None else tuple(analyzers)
     for name in selected:
         if name not in ANALYZERS:
@@ -83,21 +83,55 @@ def analyze_project(
                 f"unknown analyzer {name!r}; expected one of "
                 f"{', '.join(sorted(ANALYZERS))}"
             )
-    model = ProjectModel.load(root)
+    return selected
 
+
+def run_analyzers(
+    model: ProjectModel, selected: Sequence[str]
+) -> List[Finding]:
+    """Raw (unfiltered) findings of ``selected`` analyzers over ``model``."""
     raw: List[Finding] = []
     for name in selected:
         raw.extend(ANALYZERS[name](model))
-    raw = sorted(set(raw))
+    return sorted(set(raw))
 
-    suppression_maps = {
-        info.path: collect_suppressions(info.source)
-        for info in model.modules.values()
-    }
+
+class LazySuppressions:
+    """Per-path ``# repro: noqa`` maps, parsed only for paths with findings.
+
+    A full-tree analysis used to parse the pragma map of *every* module
+    up front even when a run produced two findings; this defers the parse
+    to first use per path, keyed by the display path the findings carry.
+    """
+
+    def __init__(self, model: ProjectModel) -> None:
+        self._sources: Dict[str, str] = {
+            info.path: info.source for info in model.modules.values()
+        }
+        self._cache: Dict[str, Optional[SuppressionMap]] = {}
+
+    def for_path(self, path: str) -> Optional[SuppressionMap]:
+        """The pragma map for ``path``, or None for unknown paths."""
+        if path not in self._cache:
+            source = self._sources.get(path)
+            self._cache[path] = (
+                collect_suppressions(source) if source is not None else None
+            )
+        return self._cache[path]
+
+
+def filter_findings(
+    model: ProjectModel,
+    raw: Sequence[Finding],
+    selected: Tuple[str, ...],
+    baseline_path: Optional[Path] = None,
+) -> AnalysisReport:
+    """Apply noqa pragmas, then the baseline, to ``raw`` findings."""
+    suppressions = LazySuppressions(model)
     unsuppressed: List[Finding] = []
     suppressed = 0
     for finding in raw:
-        pragmas = suppression_maps.get(finding.path)
+        pragmas = suppressions.for_path(finding.path)
         if pragmas is not None and is_suppressed(finding, pragmas):
             suppressed += 1
         else:
@@ -115,3 +149,22 @@ def analyze_project(
         stale_baseline=stale,
         analyzers=selected,
     )
+
+
+def analyze_project(
+    root: Path,
+    analyzers: Optional[Sequence[str]] = None,
+    baseline_path: Optional[Path] = None,
+) -> AnalysisReport:
+    """Run ``analyzers`` (default: all) over the tree rooted at ``root``.
+
+    Args:
+        root: Directory containing the ``repro`` package (usually ``src``).
+        analyzers: Subset of :data:`ANALYZERS` keys; unknown names raise.
+        baseline_path: Optional baseline file; when given, its entries
+            absorb matching findings and stale entries are reported.
+    """
+    selected = select_analyzers(analyzers)
+    model = ProjectModel.load(root)
+    raw = run_analyzers(model, selected)
+    return filter_findings(model, raw, selected, baseline_path)

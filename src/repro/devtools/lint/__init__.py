@@ -19,7 +19,12 @@ from repro.devtools.lint.registry import (
     all_rules,
     register,
 )
-from repro.devtools.lint.runner import lint_file, lint_paths, lint_source
+from repro.devtools.lint.runner import (
+    lint_context,
+    lint_file,
+    lint_paths,
+    lint_source,
+)
 
 __all__ = [
     "Finding",
@@ -27,6 +32,7 @@ __all__ = [
     "REGISTRY",
     "RuleVisitor",
     "all_rules",
+    "lint_context",
     "lint_file",
     "lint_paths",
     "lint_source",

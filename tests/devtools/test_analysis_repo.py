@@ -152,7 +152,9 @@ class TestAnalyzeCli:
         assert payload["schema"] == "repro-findings/1"
         assert payload["tool"] == "analyze"
         assert payload["count"] == 0
-        assert payload["analyzers"] == ["parity", "determinism", "configflow"]
+        assert payload["analyzers"] == [
+            "parity", "determinism", "configflow", "effects", "concurrency",
+        ]
 
     def test_single_analyzer_selection(self, capsys):
         assert main(["analyze", "determinism"]) == 0
@@ -232,6 +234,7 @@ class TestLintJsonCli:
         assert payload["tool"] == "lint"
         assert payload["count"] == 1
         assert payload["findings"][0]["rule"] == "RPR001"
+        assert payload["findings"][0]["severity"] == "error"
         assert set(payload["findings"][0]) == {
-            "path", "line", "col", "rule", "message",
+            "path", "line", "col", "rule", "severity", "message",
         }

@@ -1,0 +1,268 @@
+"""Fixture tests for the effect-summary engine and RPR137 contract drift."""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import (
+    ProjectModel,
+    analyze_effects,
+    effect_analysis,
+)
+from repro.devtools.analysis.effects import (
+    EFFECTS_SCHEMA,
+    IO,
+    MUTATES_GLOBAL,
+    MUTATES_PARAM,
+    MUTATES_SELF,
+    READS_CONFIG,
+    RNG,
+    TIME,
+)
+
+
+def effects_of(root, node_id):
+    analysis = effect_analysis(ProjectModel.load(root))
+    summary = analysis.functions.get(node_id)
+    return summary.effects if summary else None
+
+
+class TestDirectEffects:
+    def test_clean_tree_engine_reads_config_only(self, make_project):
+        labels = effects_of(
+            make_project(), "repro.fastpath.engine:simulate_columnar"
+        )
+        assert labels == {READS_CONFIG}
+
+    def test_self_mutation_vs_param_mutation(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/state.py": '''
+                    class Tracker:
+                        def bump(self):
+                            self.count += 1
+
+                        def drain(self, sink):
+                            sink.append(self.count)
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.state:Tracker.bump") == {
+            MUTATES_SELF
+        }
+        assert effects_of(root, "repro.simulation.state:Tracker.drain") == {
+            MUTATES_PARAM
+        }
+
+    def test_global_statement_and_module_mutable(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/registry.py": '''
+                    _SEEN = {}
+                    _TOTAL = 0
+
+                    def record(url):
+                        _SEEN[url] = True
+
+                    def count():
+                        global _TOTAL
+                        _TOTAL += 1
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.registry:record") == {
+            MUTATES_GLOBAL
+        }
+        assert effects_of(root, "repro.simulation.registry:count") == {
+            MUTATES_GLOBAL
+        }
+
+    def test_local_shadow_of_module_name_is_not_global(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/shadow.py": '''
+                    _CACHE = {}
+
+                    def isolated():
+                        _CACHE = {}
+                        _CACHE["x"] = 1
+                        return _CACHE
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.shadow:isolated") == set()
+
+    def test_io_time_rng_labels(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/side.py": '''
+                    import random
+                    import time
+
+                    def stamp():
+                        return time.time()
+
+                    def roll():
+                        return random.random()
+
+                    def report(line):
+                        print(line)
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.side:stamp") == {TIME}
+        assert effects_of(root, "repro.simulation.side:roll") == {RNG}
+        assert effects_of(root, "repro.simulation.side:report") == {IO}
+
+
+class TestPropagation:
+    def test_effects_flow_to_transitive_callers(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/deep.py": '''
+                    import time
+
+                    def leaf():
+                        return time.time()
+
+                    def middle():
+                        return leaf()
+
+                    def top():
+                        return middle()
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.deep:top") == {TIME}
+
+    def test_pure_helper_stays_pure(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/pure.py": '''
+                    def double(x):
+                        return x * 2
+
+                    def quad(x):
+                        return double(double(x))
+                '''
+            }
+        )
+        analysis = effect_analysis(ProjectModel.load(root))
+        assert analysis.functions["repro.simulation.pure:quad"].is_pure
+
+    def test_recursive_cycle_converges(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/cycle.py": '''
+                    def ping(n, log):
+                        log.append(n)
+                        return pong(n - 1, log) if n else n
+
+                    def pong(n, log):
+                        return ping(n - 1, log) if n else n
+                '''
+            }
+        )
+        assert effects_of(root, "repro.simulation.cycle:pong") == {
+            MUTATES_PARAM
+        }
+
+
+class TestReport:
+    def test_report_shape_and_totals(self, make_project):
+        analysis = effect_analysis(ProjectModel.load(make_project()))
+        report = analysis.report()
+        assert report["schema"] == EFFECTS_SCHEMA
+        engine = report["functions"]["repro.fastpath.engine:simulate_columnar"]
+        assert engine["effects"] == [READS_CONFIG]
+        assert report["totals"]["pure"] >= 1
+        # Pure functions are counted but not listed.
+        listed = set(report["functions"])
+        assert all(analysis.functions[n].effects for n in listed)
+
+    def test_memoized_per_model(self, make_project):
+        model = ProjectModel.load(make_project())
+        assert effect_analysis(model) is effect_analysis(model)
+
+
+class TestRPR137ContractDrift:
+    def test_matching_contract_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/contract.py": '''
+                    def merge(results, out):  # repro: effects[mutates-param]
+                        out.extend(results)
+                '''
+            }
+        )
+        assert analyze_effects(ProjectModel.load(root)) == []
+
+    def test_contract_as_upper_bound_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/contract.py": '''
+                    def maybe(out):  # repro: effects[mutates-param, io]
+                        return len(out)
+                '''
+            }
+        )
+        assert analyze_effects(ProjectModel.load(root)) == []
+
+    def test_escaping_effect_fires_with_evidence(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/contract.py": '''
+                    import time
+
+                    def pure_by_decree():  # repro: effects[]
+                        return time.time()
+                '''
+            }
+        )
+        findings = analyze_effects(ProjectModel.load(root))
+        assert [f.rule for f in findings] == ["RPR137"]
+        assert "time" in findings[0].message
+        assert "time.time" in findings[0].message
+
+    def test_transitive_escape_names_the_callee(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/contract.py": '''
+                    from repro.simulation.sink import dump
+
+                    def quiet(data):  # repro: effects[]
+                        dump(data)
+                ''',
+                "repro/simulation/sink.py": '''
+                    def dump(data):
+                        print(data)
+                ''',
+            }
+        )
+        findings = analyze_effects(ProjectModel.load(root))
+        assert [f.rule for f in findings] == ["RPR137"]
+        assert "dump" in findings[0].message
+
+    def test_unknown_label_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/contract.py": '''
+                    def typo():  # repro: effects[moo]
+                        return 1
+                '''
+            }
+        )
+        findings = analyze_effects(ProjectModel.load(root))
+        assert [f.rule for f in findings] == ["RPR137"]
+        assert "moo" in findings[0].message
+
+    def test_undeclared_function_never_drifts(self, make_project):
+        root = make_project(
+            {
+                "repro/simulation/free.py": '''
+                    import time
+
+                    def anything_goes():
+                        print(time.time())
+                '''
+            }
+        )
+        assert analyze_effects(ProjectModel.load(root)) == []
