@@ -80,6 +80,32 @@ def _build_parser() -> argparse.ArgumentParser:
     gen.add_argument("--seed", type=int, default=42)
     gen.add_argument("--out", required=True, help="output path (BU condensed format)")
 
+    pack = sub.add_parser(
+        "pack-trace",
+        help="pack a trace into the RPCT packed columnar format",
+        description=(
+            "Write a .rpct packed columnar trace — the interned chunk "
+            "sequence, mmap-readable with O(chunk) memory. Packing streams: "
+            "a synthetic workload is generated chunk by chunk, never "
+            "materialised, so --requests can exceed RAM. Replaying the "
+            "packed file (--trace FILE.rpct on simulate/sweep/profile with "
+            "a chunked --engine) is byte-identical to replaying the "
+            "original trace."
+        ),
+    )
+    pack.add_argument("--trace", help="input trace file; synthetic stream if omitted")
+    pack.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    pack.add_argument("--scale", choices=WORKLOAD_SCALES, default="default",
+                      help="synthetic workload scale when --trace is omitted")
+    pack.add_argument("--seed", type=int, default=42)
+    pack.add_argument("--requests", type=int, metavar="N",
+                      help="override the synthetic request count (generation "
+                      "is streamed, so N is not bounded by memory)")
+    pack.add_argument("--out", required=True, help="output path (.rpct)")
+    pack.add_argument("--chunk-size", type=int, metavar="N",
+                      help="records per stored chunk (default 262144); shapes "
+                      "reader memory only, never results")
+
     sim = sub.add_parser("simulate", help="run one simulation and print the result")
     sim.add_argument("--scheme", choices=("adhoc", "ea"), default="ea")
     sim.add_argument("--caches", type=int, default=4)
@@ -88,7 +114,15 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
     sim.add_argument("--partitioner", choices=PARTITIONERS, default="hash")
     sim.add_argument("--trace", help="trace file (BU format); synthetic if omitted")
-    sim.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    sim.add_argument("--trace-format", default="bu",
+                     choices=("bu", "squid", "clf", "packed"),
+                     help="input format; 'packed' (auto-detected from a "
+                     ".rpct suffix) streams the file with O(chunk) memory "
+                     "and needs a chunked --engine")
+    sim.add_argument("--chunk-size", type=int, metavar="N",
+                     help="interned-chunk granularity for the chunked "
+                     "engines; results are chunking-invariant, so this "
+                     "shapes memory only")
     sim.add_argument("--scale", choices=WORKLOAD_SCALES, default="default",
                      help="synthetic workload scale when --trace is omitted")
     sim.add_argument("--seed", type=int, default=42)
@@ -144,7 +178,11 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
     swp.add_argument("--seed", type=int, default=42)
     swp.add_argument("--trace", help="trace file; synthetic if omitted")
-    swp.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    swp.add_argument("--trace-format", default="bu",
+                     choices=("bu", "squid", "clf", "packed"),
+                     help="input format; 'packed' (auto-detected from a "
+                     ".rpct suffix) streams the file with O(chunk) memory "
+                     "and needs a chunked --engine")
     swp.add_argument("--caches", type=int, default=4)
     swp.add_argument("--policy", default="lru")
     swp.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
@@ -193,7 +231,8 @@ def _build_parser() -> argparse.ArgumentParser:
     prof.add_argument("--architecture", choices=ARCHITECTURES, default="distributed")
     prof.add_argument("--partitioner", choices=PARTITIONERS, default="hash")
     prof.add_argument("--trace", help="trace file; synthetic if omitted")
-    prof.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"))
+    prof.add_argument("--trace-format", default="bu",
+                      choices=("bu", "squid", "clf", "packed"))
     prof.add_argument("--scale", choices=WORKLOAD_SCALES, default="default")
     prof.add_argument("--seed", type=int, default=42)
     prof.add_argument("--engine", choices=ENGINES, default="object",
@@ -339,13 +378,33 @@ def _cmd_generate_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_pack_trace(args: argparse.Namespace) -> int:
+    from repro.trace.columnar_io import write_packed
+
+    if args.trace:
+        source = read_trace(args.trace, fmt=args.trace_format)
+    else:
+        from dataclasses import replace
+
+        from repro.trace.stream import SyntheticTraceStream
+
+        cfg = workload_config(args.scale, args.seed)
+        if args.requests is not None:
+            cfg = replace(cfg, num_requests=args.requests)
+        source = SyntheticTraceStream(cfg)
+    records, docs, clients = write_packed(args.out, source, chunk_size=args.chunk_size)
+    size = os.path.getsize(args.out)
+    print(
+        f"packed {records} records ({docs} documents, {clients} clients) "
+        f"into {args.out} ({size} bytes)"
+    )
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from repro.simulation.simulator import CooperativeSimulator
 
-    if args.trace:
-        trace = read_trace(args.trace, fmt=args.trace_format)
-    else:
-        trace = workload_trace(args.scale, args.seed)
+    trace = _load_or_generate(args)
     config = SimulationConfig(
         scheme=args.scheme,
         num_caches=args.caches,
@@ -372,11 +431,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.sanitize:
         # Sanitizing needs the simulator instance for the report (and forces
         # the object engine anyway — the dispatcher would fall back).
+        if not hasattr(trace, "records"):
+            raise ReproError(
+                "--sanitize runs the object engine, which replays "
+                "materialised traces only (not packed/streamed sources)"
+            )
         simulator = CooperativeSimulator(config, obs=recorder)
         result = simulator.run(trace)
         sanitizer = simulator.sanitizer
     else:
-        result = run_simulation(config, trace, obs=recorder)
+        result = run_simulation(config, trace, obs=recorder, chunk_size=args.chunk_size)
     if observed is not None:
         result = observed.finish(result)
     if args.json:
@@ -466,6 +530,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     )
     jobs = args.jobs if args.jobs is not None else default_jobs()
     memo = SweepMemoStore(args.memo) if args.memo else None
+    if args.progress:
+        # Totals via source_num_records: a streamed source (packed file,
+        # synthetic stream) has no records list to len() — the count comes
+        # from its declared total (the packed footer) instead.
+        from repro.trace.stream import source_num_records
+
+        total = source_num_records(trace)
+        requests = f"{total} requests" if total is not None else "unknown length"
+        print(
+            f"sweep: {len(capacities) * len(schemes)} point(s) x "
+            f"{requests} per point",
+            flush=True,
+        )
     sweep = run_capacity_sweep(
         trace, capacities, schemes=schemes, base_config=base_config,
         jobs=jobs, memo=memo, engine=args.engine,
@@ -551,6 +628,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
 
 def _load_or_generate(args: argparse.Namespace):
     if args.trace:
+        if args.trace_format == "packed" or args.trace.endswith(".rpct"):
+            from repro.trace.columnar_io import PackedTraceReader
+
+            return PackedTraceReader(args.trace)
         return read_trace(args.trace, fmt=args.trace_format)
     return workload_trace(args.scale, args.seed)
 
@@ -931,6 +1012,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     handlers = {
         "generate-trace": _cmd_generate_trace,
+        "pack-trace": _cmd_pack_trace,
         "simulate": _cmd_simulate,
         "experiment": _cmd_experiment,
         "sweep": _cmd_sweep,

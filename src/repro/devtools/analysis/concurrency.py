@@ -102,6 +102,7 @@ HOT_ROOTS: Tuple[str, ...] = (
     "repro.simulation.simulator:CooperativeSimulator.run",
     "repro.simulation.simulator:run_simulation",
     "repro.fastpath.engine:simulate_columnar",
+    "repro.fastpath.batch:simulate_batch",
 )
 
 #: Engine entry points that, together with worker roots, bound RPR132.
@@ -109,6 +110,7 @@ ENGINE_ROOTS: Tuple[str, ...] = (
     "repro.simulation.simulator:CooperativeSimulator.run",
     "repro.simulation.simulator:run_simulation",
     "repro.fastpath.engine:simulate_columnar",
+    "repro.fastpath.batch:simulate_batch",
     "repro.parallel.runner:ParallelSweepRunner.run",
 )
 

@@ -65,6 +65,7 @@ DEFAULT_ROOTS: Sequence[str] = (
     "repro.simulation.simulator:CooperativeSimulator.run",
     "repro.simulation.simulator:run_simulation",
     "repro.fastpath.engine:simulate_columnar",
+    "repro.fastpath.batch:simulate_batch",
     "repro.parallel.runner:ParallelSweepRunner.run",
     "repro.parallel.memo:SweepMemoStore.get",
     "repro.parallel.memo:SweepMemoStore.put",

@@ -87,7 +87,11 @@ def run_capacity_sweep(
     """Run {scheme} x {capacity} simulations over ``trace``.
 
     Args:
-        trace: Workload replayed identically into every point.
+        trace: Workload replayed identically into every point — a
+            :class:`Trace` or a streamed source (packed reader, synthetic
+            stream; see :mod:`repro.trace.stream`), the latter requiring
+            a chunked ``engine`` and keeping every point at O(chunk)
+            request memory.
         capacities: ``(label, aggregate_bytes)`` pairs.
         schemes: Placement schemes to compare.
         base_config: Template for everything except scheme and capacity

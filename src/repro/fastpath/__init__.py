@@ -167,7 +167,22 @@ def columnar_unsupported_reason(config: object) -> Optional[str]:
     return None
 
 
+def batch_unsupported_reason(config: object) -> Optional[str]:
+    """Why ``config`` cannot run on the batch engine, or None if it can.
+
+    The batch engine shares the columnar envelope *exactly*: any config
+    its vectorised fast loop does not cover replays on the chunked
+    columnar core inside :func:`repro.fastpath.batch.simulate_batch`
+    (byte-identically), so dispatch interprets the same
+    :data:`FALLBACK_MATRIX`. Whether a config takes the fast loop or the
+    columnar core is reported separately by
+    :func:`repro.fastpath.batch.batch_fastloop_reason`.
+    """
+    return columnar_unsupported_reason(config)
+
+
 from repro.fastpath.engine import simulate_columnar  # noqa: E402
+from repro.fastpath.batch import batch_fastloop_reason, simulate_batch  # noqa: E402
 from repro.fastpath.interning import InternedTrace  # noqa: E402
 from repro.fastpath.ringtracker import RingAgeTracker  # noqa: E402
 from repro.fastpath.structures import IntrusiveLRUList, LFUVictimHeap  # noqa: E402
@@ -180,6 +195,9 @@ __all__ = [
     "IntrusiveLRUList",
     "LFUVictimHeap",
     "RingAgeTracker",
+    "batch_fastloop_reason",
+    "batch_unsupported_reason",
     "columnar_unsupported_reason",
+    "simulate_batch",
     "simulate_columnar",
 ]

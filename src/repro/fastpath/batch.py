@@ -1,0 +1,1111 @@
+"""The batch replay engine: vectorised precompute + run-compressed loop.
+
+:func:`simulate_batch` (``engine="batch"``) replays the same protocol
+sequence as the object core and the columnar engine, but hoists every
+request-independent computation out of the per-request loop into
+whole-chunk batch precomputation:
+
+* **Leaf assignment, patched record sizes, Content-Length digit counts**
+  — per-request columns computed in one vectorised pass (numpy when
+  available, pure-Python list columns otherwise; see
+  :mod:`repro.fastpath.numeric`).
+* **Wire-length components** — the request-header byte count of a remote
+  fetch and the full origin request+response header bytes depend only on
+  the (doc, leaf) pair, so they are precomputed per request and summed by
+  outcome class after the loop.
+* **Flat slot addressing** — per-(cache, doc) state lives in single flat
+  arrays indexed ``slot = doc * num_caches + cache``, so the hit path
+  costs one index computation, no nested list hops.
+* **Lazy LRU** — recency is not a linked list but a per-cache min-heap
+  over ``(touch_index, slot)`` pairs plus a flat ``seq`` array holding
+  each resident copy's latest touch index (the global request index). A
+  hit refreshes recency with *one* array store; the heap is only
+  consulted at eviction time, where stale entries (``seq`` moved on) are
+  lazily re-pushed. The accepted victim is exactly the resident slot
+  with the minimum current touch index — the LRU list's victim — so
+  eviction order (and therefore every expiration age) is identical.
+* **Run-length segmentation** — consecutive requests for the same (doc,
+  leaf) pair cannot change any observable decision after the first one
+  resolves to a resident copy, so the stateful loop iterates *run starts*
+  only; members are accounted in the vectorised post-pass.
+* **First-occurrence / compulsory-miss masks (the cold regime)** — while
+  no cache has ever filled, every expiration age is ``inf``, EA placement
+  decisions are constants, every admission succeeds, and a request can
+  change cache state only if it is the *first occurrence of its (doc,
+  leaf) slot*. Those first occurrences are found vectorially (one stable
+  argsort per chunk, memoised for whole-trace replay), a split index is
+  computed where the regime provably ends (first admission that would
+  evict, reject, or trip the replica cap), and the prefix replays with a
+  Python loop over first occurrences *only* — local hits are pure
+  post-pass arithmetic. The general loop takes over at the split.
+* **Outcome post-pass** — the loop records one outcome byte per request
+  (0 local hit / 2 remote hit / 3 origin miss) plus the served size;
+  metrics, per-cache stats, bus counters, and the latency fold are then
+  computed from those columns in bulk. The ordered float latency
+  accumulation uses ``np.add.accumulate`` (a strict left fold), which is
+  bit-identical to the serial ``+=`` sequence.
+
+Byte identity with both existing engines is the contract: the
+differential matrix in ``tests/fastpath`` asserts equal ``to_json`` text
+across object/columnar/batch for every supported configuration and every
+chunking choice.
+
+The vectorised fast loop covers the paper's evaluation envelope —
+distributed architecture, LRU replacement, pure expiration-age windows
+(``count``/``cumulative``), no observer. Everything else inside the
+engine envelope (hierarchical escalation, LFU, time windows, an attached
+``RunRecorder``) replays on the chunked columnar core via
+:func:`repro.fastpath.engine.simulate_columnar`, which is already
+byte-identical — :func:`batch_fastloop_reason` reports which path a
+config takes. Configs outside the shared envelope raise, exactly like
+``simulate_columnar`` (``run_simulation`` falls back to the object core).
+"""
+
+from __future__ import annotations
+
+import math
+from heapq import heappop, heappush
+from typing import List, Optional
+
+from repro.cache.stats import CacheStats
+from repro.errors import SimulationError, TraceError
+from repro.fastpath import columnar_unsupported_reason
+from repro.fastpath.engine import _chunk_stream, simulate_columnar
+from repro.fastpath.interning import client_leaf_positions
+from repro.fastpath.numeric import load_numpy
+from repro.network.bus import MessageCounters
+from repro.network.latency import ComponentLatencyModel, ConstantLatencyModel
+from repro.network.topology import StarTopology
+from repro.protocol.http import format_expiration_age
+from repro.simulation.metrics import GroupMetrics, average_cache_expiration_age
+from repro.simulation.results import SimulationResult
+
+_INF = math.inf
+
+
+def batch_fastloop_reason(config, obs=None) -> Optional[str]:
+    """Why ``config`` replays on the chunked columnar core instead of the
+    batch fast loop, or None when the vectorised loop applies.
+
+    Purely informational (both paths are byte-identical); the run
+    manifest and ``repro analyze`` surface it so fast-loop coverage is
+    observable.
+    """
+    if obs is not None:
+        return "an attached observer requires the event-emitting columnar loop"
+    if config.architecture != "distributed":
+        return "hierarchical escalation replays on the columnar core"
+    if config.policy != "lru":
+        return "lfu victim accounting replays on the columnar core"
+    if config.window_mode not in ("count", "cumulative"):
+        return "time-window age reads have trim side effects; columnar core"
+    return None
+
+
+def simulate_batch(config, trace, obs=None, chunk_size: Optional[int] = None) -> SimulationResult:
+    """Replay ``trace`` under ``config`` on the batch engine.
+
+    Accepts the same sources as :func:`simulate_columnar`: a materialised
+    :class:`~repro.trace.record.Trace` or any streamed source exposing
+    ``interned_chunks(chunk_size)`` (packed columnar readers, chunked
+    synthetic generators); streamed sources replay with O(chunk) memory.
+    Raises :class:`SimulationError` for configs outside the shared
+    engine envelope — use ``run_simulation`` for transparent fallback.
+    """
+    reason = columnar_unsupported_reason(config)
+    if reason is not None:
+        raise SimulationError(f"config unsupported by the batch engine: {reason}")
+    if config.patch_size <= 0:
+        # Same guard (and message) patch_zero_sizes raises in the object path.
+        raise TraceError(f"patch_size must be positive, got {config.patch_size}")
+    if batch_fastloop_reason(config, obs) is not None:
+        # Envelope configs the fast loop does not vectorise replay on the
+        # chunked columnar core — byte-identical by its own contract.
+        return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
+    return _simulate_fast(config, trace, chunk_size)
+
+
+def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult:
+    """The vectorised fast loop (distributed + LRU + pure windows, no obs)."""
+    np = load_numpy()
+    patch = config.patch_size
+    partitioner = config.partitioner
+
+    # ---------------------------------------------------------------- #
+    # Topology, capacities, partitioning (mirrors simulate_columnar)
+    # ---------------------------------------------------------------- #
+    topology = StarTopology(config.num_caches)
+    num_caches = topology.num_caches
+    leaves = topology.leaves()
+    num_leaves = len(leaves)
+    rr_request = partitioner == "round-robin-request"
+    hash_partitioner = partitioner == "hash"
+    probe_targets = [tuple(topology.siblings_of(leaf)) for leaf in leaves]
+    num_targets = num_caches - 1
+
+    # Equal split, same arithmetic as build_caches with unit weights.
+    weights = [1.0] * num_caches
+    total_weight = sum(weights)
+    capacity = [int(config.aggregate_capacity * w / total_weight) for w in weights]
+    if any(share <= 0 for share in capacity):
+        raise SimulationError(
+            f"aggregate capacity {config.aggregate_capacity} too small for "
+            f"{num_caches} caches with shares {weights}"
+        )
+    cap = capacity[0]  # equal shares: one scalar serves every admit check
+
+    # "cacheN" Via-header lengths, matching build_caches' naming.
+    sender_len = [5 + len(str(i)) for i in range(num_caches)]
+
+    # ---------------------------------------------------------------- #
+    # Flat doc-major state: slot = doc * NC + cache. Growth per chunk is
+    # a pure extend — slot numbering never changes. ``seq[slot]`` is the
+    # global index of the request that last touched the copy; ``heaps[c]``
+    # orders candidates lazily (see the module docstring).
+    # ---------------------------------------------------------------- #
+    NC = num_caches
+    num_docs = 0
+    present_b = bytearray()
+    dsz: List[int] = []
+    lh: List[float] = []
+    seq: List[int] = []
+    heaps: List[list] = [[] for _ in range(NC)]
+    used = [0] * NC
+    copies = [0] * NC
+
+    # Inline expiration-age window state (same arithmetic sequence as
+    # RingAgeTracker / the object deque tracker, so sums are bit-equal).
+    count_mode = config.window_mode == "count"
+    W = config.window_size
+    ring: List[List[float]] = [[0.0] * (W if count_mode else 0) for _ in range(NC)]
+    rhead = [0] * NC
+    rcount = [0] * NC
+    rsum = [0.0] * NC
+    csum = [0.0] * NC
+    tot = [0] * NC
+    # Cached age value + formatted-age text length per cache; ages change
+    # only when an eviction records into the window, so reads are O(1).
+    cur_age = [_INF] * NC
+    age_len = [3] * NC  # len("inf")
+
+    # Per-doc protocol columns (engine-owned copies, grown per chunk).
+    url_len_l: List[int] = []
+    icp_l: List[int] = []
+    client_leaf: List[int] = []
+    if np is not None:
+        url_len_g = _NpGrow(np)
+        icp_g = _NpGrow(np)
+        client_leaf_g = _NpGrow(np)
+        first_size_g = _NpGrow(np)  # -1 until a doc's first request lands
+        leaves_np = np.array(leaves, dtype=np.intp)
+        sender_np = np.array(sender_len, dtype=np.int64)
+        pow10 = np.power(10, np.arange(1, 19, dtype=np.int64))
+    else:
+        url_len_g = icp_g = client_leaf_g = first_size_g = None
+        leaves_np = sender_np = pow10 = None
+
+    # Per-cache stats columns (CacheStats fields).
+    st_lookups = [0] * NC
+    st_local_hits = [0] * NC
+    st_local_misses = [0] * NC
+    st_remote_served = [0] * NC
+    st_admissions = [0] * NC
+    st_rejections = [0] * NC
+    st_evictions = [0] * NC
+    st_bytes_local = [0] * NC
+    st_bytes_remote = [0] * NC
+    st_bytes_admitted = [0] * NC
+    st_bytes_evicted = [0] * NC
+    st_declined = [0] * NC
+    st_promo_granted = [0] * NC
+    st_promo_withheld = [0] * NC
+
+    # Bus counters: [icp_q, icp_r, http_req, http_resp, icp_B, hdr_B, body_B]
+    bus = [0, 0, 0, 0, 0, 0, 0]
+    # Metrics: [requests, local, remote, miss, B_req, B_local, B_remote, B_miss]
+    met = [0, 0, 0, 0, 0, 0, 0, 0]
+    latency_sum = [0.0]
+
+    # ---------------------------------------------------------------- #
+    # Scheme / latency / strategy parameters
+    # ---------------------------------------------------------------- #
+    ea = config.scheme == "ea"
+    tie_requester = config.tie_break == "requester"
+    replica_cap = config.max_replica_fraction if ea else None
+    rc_on = replica_cap is not None
+    max_age_strategy = config.responder_strategy == "max_age"
+    constant_latency = config.latency == "constant"
+    if constant_latency:
+        model = ConstantLatencyModel()
+        lat_local = model.local_hit
+        lat_remote = model.remote_hit
+        lat_miss = model.miss
+        lan_bw = wan_bw = 1.0  # unused
+    else:
+        model = ComponentLatencyModel()
+        lat_local = model.local_service
+        lat_remote = model.icp_rtt + model.proxy_http_setup
+        lat_miss = model.icp_rtt + model.origin_http_setup
+        lan_bw = model.lan_bandwidth
+        wan_bw = model.wan_bandwidth
+    if np is not None:
+        # Outcome-code-indexed latency components (index 1 unused).
+        lat_lookup = np.array([lat_local, 0.0, lat_remote, lat_miss])
+    fmt_age = format_expiration_age
+    warmup = config.warmup_requests
+    sdig: dict = {}  # stored-size -> len(str(size)), bounded by doc count
+
+    # Rebound per chunk; miss_path reads them as free variables.
+    leaf_l: List[int] = []
+    rsz_l: List[int] = []
+    gbase = 0
+    out = bytearray()
+    served: List[int] = []
+    # Lean mode is only sound while *every* request so far matched its
+    # doc's first-seen size: one deviating chunk can leave a stored size
+    # that differs from the size column, so the flag latches off.
+    sizes_consistent = True
+
+    # Cold regime (see module docstring): sound while no eviction has ever
+    # happened anywhere, which this engine guarantees by construction — the
+    # flag latches off *before* the first request that could evict runs.
+    # EA with tie_break="responder" never stores on a remote hit, so seen
+    # slots would not all be resident; that shape replays on the loop.
+    cold = np is not None and (not ea or tie_requester)
+    first_min = []  # per doc: min leaf holding a copy (-1 until first seen)
+    # Deferred last-touch fixups from cold segments: (slots, touch indices,
+    # timestamps), applied only if the general loop (which reads lh/seq at
+    # evictions) ever takes over. ``seq`` is touch-monotone, so replaying
+    # fixups oldest-first under a ``g > seq[slot]`` guard commutes with any
+    # direct writes the cold loop already made (responder promotions).
+    pending: List[tuple] = []
+
+    def flush_pending() -> None:
+        for slots_p, gs_p, tss_p in pending:
+            for slot, g, t in zip(slots_p, gs_p, tss_p):
+                if g > seq[slot]:
+                    seq[slot] = g
+                    lh[slot] = t
+        pending.clear()
+
+    def miss_path(i: int, slot: int, now: float) -> None:
+        """Everything after a failed local lookup for request ``i``.
+
+        Mirrors the columnar engine's miss branch for the distributed
+        architecture: ICP probe scan, remote serve + placement decision,
+        or origin fetch + admission — with all outcome-classifiable
+        accounting (bus/metrics/latency) deferred to the post-pass via
+        ``out``/``served``.
+        """
+        cache = leaf_l[i]
+        base = slot - cache
+        # Probe scan in the engine's target order (ascending siblings).
+        responder = -1
+        if max_age_strategy:
+            best_age = 0.0
+            for t in probe_targets[cache]:
+                if present_b[base + t]:
+                    t_age = cur_age[t]
+                    if responder < 0 or t_age > best_age:
+                        responder = t
+                        best_age = t_age
+        else:  # "first": lowest holder index == first hit in ascending scan
+            for t in probe_targets[cache]:
+                if present_b[base + t]:
+                    responder = t
+                    break
+
+        if responder >= 0:
+            # Remote hit. Scheme decision reads requester then responder age.
+            req_age = cur_age[cache]
+            resp_age = cur_age[responder]
+            if ea:
+                if req_age > resp_age:
+                    store = True
+                elif req_age == resp_age:
+                    store = tie_requester
+                else:
+                    store = False
+                refresh = resp_age > req_age
+            else:
+                store = True
+                refresh = True
+            rslot = base + responder
+            size = dsz[rslot]
+            if rc_on and store and size > replica_cap * cap:
+                store = False
+                refresh = True
+            # Header bytes that need the responder / the live ages stay
+            # inline; the (doc, leaf)-only request-header base is summed in
+            # the post-pass from the precomputed column.
+            al = age_len[cache]
+            if al < 0:
+                al = len(fmt_age(req_age))
+                age_len[cache] = al
+            alr = age_len[responder]
+            if alr < 0:
+                alr = len(fmt_age(resp_age))
+                age_len[responder] = alr
+            sd = sdig.get(size)
+            if sd is None:
+                sd = len(str(size))
+                sdig[size] = sd
+            bus[5] += al + alr + 70 + sd + sender_len[responder]
+            # serve_remote at the responder.
+            st_remote_served[responder] += 1
+            st_bytes_remote[responder] += size
+            if refresh:
+                st_promo_granted[responder] += 1
+                lh[rslot] = now
+                seq[rslot] = gbase + i
+            else:
+                st_promo_withheld[responder] += 1
+            if store:
+                _admit(cache, slot, size, now, gbase + i)
+            else:
+                st_declined[cache] += 1
+            out[i] = 2
+            served[i] = size
+            return
+
+        # Group-wide miss: origin fetch, store at the requester. The
+        # engine's own-age decision read is side-effect-free in pure
+        # window modes, so only the admission remains.
+        size = rsz_l[i]
+        _admit(cache, slot, size, now, gbase + i)
+        out[i] = 3
+        served[i] = size
+
+    def _admit(cache: int, slot: int, size: int, now: float, g: int) -> None:
+        """Mirror of ProxyCache.admit for a non-resident doc.
+
+        The refresh branch is unreachable here (every caller just saw
+        ``present_b[slot] == 0``), and ``entry_time``/``hit_count`` are
+        dead state under LRU — both are elided.
+        """
+        if size > cap:
+            st_rejections[cache] += 1
+            return
+        in_use = used[cache]
+        if in_use + size > cap:
+            evicted = 0
+            ebytes = 0
+            rg = ring[cache]
+            heap_c = heaps[cache]
+            while in_use + size > cap:
+                s, victim = heap_c[0]
+                if not present_b[victim]:
+                    heappop(heap_c)  # evicted earlier; entry is dead
+                    continue
+                cur = seq[victim]
+                if cur != s:
+                    # Touched since pushed: reschedule at its live index.
+                    heappop(heap_c)
+                    heappush(heap_c, (cur, victim))
+                    continue
+                # Live minimum touch index == the LRU list's victim.
+                heappop(heap_c)
+                present_b[victim] = 0
+                vs = dsz[victim]
+                in_use -= vs
+                age = now - lh[victim]
+                # Window record: same +=/-= sequence as RingAgeTracker.
+                if count_mode:
+                    rsum[cache] += age
+                    wc = rcount[cache]
+                    h = rhead[cache]
+                    if wc == W:
+                        rsum[cache] -= rg[h]
+                        rg[h] = age
+                        rhead[cache] = h + 1 if h + 1 < W else 0
+                    else:
+                        rg[(h + wc) % W] = age
+                        rcount[cache] = wc + 1
+                else:
+                    tot[cache] += 1
+                    csum[cache] += age
+                evicted += 1
+                ebytes += vs
+            st_evictions[cache] += evicted
+            st_bytes_evicted[cache] += ebytes
+            copies[cache] -= evicted
+            # Refresh the cached age value; the text length lazily.
+            if count_mode:
+                wc = rcount[cache]
+                cur_age[cache] = rsum[cache] / wc if wc else _INF
+            else:
+                cur_age[cache] = csum[cache] / tot[cache]
+            age_len[cache] = -1
+        present_b[slot] = 1
+        dsz[slot] = size
+        lh[slot] = now
+        seq[slot] = g
+        heappush(heaps[cache], (g, slot))
+        used[cache] = in_use + size
+        st_admissions[cache] += 1
+        st_bytes_admitted[cache] += size
+        copies[cache] += 1
+
+    # ---------------------------------------------------------------- #
+    # Chunked replay
+    # ---------------------------------------------------------------- #
+    for chunk, cached_source in _chunk_stream(trace, chunk_size):
+        n = chunk.num_records
+        new_urls = chunk.new_urls
+        if new_urls:
+            add = len(new_urls)
+            num_docs += add
+            url_len_l.extend(chunk.new_url_lens)
+            icp_l.extend(chunk.new_icp_probe_bytes)
+            grown = add * NC
+            present_b.extend(bytes(grown))
+            dsz.extend([0] * grown)
+            lh.extend([0.0] * grown)
+            seq.extend([0] * grown)
+            first_min.extend([-1] * add)
+            if np is not None:
+                url_len_g.extend(np, chunk.new_url_lens)
+                icp_g.extend(np, chunk.new_icp_probe_bytes)
+                first_size_g.extend(np, np.full(add, -1, dtype=np.int64))
+        new_clients = chunk.new_client_names
+        if new_clients and not rr_request:
+            base_client = len(client_leaf)
+            if hash_partitioner:
+                fresh = [
+                    leaves[pos]
+                    for pos in client_leaf_positions(new_clients, num_leaves)
+                ]
+            else:  # round-robin-client: intern order == appearance order
+                fresh = [
+                    leaves[(base_client + k) % num_leaves]
+                    for k in range(len(new_clients))
+                ]
+            client_leaf.extend(fresh)
+            if np is not None:
+                client_leaf_g.extend(np, fresh)
+        if not n:
+            continue
+
+        # ------------------------------------------------------------ #
+        # Batch precompute: per-request columns + run segmentation.
+        # Memoised on the interned trace for whole-trace replay (sweeps
+        # re-replay the same trace at many capacities).
+        # ------------------------------------------------------------ #
+        memo_key = None
+        cols = None
+        if cached_source is not None:
+            memo_key = (
+                "batch_cols", np is not None, patch, partitioner,
+                tuple(leaves), NC,
+            )
+            cols = cached_source.derived_cache().get(memo_key)
+        if cols is None:
+            if np is not None:
+                cols = _columns_np(
+                    np, chunk, cached_source, patch, partitioner, leaves,
+                    leaves_np, sender_np, pow10, NC, num_leaves,
+                    client_leaf_g, url_len_g, icp_g, first_size_g,
+                )
+            else:
+                cols = _columns_py(
+                    chunk, cached_source, patch, partitioner, leaves,
+                    sender_len, NC, num_leaves, client_leaf, url_len_l, icp_l,
+                )
+            if memo_key is not None:
+                cached_source.derived_cache()[memo_key] = cols
+        (starts_l, sslots_l, sts_l, ends_l, leaf_l, rsz_l, post, cconst, npx) = cols
+        sizes_consistent = sizes_consistent and cconst
+        lean = sizes_consistent
+        ts_l = chunk.timestamps
+        gbase = chunk.base_records
+
+        out = bytearray(n)
+        served_np = None  # set by the cold path: first-size served column
+        tail_start = 0  # first request index the general loop replays
+
+        # ------------------------------------------------------------ #
+        # Cold-regime prefix: replay first-slot-occurrences only, up to
+        # the split where an admission would first evict/reject/decline.
+        # ------------------------------------------------------------ #
+        if cold:
+            docs_np, slots_np, ts_np, fsreq_np = npx
+            leaf_np = post[0]
+            grp = None
+            if cached_source is not None:
+                gkey = ("batch_grp", partitioner, tuple(leaves), NC)
+                grp = cached_source.derived_cache().get(gkey)
+            if grp is None:
+                order = np.argsort(slots_np, kind="stable")
+                ss = slots_np[order]
+                bnd = np.empty(n, dtype=bool)
+                bnd[0] = True
+                if n > 1:
+                    bnd[1:] = ss[1:] != ss[:-1]
+                gpos = np.flatnonzero(bnd)
+                gend = np.empty(len(gpos), dtype=np.intp)
+                gend[:-1] = gpos[1:]
+                gend[-1] = n
+                # Stable sort keeps each group's original indices ascending,
+                # so group boundaries give first/last occurrence directly.
+                grp = (ss[gpos], order[gpos], order[gend - 1])
+                if cached_source is not None:
+                    cached_source.derived_cache()[gkey] = grp
+            grp_slot, grp_first, grp_last = grp
+            # Cold invariant: a slot was seen before iff it is resident.
+            # (No reference to the frombuffer view may outlive this
+            # statement — present_b.extend() would raise BufferError.)
+            new_g = np.frombuffer(present_b, dtype=np.uint8)[grp_slot] == 0
+            ev_ord = np.argsort(grp_first[new_g])
+            ev_idx = grp_first[new_g][ev_ord]
+            ev_slot = grp_slot[new_g][ev_ord]
+            ev_doc = docs_np[ev_idx]
+            ev_size = fsreq_np[ev_idx]  # admitted size is always the first size
+            ev_leaf = leaf_np[ev_idx]
+            split = n
+            bad = ev_size > cap
+            if rc_on:
+                bad = bad | (ev_size > replica_cap * cap)
+            if bool(bad.any()):
+                split = int(ev_idx[int(np.argmax(bad))])
+            for c in range(NC):
+                cm = ev_leaf == c
+                cs = np.cumsum(ev_size[cm])
+                k = int(np.searchsorted(cs, cap - used[c], side="right"))
+                if k < len(cs):
+                    oidx = int(ev_idx[cm][k])
+                    if oidx < split:
+                        split = oidx
+            if split:
+                ecount = int(np.searchsorted(ev_idx, split))
+                for idx, slot, cache, size, t, doc in zip(
+                    ev_idx[:ecount].tolist(),
+                    ev_slot[:ecount].tolist(),
+                    ev_leaf[:ecount].tolist(),
+                    ev_size[:ecount].tolist(),
+                    ts_np[ev_idx[:ecount]].tolist(),
+                    ev_doc[:ecount].tolist(),
+                ):
+                    g = gbase + idx
+                    fm = first_min[doc]
+                    if fm < 0:
+                        # Compulsory miss: no copy exists anywhere yet.
+                        out[idx] = 3
+                        first_min[doc] = cache
+                    else:
+                        # Remote hit; the ascending probe scan under
+                        # all-inf ages picks the minimum holding sibling.
+                        sd = sdig.get(size)
+                        if sd is None:
+                            sd = len(str(size))
+                            sdig[size] = sd
+                        bus[5] += 76 + sd + sender_len[fm]
+                        st_remote_served[fm] += 1
+                        st_bytes_remote[fm] += size
+                        if ea:
+                            # Equal (inf) ages: refresh never granted.
+                            st_promo_withheld[fm] += 1
+                        else:
+                            st_promo_granted[fm] += 1
+                            rslot = slot - cache + fm
+                            lh[rslot] = t
+                            seq[rslot] = g
+                        out[idx] = 2
+                        if cache < fm:
+                            first_min[doc] = cache
+                    present_b[slot] = 1
+                    dsz[slot] = size
+                    lh[slot] = t
+                    seq[slot] = g
+                    heappush(heaps[cache], (g, slot))
+                    used[cache] += size
+                    st_admissions[cache] += 1
+                    st_bytes_admitted[cache] += size
+                    copies[cache] += 1
+                served_np = fsreq_np  # never mutated: may be memo-shared
+                if split == n:
+                    tail_start = n
+                    pending.append((
+                        grp_slot.tolist(),
+                        (grp_last + gbase).tolist(),
+                        ts_np[grp_last].tolist(),
+                    ))
+                else:
+                    tail_start = split
+                    sl_p = slots_np[:split]
+                    order_p = np.argsort(sl_p, kind="stable")
+                    ssp = sl_p[order_p]
+                    bnd = np.empty(split, dtype=bool)
+                    bnd[0] = True
+                    if split > 1:
+                        bnd[1:] = ssp[1:] != ssp[:-1]
+                    gpos = np.flatnonzero(bnd)
+                    gend = np.empty(len(gpos), dtype=np.intp)
+                    gend[:-1] = gpos[1:]
+                    gend[-1] = split
+                    p_last = order_p[gend - 1]
+                    pending.append((
+                        ssp[gpos].tolist(),
+                        (p_last + gbase).tolist(),
+                        ts_np[p_last].tolist(),
+                    ))
+            if split < n:
+                # The next admission can evict: ages stop being inf, so
+                # the regime is over for good. The general loop needs the
+                # exact last-touch state, so apply the deferred fixups.
+                flush_pending()
+                cold = False
+                if split:
+                    # Rebuild run segmentation for the tail only. A run
+                    # straddling the split re-enters as a fresh run start,
+                    # which the loop handles identically.
+                    tn = n - split
+                    tkeep = np.empty(tn, dtype=bool)
+                    tkeep[0] = True
+                    if tn > 1:
+                        tkeep[1:] = slots_np[split + 1 :] != slots_np[split:-1]
+                    tstarts = np.flatnonzero(tkeep) + split
+                    starts_l = tstarts.tolist()
+                    ends_l = starts_l[1:]
+                    ends_l.append(n)
+                    sslots_l = slots_np[tstarts].tolist()
+                    sts_l = ts_np[tstarts].tolist()
+
+        # The served column is only materialised as a list when the
+        # stateful loop (whose miss path records into it) actually runs.
+        served = [0] * n if (np is None or tail_start < n) else []
+
+        # ------------------------------------------------------------ #
+        # The stateful loop: run starts only. A run whose first request
+        # leaves the doc resident collapses — members are local hits
+        # whose only state effect is the final touch index and last-hit.
+        # In lean mode (every doc's patched size is constant across the
+        # trace so far, verified vectorially) the served size of *any*
+        # outcome equals the precomputed size column, so the hit path is
+        # just the two recency stores.
+        # ------------------------------------------------------------ #
+        if tail_start >= n:
+            pass  # fully cold chunk: no stateful loop at all
+        elif lean:
+            for i, slot, now, e in zip(starts_l, sslots_l, sts_l, ends_l):
+                if present_b[slot]:
+                    if e - i > 1:
+                        lh[slot] = ts_l[e - 1]
+                        seq[slot] = gbase + e - 1
+                    else:
+                        lh[slot] = now
+                        seq[slot] = gbase + i
+                    continue
+                miss_path(i, slot, now)
+                if e - i > 1:
+                    if present_b[slot]:
+                        lh[slot] = ts_l[e - 1]
+                        seq[slot] = gbase + e - 1
+                    else:
+                        j = i + 1
+                        while j < e:
+                            if present_b[slot]:
+                                lh[slot] = ts_l[e - 1]
+                                seq[slot] = gbase + e - 1
+                                break
+                            miss_path(j, slot, ts_l[j])
+                            j += 1
+        else:
+            for i, slot, now, e in zip(starts_l, sslots_l, sts_l, ends_l):
+                if present_b[slot]:
+                    sz = dsz[slot]
+                    served[i] = sz
+                    lh[slot] = now
+                    seq[slot] = gbase + i
+                    if e - i > 1:
+                        lh[slot] = ts_l[e - 1]
+                        seq[slot] = gbase + e - 1
+                        served[i + 1 : e] = [sz] * (e - i - 1)
+                    continue
+                miss_path(i, slot, now)
+                if e - i > 1:
+                    if present_b[slot]:
+                        # Stored: the rest of the run collapses to local hits.
+                        sz = dsz[slot]
+                        lh[slot] = ts_l[e - 1]
+                        seq[slot] = gbase + e - 1
+                        served[i + 1 : e] = [sz] * (e - i - 1)
+                    else:
+                        # Rejected/declined: each member re-misses until one
+                        # admission sticks, then the tail collapses.
+                        j = i + 1
+                        while j < e:
+                            if present_b[slot]:
+                                sz = dsz[slot]
+                                served[j] = sz
+                                lh[slot] = ts_l[j]
+                                seq[slot] = gbase + j
+                                if e - j > 1:
+                                    lh[slot] = ts_l[e - 1]
+                                    seq[slot] = gbase + e - 1
+                                    served[j + 1 : e] = [sz] * (e - j - 1)
+                                break
+                            miss_path(j, slot, ts_l[j])
+                            j += 1
+
+        # ------------------------------------------------------------ #
+        # Outcome post-pass: bus, per-cache stats, metrics, latency.
+        # ------------------------------------------------------------ #
+        base_records = gbase
+        w_start = warmup - base_records
+        if w_start < 0:
+            w_start = 0
+        elif w_start > n:
+            w_start = n
+        if np is not None:
+            leaf_np, icp_req_np, remote_base_np, origin_hdr_np, rsz_np = post
+            out_np = np.frombuffer(out, dtype=np.uint8)
+            if served_np is None:
+                served_np = rsz_np if lean else np.array(served, dtype=np.int64)
+            elif not lean and tail_start < n:
+                # Cold prefix served from the first-size column; the full
+                # loop recorded the tail explicitly. Copy before patching:
+                # the column may be memo-shared across runs.
+                served_np = served_np.copy()
+                served_np[tail_start:] = np.array(
+                    served[tail_start:], dtype=np.int64
+                )
+            nonlocal_mask = out_np != 0
+            nl = int(nonlocal_mask.sum())
+            if nl:
+                remote_mask = out_np == 2
+                miss_mask = out_np == 3
+                bus[0] += num_targets * nl
+                bus[1] += num_targets * nl
+                bus[2] += nl
+                bus[3] += nl
+                bus[4] += num_targets * int(icp_req_np[nonlocal_mask].sum())
+                bus[5] += int(remote_base_np[remote_mask].sum())
+                bus[5] += int(origin_hdr_np[miss_mask].sum())
+                bus[6] += int(served_np[nonlocal_mask].sum())
+            local_mask = out_np == 0
+            lookup_counts = np.bincount(leaf_np, minlength=NC)
+            hit_counts = np.bincount(leaf_np[local_mask], minlength=NC)
+            leaf_loc = leaf_np[local_mask]
+            srv_loc = served_np[local_mask]
+            for c in range(NC):
+                st_lookups[c] += int(lookup_counts[c])
+                hits_c = int(hit_counts[c])
+                st_local_hits[c] += hits_c
+                st_local_misses[c] += int(lookup_counts[c]) - hits_c
+                st_bytes_local[c] += int(srv_loc[leaf_loc == c].sum())
+            m = n - w_start
+            if m:
+                outm = out_np[w_start:]
+                srvm = served_np[w_start:]
+                loc_m = outm == 0
+                rem_m = outm == 2
+                mis_m = outm == 3
+                met[0] += m
+                met[1] += int(loc_m.sum())
+                met[2] += int(rem_m.sum())
+                met[3] += int(mis_m.sum())
+                met[4] += int(srvm.sum())
+                met[5] += int(srvm[loc_m].sum())
+                met[6] += int(srvm[rem_m].sum())
+                met[7] += int(srvm[mis_m].sum())
+                vals = lat_lookup[outm]
+                if not constant_latency:
+                    srvf = srvm.astype(np.float64)
+                    add_term = srvf / np.where(rem_m, lan_bw, wan_bw)
+                    vals = np.where(loc_m, vals, vals + add_term)
+                fold = np.empty(m + 1, dtype=np.float64)
+                fold[0] = latency_sum[0]
+                fold[1:] = vals
+                np.add.accumulate(fold, out=fold)
+                latency_sum[0] = float(fold[m])
+        else:
+            icp_req_l, remote_base_l, origin_hdr_l = post
+            _post_py(
+                n, out, served, leaf_l, icp_req_l, remote_base_l, origin_hdr_l,
+                w_start, num_targets, constant_latency,
+                lat_local, lat_remote, lat_miss, lan_bw, wan_bw,
+                bus, met, latency_sum,
+                st_lookups, st_local_hits, st_local_misses, st_bytes_local,
+            )
+
+    # ---------------------------------------------------------------- #
+    # Result assembly (object-core dataclasses; identical serialisation)
+    # ---------------------------------------------------------------- #
+    metrics = GroupMetrics(
+        requests=met[0],
+        local_hits=met[1],
+        remote_hits=met[2],
+        misses=met[3],
+        bytes_requested=met[4],
+        bytes_local_hit=met[5],
+        bytes_remote_hit=met[6],
+        bytes_miss=met[7],
+        total_measured_latency=latency_sum[0],
+    )
+    counters = MessageCounters(
+        icp_queries=bus[0],
+        icp_replies=bus[1],
+        http_requests=bus[2],
+        http_responses=bus[3],
+        icp_bytes=bus[4],
+        http_header_bytes=bus[5],
+        http_body_bytes=bus[6],
+    )
+    cache_stats = [
+        CacheStats(
+            lookups=st_lookups[c],
+            local_hits=st_local_hits[c],
+            local_misses=st_local_misses[c],
+            remote_hits_served=st_remote_served[c],
+            admissions=st_admissions[c],
+            rejections=st_rejections[c],
+            evictions=st_evictions[c],
+            bytes_served_local=st_bytes_local[c],
+            bytes_served_remote=st_bytes_remote[c],
+            bytes_admitted=st_bytes_admitted[c],
+            bytes_evicted=st_bytes_evicted[c],
+            placements_declined=st_declined[c],
+            promotions_granted=st_promo_granted[c],
+            promotions_withheld=st_promo_withheld[c],
+        )
+        for c in range(NC)
+    ]
+    if count_mode:
+        ages = [rsum[c] / rcount[c] if rcount[c] else _INF for c in range(NC)]
+    else:
+        ages = [csum[c] / tot[c] if tot[c] else _INF for c in range(NC)]
+    if np is not None and num_docs:
+        held = np.frombuffer(present_b, dtype=np.uint8)
+        unique_documents = int((held.reshape(num_docs, NC) != 0).any(axis=1).sum())
+    else:
+        unique_documents = sum(
+            1 for d in range(num_docs)
+            if any(present_b[d * NC : (d + 1) * NC])
+        )
+    total_copies = sum(copies)
+    replication = total_copies / unique_documents if unique_documents else 0.0
+    return SimulationResult(
+        config=config.to_dict(),
+        metrics=metrics,
+        message_counters=counters,
+        cache_stats=cache_stats,
+        expiration_ages=ages,
+        avg_cache_expiration_age=average_cache_expiration_age(ages),
+        unique_documents=unique_documents,
+        total_copies=total_copies,
+        replication_factor=replication,
+        estimated_latency=metrics.estimated_latency(),
+        manifest=None,
+    )
+
+
+class _NpGrow:
+    """Amortised-growth int64 numpy column (per-doc/per-client arrays).
+
+    Streamed replay extends per-doc columns every chunk; rebuilding a
+    numpy array from the python list each time would be O(docs x chunks).
+    This doubles capacity instead, so total copy work is O(docs).
+    """
+
+    __slots__ = ("buf", "used")
+
+    def __init__(self, np):
+        self.buf = np.empty(1024, dtype=np.int64)
+        self.used = 0
+
+    def extend(self, np, values) -> None:
+        need = self.used + len(values)
+        capacity = len(self.buf)
+        if need > capacity:
+            while capacity < need:
+                capacity *= 2
+            grown = np.empty(capacity, dtype=np.int64)
+            grown[: self.used] = self.buf[: self.used]
+            self.buf = grown
+        self.buf[self.used : need] = values
+        self.used = need
+
+    def view(self):
+        return self.buf[: self.used]
+
+
+def _columns_np(
+    np, chunk, cached_source, patch, partitioner, leaves,
+    leaves_np, sender_np, pow10, NC, num_leaves,
+    client_leaf_g, url_len_g, icp_g, first_size_g,
+):
+    """Vectorised per-chunk columns + run segmentation (numpy path)."""
+    n = chunk.num_records
+    docs_np = np.array(chunk.doc_ids, dtype=np.intp)
+    ts_np = np.array(chunk.timestamps, dtype=np.float64)
+    if cached_source is not None:
+        leaf_l = cached_source.leaf_column(partitioner, leaves)
+        leaf_np = np.array(leaf_l, dtype=np.intp)
+        rsz_l = cached_source.record_sizes(patch)
+        rsz_np = np.array(rsz_l, dtype=np.int64)
+    else:
+        if partitioner == "round-robin-request":
+            base = chunk.base_records
+            leaf_np = leaves_np[
+                np.arange(base, base + n, dtype=np.intp) % num_leaves
+            ]
+        else:
+            leaf_np = client_leaf_g.view()[
+                np.array(chunk.clients, dtype=np.intp)
+            ].astype(np.intp)
+        leaf_l = leaf_np.tolist()
+        sz_np = np.array(chunk.sizes, dtype=np.int64)
+        if bool((sz_np == 0).any()):
+            rsz_np = np.where(sz_np == 0, patch, sz_np)
+        else:
+            rsz_np = sz_np
+        rsz_l = rsz_np.tolist()
+    digits_np = np.searchsorted(pow10, rsz_np, side="right") + 1
+    remote_base_np = url_len_g.view()[docs_np] + sender_np[leaf_np] + 50
+    origin_hdr_np = remote_base_np + 24 + digits_np
+    icp_req_np = icp_g.view()[docs_np]
+    # Lean-mode eligibility: every doc's patched size constant so far.
+    # First-occurrence assignment: reversed fancy indexing makes the
+    # earliest duplicate win; docs seen in prior chunks keep their value.
+    fs = first_size_g.view()
+    known = fs[docs_np]
+    unseen = known < 0
+    if bool(unseen.any()):
+        fs[docs_np[unseen][::-1]] = rsz_np[unseen][::-1]
+        known = fs[docs_np]
+    lean = bool((known == rsz_np).all())
+    slots_np = docs_np * NC + leaf_np
+    keep = np.empty(n, dtype=bool)
+    keep[0] = True
+    if n > 1:
+        keep[1:] = slots_np[1:] != slots_np[:-1]
+    starts_np = np.flatnonzero(keep)
+    starts_l = starts_np.tolist()
+    ends_l = starts_l[1:]
+    ends_l.append(n)
+    sslots_l = slots_np[starts_np].tolist()
+    sts_l = ts_np[starts_np].tolist()
+    post = (leaf_np, icp_req_np, remote_base_np, origin_hdr_np, rsz_np)
+    # ``known`` is the per-request first-seen-size column — the size any
+    # resident copy of the doc holds while the cold regime lasts.
+    npx = (docs_np, slots_np, ts_np, known)
+    return (starts_l, sslots_l, sts_l, ends_l, leaf_l, rsz_l, post, lean, npx)
+
+
+def _columns_py(
+    chunk, cached_source, patch, partitioner, leaves,
+    sender_len, NC, num_leaves, client_leaf, url_len_l, icp_l,
+):
+    """Pure-Python per-chunk columns (numpy absent / REPRO_NO_NUMPY)."""
+    n = chunk.num_records
+    docs = chunk.doc_ids
+    ts_l = chunk.timestamps
+    if cached_source is not None:
+        leaf_l = cached_source.leaf_column(partitioner, leaves)
+        rsz_l = cached_source.record_sizes(patch)
+        digits_l = cached_source.size_digits(patch)
+    else:
+        if partitioner == "round-robin-request":
+            base = chunk.base_records
+            leaf_l = [leaves[(base + k) % num_leaves] for k in range(n)]
+        else:
+            leaf_l = [client_leaf[client] for client in chunk.clients]
+        sizes = chunk.sizes
+        if 0 in sizes:
+            rsz_l = [patch if size == 0 else size for size in sizes]
+        else:
+            rsz_l = sizes
+        digits_l = [len(str(size)) for size in rsz_l]
+    remote_base_l = [
+        url_len_l[doc] + sender_len[leaf] + 50
+        for doc, leaf in zip(docs, leaf_l)
+    ]
+    origin_hdr_l = [
+        rb + 24 + dg for rb, dg in zip(remote_base_l, digits_l)
+    ]
+    icp_req_l = [icp_l[doc] for doc in docs]
+    slots_l = [doc * NC + leaf for doc, leaf in zip(docs, leaf_l)]
+    starts_l = []
+    sslots_l = []
+    sts_l = []
+    prev = -1
+    for idx, slot in enumerate(slots_l):
+        if slot != prev:
+            starts_l.append(idx)
+            sslots_l.append(slot)
+            sts_l.append(ts_l[idx])
+            prev = slot
+    ends_l = starts_l[1:]
+    ends_l.append(n)
+    post = (icp_req_l, remote_base_l, origin_hdr_l)
+    # The serial fallback always replays the full loop (explicit served
+    # column); lean/cold modes are numpy-path specialisations only.
+    return (starts_l, sslots_l, sts_l, ends_l, leaf_l, rsz_l, post, False, None)
+
+
+def _post_py(
+    n, out, served, leaf_l, icp_req_l, remote_base_l, origin_hdr_l,
+    w_start, num_targets, constant_latency,
+    lat_local, lat_remote, lat_miss, lan_bw, wan_bw,
+    bus, met, latency_sum,
+    st_lookups, st_local_hits, st_local_misses, st_bytes_local,
+):
+    """Serial outcome post-pass (fallback path); same fold order as the
+    columnar engine's inline accounting, so floats are bit-equal."""
+    lat = latency_sum[0]
+    nl = 0
+    bus4 = 0
+    bus5 = 0
+    bus6 = 0
+    m0 = m1 = m2 = m3 = m4 = m5 = m6 = m7 = 0
+    for i in range(n):
+        o = out[i]
+        c = leaf_l[i]
+        s = served[i]
+        st_lookups[c] += 1
+        if o == 0:
+            st_local_hits[c] += 1
+            st_bytes_local[c] += s
+        else:
+            st_local_misses[c] += 1
+            nl += 1
+            bus4 += icp_req_l[i]
+            bus5 += remote_base_l[i] if o == 2 else origin_hdr_l[i]
+            bus6 += s
+        if i >= w_start:
+            m0 += 1
+            m4 += s
+            if o == 0:
+                lat += lat_local
+                m1 += 1
+                m5 += s
+            elif o == 2:
+                if constant_latency:
+                    lat += lat_remote
+                else:
+                    lat += lat_remote + s / lan_bw
+                m2 += 1
+                m6 += s
+            else:
+                if constant_latency:
+                    lat += lat_miss
+                else:
+                    lat += lat_miss + s / wan_bw
+                m3 += 1
+                m7 += s
+    bus[0] += num_targets * nl
+    bus[1] += num_targets * nl
+    bus[2] += nl
+    bus[3] += nl
+    bus[4] += num_targets * bus4
+    bus[5] += bus5
+    bus[6] += bus6
+    met[0] += m0
+    met[1] += m1
+    met[2] += m2
+    met[3] += m3
+    met[4] += m4
+    met[5] += m5
+    met[6] += m6
+    met[7] += m7
+    latency_sum[0] = lat

@@ -8,6 +8,13 @@ array-backed intrusive LRU list or lazy LFU heap for victim order, and a
 ring-buffer expiration-age tracker per cache. The replay loop performs no
 per-request allocation (lint rule RPR009 enforces this statically).
 
+Traces replay either whole (the classic path, using the per-trace memoised
+columns) or as a stream of :class:`repro.fastpath.interning.InternedChunk`
+slices with O(chunk) memory: every per-doc state array grows by exactly
+the chunk's intern-table delta before its requests replay, so chunked and
+whole-trace replay are byte-identical for any chunk size (the chunking
+differential tests assert this, events included).
+
 Byte identity with the object core is the contract, not an aspiration:
 
 * Every expiration-age *read* the object core performs is mirrored here in
@@ -31,12 +38,12 @@ it and falls back to the object engine.
 
 from __future__ import annotations
 
-import hashlib
-from typing import List, Optional
+from typing import Iterator, List, Optional, Tuple
 
 from repro.cache.stats import CacheStats
 from repro.errors import SimulationError, TraceError
 from repro.fastpath import columnar_unsupported_reason
+from repro.fastpath.interning import InternedChunk, client_leaf_positions
 from repro.fastpath.ringtracker import RingAgeTracker
 from repro.fastpath.structures import IntrusiveLRUList, LFUVictimHeap
 from repro.network.bus import MessageCounters
@@ -47,36 +54,50 @@ from repro.simulation.metrics import GroupMetrics, average_cache_expiration_age
 from repro.simulation.results import SimulationResult
 from repro.trace.record import Trace
 
+#: Requests per chunk when replaying a streamed source that does not name
+#: a chunk size. Large enough to amortise per-chunk column building,
+#: small enough that the resident columns stay tens of megabytes.
+DEFAULT_CHUNK_SIZE = 1 << 18
 
-def _leaf_column(config, interned, leaves: List[int]) -> List[int]:
-    """Cache index (not leaf position) receiving each request, in order.
 
-    Reproduces the three partitioners over interned client ids: the hash
-    partitioner's MD5 is computed once per distinct client; round-robin by
-    client is first-appearance order — exactly the intern order — modulo
-    the leaf count; round-robin by request is the record index.
+def _chunk_stream(trace, chunk_size: Optional[int]) -> Iterator[Tuple]:
+    """Yield ``(chunk, cached_source)`` pairs for the replay loop.
+
+    ``cached_source`` is the backing :class:`InternedTrace` when the chunk
+    covers a whole materialised trace — the engine then uses the per-trace
+    memoised columns (record sizes, digits, leaf assignment) instead of
+    recomputing them. Streamed sources (anything exposing
+    ``interned_chunks(chunk_size)``) and genuinely chunked traces yield
+    ``None`` and the engine derives per-chunk columns from the intern
+    deltas.
     """
-    num_leaves = len(leaves)
-    if config.partitioner == "round-robin-request":
-        return [leaves[i % num_leaves] for i in range(interned.num_records)]
-    if config.partitioner == "hash":
-        client_leaf = [
-            leaves[
-                int.from_bytes(
-                    hashlib.md5(name.encode("utf-8")).digest()[:8], "big"
-                )
-                % num_leaves
-            ]
-            for name in interned.client_names
-        ]
-    else:  # round-robin-client: intern order == first-appearance order
-        client_leaf = [
-            leaves[client % num_leaves] for client in range(interned.num_clients)
-        ]
-    return [client_leaf[client] for client in interned.clients]
+    if isinstance(trace, Trace):
+        interned = trace.interned()
+        if chunk_size is None or chunk_size >= max(interned.num_records, 1):
+            whole = InternedChunk(
+                doc_ids=interned.doc_ids,
+                sizes=interned.sizes,
+                timestamps=interned.timestamps,
+                clients=interned.clients,
+                new_urls=interned.urls,
+                new_client_names=interned.client_names,
+                base_docs=0,
+                base_clients=0,
+                base_records=0,
+            )
+            # Share the per-doc protocol columns already computed at intern
+            # time instead of re-deriving them from the URL strings.
+            whole._new_url_lens = interned.url_lens
+            whole._new_icp_probe_bytes = interned.icp_probe_bytes
+            return iter(((whole, interned),))
+        return ((chunk, None) for chunk in interned.chunks(chunk_size))
+    size = chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE
+    return ((chunk, None) for chunk in trace.interned_chunks(size))
 
 
-def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
+def simulate_columnar(
+    config, trace, obs=None, chunk_size: Optional[int] = None
+) -> SimulationResult:
     """Replay ``trace`` under ``config`` on the columnar engine.
 
     Raises :class:`SimulationError` when the config is outside the
@@ -85,12 +106,20 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
     fallback.
 
     Args:
+        trace: A :class:`~repro.trace.record.Trace`, or any streamed
+            source exposing ``interned_chunks(chunk_size)`` (packed
+            columnar readers, chunked synthetic generators). Streamed
+            sources replay with O(chunk) memory.
         obs: Optional :class:`repro.obs.events.RunRecorder`. Emission
             points mirror the object core exactly — same events, same
             order, same scalar payloads — so both engines produce
             byte-identical ``repro-events/1`` streams (enforced by the
             differential tests in ``tests/obs``). ``None`` keeps the loop
             on its zero-overhead path (one hoisted bool guard per branch).
+        chunk_size: Replay the trace in interned chunks of this many
+            requests. ``None`` replays a materialised trace whole (and a
+            streamed source in :data:`DEFAULT_CHUNK_SIZE` chunks). Results
+            and event streams are byte-identical for every choice.
     """
     reason = columnar_unsupported_reason(config)
     if reason is not None:
@@ -98,16 +127,8 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
     if config.patch_size <= 0:
         # Same guard (and message) patch_zero_sizes raises in the object path.
         raise TraceError(f"patch_size must be positive, got {config.patch_size}")
-
-    interned = trace.interned()
-    num_docs = interned.num_docs
-    if interned.has_zero_sizes:
-        patch = config.patch_size
-        record_sizes = [patch if size == 0 else size for size in interned.sizes]
-    else:
-        record_sizes = interned.sizes
-    # Content-Length digit counts for origin responses, one per request.
-    size_digits = [len(str(size)) for size in record_sizes]
+    patch = config.patch_size
+    partitioner = config.partitioner
 
     # ---------------------------------------------------------------- #
     # Topology, capacities, partitioning
@@ -119,6 +140,9 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
         topology = StarTopology(config.num_caches)
     num_caches = topology.num_caches
     leaves = topology.leaves()
+    num_leaves = len(leaves)
+    rr_request = partitioner == "round-robin-request"
+    hash_partitioner = partitioner == "hash"
     parent = [topology.parent_of(i) for i in range(num_caches)]
     probe_targets: List[tuple] = [() for _ in range(num_caches)]
     for leaf in leaves:
@@ -137,25 +161,25 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
             f"{num_caches} caches with shares {weights}"
         )
 
-    leaf_column = _leaf_column(config, interned, leaves)
     # "cacheN" Via-header lengths, matching build_caches' naming.
     sender_len = [5 + len(str(i)) for i in range(num_caches)]
 
     # ---------------------------------------------------------------- #
-    # Per-cache columnar state
+    # Per-cache columnar state — empty, grown by each chunk's intern delta
     # ---------------------------------------------------------------- #
+    num_docs = 0
     lru_kind = config.policy == "lru"
-    present = [bytearray(num_docs) for _ in range(num_caches)]
-    doc_size = [[0] * num_docs for _ in range(num_caches)]
-    entry_time = [[0.0] * num_docs for _ in range(num_caches)]
-    last_hit = [[0.0] * num_docs for _ in range(num_caches)]
-    hit_count = [[0] * num_docs for _ in range(num_caches)]
+    present = [bytearray() for _ in range(num_caches)]
+    doc_size: List[List[int]] = [[] for _ in range(num_caches)]
+    entry_time: List[List[float]] = [[] for _ in range(num_caches)]
+    last_hit: List[List[float]] = [[] for _ in range(num_caches)]
+    hit_count: List[List[int]] = [[] for _ in range(num_caches)]
     used = [0] * num_caches
     copies = [0] * num_caches
     if lru_kind:
-        order: List = [IntrusiveLRUList(num_docs) for _ in range(num_caches)]
+        order: List = [IntrusiveLRUList(0) for _ in range(num_caches)]
     else:
-        order = [LFUVictimHeap(num_docs) for _ in range(num_caches)]
+        order = [LFUVictimHeap(0) for _ in range(num_caches)]
     trackers = [
         RingAgeTracker(
             kind="lru" if lru_kind else "lfu",
@@ -167,6 +191,13 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
     ]
     age_of = [tracker.cache_expiration_age for tracker in trackers]
     record_age = [tracker.record for tracker in trackers]
+
+    # Per-doc protocol columns and per-client leaf assignment, grown with
+    # the intern tables (engine-owned copies; chunk deltas append here).
+    url_len: List[int] = []
+    icp_pair: List[int] = []
+    url_of: List[str] = []
+    client_leaf: List[int] = []
 
     # Per-cache stats columns (CacheStats fields).
     st_lookups = [0] * num_caches
@@ -212,8 +243,6 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
         lan_bw = model.lan_bandwidth
         wan_bw = model.wan_bandwidth
     fmt_age = format_expiration_age
-    url_len = interned.url_lens
-    icp_pair = interned.icp_probe_bytes
     warmup = config.warmup_requests
 
     # ---------------------------------------------------------------- #
@@ -221,7 +250,6 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
     # ---------------------------------------------------------------- #
     rec = obs
     emit = rec is not None
-    url_of = interned.urls
     probe_hit_hops = 1 if hierarchical else 0
     kind_local = "local_hit"
     kind_remote = "remote_hit"
@@ -385,208 +413,264 @@ def simulate_columnar(config, trace: Trace, obs=None) -> SimulationResult:
         return size, found_at, node_age, hops
 
     # ---------------------------------------------------------------- #
-    # Replay loop — zero allocation per request
+    # Chunked replay — state grows per intern delta, then the zero-
+    # allocation request loop runs over the chunk's columns
     # ---------------------------------------------------------------- #
     processed = 0
-    for cache, doc, now, record_size, digits in zip(
-        leaf_column, interned.doc_ids, interned.timestamps, record_sizes, size_digits
-    ):
-        if emit:
-            rec.maybe_snapshot(now, _snapshot_rows)
-        st_lookups[cache] += 1
-        held = present[cache]
-        if held[doc]:
-            # Local hit: record_hit + policy refresh, then observe.
-            size = doc_size[cache][doc]
-            st_local_hits[cache] += 1
-            st_bytes_local[cache] += size
-            last_hit[cache][doc] = now
-            bumped = hit_count[cache][doc] + 1
-            hit_count[cache][doc] = bumped
-            if lru_kind:
-                order[cache].touch(doc)
+    for chunk, cached_source in _chunk_stream(trace, chunk_size):
+        new_urls = chunk.new_urls
+        if new_urls:
+            add = len(new_urls)
+            num_docs += add
+            url_of.extend(new_urls)
+            url_len.extend(chunk.new_url_lens)
+            icp_pair.extend(chunk.new_icp_probe_bytes)
+            zero_bytes = bytes(add)
+            zero_ints = [0] * add
+            zero_floats = [0.0] * add
+            for c in range(num_caches):
+                present[c].extend(zero_bytes)
+                doc_size[c].extend(zero_ints)
+                entry_time[c].extend(zero_floats)
+                last_hit[c].extend(zero_floats)
+                hit_count[c].extend(zero_ints)
+                order[c].grow(num_docs)
+
+        if cached_source is not None:
+            # Whole materialised trace: per-trace memoised columns.
+            leaf_column = cached_source.leaf_column(partitioner, leaves)
+            record_sizes = cached_source.record_sizes(patch)
+            size_digits = cached_source.size_digits(patch)
+        else:
+            new_clients = chunk.new_client_names
+            if new_clients and not rr_request:
+                base_client = len(client_leaf)
+                if hash_partitioner:
+                    client_leaf.extend(
+                        leaves[pos]
+                        for pos in client_leaf_positions(new_clients, num_leaves)
+                    )
+                else:  # round-robin-client: intern order == appearance order
+                    client_leaf.extend(
+                        leaves[(base_client + i) % num_leaves]
+                        for i in range(len(new_clients))
+                    )
+            if rr_request:
+                base_record = chunk.base_records
+                leaf_column = [
+                    leaves[(base_record + i) % num_leaves]
+                    for i in range(chunk.num_records)
+                ]
             else:
-                order[cache].push(doc, bumped)
-            processed += 1
-            if processed > warmup:
-                met[0] += 1
-                met[4] += size
-                latency_sum[0] += lat_local
-                met[1] += 1
-                met[5] += size
+                leaf_column = [client_leaf[client] for client in chunk.clients]
+            chunk_sizes = chunk.sizes
+            if 0 in chunk_sizes:
+                record_sizes = [
+                    patch if size == 0 else size for size in chunk_sizes
+                ]
+            else:
+                record_sizes = chunk_sizes
+            size_digits = [len(str(size)) for size in record_sizes]
+
+        for cache, doc, now, record_size, digits in zip(
+            leaf_column, chunk.doc_ids, chunk.timestamps, record_sizes, size_digits
+        ):
             if emit:
-                rec.request(
-                    now, cache, url_of[doc], kind_local, size, None, False,
-                    False, 0,
-                )
-            continue
-
-        st_local_misses[cache] += 1
-        targets = probe_targets[cache]
-        holders = [t for t in targets if present[t][doc]]
-        num_targets = len(targets)
-        bus[0] += num_targets
-        bus[1] += num_targets
-        bus[4] += num_targets * icp_pair[doc]
-
-        if holders:
-            # Remote hit via probe (same path for both architectures).
-            if max_age_strategy:
-                responder = holders[0]
-                best_age = age_of[responder](now)
-                for candidate in holders[1:]:
-                    candidate_age = age_of[candidate](now)
-                    if candidate_age > best_age:
-                        responder = candidate
-                        best_age = candidate_age
-            else:  # "first": lowest index
-                responder = min(holders)
-            # Scheme decision (both schemes read requester then responder).
-            requester_age = age_of[cache](now)
-            responder_age = age_of[responder](now)
-            if ea:
-                if requester_age > responder_age:
-                    store = True
-                elif requester_age == responder_age:
-                    store = tie_requester
+                rec.maybe_snapshot(now, _snapshot_rows)
+            st_lookups[cache] += 1
+            held = present[cache]
+            if held[doc]:
+                # Local hit: record_hit + policy refresh, then observe.
+                size = doc_size[cache][doc]
+                st_local_hits[cache] += 1
+                st_bytes_local[cache] += size
+                last_hit[cache][doc] = now
+                bumped = hit_count[cache][doc] + 1
+                hit_count[cache][doc] = bumped
+                if lru_kind:
+                    order[cache].touch(doc)
                 else:
+                    order[cache].push(doc, bumped)
+                processed += 1
+                if processed > warmup:
+                    met[0] += 1
+                    met[4] += size
+                    latency_sum[0] += lat_local
+                    met[1] += 1
+                    met[5] += size
+                if emit:
+                    rec.request(
+                        now, cache, url_of[doc], kind_local, size, None, False,
+                        False, 0,
+                    )
+                continue
+
+            st_local_misses[cache] += 1
+            targets = probe_targets[cache]
+            holders = [t for t in targets if present[t][doc]]
+            num_targets = len(targets)
+            bus[0] += num_targets
+            bus[1] += num_targets
+            bus[4] += num_targets * icp_pair[doc]
+
+            if holders:
+                # Remote hit via probe (same path for both architectures).
+                if max_age_strategy:
+                    responder = holders[0]
+                    best_age = age_of[responder](now)
+                    for candidate in holders[1:]:
+                        candidate_age = age_of[candidate](now)
+                        if candidate_age > best_age:
+                            responder = candidate
+                            best_age = candidate_age
+                else:  # "first": lowest index
+                    responder = min(holders)
+                # Scheme decision (both schemes read requester then responder).
+                requester_age = age_of[cache](now)
+                responder_age = age_of[responder](now)
+                if ea:
+                    if requester_age > responder_age:
+                        store = True
+                    elif requester_age == responder_age:
+                        store = tie_requester
+                    else:
+                        store = False
+                    refresh = responder_age > requester_age
+                else:
+                    store = True
+                    refresh = True
+                size = doc_size[responder][doc]
+                if (
+                    store
+                    and replica_cap is not None
+                    and size > replica_cap * capacity[cache]
+                ):
                     store = False
-                refresh = responder_age > requester_age
-            else:
-                store = True
-                refresh = True
-            size = doc_size[responder][doc]
-            if (
-                store
-                and replica_cap is not None
-                and size > replica_cap * capacity[cache]
-            ):
-                store = False
-                refresh = True
+                    refresh = True
+                age_text = fmt_age(requester_age)
+                bus[2] += 1
+                bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
+                _serve_remote(responder, doc, now, refresh)
+                age_text = fmt_age(responder_age)
+                bus[3] += 1
+                bus[5] += 70 + len(str(size)) + sender_len[responder] + len(age_text)
+                bus[6] += size
+                if emit:
+                    rec.promotion(
+                        now, responder, url_of[doc], requester_age, responder_age,
+                        refresh,
+                    )
+                if store:
+                    stored_here = _admit(cache, doc, size, now)
+                else:
+                    st_declined[cache] += 1
+                    stored_here = False
+                if emit:
+                    rec.placement_remote(
+                        now, cache, url_of[doc], size, requester_age, responder_age,
+                        stored_here, refresh,
+                    )
+                processed += 1
+                if processed > warmup:
+                    met[0] += 1
+                    met[4] += size
+                    if constant_latency:
+                        latency_sum[0] += lat_remote
+                    else:
+                        latency_sum[0] += lat_remote + size / lan_bw
+                    met[2] += 1
+                    met[6] += size
+                if emit:
+                    rec.request(
+                        now, cache, url_of[doc], kind_remote, size, responder,
+                        stored_here, refresh, probe_hit_hops,
+                    )
+                continue
+
+            up = parent[cache]
+            if up is None:
+                # Group-wide miss (or hierarchy root): origin fetch, store local.
+                bus[2] += 1
+                bus[5] += url_len[doc] + sender_len[cache] + 24
+                bus[3] += 1
+                bus[5] += 50 + digits
+                bus[6] += record_size
+                own_age = age_of[cache](now)  # origin_fetch decision reads the own age
+                stored_here = _admit(cache, doc, record_size, now)
+                if emit:
+                    rec.placement_origin(
+                        now, cache, url_of[doc], record_size, own_age, stored_here
+                    )
+                processed += 1
+                if processed > warmup:
+                    met[0] += 1
+                    met[4] += record_size
+                    if constant_latency:
+                        latency_sum[0] += lat_miss
+                    else:
+                        latency_sum[0] += lat_miss + record_size / wan_bw
+                    met[3] += 1
+                    met[7] += record_size
+                if emit:
+                    rec.request(
+                        now, cache, url_of[doc], kind_miss, record_size, None,
+                        stored_here, False, 0,
+                    )
+                continue
+
+            # Hierarchical escalation: all probes negative, parent resolves.
+            requester_age = age_of[cache](now)
             age_text = fmt_age(requester_age)
             bus[2] += 1
             bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
-            _serve_remote(responder, doc, now, refresh)
-            age_text = fmt_age(responder_age)
-            bus[3] += 1
-            bus[5] += 70 + len(str(size)) + sender_len[responder] + len(age_text)
-            bus[6] += size
-            if emit:
-                rec.promotion(
-                    now, responder, url_of[doc], requester_age, responder_age,
-                    refresh,
-                )
+            size, found_at, upstream_age, hops = _resolve(
+                up, doc, record_size, digits, requester_age, now
+            )
+            # Child-store rule (both schemes read the child's own age).
+            child_age = age_of[cache](now)
+            if ea:
+                if child_age > upstream_age:
+                    store = True
+                elif child_age == upstream_age:
+                    store = tie_requester
+                else:
+                    store = False
+            else:
+                store = True
             if store:
                 stored_here = _admit(cache, doc, size, now)
             else:
                 st_declined[cache] += 1
                 stored_here = False
             if emit:
-                rec.placement_remote(
-                    now, cache, url_of[doc], size, requester_age, responder_age,
-                    stored_here, refresh,
+                rec.placement_node(
+                    now, "child", cache, url_of[doc], size, child_age, upstream_age,
+                    stored_here,
                 )
             processed += 1
             if processed > warmup:
                 met[0] += 1
                 met[4] += size
-                if constant_latency:
-                    latency_sum[0] += lat_remote
+                if found_at is not None:
+                    if constant_latency:
+                        latency_sum[0] += lat_remote
+                    else:
+                        latency_sum[0] += lat_remote + size / lan_bw
+                    met[2] += 1
+                    met[6] += size
                 else:
-                    latency_sum[0] += lat_remote + size / lan_bw
-                met[2] += 1
-                met[6] += size
+                    if constant_latency:
+                        latency_sum[0] += lat_miss
+                    else:
+                        latency_sum[0] += lat_miss + size / wan_bw
+                    met[3] += 1
+                    met[7] += size
             if emit:
                 rec.request(
-                    now, cache, url_of[doc], kind_remote, size, responder,
-                    stored_here, refresh, probe_hit_hops,
+                    now, cache, url_of[doc],
+                    kind_remote if found_at is not None else kind_miss,
+                    size, found_at, stored_here, False, hops,
                 )
-            continue
-
-        up = parent[cache]
-        if up is None:
-            # Group-wide miss (or hierarchy root): origin fetch, store local.
-            bus[2] += 1
-            bus[5] += url_len[doc] + sender_len[cache] + 24
-            bus[3] += 1
-            bus[5] += 50 + digits
-            bus[6] += record_size
-            own_age = age_of[cache](now)  # origin_fetch decision reads the own age
-            stored_here = _admit(cache, doc, record_size, now)
-            if emit:
-                rec.placement_origin(
-                    now, cache, url_of[doc], record_size, own_age, stored_here
-                )
-            processed += 1
-            if processed > warmup:
-                met[0] += 1
-                met[4] += record_size
-                if constant_latency:
-                    latency_sum[0] += lat_miss
-                else:
-                    latency_sum[0] += lat_miss + record_size / wan_bw
-                met[3] += 1
-                met[7] += record_size
-            if emit:
-                rec.request(
-                    now, cache, url_of[doc], kind_miss, record_size, None,
-                    stored_here, False, 0,
-                )
-            continue
-
-        # Hierarchical escalation: all probes negative, parent resolves.
-        requester_age = age_of[cache](now)
-        age_text = fmt_age(requester_age)
-        bus[2] += 1
-        bus[5] += url_len[doc] + sender_len[cache] + len(age_text) + 50
-        size, found_at, upstream_age, hops = _resolve(
-            up, doc, record_size, digits, requester_age, now
-        )
-        # Child-store rule (both schemes read the child's own age).
-        child_age = age_of[cache](now)
-        if ea:
-            if child_age > upstream_age:
-                store = True
-            elif child_age == upstream_age:
-                store = tie_requester
-            else:
-                store = False
-        else:
-            store = True
-        if store:
-            stored_here = _admit(cache, doc, size, now)
-        else:
-            st_declined[cache] += 1
-            stored_here = False
-        if emit:
-            rec.placement_node(
-                now, "child", cache, url_of[doc], size, child_age, upstream_age,
-                stored_here,
-            )
-        processed += 1
-        if processed > warmup:
-            met[0] += 1
-            met[4] += size
-            if found_at is not None:
-                if constant_latency:
-                    latency_sum[0] += lat_remote
-                else:
-                    latency_sum[0] += lat_remote + size / lan_bw
-                met[2] += 1
-                met[6] += size
-            else:
-                if constant_latency:
-                    latency_sum[0] += lat_miss
-                else:
-                    latency_sum[0] += lat_miss + size / wan_bw
-                met[3] += 1
-                met[7] += size
-        if emit:
-            rec.request(
-                now, cache, url_of[doc],
-                kind_remote if found_at is not None else kind_miss,
-                size, found_at, stored_here, False, hops,
-            )
 
     # ---------------------------------------------------------------- #
     # Result assembly (object-core dataclasses; identical serialisation)

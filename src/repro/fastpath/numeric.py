@@ -1,0 +1,34 @@
+"""Optional numpy acceleration gate for the batch engine.
+
+numpy is an *optional extra*: the batch engine vectorises its whole-trace
+precompute and post-pass reductions with it when importable, and falls
+back to pure-Python column building (``array``-module/list columns, the
+same arithmetic serially) when it is not. Results are bit-identical on
+both paths — the ordered float accumulations use ``cumsum`` (a strict
+left-to-right fold, unlike ``sum``'s pairwise reduction) precisely so the
+vectorised fold matches the serial one.
+
+Set ``REPRO_NO_NUMPY=1`` to force the fallback path with numpy installed
+(the CI matrix leg proving the fallback uses this; the container image
+cannot uninstall the extra).
+"""
+
+from __future__ import annotations
+
+import os
+
+
+def load_numpy():
+    """The numpy module, or ``None`` (not installed, or REPRO_NO_NUMPY set).
+
+    Resolved per call so tests and the CI fallback leg can flip the
+    environment override without reloading modules; the import itself is
+    cached by the interpreter after the first success.
+    """
+    if os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - image bakes numpy in
+        return None
+    return numpy

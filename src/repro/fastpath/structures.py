@@ -37,6 +37,36 @@ class IntrusiveLRUList:
         self.prev[sentinel] = sentinel
         self.next[sentinel] = sentinel
 
+    def grow(self, num_docs: int) -> None:
+        """Extend capacity to ``num_docs`` docs (streamed-chunk intern delta).
+
+        The sentinel relocates from the old array tail to the new one; its
+        two neighbours (the current LRU head and MRU tail) are relinked in
+        O(1), the vacated slot becomes an ordinary (unlinked) doc slot, and
+        every existing link is otherwise untouched — recency order is
+        exactly preserved.
+        """
+        old_sentinel = self.sentinel
+        add = num_docs - old_sentinel
+        if add <= 0:
+            return
+        prev, nxt = self.prev, self.next
+        prev.extend([-1] * add)
+        nxt.extend([-1] * add)
+        sentinel = num_docs
+        head, tail = nxt[old_sentinel], prev[old_sentinel]
+        if head == old_sentinel:  # empty list: sentinel self-loops
+            prev[sentinel] = sentinel
+            nxt[sentinel] = sentinel
+        else:
+            nxt[sentinel] = head
+            prev[sentinel] = tail
+            prev[head] = sentinel
+            nxt[tail] = sentinel
+        prev[old_sentinel] = -1
+        nxt[old_sentinel] = -1
+        self.sentinel = sentinel
+
     def push(self, doc: int) -> None:
         """Insert ``doc`` at the most-recently-used end (admission)."""
         prev, nxt, sentinel = self.prev, self.next, self.sentinel
@@ -104,6 +134,12 @@ class LFUVictimHeap:
         self._heap: List[Tuple[int, int, int]] = []
         self._live_seq: List[int] = [-1] * num_docs
         self._seq = 0
+
+    def grow(self, num_docs: int) -> None:
+        """Extend capacity to ``num_docs`` docs (streamed-chunk intern delta)."""
+        add = num_docs - len(self._live_seq)
+        if add > 0:
+            self._live_seq.extend([-1] * add)
 
     def push(self, doc: int, count: int) -> None:
         """(Re-)insert ``doc`` with its current hit count."""

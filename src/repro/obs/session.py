@@ -28,6 +28,7 @@ from repro.simulation.simulator import (
     run_simulation,
 )
 from repro.trace.record import Trace
+from repro.trace.stream import source_fingerprint
 
 
 class ObservedRun:
@@ -35,10 +36,18 @@ class ObservedRun:
 
     Args:
         config: The run's configuration (hashed into the header/manifest).
-        trace: The trace about to be replayed (fingerprint likewise).
+        trace: The trace about to be replayed — a :class:`Trace` or any
+            streamed source; its fingerprint (via
+            :func:`~repro.trace.stream.source_fingerprint`) lands in the
+            event-stream header and the manifest.
         events_path: Target for the ``repro-events/1`` stream; ``None``
             records no events but still produces a manifest.
         snapshot_interval: Simulation-seconds between snapshot events.
+        track_memory: Trace Python allocations with :mod:`tracemalloc`
+            and record the run's high-water mark in the manifest as
+            ``peak_memory_bytes``. Opt-in because tracing costs real
+            wall time; it is how the O(chunk) streaming-memory claim is
+            *gated* rather than asserted.
     """
 
     def __init__(
@@ -47,6 +56,7 @@ class ObservedRun:
         trace: Trace,
         events_path: Optional[str] = None,
         snapshot_interval: float = 0.0,
+        track_memory: bool = False,
     ):
         self.config = config
         self.trace = trace
@@ -54,10 +64,20 @@ class ObservedRun:
         self.snapshot_interval = snapshot_interval
         self.recorder: Optional[RunRecorder] = None
         self._sink = None
+        self._trace_fp = source_fingerprint(trace)
         if events_path is not None:
             self._sink = open(events_path, "w", encoding="utf-8", newline="\n")
             self.recorder = RunRecorder(self._sink, snapshot_interval)
-            self.recorder.begin(config_hash(config), trace.fingerprint())
+            self.recorder.begin(config_hash(config), self._trace_fp)
+        self._tracing_memory = False
+        if track_memory:
+            import tracemalloc
+
+            # Leave an already-running tracer alone (its peak belongs to
+            # whoever started it); only own the start/stop pair we create.
+            if not tracemalloc.is_tracing():
+                tracemalloc.start()
+                self._tracing_memory = True
         # Reachable only via the call graph's receiver-agnostic __init__
         # tier, never from an engine: wall time is measured outside the
         # simulation by design (the manifest's one volatile field).
@@ -68,6 +88,13 @@ class ObservedRun:
         # Same carve-out as __init__: the wall timer brackets the run from
         # the session layer; nothing inside the replay reads it.
         wall_time = time.perf_counter() - self._start  # repro: noqa[RPR111]
+        peak_memory = None
+        if self._tracing_memory:
+            import tracemalloc
+
+            peak_memory = tracemalloc.get_traced_memory()[1]
+            tracemalloc.stop()
+            self._tracing_memory = False
         counts = None
         if self.recorder is not None:
             self.recorder.end()
@@ -77,7 +104,7 @@ class ObservedRun:
             self._sink = None
         result.manifest = build_manifest(
             self.config,
-            self.trace.fingerprint(),
+            self._trace_fp,
             engine_requested=self.config.engine,
             engine_resolved=resolved_engine(self.config),
             wall_time_s=wall_time,
@@ -85,6 +112,7 @@ class ObservedRun:
             snapshot_interval=self.snapshot_interval,
             events_path=self.events_path,
             event_counts=counts,
+            peak_memory_bytes=peak_memory,
         )
         return result
 
@@ -95,6 +123,8 @@ def run_observed(
     events_path: Optional[str] = None,
     snapshot_interval: float = 0.0,
     manifest_path: Optional[str] = None,
+    track_memory: bool = False,
+    chunk_size: Optional[int] = None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``config`` with observability attached.
 
@@ -103,11 +133,20 @@ def run_observed(
     populated and, when requested, the event stream and manifest written
     to disk. With ``events_path=None`` this is the "instrumentation
     disabled" configuration the overhead benchmark gates at ≤2%.
+    ``trace`` may be a streamed source; ``chunk_size`` and
+    ``track_memory`` pass through to :func:`run_simulation` and
+    :class:`ObservedRun` respectively.
     """
     observed = ObservedRun(
-        config, trace, events_path=events_path, snapshot_interval=snapshot_interval
+        config,
+        trace,
+        events_path=events_path,
+        snapshot_interval=snapshot_interval,
+        track_memory=track_memory,
     )
-    result = observed.finish(run_simulation(config, trace, obs=observed.recorder))
+    result = observed.finish(
+        run_simulation(config, trace, obs=observed.recorder, chunk_size=chunk_size)
+    )
     if manifest_path is not None:
         write_manifest(result.manifest, manifest_path)
     return result

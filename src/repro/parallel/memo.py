@@ -23,6 +23,7 @@ from repro.experiments.store import SimulationResultStore
 from repro.simulation.results import SimulationResult
 from repro.simulation.simulator import SimulationConfig
 from repro.trace.record import Trace
+from repro.trace.stream import source_fingerprint
 
 #: Bump when the result schema or key derivation changes incompatibly; old
 #: artifacts then miss instead of reviving into the wrong shape.
@@ -32,12 +33,20 @@ MEMO_SCHEMA_VERSION = 2
 
 
 def sweep_memo_key(config: SimulationConfig, trace: Trace) -> str:
-    """Content address of the simulation ``(config, trace)`` would produce."""
+    """Content address of the simulation ``(config, trace)`` would produce.
+
+    ``trace`` may be a streamed source, provided it carries a real
+    fingerprint (packed readers and synthetic streams do); an opaque
+    stream raises rather than aliasing every unfingerprinted workload
+    onto one key. Note a synthetic *stream* and the *materialised* trace
+    of the same records fingerprint in different namespaces — sound
+    (never a false hit), merely no sharing between the two forms.
+    """
     payload = json.dumps(
         {
             "schema": MEMO_SCHEMA_VERSION,
             "config": config.to_dict(),
-            "trace": trace.fingerprint(),
+            "trace": source_fingerprint(trace, strict=True),
         },
         sort_keys=True,
         separators=(",", ":"),

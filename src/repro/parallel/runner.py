@@ -9,7 +9,11 @@ order. Determinism is preserved by construction:
   so the assembled :class:`SweepResult` is indistinguishable from the
   serial one.
 * Workers receive the trace once via the pool initializer (inherited by
-  fork where available) instead of once per task.
+  fork where available) instead of once per task. Streamed sources ride
+  the same channel: synthetic streams pickle their config, and packed
+  readers pickle as their path and re-open in the worker (mmap handles
+  cannot cross a process boundary), so every worker still holds O(chunk)
+  request memory.
 * Every callable submitted to the pool is module-level — nested functions
   and lambdas do not pickle across process boundaries (lint rule RPR008
   guards this statically).
@@ -138,6 +142,9 @@ class ParallelSweepRunner:
 
         Identical inputs produce results byte-identical to
         :func:`repro.experiments.sweep.run_capacity_sweep`'s serial path.
+        ``trace`` may be a streamed source (``interned_chunks``) when the
+        sweep's configs select a chunked engine; results are identical to
+        sweeping the materialised trace.
 
         Args:
             events_dir: When given, every freshly simulated point writes a

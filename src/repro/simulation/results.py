@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 import math
-from dataclasses import asdict, dataclass, field, fields
+from dataclasses import dataclass, field, fields
 from typing import Any, Dict, List, Optional
 
 from repro.cache.stats import CacheStats
@@ -25,6 +25,13 @@ def _revive(value: Any) -> Any:
     if value == "inf":
         return math.inf
     return value
+
+
+def _flat_asdict(stats) -> Dict[str, Any]:
+    """``dataclasses.asdict`` for the flat stats blocks, without the
+    recursive deep-copy machinery — the manifest digest serialises every
+    result, so this sits on the obs layer's fixed per-run cost."""
+    return {name: getattr(stats, name) for name in stats.__dataclass_fields__}
 
 
 def _dataclass_from(cls, payload: Dict[str, Any]):
@@ -77,7 +84,7 @@ class SimulationResult:
         return {
             "config": self.config,
             "metrics": {
-                **asdict(self.metrics),
+                **_flat_asdict(self.metrics),
                 "hit_rate": self.metrics.hit_rate,
                 "byte_hit_rate": self.metrics.byte_hit_rate,
                 "local_hit_rate": self.metrics.local_hit_rate,
@@ -85,8 +92,8 @@ class SimulationResult:
                 "miss_rate": self.metrics.miss_rate,
                 "mean_measured_latency": self.metrics.mean_measured_latency,
             },
-            "message_counters": asdict(self.message_counters),
-            "cache_stats": [asdict(stats) for stats in self.cache_stats],
+            "message_counters": _flat_asdict(self.message_counters),
+            "cache_stats": [_flat_asdict(stats) for stats in self.cache_stats],
             "expiration_ages": [_jsonable(age) for age in self.expiration_ages],
             "avg_cache_expiration_age": _jsonable(self.avg_cache_expiration_age),
             "unique_documents": self.unique_documents,

@@ -52,7 +52,7 @@ from repro.trace.record import DEFAULT_PATCH_SIZE, Trace, patch_zero_sizes
 ARCHITECTURES = ("distributed", "hierarchical")
 PARTITIONERS = ("hash", "round-robin-client", "round-robin-request")
 LATENCY_MODELS = ("constant", "component", "stochastic")
-ENGINES = ("object", "columnar")
+ENGINES = ("object", "columnar", "batch")
 
 #: Logger for engine dispatch; fallback reasons are logged at INFO here.
 _fastpath_logger = logging.getLogger("repro.fastpath")
@@ -97,11 +97,14 @@ class SimulationConfig:
             available as ``simulator.histogram``.
         timeseries_window: When positive, bucket outcomes into windows of
             this many seconds (``simulator.timeseries``).
-        engine: Execution engine: ``"object"`` (the reference core) or
+        engine: Execution engine: ``"object"`` (the reference core),
             ``"columnar"`` (:mod:`repro.fastpath` — interned ids, array
-            state, byte-identical results). Configurations the columnar
-            engine does not support fall back to the object engine with a
-            logged reason (see
+            state, byte-identical results), or ``"batch"``
+            (:mod:`repro.fastpath.batch` — vectorised whole-trace
+            precompute over the same columnar state, byte-identical
+            results, numpy-accelerated when available). Configurations the
+            fast engines do not support fall back to the object engine
+            with a logged reason (see
             :func:`repro.fastpath.columnar_unsupported_reason`).
         sanitize: Instrument the run with the runtime invariant sanitizer
             (:class:`~repro.devtools.sanitizer.SimulationSanitizer`): byte
@@ -402,16 +405,16 @@ def resolved_engine(config: SimulationConfig) -> str:
     ``"columnar"`` only when requested *and* supported; the run manifest
     records this next to the requested engine so fallback is observable.
     """
-    if config.engine == "columnar":
+    if config.engine in ("columnar", "batch"):
         from repro.fastpath import columnar_unsupported_reason
 
         if columnar_unsupported_reason(config) is None:
-            return "columnar"
+            return config.engine
     return "object"
 
 
 def run_simulation(
-    config: SimulationConfig, trace: Trace, obs=None
+    config: SimulationConfig, trace: Trace, obs=None, chunk_size: Optional[int] = None
 ) -> SimulationResult:
     """One-shot convenience: replay ``trace`` under ``config``.
 
@@ -421,19 +424,50 @@ def run_simulation(
     unsupported columnar request falls back transparently, logging the
     reason on the ``repro.fastpath`` logger.
 
+    ``trace`` may also be a *streamed source* (any object exposing
+    ``interned_chunks(chunk_size)``; see :mod:`repro.trace.stream`) —
+    packed columnar readers, synthetic streams — in which case the replay
+    holds O(chunk) request memory. Streamed sources require a chunked
+    engine; a config that would fall back to the object engine raises
+    :class:`~repro.errors.SimulationError` instead of silently
+    materialising an unbounded stream.
+
     Args:
         obs: Optional :class:`repro.obs.events.RunRecorder`; both engines
             feed it the same event stream (see ``docs/OBSERVABILITY.md``).
+        chunk_size: Interned-chunk granularity for the chunked engines;
+            results are chunking-invariant, so this shapes memory only.
     """
-    if config.engine == "columnar":
-        from repro.fastpath import columnar_unsupported_reason, simulate_columnar
+    streamed = not isinstance(trace, Trace) and hasattr(trace, "interned_chunks")
+    if config.engine in ("columnar", "batch"):
+        from repro.fastpath import (
+            columnar_unsupported_reason,
+            simulate_batch,
+            simulate_columnar,
+        )
 
         reason = columnar_unsupported_reason(config)
         if reason is None:
-            return simulate_columnar(config, trace, obs=obs)
+            if config.engine == "batch":
+                return simulate_batch(config, trace, obs=obs, chunk_size=chunk_size)
+            return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
+        if streamed:
+            raise SimulationError(
+                f"streamed trace sources require a chunked engine, but the "
+                f"{config.engine!r} engine is unavailable for this config "
+                f"({reason}); the object-engine fallback would materialise "
+                f"the whole stream"
+            )
         _fastpath_logger.info(
-            "columnar engine unavailable for this config; "
+            "%s engine unavailable for this config; "
             "falling back to the object engine: %s",
+            config.engine,
             reason,
+        )
+    elif streamed:
+        raise SimulationError(
+            "streamed trace sources require a chunked engine "
+            "(engine='columnar' or 'batch'); the object engine replays "
+            "materialised Trace objects only"
         )
     return CooperativeSimulator(config, obs=obs).run(trace)

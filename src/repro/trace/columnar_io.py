@@ -1,0 +1,275 @@
+"""Packed binary columnar trace format (``.rpct``): writer + reader.
+
+A packed trace stores exactly what chunked replay consumes — the
+:class:`repro.fastpath.interning.InternedChunk` sequence — so reading it
+back requires no string interning, no parsing, and no whole-trace
+materialisation. Replaying a packed file is byte-identical to replaying
+the trace it was packed from (intern ids are preserved verbatim, and both
+engines are chunking-invariant).
+
+Layout (all integers little-endian)::
+
+    header   "RPCT" | u16 version=1 | u16 flags=0 | u64 reserved
+    chunk*   "CHNK" | u64 n | u64 new_docs | u64 new_clients
+             | u64 base_docs | u64 base_clients | u64 base_records
+             | int64[n] doc_ids | int64[n] sizes
+             | float64[n] timestamps | int64[n] clients
+             | u64 url_blob_len    | (u32 len | utf-8 bytes)*  new urls
+             | u64 client_blob_len | (u32 len | utf-8 bytes)*  new clients
+    footer   "FOOT" | u64 total_records | u64 total_docs
+             | u64 total_clients | 32-byte sha256 | "RPCT"
+
+The fixed-width numeric columns make the reader *mmap-backed*: chunks are
+decoded straight out of the page cache with ``numpy.frombuffer`` (an
+``array('q')``/``array('d')`` fallback covers numpy-less runs) and handed
+to the engines as plain lists, so resident memory stays O(chunk) no
+matter the file size. The footer carries stream totals — progress bars
+and manifests know ``num_records`` without scanning — plus a *columnar
+fingerprint*: the sha256 of every chunk payload, verifying integrity and
+content-addressing the replay-relevant columns (the record-level
+:meth:`Trace.fingerprint` also hashes fields this format does not store,
+e.g. session ids, so the two are distinct namespaces).
+
+Timestamps round-trip bit-exactly (IEEE-754 doubles), which byte
+identity requires.
+"""
+
+from __future__ import annotations
+
+import mmap
+import struct
+from array import array
+from typing import BinaryIO, Iterator, List, Optional, Tuple
+
+from repro.errors import TraceError
+from repro.fastpath.numeric import load_numpy
+
+MAGIC = b"RPCT"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")
+_CHUNK_HEAD = struct.Struct("<4sQQQQQQ")
+_CHUNK_MARK = b"CHNK"
+_FOOTER = struct.Struct("<4sQQQ32s4s")
+_FOOT_MARK = b"FOOT"
+_U64 = struct.Struct("<Q")
+_U32 = struct.Struct("<I")
+
+#: Default records per stored chunk (matches the engines' streaming
+#: default so a packed file replays one stored chunk per engine chunk).
+DEFAULT_PACK_CHUNK = 1 << 18
+
+
+def _pack_strings(strings) -> bytes:
+    parts = []
+    for s in strings:
+        raw = s.encode("utf-8")
+        parts.append(_U32.pack(len(raw)))
+        parts.append(raw)
+    return b"".join(parts)
+
+
+def _unpack_strings(blob: bytes, count: int) -> List[str]:
+    out: List[str] = []
+    off = 0
+    for _ in range(count):
+        (ln,) = _U32.unpack_from(blob, off)
+        off += 4
+        out.append(blob[off : off + ln].decode("utf-8"))
+        off += ln
+    if off != len(blob):
+        raise TraceError("packed trace: string blob length mismatch")
+    return out
+
+
+def write_packed(path: str, source, chunk_size: Optional[int] = None) -> Tuple[int, int, int]:
+    """Pack ``source`` into ``path``; returns (records, docs, clients).
+
+    ``source`` is a :class:`~repro.trace.record.Trace` or any streamed
+    source (``interned_chunks``). The file's stored chunk boundaries are
+    whatever ``chunk_size`` yields (default :data:`DEFAULT_PACK_CHUNK`);
+    replay is chunking-invariant, so the choice only shapes reader
+    memory, not results.
+    """
+    import hashlib
+
+    size = chunk_size if chunk_size is not None else DEFAULT_PACK_CHUNK
+    digest = hashlib.sha256()
+    total_records = total_docs = total_clients = 0
+    with open(path, "wb") as fh:
+        fh.write(_HEADER.pack(MAGIC, VERSION, 0, 0))
+        for chunk in source.interned_chunks(size):
+            n = chunk.num_records
+            url_blob = _pack_strings(chunk.new_urls)
+            client_blob = _pack_strings(chunk.new_client_names)
+            payload = b"".join(
+                (
+                    array("q", chunk.doc_ids).tobytes(),
+                    array("q", chunk.sizes).tobytes(),
+                    array("d", chunk.timestamps).tobytes(),
+                    array("q", chunk.clients).tobytes(),
+                    _U64.pack(len(url_blob)),
+                    url_blob,
+                    _U64.pack(len(client_blob)),
+                    client_blob,
+                )
+            )
+            fh.write(
+                _CHUNK_HEAD.pack(
+                    _CHUNK_MARK,
+                    n,
+                    len(chunk.new_urls),
+                    len(chunk.new_client_names),
+                    chunk.base_docs,
+                    chunk.base_clients,
+                    chunk.base_records,
+                )
+            )
+            fh.write(payload)
+            digest.update(payload)
+            total_records += n
+            total_docs += len(chunk.new_urls)
+            total_clients += len(chunk.new_client_names)
+        fh.write(
+            _FOOTER.pack(
+                _FOOT_MARK,
+                total_records,
+                total_docs,
+                total_clients,
+                digest.digest(),
+                MAGIC,
+            )
+        )
+    return total_records, total_docs, total_clients
+
+
+class PackedTraceReader:
+    """Streamed source over a packed columnar trace file.
+
+    Opens the file mmap-backed (falling back to plain reads where mmap is
+    unavailable, e.g. empty files) and validates header and footer
+    eagerly, so totals are known before any chunk is decoded::
+
+        reader = PackedTraceReader("trace.rpct")
+        result = run_simulation(config, reader)     # O(chunk) memory
+        reader.close()
+
+    ``interned_chunks`` yields the *stored* chunk boundaries — replay is
+    chunking-invariant, so re-slicing would change memory shape, never
+    results; the requested size is therefore ignored. The reader may be
+    iterated multiple times (each call restarts from the first chunk).
+    """
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh: BinaryIO = open(path, "rb")
+        try:
+            self._buf = mmap.mmap(self._fh.fileno(), 0, access=mmap.ACCESS_READ)
+        except (ValueError, OSError):  # zero-length or mmap-less platform
+            self._buf = self._fh.read()
+        size = len(self._buf)
+        if size < _HEADER.size + _FOOTER.size:
+            raise TraceError(f"packed trace {path!r}: file truncated")
+        magic, version, _flags, _reserved = _HEADER.unpack_from(self._buf, 0)
+        if magic != MAGIC:
+            raise TraceError(f"packed trace {path!r}: bad magic {magic!r}")
+        if version != VERSION:
+            raise TraceError(
+                f"packed trace {path!r}: unsupported version {version} "
+                f"(reader supports {VERSION})"
+            )
+        mark, records, docs, clients, fingerprint, tail = _FOOTER.unpack_from(
+            self._buf, size - _FOOTER.size
+        )
+        if mark != _FOOT_MARK or tail != MAGIC:
+            raise TraceError(f"packed trace {path!r}: footer missing (truncated?)")
+        self.num_records = records
+        self.num_docs = docs
+        self.num_clients = clients
+        self.fingerprint = fingerprint.hex()
+
+    def close(self) -> None:
+        if isinstance(self._buf, mmap.mmap):
+            self._buf.close()
+        self._fh.close()
+
+    def __reduce__(self):
+        # mmap handles do not pickle; a reader is fully described by its
+        # path, so pool workers re-open the file (the page cache makes
+        # this cheap) instead of shipping buffers across the boundary.
+        return (PackedTraceReader, (self.path,))
+
+    def __enter__(self) -> "PackedTraceReader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def interned_chunks(self, chunk_size: int) -> Iterator["InternedChunk"]:
+        """Decode stored chunks in order (``chunk_size`` ignored; see above)."""
+        from repro.fastpath.interning import InternedChunk
+
+        np = load_numpy()
+        buf = self._buf
+        end = len(buf) - _FOOTER.size
+        off = _HEADER.size
+        records_seen = 0
+        while off < end:
+            if off + _CHUNK_HEAD.size > end:
+                raise TraceError(f"packed trace {self.path!r}: chunk truncated")
+            mark, n, new_docs, new_clients, base_docs, base_clients, base_records = (
+                _CHUNK_HEAD.unpack_from(buf, off)
+            )
+            if mark != _CHUNK_MARK:
+                raise TraceError(
+                    f"packed trace {self.path!r}: bad chunk marker at {off}"
+                )
+            if base_records != records_seen:
+                raise TraceError(
+                    f"packed trace {self.path!r}: chunk base_records "
+                    f"{base_records} != records seen {records_seen}"
+                )
+            off += _CHUNK_HEAD.size
+            width = n * 8
+            if np is not None:
+                doc_ids = np.frombuffer(buf, np.int64, n, off).tolist()
+                sizes = np.frombuffer(buf, np.int64, n, off + width).tolist()
+                timestamps = np.frombuffer(buf, np.float64, n, off + 2 * width).tolist()
+                clients = np.frombuffer(buf, np.int64, n, off + 3 * width).tolist()
+            else:
+                cols = []
+                for i, code in enumerate("qqdq"):
+                    col = array(code)
+                    col.frombytes(bytes(buf[off + i * width : off + (i + 1) * width]))
+                    cols.append(col.tolist())
+                doc_ids, sizes, timestamps, clients = cols
+            off += 4 * width
+            (blob_len,) = _U64.unpack_from(buf, off)
+            off += 8
+            new_urls = _unpack_strings(bytes(buf[off : off + blob_len]), new_docs)
+            off += blob_len
+            (blob_len,) = _U64.unpack_from(buf, off)
+            off += 8
+            new_client_names = _unpack_strings(
+                bytes(buf[off : off + blob_len]), new_clients
+            )
+            off += blob_len
+            records_seen += n
+            yield InternedChunk(
+                doc_ids=doc_ids,
+                sizes=sizes,
+                timestamps=timestamps,
+                clients=clients,
+                new_urls=new_urls,
+                new_client_names=new_client_names,
+                base_docs=base_docs,
+                base_clients=base_clients,
+                base_records=base_records,
+            )
+        if records_seen != self.num_records:
+            raise TraceError(
+                f"packed trace {self.path!r}: footer records {self.num_records} "
+                f"!= chunks read {records_seen}"
+            )
+
+
+__all__ = ["DEFAULT_PACK_CHUNK", "PackedTraceReader", "write_packed"]

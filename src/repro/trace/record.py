@@ -183,6 +183,25 @@ class Trace:
             self.__dict__["_interned"] = cached
         return cached
 
+    def interned_chunks(self, chunk_size: int):
+        """Iterate the trace as :class:`InternedChunk` slices.
+
+        Dense ids are global (identical to :meth:`interned`), and the
+        intern-table deltas per chunk let a replay core grow its columnar
+        state incrementally — replaying the chunks in order is
+        byte-identical to replaying the whole trace, for any chunk size.
+        Backed by the cached interned view, so chunking is pure column
+        slicing. Streaming sources (packed columnar files, chunked
+        synthetic generation) expose this same method without ever
+        materialising the full trace; see :mod:`repro.trace.stream`.
+        """
+        return self.interned().chunks(chunk_size)
+
+    @property
+    def num_records(self) -> int:
+        """Total request count (the streamed-source protocol's spelling)."""
+        return len(self.records)
+
     def fingerprint(self) -> str:
         """Stable content hash of every record (hex SHA-256).
 

@@ -194,6 +194,19 @@ class BULikeTraceGenerator:
 
     def generate(self) -> Trace:
         """Produce the full trace as a :class:`~repro.trace.record.Trace`."""
+        return Trace(list(self.iter_records()))
+
+    def iter_records(self):
+        """Yield the trace's records one at a time, in trace order.
+
+        This is the same emission loop :meth:`generate` materialises — one
+        shared code path, so the RNG consumption order (and therefore every
+        record) is identical by construction. Streamed replay via
+        :class:`repro.trace.stream.SyntheticTraceStream` builds on this to
+        drive arbitrarily long workloads with O(chunk) request memory (the
+        per-document and per-client tables still scale with the universe,
+        not the request count).
+        """
         cfg = self.config
         rng = random.Random(cfg.seed)
         sampler = ZipfSampler(cfg.num_documents, cfg.zipf_alpha, rng)
@@ -218,7 +231,6 @@ class BULikeTraceGenerator:
         client_cdf[-1] = 1.0
 
         states: Dict[int, _ClientState] = {i: _ClientState() for i in range(cfg.num_clients)}
-        records: List[TraceRecord] = []
         now = cfg.start_time
 
         for _ in range(cfg.num_requests):
@@ -244,16 +256,13 @@ class BULikeTraceGenerator:
             size = sizes[doc]
             if cfg.zero_size_fraction and rng.random() < cfg.zero_size_fraction:
                 size = 0
-            records.append(
-                TraceRecord(
-                    timestamp=now,
-                    client_id=clients[ci],
-                    url=f"http://origin{doc % 97}.example.com/doc/{doc}",
-                    size=size,
-                    session_id=f"s{ci}.{state.session_index}",
-                )
+            yield TraceRecord(
+                timestamp=now,
+                client_id=clients[ci],
+                url=f"http://origin{doc % 97}.example.com/doc/{doc}",
+                size=size,
+                session_id=f"s{ci}.{state.session_index}",
             )
-        return Trace(records)
 
 
 def generate_trace(config: Optional[SyntheticTraceConfig] = None) -> Trace:

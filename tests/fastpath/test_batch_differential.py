@@ -1,0 +1,162 @@
+"""Differential harness for the batch engine and chunked replay.
+
+The batch engine's contract is the columnar engine's, transitively the
+object core's: :meth:`SimulationResult.to_json` compares equal as *text*
+for every supported config — and additionally must be invariant to how
+the trace is chunked (chunk boundaries are an execution detail, never a
+semantic one). The cold-regime fast path (first-occurrence replay while
+no cache has filled) and the deferred recency fixups it batches are the
+riskiest machinery, so the matrix here leans on small capacities (early
+splits out of the cold regime) and tiny chunk sizes (state carried across
+many boundaries).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fastpath import simulate_batch, simulate_columnar
+from repro.simulation.simulator import CooperativeSimulator, SimulationConfig
+
+CAPACITY = 1_200_000
+
+SCHEMES = ("adhoc", "ea")
+ARCHITECTURES = ("distributed", "hierarchical")
+POLICIES = ("lru", "lfu")
+
+#: Chunk sizes covering the degenerate ends: one record per chunk, a
+#: boundary-heavy small size, a mid size, and one larger than any trace.
+CHUNK_SIZES = (1, 7, 250, 10_000_000)
+
+
+def three_engines(config: SimulationConfig, trace) -> str:
+    """Assert object, columnar and batch serialise identically; return it."""
+    expected = CooperativeSimulator(config).run(trace).to_json()
+    assert simulate_columnar(config, trace).to_json() == expected
+    assert simulate_batch(config, trace).to_json() == expected
+    return expected
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+@pytest.mark.parametrize("architecture", ARCHITECTURES)
+@pytest.mark.parametrize("scheme", SCHEMES)
+def test_full_matrix_on_all_traces(scheme, architecture, policy, all_traces):
+    """Scheme x architecture x policy, all three engines, all traces."""
+    config = SimulationConfig(
+        scheme=scheme,
+        architecture=architecture,
+        policy=policy,
+        num_caches=4,
+        aggregate_capacity=CAPACITY,
+    )
+    for _, trace in all_traces:
+        three_engines(config, trace)
+
+
+@pytest.mark.parametrize("chunk_size", CHUNK_SIZES)
+def test_chunking_invariance(chunk_size, bu_style_trace):
+    """Chunked batch replay is byte-identical to unchunked, per chunk size."""
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=CAPACITY
+    )
+    expected = simulate_batch(config, bu_style_trace).to_json()
+    got = simulate_batch(config, bu_style_trace, chunk_size=chunk_size).to_json()
+    assert got == expected
+
+
+@pytest.mark.parametrize("window_mode", ("cumulative", "count", "time"))
+def test_expiration_windows_span_chunk_boundaries(window_mode, churn_trace):
+    """Ring-window state (ages, sums) must carry across chunk edges.
+
+    The churn trace evicts constantly, so expiration ages change all the
+    way through the replay — any window state dropped at a boundary
+    diverges the EA decisions immediately.
+    """
+    config = SimulationConfig(
+        scheme="ea",
+        num_caches=4,
+        aggregate_capacity=600_000,
+        window_mode=window_mode,
+    )
+    expected = three_engines(config, churn_trace)
+    for chunk_size in (13, 499):
+        assert (
+            simulate_batch(config, churn_trace, chunk_size=chunk_size).to_json()
+            == expected
+        )
+
+
+@pytest.mark.parametrize(
+    "field, value",
+    [
+        ("tie_break", "responder"),
+        ("max_replica_fraction", 0.5),
+        ("partitioner", "round-robin-client"),
+        ("partitioner", "round-robin-request"),
+        ("warmup_requests", 500),
+        ("window_size", 16),
+    ],
+)
+def test_config_variants_with_chunking(field, value, bu_style_trace):
+    """Config knobs that steer the cold regime / fallback, chunked."""
+    config = SimulationConfig(
+        scheme="ea",
+        num_caches=4,
+        aggregate_capacity=CAPACITY,
+        **{field: value},
+    )
+    expected = three_engines(config, bu_style_trace)
+    assert (
+        simulate_batch(config, bu_style_trace, chunk_size=97).to_json() == expected
+    )
+
+
+def test_cold_regime_never_splits(uniform_trace):
+    """A capacity far above the workload keeps the whole replay cold."""
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=1 << 33
+    )
+    expected = three_engines(config, uniform_trace)
+    for chunk_size in (1, 64):
+        assert (
+            simulate_batch(config, uniform_trace, chunk_size=chunk_size).to_json()
+            == expected
+        )
+
+
+def test_adhoc_cold_regime(uniform_trace):
+    """Ad-hoc placement touches recency on remote hits even while cold."""
+    config = SimulationConfig(
+        scheme="adhoc", num_caches=4, aggregate_capacity=1 << 33
+    )
+    expected = three_engines(config, uniform_trace)
+    assert (
+        simulate_batch(config, uniform_trace, chunk_size=33).to_json() == expected
+    )
+
+
+def test_no_numpy_fallback_is_identical(monkeypatch, bu_style_trace):
+    """REPRO_NO_NUMPY forces the pure-Python columns; results match."""
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=CAPACITY
+    )
+    expected = simulate_batch(config, bu_style_trace).to_json()
+    monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+    assert simulate_batch(config, bu_style_trace).to_json() == expected
+    assert (
+        simulate_batch(config, bu_style_trace, chunk_size=250).to_json() == expected
+    )
+
+
+def test_run_simulation_dispatches_to_batch(bu_style_trace):
+    """engine='batch' routes through the dispatcher byte-identically."""
+    from repro.simulation.simulator import run_simulation
+
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=CAPACITY, engine="batch"
+    )
+    direct = simulate_batch(config, bu_style_trace).to_json()
+    assert run_simulation(config, bu_style_trace).to_json() == direct
+    assert (
+        run_simulation(config, bu_style_trace, chunk_size=128).to_json() == direct
+    )

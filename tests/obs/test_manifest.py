@@ -38,9 +38,14 @@ class TestConfigHash:
 
 class TestDigests:
     def test_result_digest_is_sha256_of_json(self, obs_trace):
+        """Digest hashes the compact serialisation (whitespace-free)."""
         result = run_simulation(CONFIG, obs_trace)
-        expected = hashlib.sha256(result.to_json().encode("utf-8")).hexdigest()
+        expected = hashlib.sha256(
+            result.to_json(indent=None).encode("utf-8")
+        ).hexdigest()
         assert result_digest(result) == expected
+        # Whitespace aside, compact and pretty forms carry one identity.
+        assert json.loads(result.to_json(indent=None)) == json.loads(result.to_json())
 
     def test_file_digest_matches_hashlib(self, tmp_path):
         path = tmp_path / "blob"

@@ -1,0 +1,102 @@
+"""Observability over chunked and streamed replay.
+
+The event-stream contract extends to chunking: the ``repro-events/1``
+stream (including snapshot events whose intervals land on chunk edges)
+must be byte-identical whatever the chunk size, and identical between a
+materialised trace and a streamed source of the same records — except
+the header's trace fingerprint, which names the source form.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.session import run_observed
+from repro.simulation.simulator import SimulationConfig
+from repro.trace.columnar_io import write_packed, PackedTraceReader
+from repro.trace.stream import SyntheticTraceStream
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+CFG = SyntheticTraceConfig(
+    num_requests=2_500,
+    num_documents=300,
+    num_clients=12,
+    zero_size_fraction=0.02,
+    seed=31,
+)
+
+CONFIG = SimulationConfig(
+    scheme="ea", num_caches=4, aggregate_capacity=900_000, engine="batch"
+)
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(CFG)
+
+
+def _events(path):
+    with open(path, encoding="utf-8") as fh:
+        return fh.read().splitlines()
+
+
+@pytest.mark.parametrize("chunk_size", (1, 171, 10_000))
+def test_event_stream_chunking_invariant(trace, tmp_path, chunk_size):
+    """Snapshots and events are byte-identical across chunk sizes.
+
+    The snapshot interval is chosen so several snapshot instants land
+    inside (and at the edges of) chunks — the recorder must fire them at
+    the same simulation times regardless of the replay's batching.
+    """
+    base = tmp_path / "base.jsonl"
+    run_observed(CONFIG, trace, events_path=str(base), snapshot_interval=120.0)
+    chunked = tmp_path / f"c{chunk_size}.jsonl"
+    run_observed(
+        CONFIG,
+        trace,
+        events_path=str(chunked),
+        snapshot_interval=120.0,
+        chunk_size=chunk_size,
+    )
+    assert _events(chunked) == _events(base)
+
+
+def test_streamed_events_match_after_header(trace, tmp_path):
+    """Stream vs trace: same events, same results, different header fp."""
+    a = tmp_path / "trace.jsonl"
+    b = tmp_path / "stream.jsonl"
+    r1 = run_observed(CONFIG, trace, events_path=str(a), snapshot_interval=120.0)
+    r2 = run_observed(
+        CONFIG,
+        SyntheticTraceStream(CFG),
+        events_path=str(b),
+        snapshot_interval=120.0,
+        chunk_size=500,
+    )
+    assert r1.to_json() == r2.to_json()
+    ev_a, ev_b = _events(a), _events(b)
+    assert ev_a[1:] == ev_b[1:]
+    head_a, head_b = json.loads(ev_a[0]), json.loads(ev_b[0])
+    assert head_a["config"] == head_b["config"]
+    assert head_a["trace"] != head_b["trace"]
+    assert head_b["trace"].startswith("synthetic:")
+
+
+def test_manifest_peak_memory(trace, tmp_path):
+    """track_memory records a positive tracemalloc high-water mark."""
+    result = run_observed(CONFIG, trace, track_memory=True)
+    peak = result.manifest["peak_memory_bytes"]
+    assert isinstance(peak, int) and peak > 0
+    untracked = run_observed(CONFIG, trace)
+    assert untracked.manifest["peak_memory_bytes"] is None
+
+
+def test_manifest_fingerprint_of_packed_source(trace, tmp_path):
+    """A packed reader's footer digest lands in the manifest verbatim."""
+    path = str(tmp_path / "t.rpct")
+    write_packed(path, trace, chunk_size=600)
+    with PackedTraceReader(path) as reader:
+        result = run_observed(CONFIG, reader)
+        assert result.manifest["trace"] == reader.fingerprint

@@ -1,0 +1,90 @@
+"""Parallel sweeps over streamed sources.
+
+Streamed sources ride the same pool channel as traces: synthetic streams
+pickle their config, packed readers pickle as their path and re-open in
+the worker. Results must be byte-identical to sweeping the materialised
+trace serially, and the memo store must address streamed points by the
+stream's own fingerprint.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.sweep import run_capacity_sweep
+from repro.parallel import SweepMemoStore
+from repro.simulation.simulator import SimulationConfig
+from repro.trace.columnar_io import PackedTraceReader, write_packed
+from repro.trace.stream import SyntheticTraceStream
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+CFG = SyntheticTraceConfig(
+    num_requests=2_000,
+    num_documents=250,
+    num_clients=10,
+    zero_size_fraction=0.02,
+    seed=19,
+)
+
+CAPACITIES = [("500KB", 500 * 1024), ("2MB", 2 * 1024 * 1024)]
+
+
+def _point_json(sweep):
+    return [p.result.to_json() for p in sweep.points]
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(CFG)
+
+
+@pytest.fixture(scope="module")
+def expected(trace):
+    base = SimulationConfig(num_caches=4)
+    return _point_json(
+        run_capacity_sweep(trace, CAPACITIES, base_config=base, engine="batch")
+    )
+
+
+def test_serial_stream_sweep_matches(trace, expected):
+    base = SimulationConfig(num_caches=4)
+    sweep = run_capacity_sweep(
+        SyntheticTraceStream(CFG), CAPACITIES, base_config=base, engine="batch"
+    )
+    assert _point_json(sweep) == expected
+
+
+def test_parallel_packed_sweep_matches(trace, expected, tmp_path):
+    """Packed reader fans out over pool workers (pickled by path)."""
+    path = str(tmp_path / "t.rpct")
+    write_packed(path, trace, chunk_size=512)
+    base = SimulationConfig(num_caches=4)
+    with PackedTraceReader(path) as reader:
+        sweep = run_capacity_sweep(
+            reader, CAPACITIES, base_config=base, engine="batch", jobs=2
+        )
+    assert _point_json(sweep) == expected
+
+
+def test_memo_addresses_streams(trace, expected, tmp_path):
+    """Second streamed sweep is served entirely from the memo store."""
+    base = SimulationConfig(num_caches=4)
+    memo = SweepMemoStore(tmp_path / "memo")
+    first = run_capacity_sweep(
+        SyntheticTraceStream(CFG),
+        CAPACITIES,
+        base_config=base,
+        engine="batch",
+        memo=memo,
+    )
+    assert _point_json(first) == expected
+    assert memo.hits == 0
+    second = run_capacity_sweep(
+        SyntheticTraceStream(CFG),
+        CAPACITIES,
+        base_config=base,
+        engine="batch",
+        memo=memo,
+    )
+    assert _point_json(second) == expected
+    assert memo.hits == len(CAPACITIES) * 2  # both schemes per capacity

@@ -1,0 +1,84 @@
+"""CLI coverage for ``pack-trace`` and packed-trace replay."""
+
+from __future__ import annotations
+
+import json
+
+from repro.cli import main
+
+
+class TestPackTrace:
+    def test_pack_and_replay_identical(self, tmp_path, capsys):
+        """pack-trace then simulate --trace X.rpct == direct synthetic run."""
+        packed = tmp_path / "t.rpct"
+        code = main(
+            [
+                "pack-trace",
+                "--scale",
+                "tiny",
+                "--seed",
+                "6",
+                "--out",
+                str(packed),
+                "--chunk-size",
+                "1500",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "packed 8000 records" in out
+        assert packed.exists()
+
+        common = ["--engine", "batch", "--capacity", "2MB", "--seed", "6", "--json"]
+        assert main(["simulate", "--trace", str(packed)] + common) == 0
+        from_packed = json.loads(capsys.readouterr().out)
+        assert main(["simulate", "--scale", "tiny"] + common) == 0
+        direct = json.loads(capsys.readouterr().out)
+        assert from_packed == direct
+
+    def test_requests_override_streams_generation(self, tmp_path, capsys):
+        packed = tmp_path / "small.rpct"
+        code = main(
+            [
+                "pack-trace",
+                "--scale",
+                "tiny",
+                "--requests",
+                "123",
+                "--out",
+                str(packed),
+            ]
+        )
+        assert code == 0
+        assert "packed 123 records" in capsys.readouterr().out
+
+    def test_sweep_progress_reports_stream_totals(self, tmp_path, capsys):
+        packed = tmp_path / "t.rpct"
+        main(["pack-trace", "--scale", "tiny", "--seed", "6", "--out", str(packed)])
+        capsys.readouterr()
+        code = main(
+            [
+                "sweep",
+                "--trace",
+                str(packed),
+                "--engine",
+                "batch",
+                "--capacity",
+                "2MB",
+                "--jobs",
+                "1",
+                "--progress",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        # Totals come from the packed footer, not len(trace.records).
+        assert "8000 requests" in out
+
+    def test_sanitize_rejects_streamed_source(self, tmp_path, capsys):
+        packed = tmp_path / "t.rpct"
+        main(["pack-trace", "--scale", "tiny", "--requests", "50", "--out", str(packed)])
+        capsys.readouterr()
+        code = main(["simulate", "--trace", str(packed), "--sanitize"])
+        assert code == 2
+        assert "materialised" in capsys.readouterr().err

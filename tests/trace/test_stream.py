@@ -1,0 +1,136 @@
+"""Streamed trace sources: identity with materialised traces.
+
+The protocol promise is strong — replaying a streamed source is
+byte-identical to materialising the same records into a ``Trace`` first —
+so these tests compare interned chunks and full replays, not just record
+counts.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import TraceError
+from repro.simulation.simulator import SimulationConfig, run_simulation
+from repro.trace.record import Trace
+from repro.trace.stream import (
+    RecordStream,
+    SyntheticTraceStream,
+    source_fingerprint,
+    source_num_records,
+)
+from repro.trace.synthetic import SyntheticTraceConfig, generate_trace
+
+CFG = SyntheticTraceConfig(
+    num_requests=4_000,
+    num_documents=500,
+    num_clients=16,
+    zero_size_fraction=0.02,
+    seed=77,
+)
+
+
+@pytest.fixture(scope="module")
+def materialised() -> Trace:
+    return generate_trace(CFG)
+
+
+def _chunk_tuples(source, chunk_size):
+    return [
+        (
+            chunk.doc_ids,
+            chunk.sizes,
+            chunk.timestamps,
+            chunk.clients,
+            chunk.new_urls,
+            chunk.new_client_names,
+            chunk.base_docs,
+            chunk.base_clients,
+            chunk.base_records,
+        )
+        for chunk in source.interned_chunks(chunk_size)
+    ]
+
+
+def test_synthetic_stream_matches_generate(materialised):
+    """Same config, same records — the stream shares the emission loop."""
+    stream = SyntheticTraceStream(CFG)
+    assert list(stream._records()) == materialised.records
+
+
+@pytest.mark.parametrize("chunk_size", (1, 997, 4_000, 9_999))
+def test_interned_chunks_match_trace(materialised, chunk_size):
+    """Incremental interning equals whole-trace interning, per chunk size."""
+    stream = SyntheticTraceStream(CFG)
+    assert _chunk_tuples(stream, chunk_size) == _chunk_tuples(
+        materialised, chunk_size
+    )
+
+
+@pytest.mark.parametrize("engine", ("columnar", "batch"))
+def test_streamed_replay_identity(materialised, engine):
+    """Replaying the stream is byte-identical to replaying the trace."""
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=1_500_000, engine=engine
+    )
+    expected = run_simulation(config, materialised).to_json()
+    got = run_simulation(config, SyntheticTraceStream(CFG), chunk_size=512)
+    assert got.to_json() == expected
+
+
+def test_stream_requires_chunked_engine():
+    """The object engine cannot replay a stream; the error says so."""
+    from repro.errors import SimulationError
+
+    config = SimulationConfig(engine="object")
+    with pytest.raises(SimulationError, match="chunked engine"):
+        run_simulation(config, SyntheticTraceStream(CFG))
+
+
+def test_record_stream_is_replayable(materialised):
+    """A RecordStream can be iterated more than once (fresh iterators)."""
+    stream = RecordStream(lambda: iter(materialised.records), num_records=4_000)
+    first = _chunk_tuples(stream, 1_000)
+    second = _chunk_tuples(stream, 1_000)
+    assert first == second
+
+
+def test_record_stream_rejects_bad_chunk_size(materialised):
+    stream = RecordStream(lambda: iter(materialised.records))
+    with pytest.raises(TraceError, match="chunk_size"):
+        list(stream.interned_chunks(0))
+
+
+def test_source_num_records(materialised):
+    assert source_num_records(materialised) == 4_000
+    assert source_num_records(SyntheticTraceStream(CFG)) == 4_000
+    assert source_num_records(RecordStream(lambda: iter(()))) is None
+
+
+def test_source_fingerprint_forms(materialised):
+    """Trace methods, stream attributes, and the opaque sentinel."""
+    assert source_fingerprint(materialised) == materialised.fingerprint()
+    stream_fp = source_fingerprint(SyntheticTraceStream(CFG))
+    assert stream_fp.startswith("synthetic:")
+    # Deterministic: same config, same address; different seed, different.
+    assert stream_fp == source_fingerprint(SyntheticTraceStream(CFG))
+    other = SyntheticTraceConfig(
+        num_requests=4_000,
+        num_documents=500,
+        num_clients=16,
+        zero_size_fraction=0.02,
+        seed=78,
+    )
+    assert stream_fp != source_fingerprint(SyntheticTraceStream(other))
+    opaque = RecordStream(lambda: iter(()))
+    assert source_fingerprint(opaque) == "stream:opaque"
+    with pytest.raises(TraceError, match="fingerprint"):
+        source_fingerprint(opaque, strict=True)
+
+
+def test_memo_rejects_opaque_streams(tmp_path):
+    """Content-addressed memoisation refuses unfingerprinted sources."""
+    from repro.parallel.memo import sweep_memo_key
+
+    with pytest.raises(TraceError, match="fingerprint"):
+        sweep_memo_key(SimulationConfig(), RecordStream(lambda: iter(())))
