@@ -104,10 +104,13 @@ def test_bench_batch_requests_per_second(benchmark, micro_trace, scheme):
     """Batch-engine counterpart, same config/trace as the other two.
 
     The micro trace evicts constantly at 1 MB aggregate, so this measures
-    the batch engine's *general* (stateful-loop) regime — the cold-regime
-    gain shows up in ``test_bench_batch_speedup_cold`` instead. The CI
+    the batch engine's *churn* (conflict-storm scalar) regime — the
+    cold-regime gain shows up in ``test_bench_batch_speedup_cold`` and
+    the warm-regime gain in ``test_bench_batch_speedup_warm``. The CI
     regression gate reads this entry so the batch loop cannot quietly
-    regress.
+    regress. Warmup rounds absorb the first-call effects (allocator
+    growth, branch warm-up) that made BENCH_7's 3-round batch entries
+    show stddev on the order of the mean; the gate compares medians.
     """
     config = SimulationConfig(
         scheme=scheme,
@@ -121,7 +124,7 @@ def test_bench_batch_requests_per_second(benchmark, micro_trace, scheme):
     def run():
         return run_simulation(config, micro_trace)
 
-    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    result = benchmark.pedantic(run, rounds=7, iterations=1, warmup_rounds=2)
     assert result.metrics.requests == len(micro_trace)
     object_result = CooperativeSimulator(config).run(micro_trace)
     assert result.to_json() == object_result.to_json()
@@ -158,9 +161,84 @@ def test_bench_batch_cold_requests_per_second(benchmark, cold_trace):
     )
     cold_trace.interned()
     result = benchmark.pedantic(
-        lambda: run_simulation(config, cold_trace), rounds=3, iterations=1
+        lambda: run_simulation(config, cold_trace),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
     )
     assert result.metrics.requests == len(cold_trace)
+
+
+@pytest.fixture(scope="module")
+def bu_trace():
+    """The BU-scale trace (575,775 requests): the ISSUE's warm-regime
+    acceptance workload. At 488 MB aggregate the replay *evicts* (the
+    unique footprint slightly overflows), so the batch engine runs its
+    full three-regime pipeline: vectorised cold prefix, hit-run bulk
+    scanning, and scalar protocol handling around every eviction."""
+    from repro.trace import bu_like_config
+
+    return generate_trace(bu_like_config())
+
+
+#: The warm acceptance point: evicting, but hit-dominated — see bu_trace.
+WARM_CAPACITY = 488 << 20
+
+
+def test_bench_batch_warm_requests_per_second(benchmark, bu_trace):
+    """Warm/evicting-regime throughput entry for the regression gate."""
+    config = SimulationConfig(
+        scheme="ea",
+        num_caches=4,
+        aggregate_capacity=WARM_CAPACITY,
+        seed=5,
+        engine="batch",
+    )
+    bu_trace.interned()
+    result = benchmark.pedantic(
+        lambda: run_simulation(config, bu_trace),
+        rounds=5,
+        iterations=1,
+        warmup_rounds=1,
+    )
+    assert result.metrics.requests == len(bu_trace)
+    assert sum(s.evictions for s in result.cache_stats) > 0
+
+
+def test_bench_batch_speedup_warm(bu_trace):
+    """The ISSUE 8 acceptance bar: batch >= 3x columnar on the BU-scale
+    *evicting* replay (cold already cleared 3x in PR 7). Same shape as
+    ``test_bench_batch_speedup_cold``: best-of-three wall times, byte
+    identity asserted alongside the timing, and a non-vacuity check that
+    the workload really evicts at this capacity.
+    """
+    import time
+
+    from repro.fastpath import simulate_batch, simulate_columnar
+
+    config = SimulationConfig(
+        scheme="ea", num_caches=4, aggregate_capacity=WARM_CAPACITY, seed=5
+    )
+    bu_trace.interned()
+
+    def best_of(engine_fn):
+        best, result = float("inf"), None
+        for _ in range(3):
+            start = time.perf_counter()
+            result = engine_fn(config, bu_trace)
+            best = min(best, time.perf_counter() - start)
+        return best, result
+
+    batch_time, batch_result = best_of(simulate_batch)
+    columnar_time, columnar_result = best_of(simulate_columnar)
+    assert batch_result.to_json() == columnar_result.to_json()
+    assert sum(s.evictions for s in batch_result.cache_stats) > 0
+    speedup = columnar_time / batch_time
+    print(f"\nbatch warm-regime speedup over columnar: {speedup:.2f}x")
+    assert speedup >= 3.0, (
+        f"batch engine {speedup:.2f}x over columnar on the evicting "
+        f"BU-scale replay; acceptance bar is 3x"
+    )
 
 
 def test_bench_batch_speedup_cold(cold_trace):

@@ -7,10 +7,13 @@ Usage::
 
 The repo keeps one pytest-benchmark JSON per PR (``BENCH_<n>.json`` at the
 repo root). This script compares the given file against the
-highest-numbered *earlier* ``BENCH_*.json`` by mean runtime per benchmark
-name. A benchmark slower than ``previous_mean * (1 + threshold)`` fails the
-check; new benchmarks (no baseline entry) and a missing baseline file pass
-— there is nothing to regress against.
+highest-numbered *earlier* ``BENCH_*.json`` by **median-of-rounds** runtime
+per benchmark name — one stalled round (GC pause, co-tenant load) shifts a
+3-round mean by a third of the stall but leaves the median untouched, so
+the median is the stable cross-run estimator. A benchmark slower than
+``previous_median * (1 + threshold)`` fails the check; new benchmarks (no
+baseline entry) and a missing baseline file pass — there is nothing to
+regress against.
 
 Machine-to-machine noise is why the bar is a generous 20%: the check exists
 to catch accidental algorithmic regressions (an O(n^2) sneaking back into a
@@ -51,6 +54,17 @@ def load_means(path: Path) -> Dict[str, float]:
     by ``scripts/summarize_bench.py`` (means at ``bench["mean"]``).
     """
     return _load_stat(path, "mean")
+
+
+def load_medians(path: Path) -> Dict[str, float]:
+    """Map benchmark name -> median-of-rounds seconds (same schemas).
+
+    The cross-file regression gate compares medians: round counts are
+    small, so a single stalled round dominates a mean (BENCH_7's batch
+    entries showed stddev on the order of the mean) while the median of
+    the same rounds stays put.
+    """
+    return _load_stat(path, "median")
 
 
 def load_mins(path: Path) -> Dict[str, float]:
@@ -151,28 +165,28 @@ def main(argv: Optional[list] = None) -> int:
     )
     if pair_status == 2:
         return 2
-    current = load_means(args.current)
+    current = load_medians(args.current)
 
     baseline_path = find_baseline(args.current)
     if baseline_path is None:
         print(f"{args.current.name}: no earlier BENCH_*.json baseline; nothing to compare")
         return pair_status
 
-    baseline = load_means(baseline_path)
+    baseline = load_medians(baseline_path)
     regressions = []
-    for name, mean in sorted(current.items()):
+    for name, median in sorted(current.items()):
         previous = baseline.get(name)
         if previous is None:
-            print(f"  new       {name}: {mean * 1e3:.2f} ms (no baseline)")
+            print(f"  new       {name}: {median * 1e3:.2f} ms (no baseline)")
             continue
-        ratio = mean / previous if previous > 0 else float("inf")
+        ratio = median / previous if previous > 0 else float("inf")
         marker = "REGRESSED" if ratio > 1.0 + args.threshold else "ok"
         print(
-            f"  {marker:<9} {name}: {previous * 1e3:.2f} ms -> {mean * 1e3:.2f} ms "
+            f"  {marker:<9} {name}: {previous * 1e3:.2f} ms -> {median * 1e3:.2f} ms "
             f"({ratio:.0%} of baseline)"
         )
         if ratio > 1.0 + args.threshold:
-            regressions.append((name, previous, mean))
+            regressions.append((name, previous, median))
 
     if regressions:
         print(

@@ -607,10 +607,13 @@ def _cmd_profile(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=args.engine,
     )
+    regimes: dict = {}
     profiler = cProfile.Profile()
     start = time.perf_counter()
     profiler.enable()
-    result = run_simulation(config, trace)
+    result = run_simulation(
+        config, trace, regimes=regimes if args.engine == "batch" else None
+    )
     profiler.disable()
     elapsed = time.perf_counter() - start
     requests = result.metrics.requests
@@ -622,8 +625,50 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     stream = io.StringIO()
     stats = pstats.Stats(profiler, stream=stream)
     stats.strip_dirs().sort_stats(args.sort).print_stats(args.top)
+    if args.engine == "batch":
+        _print_batch_regimes(regimes, stats, elapsed)
     print(stream.getvalue().rstrip())
     return 0
+
+
+def _print_batch_regimes(regimes: dict, stats, elapsed: float) -> None:
+    """Report how the batch engine's three regimes split the run.
+
+    Request counts come from the engine (it tallies, never clocks — see
+    ``docs/ANALYSIS.md`` on determinism); wall-time shares come from the
+    profiler's attribution to the engine's named frames: ``scalar_run``
+    cumulative time is the scalar protocol path, the rest of
+    ``warm_loop`` is the hit-run bulk scanner, and everything else
+    (vectorised cold replay, precompute, post-pass) is the remainder.
+    """
+    if "fallback_reason" in regimes:
+        print(f"batch fast loop not engaged: {regimes['fallback_reason']}")
+        return
+    counts = [
+        ("cold", regimes.get("cold", 0)),
+        ("hit-run bulk", regimes.get("hit_run", 0)),
+        ("scalar", regimes.get("scalar", 0)),
+    ]
+    total = sum(c for _, c in counts) or 1
+    print(
+        "batch regime breakdown (requests): "
+        + ", ".join(f"{k} {c:,} ({100.0 * c / total:.1f}%)" for k, c in counts)
+    )
+    warm_c = scalar_c = 0.0
+    for (fname, _line, func), entry in stats.stats.items():
+        if fname == "batch.py" and func == "warm_loop":
+            warm_c = entry[3]
+        elif fname == "batch.py" and func == "scalar_run":
+            scalar_c = entry[3]
+    bulk = max(warm_c - scalar_c, 0.0)
+    rest = max(elapsed - warm_c, 0.0)
+    wall = elapsed or 1.0
+    print(
+        "batch wall-time share: "
+        f"hit-run bulk {bulk:.3f}s ({100.0 * bulk / wall:.1f}%), "
+        f"scalar path {scalar_c:.3f}s ({100.0 * scalar_c / wall:.1f}%), "
+        f"cold+precompute+post-pass {rest:.3f}s ({100.0 * rest / wall:.1f}%)"
+    )
 
 
 def _load_or_generate(args: argparse.Namespace):

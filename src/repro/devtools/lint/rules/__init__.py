@@ -9,5 +9,6 @@ from repro.devtools.lint.rules import (  # noqa: F401  (import-for-side-effect)
     obsio,
     ordering,
     parallel,
+    scalarization,
     style,
 )

@@ -1,0 +1,139 @@
+"""Scalarization guard for the batch engine's bulk helpers.
+
+``repro.fastpath.batch`` earns its throughput by applying whole blocks of
+work through numpy gathers and scatters; its scalar protocol path
+deliberately reads the buffer-protocol columns (``array``/``bytearray``)
+element-wise instead. The regression RPR012 exists to catch is the quiet
+middle ground: a Python ``for`` loop iterating a *numpy array* element by
+element inside the vectorised helpers — each step materialises a numpy
+scalar, which is several times slower than either the vector op it
+replaced or the plain-int loop it pretends to be. The sanctioned escape
+hatch when per-element Python iteration is genuinely needed is
+``.tolist()`` (one bulk conversion, then plain ints), which this rule
+deliberately does not flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Set
+
+from repro.devtools.lint.registry import FileContext, RuleVisitor, register
+
+#: Builtins that iterate their argument element-wise: wrapping a numpy
+#: array in one of these is the same scalarization as a bare ``for``.
+_ELEMENTWISE_WRAPPERS: Set[str] = {
+    "enumerate",
+    "zip",
+    "map",
+    "filter",
+    "reversed",
+    "sorted",
+    "list",
+    "tuple",
+    "set",
+}
+
+
+def _is_np_call(node: ast.AST) -> bool:
+    """Whether ``node`` is a call rooted at the ``np`` module object
+    (``np.frombuffer(...)``, ``np.maximum.accumulate(...)``, ...)."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    while isinstance(func, ast.Attribute):
+        func = func.value
+    return isinstance(func, ast.Name) and func.id == "np"
+
+
+@register
+class BatchScalarizationRule(RuleVisitor):
+    """RPR012: no Python-level per-element iteration over numpy arrays
+    in ``repro.fastpath.batch``.
+
+    Tracks names bound to numpy expressions (``x = np.flatnonzero(...)``
+    and anything derived from a tracked name by subscripting, arithmetic,
+    or comparison) and flags a ``for`` statement or comprehension whose
+    iterable is such an array — directly, or wrapped in an element-wise
+    builtin (``enumerate``/``zip``/``list``/...). Iterating the result of
+    ``.tolist()`` is the sanctioned bulk escape and is never flagged; a
+    deliberate exception takes ``# repro: noqa[RPR012]``.
+    """
+
+    code = "RPR012"
+    summary = "per-element Python iteration over a numpy array in batch bulk code"
+    packages = ("fastpath",)
+
+    def __init__(self, ctx) -> None:
+        super().__init__(ctx)
+        self._np_names: Set[str] = set()
+
+    @classmethod
+    def applies(cls, ctx: FileContext) -> bool:
+        """Scoped to the batch engine module only: the scalar columns the
+        other fastpath modules loop over are lists, not numpy arrays."""
+        if not super().applies(ctx):
+            return False
+        name = ctx.path.replace("\\", "/").rsplit("/", 1)[-1]
+        return name == "batch.py"
+
+    def _arrayish(self, node: ast.AST) -> bool:
+        """Whether ``node`` statically looks like a numpy array value."""
+        if isinstance(node, ast.Name):
+            return node.id in self._np_names
+        if _is_np_call(node):
+            return True
+        if isinstance(node, ast.Subscript):
+            return self._arrayish(node.value)
+        if isinstance(node, ast.BinOp):
+            return self._arrayish(node.left) or self._arrayish(node.right)
+        if isinstance(node, ast.UnaryOp):
+            return self._arrayish(node.operand)
+        if isinstance(node, ast.Compare):
+            return self._arrayish(node.left) or any(
+                self._arrayish(c) for c in node.comparators
+            )
+        return False
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        if len(node.targets) == 1 and isinstance(node.targets[0], ast.Name):
+            name = node.targets[0].id
+            if self._arrayish(node.value):
+                self._np_names.add(name)
+            else:
+                self._np_names.discard(name)
+        self.generic_visit(node)
+
+    def _check_iterable(self, node: ast.AST, anchor: ast.AST) -> None:
+        if self._arrayish(node):
+            self.report(
+                anchor,
+                "per-element Python iteration over a numpy array "
+                "materialises one numpy scalar per step; use a vector "
+                "op, or `.tolist()` once if a scalar loop is required",
+            )
+            return
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in _ELEMENTWISE_WRAPPERS
+        ):
+            for arg in node.args:
+                if self._arrayish(arg):
+                    self.report(
+                        anchor,
+                        f"`{node.func.id}(...)` over a numpy array iterates "
+                        "it element-wise in Python; use a vector op, or "
+                        "`.tolist()` once if a scalar loop is required",
+                    )
+                    return
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iterable(node.iter, node)
+        self.generic_visit(node)
+
+    visit_AsyncFor = visit_For
+
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        self._check_iterable(node.iter, node.iter)
+        self.generic_visit(node)

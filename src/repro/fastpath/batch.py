@@ -28,6 +28,24 @@ whole-chunk batch precomputation:
   leaf) pair cannot change any observable decision after the first one
   resolves to a resident copy, so the stateful loop iterates *run starts*
   only; members are accounted in the vectorised post-pass.
+* **Hit-run bulk scanning (the warm regime)** — once any cache has
+  filled, replay still spends most of its time on *local hits on
+  already-resident documents* (Zipf skew), whose only state effects are
+  the two recency stores. The ``present_b`` byte table doubles as a
+  dense residency bitmap: a vectorised gather classifies a whole block
+  of pending runs at once (``resident[slot] != 0``), only the
+  predicted-miss runs (miss, remote hit, admission, eviction) replay
+  through the scalar protocol path, and all the predicted-hit runs'
+  recency touches are applied in *one* fancy-indexed scatter per block
+  (duplicate slots resolve last-wins, which is exactly the scalar
+  loop's final state). Deferred touches are protected by per-slot
+  prediction marks: if an eviction ever selects a marked slot, the
+  block's consumed touches are flushed on the spot and the remaining
+  classifications are discarded and redone. Local hits can never change
+  placement in this protocol — EA placement and promotion decisions
+  only happen on *remote* hits, which are local misses at the
+  requesting leaf and therefore terminate the run under the residency
+  test; the residency bitmap **is** the promotion-armed mask.
 * **First-occurrence / compulsory-miss masks (the cold regime)** — while
   no cache has ever filled, every expiration age is ``inf``, EA placement
   decisions are constants, every admission succeeds, and a request can
@@ -64,6 +82,7 @@ config takes. Configs outside the shared envelope raise, exactly like
 from __future__ import annotations
 
 import math
+from array import array
 from heapq import heappop, heappush
 from typing import List, Optional
 
@@ -102,7 +121,10 @@ def batch_fastloop_reason(config, obs=None) -> Optional[str]:
     return None
 
 
-def simulate_batch(config, trace, obs=None, chunk_size: Optional[int] = None) -> SimulationResult:
+def simulate_batch(
+    config, trace, obs=None, chunk_size: Optional[int] = None,
+    regimes: Optional[dict] = None,
+) -> SimulationResult:
     """Replay ``trace`` under ``config`` on the batch engine.
 
     Accepts the same sources as :func:`simulate_columnar`: a materialised
@@ -111,6 +133,14 @@ def simulate_batch(config, trace, obs=None, chunk_size: Optional[int] = None) ->
     synthetic generators); streamed sources replay with O(chunk) memory.
     Raises :class:`SimulationError` for configs outside the shared
     engine envelope — use ``run_simulation`` for transparent fallback.
+
+    ``regimes``, when given a dict, receives the per-regime request
+    counts after the run: ``cold`` (vectorised first-occurrence replay),
+    ``hit_run`` (bulk-scanned warm hit runs), and ``scalar``
+    (per-request protocol path). Configs that replay on the chunked
+    columnar core instead record ``fallback_reason``. Counts only — the
+    engine never reads a clock; ``repro profile`` derives wall-time
+    shares from the profiler's per-function attribution.
     """
     reason = columnar_unsupported_reason(config)
     if reason is not None:
@@ -118,14 +148,19 @@ def simulate_batch(config, trace, obs=None, chunk_size: Optional[int] = None) ->
     if config.patch_size <= 0:
         # Same guard (and message) patch_zero_sizes raises in the object path.
         raise TraceError(f"patch_size must be positive, got {config.patch_size}")
-    if batch_fastloop_reason(config, obs) is not None:
+    loop_reason = batch_fastloop_reason(config, obs)
+    if loop_reason is not None:
         # Envelope configs the fast loop does not vectorise replay on the
         # chunked columnar core — byte-identical by its own contract.
+        if regimes is not None:
+            regimes["fallback_reason"] = loop_reason
         return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
-    return _simulate_fast(config, trace, chunk_size)
+    return _simulate_fast(config, trace, chunk_size, regimes)
 
 
-def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult:
+def _simulate_fast(
+    config, trace, chunk_size: Optional[int], regimes: Optional[dict] = None
+) -> SimulationResult:
     """The vectorised fast loop (distributed + LRU + pure windows, no obs)."""
     np = load_numpy()
     patch = config.patch_size
@@ -166,9 +201,32 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
     NC = num_caches
     num_docs = 0
     present_b = bytearray()
-    dsz: List[int] = []
-    lh: List[float] = []
-    seq: List[int] = []
+    # Per-slot metadata lives in buffer-protocol columns — ``array`` /
+    # ``bytearray`` — so the scalar protocol path (miss_path/_admit,
+    # which runs once per *state-changing* request and dominates
+    # evicting replay) gets Python-speed element access, while the
+    # warm/cold regimes take zero-copy ``np.frombuffer`` views for bulk
+    # scatters. Views are created where needed and dropped before the
+    # next growth (a buffer with an exported view cannot be resized).
+    # ``array("d")`` holds C doubles, so ``lh`` arithmetic stays bit-
+    # and serialisation-identical to the object core's floats.
+    dsz = array("q")  # resident copy size
+    lh = array("d")  # last-touch timestamp
+    seq = array("q")  # last-touch global request index
+    pred = bytearray() if np is not None else None
+    # Warm-scanner shared cells (see warm_loop). ``pred_conflict`` is set
+    # when an eviction invalidated the current block's classifications;
+    # ``flush_cb`` holds the active block's flush closure so _admit can
+    # apply deferred hit touches before evicting a marked slot;
+    # ``touched`` records the newest scalar (touch index, timestamp) per
+    # slot inside a block so the block-end scatter cannot roll a
+    # promotion refresh back to an older bulk value.
+    pred_conflict = [False]
+    flushed = [False]
+    flush_cb: List = [None]
+    blk_state: List = [None, None, 0, 0]
+    touched: dict = {}
+    sr_hits = [0]  # run members resolved by scalar_run's residency recheck
     heaps: List[list] = [[] for _ in range(NC)]
     used = [0] * NC
     copies = [0] * NC
@@ -272,20 +330,33 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
     # EA with tie_break="responder" never stores on a remote hit, so seen
     # slots would not all be resident; that shape replays on the loop.
     cold = np is not None and (not ea or tie_requester)
-    first_min = []  # per doc: min leaf holding a copy (-1 until first seen)
-    # Deferred last-touch fixups from cold segments: (slots, touch indices,
-    # timestamps), applied only if the general loop (which reads lh/seq at
-    # evictions) ever takes over. ``seq`` is touch-monotone, so replaying
-    # fixups oldest-first under a ``g > seq[slot]`` guard commutes with any
-    # direct writes the cold loop already made (responder promotions).
+    # Per doc: min leaf holding a copy (-1 until first seen). Cold-only
+    # state, and cold is numpy-only, so this is always a numpy column.
+    if np is not None:
+        first_min_g = _NpGrow(np)
+        first_min = first_min_g.view()
+    else:
+        first_min_g = None
+        first_min = None
+    # Deferred last-touch fixups from cold segments: (slot, touch index,
+    # timestamp) arrays, applied only if the general loop (which reads
+    # lh/seq at evictions) ever takes over. ``seq`` is touch-monotone, so
+    # replaying fixups oldest-first under a ``g > seq[slot]`` guard
+    # commutes with any direct writes the cold loop already made
+    # (responder promotions). Slots are unique within each tuple, so the
+    # masked scatters below are conflict-free.
     pending: List[tuple] = []
 
     def flush_pending() -> None:
+        if not pending:
+            return
+        seq_v = np.frombuffer(seq, dtype=np.int64)
+        lh_v = np.frombuffer(lh)
         for slots_p, gs_p, tss_p in pending:
-            for slot, g, t in zip(slots_p, gs_p, tss_p):
-                if g > seq[slot]:
-                    seq[slot] = g
-                    lh[slot] = t
+            m = gs_p > seq_v[slots_p]
+            sm = slots_p[m]
+            seq_v[sm] = gs_p[m]
+            lh_v[sm] = tss_p[m]
         pending.clear()
 
     def miss_path(i: int, slot: int, now: float) -> None:
@@ -358,6 +429,7 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
                 st_promo_granted[responder] += 1
                 lh[rslot] = now
                 seq[rslot] = gbase + i
+                touched[rslot] = (gbase + i, now)
             else:
                 st_promo_withheld[responder] += 1
             if store:
@@ -396,6 +468,14 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
                 s, victim = heap_c[0]
                 if not present_b[victim]:
                     heappop(heap_c)  # evicted earlier; entry is dead
+                    continue
+                if pred is not None and pred[victim]:
+                    # The candidate carries a deferred warm-block hit
+                    # touch (or an outstanding hit prediction): bring
+                    # the block's consumed touches current, then
+                    # re-examine — the flushed recency may reschedule
+                    # it. The flush aborts the rest of the block.
+                    flush_cb[0]()
                     continue
                 cur = seq[victim]
                 if cur != s:
@@ -446,6 +526,225 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
         st_bytes_admitted[cache] += size
         copies[cache] += 1
 
+    def scalar_run(r: int) -> int:
+        """Replay run ``r`` through the per-request protocol path.
+
+        Dispatched by the warm scanner for runs classified non-resident
+        at block-scan time. The classification can be stale in the hit
+        direction by the time the run is reached (an admission earlier
+        in the block made the slot resident), so a live recheck turns
+        those into plain hit runs. Otherwise the first request misses;
+        once an admission sticks, the remaining members collapse to
+        local hits whose only state effect is the final touch. Returns
+        the member count; members resolved by the residency recheck or
+        by run collapse after a sticking admission — requests that
+        never individually execute the protocol path — are additionally
+        tallied in ``sr_hits`` so the regime breakdown reports them as
+        hit-run work, not scalar fallback. A named function (not
+        inlined in the scanner) so ``repro profile`` attributes
+        scalar-path wall time to one frame.
+        """
+        i = starts_l[r]
+        slot = sslots_l[r]
+        e = ends_l[r]
+        if present_b[slot]:
+            lh[slot] = ts_l[e - 1]
+            seq[slot] = gbase + e - 1
+            if not lean:
+                served[i:e] = dsz[slot]
+            sr_hits[0] += e - i
+            return e - i
+        miss_path(i, slot, sts_l[r])
+        if e - i > 1:
+            if present_b[slot]:
+                lh[slot] = ts_l[e - 1]
+                seq[slot] = gbase + e - 1
+                if not lean:
+                    served[i + 1 : e] = dsz[slot]
+                sr_hits[0] += e - i - 1
+            else:
+                # Rejected/declined: each member re-misses until one
+                # admission sticks, then the tail collapses.
+                j = i + 1
+                while j < e:
+                    if present_b[slot]:
+                        lh[slot] = ts_l[e - 1]
+                        seq[slot] = gbase + e - 1
+                        if not lean:
+                            served[j:e] = dsz[slot]
+                        sr_hits[0] += e - j
+                        break
+                    miss_path(j, slot, ts_l[j])
+                    j += 1
+        return e - i
+
+    def warm_loop():
+        """Warm-regime scanner: block classification, deferred bulk touches.
+
+        Classifies runs in fixed-size blocks with one gather against the
+        live residency bitmap (``present_b`` viewed as uint8 — mutations
+        from :func:`_admit`/:func:`miss_path` are visible through the
+        view), replays only the predicted-miss runs through
+        :func:`scalar_run`, and applies all the predicted-hit runs'
+        lazy-LRU touches in one fancy-indexed scatter per block after
+        the scalar work (a slot recurring among the hits resolves
+        last-wins under fancy assignment — numpy applies values in index
+        order — which is exactly the scalar loop's final state).
+
+        Deferring the hit touches within a block is sound because
+        nothing reads them until an eviction selects one of the touched
+        slots: every predicted-hit slot carries a ``pred`` mark, and
+        :func:`_admit` invokes the flush closure before evicting a
+        marked slot, which applies the consumed touches immediately and
+        aborts the rest of the block for reclassification
+        (``pred_conflict``). Predicted-miss runs can only go stale in
+        the hit direction (an earlier admission), handled by the live
+        recheck in :func:`scalar_run`. Promotion refreshes landing on
+        scatter-covered slots are reconciled by the ``touched`` fixup —
+        the newest touch index wins, matching scalar order. Returns
+        (hit_run_requests, scalar_requests) for the chunk tail.
+        """
+        starts_r, ends_r, rslots, rlast_ts = runs_np
+        rlast_g = ends_r + (gbase - 1)
+        nruns = len(starts_r)
+        hit_req = 0
+        scal_req = 0
+        sr_hits[0] = 0
+        # No reference to these views may survive the chunk body — the
+        # backing buffers' extend() on the next chunk would raise
+        # BufferError. They are locals of this call, which returns
+        # before the next chunk grows anything.
+        res = np.frombuffer(present_b, dtype=np.uint8)
+        dszv = np.frombuffer(dsz, dtype=np.int64)
+        lhv = np.frombuffer(lh)
+        seqv = np.frombuffer(seq, dtype=np.int64)
+        predv = np.frombuffer(pred, dtype=np.uint8)
+        r = int(np.searchsorted(starts_r, tail_start)) if tail_start else 0
+        B = 1024
+        # Deferral credit: the block scatter machinery only pays for
+        # itself when blocks complete. Conflict aborts burn credit;
+        # conflict-free mixed blocks and pure-hit blocks (the signature
+        # of a stable residency set) earn it back. At zero credit mixed
+        # blocks replay fully scalar — eviction-churn regimes then run
+        # at plain per-run cost instead of thrashing classification.
+        credit = 4
+
+        def fill_served(sg, s, e) -> None:
+            # Non-lean only: fill each bulk hit run's member span with
+            # the resident copy's stored size. Spans are disjoint from
+            # the scalar runs' own served writes, so order is free.
+            lens = e - s
+            tot = int(lens.sum())
+            if not tot:
+                return
+            off = np.cumsum(lens)
+            idx = np.arange(tot, dtype=np.intp) + np.repeat(s - (off - lens), lens)
+            served[idx] = np.repeat(dszv[sg], lens)
+
+        def apply_touches(sl_b, hitm_b, r0, upto) -> None:
+            # Scatter the consumed hit prefix's touches, then re-assert
+            # any newer scalar touches (promotion refreshes) the scatter
+            # may have rolled back, and retire the block's marks.
+            cons = upto - r0
+            if cons:
+                m = hitm_b[:cons]
+                sg = sl_b[:cons][m]
+                lhv[sg] = rlast_ts[r0:upto][m]
+                seqv[sg] = rlast_g[r0:upto][m]
+            if touched:
+                for slot, gt in touched.items():
+                    if gt[0] > seq[slot]:
+                        seq[slot] = gt[0]
+                        lh[slot] = gt[1]
+                touched.clear()
+            predv[sl_b] = 0
+
+        def flush_block() -> None:
+            apply_touches(
+                blk_state[0], blk_state[1], blk_state[2], blk_state[3]
+            )
+            flushed[0] = True
+            pred_conflict[0] = True
+
+        flush_cb[0] = flush_block
+        while r < nruns:
+            blk = B if r + B <= nruns else nruns - r
+            sl = rslots[r : r + blk]
+            hitm = res[sl] != 0
+            nh = int(hitm.sum())
+            if nh == blk:
+                # Pure hit block: one scatter pair, no scalar work, no
+                # marks needed — nothing below can read stale recency
+                # because nothing below runs.
+                lhv[sl] = rlast_ts[r : r + blk]
+                seqv[sl] = rlast_g[r : r + blk]
+                if not lean:
+                    fill_served(sl, starts_r[r : r + blk], ends_r[r : r + blk])
+                hit_req += ends_l[r + blk - 1] - starts_l[r]
+                r += blk
+                if B < 8192:
+                    B <<= 1
+                if credit < 8:
+                    credit += 1
+                continue
+            if nh * 4 < blk or not credit:
+                # Churn block (hits scarce): replay every run through
+                # the scalar path with live residency checks — no
+                # deferral, no marks, no conflicts possible. This keeps
+                # eviction-heavy regimes at the plain per-run cost
+                # instead of thrashing the block machinery.
+                for p in range(r, r + blk):
+                    scal_req += scalar_run(p)
+                r += blk
+                continue
+            mpos = np.flatnonzero(~hitm)
+            predv[sl] = hitm
+            flushed[0] = False
+            pred_conflict[0] = False
+            blk_state[0] = sl
+            blk_state[1] = hitm
+            blk_state[2] = r
+            stop = r + blk
+            blk_scal = 0
+            for p in (mpos + r).tolist():
+                blk_state[3] = p
+                blk_scal += scalar_run(p)
+                if pred_conflict[0]:
+                    # An eviction invalidated the outstanding
+                    # predictions; reclassify from the next run with a
+                    # smaller block so conflict storms stay cheap.
+                    stop = p + 1
+                    if B > 128:
+                        B >>= 1
+                    credit = credit - 2 if credit > 2 else 0
+                    break
+            else:
+                if B < 8192:
+                    B <<= 1
+                if credit < 8:
+                    credit += 1
+            if not flushed[0]:
+                apply_touches(sl, hitm, r, stop)
+            if not lean:
+                cons = stop - r
+                m = hitm[:cons]
+                fill_served(
+                    sl[:cons][m], starts_r[r:stop][m], ends_r[r:stop][m]
+                )
+            scal_req += blk_scal
+            hit_req += ends_l[stop - 1] - starts_l[r] - blk_scal
+            r = stop
+        flush_cb[0] = None
+        # Reclassify the residency-recheck hit-runs: they were tallied
+        # through scalar_run's return value but never entered the
+        # protocol path, so the breakdown reports them as hit-run work.
+        return hit_req + sr_hits[0], scal_req - sr_hits[0]
+
+    # Regime tallies (requests handled per path; see ``regimes``).
+    reg_cold = 0
+    reg_hit = 0
+    reg_scalar = 0
+
     # ---------------------------------------------------------------- #
     # Chunked replay
     # ---------------------------------------------------------------- #
@@ -459,11 +758,17 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
             icp_l.extend(chunk.new_icp_probe_bytes)
             grown = add * NC
             present_b.extend(bytes(grown))
-            dsz.extend([0] * grown)
-            lh.extend([0.0] * grown)
-            seq.extend([0] * grown)
-            first_min.extend([-1] * add)
+            # Zero-fill appends (8-byte elements for the q/d arrays); no
+            # numpy view of these buffers is live here — the vector
+            # paths create theirs after growth and drop them before the
+            # next chunk.
+            dsz.frombytes(bytes(8 * grown))
+            lh.frombytes(bytes(8 * grown))
+            seq.frombytes(bytes(8 * grown))
             if np is not None:
+                pred.extend(bytes(grown))
+                first_min_g.extend(np, np.full(add, -1, dtype=np.int64))
+                first_min = first_min_g.view()
                 url_len_g.extend(np, chunk.new_url_lens)
                 icp_g.extend(np, chunk.new_icp_probe_bytes)
                 first_size_g.extend(np, np.full(add, -1, dtype=np.int64))
@@ -518,6 +823,8 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
         lean = sizes_consistent
         ts_l = chunk.timestamps
         gbase = chunk.base_records
+        if np is not None:
+            docs_np, slots_np, ts_np, fsreq_np, runs_np = npx
 
         out = bytearray(n)
         served_np = None  # set by the cold path: first-size served column
@@ -528,7 +835,6 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
         # the split where an admission would first evict/reject/decline.
         # ------------------------------------------------------------ #
         if cold:
-            docs_np, slots_np, ts_np, fsreq_np = npx
             leaf_np = post[0]
             grp = None
             if cached_source is not None:
@@ -577,58 +883,121 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
                         split = oidx
             if split:
                 ecount = int(np.searchsorted(ev_idx, split))
-                for idx, slot, cache, size, t, doc in zip(
-                    ev_idx[:ecount].tolist(),
-                    ev_slot[:ecount].tolist(),
-                    ev_leaf[:ecount].tolist(),
-                    ev_size[:ecount].tolist(),
-                    ts_np[ev_idx[:ecount]].tolist(),
-                    ev_doc[:ecount].tolist(),
-                ):
-                    g = gbase + idx
-                    fm = first_min[doc]
-                    if fm < 0:
-                        # Compulsory miss: no copy exists anywhere yet.
-                        out[idx] = 3
-                        first_min[doc] = cache
-                    else:
-                        # Remote hit; the ascending probe scan under
-                        # all-inf ages picks the minimum holding sibling.
-                        sd = sdig.get(size)
-                        if sd is None:
-                            sd = len(str(size))
-                            sdig[size] = sd
-                        bus[5] += 76 + sd + sender_len[fm]
-                        st_remote_served[fm] += 1
-                        st_bytes_remote[fm] += size
-                        if ea:
-                            # Equal (inf) ages: refresh never granted.
-                            st_promo_withheld[fm] += 1
-                        else:
-                            st_promo_granted[fm] += 1
-                            rslot = slot - cache + fm
-                            lh[rslot] = t
-                            seq[rslot] = g
-                        out[idx] = 2
-                        if cache < fm:
-                            first_min[doc] = cache
-                    present_b[slot] = 1
-                    dsz[slot] = size
-                    lh[slot] = t
-                    seq[slot] = g
-                    heappush(heaps[cache], (g, slot))
-                    used[cache] += size
-                    st_admissions[cache] += 1
-                    st_bytes_admitted[cache] += size
-                    copies[cache] += 1
+                if ecount:
+                    # Vectorised first-occurrence replay. Events are
+                    # regrouped by doc (stable sort keeps time order
+                    # inside each group); the serving sibling of every
+                    # non-compulsory event is the doc's running-minimum
+                    # holding leaf — the ascending probe scan under
+                    # all-inf ages picks the minimum holding sibling —
+                    # seeded with the carried-over ``first_min`` state.
+                    e_idx = ev_idx[:ecount]
+                    e_slot = ev_slot[:ecount]
+                    e_leaf = ev_leaf[:ecount]
+                    e_size = ev_size[:ecount]
+                    e_ts = ts_np[e_idx]
+                    e_g = e_idx + gbase
+                    dorder = np.argsort(ev_doc[:ecount], kind="stable")
+                    d_doc = ev_doc[:ecount][dorder]
+                    d_leaf = e_leaf[dorder]
+                    gstart = np.empty(ecount, dtype=bool)
+                    gstart[0] = True
+                    gstart[1:] = d_doc[1:] != d_doc[:-1]
+                    gid = np.cumsum(gstart) - 1
+                    # Segmented inclusive running minimum of the leaf
+                    # column via offset max-accumulate: group offsets
+                    # dominate the encoded values, so earlier groups can
+                    # never leak into later ones. NC encodes "no holder".
+                    enc = gid * (NC + 1) + (NC - d_leaf)
+                    run_incl = NC - (np.maximum.accumulate(enc) - gid * (NC + 1))
+                    seed = first_min[d_doc[gstart]]
+                    seed = np.where(seed < 0, NC, seed)
+                    shifted = np.empty(ecount, dtype=np.int64)
+                    shifted[0] = NC
+                    shifted[1:] = run_incl[:-1]
+                    before = np.minimum(
+                        seed[gid], np.where(gstart, NC, shifted)
+                    )
+                    compulsory = before >= NC
+                    gendm = np.empty(ecount, dtype=bool)
+                    gendm[:-1] = gstart[1:]
+                    gendm[-1] = True
+                    first_min[d_doc[gstart]] = np.minimum(
+                        seed, run_incl[gendm]
+                    )
+                    d_idx = e_idx[dorder]
+                    ov = np.frombuffer(out, dtype=np.uint8)
+                    ov[d_idx] = np.where(compulsory, 3, 2)
+                    del ov
+                    rem = ~compulsory
+                    if bool(rem.any()):
+                        fm_r = before[rem]
+                        sz_r = e_size[dorder][rem]
+                        # 76 + Content-Length digits + sender header.
+                        bus[5] += int((
+                            np.searchsorted(pow10, sz_r, side="right")
+                            + 77
+                            + sender_np[fm_r]
+                        ).sum())
+                        rcnt = np.bincount(fm_r, minlength=NC)
+                        rbyt = np.bincount(fm_r, weights=sz_r, minlength=NC)
+                        for c in range(NC):
+                            k = int(rcnt[c])
+                            if k:
+                                st_remote_served[c] += k
+                                st_bytes_remote[c] += int(rbyt[c])
+                                if ea:
+                                    # Equal (inf) ages: never granted.
+                                    st_promo_withheld[c] += k
+                                else:
+                                    st_promo_granted[c] += k
+                    # Admissions: slots are unique (first occurrences),
+                    # so the scatters are conflict-free. (The residency
+                    # view must not outlive this block.)
+                    pb = np.frombuffer(present_b, dtype=np.uint8)
+                    pb[e_slot] = 1
+                    del pb
+                    dszv = np.frombuffer(dsz, dtype=np.int64)
+                    lhv = np.frombuffer(lh)
+                    seqv = np.frombuffer(seq, dtype=np.int64)
+                    dszv[e_slot] = e_size
+                    lhv[e_slot] = e_ts
+                    seqv[e_slot] = e_g
+                    acnt = np.bincount(e_leaf, minlength=NC)
+                    abyt = np.bincount(e_leaf, weights=e_size, minlength=NC)
+                    for c in range(NC):
+                        k = int(acnt[c])
+                        if not k:
+                            continue
+                        cm = e_leaf == c
+                        # Cold-regime heaps are append-only with globally
+                        # ascending touch indices, so the entry list is
+                        # sorted — and a sorted list is a valid min-heap.
+                        heaps[c].extend(
+                            zip(e_g[cm].tolist(), e_slot[cm].tolist())
+                        )
+                        used[c] += int(abyt[c])
+                        st_admissions[c] += k
+                        st_bytes_admitted[c] += int(abyt[c])
+                        copies[c] += k
+                    if not ea and bool(rem.any()):
+                        # Responder promotions touch the serving slot.
+                        # Applied *after* the admission scatter: a slot
+                        # admitted earlier in this batch can be
+                        # promotion-touched later, and the latest touch
+                        # must win. Duplicates share a doc group, so
+                        # array order is time order and fancy assignment
+                        # resolves last-wins.
+                        rslot_r = e_slot[dorder][rem] - d_leaf[rem] + fm_r
+                        lhv[rslot_r] = e_ts[dorder][rem]
+                        seqv[rslot_r] = e_g[dorder][rem]
+                    del dszv, lhv, seqv
                 served_np = fsreq_np  # never mutated: may be memo-shared
                 if split == n:
                     tail_start = n
-                    pending.append((
-                        grp_slot.tolist(),
-                        (grp_last + gbase).tolist(),
-                        ts_np[grp_last].tolist(),
-                    ))
+                    pending.append(
+                        (grp_slot, grp_last + gbase, ts_np[grp_last])
+                    )
                 else:
                     tail_start = split
                     sl_p = slots_np[:split]
@@ -643,11 +1012,9 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
                     gend[:-1] = gpos[1:]
                     gend[-1] = split
                     p_last = order_p[gend - 1]
-                    pending.append((
-                        ssp[gpos].tolist(),
-                        (p_last + gbase).tolist(),
-                        ts_np[p_last].tolist(),
-                    ))
+                    pending.append(
+                        (ssp[gpos], p_last + gbase, ts_np[p_last])
+                    )
             if split < n:
                 # The next admission can evict: ages stop being inf, so
                 # the regime is over for good. The general loop needs the
@@ -669,47 +1036,43 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
                     ends_l.append(n)
                     sslots_l = slots_np[tstarts].tolist()
                     sts_l = ts_np[tstarts].tolist()
+                    tends = np.empty(len(tstarts), dtype=np.intp)
+                    tends[:-1] = tstarts[1:]
+                    tends[-1] = n
+                    runs_np = (
+                        tstarts, tends, slots_np[tstarts], ts_np[tends - 1]
+                    )
 
-        # The served column is only materialised as a list when the
-        # stateful loop (whose miss path records into it) actually runs.
-        served = [0] * n if (np is None or tail_start < n) else []
+        # The served column is only materialised when the stateful path
+        # (whose miss branch records into it) actually runs; in numpy
+        # mode it is an int64 array so bulk hit-runs can fill member
+        # spans with one np.repeat scatter (lean mode derives every
+        # served size from the precomputed column instead, so the writes
+        # are dead there — the zeros allocation is one memset).
+        reg_cold += tail_start
+        if np is None:
+            served = [0] * n
+        elif tail_start < n:
+            served = np.zeros(n, dtype=np.int64)
+        else:
+            served = []
 
         # ------------------------------------------------------------ #
-        # The stateful loop: run starts only. A run whose first request
+        # The stateful tail: run starts only. A run whose first request
         # leaves the doc resident collapses — members are local hits
         # whose only state effect is the final touch index and last-hit.
-        # In lean mode (every doc's patched size is constant across the
-        # trace so far, verified vectorially) the served size of *any*
-        # outcome equals the precomputed size column, so the hit path is
-        # just the two recency stores.
+        # With numpy the warm scanner bulk-processes whole all-hit run
+        # prefixes (see warm_loop); the pure-Python fallback replays
+        # every run through the scalar path below.
         # ------------------------------------------------------------ #
         if tail_start >= n:
             pass  # fully cold chunk: no stateful loop at all
-        elif lean:
-            for i, slot, now, e in zip(starts_l, sslots_l, sts_l, ends_l):
-                if present_b[slot]:
-                    if e - i > 1:
-                        lh[slot] = ts_l[e - 1]
-                        seq[slot] = gbase + e - 1
-                    else:
-                        lh[slot] = now
-                        seq[slot] = gbase + i
-                    continue
-                miss_path(i, slot, now)
-                if e - i > 1:
-                    if present_b[slot]:
-                        lh[slot] = ts_l[e - 1]
-                        seq[slot] = gbase + e - 1
-                    else:
-                        j = i + 1
-                        while j < e:
-                            if present_b[slot]:
-                                lh[slot] = ts_l[e - 1]
-                                seq[slot] = gbase + e - 1
-                                break
-                            miss_path(j, slot, ts_l[j])
-                            j += 1
+        elif np is not None:
+            hit_req, scal_req = warm_loop()
+            reg_hit += hit_req
+            reg_scalar += scal_req
         else:
+            reg_scalar += n
             for i, slot, now, e in zip(starts_l, sslots_l, sts_l, ends_l):
                 if present_b[slot]:
                     sz = dsz[slot]
@@ -760,15 +1123,13 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
             leaf_np, icp_req_np, remote_base_np, origin_hdr_np, rsz_np = post
             out_np = np.frombuffer(out, dtype=np.uint8)
             if served_np is None:
-                served_np = rsz_np if lean else np.array(served, dtype=np.int64)
+                served_np = rsz_np if lean else served
             elif not lean and tail_start < n:
-                # Cold prefix served from the first-size column; the full
-                # loop recorded the tail explicitly. Copy before patching:
-                # the column may be memo-shared across runs.
+                # Cold prefix served from the first-size column; the
+                # stateful tail recorded into the served array. Copy
+                # before patching: the column may be memo-shared.
                 served_np = served_np.copy()
-                served_np[tail_start:] = np.array(
-                    served[tail_start:], dtype=np.int64
-                )
+                served_np[tail_start:] = served[tail_start:]
             nonlocal_mask = out_np != 0
             nl = int(nonlocal_mask.sum())
             if nl:
@@ -870,10 +1231,18 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
         )
         for c in range(NC)
     ]
+    if regimes is not None:
+        regimes["cold"] = reg_cold
+        regimes["hit_run"] = reg_hit
+        regimes["scalar"] = reg_scalar
     if count_mode:
-        ages = [rsum[c] / rcount[c] if rcount[c] else _INF for c in range(NC)]
+        # float(): the window sums may be np.float64 once the numpy-backed
+        # lh column feeds the age arithmetic; values are bit-identical.
+        ages = [
+            float(rsum[c] / rcount[c]) if rcount[c] else _INF for c in range(NC)
+        ]
     else:
-        ages = [csum[c] / tot[c] if tot[c] else _INF for c in range(NC)]
+        ages = [float(csum[c] / tot[c]) if tot[c] else _INF for c in range(NC)]
     if np is not None and num_docs:
         held = np.frombuffer(present_b, dtype=np.uint8)
         unique_documents = int((held.reshape(num_docs, NC) != 0).any(axis=1).sum())
@@ -900,17 +1269,19 @@ def _simulate_fast(config, trace, chunk_size: Optional[int]) -> SimulationResult
 
 
 class _NpGrow:
-    """Amortised-growth int64 numpy column (per-doc/per-client arrays).
+    """Amortised-growth numpy column (int64 by default).
 
-    Streamed replay extends per-doc columns every chunk; rebuilding a
-    numpy array from the python list each time would be O(docs x chunks).
-    This doubles capacity instead, so total copy work is O(docs).
+    Streamed replay extends per-doc/per-slot columns every chunk;
+    rebuilding a numpy array from the python list each time would be
+    O(docs x chunks). This doubles capacity instead, so total copy work
+    is O(docs). Callers re-fetch :meth:`view` after every extend — the
+    buffer may have been reallocated.
     """
 
     __slots__ = ("buf", "used")
 
-    def __init__(self, np):
-        self.buf = np.empty(1024, dtype=np.int64)
+    def __init__(self, np, dtype: str = "int64"):
+        self.buf = np.empty(1024, dtype=dtype)
         self.used = 0
 
     def extend(self, np, values) -> None:
@@ -919,7 +1290,7 @@ class _NpGrow:
         if need > capacity:
             while capacity < need:
                 capacity *= 2
-            grown = np.empty(capacity, dtype=np.int64)
+            grown = np.empty(capacity, dtype=self.buf.dtype)
             grown[: self.used] = self.buf[: self.used]
             self.buf = grown
         self.buf[self.used : need] = values
@@ -985,10 +1356,18 @@ def _columns_np(
     ends_l.append(n)
     sslots_l = slots_np[starts_np].tolist()
     sts_l = ts_np[starts_np].tolist()
+    ends_np = np.empty(len(starts_np), dtype=np.intp)
+    ends_np[:-1] = starts_np[1:]
+    ends_np[-1] = n
+    # Run columns for the warm-regime bulk scanner: per-run slot plus the
+    # final member's timestamp (its sequence number is ends-1 + the
+    # chunk's base, added at replay time — the memoised columns must stay
+    # chunk-position-independent only in what varies per replay).
+    runs = (starts_np, ends_np, slots_np[starts_np], ts_np[ends_np - 1])
     post = (leaf_np, icp_req_np, remote_base_np, origin_hdr_np, rsz_np)
     # ``known`` is the per-request first-seen-size column — the size any
     # resident copy of the doc holds while the cold regime lasts.
-    npx = (docs_np, slots_np, ts_np, known)
+    npx = (docs_np, slots_np, ts_np, known, runs)
     return (starts_l, sslots_l, sts_l, ends_l, leaf_l, rsz_l, post, lean, npx)
 
 

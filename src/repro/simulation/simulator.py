@@ -414,7 +414,11 @@ def resolved_engine(config: SimulationConfig) -> str:
 
 
 def run_simulation(
-    config: SimulationConfig, trace: Trace, obs=None, chunk_size: Optional[int] = None
+    config: SimulationConfig,
+    trace: Trace,
+    obs=None,
+    chunk_size: Optional[int] = None,
+    regimes: Optional[dict] = None,
 ) -> SimulationResult:
     """One-shot convenience: replay ``trace`` under ``config``.
 
@@ -437,6 +441,11 @@ def run_simulation(
             feed it the same event stream (see ``docs/OBSERVABILITY.md``).
         chunk_size: Interned-chunk granularity for the chunked engines;
             results are chunking-invariant, so this shapes memory only.
+        regimes: Optional dict; with ``engine="batch"`` it receives the
+            per-regime request counts (``cold`` / ``hit_run`` /
+            ``scalar``, or ``fallback_reason``) after the run — see
+            :func:`repro.fastpath.batch.simulate_batch`. Ignored by the
+            other engines.
     """
     streamed = not isinstance(trace, Trace) and hasattr(trace, "interned_chunks")
     if config.engine in ("columnar", "batch"):
@@ -449,7 +458,9 @@ def run_simulation(
         reason = columnar_unsupported_reason(config)
         if reason is None:
             if config.engine == "batch":
-                return simulate_batch(config, trace, obs=obs, chunk_size=chunk_size)
+                return simulate_batch(
+                    config, trace, obs=obs, chunk_size=chunk_size, regimes=regimes
+                )
             return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
         if streamed:
             raise SimulationError(

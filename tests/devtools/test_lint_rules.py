@@ -517,3 +517,89 @@ class TestRPR011HotLoopDirectIO:
             "        handle.write(str(ev))  # repro: noqa[RPR011]\n"
         )
         assert_silent("RPR011", src, SIM)
+
+
+class TestRPR012BatchScalarization:
+    BATCH = "src/repro/fastpath/batch.py"
+    OTHER_FASTPATH = "src/repro/fastpath/columnar.py"
+
+    def test_for_over_np_call_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    for s in np.flatnonzero(m):\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_fires("RPR012", src, self.BATCH)
+
+    def test_for_over_tracked_name_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    idx = np.flatnonzero(m)\n"
+            "    for s in idx:\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_fires("RPR012", src, self.BATCH)
+
+    def test_zip_of_derived_arrays_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(g, slot, cm):\n    """D."""\n'
+            "    g = np.asarray(g)\n"
+            "    slot = np.asarray(slot)\n"
+            "    for a, b in zip(g[cm], slot[cm]):\n"
+            "        pass\n"
+        )
+        assert_fires("RPR012", src, self.BATCH)
+
+    def test_comprehension_over_array_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(m):\n    """D."""\n'
+            "    idx = np.flatnonzero(m)\n"
+            "    return [int(s) for s in idx]\n"
+        )
+        assert_fires("RPR012", src, self.BATCH)
+
+    def test_tolist_escape_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    for s in np.flatnonzero(m).tolist():\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_silent("RPR012", src, self.BATCH)
+
+    def test_plain_iterables_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(pending, touched, n):\n    """D."""\n'
+            "    for slots, gs in pending:\n"
+            "        pass\n"
+            "    for slot, pair in touched.items():\n"
+            "        pass\n"
+            "    for i in range(n):\n"
+            "        pass\n"
+        )
+        assert_silent("RPR012", src, self.BATCH)
+
+    def test_rebound_name_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef apply(m):\n    """D."""\n'
+            "    idx = np.flatnonzero(m)\n"
+            "    idx = idx.tolist()\n"
+            "    for s in idx:\n"
+            "        pass\n"
+        )
+        assert_silent("RPR012", src, self.BATCH)
+
+    def test_other_fastpath_module_out_of_scope(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    for s in np.flatnonzero(m):\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_silent("RPR012", src, self.OTHER_FASTPATH)
+
+    def test_suppressed_with_pragma(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    for s in np.flatnonzero(m):  # repro: noqa[RPR012]\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_silent("RPR012", src, self.BATCH)

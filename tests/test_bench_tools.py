@@ -138,6 +138,27 @@ class TestRegressionGate:
         )
         assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 1
 
+    def test_cross_file_gates_on_median_not_mean(self, tmp_path):
+        """One stalled round inflates the mean past the threshold but
+        leaves the median untouched — the cross-file gate must pass."""
+        self._write(tmp_path / "BENCH_1.json", {"x": 0.1}, True)
+        payload = summarize_bench.summarize(_raw_payload({"x": 0.1}))
+        payload["benchmarks"][0]["mean"] = 0.2  # stall-skewed rounds
+        (tmp_path / "BENCH_2.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 0
+
+    def test_cross_file_median_regression_fails(self, tmp_path):
+        """And the converse: a shifted median fails even with a flat mean."""
+        self._write(tmp_path / "BENCH_1.json", {"x": 0.1}, True)
+        payload = summarize_bench.summarize(_raw_payload({"x": 0.1}))
+        payload["benchmarks"][0]["median"] = 0.15
+        (tmp_path / "BENCH_2.json").write_text(
+            json.dumps(payload), encoding="utf-8"
+        )
+        assert check_bench_regression.main([str(tmp_path / "BENCH_2.json")]) == 1
+
 
 class TestPairGate:
     """--pair BASE=CANDIDATE:FRAC gates within one file over best-round times."""
