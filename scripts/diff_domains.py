@@ -1,0 +1,139 @@
+#!/usr/bin/env python
+"""Diff a freshly generated ``repro-domains/1`` inventory against the
+checked-in snapshot.
+
+Usage::
+
+    repro analyze domains --domains-out domains-current.json
+    python scripts/diff_domains.py domains-current.json domains-snapshot.json
+
+The snapshot (``domains-snapshot.json`` at the repo root) records, for
+every annotated or domain-bearing function in ``src/repro``, the declared
+``# repro: domains[...]`` contracts and the index-domain/dtype-width
+table the abstract interpreter inferred for it. CI regenerates the
+inventory on each run and diffs it here, so any change to a hot-path
+variable's index domain — a column that silently switches id spaces, an
+accumulator that loses its explicit dtype, a dropped annotation — shows
+up in review as an explicit snapshot edit rather than sliding in
+silently.
+
+The diff is structural, not textual: functions are compared by node id
+and per-name domain spec, so reordering or formatting changes never
+fire. Exit codes: 0 = identical, 1 = drift (printed per function),
+2 = bad input.
+
+To accept intentional drift, regenerate the snapshot::
+
+    repro analyze domains --domains-out domains-snapshot.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+EXPECTED_SCHEMA = "repro-domains/1"
+
+#: The two per-function tables the inventory carries.
+TABLES: Tuple[str, str] = ("declared", "inferred")
+
+
+def load_inventory(path: Path) -> Dict[str, Any]:
+    """Parse and schema-check one repro-domains/1 file."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        raise SystemExit(f"error: cannot read {path}: {exc}")
+    schema = payload.get("schema")
+    if schema != EXPECTED_SCHEMA:
+        raise SystemExit(
+            f"error: {path} has schema {schema!r}, expected {EXPECTED_SCHEMA!r}"
+        )
+    return payload
+
+
+def function_domains(
+    payload: Dict[str, Any],
+) -> Dict[str, Dict[str, Dict[str, str]]]:
+    """Map node id -> {table -> {name -> spec}} for both tables."""
+    return {
+        node_id: {table: dict(entry.get(table, {})) for table in TABLES}
+        for node_id, entry in payload.get("functions", {}).items()
+    }
+
+
+def _table_drift(
+    node_id: str,
+    table: str,
+    current: Dict[str, str],
+    snapshot: Dict[str, str],
+) -> List[str]:
+    lines: List[str] = []
+    for name in sorted(set(current) - set(snapshot)):
+        lines.append(f"{node_id}: new {table} name {name} = {current[name]}")
+    for name in sorted(set(snapshot) - set(current)):
+        lines.append(
+            f"{node_id}: {table} name {name} dropped [was {snapshot[name]}]"
+        )
+    for name in sorted(set(current) & set(snapshot)):
+        if current[name] != snapshot[name]:
+            lines.append(
+                f"{node_id}: {table} domain of {name} changed "
+                f"{snapshot[name]} -> {current[name]}"
+            )
+    return lines
+
+
+def diff(
+    current: Dict[str, Dict[str, Dict[str, str]]],
+    snapshot: Dict[str, Dict[str, Dict[str, str]]],
+) -> List[str]:
+    """Human-readable drift lines, empty when the inventories agree."""
+    lines: List[str] = []
+    for node_id in sorted(set(current) - set(snapshot)):
+        lines.append(f"new domain-bearing function: {node_id}")
+    for node_id in sorted(set(snapshot) - set(current)):
+        lines.append(f"no longer domain-bearing (or removed): {node_id}")
+    for node_id in sorted(set(current) & set(snapshot)):
+        for table in TABLES:
+            lines.extend(
+                _table_drift(
+                    node_id, table,
+                    current[node_id][table], snapshot[node_id][table],
+                )
+            )
+    return lines
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", type=Path,
+                        help="freshly generated repro-domains/1 file")
+    parser.add_argument("snapshot", type=Path,
+                        help="checked-in snapshot to compare against")
+    args = parser.parse_args(argv)
+
+    current = function_domains(load_inventory(args.current))
+    snapshot = function_domains(load_inventory(args.snapshot))
+    lines = diff(current, snapshot)
+    if not lines:
+        print(
+            f"domains snapshot: {len(current)} domain-bearing function(s), "
+            "no drift"
+        )
+        return 0
+    for line in lines:
+        print(line)
+    print(
+        f"domains snapshot: {len(lines)} drifted entrie(s); if intentional, "
+        "regenerate with: repro analyze domains --domains-out "
+        f"{args.snapshot}"
+    )
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -261,8 +261,8 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="TARGET",
         help="analyzers to run, space-separated: all, parity, determinism, "
-        "configflow, effects, concurrency, or trace (default: all static "
-        "analyzers); 'trace' must be the only target",
+        "configflow, effects, concurrency, domains, or trace (default: all "
+        "static analyzers); 'trace' must be the only target",
     )
     ana.add_argument("--root", default="src",
                      help="directory containing the repro package (default: src)")
@@ -282,6 +282,9 @@ def _build_parser() -> argparse.ArgumentParser:
     ana.add_argument("--effects-out", metavar="FILE",
                      help="also write the repro-effects/1 per-function "
                      "effect inventory to FILE")
+    ana.add_argument("--domains-out", metavar="FILE",
+                     help="also write the repro-domains/1 per-function "
+                     "index-domain inventory to FILE")
     ana.add_argument("--trace", help="[trace] trace file; synthetic if omitted")
     ana.add_argument("--trace-format", default="bu", choices=("bu", "squid", "clf"),
                      help="[trace] input format")
@@ -684,7 +687,7 @@ def _load_or_generate(args: argparse.Namespace):
 def _cmd_analyze(args: argparse.Namespace) -> int:
     targets = list(args.target or [])
     known = {"all", "parity", "determinism", "configflow",
-             "effects", "concurrency", "trace"}
+             "effects", "concurrency", "domains", "trace"}
     unknown = [t for t in targets if t not in known]
     if unknown:
         print(
@@ -704,6 +707,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
     from pathlib import Path
 
     from repro.devtools.analysis import (
+        domain_analysis,
         effect_analysis,
         filter_findings,
         run_analyzers,
@@ -727,6 +731,14 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
             encoding="utf-8",
         )
         print(f"repro analyze: wrote effect inventory to {effects_path}")
+    if args.domains_out:
+        domains_path = Path(args.domains_out)
+        domains_path.write_text(
+            json.dumps(domain_analysis(model).report(), indent=2,
+                       sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"repro analyze: wrote domain inventory to {domains_path}")
     if args.write_baseline:
         report = filter_findings(model, raw, selected, baseline_path=None)
         entries = write_baseline(

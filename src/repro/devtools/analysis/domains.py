@@ -1,0 +1,1252 @@
+"""Index-domain & dtype-width inference (``repro analyze domains``, RPR141-147).
+
+The batch engine earns its throughput from numpy gathers and scatters
+indexed by *five different integer spaces* — raw doc id, interned dense
+id, cache slot (``doc * NC + cache``), chunk-local offset, global request
+sequence — plus zero-copy ``np.frombuffer`` views over mutable buffers
+and a mix of ``int64``/``uint8``/platform-default dtypes. An index used
+in the wrong space, a chunk-local offset added to a global sequence
+without the base, or a platform-default accumulator on a path whose
+totals scale with trace length are all bugs the differential harness
+only catches if the sampled trace happens to trip them. This module
+makes those properties statically checkable.
+
+Each variable gets an abstract :class:`Dom` — an *axis* domain (what the
+array's positions index), a *value* domain (what its elements mean), and
+a dtype *width* class — propagated flow-insensitively to a fixpoint
+through assignments, the recognised numpy operations (``cumsum``,
+``searchsorted``, ``repeat``, ``frombuffer``, fancy indexing, boolean
+masks, ``argsort``/``flatnonzero``/``bincount``), and ``.view()``
+pass-through. The domain lattice:
+
+===============  ======================================================
+``doc-id``       raw document identity as traces record it
+``interned-id``  dense per-trace id from :mod:`repro.fastpath.interning`
+``cache-slot``   flattened residency slot, ``doc * num_caches + cache``
+``chunk-offset`` position within one streamed trace chunk
+``global-seq``   absolute request sequence number across the whole run
+``byte-size``    document/wire byte counts
+``age-tick``     expiration-age timestamps
+``any``          declared wildcard: matches every domain
+===============  ======================================================
+
+Functions declare bounds with ``# repro: domains[...]`` pragmas — on the
+``def`` line, on contiguous comment lines immediately above it, or
+inline on an assignment::
+
+    # repro: domains[seq=cache-slot->global-seq:int64]
+    def warm_loop(...):
+        gbase = ...          # repro: domains[gbase=global-seq]
+        a, b = runs          # repro: domains[a=chunk-offset, b=cache-slot]
+
+An entry is ``name=spec`` with ``spec := [axis "->"] value [":" width]``;
+a bare ``spec`` is allowed inline on a single-name assignment. A declared
+name is pinned for the whole function; assignments whose inferred domain
+conflicts with the pin are contract drift (RPR146, mirroring RPR137).
+Annotating the axis (``any->`` when unconstrained) marks a name as an
+array; bare ``name=value`` entries describe scalars.
+
+Rules:
+
+* **RPR141** — cross-domain indexing: an index whose *values* live in one
+  domain gathers/scatters an array whose *axis* is another
+  (slot-domain index into a doc-axis array).
+* **RPR142** — chunk-local offsets and global sequence numbers mixed:
+  elementwise arithmetic over two *arrays* of the two domains, or a
+  store of one into an array whose values are the other. Adding a
+  ``global-seq`` *scalar* base to a ``chunk-offset`` array is the
+  sanctioned conversion and infers ``global-seq``.
+* **RPR143** — dtype-width overflow hazard: an accumulator
+  (``cumsum``/``cumprod``/``np.add.accumulate``/``np.power``) whose
+  result dtype is narrow or platform-default — e.g. ``np.arange``
+  without ``dtype`` feeding a ``cumsum``. Fix with an explicit
+  ``dtype=np.int64``. Float accumulators are exempt (ordered-fold
+  determinism, not width, is their hazard).
+* **RPR144** — a ``np.frombuffer`` view used after (or sharing a loop
+  with) a growth call on its backing buffer without an intervening
+  ``del``: growth reallocates and the view keeps the dead buffer.
+* **RPR145** — silent broadcast/mask mismatch: a boolean mask or
+  elementwise operand whose axis differs from the other array's.
+* **RPR146** — declared-vs-inferred contract drift, or an unknown
+  domain/width token in a ``# repro: domains[...]`` pragma.
+* **RPR147** — an ``interned-id`` value passed to a parameter declared
+  ``doc-id`` (dense ids escaping to a raw-id API), resolved through the
+  precise call graph.
+
+The inventory exports as a machine-readable ``repro-domains/1`` document
+(``repro analyze --domains-out``), snapshot-diffed in CI by
+``scripts/diff_domains.py`` so domain regressions surface in review.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
+from weakref import WeakKeyDictionary
+
+from repro.devtools.analysis.callgraph import resolve_call
+from repro.devtools.analysis.model import ModuleInfo, ProjectModel
+from repro.devtools.lint.findings import Finding
+
+#: Version tag of the machine-readable domain inventory.
+DOMAINS_SCHEMA = "repro-domains/1"
+
+#: Rule code -> one-line summary (the catalog / docs-index source of truth).
+RULES: Dict[str, str] = {
+    "RPR141": "index values from one domain gather/scatter an array "
+    "whose axis is another domain",
+    "RPR142": "chunk-local offsets and global sequence numbers mixed "
+    "in array arithmetic or a cross-domain store",
+    "RPR143": "narrow or platform-default accumulator dtype on a "
+    "trace-length-scaled path",
+    "RPR144": "`np.frombuffer` view outlives a growth of its backing "
+    "buffer without an intervening `del`",
+    "RPR145": "boolean mask or elementwise operand pairs arrays of "
+    "different domains",
+    "RPR146": "declared `# repro: domains[...]` contract conflicts "
+    "with inference or names an unknown token",
+    "RPR147": "interned-id value passed to a parameter declared over "
+    "raw doc ids",
+}
+
+#: The index domains, in canonical (report) order.
+DOC_ID = "doc-id"
+INTERNED_ID = "interned-id"
+CACHE_SLOT = "cache-slot"
+CHUNK_OFFSET = "chunk-offset"
+GLOBAL_SEQ = "global-seq"
+BYTE_SIZE = "byte-size"
+AGE_TICK = "age-tick"
+
+ALL_DOMAINS: Tuple[str, ...] = (
+    DOC_ID,
+    INTERNED_ID,
+    CACHE_SLOT,
+    CHUNK_OFFSET,
+    GLOBAL_SEQ,
+    BYTE_SIZE,
+    AGE_TICK,
+)
+
+#: Declared wildcard: compatible with every domain.
+ANY = "any"
+
+#: Width classes. ``platform`` is the C-long-derived default integer
+#: (what `np.arange` without dtype and narrow-input `cumsum` produce);
+#: ``intp`` is the pointer-sized index integer.
+NARROW_WIDTHS = frozenset(
+    {"int8", "uint8", "int16", "uint16", "int32", "uint32", "float16"}
+)
+PLATFORM_WIDTHS = frozenset({"platform", "intp", "bool"})
+WIDE_WIDTHS = frozenset({"int64", "uint64", "float32", "float64"})
+ALL_WIDTHS = NARROW_WIDTHS | PLATFORM_WIDTHS | WIDE_WIDTHS
+
+#: Widths that overflow (or can, per platform) at 100M-request scale.
+_HAZARD_WIDTHS = (NARROW_WIDTHS | PLATFORM_WIDTHS) - {"float16"}
+
+#: Accumulator results in these widths never overflow an int64 budget.
+_SAFE_ACCUMULATOR_WIDTHS = frozenset({"int64", "uint64", "float32", "float64"})
+
+#: dtype spellings (``np.<attr>``, bare builtins, string literals) -> width.
+_DTYPE_ALIASES: Dict[str, str] = {
+    "int8": "int8",
+    "uint8": "uint8",
+    "byte": "int8",
+    "ubyte": "uint8",
+    "int16": "int16",
+    "uint16": "uint16",
+    "int32": "int32",
+    "uint32": "uint32",
+    "int64": "int64",
+    "uint64": "uint64",
+    "longlong": "int64",
+    "ulonglong": "uint64",
+    "intp": "intp",
+    "uintp": "intp",
+    "int_": "platform",
+    "uint": "platform",
+    "long": "platform",
+    "int": "platform",
+    "float16": "float16",
+    "half": "float16",
+    "float32": "float32",
+    "single": "float32",
+    "float64": "float64",
+    "double": "float64",
+    "float": "float64",
+    "bool_": "bool",
+    "bool": "bool",
+}
+
+#: Names the numpy module object is bound to in this tree
+#: (``np = load_numpy()`` makes it a local, so the import table can't
+#: resolve it — recognition is by conventional name).
+_NUMPY_NAMES = frozenset({"np", "numpy"})
+
+#: Accumulating callables: ``np.<name>(...)`` or ``arr.<name>()``.
+_ACCUMULATOR_NAMES = frozenset({"cumsum", "cumprod"})
+
+#: Constructors that bind a growable buffer (RPR144 backing objects).
+_BUFFER_CONSTRUCTORS = frozenset({"bytearray", "array"})
+
+#: Buffer methods that may reallocate the backing storage.
+_GROWTH_METHODS = frozenset(
+    {
+        "extend",
+        "append",
+        "insert",
+        "frombytes",
+        "fromlist",
+        "fromfile",
+        "clear",
+        "pop",
+        "remove",
+    }
+)
+
+#: ``# repro: domains[...]`` contract pragma.
+_CONTRACT_RE = re.compile(r"#\s*repro:\s*domains\[(?P<body>[^\]]*)\]")
+
+_FunctionNode = ast.AST
+_DEF_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+
+@dataclass(frozen=True)
+class Dom:
+    """Abstract value: axis domain, value domain, dtype width.
+
+    ``None`` in any slot means *unknown* (no claim); :data:`ANY` is the
+    declared wildcard (compatible with everything). A scalar has
+    ``axis is None``; an annotated array always carries an axis
+    (``any`` when unconstrained), which is how the analyzer tells
+    array/array arithmetic from a sanctioned scalar base shift.
+    """
+
+    axis: Optional[str] = None
+    value: Optional[str] = None
+    width: Optional[str] = None
+
+    def render(self) -> str:
+        """Compact ``axis->value:width`` spec (``?`` for unknown value)."""
+        spec = self.value if self.value is not None else "?"
+        if self.axis is not None:
+            spec = f"{self.axis}->{spec}"
+        if self.width is not None:
+            spec = f"{spec}:{self.width}"
+        return spec
+
+    @property
+    def known(self) -> bool:
+        """Whether any slot carries information."""
+        return (
+            self.axis is not None
+            or self.value is not None
+            or self.width is not None
+        )
+
+
+UNKNOWN = Dom()
+
+
+def _join_token(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Join two domain/width tokens toward unknown on conflict."""
+    return a if a == b else None
+
+
+def join(a: Dom, b: Dom) -> Dom:
+    """Per-slot join of two abstract values (conflicts become unknown)."""
+    return Dom(
+        axis=_join_token(a.axis, b.axis),
+        value=_join_token(a.value, b.value),
+        width=_join_token(a.width, b.width),
+    )
+
+
+def _conflict(declared: Optional[str], inferred: Optional[str]) -> bool:
+    """Whether two tokens are both concrete and different."""
+    return (
+        declared is not None
+        and inferred is not None
+        and declared != ANY
+        and inferred != ANY
+        and declared != inferred
+    )
+
+
+def parse_spec(spec: str) -> Tuple[Dom, List[str]]:
+    """``(dom, unknown_tokens)`` from an ``[axis->]value[:width]`` spec."""
+    axis: Optional[str] = None
+    unknown: List[str] = []
+    body = spec.strip()
+    if "->" in body:
+        axis_part, body = body.split("->", 1)
+        axis = axis_part.strip()
+    width: Optional[str] = None
+    if ":" in body:
+        body, width_part = body.split(":", 1)
+        width = width_part.strip()
+    value: Optional[str] = body.strip() or None
+    for token in (axis, value):
+        if token is not None and token not in ALL_DOMAINS and token != ANY:
+            unknown.append(token)
+    if width is not None and width not in ALL_WIDTHS:
+        unknown.append(width)
+        width = None
+    return (
+        Dom(
+            axis=axis if axis in ALL_DOMAINS or axis == ANY else None,
+            value=value if value in ALL_DOMAINS or value == ANY else None,
+            width=width,
+        ),
+        unknown,
+    )
+
+
+def parse_pragma(
+    line: str,
+) -> Optional[List[Tuple[Optional[str], Dom, List[str]]]]:
+    """Entries of a ``domains[...]`` pragma on ``line``, or None.
+
+    Each entry is ``(name_or_None, dom, unknown_tokens)``; the name is
+    None for a bare spec (valid only inline on a single-name assignment).
+    """
+    match = _CONTRACT_RE.search(line)
+    if match is None:
+        return None
+    entries: List[Tuple[Optional[str], Dom, List[str]]] = []
+    for chunk in match.group("body").split(","):
+        chunk = chunk.strip()
+        if not chunk:
+            continue
+        name: Optional[str] = None
+        spec = chunk
+        if "=" in chunk:
+            name_part, spec = chunk.split("=", 1)
+            name = name_part.strip()
+        dom, unknown = parse_spec(spec)
+        entries.append((name, dom, unknown))
+    return entries
+
+
+def _scope_walk(root: _FunctionNode) -> Iterator[ast.AST]:
+    """Walk ``root``'s body without descending into nested ``def``s."""
+    body = getattr(root, "body", [])
+    stack: List[ast.AST] = list(body)
+    while stack:
+        node = stack.pop()
+        if isinstance(node, _DEF_NODES + (ast.Lambda,)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+
+def _dtype_width(node: Optional[ast.expr]) -> Optional[str]:
+    """The width class a dtype expression names, if recognisable."""
+    if node is None:
+        return None
+    if isinstance(node, ast.Attribute):
+        base = node.value
+        if isinstance(base, ast.Name) and base.id in _NUMPY_NAMES:
+            return _DTYPE_ALIASES.get(node.attr)
+        return None
+    if isinstance(node, ast.Name):
+        return _DTYPE_ALIASES.get(node.id)
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return _DTYPE_ALIASES.get(node.value)
+    return None
+
+
+def _call_dtype(call: ast.Call, positional: Optional[int] = None) -> Optional[ast.expr]:
+    """The dtype argument of ``call``: ``dtype=`` kwarg or position."""
+    for kw in call.keywords:
+        if kw.arg == "dtype":
+            return kw.value
+    if positional is not None and len(call.args) > positional:
+        return call.args[positional]
+    return None
+
+
+def _np_chain(func: ast.expr) -> Optional[Tuple[str, ...]]:
+    """``("add", "accumulate")`` for ``np.add.accumulate``; None if not
+    an attribute chain rooted at a numpy module name."""
+    parts: List[str] = []
+    node = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name) and node.id in _NUMPY_NAMES and parts:
+        parts.reverse()
+        return tuple(parts)
+    return None
+
+
+def _expr_display(node: ast.expr) -> str:
+    try:
+        text = ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse is total on our input
+        return "<expr>"
+    return text if len(text) <= 48 else text[:45] + "..."
+
+
+def _function_params(func: _FunctionNode) -> List[str]:
+    """All parameter names of ``func``, in positional order."""
+    if not isinstance(func, _DEF_NODES):
+        return []
+    args = list(func.args.posonlyargs) + list(func.args.args)
+    names = [arg.arg for arg in args]
+    names += [arg.arg for arg in func.args.kwonlyargs]
+    if func.args.vararg is not None:
+        names.append(func.args.vararg.arg)
+    if func.args.kwarg is not None:
+        names.append(func.args.kwarg.arg)
+    return names
+
+
+@dataclass
+class FunctionDomains:
+    """Domain summary of one project function.
+
+    Attributes:
+        node_id: ``"module:qualname"`` id in the call graph.
+        info: The owning module.
+        func: The function's AST (nested defs included).
+        declared: Pinned contract bindings, name -> :class:`Dom`.
+        declared_lines: Contract source line per declared name.
+        contract_issues: ``(line, message)`` pairs for malformed pragmas.
+        env: Fixpoint environment, name -> inferred :class:`Dom`.
+    """
+
+    node_id: str
+    info: ModuleInfo
+    func: _FunctionNode
+    declared: Dict[str, Dom]
+    declared_lines: Dict[str, int]
+    contract_issues: List[Tuple[int, str]]
+    env: Dict[str, Dom]
+
+    def lookup(self, name: str) -> Dom:
+        """The binding for ``name`` (declared wins over inferred)."""
+        return self.declared.get(name) or self.env.get(name, UNKNOWN)
+
+
+def collect_contracts(
+    info: ModuleInfo, func: _FunctionNode
+) -> Tuple[Dict[str, Dom], Dict[str, int], List[Tuple[int, str]]]:
+    """``(declared, declared_lines, issues)`` for one function.
+
+    Named entries bind from any pragma line in the function's span or
+    the contiguous comment block above the ``def``; bare entries bind
+    the single ``Name`` target of the assignment they sit on.
+    """
+    declared: Dict[str, Dom] = {}
+    declared_lines: Dict[str, int] = {}
+    issues: List[Tuple[int, str]] = []
+    lines = info.source.splitlines()
+    start = getattr(func, "lineno", 1)
+    end = getattr(func, "end_lineno", start)
+    for deco in getattr(func, "decorator_list", []):
+        start = min(start, getattr(deco, "lineno", start))
+
+    # Line -> single-Name assignment target, for bare inline specs.
+    inline_targets: Dict[int, str] = {}
+    for node in ast.walk(func):
+        target: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+        elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+            target = node.target
+        if isinstance(target, ast.Name):
+            inline_targets.setdefault(node.lineno, target.id)
+
+    def absorb(lineno: int, text: str) -> None:
+        entries = parse_pragma(text)
+        if entries is None:
+            return
+        for name, dom, unknown in entries:
+            for token in unknown:
+                issues.append(
+                    (
+                        lineno,
+                        f"domain contract names unknown token `{token}`; "
+                        "known domains: "
+                        + ", ".join(ALL_DOMAINS + (ANY,))
+                        + "; known widths: "
+                        + ", ".join(sorted(ALL_WIDTHS)),
+                    )
+                )
+            if name is None:
+                name = inline_targets.get(lineno)
+                if name is None:
+                    issues.append(
+                        (
+                            lineno,
+                            "bare domain spec needs a single-name "
+                            "assignment on the same line; use "
+                            "`name=spec` elsewhere",
+                        )
+                    )
+                    continue
+            if name in declared:
+                issues.append(
+                    (lineno, f"duplicate domain contract for `{name}`")
+                )
+                continue
+            declared[name] = dom
+            declared_lines[name] = lineno
+
+    # Contiguous comment-only block immediately above the def.
+    above = start - 1
+    while above >= 1 and lines[above - 1].lstrip().startswith("#"):
+        absorb(above, lines[above - 1])
+        above -= 1
+    for lineno in range(start, min(end, len(lines)) + 1):
+        absorb(lineno, lines[lineno - 1])
+    return declared, declared_lines, issues
+
+
+class _Evaluator:
+    """Expression evaluation over one function's environment.
+
+    One instance serves both phases: the fixpoint runs with
+    ``reporter=None`` (no findings), the findings pass passes a sink.
+    """
+
+    def __init__(self, summary: FunctionDomains) -> None:
+        self.summary = summary
+        self.reporter: Optional[List[Finding]] = None
+
+    # -- findings ---------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        if self.reporter is None:
+            return
+        self.reporter.append(
+            Finding(
+                path=self.summary.info.path,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0),
+                rule=rule,
+                message=message,
+            )
+        )
+
+    # -- evaluation -------------------------------------------------------
+
+    def eval(self, node: Optional[ast.expr]) -> Dom:
+        if node is None:
+            return UNKNOWN
+        if isinstance(node, ast.Name):
+            return self.summary.lookup(node.id)
+        if isinstance(node, ast.Subscript):
+            return self._subscript(node)
+        if isinstance(node, ast.BinOp):
+            return self._binop(node)
+        if isinstance(node, ast.Compare):
+            return self._compare(node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.eval(node.operand)
+            return Dom(axis=operand.axis, value=None, width=operand.width)
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            return join(self.eval(node.body), self.eval(node.orelse))
+        if isinstance(node, ast.Constant):
+            return UNKNOWN
+        return UNKNOWN
+
+    def _is_mask(self, dom: Dom) -> bool:
+        return dom.width == "bool"
+
+    def _subscript(self, node: ast.Subscript) -> Dom:
+        base = self.eval(node.value)
+        sl = node.slice
+        if isinstance(sl, ast.Slice):
+            return base
+        if isinstance(sl, ast.Tuple):
+            return UNKNOWN
+        index = self.eval(sl)
+        if self._is_mask(index):
+            if _conflict(index.axis, base.axis):
+                self._report(
+                    node,
+                    "RPR145",
+                    f"boolean mask over the `{index.axis}` axis applied "
+                    f"to `{_expr_display(node.value)}`, whose axis is "
+                    f"`{base.axis}`; the mask length silently "
+                    "mismatches — align the domains or fix the "
+                    "annotation",
+                )
+            return base
+        if _conflict(index.value, base.axis):
+            self._report(
+                node,
+                "RPR141",
+                f"`{index.value}`-domain index into "
+                f"`{_expr_display(node.value)}`, whose axis is "
+                f"`{base.axis}`; translate the index into the array's "
+                "domain or fix the annotation",
+            )
+        return Dom(axis=index.axis, value=base.value, width=base.width)
+
+    def _binop(self, node: ast.BinOp) -> Dom:
+        left = self.eval(node.left)
+        right = self.eval(node.right)
+        axis = self._elementwise_axis(node, left, right)
+        width = left.width if left.width == right.width else (
+            left.width if right.width is None else (
+                right.width if left.width is None else None
+            )
+        )
+        value = self._binop_value(node, left, right)
+        return Dom(axis=axis, value=value, width=width)
+
+    def _elementwise_axis(
+        self, node: ast.AST, left: Dom, right: Dom
+    ) -> Optional[str]:
+        if _conflict(left.axis, right.axis):
+            self._report(
+                node,
+                "RPR145",
+                f"elementwise operation pairs a `{left.axis}`-axis "
+                f"array with a `{right.axis}`-axis array; their "
+                "lengths agree only by accident — align the domains "
+                "or fix the annotation",
+            )
+            return None
+        return left.axis if left.axis is not None else right.axis
+
+    def _binop_value(
+        self, node: ast.BinOp, left: Dom, right: Dom
+    ) -> Optional[str]:
+        lv, rv = left.value, right.value
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            if lv == rv:
+                return None if isinstance(node.op, ast.Sub) else lv
+            if {lv, rv} == {CHUNK_OFFSET, GLOBAL_SEQ}:
+                both_arrays = left.axis is not None and right.axis is not None
+                if both_arrays:
+                    self._report(
+                        node,
+                        "RPR142",
+                        "elementwise arithmetic mixes a `chunk-offset` "
+                        "array with a `global-seq` array; convert with "
+                        "a scalar chunk base (`+ gbase`) first",
+                    )
+                    return None
+                if isinstance(node.op, ast.Add):
+                    # Scalar base shift: the sanctioned conversion.
+                    return GLOBAL_SEQ
+                return None
+            if lv is None:
+                return rv
+            if rv is None:
+                return lv
+            return None
+        if isinstance(node.op, ast.Mult):
+            index_domains = (
+                DOC_ID,
+                INTERNED_ID,
+                CACHE_SLOT,
+                CHUNK_OFFSET,
+                GLOBAL_SEQ,
+            )
+            if lv in index_domains or rv in index_domains:
+                return None
+            return lv if lv == rv else None
+        return None
+
+    def _compare(self, node: ast.Compare) -> Dom:
+        left = self.eval(node.left)
+        axis = left.axis
+        for comparator in node.comparators:
+            other = self.eval(comparator)
+            axis = self._elementwise_axis(node, Dom(axis=axis), other)
+        return Dom(axis=axis, value=None, width="bool")
+
+    # -- calls ------------------------------------------------------------
+
+    def _call(self, node: ast.Call) -> Dom:
+        for arg in node.args:
+            self.eval(arg)
+        for kw in node.keywords:
+            self.eval(kw.value)
+        chain = _np_chain(node.func)
+        if chain is not None:
+            return self._np_call(node, chain)
+        if isinstance(node.func, ast.Attribute):
+            return self._method_call(node, node.func)
+        return UNKNOWN
+
+    def _np_call(self, node: ast.Call, chain: Tuple[str, ...]) -> Dom:
+        name = chain[-1] if len(chain) == 1 else ".".join(chain)
+        arg0 = self.eval(node.args[0]) if node.args else UNKNOWN
+        if name in _ACCUMULATOR_NAMES or name in (
+            "add.accumulate",
+            "power",
+        ):
+            return self._accumulator(node, name, arg0)
+        if name == "arange":
+            width = _dtype_width(_call_dtype(node)) or "platform"
+            return Dom(axis=None, value=None, width=width)
+        if name == "frombuffer":
+            width = _dtype_width(_call_dtype(node, positional=1))
+            return Dom(axis=arg0.axis, value=arg0.value, width=width)
+        if name == "flatnonzero":
+            return Dom(axis=None, value=arg0.axis, width="intp")
+        if name == "argsort":
+            return Dom(axis=arg0.axis, value=arg0.axis, width="intp")
+        if name == "searchsorted":
+            probe = self.eval(node.args[1]) if len(node.args) > 1 else UNKNOWN
+            return Dom(axis=probe.axis, value=arg0.axis, width="intp")
+        if name == "bincount":
+            return Dom(axis=arg0.value, value=None, width="intp")
+        if name == "repeat":
+            return Dom(axis=None, value=arg0.value, width=arg0.width)
+        if name in ("array", "asarray", "ascontiguousarray"):
+            width = _dtype_width(_call_dtype(node, positional=1))
+            return Dom(
+                axis=arg0.axis, value=arg0.value, width=width or arg0.width
+            )
+        if name in ("empty", "zeros", "ones"):
+            width = _dtype_width(_call_dtype(node, positional=1))
+            return Dom(axis=None, value=None, width=width)
+        if name == "full":
+            width = _dtype_width(_call_dtype(node, positional=2))
+            return Dom(axis=None, value=None, width=width)
+        if name == "where" and len(node.args) == 3:
+            return join(self.eval(node.args[1]), self.eval(node.args[2]))
+        if name in ("minimum", "maximum") and len(node.args) == 2:
+            return join(arg0, self.eval(node.args[1]))
+        if name in ("maximum.accumulate", "minimum.accumulate"):
+            # Running extrema never exceed their inputs: no width hazard.
+            return arg0
+        if name in ("cumsum", "cumprod"):  # pragma: no cover - in set above
+            return self._accumulator(node, name, arg0)
+        return UNKNOWN
+
+    def _method_call(self, node: ast.Call, func: ast.Attribute) -> Dom:
+        receiver = self.eval(func.value)
+        if func.attr in ("view", "copy", "ravel"):
+            return receiver
+        if func.attr == "astype":
+            width = _dtype_width(
+                node.args[0] if node.args else _call_dtype(node)
+            )
+            return Dom(
+                axis=receiver.axis, value=receiver.value, width=width
+            )
+        if func.attr in _ACCUMULATOR_NAMES:
+            return self._accumulator(node, func.attr, receiver)
+        if func.attr == "tolist":
+            return UNKNOWN
+        return UNKNOWN
+
+    def _accumulator(self, node: ast.Call, name: str, arg: Dom) -> Dom:
+        explicit = _dtype_width(_call_dtype(node))
+        if explicit is not None:
+            result_width: Optional[str] = explicit
+        elif arg.width in _HAZARD_WIDTHS:
+            # numpy promotes bool / narrower-than-`int_` integer inputs
+            # to the *platform* integer — int32 on Windows.
+            result_width = "platform"
+        else:
+            result_width = arg.width
+        if result_width is not None and (
+            result_width not in _SAFE_ACCUMULATOR_WIDTHS
+        ):
+            self._report(
+                node,
+                "RPR143",
+                f"`{name}` accumulates into `{result_width}`, which "
+                "overflows on trace-length-scaled totals (platform "
+                "default is int32 on Windows); pass an explicit "
+                "`dtype=np.int64`",
+            )
+        return Dom(axis=arg.axis, value=arg.value, width=result_width)
+
+
+class _FunctionAnalyzer:
+    """Both phases over one function: env fixpoint, then findings."""
+
+    #: Fixpoint pass guard; the per-slot join only moves toward unknown,
+    #: so convergence is fast — this bound is a safety net, not a budget.
+    _MAX_PASSES = 10
+
+    def __init__(self, summary: FunctionDomains) -> None:
+        self.summary = summary
+        self.evaluator = _Evaluator(summary)
+
+    # -- phase 1: environment fixpoint ------------------------------------
+
+    def solve(self) -> None:
+        for _ in range(self._MAX_PASSES):
+            if not self._pass():
+                return
+
+    def _pass(self) -> bool:
+        changed = False
+        for node in ast.walk(self.summary.func):
+            if isinstance(node, ast.Assign):
+                value = self.evaluator.eval(node.value)
+                for target in node.targets:
+                    changed |= self._bind_target(target, node.value, value)
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                changed |= self._bind_target(
+                    node.target, node.value, self.evaluator.eval(node.value)
+                )
+            elif isinstance(node, ast.AugAssign):
+                if isinstance(node.target, ast.Name):
+                    synthetic = ast.BinOp(
+                        left=ast.Name(id=node.target.id, ctx=ast.Load()),
+                        op=node.op,
+                        right=node.value,
+                    )
+                    ast.copy_location(synthetic, node)
+                    ast.fix_missing_locations(synthetic)
+                    changed |= self._bind(
+                        node.target.id, self.evaluator.eval(synthetic)
+                    )
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    iterated = self.evaluator.eval(node.iter)
+                    changed |= self._bind(
+                        node.target.id,
+                        Dom(
+                            axis=None,
+                            value=iterated.value,
+                            width=iterated.width,
+                        ),
+                    )
+                else:
+                    changed |= self._bind_target(node.target, None, UNKNOWN)
+        return changed
+
+    def _bind_target(
+        self,
+        target: ast.expr,
+        value_node: Optional[ast.expr],
+        value: Dom,
+    ) -> bool:
+        if isinstance(target, ast.Name):
+            return self._bind(target.id, value)
+        if isinstance(target, (ast.Tuple, ast.List)):
+            elements: Sequence[Optional[ast.expr]]
+            if isinstance(value_node, (ast.Tuple, ast.List)) and len(
+                value_node.elts
+            ) == len(target.elts):
+                elements = value_node.elts
+            else:
+                elements = [None] * len(target.elts)
+            changed = False
+            for element, source in zip(target.elts, elements):
+                changed |= self._bind_target(
+                    element,
+                    source,
+                    self.evaluator.eval(source) if source else UNKNOWN,
+                )
+            return changed
+        return False
+
+    def _bind(self, name: str, value: Dom) -> bool:
+        if name in self.summary.declared:
+            return False  # Pinned: drift is RPR146, not a rebind.
+        old = self.summary.env.get(name)
+        new = value if old is None else join(old, value)
+        if new != old:
+            self.summary.env[name] = new
+            return True
+        return False
+
+    # -- phase 2: findings -------------------------------------------------
+
+    def findings(self, analysis: "DomainAnalysis") -> List[Finding]:
+        sink: List[Finding] = []
+        self.evaluator.reporter = sink
+        try:
+            for node in ast.walk(self.summary.func):
+                if isinstance(node, (ast.Subscript, ast.BinOp, ast.Compare)):
+                    self.evaluator.eval(node)
+                elif isinstance(node, ast.Call):
+                    self.evaluator.eval(node)
+                    self._check_escape(analysis, node, sink)
+                elif isinstance(node, ast.Assign):
+                    value = self.evaluator.eval(node.value)
+                    for target in node.targets:
+                        self._check_store(target, node, value, sink)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    if node.value is not None:
+                        self._check_store(
+                            node.target,
+                            node,
+                            self.evaluator.eval(node.value),
+                            sink,
+                        )
+        finally:
+            self.evaluator.reporter = None
+        for line, message in self.summary.contract_issues:
+            sink.append(
+                Finding(
+                    path=self.summary.info.path,
+                    line=line,
+                    col=0,
+                    rule="RPR146",
+                    message=message,
+                )
+            )
+        sink.extend(_scan_view_lifetimes(self.summary))
+        return sink
+
+    def _check_store(
+        self,
+        target: ast.expr,
+        anchor: ast.AST,
+        value: Dom,
+        sink: List[Finding],
+    ) -> None:
+        """Pinned-contract drift and cross-domain scatter stores."""
+        if isinstance(target, ast.Name):
+            declared = self.summary.declared.get(target.id)
+            if declared is None:
+                return
+            drift = []
+            if _conflict(declared.axis, value.axis):
+                drift.append(f"axis `{value.axis}`")
+            if _conflict(declared.value, value.value):
+                drift.append(f"value domain `{value.value}`")
+            if _conflict(declared.width, value.width):
+                drift.append(f"width `{value.width}`")
+            if drift:
+                sink.append(
+                    Finding(
+                        path=self.summary.info.path,
+                        line=getattr(anchor, "lineno", 1),
+                        col=getattr(anchor, "col_offset", 0),
+                        rule="RPR146",
+                        message=(
+                            f"`{target.id}` is declared "
+                            f"`{declared.render()}` but this assignment "
+                            f"infers {', '.join(drift)}; fix the code "
+                            "or the contract"
+                        ),
+                    )
+                )
+            return
+        if isinstance(target, ast.Subscript):
+            base = self.evaluator.eval(target.value)
+            stored, held = value.value, base.value
+            if _conflict(stored, held) and {stored, held} == {
+                CHUNK_OFFSET,
+                GLOBAL_SEQ,
+            }:
+                sink.append(
+                    Finding(
+                        path=self.summary.info.path,
+                        line=getattr(anchor, "lineno", 1),
+                        col=getattr(anchor, "col_offset", 0),
+                        rule="RPR142",
+                        message=(
+                            f"stores `{stored}` values into "
+                            f"`{_expr_display(target.value)}`, which "
+                            f"holds `{held}`; add the chunk base "
+                            "(`+ gbase`) before the store"
+                        ),
+                    )
+                )
+
+    def _check_escape(
+        self,
+        analysis: "DomainAnalysis",
+        call: ast.Call,
+        sink: List[Finding],
+    ) -> None:
+        """RPR147: interned-id arguments against doc-id parameter pins."""
+        if any(isinstance(arg, ast.Starred) for arg in call.args):
+            return
+        callees = resolve_call(
+            analysis.model, self.summary.info, call, precise=True
+        )
+        for callee_id in sorted(callees):
+            target = analysis.functions.get(callee_id)
+            if target is None or not target.declared:
+                continue
+            params = _function_params(target.func)
+            offset = (
+                1
+                if params
+                and params[0] in ("self", "cls")
+                and isinstance(call.func, ast.Attribute)
+                else 0
+            )
+            bound: List[Tuple[str, ast.expr]] = []
+            for index, arg in enumerate(call.args):
+                slot = offset + index
+                if slot < len(params):
+                    bound.append((params[slot], arg))
+            for kw in call.keywords:
+                if kw.arg is not None:
+                    bound.append((kw.arg, kw.value))
+            for param, arg in bound:
+                pin = target.declared.get(param)
+                if pin is None or pin.value != DOC_ID:
+                    continue
+                passed = self.evaluator.eval(arg)
+                if passed.value == INTERNED_ID:
+                    sink.append(
+                        Finding(
+                            path=self.summary.info.path,
+                            line=call.lineno,
+                            col=call.col_offset,
+                            rule="RPR147",
+                            message=(
+                                f"passes an `interned-id` value to "
+                                f"parameter `{param}` of `{callee_id}`, "
+                                "declared over raw `doc-id`s; translate "
+                                "through the interner first"
+                            ),
+                        )
+                    )
+
+
+def _scan_view_lifetimes(summary: FunctionDomains) -> List[Finding]:
+    """RPR144 over every lexical scope of one function.
+
+    Buffer names are collected function-wide (closures grow buffers the
+    outer scope owns); view/growth/kill ordering is judged per scope so
+    a view local to a nested helper dies at its return.
+    """
+    buffers: Set[str] = set()
+    for node in ast.walk(summary.func):
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets, value = list(node.targets), node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        if not isinstance(value, ast.Call):
+            continue
+        callee = value.func
+        name = (
+            callee.id
+            if isinstance(callee, ast.Name)
+            else callee.attr if isinstance(callee, ast.Attribute) else ""
+        )
+        if name in _BUFFER_CONSTRUCTORS:
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    buffers.add(target.id)
+    if not buffers:
+        return []
+
+    findings: List[Finding] = []
+    scopes: List[_FunctionNode] = [summary.func]
+    scopes.extend(
+        node
+        for node in ast.walk(summary.func)
+        if isinstance(node, _DEF_NODES) and node is not summary.func
+    )
+    for scope in scopes:
+        findings.extend(_scan_scope_lifetimes(summary, scope, buffers))
+    return findings
+
+
+def _scan_scope_lifetimes(
+    summary: FunctionDomains, scope: _FunctionNode, buffers: Set[str]
+) -> List[Finding]:
+    growths: List[Tuple[str, int]] = []  # (buffer, line)
+    views: List[Tuple[str, str, int]] = []  # (view, buffer, line)
+    kills: Dict[str, List[int]] = {}  # view -> kill lines
+    loops: List[Tuple[int, int]] = []
+
+    for node in _scope_walk(scope):
+        if isinstance(node, (ast.For, ast.AsyncFor, ast.While)):
+            loops.append(
+                (node.lineno, getattr(node, "end_lineno", node.lineno))
+            )
+        elif isinstance(node, ast.Call) and isinstance(
+            node.func, ast.Attribute
+        ):
+            root = node.func.value
+            if (
+                isinstance(root, ast.Name)
+                and root.id in buffers
+                and node.func.attr in _GROWTH_METHODS
+            ):
+                growths.append((root.id, node.lineno))
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            if node.target.id in buffers:
+                growths.append((node.target.id, node.lineno))
+        elif isinstance(node, ast.Delete):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    kills.setdefault(target.id, []).append(node.lineno)
+        elif isinstance(node, ast.Assign):
+            value = node.value
+            is_view = (
+                isinstance(value, ast.Call)
+                and _np_chain(value.func) == ("frombuffer",)
+                and value.args
+                and isinstance(value.args[0], ast.Name)
+                and value.args[0].id in buffers
+            )
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if is_view:
+                    assert isinstance(value, ast.Call)
+                    buffer_arg = value.args[0]
+                    assert isinstance(buffer_arg, ast.Name)
+                    views.append((target.id, buffer_arg.id, node.lineno))
+                else:
+                    # Rebinding to a non-view kills the old view.
+                    kills.setdefault(target.id, []).append(node.lineno)
+
+    findings: List[Finding] = []
+    reported: Set[Tuple[str, str]] = set()
+    for view, buffer, view_line in views:
+        kill_lines = [k for k in kills.get(view, []) if k > view_line]
+        kill_line = min(kill_lines) if kill_lines else None
+        for grown, growth_line in growths:
+            if grown != buffer or (view, buffer) in reported:
+                continue
+            after = growth_line > view_line and (
+                kill_line is None or growth_line < kill_line
+            )
+            shares_loop = kill_line is None and any(
+                start <= view_line <= end and start <= growth_line <= end
+                for start, end in loops
+            )
+            if after or shares_loop:
+                reported.add((view, buffer))
+                findings.append(
+                    Finding(
+                        path=summary.info.path,
+                        line=view_line,
+                        col=0,
+                        rule="RPR144",
+                        message=(
+                            f"`{view}` is a zero-copy view of "
+                            f"`{buffer}`, which grows at line "
+                            f"{growth_line}; growth reallocates the "
+                            "buffer — `del` the view before growth "
+                            "and re-fetch it after"
+                        ),
+                    )
+                )
+    return findings
+
+
+class DomainAnalysis:
+    """Domain summaries for every function in a :class:`ProjectModel`.
+
+    Attributes:
+        model: The analyzed model.
+        functions: Node id -> :class:`FunctionDomains` (fixpoint result).
+    """
+
+    def __init__(self, model: ProjectModel) -> None:
+        self.model = model
+        self.functions: Dict[str, FunctionDomains] = {}
+        for info in model.modules.values():
+            for qualname, func in info.functions.items():
+                declared, declared_lines, issues = collect_contracts(
+                    info, func
+                )
+                summary = FunctionDomains(
+                    node_id=f"{info.name}:{qualname}",
+                    info=info,
+                    func=func,
+                    declared=declared,
+                    declared_lines=declared_lines,
+                    contract_issues=issues,
+                    env={},
+                )
+                _FunctionAnalyzer(summary).solve()
+                self.functions[summary.node_id] = summary
+
+    def findings(self) -> List[Finding]:
+        """Every finding of every rule, sorted and deduplicated."""
+        raw: List[Finding] = []
+        for node_id in sorted(self.functions):
+            summary = self.functions[node_id]
+            raw.extend(_FunctionAnalyzer(summary).findings(self))
+        return sorted(set(raw))
+
+    def report(self) -> Dict[str, object]:
+        """The ``repro-domains/1`` document for this model.
+
+        Only functions carrying a declaration or a non-trivial inference
+        are listed, keyed by node id with line-number-free specs, so the
+        document (and the CI snapshot diffed against it) is stable
+        across formatting-only edits.
+        """
+        functions: Dict[str, Dict[str, Dict[str, str]]] = {}
+        declared_names = 0
+        inferred_names = 0
+        for node_id in sorted(self.functions):
+            summary = self.functions[node_id]
+            declared = {
+                name: summary.declared[name].render()
+                for name in sorted(summary.declared)
+            }
+            inferred = {
+                name: dom.render()
+                for name, dom in sorted(summary.env.items())
+                if name not in summary.declared
+                and (dom.axis is not None or dom.value is not None)
+            }
+            if not declared and not inferred:
+                continue
+            declared_names += len(declared)
+            inferred_names += len(inferred)
+            functions[node_id] = {
+                "declared": declared,
+                "inferred": inferred,
+            }
+        return {
+            "schema": DOMAINS_SCHEMA,
+            "functions": functions,
+            "totals": {
+                "annotated-functions": sum(
+                    1 for entry in functions.values() if entry["declared"]
+                ),
+                "declared-names": declared_names,
+                "inferred-names": inferred_names,
+            },
+        }
+
+
+#: Memoized analyses, keyed weakly so models are collectable.
+_ANALYSIS_CACHE: "WeakKeyDictionary[ProjectModel, DomainAnalysis]" = (
+    WeakKeyDictionary()
+)
+
+
+def domain_analysis(model: ProjectModel) -> DomainAnalysis:
+    """The (cached) :class:`DomainAnalysis` for ``model``.
+
+    ``repro analyze`` / ``repro check`` share one model per invocation,
+    so the per-function fixpoints are a build-once cost (the same memo
+    discipline as :func:`repro.devtools.analysis.effects.effect_analysis`).
+    """
+    analysis = _ANALYSIS_CACHE.get(model)
+    if analysis is None:
+        analysis = DomainAnalysis(model)
+        _ANALYSIS_CACHE[model] = analysis
+    return analysis
+
+
+def analyze_domains(model: ProjectModel) -> List[Finding]:
+    """RPR141-147 over every project function; sorted."""
+    return domain_analysis(model).findings()

@@ -1,4 +1,4 @@
-"""Scalarization guard for the batch engine's bulk helpers.
+"""Scalarization guard for the vectorised hot-path modules.
 
 ``repro.fastpath.batch`` earns its throughput by applying whole blocks of
 work through numpy gathers and scatters; its scalar protocol path
@@ -11,6 +11,12 @@ replaced or the plain-int loop it pretends to be. The sanctioned escape
 hatch when per-element Python iteration is genuinely needed is
 ``.tolist()`` (one bulk conversion, then plain ints), which this rule
 deliberately does not flag.
+
+The rule covers every module that mixes numpy arrays with scalar loops:
+the batch engine itself, the numpy gate (``fastpath/numeric.py``), and
+the packed-trace decoder (``trace/columnar_io.py``), whose numpy branch
+decodes columns via ``frombuffer`` and must hand them to the interner as
+``.tolist()`` columns, never by element-wise iteration.
 """
 
 from __future__ import annotations
@@ -49,7 +55,8 @@ def _is_np_call(node: ast.AST) -> bool:
 @register
 class BatchScalarizationRule(RuleVisitor):
     """RPR012: no Python-level per-element iteration over numpy arrays
-    in ``repro.fastpath.batch``.
+    in the vectorised hot-path modules (``fastpath/batch.py``,
+    ``fastpath/numeric.py``, ``trace/columnar_io.py``).
 
     Tracks names bound to numpy expressions (``x = np.flatnonzero(...)``
     and anything derived from a tracked name by subscripting, arithmetic,
@@ -61,8 +68,12 @@ class BatchScalarizationRule(RuleVisitor):
     """
 
     code = "RPR012"
-    summary = "per-element Python iteration over a numpy array in batch bulk code"
-    packages = ("fastpath",)
+    summary = "per-element Python iteration over a numpy array in bulk hot-path code"
+    packages = ("fastpath", "trace")
+
+    #: Module basenames the rule runs against: the vectorised bulk paths.
+    #: The other fastpath/trace modules loop over plain lists by design.
+    _SCOPED_FILES: Set[str] = {"batch.py", "numeric.py", "columnar_io.py"}
 
     def __init__(self, ctx) -> None:
         super().__init__(ctx)
@@ -70,12 +81,12 @@ class BatchScalarizationRule(RuleVisitor):
 
     @classmethod
     def applies(cls, ctx: FileContext) -> bool:
-        """Scoped to the batch engine module only: the scalar columns the
-        other fastpath modules loop over are lists, not numpy arrays."""
+        """Scoped to the modules that hold numpy bulk code; the scalar
+        columns the other fastpath/trace modules loop over are lists."""
         if not super().applies(ctx):
             return False
         name = ctx.path.replace("\\", "/").rsplit("/", 1)[-1]
-        return name == "batch.py"
+        return name in cls._SCOPED_FILES
 
     def _arrayish(self, node: ast.AST) -> bool:
         """Whether ``node`` statically looks like a numpy array value."""

@@ -200,6 +200,9 @@ def _simulate_fast(
     # ---------------------------------------------------------------- #
     NC = num_caches
     num_docs = 0
+    # repro: domains[present_b=cache-slot->any:uint8, pred=cache-slot->any:uint8]
+    # repro: domains[dsz=cache-slot->byte-size:int64, lh=cache-slot->age-tick:float64]
+    # repro: domains[seq=cache-slot->global-seq:int64]
     present_b = bytearray()
     # Per-slot metadata lives in buffer-protocol columns — ``array`` /
     # ``bytearray`` — so the scalar protocol path (miss_path/_admit,
@@ -314,6 +317,7 @@ def _simulate_fast(
     sdig: dict = {}  # stored-size -> len(str(size)), bounded by doc count
 
     # Rebound per chunk; miss_path reads them as free variables.
+    # repro: domains[gbase=global-seq, out=chunk-offset->any:uint8]
     leaf_l: List[int] = []
     rsz_l: List[int] = []
     gbase = 0
@@ -334,7 +338,7 @@ def _simulate_fast(
     # state, and cold is numpy-only, so this is always a numpy column.
     if np is not None:
         first_min_g = _NpGrow(np)
-        first_min = first_min_g.view()
+        first_min = first_min_g.view()  # repro: domains[first_min=interned-id->any:int64]
     else:
         first_min_g = None
         first_min = None
@@ -604,6 +608,8 @@ def _simulate_fast(
         the newest touch index wins, matching scalar order. Returns
         (hit_run_requests, scalar_requests) for the chunk tail.
         """
+        # repro: domains[starts_r=any->chunk-offset:intp, ends_r=any->chunk-offset:intp]
+        # repro: domains[rslots=any->cache-slot:intp, rlast_ts=any->age-tick:float64]
         starts_r, ends_r, rslots, rlast_ts = runs_np
         rlast_g = ends_r + (gbase - 1)
         nruns = len(starts_r)
@@ -637,7 +643,7 @@ def _simulate_fast(
             tot = int(lens.sum())
             if not tot:
                 return
-            off = np.cumsum(lens)
+            off = np.cumsum(lens, dtype=np.int64)
             idx = np.arange(tot, dtype=np.intp) + np.repeat(s - (off - lens), lens)
             served[idx] = np.repeat(dszv[sg], lens)
 
@@ -824,6 +830,10 @@ def _simulate_fast(
         ts_l = chunk.timestamps
         gbase = chunk.base_records
         if np is not None:
+            # repro: domains[docs_np=chunk-offset->interned-id:intp]
+            # repro: domains[slots_np=chunk-offset->cache-slot:intp]
+            # repro: domains[ts_np=chunk-offset->age-tick:float64]
+            # repro: domains[fsreq_np=chunk-offset->byte-size:int64]
             docs_np, slots_np, ts_np, fsreq_np, runs_np = npx
 
         out = bytearray(n)
@@ -856,6 +866,8 @@ def _simulate_fast(
                 grp = (ss[gpos], order[gpos], order[gend - 1])
                 if cached_source is not None:
                     cached_source.derived_cache()[gkey] = grp
+            # repro: domains[grp_slot=any->cache-slot:intp, grp_first=any->chunk-offset:intp]
+            # repro: domains[grp_last=any->chunk-offset:intp]
             grp_slot, grp_first, grp_last = grp
             # Cold invariant: a slot was seen before iff it is resident.
             # (No reference to the frombuffer view may outlive this
@@ -875,7 +887,7 @@ def _simulate_fast(
                 split = int(ev_idx[int(np.argmax(bad))])
             for c in range(NC):
                 cm = ev_leaf == c
-                cs = np.cumsum(ev_size[cm])
+                cs = np.cumsum(ev_size[cm], dtype=np.int64)
                 k = int(np.searchsorted(cs, cap - used[c], side="right"))
                 if k < len(cs):
                     oidx = int(ev_idx[cm][k])
@@ -903,7 +915,9 @@ def _simulate_fast(
                     gstart = np.empty(ecount, dtype=bool)
                     gstart[0] = True
                     gstart[1:] = d_doc[1:] != d_doc[:-1]
-                    gid = np.cumsum(gstart) - 1
+                    # bool input would otherwise promote to the platform
+                    # default integer (int32 on Windows).
+                    gid = np.cumsum(gstart, dtype=np.int64) - 1
                     # Segmented inclusive running minimum of the leaf
                     # column via offset max-accumulate: group offsets
                     # dominate the encoded values, so earlier groups can
@@ -1120,6 +1134,11 @@ def _simulate_fast(
         elif w_start > n:
             w_start = n
         if np is not None:
+            # repro: domains[leaf_np=chunk-offset->any:intp]
+            # repro: domains[icp_req_np=chunk-offset->byte-size:int64]
+            # repro: domains[remote_base_np=chunk-offset->byte-size:int64]
+            # repro: domains[origin_hdr_np=chunk-offset->byte-size:int64]
+            # repro: domains[rsz_np=chunk-offset->byte-size:int64]
             leaf_np, icp_req_np, remote_base_np, origin_hdr_np, rsz_np = post
             out_np = np.frombuffer(out, dtype=np.uint8)
             if served_np is None:
@@ -1300,6 +1319,11 @@ class _NpGrow:
         return self.buf[: self.used]
 
 
+# repro: domains[pow10=any->any:int64, leaves_np=any->any:intp]
+# repro: domains[sender_np=any->byte-size:int64]
+# repro: domains[url_len_g=interned-id->byte-size:int64]
+# repro: domains[icp_g=interned-id->byte-size:int64]
+# repro: domains[first_size_g=interned-id->byte-size:int64]
 def _columns_np(
     np, chunk, cached_source, patch, partitioner, leaves,
     leaves_np, sender_np, pow10, NC, num_leaves,
@@ -1307,8 +1331,9 @@ def _columns_np(
 ):
     """Vectorised per-chunk columns + run segmentation (numpy path)."""
     n = chunk.num_records
-    docs_np = np.array(chunk.doc_ids, dtype=np.intp)
-    ts_np = np.array(chunk.timestamps, dtype=np.float64)
+    # repro: domains[leaf_np=chunk-offset->any:intp, rsz_np=chunk-offset->byte-size:int64]
+    docs_np = np.array(chunk.doc_ids, dtype=np.intp)  # repro: domains[docs_np=chunk-offset->interned-id:intp]
+    ts_np = np.array(chunk.timestamps, dtype=np.float64)  # repro: domains[ts_np=chunk-offset->age-tick:float64]
     if cached_source is not None:
         leaf_l = cached_source.leaf_column(partitioner, leaves)
         leaf_np = np.array(leaf_l, dtype=np.intp)
@@ -1345,18 +1370,18 @@ def _columns_np(
         fs[docs_np[unseen][::-1]] = rsz_np[unseen][::-1]
         known = fs[docs_np]
     lean = bool((known == rsz_np).all())
-    slots_np = docs_np * NC + leaf_np
-    keep = np.empty(n, dtype=bool)
+    slots_np = docs_np * NC + leaf_np  # repro: domains[slots_np=chunk-offset->cache-slot:intp]
+    keep = np.empty(n, dtype=bool)  # repro: domains[keep=chunk-offset->any:bool]
     keep[0] = True
     if n > 1:
         keep[1:] = slots_np[1:] != slots_np[:-1]
-    starts_np = np.flatnonzero(keep)
+    starts_np = np.flatnonzero(keep)  # repro: domains[starts_np=any->chunk-offset:intp]
     starts_l = starts_np.tolist()
     ends_l = starts_l[1:]
     ends_l.append(n)
     sslots_l = slots_np[starts_np].tolist()
     sts_l = ts_np[starts_np].tolist()
-    ends_np = np.empty(len(starts_np), dtype=np.intp)
+    ends_np = np.empty(len(starts_np), dtype=np.intp)  # repro: domains[ends_np=any->chunk-offset:intp]
     ends_np[:-1] = starts_np[1:]
     ends_np[-1] = n
     # Run columns for the warm-regime bulk scanner: per-run slot plus the

@@ -82,6 +82,11 @@ class InternedTrace:
         "_derived",
     )
 
+    # Whole-trace columns are indexed by global request position; the
+    # per-doc tables are indexed by the dense interned id.
+    # repro: domains[doc_ids=global-seq->interned-id, sizes=global-seq->byte-size]
+    # repro: domains[timestamps=global-seq->age-tick, clients=global-seq->any]
+    # repro: domains[urls=interned-id->any]
     def __init__(
         self,
         doc_ids: List[int],
@@ -114,6 +119,7 @@ class InternedTrace:
     # Cached per-run columns
     # ------------------------------------------------------------------ #
 
+    # repro: domains[patch_size=byte-size, cached=global-seq->byte-size]
     def record_sizes(self, patch_size: int) -> List[int]:
         """Per-request sizes with zero-size records patched to ``patch_size``.
 
@@ -129,6 +135,7 @@ class InternedTrace:
             self._derived[key] = cached
         return cached  # type: ignore[return-value]
 
+    # repro: domains[patch_size=byte-size]
     def size_digits(self, patch_size: int) -> List[int]:
         """Content-Length digit count per request (origin-response header)."""
         key = ("size_digits", patch_size)
@@ -175,6 +182,8 @@ class InternedTrace:
         return self._derived  # repro: noqa[RPR134]
 
     @classmethod
+    # repro: domains[doc=interned-id, doc_ids=global-seq->interned-id]
+    # repro: domains[sizes=global-seq->byte-size, timestamps=global-seq->age-tick]
     def from_records(cls, records: Iterable[TraceRecord]) -> "InternedTrace":
         """Intern ``records`` in order; ids follow first appearance."""
         doc_index: dict = {}
@@ -204,6 +213,8 @@ class InternedTrace:
             clients.append(client)
         return cls(doc_ids, sizes, timestamps, clients, urls, client_names)
 
+    # repro: domains[base_docs=interned-id, next_docs=interned-id]
+    # repro: domains[chunk_docs=chunk-offset->interned-id, start=global-seq]
     def chunks(self, chunk_size: int) -> Iterator["InternedChunk"]:
         """Slice this interned trace into :class:`InternedChunk` views.
 
@@ -270,6 +281,10 @@ class InternedChunk:
         "_new_icp_probe_bytes",
     )
 
+    # Chunk columns are indexed by chunk-local offset; ids stay global.
+    # repro: domains[doc_ids=chunk-offset->interned-id, sizes=chunk-offset->byte-size]
+    # repro: domains[timestamps=chunk-offset->age-tick, clients=chunk-offset->any]
+    # repro: domains[base_docs=interned-id, base_records=global-seq]
     def __init__(
         self,
         doc_ids: List[int],
@@ -341,6 +356,8 @@ class ChunkingInterner:
         """Total records interned so far."""
         return self._records_seen
 
+    # repro: domains[doc=interned-id, base_docs=interned-id, base_records=global-seq]
+    # repro: domains[doc_ids=chunk-offset->interned-id, sizes=chunk-offset->byte-size]
     def intern_chunk(self, records: Iterable[TraceRecord]) -> InternedChunk:
         """Intern one batch of records; ids continue from prior batches."""
         doc_index = self._doc_index

@@ -11,6 +11,15 @@ vectorised fold matches the serial one.
 Set ``REPRO_NO_NUMPY=1`` to force the fallback path with numpy installed
 (the CI matrix leg proving the fallback uses this; the container image
 cannot uninstall the extra).
+
+The index-domain analyzer (``repro analyze domains``, docs/ANALYSIS.md)
+treats locals bound from this gate — ``np = load_numpy()`` — as the numpy
+root, so dtype-width and index-domain checks (RPR141–147) apply to the
+gated vectorised paths exactly as they would to a plain ``import numpy as
+np``. Trace-length-scaled accumulators behind the gate must spell their
+dtype (``np.cumsum(..., dtype=np.int64)``): numpy promotes bool/narrow
+inputs only to the *platform default* integer, which is 32-bit on
+Windows (RPR143).
 """
 
 from __future__ import annotations

@@ -204,6 +204,13 @@ class PackedTraceReader:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    # Decoded columns carry the same domains the packer wrote: chunk-local
+    # request offsets over global interned ids, with byte offsets into the
+    # backing mmap kept strictly in the byte-size domain.
+    # repro: domains[doc_ids=chunk-offset->interned-id, sizes=chunk-offset->byte-size]
+    # repro: domains[timestamps=chunk-offset->age-tick, clients=chunk-offset->any]
+    # repro: domains[off=byte-size, width=byte-size, records_seen=global-seq]
+    # repro: domains[base_docs=interned-id, base_records=global-seq]
     def interned_chunks(self, chunk_size: int) -> Iterator["InternedChunk"]:
         """Decode stored chunks in order (``chunk_size`` ignored; see above)."""
         from repro.fastpath.interning import InternedChunk

@@ -1,0 +1,385 @@
+"""Fixture tests for the index-domain analyzer (RPR141-147).
+
+Each seeded fixture is a miniature hot-path module carrying exactly one
+domain defect; the assertion reads as "this edit causes this finding,
+and only this finding". The two fixtures the issue names as acceptance
+regressions — the int32-cumsum overflow and the slot-indexes-doc-axis
+gather — additionally assert the full finding list, so a second
+(spurious) finding fails the test just as a missing one does.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.analysis import ProjectModel, analyze_domains, domain_analysis
+from repro.devtools.analysis.domains import (
+    ALL_DOMAINS,
+    DOMAINS_SCHEMA,
+    RULES,
+    Dom,
+    parse_pragma,
+    parse_spec,
+)
+
+
+def domains_of(root):
+    return analyze_domains(ProjectModel.load(root))
+
+
+def rules_of(root):
+    return [f.rule for f in domains_of(root)]
+
+
+class TestContractParsing:
+    def test_full_spec_round_trips(self):
+        dom, unknown = parse_spec("chunk-offset->interned-id:intp")
+        assert dom == Dom(axis="chunk-offset", value="interned-id", width="intp")
+        assert unknown == []
+        assert dom.render() == "chunk-offset->interned-id:intp"
+
+    def test_bare_value_and_wildcard(self):
+        dom, unknown = parse_spec("byte-size")
+        assert dom == Dom(value="byte-size")
+        assert unknown == []
+        dom, unknown = parse_spec("any->global-seq")
+        assert dom == Dom(axis="any", value="global-seq")
+        assert unknown == []
+
+    def test_unknown_tokens_reported_not_guessed(self):
+        dom, unknown = parse_spec("doc-idx")
+        assert dom.value is None
+        assert unknown == ["doc-idx"]
+        dom, unknown = parse_spec("doc-id:int63")
+        assert dom.value == "doc-id" and dom.width is None
+        assert unknown == ["int63"]
+
+    def test_pragma_multiple_named_entries(self):
+        entries = parse_pragma(
+            "# repro: domains[ids=chunk-offset->interned-id:intp, n=byte-size]"
+        )
+        assert entries is not None
+        assert [(name, dom.render()) for name, dom, _ in entries] == [
+            ("ids", "chunk-offset->interned-id:intp"),
+            ("n", "byte-size"),
+        ]
+
+    def test_pragma_bare_spec_has_no_name(self):
+        entries = parse_pragma("x = f()  # repro: domains[cache-slot->any:uint8]")
+        assert entries is not None
+        (name, dom, unknown) = entries[0]
+        assert name is None
+        assert dom == Dom(axis="cache-slot", value="any", width="uint8")
+        assert unknown == []
+
+    def test_non_domains_pragma_is_ignored(self):
+        assert parse_pragma("# repro: effects[]") is None
+
+    def test_rule_table_covers_the_band(self):
+        assert sorted(RULES) == [f"RPR14{i}" for i in range(1, 8)]
+        assert len(ALL_DOMAINS) == 7
+
+
+class TestRPR141CrossDomainGather:
+    def test_slot_index_into_doc_axis_array_fires_exactly_once(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[url_len_g=interned-id->byte-size:int64]
+                    # repro: domains[slots=chunk-offset->cache-slot:intp]
+                    def gather_lens(url_len_g, slots):
+                        return url_len_g[slots]
+                '''
+            }
+        )
+        findings = domains_of(root)
+        assert [f.rule for f in findings] == ["RPR141"]
+        assert "cache-slot" in findings[0].message
+        assert "interned-id" in findings[0].message
+
+    def test_matching_domains_are_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[url_len_g=interned-id->byte-size:int64]
+                    # repro: domains[docs=chunk-offset->interned-id:intp]
+                    def gather_lens(url_len_g, docs):
+                        return url_len_g[docs]
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR142OffsetMixing:
+    def test_chunk_offset_plus_global_seq_array(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[starts=any->chunk-offset:intp]
+                    # repro: domains[bases=any->global-seq:int64]
+                    def globalize(starts, bases):
+                        return starts + bases
+                '''
+            }
+        )
+        assert rules_of(root) == ["RPR142"]
+
+    def test_scalar_base_shift_is_sanctioned(self, make_project):
+        # Adding the scalar chunk base to a chunk-offset column is the
+        # sanctioned globalization idiom, not mixing.
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[starts=any->chunk-offset:intp, gbase=global-seq]
+                    def globalize(starts, gbase):
+                        return starts + gbase
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR143AccumulatorWidth:
+    def test_int32_cumsum_fires_exactly_once(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    def offsets(sizes):
+                        return np.cumsum(sizes, dtype=np.int32)
+                '''
+            }
+        )
+        findings = domains_of(root)
+        assert [f.rule for f in findings] == ["RPR143"]
+        assert "int32" in findings[0].message
+
+    def test_narrow_input_promotes_only_to_platform_default(self, make_project):
+        # bool input without an explicit dtype promotes to the platform
+        # default integer — 32-bit on Windows — which is the hazard.
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    def group_ids(flags):
+                        starts = flags.astype(np.uint8)
+                        return np.cumsum(starts)
+                '''
+            }
+        )
+        assert rules_of(root) == ["RPR143"]
+
+    def test_explicit_int64_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    def offsets(sizes):
+                        return np.cumsum(sizes, dtype=np.int64)
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR144ViewLifetime:
+    def test_view_sharing_loop_with_growth_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    def drain(chunks):
+                        buf = bytearray()
+                        out = []
+                        for chunk in chunks:
+                            view = np.frombuffer(buf, dtype=np.uint8)
+                            out.append(int(view[0]))
+                            buf.extend(chunk)
+                        return out
+                '''
+            }
+        )
+        findings = domains_of(root)
+        assert [f.rule for f in findings] == ["RPR144"]
+        assert "buf" in findings[0].message
+
+    def test_deleting_the_view_before_growth_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    def drain(chunks):
+                        buf = bytearray()
+                        out = []
+                        for chunk in chunks:
+                            view = np.frombuffer(buf, dtype=np.uint8)
+                            out.append(int(view[0]))
+                            del view
+                            buf.extend(chunk)
+                        return out
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR145MaskMismatch:
+    def test_mask_from_other_axis_fires(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    # repro: domains[fresh=interned-id->any:bool]
+                    def select(sizes, fresh):
+                        return sizes[fresh]
+                '''
+            }
+        )
+        assert rules_of(root) == ["RPR145"]
+
+    def test_same_axis_mask_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    # repro: domains[keep=chunk-offset->any:bool]
+                    def select(sizes, keep):
+                        return sizes[keep]
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR146ContractDrift:
+    def test_unknown_token_in_contract(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[ids=chunk-offset->doc-idx]
+                    def noop(ids):
+                        return ids
+                '''
+            }
+        )
+        findings = domains_of(root)
+        assert [f.rule for f in findings] == ["RPR146"]
+        assert "doc-idx" in findings[0].message
+
+    def test_declared_vs_inferred_conflict(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[ids=chunk-offset->interned-id:intp]
+                    # repro: domains[twin=chunk-offset->cache-slot:intp]
+                    def alias(ids):
+                        twin = ids.copy()
+                        return twin
+                '''
+            }
+        )
+        assert rules_of(root) == ["RPR146"]
+
+    def test_consistent_alias_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[ids=chunk-offset->interned-id:intp]
+                    # repro: domains[twin=chunk-offset->interned-id:intp]
+                    def alias(ids):
+                        twin = ids.copy()
+                        return twin
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestRPR147InternedEscape:
+    def test_interned_value_to_doc_id_parameter(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[raw_doc=doc-id]
+                    def lookup_url(raw_doc):
+                        return raw_doc
+
+                    # repro: domains[ids=chunk-offset->interned-id:intp]
+                    def caller(ids):
+                        first = ids[0]
+                        return lookup_url(first)
+                '''
+            }
+        )
+        findings = domains_of(root)
+        assert [f.rule for f in findings] == ["RPR147"]
+        assert "lookup_url" in findings[0].message
+
+    def test_doc_id_argument_is_clean(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    # repro: domains[raw_doc=doc-id]
+                    def lookup_url(raw_doc):
+                        return raw_doc
+
+                    # repro: domains[raw=doc-id]
+                    def caller(raw):
+                        return lookup_url(raw)
+                '''
+            }
+        )
+        assert rules_of(root) == []
+
+
+class TestReport:
+    def test_report_schema_and_totals(self, make_project):
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    def offsets(sizes):
+                        off = np.cumsum(sizes, dtype=np.int64)
+                        return off
+                '''
+            }
+        )
+        report = domain_analysis(ProjectModel.load(root)).report()
+        assert report["schema"] == DOMAINS_SCHEMA
+        entry = report["functions"]["repro.fastpath.hot:offsets"]
+        assert entry["declared"]["sizes"] == "chunk-offset->byte-size:int64"
+        assert entry["inferred"]["off"] == "chunk-offset->byte-size:int64"
+        assert report["totals"]["annotated-functions"] >= 1
+
+    def test_noqa_suppresses_like_other_analyzers(self, make_project):
+        from repro.devtools.analysis import filter_findings, run_analyzers
+
+        root = make_project(
+            {
+                "repro/fastpath/hot.py": '''
+                    import numpy as np
+
+                    # repro: domains[sizes=chunk-offset->byte-size:int64]
+                    def offsets(sizes):
+                        return np.cumsum(sizes, dtype=np.int32)  # repro: noqa[RPR143]
+                '''
+            }
+        )
+        model = ProjectModel.load(root)
+        raw = run_analyzers(model, ("domains",))
+        assert [f.rule for f in raw] == ["RPR143"]
+        report = filter_findings(model, raw, ("domains",))
+        assert report.findings == []
+        assert report.suppressed == 1

@@ -521,7 +521,10 @@ class TestRPR011HotLoopDirectIO:
 
 class TestRPR012BatchScalarization:
     BATCH = "src/repro/fastpath/batch.py"
+    NUMERIC = "src/repro/fastpath/numeric.py"
+    DECODER = "src/repro/trace/columnar_io.py"
     OTHER_FASTPATH = "src/repro/fastpath/columnar.py"
+    OTHER_TRACE = "src/repro/trace/stream.py"
 
     def test_for_over_np_call_flagged(self):
         src = (
@@ -595,6 +598,38 @@ class TestRPR012BatchScalarization:
             "        lh[s] = 0.0\n"
         )
         assert_silent("RPR012", src, self.OTHER_FASTPATH)
+
+    def test_trace_decoder_in_scope(self):
+        src = (
+            '"""m."""\n\ndef decode(buf, n, off):\n    """D."""\n'
+            "    col = np.frombuffer(buf, np.int64, n, off)\n"
+            "    return [int(v) for v in col]\n"
+        )
+        assert_fires("RPR012", src, self.DECODER)
+
+    def test_numeric_gate_in_scope(self):
+        src = (
+            '"""m."""\n\ndef probe(m):\n    """D."""\n'
+            "    for v in np.asarray(m):\n"
+            "        pass\n"
+        )
+        assert_fires("RPR012", src, self.NUMERIC)
+
+    def test_decoder_tolist_escape_not_flagged(self):
+        src = (
+            '"""m."""\n\ndef decode(buf, n, off):\n    """D."""\n'
+            "    col = np.frombuffer(buf, np.int64, n, off).tolist()\n"
+            "    return [int(v) for v in col]\n"
+        )
+        assert_silent("RPR012", src, self.DECODER)
+
+    def test_other_trace_module_out_of_scope(self):
+        src = (
+            '"""m."""\n\ndef apply(m, lh):\n    """D."""\n'
+            "    for s in np.flatnonzero(m):\n"
+            "        lh[s] = 0.0\n"
+        )
+        assert_silent("RPR012", src, self.OTHER_TRACE)
 
     def test_suppressed_with_pragma(self):
         src = (
