@@ -1,0 +1,246 @@
+#!/usr/bin/env python
+"""Aggregate every committed BENCH_*.json into one perf trajectory.
+
+Usage::
+
+    python scripts/bench_history.py                     # print the table
+    python scripts/bench_history.py --out history.json  # emit the JSON too
+    python scripts/bench_history.py --markdown docs/PERFORMANCE.md
+
+The repo commits one benchmark summary per PR (``BENCH_<n>.json`` at the
+root, compact ``repro-bench-summary/1`` or raw pytest-benchmark). Each
+file answers "how fast is this PR?"; this script answers "how has each
+benchmark moved *across* PRs?" — the observatory view the per-pair
+regression gate (``check_bench_regression.py``) cannot give, because it
+only ever compares adjacent files.
+
+Output schema (``repro-bench-history/1``)::
+
+    {
+      "schema": "repro-bench-history/1",
+      "points": [{"label": "BENCH_2", "index": 2,
+                  "datetime": ..., "machine": ..., "python": ...}],
+      "series": {"<benchmark>": [{"point": "BENCH_2", "median": s,
+                                  "mean": s, "min": s, "ops": 1/s} | null]},
+      "regressions": [{"name": ..., "from": "BENCH_7", "to": "BENCH_8",
+                       "ratio": 1.34}]
+    }
+
+``series`` entries are index-aligned with ``points`` (``null`` where a
+benchmark did not exist yet — benchmarks come and go as the suite grows).
+A *regression annotation* marks any adjacent pair whose median grew more
+than ``--threshold`` (default 20%, matching the CI gate); annotations are
+advisory history, not a gate — cross-machine noise means an annotated
+step is a prompt to look, not proof of a regression.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import re
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+SCHEMA = "repro-bench-history/1"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+#: Statistics carried per (benchmark, point) sample.
+_STATS = ("median", "mean", "min", "ops")
+
+
+def bench_index(path: Path) -> Optional[int]:
+    """The <n> of a BENCH_<n>.json path, or None for other files."""
+    match = _BENCH_NAME.match(path.name)
+    return int(match.group(1)) if match else None
+
+
+def load_point(path: Path) -> Dict:
+    """One history point from a benchmark JSON (either schema).
+
+    Returns ``{"label", "index", "datetime", "machine", "python",
+    "benchmarks": {name: {median, mean, min, ops}}}``.
+    """
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    compact = str(payload.get("schema", "")).startswith("repro-bench-summary")
+    if compact:
+        source = payload.get("source", {})
+        meta = {
+            "datetime": source.get("datetime"),
+            "machine": source.get("machine"),
+            "python": source.get("python"),
+        }
+    else:  # raw pytest-benchmark
+        machine = payload.get("machine_info", {})
+        meta = {
+            "datetime": payload.get("datetime"),
+            "machine": machine.get("node"),
+            "python": machine.get("python_version"),
+        }
+    benchmarks = {}
+    for bench in payload["benchmarks"]:
+        stats = bench if compact else bench["stats"]
+        benchmarks[bench["name"]] = {stat: stats[stat] for stat in _STATS}
+    return {
+        "label": path.stem,
+        "index": bench_index(path),
+        **meta,
+        "benchmarks": benchmarks,
+    }
+
+
+def build_history(paths: List[Path], threshold: float) -> Dict:
+    """The ``repro-bench-history/1`` payload over ``paths`` (PR order)."""
+    points = [load_point(path) for path in paths]
+    names = sorted({name for point in points for name in point["benchmarks"]})
+    series: Dict[str, List[Optional[Dict]]] = {}
+    for name in names:
+        row: List[Optional[Dict]] = []
+        for point in points:
+            stats = point["benchmarks"].get(name)
+            row.append(None if stats is None else {"point": point["label"], **stats})
+        series[name] = row
+    regressions = []
+    for name in names:
+        row = series[name]
+        for prev, cur in zip(row, row[1:]):
+            if prev is None or cur is None:
+                continue
+            if prev["median"] > 0 and cur["median"] > prev["median"] * (1 + threshold):
+                regressions.append(
+                    {
+                        "name": name,
+                        "from": prev["point"],
+                        "to": cur["point"],
+                        "ratio": round(cur["median"] / prev["median"], 3),
+                    }
+                )
+    return {
+        "schema": SCHEMA,
+        "threshold": threshold,
+        "points": [
+            {key: point[key] for key in ("label", "index", "datetime",
+                                         "machine", "python")}
+            for point in points
+        ],
+        "series": series,
+        "regressions": regressions,
+    }
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    ms = seconds * 1000.0
+    return f"{ms:.3g}" if ms < 100 else f"{ms:.0f}"
+
+
+def render_markdown(history: Dict) -> str:
+    """Markdown trajectory table (median ms per point; ⚠ marks regressions)."""
+    labels = [point["label"] for point in history["points"]]
+    flagged = {(r["name"], r["to"]) for r in history["regressions"]}
+    lines = [
+        "| benchmark (median ms) | " + " | ".join(labels) + " |",
+        "|---" * (len(labels) + 1) + "|",
+    ]
+    for name, row in history["series"].items():
+        cells = []
+        for label, sample in zip(labels, row):
+            cell = _fmt_ms(None if sample is None else sample["median"])
+            if (name, label) in flagged:
+                cell += " ⚠"
+            cells.append(cell)
+        lines.append(f"| `{name}` | " + " | ".join(cells) + " |")
+    lines.append("")
+    lines.append(
+        f"⚠ = median grew >{history['threshold']:.0%} vs the previous "
+        "checked-in run (advisory; see scripts/bench_history.py)."
+    )
+    return "\n".join(lines)
+
+
+_MARKER_BEGIN = "<!-- bench-history:begin -->"
+_MARKER_END = "<!-- bench-history:end -->"
+
+
+def patch_markdown(path: Path, table: str) -> None:
+    """Write ``table`` into ``path`` between the bench-history markers.
+
+    Creates the file with a heading when missing; replaces only the
+    marked block when present, leaving hand-written prose around it.
+    """
+    block = f"{_MARKER_BEGIN}\n{table}\n{_MARKER_END}"
+    if path.exists():
+        text = path.read_text(encoding="utf-8")
+        if _MARKER_BEGIN in text and _MARKER_END in text:
+            head, rest = text.split(_MARKER_BEGIN, 1)
+            _, tail = rest.split(_MARKER_END, 1)
+            path.write_text(head + block + tail, encoding="utf-8")
+            return
+        text = text.rstrip("\n") + "\n\n" + block + "\n"
+        path.write_text(text, encoding="utf-8")
+        return
+    path.write_text(
+        "# Performance trajectory\n\n"
+        "Benchmark medians across the checked-in BENCH_*.json series, one\n"
+        "column per PR. Regenerate with `python scripts/bench_history.py\n"
+        "--markdown docs/PERFORMANCE.md`.\n\n" + block + "\n",
+        encoding="utf-8",
+    )
+
+
+def main(argv: Optional[list] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("files", nargs="*", type=Path,
+                        help="BENCH_*.json files (default: all at repo root)")
+    parser.add_argument("--out", type=Path,
+                        help="write the repro-bench-history/1 JSON here")
+    parser.add_argument("--markdown", type=Path,
+                        help="patch this markdown file's bench-history block")
+    parser.add_argument("--threshold", type=float, default=0.20,
+                        help="median-growth fraction that earns a "
+                        "regression annotation (default 0.20)")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress the table on stdout")
+    args = parser.parse_args(argv)
+
+    if args.files:
+        paths = list(args.files)
+    else:
+        root = Path(__file__).resolve().parent.parent
+        paths = sorted(root.glob("BENCH_*.json"), key=bench_index)
+    for path in paths:
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 2
+        if bench_index(path) is None:
+            print(f"error: {path.name} is not a BENCH_<n>.json file",
+                  file=sys.stderr)
+            return 2
+    if not paths:
+        print("error: no BENCH_*.json files found", file=sys.stderr)
+        return 2
+    paths = sorted(paths, key=bench_index)
+
+    history = build_history(paths, args.threshold)
+    table = render_markdown(history)
+    if not args.quiet:
+        print(table)
+    if args.out:
+        args.out.write_text(
+            json.dumps(history, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {args.out} ({len(history['series'])} series, "
+              f"{len(history['points'])} point(s), "
+              f"{len(history['regressions'])} regression annotation(s))")
+    if args.markdown:
+        patch_markdown(args.markdown, table)
+        print(f"patched {args.markdown}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -145,6 +145,18 @@ def _build_parser() -> argparse.ArgumentParser:
                      metavar="SECONDS",
                      help="simulation-seconds between per-cache snapshot "
                      "events in the stream (0 = no snapshots)")
+    sim.add_argument("--trace-out", metavar="FILE",
+                     help="write a Chrome Trace Event Format span timeline "
+                     "of the run (repro-trace-events/1) — load it in "
+                     "Perfetto or render with 'repro obs timeline'")
+    sim.add_argument("--timeseries", metavar="FILE",
+                     help="write a repro-timeseries/1 stream of per-chunk "
+                     "samples (req/s, hit ratios, EA placements, regime "
+                     "occupancy); render with 'repro obs report'")
+    sim.add_argument("--track-memory", action="store_true",
+                     help="record the run's tracemalloc high-water mark "
+                     "(peak_memory_bytes in the manifest, mem_hwm in "
+                     "--timeseries samples)")
 
     exp = sub.add_parser("experiment", help="regenerate a paper figure/table")
     exp.add_argument("name", choices=sorted(EXPERIMENTS) + ["all"])
@@ -209,13 +221,25 @@ def _build_parser() -> argparse.ArgumentParser:
     swp.add_argument("--progress", action="store_true",
                      help="print one line per completed point plus a "
                      "per-worker telemetry summary")
+    swp.add_argument("--trace-out", metavar="FILE",
+                     help="span-trace every freshly simulated point and "
+                     "write the merged Chrome Trace Event Format timeline "
+                     "(one lane per point; Perfetto-loadable)")
+    swp.add_argument("--track-memory", action="store_true",
+                     help="record each worker's tracemalloc high-water "
+                     "mark per point (reported in the telemetry summary)")
 
     obs = sub.add_parser(
-        "obs", help="inspect repro-events/1 streams (tail / summarize / diff / validate)"
+        "obs", help="inspect observability files (events, span traces, "
+        "timeseries): tail / summarize / diff / validate / timeline / report"
     )
-    obs.add_argument("action", choices=("tail", "summarize", "diff", "validate"))
+    obs.add_argument("action", choices=("tail", "summarize", "diff", "validate",
+                                        "timeline", "report"))
     obs.add_argument("paths", nargs="+", metavar="FILE",
-                     help="event file(s); 'diff' takes exactly two")
+                     help="input file(s); 'diff' takes exactly two; "
+                     "'timeline' reads --trace-out JSON, 'report' reads "
+                     "--timeseries streams, 'validate' auto-detects "
+                     "events vs span-trace files")
     obs.add_argument("-n", "--count", type=int, default=10, metavar="N",
                      help="[tail] number of trailing events to print")
     obs.add_argument("--json", action="store_true",
@@ -420,7 +444,13 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         engine=args.engine,
     )
     observed = None
-    if args.events or args.snapshot_interval > 0.0:
+    spans = None
+    if args.trace_out:
+        from repro.obs.spans import SpanTracer
+
+        spans = SpanTracer()
+    if (args.events or args.snapshot_interval > 0.0 or args.trace_out
+            or args.timeseries or args.track_memory):
         from repro.obs.session import ObservedRun
 
         observed = ObservedRun(
@@ -428,8 +458,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             trace,
             events_path=args.events,
             snapshot_interval=args.snapshot_interval,
+            track_memory=args.track_memory,
+            spans=spans,
+            timeseries_path=args.timeseries,
         )
     recorder = observed.recorder if observed is not None else None
+    timeseries = observed.timeseries if observed is not None else None
     sanitizer = None
     if args.sanitize:
         # Sanitizing needs the simulator instance for the report (and forces
@@ -443,7 +477,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         result = simulator.run(trace)
         sanitizer = simulator.sanitizer
     else:
-        result = run_simulation(config, trace, obs=recorder, chunk_size=args.chunk_size)
+        result = run_simulation(
+            config, trace, obs=recorder, chunk_size=args.chunk_size,
+            spans=spans, timeseries=timeseries,
+        )
     if observed is not None:
         result = observed.finish(result)
     if args.json:
@@ -458,6 +495,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         total = sum(result.manifest["events"]["counts"].values())
         print(f"events: {total} event(s) -> {args.events}")
         print(f"manifest: {manifest_path}")
+    if args.trace_out:
+        spans.write(args.trace_out)
+        print(f"trace: {args.trace_out} (render with 'repro obs timeline')")
+    if args.timeseries:
+        print(f"timeseries: {args.timeseries} (render with 'repro obs report')")
+    if args.track_memory and result.manifest is not None:
+        peak = result.manifest.get("peak_memory_bytes")
+        if peak is not None:
+            print(f"peak memory: {peak:,} bytes (tracemalloc)")
     if sanitizer is not None:
         print(sanitizer.summary())
         if not sanitizer.ok:
@@ -546,11 +592,17 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"{requests} per point",
             flush=True,
         )
+    spans = None
+    if args.trace_out:
+        from repro.obs.spans import SpanTracer
+
+        spans = SpanTracer()
     sweep = run_capacity_sweep(
         trace, capacities, schemes=schemes, base_config=base_config,
         jobs=jobs, memo=memo, engine=args.engine,
         events_dir=args.events, snapshot_interval=args.snapshot_interval,
         progress=_print_progress if args.progress else None,
+        track_memory=args.track_memory, spans=spans,
     )
     if args.json:
         payload = [
@@ -586,10 +638,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
     if memo is not None:
         print(f"memo: {memo.hits} hit(s), {memo.misses} miss(es) in {memo.root}")
-    if args.progress and sweep.telemetry is not None:
+    if (args.progress or args.track_memory) and sweep.telemetry is not None:
         print(sweep.telemetry.summary())
     if args.events:
         print(f"events: {args.events}")
+    if args.trace_out:
+        spans.write(args.trace_out)
+        print(f"trace: {args.trace_out} (render with 'repro obs timeline')")
     return 0
 
 
@@ -858,9 +913,51 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
+    from repro.obs.registry import ObsError
+
+    try:
+        return _run_obs(args)
+    except (ObsError, OSError) as exc:
+        # Malformed inputs (missing, empty, truncated, corrupted files)
+        # are a user-facing condition, not a crash: one line, exit 2.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _sniff_obs_file(path: str) -> str:
+    """Classify an observability file by its leading bytes.
+
+    ``"trace"`` for Chrome Trace Event Format JSON (a ``--trace-out``
+    payload), ``"timeseries"`` for a ``repro-timeseries/1`` stream,
+    ``"events"`` otherwise (the ``repro-events/1`` default).
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        head = handle.read(4096)
+    if '"traceEvents"' in head:
+        return "trace"
+    if '"repro-timeseries/1"' in head:
+        return "timeseries"
+    return "events"
+
+
+def _run_obs(args: argparse.Namespace) -> int:
     from repro.analysis.tables import render_table
     from repro.obs.schema import validate_events_file
     from repro.obs.tools import diff_events, summarize_events, tail_events
+
+    if args.action == "timeline":
+        from repro.obs.spans import load_trace_events, render_timeline
+
+        for path in args.paths:
+            print(render_timeline(load_trace_events(path)))
+        return 0
+
+    if args.action == "report":
+        from repro.obs.timeseries import read_timeseries, render_report
+
+        for path in args.paths:
+            print(render_report(read_timeseries(path)))
+        return 0
 
     if args.action == "diff":
         if len(args.paths) != 2:
@@ -885,8 +982,37 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         return 0
 
     if args.action == "validate":
+        from repro.obs.registry import ObsError
+        from repro.obs.spans import load_trace_events
+        from repro.obs.timeseries import read_timeseries
+
         failed = False
         for path in args.paths:
+            kind = _sniff_obs_file(path)
+            if kind == "trace":
+                try:
+                    payload = load_trace_events(path)
+                except ObsError as exc:
+                    failed = True
+                    print(f"{path}: INVALID ({exc})")
+                else:
+                    spans = sum(
+                        1 for e in payload["traceEvents"] if e.get("ph") == "X"
+                    )
+                    print(f"{path}: valid span trace ({spans} span(s), nested)")
+                continue
+            if kind == "timeseries":
+                try:
+                    data = read_timeseries(path)
+                except ObsError as exc:
+                    failed = True
+                    print(f"{path}: INVALID ({exc})")
+                else:
+                    print(
+                        f"{path}: valid timeseries "
+                        f"({len(data['samples'])} sample(s))"
+                    )
+                continue
             errors, counts = validate_events_file(path)
             total = sum(counts.values())
             if errors:
@@ -924,6 +1050,13 @@ def _cmd_obs(args: argparse.Namespace) -> int:
         rows.append(
             ["time span", "-" if span is None else f"{span[0]:.0f}..{span[1]:.0f}"]
         )
+        for name, dist in summary["distributions"].items():
+            rows.append(
+                [
+                    f"{name} p50/p95/p99",
+                    f"{dist['p50']:.0f} / {dist['p95']:.0f} / {dist['p99']:.0f}",
+                ]
+            )
         print(render_table(["metric", "value"], rows, title=f"Event stream: {path}"))
     return 0
 

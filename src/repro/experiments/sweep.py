@@ -83,6 +83,8 @@ def run_capacity_sweep(
     events_dir: Optional[str] = None,
     snapshot_interval: float = 0.0,
     progress=None,
+    track_memory: bool = False,
+    spans=None,
 ) -> SweepResult:
     """Run {scheme} x {capacity} simulations over ``trace``.
 
@@ -116,6 +118,11 @@ def run_capacity_sweep(
             those streams (0 disables snapshots).
         progress: Optional per-point callback receiving a
             :class:`repro.parallel.telemetry.SweepProgress`.
+        track_memory: Track each worker's :mod:`tracemalloc` high-water
+            mark per point (surfaced on the sweep telemetry).
+        spans: Optional parent :class:`repro.obs.spans.SpanTracer`;
+            freshly simulated points are span-traced in their workers and
+            merged onto per-point lanes of the parent timeline.
 
     Any observability argument routes the sweep through the runner (in
     process when ``jobs`` is unset) so event capture, telemetry, and
@@ -124,7 +131,10 @@ def run_capacity_sweep(
     if engine is not None:
         template = base_config if base_config is not None else SimulationConfig()
         base_config = replace(template, engine=engine)
-    observed = events_dir is not None or snapshot_interval > 0.0 or progress is not None
+    observed = (
+        events_dir is not None or snapshot_interval > 0.0
+        or progress is not None or track_memory or spans is not None
+    )
     if jobs is not None or memo is not None or observed:
         # Imported lazily — repro.parallel imports this module for
         # SweepPoint/SweepResult, so a top-level import would be circular.
@@ -139,6 +149,8 @@ def run_capacity_sweep(
             events_dir=events_dir,
             snapshot_interval=snapshot_interval,
             progress=progress,
+            track_memory=track_memory,
+            spans=spans,
         )
         sweep.telemetry = runner.last_telemetry
         return sweep

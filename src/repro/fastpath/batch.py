@@ -123,7 +123,7 @@ def batch_fastloop_reason(config, obs=None) -> Optional[str]:
 
 def simulate_batch(
     config, trace, obs=None, chunk_size: Optional[int] = None,
-    regimes: Optional[dict] = None,
+    regimes: Optional[dict] = None, spans=None, timeseries=None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``config`` on the batch engine.
 
@@ -141,6 +141,13 @@ def simulate_batch(
     columnar core instead record ``fallback_reason``. Counts only — the
     engine never reads a clock; ``repro profile`` derives wall-time
     shares from the profiler's per-function attribution.
+
+    ``spans`` / ``timeseries`` are the out-of-band telemetry channels
+    shared with :func:`simulate_columnar` (span tracer; per-chunk sample
+    recorder). Unlike an attached observer they do *not* force the
+    columnar fallback — the fast loop reports into them at chunk/regime
+    granularity, with the wall-clock reads quarantined inside
+    ``repro.obs``. Results are byte-identical with or without them.
     """
     reason = columnar_unsupported_reason(config)
     if reason is not None:
@@ -154,12 +161,16 @@ def simulate_batch(
         # chunked columnar core — byte-identical by its own contract.
         if regimes is not None:
             regimes["fallback_reason"] = loop_reason
-        return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
-    return _simulate_fast(config, trace, chunk_size, regimes)
+        return simulate_columnar(
+            config, trace, obs=obs, chunk_size=chunk_size,
+            spans=spans, timeseries=timeseries,
+        )
+    return _simulate_fast(config, trace, chunk_size, regimes, spans, timeseries)
 
 
 def _simulate_fast(
-    config, trace, chunk_size: Optional[int], regimes: Optional[dict] = None
+    config, trace, chunk_size: Optional[int], regimes: Optional[dict] = None,
+    spans=None, timeseries=None,
 ) -> SimulationResult:
     """The vectorised fast loop (distributed + LRU + pure windows, no obs)."""
     np = load_numpy()
@@ -754,8 +765,20 @@ def _simulate_fast(
     # ---------------------------------------------------------------- #
     # Chunked replay
     # ---------------------------------------------------------------- #
-    for chunk, cached_source in _chunk_stream(trace, chunk_size):
+    traced = spans is not None
+    sampling = timeseries is not None
+    chunks = _chunk_stream(trace, chunk_size, spans)
+    if traced:
+        # Imported lazily so untraced replay never touches repro.obs.
+        from repro.obs.spans import source_label
+
+        spans.begin("engine:batch", "engine")
+        chunks = spans.wrap_source(chunks, source_label(trace))
+    grand_total = 0
+    for chunk, cached_source in chunks:
         n = chunk.num_records
+        if traced:
+            spans.begin("chunk", "replay")
         new_urls = chunk.new_urls
         if new_urls:
             add = len(new_urls)
@@ -795,6 +818,8 @@ def _simulate_fast(
             if np is not None:
                 client_leaf_g.extend(np, fresh)
         if not n:
+            if traced:
+                spans.end(records=0)
             continue
 
         # ------------------------------------------------------------ #
@@ -802,6 +827,8 @@ def _simulate_fast(
         # Memoised on the interned trace for whole-trace replay (sweeps
         # re-replay the same trace at many capacities).
         # ------------------------------------------------------------ #
+        if traced:
+            spans.begin("columns", "replay")
         memo_key = None
         cols = None
         if cached_source is not None:
@@ -825,6 +852,8 @@ def _simulate_fast(
             if memo_key is not None:
                 cached_source.derived_cache()[memo_key] = cols
         (starts_l, sslots_l, sts_l, ends_l, leaf_l, rsz_l, post, cconst, npx) = cols
+        if traced:
+            spans.end()
         sizes_consistent = sizes_consistent and cconst
         lean = sizes_consistent
         ts_l = chunk.timestamps
@@ -845,6 +874,8 @@ def _simulate_fast(
         # the split where an admission would first evict/reject/decline.
         # ------------------------------------------------------------ #
         if cold:
+            if traced:
+                spans.begin("cold", "regime")
             leaf_np = post[0]
             grp = None
             if cached_source is not None:
@@ -1056,6 +1087,8 @@ def _simulate_fast(
                     runs_np = (
                         tstarts, tends, slots_np[tstarts], ts_np[tends - 1]
                     )
+            if traced:
+                spans.end(requests=tail_start)
 
         # The served column is only materialised when the stateful path
         # (whose miss branch records into it) actually runs; in numpy
@@ -1079,6 +1112,10 @@ def _simulate_fast(
         # prefixes (see warm_loop); the pure-Python fallback replays
         # every run through the scalar path below.
         # ------------------------------------------------------------ #
+        if traced and tail_start < n:
+            spans.begin("warm", "regime")
+            warm_hit_base = reg_hit
+            warm_scal_base = reg_scalar
         if tail_start >= n:
             pass  # fully cold chunk: no stateful loop at all
         elif np is not None:
@@ -1123,10 +1160,17 @@ def _simulate_fast(
                                 break
                             miss_path(j, slot, ts_l[j])
                             j += 1
+        if traced and tail_start < n:
+            spans.end(
+                hit_run=reg_hit - warm_hit_base,
+                scalar=reg_scalar - warm_scal_base,
+            )
 
         # ------------------------------------------------------------ #
         # Outcome post-pass: bus, per-cache stats, metrics, latency.
         # ------------------------------------------------------------ #
+        if traced:
+            spans.begin("post", "replay")
         base_records = gbase
         w_start = warmup - base_records
         if w_start < 0:
@@ -1207,6 +1251,30 @@ def _simulate_fast(
                 bus, met, latency_sum,
                 st_lookups, st_local_hits, st_local_misses, st_bytes_local,
             )
+        if traced:
+            spans.end()  # post
+            spans.end(records=n)  # chunk
+        grand_total = gbase + n
+        if sampling:
+            timeseries.sample(
+                requests=grand_total,
+                local_hits=sum(st_local_hits),
+                remote_hits=sum(st_remote_served),
+                evictions=sum(st_evictions),
+                admissions=sum(st_admissions),
+                declined=sum(st_declined),
+                promoted=sum(st_promo_granted),
+                bytes_local=sum(st_bytes_local),
+                bytes_remote=sum(st_bytes_remote),
+                body_bytes=bus[6],
+                residency_bytes=sum(used),
+                t_last=float(ts_l[n - 1]),
+                cold=reg_cold,
+                hit_run=reg_hit,
+                scalar=reg_scalar,
+            )
+    if traced:
+        spans.end(requests=grand_total)
 
     # ---------------------------------------------------------------- #
     # Result assembly (object-core dataclasses; identical serialisation)

@@ -60,7 +60,7 @@ from repro.trace.record import Trace
 DEFAULT_CHUNK_SIZE = 1 << 18
 
 
-def _chunk_stream(trace, chunk_size: Optional[int]) -> Iterator[Tuple]:
+def _chunk_stream(trace, chunk_size: Optional[int], spans=None) -> Iterator[Tuple]:
     """Yield ``(chunk, cached_source)`` pairs for the replay loop.
 
     ``cached_source`` is the backing :class:`InternedTrace` when the chunk
@@ -70,9 +70,18 @@ def _chunk_stream(trace, chunk_size: Optional[int]) -> Iterator[Tuple]:
     ``interned_chunks(chunk_size)``) and genuinely chunked traces yield
     ``None`` and the engine derives per-chunk columns from the intern
     deltas.
+
+    ``spans`` (an optional :class:`repro.obs.spans.SpanTracer`) is handed
+    to sources that accept it, so generation/decoding work inside the
+    source shows up as child spans of the engine's source spans; sources
+    without span support are called plain.
     """
     if isinstance(trace, Trace):
-        interned = trace.interned()
+        if spans is not None:
+            with spans.span("intern", "source"):
+                interned = trace.interned()
+        else:
+            interned = trace.interned()
         if chunk_size is None or chunk_size >= max(interned.num_records, 1):
             whole = InternedChunk(
                 doc_ids=interned.doc_ids,
@@ -92,11 +101,21 @@ def _chunk_stream(trace, chunk_size: Optional[int]) -> Iterator[Tuple]:
             return iter(((whole, interned),))
         return ((chunk, None) for chunk in interned.chunks(chunk_size))
     size = chunk_size if chunk_size is not None else DEFAULT_CHUNK_SIZE
-    return ((chunk, None) for chunk in trace.interned_chunks(size))
+    if spans is not None:
+        try:
+            # Generator functions validate keywords at call time, so an
+            # unsupported source raises here, not mid-iteration.
+            chunks = trace.interned_chunks(size, spans=spans)
+        except TypeError:
+            chunks = trace.interned_chunks(size)
+    else:
+        chunks = trace.interned_chunks(size)
+    return ((chunk, None) for chunk in chunks)
 
 
 def simulate_columnar(
-    config, trace, obs=None, chunk_size: Optional[int] = None
+    config, trace, obs=None, chunk_size: Optional[int] = None,
+    spans=None, timeseries=None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``config`` on the columnar engine.
 
@@ -120,6 +139,16 @@ def simulate_columnar(
             requests. ``None`` replays a materialised trace whole (and a
             streamed source in :data:`DEFAULT_CHUNK_SIZE` chunks). Results
             and event streams are byte-identical for every choice.
+        spans: Optional :class:`repro.obs.spans.SpanTracer`. The engine
+            opens one ``engine:columnar`` span, times each source pull
+            (generation/decoding) and each chunk replay, and attaches
+            request counters. Pure telemetry: results, event bytes, and
+            digests are identical with or without it (differential tests
+            in ``tests/obs``); ``None`` costs nothing.
+        timeseries: Optional
+            :class:`repro.obs.timeseries.TimeseriesRecorder`; receives
+            one cumulative counter reading per replayed chunk. Same
+            out-of-band contract as ``spans``.
     """
     reason = columnar_unsupported_reason(config)
     if reason is not None:
@@ -417,7 +446,18 @@ def simulate_columnar(
     # allocation request loop runs over the chunk's columns
     # ---------------------------------------------------------------- #
     processed = 0
-    for chunk, cached_source in _chunk_stream(trace, chunk_size):
+    traced = spans is not None
+    sampling = timeseries is not None
+    chunks = _chunk_stream(trace, chunk_size, spans)
+    if traced:
+        # Imported lazily so untraced replay never touches repro.obs.
+        from repro.obs.spans import source_label
+
+        spans.begin("engine:columnar", "engine")
+        chunks = spans.wrap_source(chunks, source_label(trace))
+    for chunk, cached_source in chunks:
+        if traced:
+            spans.begin("chunk", "replay")
         new_urls = chunk.new_urls
         if new_urls:
             add = len(new_urls)
@@ -671,6 +711,26 @@ def simulate_columnar(
                     kind_remote if found_at is not None else kind_miss,
                     size, found_at, stored_here, False, hops,
                 )
+
+        if traced:
+            spans.end(records=chunk.num_records)
+        if sampling:
+            timeseries.sample(
+                requests=processed,
+                local_hits=sum(st_local_hits),
+                remote_hits=sum(st_remote_served),
+                evictions=sum(st_evictions),
+                admissions=sum(st_admissions),
+                declined=sum(st_declined),
+                promoted=sum(st_promo_granted),
+                bytes_local=sum(st_bytes_local),
+                bytes_remote=sum(st_bytes_remote),
+                body_bytes=bus[6],
+                residency_bytes=sum(used),
+                t_last=float(chunk.timestamps[-1]) if chunk.num_records else 0.0,
+            )
+    if traced:
+        spans.end(requests=processed)
 
     # ---------------------------------------------------------------- #
     # Result assembly (object-core dataclasses; identical serialisation)

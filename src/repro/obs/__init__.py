@@ -8,7 +8,11 @@ Three pieces, one contract:
   both engines emit byte-identically (per-decision telemetry), validated
   by :mod:`repro.obs.schema` and inspected via :mod:`repro.obs.tools`;
 * :mod:`repro.obs.manifest` / :mod:`repro.obs.session` — the
-  ``repro-manifest/1`` provenance record attached to results.
+  ``repro-manifest/1`` provenance record attached to results;
+* :mod:`repro.obs.spans` — hierarchical wall-clock spans exported as
+  Chrome Trace Event Format (``repro-trace-events/1``, Perfetto-loadable);
+* :mod:`repro.obs.timeseries` — per-chunk ``repro-timeseries/1`` samples
+  (throughput, hit ratios, EA placement activity, regime occupancy).
 
 The contract: observing a run never changes it. Recorders are passed out
 of band (never on :class:`~repro.simulation.simulator.SimulationConfig`),
@@ -37,6 +41,20 @@ from repro.obs.registry import (
 )
 from repro.obs.schema import validate_event, validate_events_file, validate_stream
 from repro.obs.session import ObservedRun, run_observed, sweep_event_filename
+from repro.obs.spans import (
+    TRACE_EVENTS_SCHEMA,
+    SpanTracer,
+    load_trace_events,
+    render_timeline,
+    source_label,
+    validate_trace_events,
+)
+from repro.obs.timeseries import (
+    TIMESERIES_SCHEMA,
+    TimeseriesRecorder,
+    read_timeseries,
+    render_report,
+)
 from repro.obs.tools import diff_events, summarize_events, tail_events
 
 __all__ = [
@@ -51,15 +69,24 @@ __all__ = [
     "ObsError",
     "ObservedRun",
     "RunRecorder",
+    "SpanTracer",
+    "TIMESERIES_SCHEMA",
+    "TRACE_EVENTS_SCHEMA",
+    "TimeseriesRecorder",
     "age_json",
     "age_ranks",
     "build_manifest",
     "config_hash",
     "diff_events",
     "file_digest",
+    "load_trace_events",
     "merge_snapshots",
+    "read_timeseries",
+    "render_report",
+    "render_timeline",
     "result_digest",
     "run_observed",
+    "source_label",
     "summarize_events",
     "sweep_event_filename",
     "tail_events",

@@ -72,12 +72,61 @@ HISTOGRAM_BUCKETS: Tuple[float, ...] = tuple(
 ) + (math.inf,)
 
 
+def _bucket_quantile(
+    q: float,
+    count: int,
+    bucket_counts: List[int],
+    lo_clamp: Optional[float],
+    hi_clamp: Optional[float],
+) -> Optional[float]:
+    """Estimate the ``q``-quantile from power-of-two bucket counts.
+
+    Linear interpolation within the bucket holding the target rank
+    (Prometheus-style), clamped to the exact observed min/max so the
+    estimate never leaves the data's range. ``None`` before any
+    observation. Shared by :meth:`Histogram.quantile` and
+    :func:`merge_snapshots` so per-worker and merged quantiles use one
+    estimator.
+    """
+    if not count:
+        return None
+    rank = q * count
+    cumulative = 0.0
+    for i, in_bucket in enumerate(bucket_counts):
+        if not in_bucket:
+            continue
+        below = cumulative
+        cumulative += in_bucket
+        if cumulative >= rank:
+            upper = HISTOGRAM_BUCKETS[i]
+            lower = HISTOGRAM_BUCKETS[i - 1] if i else 0.0
+            if math.isinf(upper):
+                estimate = lower if hi_clamp is None else hi_clamp
+            else:
+                estimate = lower + (upper - lower) * ((rank - below) / in_bucket)
+            if lo_clamp is not None and estimate < lo_clamp:
+                estimate = lo_clamp
+            if hi_clamp is not None and estimate > hi_clamp:
+                estimate = hi_clamp
+            return estimate
+    return hi_clamp
+
+
+#: Quantiles every histogram snapshot carries, as (key, q) pairs.
+SNAPSHOT_QUANTILES: Tuple[Tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p95", 0.95),
+    ("p99", 0.99),
+)
+
+
 class Histogram:
     """Fixed-bucket distribution (sizes, latencies, victim ages).
 
     Buckets are the shared power-of-two ladder :data:`HISTOGRAM_BUCKETS`;
     ``observe`` is O(log buckets) via bisection, which keeps it fit for the
-    request path. Count/total/min/max are exact regardless of bucketing.
+    request path. Count/total/min/max are exact regardless of bucketing;
+    quantiles (:meth:`quantile`) are bucket-interpolated estimates.
     """
 
     __slots__ = ("name", "count", "total", "min", "max", "bucket_counts")
@@ -110,6 +159,19 @@ class Histogram:
     def mean(self) -> float:
         """Mean observed value (0.0 before any observation)."""
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> Optional[float]:
+        """Bucket-interpolated ``q``-quantile (``None`` if empty).
+
+        Exact at the extremes (clamped to observed min/max); inside a
+        bucket the estimate assumes a uniform spread, so its error is
+        bounded by the power-of-two bucket width.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ObsError(f"quantile must be in [0, 1], got {q}")
+        if not self.count:
+            return None
+        return _bucket_quantile(q, self.count, self.bucket_counts, self.min, self.max)
 
 
 class _NullCounter(Counter):
@@ -188,13 +250,17 @@ class MetricsRegistry:
         gauges = {n: g.value for n, g in sorted(self._gauges.items())}
         histograms = {}
         for name, hist in sorted(self._histograms.items()):
-            histograms[name] = {
+            summary = {
                 "count": hist.count,
                 "total": hist.total,
                 "mean": hist.mean,
                 "min": None if hist.count == 0 else hist.min,
                 "max": None if hist.count == 0 else hist.max,
+                "buckets": list(hist.bucket_counts),
             }
+            for key, q in SNAPSHOT_QUANTILES:
+                summary[key] = hist.quantile(q)
+            histograms[name] = summary
         return {"counters": counters, "gauges": gauges, "histograms": histograms}
 
 
@@ -207,8 +273,12 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
     """Element-wise merge of :meth:`MetricsRegistry.snapshot` payloads.
 
     Counters sum; gauges keep the last write (list order); histogram
-    summaries sum counts/totals and extremise min/max. Used to fold
-    per-worker registries into one sweep-level read-out.
+    summaries sum counts, totals, and per-bucket counts, extremise
+    min/max, and recompute p50/p95/p99 from the merged buckets — because
+    all histograms share :data:`HISTOGRAM_BUCKETS`, merged quantiles are
+    exactly what a single registry observing every value would have
+    estimated. Used to fold per-worker registries into one sweep-level
+    read-out.
     """
     merged = MetricsRegistry()
     last_gauges: Dict[str, float] = {}
@@ -223,6 +293,8 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
             hist = merged.histogram(name)
             hist.count += summary["count"]
             hist.total += summary["total"]
+            for i, in_bucket in enumerate(summary.get("buckets", ())):
+                hist.bucket_counts[i] += in_bucket
             for table, key, pick in ((mins, "min", min), (maxs, "max", max)):
                 value = summary.get(key)
                 if value is None:
@@ -235,4 +307,8 @@ def merge_snapshots(snapshots: List[Dict[str, object]]) -> Dict[str, object]:
         summary["mean"] = summary["total"] / summary["count"] if summary["count"] else 0.0
         summary["min"] = mins.get(name)
         summary["max"] = maxs.get(name)
+        for key, q in SNAPSHOT_QUANTILES:
+            summary[key] = _bucket_quantile(
+                q, summary["count"], summary["buckets"], mins.get(name), maxs.get(name)
+            )
     return out

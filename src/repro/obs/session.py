@@ -48,6 +48,16 @@ class ObservedRun:
             ``peak_memory_bytes``. Opt-in because tracing costs real
             wall time; it is how the O(chunk) streaming-memory claim is
             *gated* rather than asserted.
+        spans: Optional :class:`repro.obs.spans.SpanTracer`; when given,
+            the whole observed run is bracketed by a root ``run`` span
+            (engine/source/regime spans nest under it when the tracer is
+            also passed to the engine). Timings only — the tracer never
+            feeds back into simulation state.
+        timeseries_path: Target for a ``repro-timeseries/1`` per-chunk
+            sample stream (see :mod:`repro.obs.timeseries`); ``None``
+            records no samples. The recorder is exposed as
+            :attr:`timeseries` for callers that drive the engines
+            themselves.
     """
 
     def __init__(
@@ -57,13 +67,18 @@ class ObservedRun:
         events_path: Optional[str] = None,
         snapshot_interval: float = 0.0,
         track_memory: bool = False,
+        spans=None,
+        timeseries_path: Optional[str] = None,
     ):
         self.config = config
         self.trace = trace
         self.events_path = events_path
         self.snapshot_interval = snapshot_interval
         self.recorder: Optional[RunRecorder] = None
+        self.spans = spans
+        self.timeseries = None
         self._sink = None
+        self._ts_sink = None
         self._trace_fp = source_fingerprint(trace)
         if events_path is not None:
             self._sink = open(events_path, "w", encoding="utf-8", newline="\n")
@@ -78,6 +93,20 @@ class ObservedRun:
             if not tracemalloc.is_tracing():
                 tracemalloc.start()
                 self._tracing_memory = True
+        if timeseries_path is not None:
+            from repro.obs.timeseries import TimeseriesRecorder
+
+            self._ts_sink = open(
+                timeseries_path, "w", encoding="utf-8", newline="\n"
+            )
+            self.timeseries = TimeseriesRecorder(
+                self._ts_sink, track_memory=track_memory
+            )
+            self.timeseries.begin(
+                config_hash(config), self._trace_fp, resolved_engine(config)
+            )
+        if spans is not None:
+            spans.begin("run", "run")
         # Reachable only via the call graph's receiver-agnostic __init__
         # tier, never from an engine: wall time is measured outside the
         # simulation by design (the manifest's one volatile field).
@@ -95,6 +124,8 @@ class ObservedRun:
             peak_memory = tracemalloc.get_traced_memory()[1]
             tracemalloc.stop()
             self._tracing_memory = False
+        if self.spans is not None:
+            self.spans.end(requests=result.metrics.requests)
         counts = None
         if self.recorder is not None:
             self.recorder.end()
@@ -102,6 +133,12 @@ class ObservedRun:
         if self._sink is not None:
             self._sink.close()
             self._sink = None
+        if self.timeseries is not None:
+            self.timeseries.end()
+            self.timeseries = None
+        if self._ts_sink is not None:
+            self._ts_sink.close()
+            self._ts_sink = None
         result.manifest = build_manifest(
             self.config,
             self._trace_fp,
@@ -125,6 +162,10 @@ def run_observed(
     manifest_path: Optional[str] = None,
     track_memory: bool = False,
     chunk_size: Optional[int] = None,
+    spans=None,
+    trace_out: Optional[str] = None,
+    timeseries_path: Optional[str] = None,
+    regimes=None,
 ) -> SimulationResult:
     """Replay ``trace`` under ``config`` with observability attached.
 
@@ -136,19 +177,46 @@ def run_observed(
     ``trace`` may be a streamed source; ``chunk_size`` and
     ``track_memory`` pass through to :func:`run_simulation` and
     :class:`ObservedRun` respectively.
+
+    Span tracing: pass ``spans`` (a
+    :class:`repro.obs.spans.SpanTracer`) to thread one through the run,
+    or just ``trace_out`` — a tracer is created automatically and its
+    Chrome Trace Event Format JSON written there after the run (load in
+    Perfetto, or render with ``repro obs timeline``). ``timeseries_path``
+    streams per-chunk ``repro-timeseries/1`` samples;``regimes`` (a
+    mutable mapping) receives batch regime occupancy tallies, as in
+    :func:`~repro.fastpath.batch.simulate_batch`. All four are telemetry
+    only: events bytes, result digests, and memo keys are byte-identical
+    with or without them (differential tests in ``tests/obs``).
     """
+    if spans is None and trace_out is not None:
+        from repro.obs.spans import SpanTracer
+
+        spans = SpanTracer()
     observed = ObservedRun(
         config,
         trace,
         events_path=events_path,
         snapshot_interval=snapshot_interval,
         track_memory=track_memory,
+        spans=spans,
+        timeseries_path=timeseries_path,
     )
     result = observed.finish(
-        run_simulation(config, trace, obs=observed.recorder, chunk_size=chunk_size)
+        run_simulation(
+            config,
+            trace,
+            obs=observed.recorder,
+            chunk_size=chunk_size,
+            regimes=regimes,
+            spans=spans,
+            timeseries=observed.timeseries,
+        )
     )
     if manifest_path is not None:
         write_manifest(result.manifest, manifest_path)
+    if trace_out is not None:
+        spans.write(trace_out)
     return result
 
 

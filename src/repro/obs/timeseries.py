@@ -1,0 +1,294 @@
+"""Per-chunk time-series telemetry: the ``repro-timeseries/1`` stream.
+
+End-of-run aggregates hide the caching *dynamics* the paper's EA argument
+is about — hit ratios and placement behaviour change as the caches warm
+and evictions begin. A :class:`TimeseriesRecorder` receives cumulative
+counter readings from the chunked engines once per replayed chunk and
+writes one JSONL sample of per-chunk deltas and rates:
+
+* throughput (``req_s``, wall seconds per chunk),
+* hit ratio and byte-hit ratio,
+* evictions / admissions,
+* EA placement decisions (declined) and promotions (granted),
+* batch regime occupancy (cold / hit-run / scalar), when batch-replayed,
+* residency bytes (a gauge), and optionally the :mod:`tracemalloc`
+  high-water mark.
+
+Stream framing mirrors ``repro-events/1``: a ``begin`` header carrying
+the schema/config-hash/trace-fingerprint, ``sample`` records, and an
+``end`` trailer with run totals. Like the manifest's wall time, samples
+contain wall-clock readings and are therefore *out of band by
+construction*: the recorder only ever reads engine counters, never
+writes simulation state, so results and event streams are byte-identical
+with or without a recorder attached (differential tests in
+``tests/obs``). This is distinct from
+:mod:`repro.simulation.timeseries`, which samples simulation-time gauges
+deterministically; this stream is about wall-clock behaviour per chunk.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Any, Dict, List, Optional
+
+from repro.obs.registry import ObsError
+
+TIMESERIES_SCHEMA = "repro-timeseries/1"
+
+#: Spark characters for the terminal report, lowest to highest.
+_SPARKS = "_.-=+*#%@"
+
+
+class TimeseriesRecorder:
+    """Turns cumulative engine counters into a per-chunk sample stream.
+
+    The engines call :meth:`sample` once per chunk with *cumulative*
+    readings (requests replayed so far, hits so far, ...); the recorder
+    differences them against the previous call, stamps the chunk's wall
+    time, and emits one compact JSON line. Wall-clock reads live here —
+    in ``repro.obs``, outside the determinism-audited engine graph —
+    under the same ``RPR111`` carve-out as the session wall timer.
+
+    Args:
+        sink: Open text file the JSONL stream is written to.
+        track_memory: Include the :mod:`tracemalloc` high-water mark in
+            every sample (requires tracing to be active — e.g. via
+            ``run_observed(track_memory=True)``; silently omitted
+            otherwise).
+    """
+
+    __slots__ = ("_sink", "_track_memory", "_prev", "_index", "_t0", "_t_prev")
+
+    def __init__(self, sink, track_memory: bool = False):
+        self._sink = sink
+        self._track_memory = track_memory
+        self._prev: Dict[str, int] = {}
+        self._index = 0
+        self._t0: Optional[float] = None
+        self._t_prev = 0.0
+
+    def begin(self, config_hash: str, trace_fingerprint: str, engine: str) -> None:
+        """Write the stream header; call exactly once, before the run."""
+        self._emit(
+            {
+                "schema": TIMESERIES_SCHEMA,
+                "k": "begin",
+                "config": config_hash,
+                "trace": trace_fingerprint,
+                "engine": engine,
+            }
+        )
+        # Telemetry-only wall clock: per-chunk rates, never simulation state.
+        self._t0 = self._t_prev = time.perf_counter()  # repro: noqa[RPR111]
+
+    def sample(
+        self,
+        *,
+        requests: int,
+        local_hits: int,
+        remote_hits: int,
+        evictions: int,
+        admissions: int,
+        declined: int,
+        promoted: int,
+        bytes_local: int,
+        bytes_remote: int,
+        body_bytes: int,
+        residency_bytes: int,
+        t_last: float,
+        cold: Optional[int] = None,
+        hit_run: Optional[int] = None,
+        scalar: Optional[int] = None,
+    ) -> None:
+        """Record one chunk from cumulative counter readings.
+
+        ``body_bytes`` is the bus's HTTP body-byte counter; together with
+        ``bytes_local`` it bounds the bytes requested this chunk, which
+        is what the byte-hit ratio is taken against (on hierarchical
+        topologies bus bytes count per hop, making the ratio a lower
+        bound there). ``residency_bytes`` is a gauge, not a delta.
+        """
+        if self._t0 is None:
+            raise ObsError("TimeseriesRecorder.sample() before begin()")
+        # Same carve-out as begin(): wall time is read, written out, and
+        # never fed back into anything the engines compute.
+        now = time.perf_counter()  # repro: noqa[RPR111]
+        wall_s = now - self._t_prev
+        self._t_prev = now
+        prev = self._prev
+        d_req = requests - prev.get("requests", 0)
+        d_hits = (local_hits + remote_hits) - prev.get("hits", 0)
+        d_bytes_hit = (bytes_local + bytes_remote) - prev.get("bytes_hit", 0)
+        d_bytes_req = (bytes_local + body_bytes) - prev.get("bytes_req", 0)
+        record: Dict[str, Any] = {
+            "k": "sample",
+            "i": self._index,
+            "t": float(t_last),
+            "wall_s": round(wall_s, 6),
+            "requests": int(d_req),
+            "req_s": round(d_req / wall_s, 1) if wall_s > 0 else 0.0,
+            "hits": int(d_hits),
+            "hit_ratio": round(d_hits / d_req, 6) if d_req else 0.0,
+            "byte_hit_ratio": (
+                round(d_bytes_hit / d_bytes_req, 6) if d_bytes_req else 0.0
+            ),
+            "evictions": int(evictions - prev.get("evictions", 0)),
+            "admissions": int(admissions - prev.get("admissions", 0)),
+            "placements_declined": int(declined - prev.get("declined", 0)),
+            "promotions_granted": int(promoted - prev.get("promoted", 0)),
+            "residency_bytes": int(residency_bytes),
+        }
+        if cold is not None:
+            record["regime"] = {
+                "cold": int(cold - prev.get("cold", 0)),
+                "hit_run": int((hit_run or 0) - prev.get("hit_run", 0)),
+                "scalar": int((scalar or 0) - prev.get("scalar", 0)),
+            }
+            prev["cold"] = int(cold)
+            prev["hit_run"] = int(hit_run or 0)
+            prev["scalar"] = int(scalar or 0)
+        if self._track_memory:
+            import tracemalloc
+
+            if tracemalloc.is_tracing():
+                record["mem_hwm"] = tracemalloc.get_traced_memory()[1]
+        prev["requests"] = int(requests)
+        prev["hits"] = int(local_hits + remote_hits)
+        prev["bytes_hit"] = int(bytes_local + bytes_remote)
+        prev["bytes_req"] = int(bytes_local + body_bytes)
+        prev["evictions"] = int(evictions)
+        prev["admissions"] = int(admissions)
+        prev["declined"] = int(declined)
+        prev["promoted"] = int(promoted)
+        self._index += 1
+        self._emit(record)
+
+    def end(self) -> None:
+        """Write the trailer with run totals; call exactly once."""
+        if self._t0 is None:
+            raise ObsError("TimeseriesRecorder.end() before begin()")
+        wall_s = time.perf_counter() - self._t0  # repro: noqa[RPR111]
+        self._emit(
+            {
+                "k": "end",
+                "chunks": self._index,
+                "requests": self._prev.get("requests", 0),
+                "wall_s": round(wall_s, 6),
+            }
+        )
+
+    def _emit(self, record: Dict[str, Any]) -> None:
+        self._sink.write(json.dumps(record, separators=(",", ":")) + "\n")
+
+
+# --------------------------------------------------------------------- #
+# Offline: reading and sparkline reporting
+# --------------------------------------------------------------------- #
+
+
+def read_timeseries(path: str) -> Dict[str, Any]:
+    """Parse a ``repro-timeseries/1`` file into header/samples/trailer.
+
+    Raises :class:`ObsError` on unreadable, empty, truncated (no
+    trailer), or mid-record-corrupted files — the same contract the obs
+    CLI enforces for event files.
+    """
+    header: Optional[Dict[str, Any]] = None
+    trailer: Optional[Dict[str, Any]] = None
+    samples: List[Dict[str, Any]] = []
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for number, line in enumerate(handle, start=1):
+                try:
+                    record = json.loads(line)
+                except ValueError as exc:
+                    raise ObsError(f"{path}:{number}: corrupt record: {exc}")
+                kind = record.get("k")
+                if kind == "begin":
+                    if record.get("schema") != TIMESERIES_SCHEMA:
+                        raise ObsError(
+                            f"{path}:{number}: unexpected schema "
+                            f"{record.get('schema')!r}"
+                        )
+                    header = record
+                elif kind == "sample":
+                    samples.append(record)
+                elif kind == "end":
+                    trailer = record
+                else:
+                    raise ObsError(f"{path}:{number}: unknown record kind {kind!r}")
+    except OSError as exc:
+        raise ObsError(f"cannot read timeseries file {path}: {exc}")
+    if header is None:
+        raise ObsError(f"{path}: not a {TIMESERIES_SCHEMA} stream (no header)")
+    if trailer is None:
+        raise ObsError(f"{path}: truncated stream (no end trailer)")
+    return {"header": header, "samples": samples, "trailer": trailer}
+
+
+def _sparkline(values: List[float], width: int) -> str:
+    """Windowed sparkline: values bucketed to ``width`` cells by mean."""
+    if not values:
+        return ""
+    buckets: List[float] = []
+    count = min(width, len(values))
+    for b in range(count):
+        lo = b * len(values) // count
+        hi = max(lo + 1, (b + 1) * len(values) // count)
+        window = values[lo:hi]
+        buckets.append(sum(window) / len(window))
+    lo_v = min(buckets)
+    hi_v = max(buckets)
+    span = hi_v - lo_v
+    if span <= 0:
+        return _SPARKS[0] * len(buckets)
+    top = len(_SPARKS) - 1
+    return "".join(
+        _SPARKS[int(round((v - lo_v) / span * top))] for v in buckets
+    )
+
+
+def render_report(data: Dict[str, Any], width: int = 48) -> str:
+    """Terminal report: one windowed sparkline row per sampled metric."""
+    header = data["header"]
+    samples = data["samples"]
+    trailer = data["trailer"]
+    lines = [
+        f"timeseries: engine={header.get('engine')} "
+        f"chunks={trailer.get('chunks')} requests={trailer.get('requests')} "
+        f"wall={trailer.get('wall_s'):.3f}s"
+    ]
+    if not samples:
+        lines.append("  (no samples)")
+        return "\n".join(lines)
+    metrics = [
+        ("req_s", "req/s"),
+        ("hit_ratio", "hit ratio"),
+        ("byte_hit_ratio", "byte-hit ratio"),
+        ("evictions", "evictions"),
+        ("placements_declined", "ea declined"),
+        ("promotions_granted", "ea promoted"),
+        ("residency_bytes", "residency B"),
+    ]
+    for key, label in metrics:
+        values = [float(s.get(key, 0)) for s in samples]
+        lines.append(
+            f"  {label:<15} {_sparkline(values, width)}  "
+            f"min {min(values):g}  mean {sum(values) / len(values):g}  "
+            f"max {max(values):g}"
+        )
+    if any("regime" in s for s in samples):
+        for reg in ("cold", "hit_run", "scalar"):
+            values = [float(s.get("regime", {}).get(reg, 0)) for s in samples]
+            lines.append(
+                f"  regime:{reg:<8} {_sparkline(values, width)}  "
+                f"total {int(sum(values))}"
+            )
+    if any("mem_hwm" in s for s in samples):
+        values = [float(s.get("mem_hwm", 0)) for s in samples]
+        lines.append(
+            f"  {'mem HWM B':<15} {_sparkline(values, width)}  "
+            f"max {int(max(values))}"
+        )
+    return "\n".join(lines)

@@ -2,7 +2,10 @@
 
 These helpers work on files, stream line-by-line, and never load a whole
 event file into memory — sweep streams from long traces can run to
-millions of lines.
+millions of lines. Malformed input (empty files, truncated tails,
+corrupted records) raises :class:`~repro.obs.registry.ObsError` with the
+offending ``path:line``, never a raw traceback — the CLI maps these to a
+clean message on stderr and a nonzero exit.
 """
 
 from __future__ import annotations
@@ -11,13 +14,37 @@ import json
 from collections import deque
 from typing import Any, Dict, List, Optional, Tuple
 
+from repro.obs.registry import MetricsRegistry, ObsError
+
+
+def _parse_event(path: str, number: int, line: str) -> Dict[str, Any]:
+    """One event line as a dict, or ObsError naming the corrupt line."""
+    try:
+        event = json.loads(line)
+    except ValueError as exc:
+        raise ObsError(f"{path}:{number}: malformed event line: {exc}") from None
+    if not isinstance(event, dict):
+        raise ObsError(
+            f"{path}:{number}: event line is {type(event).__name__}, expected object"
+        )
+    return event
+
 
 def tail_events(path: str, count: int = 10) -> List[str]:
-    """The last ``count`` lines of an event file, newline-stripped."""
+    """The last ``count`` lines of an event file, newline-stripped.
+
+    Raises :class:`ObsError` for an empty file — an event stream always
+    carries at least its ``run`` header, so nothing-to-tail means the
+    producer died before writing anything.
+    """
     window: deque = deque(maxlen=max(count, 0))
+    seen = 0
     with open(path, "r", encoding="utf-8") as handle:
         for line in handle:
+            seen += 1
             window.append(line.rstrip("\n"))
+    if not seen:
+        raise ObsError(f"{path}: empty event file (no lines to tail)")
     return list(window)
 
 
@@ -27,7 +54,13 @@ def summarize_events(path: str) -> Dict[str, Any]:
     Returns counts by event type, request outcomes by kind, placement
     verdicts by role (attempted/stored), promotion grants, eviction
     volume, the age-tie count (``cmp == "eq"`` across placement/promotion
-    events — the EA tie-break in action), and the time span covered.
+    events — the EA tie-break in action), the time span covered, and
+    ``distributions`` — histogram summaries (count/mean/min/max plus
+    p50/p95/p99 bucket-estimated quantiles) of request sizes, evicted
+    sizes, and evicted document ages.
+
+    Raises :class:`ObsError` for empty files and corrupted lines, with
+    the line number of the first bad record.
     """
     counts: Dict[str, int] = {}
     kinds: Dict[str, int] = {}
@@ -38,9 +71,14 @@ def summarize_events(path: str) -> Dict[str, Any]:
     stored_requests = 0
     t_first: Optional[float] = None
     t_last: Optional[float] = None
+    registry = MetricsRegistry()
+    request_sizes = registry.histogram("request.size_bytes")
+    evict_sizes = registry.histogram("evict.size_bytes")
+    evict_ages = registry.histogram("evict.age_s")
+    number = 0
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
-            event = json.loads(line)
+        for number, line in enumerate(handle, start=1):
+            event = _parse_event(path, number, line)
             kind = event.get("e", "?")
             counts[kind] = counts.get(kind, 0) + 1
             t = event.get("t")
@@ -52,6 +90,9 @@ def summarize_events(path: str) -> Dict[str, Any]:
                 kinds[event["kind"]] = kinds.get(event["kind"], 0) + 1
                 if event.get("stored"):
                     stored_requests += 1
+                size = event.get("size")
+                if isinstance(size, (int, float)):
+                    request_sizes.observe(size)
             elif kind == "placement":
                 bucket = placements.setdefault(
                     event["role"], {"attempted": 0, "stored": 0}
@@ -66,7 +107,23 @@ def summarize_events(path: str) -> Dict[str, Any]:
                 if event.get("cmp") == "eq":
                     ties += 1
             elif kind == "evict":
-                evicted_bytes += event.get("size", 0)
+                size = event.get("size", 0)
+                evicted_bytes += size
+                if isinstance(size, (int, float)):
+                    evict_sizes.observe(size)
+                age = event.get("age")
+                if isinstance(age, (int, float)):
+                    evict_ages.observe(age)
+    if not number:
+        raise ObsError(f"{path}: empty event file (nothing to summarize)")
+    distributions = {
+        name: {
+            key: summary[key]
+            for key in ("count", "mean", "min", "max", "p50", "p95", "p99")
+        }
+        for name, summary in registry.snapshot()["histograms"].items()
+        if summary["count"]
+    }
     return {
         "events": counts,
         "requests_by_kind": dict(sorted(kinds.items())),
@@ -76,6 +133,7 @@ def summarize_events(path: str) -> Dict[str, Any]:
         "age_ties": ties,
         "evicted_bytes": evicted_bytes,
         "time_span": None if t_first is None else [t_first, t_last],
+        "distributions": distributions,
     }
 
 

@@ -29,7 +29,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
 from repro.parallel.telemetry import (
@@ -49,8 +49,9 @@ from repro.trace.record import Trace
 #: is waived here.
 _WORKER_TRACE: Optional[Trace] = None  # repro: noqa[RPR132]
 
-#: One pool task: ``(config, events_path, snapshot_interval)``.
-_TaskPayload = Tuple[SimulationConfig, Optional[str], float]
+#: One pool task:
+#: ``(config, events_path, snapshot_interval, track_memory, trace_spans)``.
+_TaskPayload = Tuple[SimulationConfig, Optional[str], float, bool, bool]
 
 
 def default_jobs() -> int:
@@ -68,20 +69,40 @@ def _init_worker(trace: Trace) -> None:
     _WORKER_TRACE = trace  # repro: noqa[RPR131]
 
 
-def _run_task(payload: _TaskPayload) -> Tuple[SimulationResult, int, float]:
+def _run_task(
+    payload: _TaskPayload,
+) -> Tuple[SimulationResult, int, float, Dict[str, Any]]:
     """Run one sweep point against the worker's pinned trace.
 
-    Returns ``(result, worker_pid, wall_time_s)``. The timing is telemetry
-    only — it never feeds back into simulation state, which is why the
-    wall-clock reads are exempt from the determinism analyzer here.
+    Returns ``(result, worker_pid, wall_time_s, extra)``. ``extra``
+    carries the optional execution telemetry the payload asked for —
+    ``"regimes"`` (batch regime occupancy), ``"peak_memory_bytes"``
+    (tracemalloc high-water mark), ``"spans"`` (raw span rows, merged
+    into the parent tracer's timeline back in the runner). All of it is
+    telemetry only — nothing here feeds back into simulation state,
+    which is why the wall-clock reads are exempt from the determinism
+    analyzer.
     """
-    config, events_path, snapshot_interval = payload
+    config, events_path, snapshot_interval, track_memory, trace_spans = payload
     if _WORKER_TRACE is None:
         raise ExperimentError("sweep worker used before its trace was initialised")
+    regimes: Optional[Dict[str, Any]] = {} if config.engine == "batch" else None
+    spans = None
+    if trace_spans:
+        from repro.obs.spans import SpanTracer
+
+        spans = SpanTracer()
+    tracing_memory = False
+    if track_memory:
+        import tracemalloc
+
+        if not tracemalloc.is_tracing():
+            tracemalloc.start()
+            tracing_memory = True
     # Telemetry-only wall time: reported per worker, never simulated with.
     start = time.perf_counter()  # repro: noqa[RPR111]
     if events_path is None and snapshot_interval == 0.0:
-        result = run_simulation(config, _WORKER_TRACE)
+        result = run_simulation(config, _WORKER_TRACE, regimes=regimes, spans=spans)
     else:
         # Imported lazily so plain sweeps never pay the obs import.
         from repro.obs.session import run_observed
@@ -91,9 +112,22 @@ def _run_task(payload: _TaskPayload) -> Tuple[SimulationResult, int, float]:
             _WORKER_TRACE,
             events_path=events_path,
             snapshot_interval=snapshot_interval,
+            regimes=regimes,
+            spans=spans,
         )
     wall = time.perf_counter() - start  # repro: noqa[RPR111]
-    return result, os.getpid(), wall
+    extra: Dict[str, Any] = {}
+    if regimes:
+        extra["regimes"] = regimes
+    if track_memory:
+        import tracemalloc
+
+        extra["peak_memory_bytes"] = tracemalloc.get_traced_memory()[1]
+        if tracing_memory:
+            tracemalloc.stop()
+    if spans is not None:
+        extra["spans"] = spans.rows
+    return result, os.getpid(), wall, extra
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -137,6 +171,8 @@ class ParallelSweepRunner:
         events_dir: Optional[str] = None,
         snapshot_interval: float = 0.0,
         progress: Optional[ProgressCallback] = None,
+        track_memory: bool = False,
+        spans=None,
     ):
         """Run the sweep; returns a :class:`SweepResult`.
 
@@ -156,6 +192,17 @@ class ParallelSweepRunner:
                 in those streams (0 disables snapshots).
             progress: Optional callback fired once per completed point
                 with a :class:`~repro.parallel.telemetry.SweepProgress`.
+            track_memory: Track each worker's :mod:`tracemalloc`
+                high-water mark per point, reported on
+                :attr:`TaskReport.peak_memory_bytes` and aggregated in
+                the telemetry summary.
+            spans: Optional parent :class:`repro.obs.spans.SpanTracer`.
+                Each freshly simulated point is span-traced inside its
+                worker and the rows merged back onto one lane per point
+                (labelled ``capacity/scheme``) — fork workers share the
+                parent's ``CLOCK_MONOTONIC``, so raw timestamps compose
+                into one coherent timeline. Telemetry only: results and
+                memo keys are unchanged.
         """
         # Imported here: sweep delegates to this runner, so a module-level
         # import would be circular.
@@ -210,16 +257,26 @@ class ParallelSweepRunner:
             if events_dir is not None:
                 os.makedirs(events_dir, exist_ok=True)
             payloads = [
-                self._payload(tasks[i], i, events_dir, snapshot_interval)
+                self._payload(
+                    tasks[i], i, events_dir, snapshot_interval,
+                    track_memory, spans is not None,
+                )
                 for i in pending
             ]
-            for index, (result, pid, wall) in zip(
+            for index, (result, pid, wall, extra) in zip(
                 pending, self._simulate(trace, payloads)
             ):
                 results[index] = result
                 if self.memo is not None:
                     self.memo.put(tasks[index][3], trace, result)
                 label, _, scheme, _ = tasks[index]
+                if spans is not None and "spans" in extra:
+                    # One lane per point: tid 0 is the parent's own lane,
+                    # so point lanes start at index + 1.
+                    spans.merge(
+                        extra["spans"], tid=index + 1,
+                        label=f"{label}/{scheme}",
+                    )
                 _tick(
                     TaskReport(
                         index=index,
@@ -228,6 +285,8 @@ class ParallelSweepRunner:
                         memoized=False,
                         worker_pid=pid,
                         wall_time_s=wall,
+                        regimes=extra.get("regimes"),
+                        peak_memory_bytes=extra.get("peak_memory_bytes"),
                     )
                 )
 
@@ -249,6 +308,8 @@ class ParallelSweepRunner:
         index: int,
         events_dir: Optional[str],
         snapshot_interval: float,
+        track_memory: bool,
+        trace_spans: bool,
     ) -> _TaskPayload:
         """Pool payload for one task, with its event-file path resolved."""
         label, _, scheme, config = task
@@ -259,10 +320,10 @@ class ParallelSweepRunner:
             events_path = os.path.join(
                 events_dir, sweep_event_filename(index, label, scheme)
             )
-        return (config, events_path, snapshot_interval)
+        return (config, events_path, snapshot_interval, track_memory, trace_spans)
 
     def _simulate(self, trace: Trace, payloads: Sequence[_TaskPayload]):
-        """Yield ``(result, pid, wall)`` per payload, in submission order."""
+        """Yield ``(result, pid, wall, extra)`` per payload, in submission order."""
         if self.jobs <= 1 or len(payloads) <= 1:
             _init_worker(trace)
             for payload in payloads:

@@ -30,6 +30,12 @@ class TaskReport:
             (the parent's own pid on in-process runs, None when memoized).
         wall_time_s: Simulation wall time for the point as measured inside
             the worker; excludes pool scheduling and result pickling.
+        regimes: Batch-engine regime occupancy for the point (request
+            counts per ``cold`` / ``hit_run`` / ``scalar`` regime, or a
+            ``fallback_reason``) when the point ran the batch engine;
+            None otherwise (other engines, memo hits).
+        peak_memory_bytes: :mod:`tracemalloc` high-water mark inside the
+            worker when the sweep tracked memory; None otherwise.
     """
 
     index: int
@@ -38,6 +44,8 @@ class TaskReport:
     memoized: bool
     worker_pid: Optional[int]
     wall_time_s: float
+    regimes: Optional[Dict[str, object]] = None
+    peak_memory_bytes: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -102,6 +110,40 @@ class SweepTelemetry:
             load[r.worker_pid] = (count + 1, wall + r.wall_time_s)
         return load
 
+    def regime_occupancy(self) -> Optional[Dict[str, int]]:
+        """Summed batch regime occupancy across every point that has one.
+
+        Request counts per regime (``cold`` / ``hit_run`` / ``scalar``)
+        plus ``fallbacks`` — how many batch points fell back to the
+        columnar core instead of engaging the fast loop. ``None`` when no
+        point ran the batch engine (nothing to aggregate).
+        """
+        total: Dict[str, int] = {"cold": 0, "hit_run": 0, "scalar": 0}
+        fallbacks = 0
+        seen = False
+        for r in self.reports:
+            if r.regimes is None:
+                continue
+            seen = True
+            if "fallback_reason" in r.regimes:
+                fallbacks += 1
+                continue
+            for key in ("cold", "hit_run", "scalar"):
+                total[key] += int(r.regimes.get(key, 0))  # type: ignore[arg-type]
+        if not seen:
+            return None
+        total["fallbacks"] = fallbacks
+        return total
+
+    @property
+    def peak_memory_bytes(self) -> Optional[int]:
+        """Largest per-worker tracemalloc high-water mark, or None."""
+        peaks = [
+            r.peak_memory_bytes for r in self.reports
+            if r.peak_memory_bytes is not None
+        ]
+        return max(peaks) if peaks else None
+
     def summary(self) -> str:
         """Multi-line human summary for the CLI's post-sweep report."""
         lines = [
@@ -113,4 +155,19 @@ class SweepTelemetry:
         for pid in sorted(load):
             count, wall = load[pid]
             lines.append(f"  worker {pid}: {count} points, {wall:.2f}s")
+        regimes = self.regime_occupancy()
+        if regimes is not None:
+            requests = sum(regimes[k] for k in ("cold", "hit_run", "scalar")) or 1
+            lines.append(
+                "  batch regimes: "
+                + ", ".join(
+                    f"{key} {regimes[key]:,} ({100.0 * regimes[key] / requests:.1f}%)"
+                    for key in ("cold", "hit_run", "scalar")
+                )
+                + (f", {regimes['fallbacks']} fallback point(s)"
+                   if regimes["fallbacks"] else "")
+            )
+        peak = self.peak_memory_bytes
+        if peak is not None:
+            lines.append(f"  peak worker memory: {peak:,} bytes (tracemalloc)")
         return "\n".join(lines)

@@ -419,6 +419,8 @@ def run_simulation(
     obs=None,
     chunk_size: Optional[int] = None,
     regimes: Optional[dict] = None,
+    spans=None,
+    timeseries=None,
 ) -> SimulationResult:
     """One-shot convenience: replay ``trace`` under ``config``.
 
@@ -446,6 +448,15 @@ def run_simulation(
             ``scalar``, or ``fallback_reason``) after the run — see
             :func:`repro.fastpath.batch.simulate_batch`. Ignored by the
             other engines.
+        spans: Optional :class:`repro.obs.spans.SpanTracer`, threaded
+            through the chunked engines (source pulls, chunk replay,
+            batch regime segments); the object engine records one
+            ``engine:object`` span. Out of band like ``obs``: results
+            and event bytes are identical with or without it.
+        timeseries: Optional
+            :class:`repro.obs.timeseries.TimeseriesRecorder` fed one
+            per-chunk sample by the chunked engines (the object engine
+            has no chunk boundary and ignores it).
     """
     streamed = not isinstance(trace, Trace) and hasattr(trace, "interned_chunks")
     if config.engine in ("columnar", "batch"):
@@ -459,9 +470,13 @@ def run_simulation(
         if reason is None:
             if config.engine == "batch":
                 return simulate_batch(
-                    config, trace, obs=obs, chunk_size=chunk_size, regimes=regimes
+                    config, trace, obs=obs, chunk_size=chunk_size,
+                    regimes=regimes, spans=spans, timeseries=timeseries,
                 )
-            return simulate_columnar(config, trace, obs=obs, chunk_size=chunk_size)
+            return simulate_columnar(
+                config, trace, obs=obs, chunk_size=chunk_size,
+                spans=spans, timeseries=timeseries,
+            )
         if streamed:
             raise SimulationError(
                 f"streamed trace sources require a chunked engine, but the "
@@ -481,4 +496,11 @@ def run_simulation(
             "(engine='columnar' or 'batch'); the object engine replays "
             "materialised Trace objects only"
         )
-    return CooperativeSimulator(config, obs=obs).run(trace)
+    simulator = CooperativeSimulator(config, obs=obs)
+    if spans is not None:
+        spans.begin("engine:object", "engine")
+        try:
+            return simulator.run(trace)
+        finally:
+            spans.end()
+    return simulator.run(trace)

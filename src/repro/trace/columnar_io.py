@@ -211,8 +211,15 @@ class PackedTraceReader:
     # repro: domains[timestamps=chunk-offset->age-tick, clients=chunk-offset->any]
     # repro: domains[off=byte-size, width=byte-size, records_seen=global-seq]
     # repro: domains[base_docs=interned-id, base_records=global-seq]
-    def interned_chunks(self, chunk_size: int) -> Iterator["InternedChunk"]:
-        """Decode stored chunks in order (``chunk_size`` ignored; see above)."""
+    def interned_chunks(
+        self, chunk_size: int, spans=None
+    ) -> Iterator["InternedChunk"]:
+        """Decode stored chunks in order (``chunk_size`` ignored; see above).
+
+        ``spans`` (an optional :class:`repro.obs.spans.SpanTracer`) times
+        each chunk's decode as a ``decode`` span with record/byte
+        counters — a child of the engine's source span. Telemetry only.
+        """
         from repro.fastpath.interning import InternedChunk
 
         np = load_numpy()
@@ -220,7 +227,11 @@ class PackedTraceReader:
         end = len(buf) - _FOOTER.size
         off = _HEADER.size
         records_seen = 0
+        traced = spans is not None
         while off < end:
+            if traced:
+                chunk_start = off
+                spans.begin("decode", "source")
             if off + _CHUNK_HEAD.size > end:
                 raise TraceError(f"packed trace {self.path!r}: chunk truncated")
             mark, n, new_docs, new_clients, base_docs, base_clients, base_records = (
@@ -261,7 +272,7 @@ class PackedTraceReader:
             )
             off += blob_len
             records_seen += n
-            yield InternedChunk(
+            chunk = InternedChunk(
                 doc_ids=doc_ids,
                 sizes=sizes,
                 timestamps=timestamps,
@@ -272,6 +283,9 @@ class PackedTraceReader:
                 base_clients=base_clients,
                 base_records=base_records,
             )
+            if traced:
+                spans.end(records=n, bytes=off - chunk_start)
+            yield chunk
         if records_seen != self.num_records:
             raise TraceError(
                 f"packed trace {self.path!r}: footer records {self.num_records} "

@@ -183,8 +183,12 @@ class Trace:
             self.__dict__["_interned"] = cached
         return cached
 
-    def interned_chunks(self, chunk_size: int):
+    def interned_chunks(self, chunk_size: int, spans=None):
         """Iterate the trace as :class:`InternedChunk` slices.
+
+        ``spans`` (an optional :class:`repro.obs.spans.SpanTracer`) times
+        the one-off interning pass as an ``intern`` span; the chunk
+        slicing itself is pure column views and is not traced.
 
         Dense ids are global (identical to :meth:`interned`), and the
         intern-table deltas per chunk let a replay core grow its columnar
@@ -195,6 +199,10 @@ class Trace:
         synthetic generation) expose this same method without ever
         materialising the full trace; see :mod:`repro.trace.stream`.
         """
+        if spans is not None:
+            with spans.span("intern", "source"):
+                interned = self.interned()
+            return interned.chunks(chunk_size)
         return self.interned().chunks(chunk_size)
 
     @property

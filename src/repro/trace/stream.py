@@ -95,12 +95,20 @@ class RecordStream:
         self._records = records
         self.num_records = num_records
 
-    def interned_chunks(self, chunk_size: int) -> Iterator["InternedChunk"]:
+    def interned_chunks(
+        self, chunk_size: int, spans=None
+    ) -> Iterator["InternedChunk"]:
         """Intern the stream incrementally into ``chunk_size``-record chunks.
 
         Dense ids continue across chunks (one :class:`ChunkingInterner`
         per iteration), so consecutive chunks replay exactly like the
         materialised trace would.
+
+        ``spans`` (an optional :class:`repro.obs.spans.SpanTracer`) times
+        each chunk's intern pass as an ``intern`` span — a child of the
+        engine's source span, separating interning from raw generation
+        inside the generation-vs-replay wall split. Telemetry only; the
+        emitted chunks are identical with or without it.
         """
         if chunk_size <= 0:
             raise TraceError(f"chunk_size must be positive, got {chunk_size}")
@@ -108,14 +116,27 @@ class RecordStream:
         from repro.fastpath.interning import ChunkingInterner
 
         interner = ChunkingInterner()
+        traced = spans is not None
         batch: List[TraceRecord] = []
         for record in self._records():
             batch.append(record)
             if len(batch) >= chunk_size:
-                yield interner.intern_chunk(batch)
+                if traced:
+                    spans.begin("intern", "source")
+                    chunk = interner.intern_chunk(batch)
+                    spans.end(records=len(batch))
+                    yield chunk
+                else:
+                    yield interner.intern_chunk(batch)
                 batch = []
         if batch:
-            yield interner.intern_chunk(batch)
+            if traced:
+                spans.begin("intern", "source")
+                chunk = interner.intern_chunk(batch)
+                spans.end(records=len(batch))
+                yield chunk
+            else:
+                yield interner.intern_chunk(batch)
 
 
 class SyntheticTraceStream(RecordStream):

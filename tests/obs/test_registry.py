@@ -105,9 +105,14 @@ class TestSnapshot:
         snap = registry.snapshot()
         assert list(snap["counters"]) == ["a", "b"]
         assert snap["gauges"] == {"depth": 4.0}
-        assert snap["histograms"]["ages"] == {
+        ages = snap["histograms"]["ages"]
+        assert {k: ages[k] for k in ("count", "total", "mean", "min", "max")} == {
             "count": 1, "total": 8.0, "mean": 8.0, "min": 8.0, "max": 8.0
         }
+        # A single observation pins every quantile to the observed value,
+        # and the bucket row merges element-wise across snapshots.
+        assert (ages["p50"], ages["p95"], ages["p99"]) == (8.0, 8.0, 8.0)
+        assert ages["buckets"][3] == 1 and sum(ages["buckets"]) == 1
 
     def test_empty_histogram_min_max_null(self):
         registry = MetricsRegistry()
@@ -145,9 +150,10 @@ class TestMergeSnapshots:
         merged = merge_snapshots(
             [self._snap(hist={"h": [2.0, 10.0]}), self._snap(hist={"h": [6.0]})]
         )
-        assert merged["histograms"]["h"] == {
-            "count": 3, "total": 18.0, "mean": 6.0, "min": 2.0, "max": 10.0
-        }
+        summary = merged["histograms"]["h"]
+        assert {
+            k: summary[k] for k in ("count", "total", "mean", "min", "max")
+        } == {"count": 3, "total": 18.0, "mean": 6.0, "min": 2.0, "max": 10.0}
 
     def test_empty_histograms_merge_to_null_extremes(self):
         merged = merge_snapshots([self._snap(hist={"h": []}), self._snap(hist={"h": []})])
@@ -157,3 +163,54 @@ class TestMergeSnapshots:
 
     def test_merge_of_nothing_is_empty(self):
         assert merge_snapshots([]) == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestQuantiles:
+    def _hist(self, values):
+        hist = MetricsRegistry().histogram("h")
+        for value in values:
+            hist.observe(value)
+        return hist
+
+    def test_empty_histogram_has_no_quantiles(self):
+        assert self._hist([]).quantile(0.5) is None
+
+    def test_q_outside_unit_interval_rejected(self):
+        hist = self._hist([1.0])
+        with pytest.raises(ObsError, match="quantile must be in"):
+            hist.quantile(1.5)
+        with pytest.raises(ObsError, match="quantile must be in"):
+            hist.quantile(-0.1)
+
+    def test_interpolates_inside_a_bucket(self):
+        # 2.0 fills bucket (1,2]; 6.0 and 10.0 straddle (4,8] and (8,16].
+        hist = self._hist([2.0, 6.0, 10.0])
+        # rank 1.5 lands in the (4,8] bucket halfway through its one value.
+        assert hist.quantile(0.5) == pytest.approx(6.0)
+
+    def test_extremes_clamp_to_observed_min_max(self):
+        hist = self._hist([2.0, 6.0, 10.0])
+        assert hist.quantile(0.0) == 2.0
+        assert hist.quantile(1.0) == 10.0
+        # p99's bucket interpolation overshoots 10.0; the clamp pins it.
+        assert hist.quantile(0.99) == 10.0
+
+    def test_uniform_spread_estimate_is_bucket_bounded(self):
+        # 128 values spread through (64,128]: the estimate may be off by
+        # at most one bucket width, and the median must stay inside it.
+        hist = self._hist([65.0 + i * 0.49 for i in range(128)])
+        estimate = hist.quantile(0.5)
+        assert 64.0 < estimate <= 128.0
+
+    def test_merged_quantiles_equal_single_registry(self):
+        """Sharded observation then merge == one registry seeing everything."""
+        values = [1.5, 3.0, 7.0, 7.5, 20.0, 90.0, 1000.0, 6.0, 2.2]
+        whole = MetricsRegistry()
+        shards = [MetricsRegistry() for _ in range(3)]
+        for i, value in enumerate(values):
+            whole.histogram("h").observe(value)
+            shards[i % 3].histogram("h").observe(value)
+        merged = merge_snapshots([s.snapshot() for s in shards])["histograms"]["h"]
+        single = whole.snapshot()["histograms"]["h"]
+        for key in ("count", "min", "max", "p50", "p95", "p99"):
+            assert merged[key] == single[key], key

@@ -4,7 +4,10 @@ from __future__ import annotations
 
 import io
 
+import pytest
+
 from repro.obs.events import RunRecorder
+from repro.obs.registry import ObsError
 from repro.obs.tools import diff_events, summarize_events, tail_events
 
 
@@ -45,6 +48,12 @@ class TestTail:
         path = write_stream(tmp_path / "s.jsonl")
         assert tail_events(str(path), count=0) == []
 
+    def test_empty_file_is_an_error(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("", encoding="utf-8")
+        with pytest.raises(ObsError, match="empty event file"):
+            tail_events(str(path), count=3)
+
 
 class TestSummarize:
     def test_rollup(self, tmp_path):
@@ -66,12 +75,25 @@ class TestSummarize:
         assert summary["evicted_bytes"] == 100
         assert summary["time_span"] == [10.0, 41.0]
 
-    def test_empty_stream(self, tmp_path):
+    def test_empty_stream_is_an_error(self, tmp_path):
         path = tmp_path / "empty.jsonl"
         path.write_text("", encoding="utf-8")
-        summary = summarize_events(str(path))
-        assert summary["events"] == {}
-        assert summary["time_span"] is None
+        with pytest.raises(ObsError, match="empty event file"):
+            summarize_events(str(path))
+
+    def test_corrupt_line_reports_position(self, tmp_path):
+        path = write_stream(tmp_path / "s.jsonl", mutate=lambda ls: ls[:4] + ["{broken\n"])
+        with pytest.raises(ObsError, match=r"s\.jsonl:5: malformed event line"):
+            summarize_events(str(path))
+
+    def test_distributions_carry_quantiles(self, tmp_path):
+        summary = summarize_events(str(write_stream(tmp_path / "s.jsonl")))
+        sizes = summary["distributions"]["request.size_bytes"]
+        assert sizes["count"] == 3
+        assert sizes["p50"] == sizes["p95"] == sizes["p99"] == 100.0
+        ages = summary["distributions"]["evict.age_s"]
+        assert ages["count"] == 2
+        assert ages["min"] == 2.0 and ages["max"] == 3.0
 
 
 class TestDiff:

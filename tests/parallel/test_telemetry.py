@@ -144,3 +144,98 @@ class TestSweepIntegration:
         pids = set(sweep.telemetry.by_worker())
         assert pids  # at least one worker reported
         assert all(isinstance(pid, int) for pid in pids)
+
+
+def _report_with(index=0, **extra):
+    return TaskReport(
+        index=index, capacity_label="64KB", scheme="ea", memoized=False,
+        worker_pid=7, wall_time_s=1.0, **extra,
+    )
+
+
+class TestRegimeOccupancy:
+    def test_none_without_batch_points(self):
+        telemetry = SweepTelemetry(reports=[_report_with()])
+        assert telemetry.regime_occupancy() is None
+        assert "batch regimes" not in telemetry.summary()
+
+    def test_sums_across_points_and_counts_fallbacks(self):
+        telemetry = SweepTelemetry(
+            reports=[
+                _report_with(0, regimes={"cold": 100, "hit_run": 800, "scalar": 50}),
+                _report_with(1, regimes={"cold": 20, "hit_run": 300, "scalar": 10}),
+                _report_with(2, regimes={"fallback_reason": "obs attached"}),
+                _report_with(3),  # non-batch point: ignored, not a fallback
+            ]
+        )
+        assert telemetry.regime_occupancy() == {
+            "cold": 120, "hit_run": 1100, "scalar": 60, "fallbacks": 1
+        }
+        summary = telemetry.summary()
+        assert "batch regimes: cold 120" in summary
+        assert "1 fallback point(s)" in summary
+
+    def test_peak_memory_is_worker_max(self):
+        telemetry = SweepTelemetry(
+            reports=[
+                _report_with(0, peak_memory_bytes=1_000),
+                _report_with(1, peak_memory_bytes=5_000),
+                _report_with(2),
+            ]
+        )
+        assert telemetry.peak_memory_bytes == 5_000
+        assert "peak worker memory: 5,000 bytes" in telemetry.summary()
+        assert SweepTelemetry(reports=[_report_with()]).peak_memory_bytes is None
+
+
+class TestSweepObservability:
+    def test_batch_sweep_reports_per_point_regimes(self, trace):
+        sweep = run_capacity_sweep(
+            trace, CAPACITIES, engine="batch", progress=lambda p: None
+        )
+        reports = sweep.telemetry.reports
+        assert all(r.regimes is not None for r in reports)
+        occupancy = sweep.telemetry.regime_occupancy()
+        per_point = len(trace)
+        for report in reports:
+            assert sum(
+                report.regimes.get(k, 0) for k in ("cold", "hit_run", "scalar")
+            ) == per_point
+        assert occupancy["cold"] + occupancy["hit_run"] + occupancy["scalar"] == (
+            per_point * len(reports)
+        )
+
+    def test_track_memory_records_worker_peaks(self, trace):
+        sweep = run_capacity_sweep(trace, CAPACITIES, jobs=2, track_memory=True)
+        assert sweep.telemetry.peak_memory_bytes > 0
+        simulated = [r for r in sweep.telemetry.reports if not r.memoized]
+        assert all(r.peak_memory_bytes > 0 for r in simulated)
+
+    def test_worker_spans_merge_onto_labeled_lanes(self, trace):
+        from repro.obs.spans import SpanTracer, validate_trace_events
+
+        parent = SpanTracer()
+        with parent.span("sweep"):
+            sweep = run_capacity_sweep(
+                trace, CAPACITIES, jobs=2, engine="batch", spans=parent
+            )
+        assert len(sweep.points) == 4
+        # tid 0 is the parent lane; each point gets its own worker lane.
+        assert parent.labels == {
+            1: "64KB/adhoc", 2: "64KB/ea", 3: "512KB/adhoc", 4: "512KB/ea",
+        }
+        lanes = {row[4] for row in parent.rows}
+        assert lanes == {0, 1, 2, 3, 4}
+        assert validate_trace_events(parent.to_chrome()) == []
+
+    def test_observability_args_do_not_perturb_results(self, trace):
+        from repro.obs.spans import SpanTracer
+
+        plain = run_capacity_sweep(trace, CAPACITIES, engine="batch")
+        observed = run_capacity_sweep(
+            trace, CAPACITIES, engine="batch", jobs=2,
+            track_memory=True, spans=SpanTracer(),
+        )
+        assert [p.result.to_json() for p in observed.points] == [
+            p.result.to_json() for p in plain.points
+        ]

@@ -23,6 +23,7 @@ def _load(name: str):
 
 summarize_bench = _load("summarize_bench")
 check_bench_regression = _load("check_bench_regression")
+bench_history = _load("bench_history")
 
 
 def _raw_payload(means):
@@ -228,3 +229,107 @@ class TestPairGate:
         raw = check_bench_regression.load_mins(tmp_path / "raw.json")
         compact = check_bench_regression.load_mins(tmp_path / "compact.json")
         assert raw == compact == {"x": pytest.approx(0.09)}
+
+
+class TestBenchHistory:
+    """scripts/bench_history.py: the cross-PR perf trajectory."""
+
+    def _write(self, path, means, compact=True):
+        payload = _raw_payload(means)
+        if compact:
+            payload = summarize_bench.summarize(payload)
+        path.write_text(json.dumps(payload), encoding="utf-8")
+        return path
+
+    def test_bench_index(self, tmp_path):
+        assert bench_history.bench_index(tmp_path / "BENCH_7.json") == 7
+        assert bench_history.bench_index(tmp_path / "BENCH_raw.json") is None
+        assert bench_history.bench_index(tmp_path / "other.json") is None
+
+    @pytest.mark.parametrize("compact", [False, True])
+    def test_load_point_both_schemas(self, tmp_path, compact):
+        path = self._write(tmp_path / "BENCH_4.json", {"x": 0.25}, compact)
+        point = bench_history.load_point(path)
+        assert point["label"] == "BENCH_4" and point["index"] == 4
+        assert point["machine"] == "testbox"
+        assert point["benchmarks"]["x"] == {
+            "median": 0.25, "mean": 0.25,
+            "min": pytest.approx(0.225), "ops": pytest.approx(4.0),
+        }
+
+    def test_series_align_with_gaps_and_regressions_flag(self, tmp_path):
+        # "y" appears only in the later file; "x" regresses 50% between them.
+        a = self._write(tmp_path / "BENCH_1.json", {"x": 0.10})
+        b = self._write(tmp_path / "BENCH_2.json", {"x": 0.15, "y": 0.01})
+        history = bench_history.build_history([a, b], threshold=0.20)
+        assert history["schema"] == bench_history.SCHEMA
+        assert [p["label"] for p in history["points"]] == ["BENCH_1", "BENCH_2"]
+        assert history["series"]["y"][0] is None
+        assert history["series"]["y"][1]["median"] == 0.01
+        assert history["regressions"] == [
+            {"name": "x", "from": "BENCH_1", "to": "BENCH_2", "ratio": 1.5}
+        ]
+        table = bench_history.render_markdown(history)
+        assert "| `x` | 100 | 150 ⚠ |" in table
+
+    def test_growth_under_threshold_not_flagged(self, tmp_path):
+        a = self._write(tmp_path / "BENCH_1.json", {"x": 0.10})
+        b = self._write(tmp_path / "BENCH_2.json", {"x": 0.11})
+        history = bench_history.build_history([a, b], threshold=0.20)
+        assert history["regressions"] == []
+
+    def test_patch_markdown_creates_replaces_and_appends(self, tmp_path):
+        doc = tmp_path / "PERF.md"
+        bench_history.patch_markdown(doc, "TABLE-1")
+        text = doc.read_text(encoding="utf-8")
+        assert "# Performance trajectory" in text and "TABLE-1" in text
+        bench_history.patch_markdown(doc, "TABLE-2")
+        text = doc.read_text(encoding="utf-8")
+        assert "TABLE-2" in text and "TABLE-1" not in text
+        assert text.count("<!-- bench-history:begin -->") == 1
+        # A file without markers keeps its prose and gains the block.
+        other = tmp_path / "NOTES.md"
+        other.write_text("# Notes\n\nhand-written\n", encoding="utf-8")
+        bench_history.patch_markdown(other, "TABLE-3")
+        text = other.read_text(encoding="utf-8")
+        assert text.startswith("# Notes") and "hand-written" in text
+        assert "TABLE-3" in text
+
+    def test_main_writes_history_json(self, tmp_path, capsys):
+        self._write(tmp_path / "BENCH_1.json", {"x": 0.10})
+        self._write(tmp_path / "BENCH_2.json", {"x": 0.20})
+        out = tmp_path / "history.json"
+        code = bench_history.main(
+            [str(tmp_path / "BENCH_1.json"), str(tmp_path / "BENCH_2.json"),
+             "--out", str(out), "--quiet"]
+        )
+        assert code == 0
+        history = json.loads(out.read_text(encoding="utf-8"))
+        assert history["schema"] == bench_history.SCHEMA
+        assert len(history["regressions"]) == 1
+
+    def test_main_rejects_non_bench_names_and_missing_files(self, tmp_path, capsys):
+        path = self._write(tmp_path / "BENCH_raw.json", {"x": 0.1})
+        assert bench_history.main([str(path), "--quiet"]) == 2
+        assert "not a BENCH_<n>.json" in capsys.readouterr().err
+        assert bench_history.main([str(tmp_path / "BENCH_9.json")]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_covers_every_committed_bench_file(self):
+        """Defaulting to the repo root folds in every BENCH_*.json."""
+        repo = _SCRIPTS.parent
+        committed = sorted(
+            p.stem for p in repo.glob("BENCH_*.json")
+            if bench_history.bench_index(p) is not None
+        )
+        assert committed  # the repo commits one summary per benchmarked PR
+        history = bench_history.build_history(
+            sorted(repo.glob("BENCH_*.json"), key=bench_history.bench_index),
+            threshold=0.20,
+        )
+        assert sorted(p["label"] for p in history["points"]) == committed
+        # Every committed benchmark name lands in some series, and every
+        # series has at least one real sample.
+        assert history["series"]
+        for name, row in history["series"].items():
+            assert any(sample is not None for sample in row), name
